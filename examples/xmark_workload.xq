@@ -1,0 +1,15 @@
+for $b in document("auction.xml")/site/people/person[@id = "person0"]
+return $b/name/text()
+;;
+for $p in document("auction.xml")/site/people/person
+let $a := for $t in document("auction.xml")/site/closed_auctions/closed_auction
+          where $t/buyer/@person = $p/@id return $t
+return <item person="{$p/name/text()}">{count($a)}</item>
+;;
+count(for $i in document("auction.xml")/site/closed_auctions/closed_auction
+      where $i/price/text() >= 40 return $i/price)
+;;
+for $p in document("auction.xml")/site/people/person
+let $l := for $i in document("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * $i/text() return $i
+return <items name="{$p/name/text()}">{count($l)}</items>
