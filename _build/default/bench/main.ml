@@ -1,0 +1,594 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5), plus the §2.2 / §3.3 numbers quoted in the text and
+   a set of design-choice ablations.
+
+     dune exec bench/main.exe                 -- run everything (modest sizes)
+     dune exec bench/main.exe -- fig7         -- run one experiment
+     dune exec bench/main.exe -- --scale 9 fig7   -- the paper's 11 MB setting
+
+   Absolute numbers differ from the paper (different machine, language and
+   substrate); EXPERIMENTS.md records the shape comparison. *)
+
+let scale = ref 2.0
+let fig6_scales = ref [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, 1000.0 *. (Unix.gettimeofday () -. t0))
+
+(* median of a few runs; one warmup *)
+let time_median ?(runs = 3) f =
+  ignore (f ());
+  let samples = List.init runs (fun _ -> snd (time f)) in
+  List.nth (List.sort compare samples) (runs / 2)
+
+(* Bechamel measurement for sub-millisecond operations: one Test.make per
+   query, measured with the monotonic clock. *)
+let bechamel_ms (tests : (string * (unit -> unit)) list) : (string * float) list =
+  let open Bechamel in
+  let open Toolkit in
+  let tests = List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"" ~fmt:"%s%s" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> (name, ns /. 1e6) :: acc
+      | _ -> acc)
+    results []
+
+let header title = Fmt.pr "@.=== %s ===@." title
+let rule () = Fmt.pr "%s@." (String.make 78 '-')
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let corpus = lazy (Xmark.Datasets.real_life_corpus ())
+
+let xmark_doc = lazy (Xmark.Xmlgen.generate ~scale:!scale ())
+
+let xmark_engine =
+  lazy
+    (let xml = Lazy.force xmark_doc in
+     let workload = List.map (fun q -> q.Xmark.Queries.text) Xmark.Queries.all in
+     let (engine, ms) =
+       time (fun () -> Xquec_core.Engine.load ~name:"auction.xml" ~workload xml)
+     in
+     Fmt.pr "[setup] XMark document %d KB compressed in %.1f s (CF %.1f%%)@."
+       (String.length xml / 1024) (ms /. 1000.0)
+       (100.0 *. Xquec_core.Engine.compression_factor engine);
+     engine)
+
+let xmark_dom = lazy (Xmlkit.Parser.parse_string (Lazy.force xmark_doc))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: data sets                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table 1: data sets used in the experiments";
+  Fmt.pr "%-20s %9s %9s %8s %7s %6s %10s@." "dataset" "size(KB)" "elements" "attrs"
+    "depth" "tags" "text share";
+  rule ();
+  let row name xml =
+    let st = Xmlkit.Stats.of_document (Xmlkit.Parser.parse_string xml) in
+    Fmt.pr "%-20s %9d %9d %8d %7d %6d %9.1f%%@." name
+      (String.length xml / 1024)
+      st.Xmlkit.Stats.elements st.Xmlkit.Stats.attributes st.Xmlkit.Stats.max_depth
+      st.Xmlkit.Stats.distinct_tags
+      (100.0 *. Xmlkit.Stats.value_share st)
+  in
+  List.iter (fun (d : Xmark.Datasets.dataset) -> row d.Xmark.Datasets.name d.Xmark.Datasets.xml)
+    (Lazy.force corpus);
+  row (Printf.sprintf "xmark (scale %.2g)" !scale) (Lazy.force xmark_doc)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: compression factors                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cf_row name xml =
+  let xm = Baselines.Xmill.compression_factor (Baselines.Xmill.compress xml) in
+  let xg = Baselines.Xgrind.compression_factor (Baselines.Xgrind.compress xml) in
+  let xp = Baselines.Xpress.compression_factor (Baselines.Xpress.compress xml) in
+  let repo = Xquec_core.Loader.load ~name xml in
+  let xq = Storage.Repository.compression_factor repo in
+  Fmt.pr "%-22s %8.1f%% %8.1f%% %8.1f%% %8.1f%%@." name (100. *. xm) (100. *. xg)
+    (100. *. xp) (100. *. xq);
+  (xm, xg, xp, xq)
+
+let fig6_left () =
+  header "Fig. 6 (left): average compression factor, real-life corpus";
+  Fmt.pr "%-22s %9s %9s %9s %9s@." "dataset" "XMill" "XGrind" "XPRESS" "XQueC";
+  rule ();
+  let rows =
+    List.map
+      (fun (d : Xmark.Datasets.dataset) -> cf_row d.Xmark.Datasets.name d.Xmark.Datasets.xml)
+      (Lazy.force corpus)
+  in
+  let n = float_of_int (List.length rows) in
+  let avg f = 100.0 *. List.fold_left (fun a r -> a +. f r) 0.0 rows /. n in
+  rule ();
+  Fmt.pr "%-22s %8.1f%% %8.1f%% %8.1f%% %8.1f%%@." "average"
+    (avg (fun (a, _, _, _) -> a))
+    (avg (fun (_, b, _, _) -> b))
+    (avg (fun (_, _, c, _) -> c))
+    (avg (fun (_, _, _, d) -> d))
+
+let fig6_right () =
+  header "Fig. 6 (right): compression factor vs XMark document size";
+  Fmt.pr "%-22s %9s %9s %9s %9s@." "document" "XMill" "XGrind" "XPRESS" "XQueC";
+  rule ();
+  List.iter
+    (fun s ->
+      let xml = Xmark.Xmlgen.generate ~scale:s () in
+      ignore (cf_row (Printf.sprintf "xmark %d KB" (String.length xml / 1024)) xml))
+    !fig6_scales
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: query execution times                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  header "Fig. 7: QET, XQueC (compressed) vs Galax-like (uncompressed)";
+  let engine = Lazy.force xmark_engine in
+  let dom = Lazy.force xmark_dom in
+  Fmt.pr "(XQueC times include decompressing and serializing the result, as in the paper)@.";
+  Fmt.pr "%-5s %12s %12s %8s  %s@." "query" "XQueC(ms)" "Galax(ms)" "ratio" "note";
+  rule ();
+  let xquec_run (q : Xmark.Queries.query) () =
+    ignore
+      (Xquec_core.Executor.serialize
+         (Xquec_core.Engine.repo engine)
+         (Xquec_core.Engine.query engine q.Xmark.Queries.text))
+  in
+  (* every query gets a registered Bechamel Test.make; sub-millisecond
+     ones take their estimate from it, slower ones from a wall-clock
+     median *)
+  let bech =
+    bechamel_ms
+      (List.map (fun id -> (id, xquec_run (Xmark.Queries.by_id id))) Xmark.Queries.fig7_ids)
+  in
+  List.iter
+    (fun id ->
+      let q = Xmark.Queries.by_id id in
+      let ast = Xquery.Parser.parse q.Xmark.Queries.text in
+      let xq_ms =
+        match List.assoc_opt id bech with
+        | Some ms when ms < 10.0 -> ms
+        | _ -> time_median (fun () -> xquec_run q ())
+      in
+      let galax_ms =
+        time_median ~runs:1 (fun () ->
+            ignore (Baselines.Galax_like.run ~docs:[ ("auction.xml", dom) ] ast))
+      in
+      let note = match q.Xmark.Queries.adapted with Some _ -> "(adapted)" | None -> "" in
+      Fmt.pr "%-5s %12.2f %12.2f %7.1fx  %s@." id xq_ms galax_ms (galax_ms /. xq_ms) note)
+    Xmark.Queries.fig7_ids
+
+let q8_q9 () =
+  header "Q8/Q9 (reported separately in the paper's text)";
+  let engine = Lazy.force xmark_engine in
+  let dom = Lazy.force xmark_dom in
+  let run_xquec id =
+    let q = Xmark.Queries.by_id id in
+    time_median (fun () ->
+        ignore
+          (Xquec_core.Executor.serialize
+             (Xquec_core.Engine.repo engine)
+             (Xquec_core.Engine.query engine q.Xmark.Queries.text)))
+  in
+  let run_galax id =
+    let q = Xmark.Queries.by_id id in
+    let ast = Xquery.Parser.parse q.Xmark.Queries.text in
+    time_median ~runs:1 (fun () ->
+        ignore (Baselines.Galax_like.run ~docs:[ ("auction.xml", dom) ] ast))
+  in
+  Fmt.pr "%-5s %12s %12s@." "query" "XQueC(ms)" "Galax(ms)";
+  rule ();
+  let q8x = run_xquec "Q8" and q9x = run_xquec "Q9" in
+  let q8g = run_galax "Q8" in
+  Fmt.pr "%-5s %12.1f %12.1f@." "Q8" q8x q8g;
+  if !scale <= 2.5 then begin
+    let q9g = run_galax "Q9" in
+    Fmt.pr "%-5s %12.1f %12.1f@." "Q9" q9x q9g
+  end
+  else begin
+    Fmt.pr "%-5s %12.1f %12s@." "Q9" q9x "n/a (*)";
+    Fmt.pr "(*) the naive engine's nested-loop Q9 is quadratic and does not complete in@.";
+    Fmt.pr "    reasonable time at this scale - the paper could not measure Galax on Q9 either.@."
+  end;
+  let repo = Xquec_core.Engine.repo engine in
+  let plan_ms = time_median (fun () -> ignore (Xquec_core.Plans.q9 repo)) in
+  Fmt.pr "%-5s %12.1f %12s  (hand-built Fig. 5 physical plan)@." "Q9*" plan_ms "-"
+
+(* ------------------------------------------------------------------ *)
+(* Section 2.2: storage occupancy                                      *)
+(* ------------------------------------------------------------------ *)
+
+let storage_occupancy () =
+  header "Storage occupancy (the figures quoted in paper section 2.2)";
+  let engine = Lazy.force xmark_engine in
+  let repo = Xquec_core.Engine.repo engine in
+  let sz = Xquec_core.Engine.size_breakdown engine in
+  let os = float_of_int repo.Storage.Repository.original_size in
+  let pct x = 100.0 *. float_of_int x /. os in
+  Fmt.pr "original document:        %9d bytes@." repo.Storage.Repository.original_size;
+  Fmt.pr "full repository:          %9d bytes (%.1f%% of original; CF %.1f%%)@."
+    sz.Storage.Repository.total_bytes
+    (pct sz.Storage.Repository.total_bytes)
+    (100.0 *. Xquec_core.Engine.compression_factor engine);
+  Fmt.pr "  structure tree:         %9d bytes (%.1f%%)@." sz.Storage.Repository.tree_bytes
+    (pct sz.Storage.Repository.tree_bytes);
+  Fmt.pr "  value containers:       %9d bytes (%.1f%%)@." sz.Storage.Repository.containers_bytes
+    (pct sz.Storage.Repository.containers_bytes);
+  Fmt.pr "  source models:          %9d bytes (%.1f%%)@." sz.Storage.Repository.models_bytes
+    (pct sz.Storage.Repository.models_bytes);
+  Fmt.pr "  structure summary:      %9d bytes (%.1f%% of original; paper: ~19%%)@."
+    sz.Storage.Repository.summary_bytes
+    (pct sz.Storage.Repository.summary_bytes);
+  Fmt.pr "  B+ index:               %9d bytes (%.1f%%)@." sz.Storage.Repository.btree_bytes
+    (pct sz.Storage.Repository.btree_bytes);
+  Fmt.pr "essential (no access structures): %d bytes@." sz.Storage.Repository.essential_bytes;
+  Fmt.pr "access-structure factor:  %.2fx (paper: 3-4x)@."
+    (float_of_int sz.Storage.Repository.total_bytes
+    /. float_of_int sz.Storage.Repository.essential_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Section 3.3: NaiveConf vs GoodConf                                  *)
+(* ------------------------------------------------------------------ *)
+
+let partitioning_gain () =
+  header "Section 3.3 example: NaiveConf (single shared ALM) vs GoodConf (partitioned)";
+  let rng = Xmark.Rng.of_int 7 in
+  let sentence () =
+    String.concat " "
+      (List.init (10 + Xmark.Rng.int rng 14) (fun _ -> Xmark.Rng.pick rng Xmark.Wordpool.shakespeare))
+  in
+  let name () =
+    Xmark.Rng.pick rng Xmark.Wordpool.first_names ^ " " ^ Xmark.Rng.pick rng Xmark.Wordpool.last_names
+  in
+  let date () =
+    Printf.sprintf "%02d/%02d/%4d" (1 + Xmark.Rng.int rng 12) (1 + Xmark.Rng.int rng 28)
+      (1998 + Xmark.Rng.int rng 5)
+  in
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf "<doc>";
+  List.iter
+    (fun (tag, gen, n) ->
+      for _ = 1 to n do
+        Buffer.add_string buf (Printf.sprintf "<%s>%s</%s>" tag (gen ()) tag)
+      done)
+    [
+      (* the paper's example containers are ~6 MB each; a few hundred KB
+         is enough for the dictionary codecs to amortize their models *)
+      ("act1", sentence, 2500); ("act2", sentence, 2500); ("act3", sentence, 2500);
+      ("pname", name, 8000); ("pdate", date, 8000);
+    ];
+  Buffer.add_string buf "</doc>";
+  let xml = Buffer.contents buf in
+  let repo = Xquec_core.Loader.load ~name:"d.xml" xml in
+  let workload_queries =
+    List.map Xquery.Parser.parse
+      [
+        "for $x in document(\"d.xml\")/doc/act1 where $x/text() > \"king\" return $x";
+        "for $x in document(\"d.xml\")/doc/act2 where $x/text() > \"queen\" return $x";
+        "for $x in document(\"d.xml\")/doc/act3 where $x/text() < \"mad\" return $x";
+        "for $x in document(\"d.xml\")/doc/pname where $x/text() >= \"Marta\" return $x";
+        "for $x in document(\"d.xml\")/doc/pdate where $x/text() >= \"06/01/2000\" return $x";
+      ]
+  in
+  let workload = Xquec_core.Workload.analyze repo workload_queries in
+  let all_ids =
+    Array.to_list repo.Storage.Repository.containers |> List.map (fun c -> c.Storage.Container.id)
+  in
+  let cm = Xquec_core.Cost_model.create repo workload in
+  let naive = { Xquec_core.Cost_model.sets = [ (all_ids, Compress.Codec.Alm_alg) ] } in
+  let naive_cost = Xquec_core.Cost_model.breakdown cm naive in
+  let result = Xquec_core.Partitioner.search repo workload in
+  let good = result.Xquec_core.Partitioner.configuration in
+  let good_cost = Xquec_core.Cost_model.breakdown cm good in
+  let container_cf config =
+    let repo = Xquec_core.Loader.load ~name:"d.xml" xml in
+    Xquec_core.Partitioner.apply repo config;
+    List.map
+      (fun (ids, alg) ->
+        let plain =
+          List.fold_left
+            (fun a id -> a + (Storage.Repository.container repo id).Storage.Container.plain_bytes)
+            0 ids
+        in
+        let compressed =
+          List.fold_left
+            (fun a id ->
+              a + Storage.Container.compressed_bytes (Storage.Repository.container repo id))
+            0 ids
+        in
+        let paths =
+          List.map (fun id -> (Storage.Repository.container repo id).Storage.Container.path) ids
+        in
+        (paths, alg, 1.0 -. (float_of_int compressed /. float_of_int plain)))
+      config.Xquec_core.Cost_model.sets
+  in
+  Fmt.pr "NaiveConf: one shared ALM source model over all five containers@.";
+  List.iter
+    (fun (paths, alg, cf) ->
+      Fmt.pr "  {%d containers} %s: value CF %.2f%%@." (List.length paths)
+        (Compress.Codec.algorithm_name alg) (100.0 *. cf))
+    (container_cf naive);
+  Fmt.pr "  model cost %.0f, decompression cost %.0f, total %.0f@."
+    naive_cost.Xquec_core.Cost_model.model naive_cost.Xquec_core.Cost_model.decompression
+    naive_cost.Xquec_core.Cost_model.total;
+  Fmt.pr "@.GoodConf: the greedy section-3.3 search (%d sets)@."
+    (List.length good.Xquec_core.Cost_model.sets);
+  List.iter
+    (fun (paths, alg, cf) ->
+      Fmt.pr "  {%s} %s: value CF %.2f%%@." (String.concat ", " paths)
+        (Compress.Codec.algorithm_name alg) (100.0 *. cf))
+    (container_cf good);
+  Fmt.pr "  model cost %.0f, decompression cost %.0f, total %.0f@."
+    good_cost.Xquec_core.Cost_model.model good_cost.Xquec_core.Cost_model.decompression
+    good_cost.Xquec_core.Cost_model.total;
+  Fmt.pr "@.total cost gain: %.1f%% (the paper's example gains 21.4%%/28.6%% on text/names)@."
+    (100.0 *. (1.0 -. (good_cost.Xquec_core.Cost_model.total /. naive_cost.Xquec_core.Cost_model.total)))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header "Ablations: the design choices DESIGN.md calls out";
+  let engine = Lazy.force xmark_engine in
+  let repo = Xquec_core.Engine.repo engine in
+  let find path = Option.get (Storage.Repository.find_container_by_path repo path) in
+
+  (* (a) per-value compression vs whole-container chunks *)
+  let cont = find "/site/people/person/name/#text" in
+  let values = List.map fst (Storage.Container.dump cont) in
+  let chunk = String.concat "\000" values in
+  let compressed_chunk = Compress.Bzip.compress chunk in
+  let target = List.nth values (List.length values / 2) in
+  let per_value_ms =
+    time_median ~runs:5 (fun () ->
+        let code = Storage.Container.compress_constant cont target in
+        ignore (Storage.Container.lookup_eq cont code))
+  in
+  let whole_chunk_ms =
+    time_median ~runs:5 (fun () ->
+        ignore (String.length (Compress.Bzip.decompress compressed_chunk)))
+  in
+  Fmt.pr "(a) access one of %d values: individually compressed %.3f ms, \
+          XMill-style chunk decompression %.3f ms (%.0fx)@."
+    (List.length values) per_value_ms whole_chunk_ms (whole_chunk_ms /. per_value_ms);
+
+  (* (b) value join: sorted-container merge join vs decompressing nested loop *)
+  let pid = find "/site/people/person/@id" in
+  let buyer = find "/site/closed_auctions/closed_auction/buyer/@person" in
+  let shared = pid.Storage.Container.model_id = buyer.Storage.Container.model_id in
+  let merge_ms =
+    time_median (fun () ->
+        ignore
+          (Xquec_core.Physical.cardinality
+             (Xquec_core.Physical.merge_join
+                (Xquec_core.Physical.cont_scan repo pid.Storage.Container.id) ~lcol:0
+                (Xquec_core.Physical.cont_scan repo buyer.Storage.Container.id) ~rcol:0)))
+  in
+  let nl_ms =
+    time_median ~runs:1 (fun () ->
+        let key = function
+          | Xquec_core.Executor.Cval { cont; code } ->
+            Compress.Codec.decompress cont.Storage.Container.model code
+          | _ -> ""
+        in
+        ignore
+          (Xquec_core.Physical.cardinality
+             (Xquec_core.Physical.nl_join
+                (fun l r -> String.equal (key l.(0)) (key r.(0)))
+                (Xquec_core.Physical.cont_scan repo pid.Storage.Container.id)
+                (Xquec_core.Physical.cont_scan repo buyer.Storage.Container.id))))
+  in
+  Fmt.pr "(b) person-buyer join (shared model: %b): 1-pass merge join %.2f ms, \
+          decompressing nested loop %.1f ms (%.0fx)@."
+    shared merge_ms nl_ms (nl_ms /. merge_ms);
+
+  (* (c) compressed-domain inequality vs scan-and-decompress *)
+  let prices = find "/site/closed_auctions/closed_auction/price/#text" in
+  let in_domain_ms =
+    time_median ~runs:5 (fun () ->
+        ignore
+          (Xquec_core.Physical.cardinality
+             (Xquec_core.Physical.cont_access_range repo prices.Storage.Container.id
+                ~lo:"100.00" ())))
+  in
+  let scan_ms =
+    time_median ~runs:5 (fun () ->
+        let n = ref 0 in
+        Array.iter
+          (fun (r : Storage.Container.record) ->
+            match float_of_string_opt (Storage.Container.decompress_record prices r) with
+            | Some v when v >= 100.0 -> incr n
+            | _ -> ())
+          (Storage.Container.scan prices);
+        ignore !n)
+  in
+  Fmt.pr "(c) price >= 100 over %d records: compressed-domain range %.4f ms, \
+          scan+decompress %.3f ms (%.0fx)@."
+    (Storage.Container.length prices) in_domain_ms scan_ms (scan_ms /. in_domain_ms);
+
+  (* (d) summary access vs structure scan *)
+  let summary_ms =
+    time_median ~runs:5 (fun () ->
+        ignore (Xquec_core.Executor.run_string repo "count(document(\"auction.xml\")//item)"))
+  in
+  let tree = repo.Storage.Repository.tree in
+  let code = Option.get (Storage.Name_dict.code repo.Storage.Repository.dict "item") in
+  let nav_ms =
+    time_median ~runs:3 (fun () ->
+        let n = ref 0 in
+        for id = 0 to Storage.Structure_tree.node_count tree - 1 do
+          if Storage.Structure_tree.tag tree id = code then incr n
+        done;
+        ignore !n)
+  in
+  Fmt.pr "(d) //item count: structure-summary access %.4f ms, full structure scan %.3f ms@."
+    summary_ms nav_ms;
+
+  (* (e) 3-valued structural ids vs parent-chain walks *)
+  let items = Xquec_core.Executor.run_string repo "document(\"auction.xml\")/site/regions//item" in
+  let item_ids =
+    List.filter_map (function Xquec_core.Executor.Node id -> Some id | _ -> None) items
+  in
+  let regions_id =
+    match Xquec_core.Executor.run_string repo "document(\"auction.xml\")/site/regions" with
+    | [ Xquec_core.Executor.Node id ] -> id
+    | _ -> 0
+  in
+  let structural_ms =
+    time_median ~runs:5 (fun () ->
+        List.iter
+          (fun id ->
+            ignore (Storage.Structure_tree.is_ancestor tree ~ancestor:regions_id ~descendant:id))
+          item_ids)
+  in
+  let walk_ms =
+    time_median ~runs:5 (fun () ->
+        List.iter
+          (fun id ->
+            let rec up i =
+              i = regions_id || (i >= 0 && up (Storage.Structure_tree.parent tree i))
+            in
+            ignore (up id))
+          item_ids)
+  in
+  Fmt.pr "(e) %d ancestor checks: (pre,post) structural ids %.4f ms, parent-chain walks %.4f ms@."
+    (List.length item_ids) structural_ms walk_ms
+
+(* ------------------------------------------------------------------ *)
+(* Extensions beyond the paper's own experiments                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper could not compare query times against XGrind/XPRESS ("fully
+   working versions ... are not publicly available", §5); our
+   reimplementations make the comparison possible. It quantifies §1.2's
+   point: the homomorphic systems' fixed top-down scan pays the whole
+   document on every query, while XQueC's ContAccess is selective. *)
+let homomorphic_scan () =
+  header "Extension: selective query, XQueC vs the homomorphic systems";
+  let xml = Lazy.force xmark_doc in
+  let engine = Lazy.force xmark_engine in
+  let (xg, xg_build) = time (fun () -> Baselines.Xgrind.compress xml) in
+  let (xp, xp_build) = time (fun () -> Baselines.Xpress.compress xml) in
+  Fmt.pr "(compressors built in %.0f / %.0f ms)@." xg_build xp_build;
+  (* Q1-style exact match: person0's name *)
+  let xquec_ms =
+    time_median (fun () ->
+        ignore
+          (Xquec_core.Engine.query_serialized engine
+             (Xmark.Queries.by_id "Q1").Xmark.Queries.text))
+  in
+  let xgrind_ms =
+    time_median (fun () ->
+        ignore
+          (Baselines.Xgrind.query_exact xg ~target_path:"site/people/person/name/#text"
+             ~pred_path:"site/people/person/@id" ~value:"person0"))
+  in
+  (* XPRESS: fetch one location path (its native query class) *)
+  let xpress_ms =
+    time_median (fun () ->
+        ignore
+          (Baselines.Xpress.query_path xp [ "site"; "regions"; "europe"; "item"; "location" ]))
+  in
+  Fmt.pr "%-42s %10s@." "system / query" "time(ms)";
+  rule ();
+  Fmt.pr "%-42s %10.3f@." "XQueC: Q1 exact match (ContAccess)" xquec_ms;
+  Fmt.pr "%-42s %10.1f@." "XGrind: exact match (full-stream scan)" xgrind_ms;
+  Fmt.pr "%-42s %10.1f@." "XPRESS: path query (full-stream scan)" xpress_ms;
+  Fmt.pr "the homomorphic systems scan the whole compressed document per query;@.";
+  Fmt.pr "XQueC's summary + containers touch only the data the query needs (Fig. 4).@."
+
+(* Measured codec characteristics, validating the d_c constants the §3.2
+   cost model uses (the paper: "ALM decompresses faster than Huffman,
+   since it outputs bigger portions of a string at a time"). *)
+let codec_costs () =
+  header "Extension: measured codec characteristics (cost-model inputs)";
+  let rng = Xmark.Rng.of_int 3 in
+  let values =
+    List.init 4000 (fun _ ->
+        String.concat " "
+          (List.init (6 + Xmark.Rng.int rng 10) (fun _ ->
+               Xmark.Rng.pick rng Xmark.Wordpool.shakespeare)))
+  in
+  let plain = List.fold_left (fun a v -> a + String.length v) 0 values in
+  Fmt.pr "%d values, %d KB of text@." (List.length values) (plain / 1024);
+  Fmt.pr "%-12s %10s %12s %14s %6s@." "codec" "ratio" "model(B)" "decomp(MB/s)" "d_c";
+  rule ();
+  List.iter
+    (fun alg ->
+      match Compress.Codec.train alg values with
+      | exception Compress.Codec.Unsupported _ -> ()
+      | model ->
+        let codes = List.map (Compress.Codec.compress model) values in
+        let compressed = List.fold_left (fun a c -> a + String.length c) 0 codes in
+        let ms =
+          time_median ~runs:3 (fun () ->
+              List.iter (fun c -> ignore (Compress.Codec.decompress model c)) codes)
+        in
+        let mbps = float_of_int plain /. 1048576.0 /. (ms /. 1000.0) in
+        Fmt.pr "%-12s %9.2f%% %12d %14.1f %6.1f@."
+          (Compress.Codec.algorithm_name alg)
+          (100.0 *. (1.0 -. (float_of_int compressed /. float_of_int plain)))
+          (Compress.Codec.model_size model)
+          mbps
+          (Compress.Codec.decompression_cost alg))
+    Compress.Codec.all_algorithms
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig6_left", fig6_left);
+    ("fig6_right", fig6_right);
+    ("fig7", fig7);
+    ("q8_q9", q8_q9);
+    ("storage_occupancy", storage_occupancy);
+    ("partitioning_gain", partitioning_gain);
+    ("ablations", ablations);
+    ("homomorphic_scan", homomorphic_scan);
+    ("codec_costs", codec_costs);
+  ]
+
+let () =
+  let selected = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse_args rest
+    | "--fig6-scales" :: v :: rest ->
+      fig6_scales := List.map float_of_string (String.split_on_char ',' v);
+      parse_args rest
+    | name :: rest ->
+      if List.mem_assoc name experiments then selected := name :: !selected
+      else begin
+        Fmt.epr "unknown experiment %S; available: %s@." name
+          (String.concat ", " (List.map fst experiments));
+        exit 1
+      end;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let to_run = match List.rev !selected with [] -> List.map fst experiments | l -> l in
+  Fmt.pr "XQueC benchmark harness (XMark scale %.2g)@." !scale;
+  List.iter (fun name -> (List.assoc name experiments) ()) to_run;
+  Fmt.pr "@.done.@."

@@ -1,0 +1,197 @@
+(* Command-line interface to XQueC: compress / decompress / query /
+   inspect, plus the synthetic document generators. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_workload = function
+  | None -> None
+  | Some path ->
+    (* one query per stanza; stanzas separated by lines containing ';;' *)
+    let body = read_file path in
+    let stanzas =
+      String.split_on_char '\n' body
+      |> List.fold_left
+           (fun (acc, cur) line ->
+             if String.trim line = ";;" then (List.rev cur :: acc, [])
+             else (acc, line :: cur))
+           ([], [])
+      |> fun (acc, cur) -> List.rev (List.rev cur :: acc)
+    in
+    let queries =
+      List.filter_map
+        (fun lines ->
+          let q = String.trim (String.concat "\n" lines) in
+          if q = "" then None else Some q)
+        stanzas
+    in
+    if queries = [] then None else Some queries
+
+(* --- compress ------------------------------------------------------- *)
+
+let compress_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xml") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.xqc")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "w"; "workload" ] ~docv:"QUERIES"
+          ~doc:"File of XQuery queries (separated by lines containing ';;') used to choose \
+                the compression configuration (paper §3).")
+  in
+  let run input output workload =
+    let xml = read_file input in
+    let name = Filename.basename input in
+    let engine = Xquec_core.Engine.load ~name ?workload:(read_workload workload) xml in
+    let out = Option.value ~default:(input ^ ".xqc") output in
+    write_file out (Xquec_core.Engine.save engine);
+    let sz = Xquec_core.Engine.size_breakdown engine in
+    Fmt.pr "%s: %d bytes -> %d bytes (compression factor %.2f%%)@." input
+      (String.length xml) sz.Storage.Repository.total_bytes
+      (100.0 *. Xquec_core.Engine.compression_factor engine);
+    (match engine.Xquec_core.Engine.partitioning with
+    | Some r ->
+      Fmt.pr "workload-driven configuration: cost %.0f -> %.0f over %d sets@."
+        r.Xquec_core.Partitioner.initial_cost r.Xquec_core.Partitioner.final_cost
+        (List.length r.Xquec_core.Partitioner.configuration.Xquec_core.Cost_model.sets)
+    | None -> ());
+    Fmt.pr "wrote %s@." out
+  in
+  Cmd.v (Cmd.info "compress" ~doc:"Compress an XML document into a queryable repository")
+    Term.(const run $ input $ output $ workload)
+
+(* --- decompress ----------------------------------------------------- *)
+
+let decompress_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.xml") in
+  let run input output =
+    let engine = Xquec_core.Engine.restore (read_file input) in
+    let xml = Xquec_core.Engine.to_xml engine in
+    match output with
+    | Some out ->
+      write_file out xml;
+      Fmt.pr "wrote %s (%d bytes)@." out (String.length xml)
+    | None -> print_string xml
+  in
+  Cmd.v (Cmd.info "decompress" ~doc:"Reconstruct the XML document from a repository")
+    Term.(const run $ input $ output)
+
+(* --- query ---------------------------------------------------------- *)
+
+let query_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
+  let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
+  let timing = Arg.(value & flag & info [ "t"; "time" ] ~doc:"Print the evaluation time.") in
+  let run input query timing =
+    let engine = Xquec_core.Engine.restore (read_file input) in
+    let t0 = Unix.gettimeofday () in
+    let result = Xquec_core.Engine.query_serialized engine query in
+    let dt = Unix.gettimeofday () -. t0 in
+    print_endline result;
+    if timing then Fmt.epr "query evaluated in %.1f ms@." (1000.0 *. dt)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Evaluate an XQuery expression over a compressed repository (results are \
+             decompressed only for output)")
+    Term.(const run $ input $ query $ timing)
+
+(* --- explain -------------------------------------------------------- *)
+
+let explain_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
+  let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
+  let run input query =
+    let engine = Xquec_core.Engine.restore (read_file input) in
+    print_endline (Xquec_core.Optimizer.explain_string (Xquec_core.Engine.repo engine) query)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the evaluation strategy for a query: summary accesses,              compressed-domain pushdowns, join methods, decorrelations")
+    Term.(const run $ input $ query)
+
+(* --- stats ---------------------------------------------------------- *)
+
+let stats_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
+  let run input =
+    let engine = Xquec_core.Engine.restore (read_file input) in
+    let repo = Xquec_core.Engine.repo engine in
+    let sz = Xquec_core.Engine.size_breakdown engine in
+    Fmt.pr "source:              %s (%d bytes)@." repo.Storage.Repository.source_name
+      repo.Storage.Repository.original_size;
+    Fmt.pr "compression factor:  %.2f%%@." (100.0 *. Xquec_core.Engine.compression_factor engine);
+    Fmt.pr "structure tree:      %d bytes (%d nodes)@." sz.Storage.Repository.tree_bytes
+      (Storage.Structure_tree.node_count repo.Storage.Repository.tree);
+    Fmt.pr "value containers:    %d bytes (%d containers)@."
+      sz.Storage.Repository.containers_bytes
+      (Array.length repo.Storage.Repository.containers);
+    Fmt.pr "source models:       %d bytes@." sz.Storage.Repository.models_bytes;
+    Fmt.pr "structure summary:   %d bytes (%d paths)@." sz.Storage.Repository.summary_bytes
+      (Storage.Summary.node_count repo.Storage.Repository.summary);
+    Fmt.pr "B+ index:            %d bytes@." sz.Storage.Repository.btree_bytes;
+    Fmt.pr "name dictionary:     %d bytes (%d names, %d bits/code)@."
+      sz.Storage.Repository.name_dict_bytes
+      (Storage.Name_dict.size repo.Storage.Repository.dict)
+      (Storage.Name_dict.bits_per_code repo.Storage.Repository.dict);
+    Fmt.pr "containers by algorithm:@.";
+    let by_alg = Hashtbl.create 8 in
+    Array.iter
+      (fun (c : Storage.Container.t) ->
+        let k = Compress.Codec.algorithm_name c.Storage.Container.algorithm in
+        Hashtbl.replace by_alg k (1 + Option.value ~default:0 (Hashtbl.find_opt by_alg k)))
+      repo.Storage.Repository.containers;
+    Hashtbl.iter (fun k v -> Fmt.pr "  %-10s %d@." k v) by_alg
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Show the storage breakdown of a repository")
+    Term.(const run $ input)
+
+(* --- generate ------------------------------------------------------- *)
+
+let generate_cmd =
+  let dataset =
+    Arg.(
+      value
+      & opt (enum [ ("xmark", `Xmark); ("shakespeare", `Shak); ("course", `Course); ("baseball", `Base) ]) `Xmark
+      & info [ "d"; "dataset" ] ~docv:"KIND")
+  in
+  let scale = Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~docv:"SCALE") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let output = Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.xml") in
+  let run dataset scale seed output =
+    let xml =
+      match dataset with
+      | `Xmark -> Xmark.Xmlgen.generate ~seed ~scale ()
+      | `Shak -> Xmark.Datasets.shakespeare ~seed ~scale ()
+      | `Course -> Xmark.Datasets.course ~seed ~scale ()
+      | `Base -> Xmark.Datasets.baseball ~seed ~scale ()
+    in
+    write_file output xml;
+    Fmt.pr "wrote %s (%d bytes)@." output (String.length xml)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic benchmark document")
+    Term.(const run $ dataset $ scale $ seed $ output)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "xquec" ~version:"1.0.0"
+             ~doc:"XQueC: an XQuery processor and compressor (EDBT 2004 reproduction)")
+          [ compress_cmd; decompress_cmd; query_cmd; explain_cmd; stats_cmd; generate_cmd ]))

@@ -1,0 +1,1 @@
+examples/auction_analytics.ml: Baselines Fmt List String Unix Xmark Xmlkit Xquec_core Xquery

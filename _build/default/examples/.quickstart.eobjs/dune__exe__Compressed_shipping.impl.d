@@ -1,0 +1,1 @@
+examples/compressed_shipping.ml: Fmt List String Xmark Xmlkit Xquec_core

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt String Xmlkit Xquec_core

@@ -1,0 +1,1 @@
+examples/workload_tuning.ml: Buffer Compress Cost_model Executor Fmt List Loader Optimizer Partitioner Printf Storage String Workload Xmark Xquec_core Xquery

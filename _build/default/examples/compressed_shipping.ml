@@ -1,0 +1,45 @@
+(* Compressed result shipping: the paper's third motivation — query
+   results can stay compressed until they reach the consumer, saving
+   bandwidth. A repository is built on the "server", saved, shipped,
+   restored on the "client", and queried there; only the final answer is
+   decompressed.
+
+   Run with:  dune exec examples/compressed_shipping.exe *)
+
+let () =
+  (* server side: compress the auction site *)
+  let xml = Xmark.Xmlgen.generate ~scale:0.4 () in
+  let server = Xquec_core.Engine.load ~name:"auction.xml" xml in
+  let wire = Xquec_core.Engine.save server in
+  Fmt.pr "server: document %d KB, shipped repository %d KB (%.1f%% saved)@."
+    (String.length xml / 1024) (String.length wire / 1024)
+    (100.0 *. (1.0 -. (float_of_int (String.length wire) /. float_of_int (String.length xml))));
+
+  (* client side: restore and query without ever seeing the raw XML *)
+  let client = Xquec_core.Engine.restore wire in
+  let queries =
+    [
+      ("cheap items", "count(document(\"auction.xml\")//item)");
+      ( "European locations",
+        "distinct-values(document(\"auction.xml\")/site/regions/europe/item/location/text())" );
+      ( "big spenders",
+        "for $p in document(\"auction.xml\")/site/people/person[profile/@income >= 80000] \
+         return $p/name/text()" );
+    ]
+  in
+  List.iter
+    (fun (label, q) ->
+      let r = Xquec_core.Engine.query_serialized client q in
+      let lines = String.split_on_char '\n' r in
+      Fmt.pr "@.client %s:@." label;
+      List.iteri (fun i l -> if i < 5 then Fmt.pr "  %s@." l) lines;
+      if List.length lines > 5 then Fmt.pr "  ... (%d more)@." (List.length lines - 5))
+    queries;
+
+  (* verify fidelity end to end *)
+  let back = Xquec_core.Engine.to_xml client in
+  Fmt.pr "@.client can reconstruct the document: %d KB, tree-equal %b@."
+    (String.length back / 1024)
+    (Xmlkit.Tree.equal
+       (Xmlkit.Parser.parse_string back).Xmlkit.Tree.root
+       (Xmlkit.Parser.parse_string xml).Xmlkit.Tree.root)

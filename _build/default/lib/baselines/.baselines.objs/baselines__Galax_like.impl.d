@@ -1,0 +1,1 @@
+lib/baselines/galax_like.ml: Ast Buffer Float Fmt Hashtbl List Option Parser Printer Printf String Tree Xmlkit Xquery

@@ -1,0 +1,1 @@
+lib/baselines/galax_like.mli: Tree Xmlkit Xquery

@@ -1,0 +1,1 @@
+lib/baselines/xgrind.ml: Array Buffer Compress Hashtbl List Sax String Xmlkit

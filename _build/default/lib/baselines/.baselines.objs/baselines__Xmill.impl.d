@@ -1,0 +1,1 @@
+lib/baselines/xmill.ml: Array Buffer Compress Escape Hashtbl List Sax String Xmlkit

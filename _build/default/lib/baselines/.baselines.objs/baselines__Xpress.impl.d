@@ -1,0 +1,1 @@
+lib/baselines/xpress.ml: Array Buffer Char Compress Float Hashtbl List Option Sax String Xmlkit

@@ -1,0 +1,240 @@
+(* XGrind-like compressor (Tolani & Haritsa, ICDE'02).
+
+   Homomorphic: the compressed document keeps the document's shape — tags
+   are dictionary-encoded and each value is Huffman-compressed in place
+   with a per-path source model (two passes). Querying is an extended SAX
+   scan of the whole compressed stream, supporting only exact-match and
+   prefix-match predicates in the compressed domain — no inequalities, no
+   joins (§1.2 of the XQueC paper). *)
+
+open Xmlkit
+
+type t = {
+  names : string array;
+  models : Compress.Huffman.model array;  (* per path *)
+  paths : string array;
+  stream : string;
+  original_size : int;
+}
+
+let op_open = '\001'
+let op_close = '\002'
+let op_text = '\003'
+let op_attr = '\004'
+
+let add_varint = Compress.Rle.add_varint
+let read_varint = Compress.Rle.read_varint
+
+let compress (xml : string) : t =
+  (* pass 1: per-path value pools to train the Huffman models *)
+  let pools : (string, int * string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let pool_order = ref [] in
+  let pool_for path =
+    match Hashtbl.find_opt pools path with
+    | Some (id, l) -> (id, l)
+    | None ->
+      let id = Hashtbl.length pools in
+      let l = ref [] in
+      Hashtbl.add pools path (id, l);
+      pool_order := path :: !pool_order;
+      (id, l)
+  in
+  let stack = ref [] in
+  let path () = String.concat "/" (List.rev !stack) in
+  Sax.parse_string xml ~f:(fun ev ->
+      match ev with
+      | Sax.Start_element (tag, attrs) ->
+        stack := tag :: !stack;
+        List.iter
+          (fun (n, v) ->
+            let (_, l) = pool_for (path () ^ "/@" ^ n) in
+            l := v :: !l)
+          attrs
+      | Sax.End_element _ -> stack := (match !stack with _ :: r -> r | [] -> [])
+      | Sax.Characters text ->
+        let (_, l) = pool_for (path () ^ "/#text") in
+        l := text :: !l);
+  let paths = Array.of_list (List.rev !pool_order) in
+  let models =
+    Array.map
+      (fun p ->
+        let (_, l) = Hashtbl.find pools p in
+        Compress.Huffman.train !l)
+      paths
+  in
+  (* pass 2: emit the homomorphic stream *)
+  let names = Hashtbl.create 64 in
+  let name_list = ref [] in
+  let intern n =
+    match Hashtbl.find_opt names n with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length names in
+      Hashtbl.add names n c;
+      name_list := n :: !name_list;
+      c
+  in
+  let out = Buffer.create (String.length xml / 2) in
+  let stack = ref [] in
+  let path () = String.concat "/" (List.rev !stack) in
+  let emit_value path v =
+    let (id, _) = pool_for path in
+    let coded = Compress.Huffman.compress models.(id) v in
+    add_varint out id;
+    add_varint out (String.length coded);
+    Buffer.add_string out coded
+  in
+  Sax.parse_string xml ~f:(fun ev ->
+      match ev with
+      | Sax.Start_element (tag, attrs) ->
+        Buffer.add_char out op_open;
+        add_varint out (intern tag);
+        stack := tag :: !stack;
+        List.iter
+          (fun (n, v) ->
+            Buffer.add_char out op_attr;
+            add_varint out (intern ("@" ^ n));
+            emit_value (path () ^ "/@" ^ n) v)
+          attrs
+      | Sax.End_element _ ->
+        Buffer.add_char out op_close;
+        stack := (match !stack with _ :: r -> r | [] -> [])
+      | Sax.Characters text ->
+        Buffer.add_char out op_text;
+        emit_value (path () ^ "/#text") text);
+  {
+    names = Array.of_list (List.rev !name_list);
+    models;
+    paths;
+    stream = Buffer.contents out;
+    original_size = String.length xml;
+  }
+
+let compressed_size (t : t) : int =
+  String.length t.stream
+  + (Array.length t.models * Compress.Huffman.symbol_count)
+  + Array.fold_left (fun acc n -> acc + String.length n + 2) 0 t.names
+  + Array.fold_left (fun acc p -> acc + String.length p + 2) 0 t.paths
+
+let compression_factor (t : t) =
+  1.0 -. (float_of_int (compressed_size t) /. float_of_int t.original_size)
+
+(* --- The extended-SAX query interface ------------------------------ *)
+
+type event =
+  | Start of string * int         (* tag, depth *)
+  | End of string * int
+  | Value of string * int * string (* path-pool path, pool id, compressed code *)
+
+(** Scan the whole compressed stream (the fixed top-down strategy the
+    XQueC paper criticizes) feeding events to [f]. *)
+let scan (t : t) ~(f : event -> unit) : unit =
+  let pos = ref 0 in
+  let depth = ref 0 in
+  let stack = ref [] in
+  let n = String.length t.stream in
+  while !pos < n do
+    let op = t.stream.[!pos] in
+    incr pos;
+    if op = op_open then begin
+      let (code, p) = read_varint t.stream !pos in
+      pos := p;
+      let tag = t.names.(code) in
+      incr depth;
+      stack := tag :: !stack;
+      f (Start (tag, !depth))
+    end
+    else if op = op_close then begin
+      (match !stack with
+      | tag :: rest ->
+        f (End (tag, !depth));
+        stack := rest
+      | [] -> invalid_arg "Xgrind: unbalanced stream");
+      decr depth
+    end
+    else if op = op_attr then begin
+      let (code, p) = read_varint t.stream !pos in
+      let (pid, p) = read_varint t.stream p in
+      let (len, p) = read_varint t.stream p in
+      let coded = String.sub t.stream p len in
+      pos := p + len;
+      let name = t.names.(code) in
+      f (Start (name, !depth + 1));
+      f (Value (t.paths.(pid), pid, coded));
+      f (End (name, !depth + 1))
+    end
+    else if op = op_text then begin
+      let (pid, p) = read_varint t.stream !pos in
+      let (len, p) = read_varint t.stream p in
+      let coded = String.sub t.stream p len in
+      pos := p + len;
+      f (Value (t.paths.(pid), pid, coded))
+    end
+    else invalid_arg "Xgrind: bad opcode"
+  done
+
+let decompress_value (t : t) pid coded = Compress.Huffman.decompress t.models.(pid) coded
+
+(** Exact-match query in the compressed domain: decompressed text values
+    of nodes at [target_path] whose sibling value at [pred_path] equals
+    [value]. [pred_path] and [target_path] are full slash-joined paths as
+    produced by the loader (e.g. "site/people/person/name/#text").
+    The whole stream is scanned; the constant is compressed once per
+    model and compared byte-wise — XGrind's only fast path. *)
+let query_exact (t : t) ~(target_path : string) ~(pred_path : string) ~(value : string) :
+    string list =
+  let target_prefix =
+    (* element path of the target value's parent *)
+    match String.rindex_opt target_path '/' with
+    | Some i -> String.sub target_path 0 i
+    | None -> target_path
+  in
+  let pred_prefix =
+    match String.rindex_opt pred_path '/' with
+    | Some i -> String.sub pred_path 0 i
+    | None -> pred_path
+  in
+  (* common ancestor element path of predicate and target *)
+  let common =
+    let rec go a b =
+      if String.length a <= String.length b
+         && (String.length b = String.length a || b.[String.length a] = '/')
+         && String.sub b 0 (String.length a) = a
+      then a
+      else
+        match String.rindex_opt a '/' with
+        | Some i -> go (String.sub a 0 i) b
+        | None -> ""
+    in
+    go target_prefix pred_prefix
+  in
+  let compressed_consts = Hashtbl.create 4 in
+  let const_for pid =
+    match Hashtbl.find_opt compressed_consts pid with
+    | Some c -> c
+    | None ->
+      let c = Compress.Huffman.compress t.models.(pid) value in
+      Hashtbl.add compressed_consts pid c;
+      c
+  in
+  let depth_of p = List.length (String.split_on_char '/' p) in
+  let common_depth = depth_of common in
+  let results = ref [] in
+  let group_matched = ref false in
+  let group_targets = ref [] in
+  let flush () =
+    if !group_matched then results := List.rev_append !group_targets !results;
+    group_matched := false;
+    group_targets := []
+  in
+  scan t ~f:(fun ev ->
+      match ev with
+      | Start (_, d) -> if d = common_depth then flush ()
+      | End (_, d) -> if d = common_depth then flush ()
+      | Value (path, pid, coded) ->
+        if String.equal path pred_path && Compress.Huffman.equal_compressed coded (const_for pid)
+        then group_matched := true;
+        if String.equal path target_path then
+          group_targets := decompress_value t pid coded :: !group_targets);
+  flush ();
+  List.rev !results

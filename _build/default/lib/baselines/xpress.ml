@@ -1,0 +1,300 @@
+(* XPRESS-like compressor (Min, Park & Chung, SIGMOD'03).
+
+   Two signature techniques are reproduced:
+   - reverse arithmetic encoding (RAE): every label path maps to a
+     sub-interval of [0,1), nested so that the interval of a path is
+     contained in the interval of each of its suffixes — a path query
+     //a/b becomes a single interval-containment test per element;
+   - type inference per element name: numeric values get an
+     order-preserving packed encoding, small string domains a dictionary
+     code, everything else per-name Huffman.
+   Like XGrind the result is homomorphic and queried by a fixed top-down
+   scan of the whole stream. *)
+
+open Xmlkit
+
+type value_codec =
+  | V_num of Compress.Ipack.model
+  | V_dict of string array * (string, int) Hashtbl.t
+  | V_huff of Compress.Huffman.model
+
+type t = {
+  names : string array;
+  tag_intervals : (float * float) array; (* RAE base interval per tag *)
+  codecs : value_codec array;            (* per element/attribute name *)
+  stream : string;
+  original_size : int;
+}
+
+let op_open = '\001'
+let op_close = '\002'
+let op_text = '\003'
+let op_attr = '\004'
+
+let add_varint = Compress.Rle.add_varint
+let read_varint = Compress.Rle.read_varint
+
+(* RAE: the interval of a path t1/../tn is computed from the tag's base
+   interval narrowed by the parent path's interval. *)
+let refine (tmin, tmax) (pmin, pmax) =
+  let w = tmax -. tmin in
+  (tmin +. (w *. pmin), tmin +. (w *. pmax))
+
+let root_interval = (0.0, 1.0)
+
+let choose_codec (values : string list) : value_codec =
+  match Compress.Ipack.train values with
+  | m -> V_num m
+  | exception Compress.Ipack.Unsupported _ ->
+    let distinct = List.sort_uniq String.compare values in
+    let n = List.length distinct in
+    if n <= 255 && n * 16 < List.length values then begin
+      let arr = Array.of_list distinct in
+      let tbl = Hashtbl.create n in
+      Array.iteri (fun i v -> Hashtbl.add tbl v i) arr;
+      V_dict (arr, tbl)
+    end
+    else V_huff (Compress.Huffman.train values)
+
+let encode_value codec v =
+  match codec with
+  | V_num m -> Compress.Ipack.compress m v
+  | V_dict (_, tbl) -> String.make 1 (Char.chr (Hashtbl.find tbl v))
+  | V_huff m -> Compress.Huffman.compress m v
+
+let decode_value codec coded =
+  match codec with
+  | V_num m -> Compress.Ipack.decompress m coded
+  | V_dict (arr, _) -> arr.(Char.code coded.[0])
+  | V_huff m -> Compress.Huffman.decompress m coded
+
+let compress (xml : string) : t =
+  (* pass 1: tag frequencies and per-name value pools *)
+  let tag_freq : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let pools : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl k =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> incr r
+    | None -> Hashtbl.add tbl k (ref 1)
+  in
+  let pool name v =
+    match Hashtbl.find_opt pools name with
+    | Some l -> l := v :: !l
+    | None -> Hashtbl.add pools name (ref [ v ])
+  in
+  let stack = ref [] in
+  Sax.parse_string xml ~f:(fun ev ->
+      match ev with
+      | Sax.Start_element (tag, attrs) ->
+        bump tag_freq tag;
+        stack := tag :: !stack;
+        List.iter
+          (fun (n, v) ->
+            bump tag_freq ("@" ^ n);
+            pool ("@" ^ n) v)
+          attrs
+      | Sax.End_element _ -> stack := (match !stack with _ :: r -> r | [] -> [])
+      | Sax.Characters text -> (
+        match !stack with
+        | tag :: _ -> pool tag text
+        | [] -> ()));
+  let names =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tag_freq [] |> List.sort String.compare |> Array.of_list
+  in
+  let name_code = Hashtbl.create 64 in
+  Array.iteri (fun i n -> Hashtbl.add name_code n i) names;
+  let total = Hashtbl.fold (fun _ r acc -> acc + !r) tag_freq 0 in
+  let tag_intervals =
+    let acc = ref 0.0 in
+    Array.map
+      (fun n ->
+        let f = float_of_int !(Hashtbl.find tag_freq n) /. float_of_int total in
+        let lo = !acc in
+        acc := !acc +. f;
+        (lo, !acc))
+      names
+  in
+  let codecs =
+    Array.map
+      (fun n ->
+        match Hashtbl.find_opt pools n with
+        | Some l -> choose_codec !l
+        | None -> V_huff (Compress.Huffman.train []))
+      names
+  in
+  (* pass 2: emit stream; element open records the quantized RAE interval
+     minimum of its path (6 bytes), enabling suffix-path tests *)
+  let out = Buffer.create (String.length xml / 2) in
+  let interval_stack = ref [ root_interval ] in
+  let tag_stack = ref [] in
+  let quantize x = int_of_float (x *. 281474976710655.0) in
+  let emit_value name v =
+    let code = Hashtbl.find name_code name in
+    let coded = encode_value codecs.(code) v in
+    add_varint out (String.length coded);
+    Buffer.add_string out coded
+  in
+  Sax.parse_string xml ~f:(fun ev ->
+      match ev with
+      | Sax.Start_element (tag, attrs) ->
+        let code = Hashtbl.find name_code tag in
+        let parent = List.hd !interval_stack in
+        let itv = refine tag_intervals.(code) parent in
+        interval_stack := itv :: !interval_stack;
+        tag_stack := tag :: !tag_stack;
+        Buffer.add_char out op_open;
+        add_varint out code;
+        let q = quantize (fst itv) in
+        for shift = 5 downto 0 do
+          Buffer.add_char out (Char.chr ((q lsr (8 * shift)) land 0xff))
+        done;
+        List.iter
+          (fun (n, v) ->
+            Buffer.add_char out op_attr;
+            add_varint out (Hashtbl.find name_code ("@" ^ n));
+            emit_value ("@" ^ n) v)
+          attrs
+      | Sax.End_element _ ->
+        Buffer.add_char out op_close;
+        interval_stack := List.tl !interval_stack;
+        tag_stack := List.tl !tag_stack
+      | Sax.Characters text -> (
+        match !tag_stack with
+        | tag :: _ ->
+          Buffer.add_char out op_text;
+          emit_value tag text
+        | [] -> ()));
+  { names; tag_intervals; codecs; stream = Buffer.contents out; original_size = String.length xml }
+
+let codec_size = function
+  | V_num m -> Compress.Ipack.model_size m
+  | V_dict (arr, _) -> Array.fold_left (fun acc v -> acc + String.length v + 1) 2 arr
+  | V_huff m -> Compress.Huffman.model_size m
+
+let compressed_size (t : t) : int =
+  String.length t.stream
+  + Array.fold_left (fun acc n -> acc + String.length n + 2 + 12) 0 t.names
+  + Array.fold_left (fun acc c -> acc + codec_size c) 0 t.codecs
+
+let compression_factor (t : t) =
+  1.0 -. (float_of_int (compressed_size t) /. float_of_int t.original_size)
+
+(* --- Querying ------------------------------------------------------- *)
+
+(** RAE query interval for a simple path (last tag refined by ancestors):
+    an element matches path suffix t1/../tn iff its stored interval
+    minimum falls inside. *)
+let path_interval (t : t) (tags : string list) : (float * float) option =
+  let code n = Array.to_list t.names |> List.find_index (fun x -> String.equal x n) in
+  let rec go = function
+    | [] -> Some root_interval
+    | tag :: rest -> (
+      match go rest, code tag with
+      | Some parent, Some c -> Some (refine t.tag_intervals.(c) parent)
+      | _ -> None)
+  in
+  (* reverse arithmetic: process labels from the last one outwards *)
+  go (List.rev tags)
+
+type event =
+  | Start of string * float   (* tag, quantized path-interval min *)
+  | End of string
+  | Value of string * string  (* name, compressed code *)
+
+let scan (t : t) ~(f : event -> unit) : unit =
+  let pos = ref 0 in
+  let n = String.length t.stream in
+  let stack = ref [] in
+  while !pos < n do
+    let op = t.stream.[!pos] in
+    incr pos;
+    if op = op_open then begin
+      let (code, p) = read_varint t.stream !pos in
+      let q = ref 0 in
+      for i = 0 to 5 do
+        q := (!q lsl 8) lor Char.code t.stream.[p + i]
+      done;
+      pos := p + 6;
+      let tag = t.names.(code) in
+      stack := tag :: !stack;
+      f (Start (tag, float_of_int !q /. 281474976710655.0))
+    end
+    else if op = op_close then begin
+      (match !stack with
+      | tag :: rest ->
+        f (End tag);
+        stack := rest
+      | [] -> invalid_arg "Xpress: unbalanced stream");
+    end
+    else if op = op_attr then begin
+      let (code, p) = read_varint t.stream !pos in
+      let (len, p) = read_varint t.stream p in
+      let coded = String.sub t.stream p len in
+      pos := p + len;
+      f (Value (t.names.(code), coded))
+    end
+    else if op = op_text then begin
+      let (len, p) = read_varint t.stream !pos in
+      let coded = String.sub t.stream p len in
+      pos := p + len;
+      match !stack with
+      | tag :: _ -> f (Value (tag, coded))
+      | [] -> ()
+    end
+    else invalid_arg "Xpress: bad opcode"
+  done
+
+(** Path query with optional numeric range predicate on the matched
+    element's value — XPRESS's headline capability. Scans the whole
+    stream; the interval test runs per element in the compressed domain. *)
+let query_path (t : t) ?(range : (float option * float option) option)
+    (tags : string list) : string list =
+  match path_interval t tags with
+  | None -> []
+  | Some (lo, hi) ->
+    (* quantize the bound exactly as stored interval minima are *)
+    let lo = Float.of_int (int_of_float (lo *. 281474976710655.0)) /. 281474976710655.0 in
+    let name_of_last = List.nth tags (List.length tags - 1) in
+    let codec =
+      Array.to_list t.names
+      |> List.find_index (fun x -> String.equal x name_of_last)
+      |> Option.map (fun i -> t.codecs.(i))
+    in
+    let in_range v =
+      match range, codec with
+      | None, _ -> true
+      | Some (rlo, rhi), Some (V_num m) -> (
+        match float_of_string_opt (Compress.Ipack.decompress m (encode_value (V_num m) v)) with
+        | Some x ->
+          (match rlo with None -> true | Some b -> x >= b)
+          && (match rhi with None -> true | Some b -> x <= b)
+        | None -> false)
+      | Some (rlo, rhi), _ -> (
+        match float_of_string_opt v with
+        | Some x ->
+          (match rlo with None -> true | Some b -> x >= b)
+          && (match rhi with None -> true | Some b -> x <= b)
+        | None -> false)
+    in
+    let results = ref [] in
+    let matched_depth = ref [] in
+    scan t ~f:(fun ev ->
+        match ev with
+        | Start (_, q) -> matched_depth := (q >= lo && q < hi) :: !matched_depth
+        | End _ -> matched_depth := List.tl !matched_depth
+        | Value (name, coded) ->
+          if String.equal name name_of_last
+             && (match !matched_depth with m :: _ -> m | [] -> false)
+          then begin
+            let codec =
+              Array.to_list t.names
+              |> List.find_index (fun x -> String.equal x name)
+              |> Option.map (fun i -> t.codecs.(i))
+            in
+            match codec with
+            | Some c ->
+              let v = decode_value c coded in
+              if in_range v then results := v :: !results
+            | None -> ()
+          end);
+    List.rev !results

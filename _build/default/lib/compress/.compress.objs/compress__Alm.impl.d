@@ -1,0 +1,1 @@
+lib/compress/alm.ml: Array Bitio Buffer Char Hashtbl List Option String

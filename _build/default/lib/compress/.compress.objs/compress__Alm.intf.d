@@ -1,0 +1,1 @@
+lib/compress/alm.mli:

@@ -1,0 +1,1 @@
+lib/compress/arith.ml: Array Bitio Buffer Char List String

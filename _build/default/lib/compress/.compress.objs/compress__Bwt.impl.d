@@ -1,0 +1,1 @@
+lib/compress/bwt.ml: Array Bytes Char String

@@ -1,0 +1,1 @@
+lib/compress/bzip.ml: Buffer Bwt Char Huffman Mtf Printf Rle String

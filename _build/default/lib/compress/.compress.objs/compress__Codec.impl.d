@@ -1,0 +1,1 @@
+lib/compress/codec.ml: Alm Arith Bzip Hu_tucker Huffman Ipack String

@@ -1,0 +1,1 @@
+lib/compress/codec.mli: Alm Arith Hu_tucker Huffman Ipack

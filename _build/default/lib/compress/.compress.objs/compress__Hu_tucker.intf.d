@@ -1,0 +1,1 @@
+lib/compress/hu_tucker.mli:

@@ -1,0 +1,1 @@
+lib/compress/ipack.ml: Char Float List Printf String

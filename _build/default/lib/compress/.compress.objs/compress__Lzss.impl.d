@@ -1,0 +1,1 @@
+lib/compress/lzss.ml: Array Bitio Buffer Char Rle String

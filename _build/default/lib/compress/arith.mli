@@ -1,0 +1,30 @@
+(** Static arithmetic coding (integer Witten-Neal-Cleary) — the third
+    order-preserving candidate of the paper's §2.1.
+
+    The cumulative-frequency table lists symbols in alphabetical order
+    (end-of-string first), so the code maps strings to disjoint
+    sub-intervals of [0,1) in lexicographic order: byte comparison of
+    zero-padded code strings coincides with plaintext comparison. *)
+
+type model
+
+exception Corrupt of string
+
+val symbol_count : int
+
+val of_freqs : int array -> model
+
+val train : string list -> model
+
+val compress : model -> string -> string
+
+val decompress : model -> string -> string
+
+(** Order-preserving: compare compressed values directly. *)
+val compare_compressed : string -> string -> int
+
+val serialize_model : model -> string
+
+val deserialize_model : string -> model
+
+val model_size : model -> int

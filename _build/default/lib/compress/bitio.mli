@@ -1,0 +1,41 @@
+(** Bit-level I/O shared by all codecs.
+
+    Bits are written most-significant-first within each byte, so the
+    byte-string comparison of two zero-padded bit streams coincides with
+    the bit-sequence comparison — the property all order-preserving
+    codecs in this library rely on. *)
+
+module Writer : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+
+  val add_bit : t -> bool -> unit
+
+  (** [add_bits w v width] writes the [width] low bits of [v], most
+      significant first. *)
+  val add_bits : t -> int -> int -> unit
+
+  (** Number of bits written so far. *)
+  val bit_length : t -> int
+
+  (** Zero-pad to a byte boundary and return the bytes. *)
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Out_of_bits
+
+  val of_string : string -> t
+
+  val bits_remaining : t -> int
+
+  val read_bit : t -> bool
+
+  val read_bits : t -> int -> int
+end
+
+(** Number of bits needed to represent values in [0, n-1]; at least 1. *)
+val width_for : int -> int

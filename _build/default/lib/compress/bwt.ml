@@ -1,0 +1,64 @@
+(* Burrows-Wheeler transform over cyclic rotations, using prefix-doubling
+   rank sort (O(n log² n)) so adversarial inputs (long runs) stay fast. *)
+
+type t = { data : string; primary : int }
+
+let transform (s : string) : t =
+  let n = String.length s in
+  if n = 0 then { data = ""; primary = 0 }
+  else begin
+    let sa = Array.init n (fun i -> i) in
+    let rank = Array.init n (fun i -> Char.code s.[i]) in
+    let tmp = Array.make n 0 in
+    let k = ref 1 in
+    let continue = ref true in
+    while !continue && !k < n do
+      let key i = (rank.(i), rank.((i + !k) mod n)) in
+      Array.sort (fun a b -> compare (key a) (key b)) sa;
+      tmp.(sa.(0)) <- 0;
+      for i = 1 to n - 1 do
+        tmp.(sa.(i)) <-
+          (tmp.(sa.(i - 1)) + if key sa.(i) = key sa.(i - 1) then 0 else 1)
+      done;
+      Array.blit tmp 0 rank 0 n;
+      if rank.(sa.(n - 1)) = n - 1 then continue := false;
+      k := !k * 2
+    done;
+    let primary = ref 0 in
+    let out =
+      String.init n (fun i ->
+          let rot = sa.(i) in
+          if rot = 0 then primary := i;
+          s.[(rot + n - 1) mod n])
+    in
+    { data = out; primary = !primary }
+  end
+
+let inverse (t : t) : string =
+  let n = String.length t.data in
+  if n = 0 then ""
+  else begin
+    (* LF mapping via counting sort of the last column. *)
+    let counts = Array.make 256 0 in
+    String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) t.data;
+    let starts = Array.make 256 0 in
+    let acc = ref 0 in
+    for c = 0 to 255 do
+      starts.(c) <- !acc;
+      acc := !acc + counts.(c)
+    done;
+    let lf = Array.make n 0 in
+    let seen = Array.make 256 0 in
+    for i = 0 to n - 1 do
+      let c = Char.code t.data.[i] in
+      lf.(i) <- starts.(c) + seen.(c);
+      seen.(c) <- seen.(c) + 1
+    done;
+    let out = Bytes.create n in
+    let row = ref t.primary in
+    for i = n - 1 downto 0 do
+      Bytes.set out i t.data.[!row];
+      row := lf.(!row)
+    done;
+    Bytes.to_string out
+  end

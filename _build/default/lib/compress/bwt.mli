@@ -1,0 +1,8 @@
+(** Burrows-Wheeler transform over cyclic rotations (prefix-doubling
+    sort, O(n log^2 n)). *)
+
+type t = { data : string; primary : int }
+
+val transform : string -> t
+
+val inverse : t -> string

@@ -1,0 +1,12 @@
+(** bzip2-like block compressor: BWT + MTF + zero-RLE + Huffman — the
+    "generic compression algorithm (e.g. bzip)" of the paper's §3.3 and
+    the per-container back end of the XMill baseline. Self-framing;
+    multi-block above 256 KiB; tiny inputs skip the Huffman stage. *)
+
+exception Corrupt of string
+
+val block_size : int
+
+val compress : string -> string
+
+val decompress : string -> string

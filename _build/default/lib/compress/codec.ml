@@ -1,0 +1,122 @@
+(* Uniform codec layer: every algorithm is described by the tuple
+   <d_c, c_s(F), c_a(F), eq, ineq, wild> of §3.2, and exposes
+   train / compress / decompress over a shared source model. *)
+
+type algorithm = Huffman_alg | Alm_alg | Arith_alg | Hu_tucker_alg | Bzip_alg | Numeric_alg
+
+let all_algorithms =
+  [ Huffman_alg; Alm_alg; Arith_alg; Hu_tucker_alg; Bzip_alg; Numeric_alg ]
+
+let algorithm_name = function
+  | Huffman_alg -> "huffman"
+  | Alm_alg -> "alm"
+  | Arith_alg -> "arith"
+  | Hu_tucker_alg -> "hu-tucker"
+  | Bzip_alg -> "bzip"
+  | Numeric_alg -> "numeric"
+
+let algorithm_of_name = function
+  | "huffman" -> Huffman_alg
+  | "alm" -> Alm_alg
+  | "arith" -> Arith_alg
+  | "hu-tucker" -> Hu_tucker_alg
+  | "bzip" -> Bzip_alg
+  | "numeric" -> Numeric_alg
+  | s -> invalid_arg ("unknown algorithm: " ^ s)
+
+(** Algorithmic properties: which predicate classes evaluate in the
+    compressed domain (§3.2). *)
+type properties = { eq : bool; ineq : bool; wild : bool }
+
+let properties = function
+  | Huffman_alg -> { eq = true; ineq = false; wild = true }
+  | Alm_alg -> { eq = true; ineq = true; wild = false }
+  | Arith_alg -> { eq = true; ineq = true; wild = false }
+  | Hu_tucker_alg -> { eq = true; ineq = true; wild = true }
+  | Bzip_alg -> { eq = false; ineq = false; wild = false }
+  | Numeric_alg -> { eq = true; ineq = true; wild = false }
+
+(** d_c: relative cost of decompressing one container record. ALM is
+    dictionary-based and emits whole tokens, hence cheaper than bit-by-bit
+    Huffman (§2.1); arithmetic decoding is the slowest; bzip pays the
+    full inverse-BWT pipeline per value. *)
+let decompression_cost = function
+  | Numeric_alg -> 0.5
+  | Alm_alg -> 1.0
+  | Hu_tucker_alg -> 1.8
+  | Huffman_alg -> 2.0
+  | Arith_alg -> 4.0
+  | Bzip_alg -> 6.0
+
+type model =
+  | M_huffman of Huffman.model
+  | M_alm of Alm.model
+  | M_arith of Arith.model
+  | M_hu_tucker of Hu_tucker.model
+  | M_bzip
+  | M_numeric of Ipack.model
+
+exception Unsupported = Ipack.Unsupported
+
+let algorithm_of_model = function
+  | M_huffman _ -> Huffman_alg
+  | M_alm _ -> Alm_alg
+  | M_arith _ -> Arith_alg
+  | M_hu_tucker _ -> Hu_tucker_alg
+  | M_bzip -> Bzip_alg
+  | M_numeric _ -> Numeric_alg
+
+(** Train a source model on container values. Raises {!Unsupported} when
+    the algorithm cannot represent the values (numeric codec on text). *)
+let train (alg : algorithm) (values : string list) : model =
+  match alg with
+  | Huffman_alg -> M_huffman (Huffman.train values)
+  | Alm_alg -> M_alm (Alm.train values)
+  | Arith_alg -> M_arith (Arith.train values)
+  | Hu_tucker_alg -> M_hu_tucker (Hu_tucker.train values)
+  | Bzip_alg -> M_bzip
+  | Numeric_alg -> M_numeric (Ipack.train values)
+
+let compress (m : model) (value : string) : string =
+  match m with
+  | M_huffman h -> Huffman.compress h value
+  | M_alm a -> Alm.compress a value
+  | M_arith a -> Arith.compress a value
+  | M_hu_tucker h -> Hu_tucker.compress h value
+  | M_bzip -> Bzip.compress value
+  | M_numeric n -> Ipack.compress n value
+
+let decompress (m : model) (compressed : string) : string =
+  match m with
+  | M_huffman h -> Huffman.decompress h compressed
+  | M_alm a -> Alm.decompress a compressed
+  | M_arith a -> Arith.decompress a compressed
+  | M_hu_tucker h -> Hu_tucker.decompress h compressed
+  | M_bzip -> Bzip.decompress compressed
+  | M_numeric n -> Ipack.decompress n compressed
+
+let model_size = function
+  | M_huffman h -> Huffman.model_size h
+  | M_alm a -> Alm.model_size a
+  | M_arith a -> Arith.model_size a
+  | M_hu_tucker h -> Hu_tucker.model_size h
+  | M_bzip -> 0
+  | M_numeric n -> Ipack.model_size n
+
+(** Equality of plaintexts decided on compressed values; valid whenever
+    the algorithm's [eq] property holds and both sides share the model. *)
+let equal_compressed (m : model) a b =
+  ignore m;
+  String.equal a b
+
+(** Order of plaintexts decided on compressed values; only valid when the
+    algorithm's [ineq] property holds. *)
+let compare_compressed (m : model) a b =
+  match m with
+  | M_alm _ | M_arith _ | M_hu_tucker _ | M_numeric _ -> String.compare a b
+  | M_huffman _ | M_bzip -> invalid_arg "compare_compressed: order-agnostic codec"
+
+(** Can a predicate of the given class run in the compressed domain? *)
+let supports (alg : algorithm) (cls : [ `Eq | `Ineq | `Wild ]) =
+  let p = properties alg in
+  match cls with `Eq -> p.eq | `Ineq -> p.ineq | `Wild -> p.wild

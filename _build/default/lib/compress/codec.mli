@@ -1,0 +1,57 @@
+(** Uniform codec layer: every algorithm is described by the paper's
+    §3.2 tuple <d_c, c_s(F), c_a(F), eq, ineq, wild> and exposes
+    train / compress / decompress over a shared source model. *)
+
+type algorithm =
+  | Huffman_alg
+  | Alm_alg
+  | Arith_alg
+  | Hu_tucker_alg
+  | Bzip_alg
+  | Numeric_alg
+
+val all_algorithms : algorithm list
+
+val algorithm_name : algorithm -> string
+
+val algorithm_of_name : string -> algorithm
+
+(** Which predicate classes evaluate in the compressed domain. *)
+type properties = { eq : bool; ineq : bool; wild : bool }
+
+val properties : algorithm -> properties
+
+(** d_c: relative cost of decompressing one container record (ALM is the
+    cheapest dictionary decode; bzip pays the full inverse pipeline). *)
+val decompression_cost : algorithm -> float
+
+type model =
+  | M_huffman of Huffman.model
+  | M_alm of Alm.model
+  | M_arith of Arith.model
+  | M_hu_tucker of Hu_tucker.model
+  | M_bzip
+  | M_numeric of Ipack.model
+
+exception Unsupported of string
+
+val algorithm_of_model : model -> algorithm
+
+(** Train a source model on container values; raises {!Unsupported}
+    when the algorithm cannot represent them. *)
+val train : algorithm -> string list -> model
+
+val compress : model -> string -> string
+
+val decompress : model -> string -> string
+
+val model_size : model -> int
+
+(** Valid whenever the algorithm's [eq] holds and both sides share the
+    model. *)
+val equal_compressed : model -> string -> string -> bool
+
+(** Valid only when the algorithm's [ineq] property holds. *)
+val compare_compressed : model -> string -> string -> int
+
+val supports : algorithm -> [ `Eq | `Ineq | `Wild ] -> bool

@@ -1,0 +1,33 @@
+(** Hu-Tucker optimal alphabetic (order-preserving) binary codes
+    (Hu & Tucker 1971) — the order-preserving baseline ALM was compared
+    against in the paper (§2.1). *)
+
+type model
+
+exception Corrupt of string
+
+val symbol_count : int
+
+(** Phase 1 of the algorithm: the combination procedure; returns the
+    depth of each leaf in the optimal alphabetic tree. *)
+val combine : int array -> int array
+
+(** Rebuild an alphabetic prefix code from a valid depth sequence. *)
+val alphabetic_codes : int array -> int array
+
+val of_lengths : int array -> model
+
+val train : string list -> model
+
+val compress : model -> string -> string
+
+val decompress : model -> string -> string
+
+(** Order-preserving: compare compressed values directly. *)
+val compare_compressed : string -> string -> int
+
+val serialize_model : model -> string
+
+val deserialize_model : string -> model
+
+val model_size : model -> int

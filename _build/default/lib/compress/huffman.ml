@@ -1,0 +1,228 @@
+(* Classical Huffman coding (Huffman 1952) over bytes, with an explicit
+   end-of-string symbol so that individually compressed values are
+   self-delimiting.
+
+   Codes are made canonical, which lets the source model be serialized as
+   a bare array of code lengths. With a shared source model:
+   - equality of plaintexts coincides with equality of the compressed byte
+     strings ([eq] holds in the compressed domain);
+   - the compressed bits of a plaintext prefix are a bit-prefix of the
+     compressed value ([wild], i.e. prefix-matching, holds);
+   - lexicographic order is NOT preserved ([ineq] does not hold). *)
+
+let symbol_count = 257 (* 256 bytes + end-of-string *)
+let eos = 256
+
+type model = {
+  lengths : int array; (* code length per symbol; 0 = absent *)
+  codes : int array;   (* canonical code per symbol *)
+  (* Decoding tables for canonical codes, indexed by code length. *)
+  first_code : int array;
+  first_index : int array;
+  symbols : int array; (* symbols sorted by (length, symbol) *)
+  max_len : int;
+}
+
+exception Corrupt of string
+
+(* ------------------------------------------------------------------ *)
+(* Model construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Build code lengths with the classic two-queue method over symbols sorted
+   by frequency; a binary heap is unnecessary at alphabet size 257. *)
+let code_lengths (freqs : int array) : int array =
+  let present =
+    Array.to_list (Array.mapi (fun s f -> (s, f)) freqs)
+    |> List.filter (fun (_, f) -> f > 0)
+  in
+  match present with
+  | [] -> invalid_arg "Huffman.code_lengths: empty frequency table"
+  | [ (s, _) ] ->
+    let lens = Array.make symbol_count 0 in
+    lens.(s) <- 1;
+    lens
+  | _ ->
+    (* Tree nodes: leaves carry a symbol, internal nodes two children. *)
+    let sorted = List.sort (fun (_, f) (_, f') -> compare f f') present in
+    let leaves = Queue.create () in
+    List.iter (fun (s, f) -> Queue.add (f, `Leaf s) leaves) sorted;
+    let merged = Queue.create () in
+    let take_min () =
+      (* Pop the smaller head of the two queues. *)
+      match Queue.is_empty leaves, Queue.is_empty merged with
+      | true, true -> assert false
+      | false, true -> Queue.pop leaves
+      | true, false -> Queue.pop merged
+      | false, false ->
+        let (fl, _) = Queue.peek leaves and (fm, _) = Queue.peek merged in
+        if fl <= fm then Queue.pop leaves else Queue.pop merged
+    in
+    let remaining () = Queue.length leaves + Queue.length merged in
+    while remaining () > 1 do
+      let (f1, n1) = take_min () in
+      let (f2, n2) = take_min () in
+      Queue.add (f1 + f2, `Node (n1, n2)) merged
+    done;
+    let (_, root) = take_min () in
+    let lens = Array.make symbol_count 0 in
+    let rec assign depth node =
+      match node with
+      | `Leaf s -> lens.(s) <- max 1 depth
+      | `Node (a, b) ->
+        assign (depth + 1) a;
+        assign (depth + 1) b
+    in
+    assign 0 root;
+    lens
+
+(* Turn code lengths into canonical codes and decoding tables. *)
+let of_lengths (lengths : int array) : model =
+  if Array.length lengths <> symbol_count then
+    invalid_arg "Huffman.of_lengths: bad array size";
+  let syms =
+    Array.to_list (Array.mapi (fun s l -> (s, l)) lengths)
+    |> List.filter (fun (_, l) -> l > 0)
+    |> List.sort (fun (s, l) (s', l') ->
+           if l <> l' then compare l l' else compare s s')
+  in
+  let max_len = List.fold_left (fun m (_, l) -> max m l) 0 syms in
+  let codes = Array.make symbol_count 0 in
+  let first_code = Array.make (max_len + 2) 0 in
+  let first_index = Array.make (max_len + 2) 0 in
+  let symbols = Array.of_list (List.map fst syms) in
+  (* Canonical assignment: shorter codes first, numerically increasing. *)
+  let code = ref 0 in
+  let idx = ref 0 in
+  let arr = Array.of_list syms in
+  for l = 1 to max_len do
+    first_code.(l) <- !code;
+    first_index.(l) <- !idx;
+    Array.iter (fun (s, l') -> if l' = l then begin
+        codes.(s) <- !code;
+        incr code;
+        incr idx
+      end) arr;
+    code := !code lsl 1
+  done;
+  { lengths; codes; first_code; first_index; symbols; max_len }
+
+(** Train a model on a list of strings. Every byte value is given a floor
+    frequency of 1 so the code stays total (values unseen at training time
+    can still be compressed). *)
+let train (values : string list) : model =
+  let freqs = Array.make symbol_count 1 in
+  freqs.(eos) <- max 1 (List.length values);
+  List.iter (fun v -> String.iter (fun c -> let i = Char.code c in freqs.(i) <- freqs.(i) + 1) v) values;
+  of_lengths (code_lengths freqs)
+
+(* ------------------------------------------------------------------ *)
+(* Model serialization (the "source model" whose size the cost model
+   accounts for)                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let serialize_model (m : model) : string =
+  let buf = Buffer.create symbol_count in
+  Array.iter (fun l ->
+      if l > 255 then raise (Corrupt "code length overflow");
+      Buffer.add_char buf (Char.chr l))
+    m.lengths;
+  Buffer.contents buf
+
+let deserialize_model (s : string) : model =
+  if String.length s <> symbol_count then raise (Corrupt "bad model size");
+  of_lengths (Array.init symbol_count (fun i -> Char.code s.[i]))
+
+let model_size m = String.length (serialize_model m)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding / decoding                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let add_symbol m w s =
+  let l = m.lengths.(s) in
+  if l = 0 then raise (Corrupt "symbol absent from model");
+  Bitio.Writer.add_bits w m.codes.(s) l
+
+(** Compress a single value; the result is zero-padded to a byte boundary
+    and terminated by the end-of-string symbol. *)
+let compress (m : model) (value : string) : string =
+  let w = Bitio.Writer.create ~size:(String.length value) () in
+  String.iter (fun c -> add_symbol m w (Char.code c)) value;
+  add_symbol m w eos;
+  Bitio.Writer.contents w
+
+let read_symbol m r =
+  let rec go len code =
+    if len > m.max_len then raise (Corrupt "invalid code")
+    else begin
+      let code = (code lsl 1) lor (if Bitio.Reader.read_bit r then 1 else 0) in
+      let len = len + 1 in
+      let count =
+        (if len < m.max_len then m.first_index.(len + 1) else Array.length m.symbols)
+        - m.first_index.(len)
+      in
+      if count > 0 && code - m.first_code.(len) < count && code >= m.first_code.(len)
+      then m.symbols.(m.first_index.(len) + code - m.first_code.(len))
+      else go len code
+    end
+  in
+  go 0 0
+
+let decompress (m : model) (compressed : string) : string =
+  let r = Bitio.Reader.of_string compressed in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    let s = read_symbol m r in
+    if s <> eos then begin
+      Buffer.add_char buf (Char.chr s);
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+(* Raw-stream mode: encode a byte sequence of externally known length,
+   without the end-of-string symbol (used by the bzip-like pipeline). *)
+
+let train_raw (data : string) : model =
+  let freqs = Array.make symbol_count 0 in
+  String.iter (fun c -> freqs.(Char.code c) <- freqs.(Char.code c) + 1) data;
+  if String.length data = 0 then freqs.(0) <- 1;
+  of_lengths (code_lengths freqs)
+
+let compress_raw (m : model) (data : string) : string =
+  let w = Bitio.Writer.create ~size:(String.length data) () in
+  String.iter (fun c -> add_symbol m w (Char.code c)) data;
+  Bitio.Writer.contents w
+
+let decompress_raw (m : model) ~(count : int) (compressed : string) : string =
+  let r = Bitio.Reader.of_string compressed in
+  String.init count (fun _ -> Char.chr (read_symbol m r))
+
+(* ------------------------------------------------------------------ *)
+(* Compressed-domain operations                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Equality in the compressed domain (valid when both sides were
+    compressed with the same model). *)
+let equal_compressed (a : string) (b : string) = String.equal a b
+
+(** Bits of a plaintext prefix, not EOS-terminated: used for wildcard
+    (prefix) matching in the compressed domain. *)
+let compress_prefix (m : model) (prefix : string) : string * int =
+  let w = Bitio.Writer.create ~size:(String.length prefix) () in
+  String.iter (fun c -> add_symbol m w (Char.code c)) prefix;
+  (Bitio.Writer.contents w, Bitio.Writer.bit_length w)
+
+(** Does [compressed] start with the given compressed prefix bits? *)
+let matches_prefix ~(prefix_bits : string * int) (compressed : string) : bool =
+  let (pbytes, pbits) = prefix_bits in
+  let full = pbits / 8 in
+  let rem = pbits mod 8 in
+  String.length compressed * 8 >= pbits
+  && String.sub compressed 0 full = String.sub pbytes 0 full
+  && (rem = 0
+      ||
+      let mask = 0xff lsl (8 - rem) land 0xff in
+      Char.code compressed.[full] land mask = Char.code pbytes.[full] land mask)

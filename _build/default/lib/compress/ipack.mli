@@ -1,0 +1,42 @@
+(** Order-preserving packing for numeric containers (<type, pe>
+    containers with an elementary numeric type, paper §1.1).
+
+    Values are validated at training time (canonical integers, or
+    fixed-point decimals with a uniform number of fraction digits) and
+    packed as variable-length big-endian integers whose byte comparison
+    coincides with numeric comparison. Round-trips the exact source
+    text. *)
+
+type variant = Int | Decimal of int
+
+type model = { variant : variant }
+
+exception Unsupported of string
+
+exception Corrupt of string
+
+(** Raises {!Unsupported} when the values are not uniformly numeric. *)
+val train : string list -> model
+
+val compress : model -> string -> string
+
+val decompress : model -> string -> string
+
+val compare_compressed : string -> string -> int
+
+(** Packed bound for comparing stored values against an arbitrary float
+    constant: [`Ceil] gives the smallest representable value >= the
+    constant, [`Floor] the largest <= it. *)
+val pack_bound : model -> dir:[ `Ceil | `Floor ] -> float -> string
+
+(** Packed code equal to the constant, when exactly representable. *)
+val pack_exact : model -> float -> string option
+
+(** Numeric value of a packed code. *)
+val to_float : model -> string -> float
+
+val serialize_model : model -> string
+
+val deserialize_model : string -> model
+
+val model_size : model -> int

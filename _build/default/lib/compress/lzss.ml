@@ -1,0 +1,92 @@
+(* LZSS (LZ77 family) with a 4 KiB window and hash-chain match finder —
+   stands in for the gzip second pass of the XMill baseline. *)
+
+let window_bits = 12
+let window = 1 lsl window_bits
+let min_match = 3
+let max_match = min_match + 15 (* 4-bit length field *)
+
+let compress (data : string) : string =
+  let n = String.length data in
+  let w = Bitio.Writer.create ~size:n () in
+  (* Chained hash table over 3-byte prefixes. *)
+  let hash_bits = 14 in
+  let head = Array.make (1 lsl hash_bits) (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let hash i =
+    (Char.code data.[i] lsl 10)
+    lxor (Char.code data.[i + 1] lsl 5)
+    lxor Char.code data.[i + 2]
+    land ((1 lsl hash_bits) - 1)
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let find_match i =
+    if i + min_match > n then None
+    else begin
+      let limit = max 0 (i - window) in
+      let best_len = ref 0 and best_pos = ref (-1) in
+      let cand = ref head.(hash i) in
+      let tries = ref 32 in
+      while !cand >= limit && !tries > 0 do
+        let c = !cand in
+        if c < i then begin
+          let len = ref 0 in
+          let max_here = min max_match (n - i) in
+          while !len < max_here && data.[c + !len] = data.[i + !len] do
+            incr len
+          done;
+          if !len > !best_len then begin
+            best_len := !len;
+            best_pos := c
+          end
+        end;
+        cand := prev.(c);
+        decr tries
+      done;
+      if !best_len >= min_match then Some (!best_pos, !best_len) else None
+    end
+  in
+  let header = Buffer.create 8 in
+  Rle.add_varint header n;
+  let i = ref 0 in
+  while !i < n do
+    (match find_match !i with
+    | Some (pos, len) ->
+      Bitio.Writer.add_bit w false;
+      Bitio.Writer.add_bits w (!i - pos - 1) window_bits;
+      Bitio.Writer.add_bits w (len - min_match) 4;
+      for j = !i to !i + len - 1 do
+        insert j
+      done;
+      i := !i + len
+    | None ->
+      Bitio.Writer.add_bit w true;
+      Bitio.Writer.add_bits w (Char.code data.[!i]) 8;
+      insert !i;
+      incr i)
+  done;
+  Buffer.contents header ^ Bitio.Writer.contents w
+
+let decompress (data : string) : string =
+  let (n, pos) = Rle.read_varint data 0 in
+  let r = Bitio.Reader.of_string (String.sub data pos (String.length data - pos)) in
+  let out = Buffer.create n in
+  while Buffer.length out < n do
+    if Bitio.Reader.read_bit r then
+      Buffer.add_char out (Char.chr (Bitio.Reader.read_bits r 8))
+    else begin
+      let dist = Bitio.Reader.read_bits r window_bits + 1 in
+      let len = Bitio.Reader.read_bits r 4 + min_match in
+      let start = Buffer.length out - dist in
+      for j = 0 to len - 1 do
+        Buffer.add_char out (Buffer.nth out (start + j))
+      done
+    end
+  done;
+  Buffer.contents out

@@ -1,0 +1,6 @@
+(** LZSS (LZ77 family) with a 4 KiB window and hash-chain match finder —
+    stands in for the gzip second pass of the XMill baseline. *)
+
+val compress : string -> string
+
+val decompress : string -> string

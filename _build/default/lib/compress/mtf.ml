@@ -1,0 +1,28 @@
+(* Move-to-front transform. *)
+
+let encode (s : string) : string =
+  let table = Array.init 256 (fun i -> i) in
+  String.map
+    (fun c ->
+      let b = Char.code c in
+      let rec find i = if table.(i) = b then i else find (i + 1) in
+      let pos = find 0 in
+      for i = pos downto 1 do
+        table.(i) <- table.(i - 1)
+      done;
+      table.(0) <- b;
+      Char.chr pos)
+    s
+
+let decode (s : string) : string =
+  let table = Array.init 256 (fun i -> i) in
+  String.map
+    (fun c ->
+      let pos = Char.code c in
+      let b = table.(pos) in
+      for i = pos downto 1 do
+        table.(i) <- table.(i - 1)
+      done;
+      table.(0) <- b;
+      Char.chr b)
+    s

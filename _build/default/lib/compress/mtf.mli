@@ -1,0 +1,5 @@
+(** Move-to-front transform. *)
+
+val encode : string -> string
+
+val decode : string -> string

@@ -1,0 +1,11 @@
+(** Zero-run-length coding for post-MTF streams, plus the varint
+    primitives shared by the storage serializers. *)
+
+val add_varint : Buffer.t -> int -> unit
+
+(** [read_varint s pos] returns the value and the position after it. *)
+val read_varint : string -> int -> int * int
+
+val encode : string -> string
+
+val decode : string -> string

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Ast List Set String Xquery

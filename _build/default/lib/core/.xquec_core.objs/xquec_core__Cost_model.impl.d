@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Array Compress Container Float Hashtbl List Repository Storage String Workload

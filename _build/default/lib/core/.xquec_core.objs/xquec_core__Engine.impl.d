@@ -1,0 +1,1 @@
+lib/core/engine.ml: Executor List Loader Partitioner Repository Storage Xmlkit Xquery

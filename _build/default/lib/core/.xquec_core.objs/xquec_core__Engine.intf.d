@@ -1,0 +1,1 @@
+lib/core/engine.mli: Executor Loader Partitioner Storage Xmlkit Xquery

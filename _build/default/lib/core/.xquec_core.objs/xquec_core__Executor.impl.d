@@ -1,0 +1,1 @@
+lib/core/executor.ml: Analysis Array Ast Buffer Compress Container Float Fmt Hashtbl List Name_dict Option Printf Repository Storage String Structure_tree Summary Xmlkit Xquery

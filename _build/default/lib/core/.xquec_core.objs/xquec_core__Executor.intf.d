@@ -1,0 +1,1 @@
+lib/core/executor.mli: Container Repository Storage Summary Xmlkit Xquery

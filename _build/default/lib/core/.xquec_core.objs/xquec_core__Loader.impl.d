@@ -1,0 +1,1 @@
+lib/core/loader.ml: Array Buffer Compress Container Filename Hashtbl List Name_dict Option Repository Storage String Structure_tree Summary Sys Xmlkit

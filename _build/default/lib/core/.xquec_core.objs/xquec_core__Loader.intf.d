@@ -1,0 +1,1 @@
+lib/core/loader.mli: Compress Storage Xmlkit

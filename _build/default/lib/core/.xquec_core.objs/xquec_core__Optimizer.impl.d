@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Analysis Ast Compress Container Executor Fmt List Repository Storage String Summary Xquery

@@ -1,0 +1,1 @@
+lib/core/partitioner.ml: Array Compress Container Cost_model Hashtbl List Repository Storage Structure_tree Workload Xquery

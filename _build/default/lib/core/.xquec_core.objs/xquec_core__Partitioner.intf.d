@@ -1,0 +1,1 @@
+lib/core/partitioner.mli: Cost_model Repository Storage Workload Xquery

@@ -1,0 +1,1 @@
+lib/core/physical.ml: Array Compress Container Executor Hashtbl List Name_dict Option Repository Seq Storage String Structure_tree Summary

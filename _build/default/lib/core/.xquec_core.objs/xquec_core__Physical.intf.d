@@ -1,0 +1,1 @@
+lib/core/physical.mli: Executor Repository Seq Storage Summary

@@ -1,0 +1,1 @@
+lib/core/plans.ml: Array Compress Container Executor List Name_dict Option Physical Repository Storage String Structure_tree

@@ -1,0 +1,1 @@
+lib/core/plans.mli: Repository Storage

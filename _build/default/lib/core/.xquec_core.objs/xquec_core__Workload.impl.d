@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Ast Fmt List Name_dict Option Repository Storage String Summary Xquery

@@ -1,0 +1,23 @@
+(** Static analysis over XQuery expressions: free variables, conjunct
+    splitting, join-predicate detection — the basis of the executor's
+    join and decorrelation planning. *)
+
+module Sset : Set.S with type elt = string
+
+val free_vars : Xquery.Ast.expr -> Sset.t
+
+val conjuncts : Xquery.Ast.expr -> Xquery.Ast.expr list
+
+val conjoin : Xquery.Ast.expr list -> Xquery.Ast.expr option
+
+(** A comparison usable as a join between [left_vars] and [right_vars]
+    (either may also mention [outer] variables); the result is oriented
+    left-side-first, flipping the operator if needed. *)
+val join_conjunct :
+  left_vars:Sset.t ->
+  right_vars:Sset.t ->
+  outer:Sset.t ->
+  Xquery.Ast.expr ->
+  (Xquery.Ast.cmp_op * Xquery.Ast.expr * Xquery.Ast.expr) option
+
+val mentions : Sset.t -> Xquery.Ast.expr -> bool

@@ -1,0 +1,209 @@
+(* Cost model for compression configurations (§3.2).
+
+   A configuration assigns each container to a partition set with a
+   compression algorithm; containers in one set share a source model.
+   Its cost is a weighted sum of
+   - container storage cost: estimated compressed bytes under the set's
+     algorithm and shared model,
+   - source-model storage cost,
+   - decompression cost: for every workload predicate that cannot run in
+     the compressed domain under this configuration, the sizes of the
+     involved containers weighted by the algorithm's d_c — the three
+     cases of §3.2 (different algorithms / different source models /
+     unsupported predicate class).
+
+   Storage estimates are measured on bounded samples: the candidate
+   algorithm is trained on the merged sample of the set and applied to
+   each container's sample. This stands in for the paper's c_s(F) and
+   c_a(F) functions — the similarity matrix F is implicit in the sample
+   merge (similar containers genuinely compress better together, which
+   is exactly what F models). *)
+
+open Storage
+
+type configuration = {
+  sets : (int list * Compress.Codec.algorithm) list;
+      (** partition of (queried) container ids with the set's algorithm *)
+}
+
+type weights = { w_storage : float; w_model : float; w_decompression : float }
+
+let default_weights = { w_storage = 1.0; w_model = 1.0; w_decompression = 0.05 }
+
+type t = {
+  repo : Repository.t;
+  workload : Workload.t;
+  weights : weights;
+  samples : (int, string list) Hashtbl.t; (* container id -> sampled values *)
+  plain_sizes : (int, int) Hashtbl.t;
+  record_counts : (int, int) Hashtbl.t;
+  estimate_cache : (string, float * float) Hashtbl.t;
+}
+
+(* Samples must be large enough that dictionary-based codecs (ALM) train
+   representative models — small/medium containers are measured exactly. *)
+let sample_limit = 600
+let sample_bytes = 64 * 1024
+
+let sample_container (c : Container.t) : string list =
+  let n = Container.length c in
+  let take = min n sample_limit in
+  let step = max 1 (n / max 1 take) in
+  let budget = ref sample_bytes in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n && !budget > 0 do
+    let v = Container.decompress_record c c.Container.records.(!i) in
+    budget := !budget - String.length v;
+    out := v :: !out;
+    i := !i + step
+  done;
+  List.rev !out
+
+let create ?(weights = default_weights) (repo : Repository.t) (workload : Workload.t) : t =
+  let samples = Hashtbl.create 64 in
+  let plain_sizes = Hashtbl.create 64 in
+  let record_counts = Hashtbl.create 64 in
+  Array.iter
+    (fun (c : Container.t) ->
+      Hashtbl.add samples c.Container.id (sample_container c);
+      Hashtbl.add plain_sizes c.Container.id c.Container.plain_bytes;
+      Hashtbl.add record_counts c.Container.id (Container.length c))
+    repo.Repository.containers;
+  { repo; workload; weights; samples; plain_sizes; record_counts;
+    estimate_cache = Hashtbl.create 256 }
+
+let set_key (ids : int list) (alg : Compress.Codec.algorithm) =
+  Compress.Codec.algorithm_name alg ^ ":"
+  ^ String.concat "," (List.map string_of_int (List.sort compare ids))
+
+(** (storage cost, model cost) estimate for one partition set. *)
+let estimate_set (t : t) (ids : int list) (alg : Compress.Codec.algorithm) : float * float =
+  let key = set_key ids alg in
+  match Hashtbl.find_opt t.estimate_cache key with
+  | Some r -> r
+  | None ->
+    let result =
+      let merged = List.concat_map (fun id -> Hashtbl.find t.samples id) ids in
+      match Compress.Codec.train alg merged with
+      | exception Compress.Codec.Unsupported _ -> (Float.infinity, Float.infinity)
+      | model ->
+        let model_cost = float_of_int (Compress.Codec.model_size model) in
+        let storage =
+          List.fold_left
+            (fun acc id ->
+              let sample = Hashtbl.find t.samples id in
+              let plain =
+                List.fold_left (fun a v -> a + String.length v) 0 sample
+              in
+              let compressed =
+                List.fold_left
+                  (fun a v -> a + String.length (Compress.Codec.compress model v))
+                  0 sample
+              in
+              let ratio =
+                if plain = 0 then 1.0 else float_of_int compressed /. float_of_int plain
+              in
+              acc +. (ratio *. float_of_int (Hashtbl.find t.plain_sizes id)))
+            0.0 ids
+        in
+        (storage, model_cost)
+    in
+    Hashtbl.add t.estimate_cache key result;
+    result
+
+(* Set (and algorithm) a container belongs to under a configuration. *)
+let set_of (config : configuration) (id : int) : (int list * Compress.Codec.algorithm) option =
+  List.find_opt (fun (ids, _) -> List.mem id ids) config.sets
+
+let class_supported alg (cls : Workload.pred_class) =
+  match cls with
+  | Workload.Cls_eq -> Compress.Codec.supports alg `Eq
+  | Workload.Cls_ineq -> Compress.Codec.supports alg `Ineq
+  | Workload.Cls_wild -> Compress.Codec.supports alg `Wild
+
+(** Decompression cost of one predicate under a configuration: 0 when it
+    runs in the compressed domain, otherwise |ct| * d_c summed over the
+    containers that must be decompressed (§3.2's three cases). *)
+let predicate_cost (t : t) (config : configuration) (p : Workload.predicate) : float =
+  let size id = float_of_int (Hashtbl.find t.record_counts id) in
+  let dc alg = Compress.Codec.decompression_cost alg in
+  let decompress_all ids =
+    List.fold_left
+      (fun acc id ->
+        match set_of config id with
+        | Some (_, alg) -> acc +. (size id *. dc alg)
+        | None -> acc +. (size id *. dc Compress.Codec.Bzip_alg))
+      0.0 ids
+  in
+  match p.Workload.right with
+  | [] -> (
+    (* container vs constant: in-domain iff the algorithm supports the
+       class (the constant is compressed with the container's model) *)
+    let bad =
+      List.filter
+        (fun id ->
+          match set_of config id with
+          | Some (_, alg) -> not (class_supported alg p.Workload.cls)
+          | None -> true)
+        p.Workload.left
+    in
+    match bad with [] -> 0.0 | ids -> decompress_all ids)
+  | right ->
+    (* container vs container: all involved containers must share one
+       source model under an algorithm supporting the class *)
+    let ids = p.Workload.left @ right in
+    let sets = List.map (set_of config) ids in
+    let in_domain =
+      match sets with
+      | Some (first_ids, first_alg) :: rest ->
+        class_supported first_alg p.Workload.cls
+        && List.for_all
+             (function
+               | Some (ids', _) -> ids' == first_ids || ids' = first_ids
+               | None -> false)
+             rest
+      | _ -> false
+    in
+    if in_domain then 0.0 else decompress_all ids
+
+(** Total cost of a configuration. *)
+let cost (t : t) (config : configuration) : float =
+  let storage, model =
+    List.fold_left
+      (fun (s, m) (ids, alg) ->
+        let (s', m') = estimate_set t ids alg in
+        (s +. s', m +. m'))
+      (0.0, 0.0) config.sets
+  in
+  let decompression =
+    List.fold_left (fun acc p -> acc +. predicate_cost t config p) 0.0
+      t.workload.Workload.predicates
+  in
+  (t.weights.w_storage *. storage)
+  +. (t.weights.w_model *. model)
+  +. (t.weights.w_decompression *. decompression)
+
+type cost_breakdown = { storage : float; model : float; decompression : float; total : float }
+
+let breakdown (t : t) (config : configuration) : cost_breakdown =
+  let storage, model =
+    List.fold_left
+      (fun (s, m) (ids, alg) ->
+        let (s', m') = estimate_set t ids alg in
+        (s +. s', m +. m'))
+      (0.0, 0.0) config.sets
+  in
+  let decompression =
+    List.fold_left (fun acc p -> acc +. predicate_cost t config p) 0.0
+      t.workload.Workload.predicates
+  in
+  {
+    storage;
+    model;
+    decompression;
+    total =
+      (t.weights.w_storage *. storage)
+      +. (t.weights.w_model *. model)
+      +. (t.weights.w_decompression *. decompression);
+  }

@@ -1,0 +1,32 @@
+(** Cost model for compression configurations (§3.2): a weighted sum of
+    measured container storage, source-model storage, and the
+    decompression the workload would incur (the section's three cases:
+    different algorithms / different source models / unsupported
+    predicate class). *)
+
+open Storage
+
+type configuration = { sets : (int list * Compress.Codec.algorithm) list }
+
+type weights = { w_storage : float; w_model : float; w_decompression : float }
+
+val default_weights : weights
+
+type t
+
+val create : ?weights:weights -> Repository.t -> Workload.t -> t
+
+(** (storage cost, model cost) estimate for one partition set, measured
+    on samples under a model trained on the merged sample; infinite when
+    the algorithm cannot represent the values. *)
+val estimate_set : t -> int list -> Compress.Codec.algorithm -> float * float
+
+(** 0 when the predicate runs in the compressed domain under the
+    configuration, else record counts weighted by d_c. *)
+val predicate_cost : t -> configuration -> Workload.predicate -> float
+
+val cost : t -> configuration -> float
+
+type cost_breakdown = { storage : float; model : float; decompression : float; total : float }
+
+val breakdown : t -> configuration -> cost_breakdown

@@ -1,0 +1,54 @@
+(* Public facade of XQueC: load (compress) a document — optionally tuned
+   to a query workload — and evaluate XQuery over the compressed
+   repository. *)
+
+open Storage
+
+type t = { repo : Repository.t; partitioning : Partitioner.result option }
+
+(** Compress [xml] into a queryable repository. When [workload] queries
+    are given, the §3 greedy search chooses the compression configuration
+    (algorithms + shared source models) before the repository is
+    finalized. *)
+let load ?(name = "doc.xml") ?(workload : string list option) ?loader_options (xml : string) : t
+    =
+  let repo = Loader.load ?options:loader_options ~name xml in
+  let partitioning =
+    match workload with
+    | None | Some [] -> None
+    | Some texts ->
+      let queries = List.map Xquery.Parser.parse texts in
+      Some (Partitioner.optimize repo queries)
+  in
+  { repo; partitioning }
+
+let repo t = t.repo
+
+let parse_query = Xquery.Parser.parse
+
+(** Evaluate a query; results stay compressed where possible. *)
+let query (t : t) (text : string) : Executor.item list =
+  Executor.run t.repo (parse_query text)
+
+let query_ast (t : t) (ast : Xquery.Ast.expr) : Executor.item list = Executor.run t.repo ast
+
+(** Evaluate and serialize (decompressing the result, as the paper's QET
+    measurements do). *)
+let query_serialized (t : t) (text : string) : string =
+  Executor.serialize t.repo (query t text)
+
+let compression_factor (t : t) = Repository.compression_factor t.repo
+
+let size_breakdown (t : t) = Repository.size_breakdown t.repo
+
+let save (t : t) : string = Repository.serialize t.repo
+
+let restore (data : string) : t = { repo = Repository.deserialize data; partitioning = None }
+
+(** Reconstruct the full document from the compressed repository (the
+    decompressor direction). *)
+let to_document (t : t) : Xmlkit.Tree.document =
+  let ctx = { Executor.repo = t.repo } in
+  { Xmlkit.Tree.root = Executor.reconstruct ctx 0 }
+
+let to_xml ?indent (t : t) : string = Xmlkit.Printer.to_string ?indent (to_document t)

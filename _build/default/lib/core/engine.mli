@@ -1,0 +1,39 @@
+(** Public facade of XQueC: load (compress) a document — optionally
+    tuned to a query workload — and evaluate XQuery over the compressed
+    repository. *)
+
+type t = {
+  repo : Storage.Repository.t;
+  partitioning : Partitioner.result option;
+}
+
+(** Compress [xml] into a queryable repository. With [workload] queries,
+    the §3 greedy search chooses algorithms and shared source models
+    first. *)
+val load :
+  ?name:string -> ?workload:string list -> ?loader_options:Loader.options -> string -> t
+
+val repo : t -> Storage.Repository.t
+
+val parse_query : string -> Xquery.Ast.expr
+
+val query : t -> string -> Executor.item list
+
+val query_ast : t -> Xquery.Ast.expr -> Executor.item list
+
+(** Evaluate and serialize (decompressing the result, as the paper's QET
+    measurements do). *)
+val query_serialized : t -> string -> string
+
+val compression_factor : t -> float
+
+val size_breakdown : t -> Storage.Repository.size_breakdown
+
+val save : t -> string
+
+val restore : string -> t
+
+(** Reconstruct the full document (the decompressor direction). *)
+val to_document : t -> Xmlkit.Tree.document
+
+val to_xml : ?indent:bool -> t -> string

@@ -1,0 +1,1491 @@
+(* XQueC query executor (§4): evaluates the XQuery subset directly over
+   the compressed repository.
+
+   The evaluation strategy realizes the paper's claims:
+   - path expressions resolve against the structure summary, so queries
+     never parse the whole structure tree (§2.3, Fig. 4);
+   - value predicates are pushed into containers and evaluated on
+     compressed codes whenever the container's algorithm supports the
+     comparison class (eq / ineq / prefix-wildcard); otherwise the
+     container is scanned and decompressed — the cost the §3 model and
+     partitioner exist to avoid;
+   - uncorrelated FOR/LET sources are evaluated once; value joins become
+     hash joins (equality) or sorted-array lookups (inequality), probing
+     compressed codes directly when both sides share a source model;
+   - nested FLWORs correlated through a single comparison (the XMark
+     Q8/Q9/Q10 pattern) are decorrelated into a build-once/probe-many
+     join table;
+   - decompression happens as late as possible: counting, equality and
+     order tests run on codes; only results being returned (or values
+     forced through string functions) are decompressed. *)
+
+open Storage
+open Xquery
+
+type item =
+  | Node of int  (** structure-tree node id *)
+  | Cval of { cont : Container.t; code : string }  (** compressed value *)
+  | Att of string * item  (** attribute node: name + (usually compressed) value *)
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Elem of Xmlkit.Tree.t  (** constructed element *)
+
+(* A sequence with provenance: [snodes] are the summary nodes items came
+   from (when known); [All] means "every instance under these summary
+   nodes", which lets whole paths evaluate without touching instances. *)
+type seqv =
+  | Mat of item list
+  | All_nodes of Summary.node list
+  | All_values of Summary.node list (* element snodes whose text containers hold the values *)
+
+type binding = { seq : seqv; snodes : Summary.node list }
+
+let mat items = { seq = Mat items; snodes = [] }
+
+type ctx = { repo : Repository.t }
+
+type env = (string * binding) list
+
+exception Eval_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Repository helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tag_code ctx name = Name_dict.code ctx.repo.Repository.dict name
+
+let tag_name ctx code = Name_dict.name ctx.repo.Repository.dict code
+
+let is_attr_code ctx code =
+  code >= 0 && String.length (tag_name ctx code) > 0 && (tag_name ctx code).[0] = '@'
+
+let container ctx id = ctx.repo.Repository.containers.(id)
+
+(* Values attached directly to a node, in slot order: an element's
+   pointers are its immediate text children; an attribute node's single
+   pointer is its value. *)
+let node_text_values ctx id : item list =
+  Structure_tree.value_pointers ctx.repo.Repository.tree id
+  |> Array.to_list
+  |> List.map (fun (cid, idx) ->
+         let cont = container ctx cid in
+         Cval { cont; code = cont.Container.records.(idx).Container.code })
+
+(* The value of an attribute node. *)
+let attr_node_value ctx id : item option =
+  match Array.to_list (Structure_tree.value_pointers ctx.repo.Repository.tree id) with
+  | (cid, idx) :: _ ->
+    let cont = container ctx cid in
+    Some (Cval { cont; code = cont.Container.records.(idx).Container.code })
+  | [] -> None
+
+let decompress_cval (cont : Container.t) code = Compress.Codec.decompress cont.Container.model code
+
+(* String value of an element: concatenation of all descendant text, in
+   document order (attributes excluded), decompressing on the way. *)
+let node_string_value ctx id : string =
+  let tree = ctx.repo.Repository.tree in
+  let id = if id < 0 then 0 else id (* the document node's string value *) in
+  let buf = Buffer.create 64 in
+  let rec go id =
+    let values = Structure_tree.value_pointers tree id in
+    Array.iter
+      (fun entry ->
+        if entry >= 0 then begin
+          if not (is_attr_code ctx (Structure_tree.tag tree entry)) then go entry
+        end
+        else begin
+          let slot = -entry - 1 in
+          let (cid, idx) = values.(slot) in
+          let cont = container ctx cid in
+          Buffer.add_string buf (decompress_cval cont cont.Container.records.(idx).Container.code)
+        end)
+      (Structure_tree.child_entries tree id)
+  in
+  go id;
+  Buffer.contents buf
+
+(** Reconstruct the XML subtree rooted at [id] — the XMLSerialize +
+    Decompress tail of a plan (§4, Fig. 5). *)
+let rec reconstruct ctx id : Xmlkit.Tree.t =
+  if id < 0 then Xmlkit.Tree.Element ("#document", [], [ reconstruct ctx 0 ])
+  else begin
+  let tree = ctx.repo.Repository.tree in
+  let tag = tag_name ctx (Structure_tree.tag tree id) in
+  let values = Structure_tree.value_pointers tree id in
+  let attrs = ref [] in
+  let kids = ref [] in
+  Array.iter
+    (fun entry ->
+      if entry >= 0 then begin
+        let ctag = tag_name ctx (Structure_tree.tag tree entry) in
+        if String.length ctag > 0 && ctag.[0] = '@' then begin
+          let v =
+            match attr_node_value ctx entry with
+            | Some (Cval { cont; code }) -> decompress_cval cont code
+            | Some _ | None -> ""
+          in
+          attrs := (String.sub ctag 1 (String.length ctag - 1), v) :: !attrs
+        end
+        else kids := reconstruct ctx entry :: !kids
+      end
+      else begin
+        let slot = -entry - 1 in
+        let (cid, idx) = values.(slot) in
+        let cont = container ctx cid in
+        kids :=
+          Xmlkit.Tree.Text (decompress_cval cont cont.Container.records.(idx).Container.code)
+          :: !kids
+      end)
+    (Structure_tree.child_entries tree id);
+  Xmlkit.Tree.Element (tag, List.rev !attrs, List.rev !kids)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Materialization and atomization                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The document node is virtual: the summary root (tag -1) has no stored
+   instances, so it materializes as the pseudo-id -1, which the
+   navigation code below understands. *)
+let doc_node_id = -1
+
+let merged_node_items (snodes : Summary.node list) : item list =
+  let (roots, others) = List.partition (fun (sn : Summary.node) -> sn.Summary.tag < 0) snodes in
+  let root_items = if roots = [] then [] else [ Node doc_node_id ] in
+  root_items
+  @ (Summary.merged_ids others |> Array.to_list |> List.map (fun id -> Node id))
+
+let materialize ctx (b : binding) : item list =
+  match b.seq with
+  | Mat items -> items
+  | All_nodes snodes -> merged_node_items snodes
+  | All_values snodes ->
+    (* Document order across ALL contributing summary nodes: collect the
+       owning node ids, merge-sort them globally, then read each owner's
+       values in slot order. Values of attribute snodes (path ends in
+       @name) are wrapped as attribute nodes. *)
+    let owners =
+      List.concat_map
+        (fun (sn : Summary.node) ->
+          let attr_name =
+            if sn.Summary.tag >= 0 then begin
+              let n = tag_name ctx sn.Summary.tag in
+              if String.length n > 0 && n.[0] = '@' then
+                Some (String.sub n 1 (String.length n - 1))
+              else None
+            end
+            else None
+          in
+          Array.to_list sn.Summary.ids |> List.map (fun id -> (id, attr_name)))
+        snodes
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.concat_map
+      (fun (id, attr_name) ->
+        let vals = node_text_values ctx id in
+        match attr_name with
+        | Some name -> List.map (fun v -> Att (name, v)) vals
+        | None -> vals)
+      owners
+
+let count ctx (b : binding) : int =
+  match b.seq with
+  | Mat items -> List.length items
+  | All_nodes snodes ->
+    List.fold_left
+      (fun acc (sn : Summary.node) ->
+        acc + if sn.Summary.tag < 0 then 1 else Array.length sn.Summary.ids)
+      0 snodes
+  | All_values _ -> List.length (materialize ctx b)
+
+let rec atom_string ctx = function
+  | Node id -> node_string_value ctx id
+  | Cval { cont; code } -> decompress_cval cont code
+  | Att (_, v) -> atom_string ctx v
+  | Str s -> s
+  | Num f -> if Float.is_integer f then string_of_int (int_of_float f) else Printf.sprintf "%g" f
+  | Bool b -> if b then "true" else "false"
+  | Elem t -> Xmlkit.Tree.text_content t
+
+let atom_number ctx it =
+  match it with
+  | Num f -> Some f
+  | Bool b -> Some (if b then 1.0 else 0.0)
+  | Node _ | Cval _ | Att _ | Str _ | Elem _ ->
+    float_of_string_opt (String.trim (atom_string ctx it))
+
+let ebv ctx (b : binding) =
+  match b.seq with
+  | All_nodes snodes ->
+    List.exists
+      (fun (sn : Summary.node) -> sn.Summary.tag < 0 || Array.length sn.Summary.ids > 0)
+      snodes
+  | All_values _ -> materialize ctx b <> []
+  | Mat [] -> false
+  | Mat [ Bool b ] -> b
+  | Mat [ Str s ] -> s <> ""
+  | Mat [ Num f ] -> f <> 0.0 && not (Float.is_nan f)
+  | Mat _ -> true
+
+let singleton_number ctx (b : binding) =
+  match materialize ctx b with
+  | [ it ] -> (
+    match atom_number ctx it with
+    | Some f -> f
+    | None -> err "cannot convert %S to a number" (atom_string ctx it))
+  | [] -> Float.nan
+  | _ -> err "expected a singleton numeric value"
+
+(* Comparison of two items: stays in the compressed domain when both are
+   codes under the same source model and the codec supports the class. *)
+let rec compare_items ctx a b : int =
+  match a, b with
+  | Att (_, x), y -> compare_items ctx x y
+  | x, Att (_, y) -> compare_items ctx x y
+  | Cval x, Cval y
+    when x.cont.Container.model_id = y.cont.Container.model_id
+         && Compress.Codec.supports x.cont.Container.algorithm `Ineq ->
+    String.compare x.code y.code
+  | _ -> (
+    match atom_number ctx a, atom_number ctx b with
+    | Some x, Some y -> compare x y
+    | _ -> compare (atom_string ctx a) (atom_string ctx b))
+
+let cmp_holds ctx op a b =
+  let a = match a with Att (_, v) -> v | a -> a in
+  let b = match b with Att (_, v) -> v | b -> b in
+  match op, a, b with
+  | Ast.Eq, Cval x, Cval y
+    when x.cont.Container.model_id = y.cont.Container.model_id
+         && Compress.Codec.supports x.cont.Container.algorithm `Eq ->
+    String.equal x.code y.code
+  | _ ->
+    let c = compare_items ctx a b in
+    (match op with
+    | Ast.Eq -> c = 0
+    | Ast.Neq -> c <> 0
+    | Ast.Lt -> c < 0
+    | Ast.Le -> c <= 0
+    | Ast.Gt -> c > 0
+    | Ast.Ge -> c >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Summary-level step matching                                         *)
+(* ------------------------------------------------------------------ *)
+
+let summary_step ctx (st : Ast.step) : Summary.step option =
+  match st.Ast.axis, st.Ast.test with
+  | Ast.Child, Ast.Name n -> Option.map (fun c -> `Child c) (tag_code ctx n)
+  | Ast.Child, Ast.Any -> Some `Child_any
+  | Ast.Descendant, Ast.Name n -> Option.map (fun c -> `Desc c) (tag_code ctx n)
+  | Ast.Descendant, Ast.Any -> Some `Desc_any
+  | Ast.Attribute, Ast.Name n -> Option.map (fun c -> `Child c) (tag_code ctx ("@" ^ n))
+  | Ast.Attribute, (Ast.Any | Ast.Text) | (Ast.Child | Ast.Descendant), Ast.Text -> None
+
+(* Apply one summary step from a set of summary nodes. *)
+let advance_snodes ctx (snodes : Summary.node list) (st : Ast.step) : Summary.node list =
+  match summary_step ctx st with
+  | None -> []
+  | Some sstep -> Summary.step_from ~is_attr:(is_attr_code ctx) snodes sstep
+
+(* ------------------------------------------------------------------ *)
+(* Compressed-domain container filters                                 *)
+(* ------------------------------------------------------------------ *)
+
+type const_operand = Cstr of string | Cnum of float
+
+let const_of_expr = function
+  | Ast.Literal_string s -> Some (Cstr s)
+  | Ast.Literal_number f -> Some (Cnum f)
+  | _ -> None
+
+(* Records of [cont] satisfying [value op const]. Uses the compressed
+   domain when the codec supports the class; otherwise scans and
+   decompresses (the §3 cost). Returns records (code, parent). *)
+let rec filter_records ctx (cont : Container.t) (op : Ast.cmp_op) (const : const_operand) :
+    Container.record list =
+  let alg = cont.Container.algorithm in
+  let scan_filter pred =
+    Array.to_list (Container.scan cont)
+    |> List.filter (fun (r : Container.record) -> pred (decompress_cval cont r.Container.code))
+  in
+  let generic () =
+    (* decompressed comparison with XQuery general-comparison semantics *)
+    let holds v =
+      match const with
+      | Cnum f -> (
+        match float_of_string_opt (String.trim v) with
+        | Some x -> (
+          let c = compare x f in
+          match op with
+          | Ast.Eq -> c = 0
+          | Ast.Neq -> c <> 0
+          | Ast.Lt -> c < 0
+          | Ast.Le -> c <= 0
+          | Ast.Gt -> c > 0
+          | Ast.Ge -> c >= 0)
+        | None -> false)
+      | Cstr s -> (
+        let c =
+          match float_of_string_opt (String.trim v), float_of_string_opt s with
+          | Some x, Some y -> compare x y
+          | _ -> String.compare v s
+        in
+        match op with
+        | Ast.Eq -> c = 0
+        | Ast.Neq -> c <> 0
+        | Ast.Lt -> c < 0
+        | Ast.Le -> c <= 0
+        | Ast.Gt -> c > 0
+        | Ast.Ge -> c >= 0)
+    in
+    scan_filter holds
+  in
+  match cont.Container.model, const with
+  | Compress.Codec.M_numeric m, Cnum f -> (
+    (* numeric containers: compare in the packed (order-preserving) domain *)
+    match op with
+    | Ast.Eq -> (
+      match Compress.Ipack.pack_exact m f with
+      | Some code -> Container.lookup_eq cont code
+      | None -> [])
+    | Ast.Neq -> generic ()
+    | Ast.Lt -> Container.lookup_range cont ~hi:(Compress.Ipack.pack_bound m ~dir:`Ceil f) ()
+    | Ast.Le ->
+      let b = Compress.Ipack.pack_bound m ~dir:`Floor f in
+      let lo_idx = 0 and hi_idx = Container.upper_bound cont b in
+      List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i))
+    | Ast.Gt ->
+      let b = Compress.Ipack.pack_bound m ~dir:`Floor f in
+      let lo_idx = Container.upper_bound cont b and hi_idx = Container.length cont in
+      List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i))
+    | Ast.Ge -> Container.lookup_range cont ~lo:(Compress.Ipack.pack_bound m ~dir:`Ceil f) ())
+  | Compress.Codec.M_numeric m, Cstr s -> (
+    match float_of_string_opt s with
+    | Some f -> filter_records ctx cont op (Cnum f)
+    | None ->
+      (* the general-comparison rules fall back to string comparison when
+         one side is not numeric: decompress and compare as strings *)
+      ignore m;
+      generic ())
+  | _, Cstr s when Compress.Codec.supports alg `Eq && op = Ast.Eq ->
+    Container.lookup_eq cont (Container.compress_constant cont s)
+  | _, Cstr s
+    when Compress.Codec.supports alg `Ineq
+         && (op = Ast.Lt || op = Ast.Le || op = Ast.Gt || op = Ast.Ge) -> (
+    let code = Container.compress_constant cont s in
+    match op with
+    | Ast.Lt -> Container.lookup_range cont ~hi:code ()
+    | Ast.Le ->
+      let hi_idx = Container.upper_bound cont code in
+      List.init hi_idx (fun i -> cont.Container.records.(i))
+    | Ast.Gt ->
+      let lo_idx = Container.upper_bound cont code and hi_idx = Container.length cont in
+      List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i))
+    | Ast.Ge -> Container.lookup_range cont ~lo:code ()
+    | Ast.Eq | Ast.Neq -> assert false)
+  | _ -> generic ()
+
+(* contains / starts-with over a container. starts-with runs in the
+   compressed domain for Huffman (bit-prefix match) and for
+   order-preserving codecs (prefix range); contains always decompresses. *)
+let filter_records_textual ctx (cont : Container.t) ~(kind : [ `Contains | `Starts_with ])
+    (needle : string) : Container.record list =
+  ignore ctx;
+  match kind with
+  | `Starts_with -> (
+    match cont.Container.model with
+    | Compress.Codec.M_huffman h ->
+      let prefix_bits = Compress.Huffman.compress_prefix h needle in
+      Array.to_list (Container.scan cont)
+      |> List.filter (fun (r : Container.record) ->
+             Compress.Huffman.matches_prefix ~prefix_bits r.Container.code)
+    | Compress.Codec.M_alm m ->
+      let (lo, hi) = Compress.Alm.prefix_range m needle in
+      Container.lookup_range cont ~lo ?hi ()
+    | _ ->
+      Array.to_list (Container.scan cont)
+      |> List.filter (fun (r : Container.record) ->
+             let v = decompress_cval cont r.Container.code in
+             String.length needle <= String.length v
+             && String.sub v 0 (String.length needle) = needle))
+  | `Contains ->
+    let contains hay =
+      let n = String.length needle and h = String.length hay in
+      if n = 0 then true
+      else begin
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      end
+    in
+    Array.to_list (Container.scan cont)
+    |> List.filter (fun (r : Container.record) ->
+           contains (decompress_cval cont r.Container.code))
+
+(* Map a matched record's parent pointer to the element [hops] levels up.
+   Attribute records point at the attribute node, whose parent is the
+   owning element. *)
+let record_element ctx (cont : Container.t) (r : Container.record) : int =
+  match cont.Container.kind with
+  | Container.Text -> r.Container.parent
+  | Container.Attribute -> Structure_tree.parent ctx.repo.Repository.tree r.Container.parent
+
+let rec ancestor_at ctx id hops =
+  if hops <= 0 then id else ancestor_at ctx (Structure_tree.parent ctx.repo.Repository.tree id) (hops - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Predicate analysis and pushdown                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Recognized predicate shapes that can be pushed into containers. *)
+type pushable =
+  | P_value of Ast.cmp_op * Ast.step list * const_operand
+  | P_textual of [ `Contains | `Starts_with ] * Ast.step list * string
+  | P_exists of Ast.step list
+
+let flip_op = function
+  | Ast.Eq -> Ast.Eq
+  | Ast.Neq -> Ast.Neq
+  | Ast.Lt -> Ast.Gt
+  | Ast.Le -> Ast.Ge
+  | Ast.Gt -> Ast.Lt
+  | Ast.Ge -> Ast.Le
+
+let recognize_pushable (e : Ast.expr) : pushable option =
+  match e with
+  | Ast.Cmp (op, Ast.Path (Ast.Context, vsteps), rhs) ->
+    Option.map (fun c -> P_value (op, vsteps, c)) (const_of_expr rhs)
+  | Ast.Cmp (op, lhs, Ast.Path (Ast.Context, vsteps)) ->
+    Option.map (fun c -> P_value (flip_op op, vsteps, c)) (const_of_expr lhs)
+  | Ast.Contains (Ast.Path (Ast.Context, vsteps), Ast.Literal_string s) ->
+    Some (P_textual (`Contains, vsteps, s))
+  | Ast.Starts_with (Ast.Path (Ast.Context, vsteps), Ast.Literal_string s) ->
+    Some (P_textual (`Starts_with, vsteps, s))
+  | Ast.Path (Ast.Context, esteps) -> Some (P_exists esteps)
+  | _ -> None
+
+(* Resolve a context-relative value path to (container, hops-to-context).
+   Supports chains of child element steps ending in text(), @attr, or a
+   bare element. A bare-element comparison atomizes the element's whole
+   subtree, so it only resolves to the immediate-text container when that
+   is provably the complete string value: exactly one text child per
+   instance and no text anywhere below. *)
+let parents_all_distinct (cont : Container.t) : bool =
+  let seen = Hashtbl.create (Container.length cont) in
+  Array.for_all
+    (fun (r : Container.record) ->
+      if Hashtbl.mem seen r.Container.parent then false
+      else begin
+        Hashtbl.add seen r.Container.parent ();
+        true
+      end)
+    (Container.scan cont)
+
+let resolve_value_path ?(concat_semantics = false) ctx (snodes : Summary.node list)
+    (vsteps : Ast.step list) : (Container.t * int) list option =
+  let rec go snodes hops = function
+    | [] ->
+      (* bare element comparison *)
+      let sound (sn : Summary.node) =
+        (match sn.Summary.text_container with
+        | Some cid ->
+          let cont = container ctx cid in
+          Array.length sn.Summary.ids = Container.length cont
+          && parents_all_distinct cont
+        | None -> false)
+        && List.for_all
+             (fun (d : Summary.node) -> d == sn || d.Summary.text_container = None)
+             (Summary.descend_all sn [])
+      in
+      let conts =
+        if snodes <> [] && List.for_all sound snodes then
+          List.filter_map
+            (fun (sn : Summary.node) -> Option.map (container ctx) sn.Summary.text_container)
+            snodes
+        else []
+      in
+      if conts = [] then None else Some (List.map (fun c -> (c, hops)) conts)
+    | ({ Ast.axis = Ast.Child; test = Ast.Text; predicates = [] } : Ast.step) :: [] ->
+      (* text() value comparisons are existential over the text nodes, so
+         per-record matching is exact; contains/starts-with concatenate
+         the sequence, so they additionally need one text node per
+         instance *)
+      let one_text_per_instance (sn : Summary.node) =
+        match sn.Summary.text_container with
+        | Some cid ->
+          let cont = container ctx cid in
+          Array.length sn.Summary.ids = Container.length cont
+          && parents_all_distinct cont
+        | None -> false
+      in
+      let usable =
+        snodes <> []
+        && ((not concat_semantics) || List.for_all one_text_per_instance snodes)
+      in
+      let conts =
+        if usable then
+          List.filter_map
+            (fun (sn : Summary.node) -> Option.map (container ctx) sn.Summary.text_container)
+            snodes
+        else []
+      in
+      if conts = [] then None else Some (List.map (fun c -> (c, hops)) conts)
+    | { Ast.axis = Ast.Attribute; test = Ast.Name _; predicates = [] } :: [] as steps ->
+      let asnodes = advance_snodes ctx snodes (List.hd steps) in
+      let conts =
+        List.filter_map
+          (fun (sn : Summary.node) -> Option.map (container ctx) sn.Summary.text_container)
+          asnodes
+      in
+      (* attribute records resolve to the owning element at this level *)
+      if conts = [] then None else Some (List.map (fun c -> (c, hops)) conts)
+    | ({ Ast.axis = Ast.Child; test = Ast.Name _; predicates = [] } as st) :: rest ->
+      let next = advance_snodes ctx snodes st in
+      if next = [] then None else go next (hops + 1) rest
+    | _ -> None
+  in
+  if snodes = [] then None else go snodes 0 vsteps
+
+(* Matched element ids (at candidate level) for a pushable predicate,
+   or None when it cannot be resolved statically. *)
+let pushdown_matches ctx (snodes : Summary.node list) (p : pushable) : int array option =
+  let of_records resolved records_of =
+    let ids =
+      List.concat_map
+        (fun ((cont : Container.t), hops) ->
+          List.map
+            (fun r -> ancestor_at ctx (record_element ctx cont r) hops)
+            (records_of cont))
+        resolved
+    in
+    let arr = Array.of_list ids in
+    Array.sort compare arr;
+    Some arr
+  in
+  match p with
+  | P_value (op, vsteps, const) -> (
+    if op = Ast.Neq then None
+    else
+      match resolve_value_path ctx snodes vsteps with
+      | None -> None
+      | Some resolved -> of_records resolved (fun cont -> filter_records ctx cont op const))
+  | P_textual (kind, vsteps, needle) -> (
+    match resolve_value_path ~concat_semantics:true ctx snodes vsteps with
+    | None -> None
+    | Some resolved ->
+      of_records resolved (fun cont -> filter_records_textual ctx cont ~kind needle))
+  | P_exists esteps -> (
+    (* existence of a child path: ids of the target snodes mapped up *)
+    let rec advance snodes hops = function
+      | [] -> Some (snodes, hops)
+      | ({ Ast.axis = Ast.Child; test = Ast.Name _; predicates = [] } as st) :: rest ->
+        let next = advance_snodes ctx snodes st in
+        if next = [] then None else advance next (hops + 1) rest
+      | ({ Ast.axis = Ast.Attribute; test = Ast.Name _; predicates = [] } as st) :: [] ->
+        let next = advance_snodes ctx snodes st in
+        if next = [] then None else Some (next, hops + 1)
+      | _ -> None
+    in
+    match advance snodes 0 esteps with
+    | None | Some (_, 0) -> None
+    | Some (targets, hops) ->
+      let ids =
+        List.concat_map
+          (fun (sn : Summary.node) ->
+            Array.to_list sn.Summary.ids |> List.map (fun id -> ancestor_at ctx id hops))
+          targets
+      in
+      let arr = Array.of_list (List.sort_uniq compare ids) in
+      Some arr)
+
+let mem_sorted (arr : int array) (x : int) : bool =
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) = x then found := true
+    else if arr.(mid) < x then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Sset = Analysis.Sset
+
+(* Join keys: [Kcode] probes compressed codes directly (both sides under
+   one source model — the paper's compressed-domain joins); atoms fall
+   back to numeric-then-string comparison semantics. *)
+type join_key = Kcode of string | Knum of float | Kstr of string
+
+type key_mode =
+  | Mode_code of int * Container.t  (* shared model id + a container for re-compression *)
+  | Mode_atom
+
+let lookup env v =
+  match List.assoc_opt v env with
+  | Some b -> b
+  | None -> err "unbound variable $%s" v
+
+let rec eval ctx (env : env) (e : Ast.expr) : binding =
+  match e with
+  | Ast.Literal_string s -> mat [ Str s ]
+  | Ast.Literal_number f -> mat [ Num f ]
+  | Ast.Var v -> lookup env v
+  | Ast.Context -> lookup env "."
+  | Ast.Doc _ ->
+    let root = ctx.repo.Repository.summary.Summary.root in
+    { seq = All_nodes [ root ]; snodes = [ root ] }
+  | Ast.Path (src, steps) ->
+    let b = eval ctx env src in
+    List.fold_left (eval_step ctx env) b steps
+  | Ast.Flwor (clauses, ret) -> eval_flwor ctx env clauses ret
+  | Ast.If (c, t, f) -> if ebv ctx (eval ctx env c) then eval ctx env t else eval ctx env f
+  | Ast.Cmp (op, a, b) ->
+    let xs = materialize ctx (eval ctx env a) and ys = materialize ctx (eval ctx env b) in
+    mat [ Bool (List.exists (fun x -> List.exists (fun y -> cmp_holds ctx op x y) ys) xs) ]
+  | Ast.Arith (op, a, b) ->
+    let x = singleton_number ctx (eval ctx env a)
+    and y = singleton_number ctx (eval ctx env b) in
+    let v =
+      match op with
+      | Ast.Add -> x +. y
+      | Ast.Sub -> x -. y
+      | Ast.Mul -> x *. y
+      | Ast.Div -> x /. y
+      | Ast.Mod -> Float.rem x y
+    in
+    mat [ Num v ]
+  | Ast.And (a, b) -> mat [ Bool (ebv ctx (eval ctx env a) && ebv ctx (eval ctx env b)) ]
+  | Ast.Or (a, b) -> mat [ Bool (ebv ctx (eval ctx env a) || ebv ctx (eval ctx env b)) ]
+  | Ast.Not a -> mat [ Bool (not (ebv ctx (eval ctx env a))) ]
+  | Ast.Aggregate (agg, e) -> eval_aggregate ctx env agg e
+  | Ast.Contains (a, b) ->
+    let hay = String.concat "" (List.map (atom_string ctx) (materialize ctx (eval ctx env a))) in
+    let needle =
+      String.concat "" (List.map (atom_string ctx) (materialize ctx (eval ctx env b)))
+    in
+    let contains hay needle =
+      let n = String.length needle and h = String.length hay in
+      if n = 0 then true
+      else begin
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      end
+    in
+    mat [ Bool (contains hay needle) ]
+  | Ast.Starts_with (a, b) ->
+    let hay = String.concat "" (List.map (atom_string ctx) (materialize ctx (eval ctx env a))) in
+    let needle =
+      String.concat "" (List.map (atom_string ctx) (materialize ctx (eval ctx env b)))
+    in
+    mat
+      [
+        Bool
+          (String.length needle <= String.length hay
+          && String.sub hay 0 (String.length needle) = needle);
+      ]
+  | Ast.Ftcontains (a, words) ->
+    let hay =
+      String.lowercase_ascii
+        (String.concat " " (List.map (atom_string ctx) (materialize ctx (eval ctx env a))))
+    in
+    let contains hay needle =
+      let n = String.length needle and h = String.length hay in
+      if n = 0 then true
+      else begin
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      end
+    in
+    mat [ Bool (List.for_all (fun w -> contains hay w) words) ]
+  | Ast.Empty e -> mat [ Bool (count ctx (eval ctx env e) = 0) ]
+  | Ast.Exists e -> mat [ Bool (count ctx (eval ctx env e) > 0) ]
+  | Ast.Distinct_values e -> eval_distinct ctx env e
+  | Ast.String_of e ->
+    mat [ Str (String.concat "" (List.map (atom_string ctx) (materialize ctx (eval ctx env e)))) ]
+  | Ast.Number_of e -> mat [ Num (singleton_number ctx (eval ctx env e)) ]
+  | Ast.Name_of e -> (
+    match materialize ctx (eval ctx env e) with
+    | Node id :: _ ->
+      let n = tag_name ctx (Structure_tree.tag ctx.repo.Repository.tree id) in
+      let n = if String.length n > 0 && n.[0] = '@' then String.sub n 1 (String.length n - 1) else n in
+      mat [ Str n ]
+    | Elem (Xmlkit.Tree.Element (t, _, _)) :: _ -> mat [ Str t ]
+    | Att (n, _) :: _ -> mat [ Str n ]
+    | _ -> mat [ Str "" ])
+  | Ast.Some_satisfies (v, e, cond) ->
+    let items = materialize ctx (eval ctx env e) in
+    mat
+      [ Bool (List.exists (fun it -> ebv ctx (eval ctx ((v, mat [ it ]) :: env) cond)) items) ]
+  | Ast.Every_satisfies (v, e, cond) ->
+    let items = materialize ctx (eval ctx env e) in
+    mat
+      [ Bool (List.for_all (fun it -> ebv ctx (eval ctx ((v, mat [ it ]) :: env) cond)) items) ]
+  | Ast.Element (tag, attrs, kids) -> mat [ Elem (construct ctx env tag attrs kids) ]
+  | Ast.Sequence es -> mat (List.concat_map (fun e -> materialize ctx (eval ctx env e)) es)
+
+(* --- Path steps --- *)
+
+and eval_step ctx env (b : binding) (st : Ast.step) : binding =
+  let has_pos =
+    List.exists
+      (function Ast.Pos _ | Ast.Pos_last -> true | Ast.Cond _ -> false)
+      st.Ast.predicates
+  in
+  match st.Ast.axis, st.Ast.test with
+  | (Ast.Child | Ast.Descendant), Ast.Text -> (
+    match b.seq with
+    | All_nodes snodes when st.Ast.predicates = [] && st.Ast.axis = Ast.Child ->
+      { seq = All_values snodes; snodes = [] }
+    | _ ->
+      let items =
+        materialize ctx b
+        |> List.concat_map (fun it ->
+               match it with
+               | Node id when id < 0 -> []
+               | Node id ->
+                 if st.Ast.axis = Ast.Child then node_text_values ctx id
+                 else
+                   node_text_values ctx id
+                   @ List.concat_map (node_text_values ctx)
+                       (Structure_tree.descendants ctx.repo.Repository.tree id
+                       |> List.filter (fun d ->
+                              not (is_attr_code ctx (Structure_tree.tag ctx.repo.Repository.tree d))))
+               | Elem t ->
+                 List.filter_map
+                   (function Xmlkit.Tree.Text s -> Some (Str s) | Xmlkit.Tree.Element _ -> None)
+                   (Xmlkit.Tree.children t)
+               | Att _ | Cval _ | Str _ | Num _ | Bool _ -> [])
+      in
+      { seq = Mat items; snodes = [] })
+  | Ast.Attribute, Ast.Name n -> (
+    let asnodes = advance_snodes ctx b.snodes st in
+    match b.seq with
+    | All_nodes _ when st.Ast.predicates = [] && asnodes <> [] ->
+      { seq = All_values asnodes; snodes = asnodes }
+    | _ ->
+      let items =
+        materialize ctx b
+        |> List.concat_map (fun it ->
+               match it with
+               | Node id when id < 0 -> []
+               | Node id -> (
+                 match tag_code ctx ("@" ^ n) with
+                 | None -> []
+                 | Some code ->
+                   Structure_tree.children_with_tag ctx.repo.Repository.tree id code
+                   |> List.filter_map (attr_node_value ctx)
+                   |> List.map (fun v -> Att (n, v)))
+               | Elem t -> (
+                 match Xmlkit.Tree.attr t n with Some v -> [ Att (n, Str v) ] | None -> [])
+               | Att _ | Cval _ | Str _ | Num _ | Bool _ -> [])
+      in
+      { seq = Mat items; snodes = asnodes })
+  | Ast.Attribute, (Ast.Any | Ast.Text) -> err "unsupported attribute step"
+  | (Ast.Child | Ast.Descendant), (Ast.Name _ | Ast.Any) -> (
+    let new_snodes = advance_snodes ctx b.snodes st in
+    match b.seq with
+    | All_nodes _ when (not has_pos) && new_snodes <> [] ->
+      if st.Ast.predicates = [] then { seq = All_nodes new_snodes; snodes = new_snodes }
+      else begin
+        let candidates = Summary.merged_ids new_snodes in
+        let filtered = apply_cond_predicates ctx env new_snodes candidates st.Ast.predicates in
+        { seq = Mat (List.map (fun id -> Node id) (Array.to_list filtered)); snodes = new_snodes }
+      end
+    | _ ->
+      (* navigate per context node, applying predicates per context *)
+      let tree = ctx.repo.Repository.tree in
+      (* the virtual document node (-1) has node 0 as its only child and
+         every node as descendant *)
+      let node_children id =
+        if id = doc_node_id then [ 0 ] else Structure_tree.child_nodes tree id
+      in
+      let desc_range id =
+        if id = doc_node_id then (0, Structure_tree.node_count tree - 1)
+        else (id + 1, Structure_tree.last_descendant tree id)
+      in
+      let kids_of id =
+        match st.Ast.axis, st.Ast.test with
+        | Ast.Child, Ast.Name n -> (
+          match tag_code ctx n with
+          | None -> []
+          | Some code ->
+            node_children id |> List.filter (fun c -> Structure_tree.tag tree c = code))
+        | Ast.Child, Ast.Any ->
+          node_children id
+          |> List.filter (fun c -> not (is_attr_code ctx (Structure_tree.tag tree c)))
+        | Ast.Descendant, Ast.Name n -> (
+          match tag_code ctx n with
+          | None -> []
+          | Some code ->
+            let (first, stop) = desc_range id in
+            if new_snodes <> [] then begin
+              (* slice the summary's id lists to this subtree's pre range *)
+              let all = Summary.merged_ids new_snodes in
+              let lo =
+                let l = ref 0 and h = ref (Array.length all) in
+                while !l < !h do
+                  let m = (!l + !h) / 2 in
+                  if all.(m) < first then l := m + 1 else h := m
+                done;
+                !l
+              in
+              let rec take i acc =
+                if i < Array.length all && all.(i) <= stop then take (i + 1) (all.(i) :: acc)
+                else List.rev acc
+              in
+              take lo []
+            end
+            else
+              List.init (stop - first + 1) (fun i -> first + i)
+              |> List.filter (fun d -> Structure_tree.tag tree d = code))
+        | Ast.Descendant, Ast.Any ->
+          let (first, stop) = desc_range id in
+          List.init (stop - first + 1) (fun i -> first + i)
+          |> List.filter (fun d -> not (is_attr_code ctx (Structure_tree.tag tree d)))
+        | _, Ast.Text | Ast.Attribute, _ -> assert false
+      in
+      let per_context id =
+        let kids = kids_of id in
+        List.fold_left
+          (fun kids p ->
+            match p with
+            | Ast.Pos i -> (
+              match List.nth_opt kids (i - 1) with Some k -> [ k ] | None -> [])
+            | Ast.Pos_last -> (
+              match List.rev kids with k :: _ -> [ k ] | [] -> [])
+            | Ast.Cond e ->
+              List.filter
+                (fun k -> ebv ctx (eval ctx (("." , mat [ Node k ]) :: env) e))
+                kids)
+          kids st.Ast.predicates
+      in
+      let ids =
+        materialize ctx b
+        |> List.concat_map (fun it ->
+               match it with
+               | Node id -> per_context id
+               | Elem _ -> err "cannot navigate into constructed elements with this axis"
+               | Att _ | Cval _ | Str _ | Num _ | Bool _ -> [])
+      in
+      let ids = if st.Ast.axis = Ast.Descendant then List.sort_uniq compare ids else ids in
+      { seq = Mat (List.map (fun id -> Node id) ids); snodes = new_snodes })
+
+(* Filter candidate ids (doc order) by Cond predicates, using container
+   pushdown when the predicate shape allows, per-node evaluation
+   otherwise. *)
+and apply_cond_predicates ctx env snodes (candidates : int array) (preds : Ast.predicate list) :
+    int array =
+  List.fold_left
+    (fun cands p ->
+      match p with
+      | Ast.Pos _ | Ast.Pos_last -> cands (* handled by the navigation path *)
+      | Ast.Cond e -> (
+        match Option.bind (recognize_pushable e) (pushdown_matches ctx snodes) with
+        | Some matched ->
+          Array.to_list cands |> List.filter (mem_sorted matched) |> Array.of_list
+        | None ->
+          Array.to_list cands
+          |> List.filter (fun id -> ebv ctx (eval ctx (("." , mat [ Node id ]) :: env) e))
+          |> Array.of_list))
+    candidates preds
+
+(* --- Aggregates, distinct --- *)
+
+and eval_aggregate ctx env agg e : binding =
+  let b = eval ctx env e in
+  match agg with
+  | Ast.Count -> mat [ Num (float_of_int (count ctx b)) ]
+  | Ast.Sum ->
+    let items = materialize ctx b in
+    mat
+      [
+        Num
+          (List.fold_left
+             (fun acc it -> acc +. Option.value ~default:0.0 (atom_number ctx it))
+             0.0 items);
+      ]
+  | Ast.Avg -> (
+    match materialize ctx b with
+    | [] -> mat []
+    | items ->
+      mat
+        [
+          Num
+            (List.fold_left
+               (fun acc it -> acc +. Option.value ~default:0.0 (atom_number ctx it))
+               0.0 items
+            /. float_of_int (List.length items));
+        ])
+  | Ast.Min | Ast.Max -> (
+    match materialize ctx b with
+    | [] -> mat []
+    | first :: rest ->
+      let better a b =
+        let c = compare_items ctx a b in
+        match agg with Ast.Min -> c <= 0 | _ -> c >= 0
+      in
+      let winner = List.fold_left (fun best it -> if better best it then best else it) first rest in
+      (* fn:min/max atomize: strip node-ness but keep compressed values
+         compressed (they decompress only on output) *)
+      let atomized =
+        match winner with
+        | Att (_, v) -> v
+        | Node id -> Str (node_string_value ctx id)
+        | it -> it
+      in
+      mat [ atomized ])
+
+and eval_distinct ctx env e : binding =
+  let items = materialize ctx (eval ctx env e) in
+  (* Stay compressed when every item shares one eq-capable source model. *)
+  let items = List.map (function Att (_, v) -> v | it -> it) items in
+  let all_same_model =
+    match items with
+    | Cval { cont; _ } :: _ ->
+      Compress.Codec.supports cont.Container.algorithm `Eq
+      && List.for_all
+           (function
+             | Cval { cont = c; _ } -> c.Container.model_id = cont.Container.model_id
+             | _ -> false)
+           items
+    | _ -> false
+  in
+  if all_same_model then begin
+    let seen = Hashtbl.create 64 in
+    mat
+      (List.filter
+         (fun it ->
+           match it with
+           | Cval { code; _ } ->
+             if Hashtbl.mem seen code then false
+             else begin
+               Hashtbl.add seen code ();
+               true
+             end
+           | _ -> false)
+         items)
+  end
+  else begin
+    let seen = Hashtbl.create 64 in
+    mat
+      (List.filter_map
+         (fun it ->
+           let k = atom_string ctx it in
+           if Hashtbl.mem seen k then None
+           else begin
+             Hashtbl.add seen k ();
+             Some (Str k)
+           end)
+         items)
+  end
+
+(* --- Element construction --- *)
+
+and construct ctx env tag attrs kids : Xmlkit.Tree.t =
+  let eval_attr (n, v) =
+    match v with
+    | Ast.Attr_string s -> (n, s)
+    | Ast.Attr_expr e ->
+      ( n,
+        String.concat " " (List.map (atom_string ctx) (materialize ctx (eval ctx env e))) )
+  in
+  let static_attrs = List.map eval_attr attrs in
+  let kid_items = List.concat_map (fun k -> materialize ctx (eval ctx env k)) kids in
+  (* attribute items in content become attributes of the new element *)
+  let dyn_attrs =
+    List.filter_map
+      (function Att (n, v) -> Some (n, atom_string ctx v) | _ -> None)
+      kid_items
+  in
+  let rec content acc pending = function
+    | [] -> List.rev (flush acc pending)
+    | Att _ :: rest -> content acc pending rest
+    | Node id :: rest -> content (reconstruct ctx id :: flush acc pending) [] rest
+    | Elem t :: rest -> content (t :: flush acc pending) [] rest
+    | it :: rest -> content acc (atom_string ctx it :: pending) rest
+  and flush acc pending =
+    match pending with
+    | [] -> acc
+    | atoms -> Xmlkit.Tree.Text (String.concat " " (List.rev atoms)) :: acc
+  in
+  Xmlkit.Tree.Element (tag, static_attrs @ dyn_attrs, content [] [] kid_items)
+
+(* --- FLWOR with join detection and decorrelation --- *)
+
+and eval_flwor ctx (base : env) (clauses : Ast.clause list) (ret : Ast.expr) : binding =
+  let base_vars = Sset.of_list (List.map fst base) in
+  let all_conjuncts =
+    List.concat_map (function Ast.Where e -> Analysis.conjuncts e | _ -> []) clauses
+  in
+  let pending = ref all_conjuncts in
+  let bound = ref Sset.empty in
+  (* tuples are deltas over [base] *)
+  let tuples : env list ref = ref [ [] ] in
+  let full delta = delta @ base in
+  let apply_ready () =
+    let (ready, rest) =
+      List.partition
+        (fun c -> Sset.subset (Analysis.free_vars c) (Sset.union !bound base_vars))
+        !pending
+    in
+    pending := rest;
+    List.iter
+      (fun c -> tuples := List.filter (fun d -> ebv ctx (eval ctx (full d) c)) !tuples)
+      ready
+  in
+  let process_clause (clause : Ast.clause) =
+    match clause with
+    | Ast.For (v, e) ->
+      let correlated = Analysis.mentions !bound e in
+      if not correlated then begin
+        let source = eval ctx base e in
+        match find_join ctx ~var:v ~bound:!bound ~base_vars pending with
+        | Some join -> tuples := exec_join ctx base !tuples ~var:v ~source join
+        | None ->
+          let items = materialize ctx source in
+          tuples :=
+            List.concat_map
+              (fun d -> List.map (fun it -> (v, mat [ it ]) :: d) items)
+              !tuples
+      end
+      else
+        tuples :=
+          List.concat_map
+            (fun d ->
+              let items = materialize ctx (eval ctx (full d) e) in
+              List.map (fun it -> (v, mat [ it ]) :: d) items)
+            !tuples;
+      bound := Sset.add v !bound;
+      apply_ready ()
+    | Ast.Let (v, e) ->
+      let correlated = Analysis.mentions !bound e in
+      if not correlated then begin
+        let b = eval ctx base e in
+        tuples := List.map (fun d -> (v, b) :: d) !tuples
+      end
+      else begin
+        match decorrelate ctx base ~tuple_vars:!bound e with
+        | Some probe -> tuples := List.map (fun d -> (v, mat (probe d)) :: d) !tuples
+        | None ->
+          tuples := List.map (fun d -> (v, eval ctx (full d) e) :: d) !tuples
+      end;
+      bound := Sset.add v !bound;
+      apply_ready ()
+    | Ast.Where _ -> apply_ready ()
+    | Ast.Order_by keys ->
+      let decorated =
+        List.map
+          (fun d -> (List.map (fun (k, dir) -> (materialize ctx (eval ctx (full d) k), dir)) keys, d))
+          !tuples
+      in
+      let cmp (ka, _) (kb, _) =
+        let rec go = function
+          | [] -> 0
+          | ((a, dir), (b, _)) :: rest ->
+            let c =
+              match a, b with
+              | [], [] -> 0
+              | [], _ -> -1
+              | _, [] -> 1
+              | x :: _, y :: _ -> compare_items ctx x y
+            in
+            let c = match dir with `Asc -> c | `Desc -> -c in
+            if c <> 0 then c else go rest
+        in
+        go (List.combine ka kb)
+      in
+      tuples := List.map snd (List.stable_sort cmp decorated)
+  in
+  List.iter process_clause clauses;
+  apply_ready ();
+  if !pending <> [] then
+    err "where clause references unbound variables: %s"
+      (String.concat ", "
+         (List.concat_map (fun c -> Sset.elements (Analysis.free_vars c)) !pending));
+  mat (List.concat_map (fun d -> materialize ctx (eval ctx (full d) ret)) !tuples)
+
+(* Find a consumable join conjunct between the new variable [var] and the
+   already-bound variables. Removes it from [pending] when found. *)
+and find_join ctx ~var ~bound ~base_vars pending =
+  ignore ctx;
+  if Sset.is_empty bound then None
+  else begin
+    let right_vars = Sset.singleton var in
+    let rec search seen = function
+      | [] -> None
+      | c :: rest -> (
+        match
+          Analysis.join_conjunct ~left_vars:bound ~right_vars ~outer:base_vars c
+        with
+        | Some (op, left_e, right_e) when op <> Ast.Neq ->
+          pending := List.rev_append seen rest;
+          Some (op, left_e, right_e)
+        | _ -> search (c :: seen) rest)
+    in
+    search [] !pending
+  end
+
+and exec_join ctx base tuples ~var ~source (op, left_e, right_e) =
+  let items = materialize ctx source in
+  (* Key mode: compressed codes when both sides statically resolve to
+     containers sharing one source model; atoms otherwise. The new
+     variable's summary provenance comes from its source binding. *)
+  let typing_env = (var, { seq = Mat []; snodes = source.snodes }) :: base in
+  let mode = join_key_mode ctx typing_env left_e right_e in
+  let keys_of env e = List.concat_map (join_key ctx mode) (materialize ctx (eval ctx env e)) in
+  match op with
+  | Ast.Eq ->
+    let table : (join_key, (int * item) list ref) Hashtbl.t = Hashtbl.create 256 in
+    List.iteri
+      (fun i it ->
+        let env = (var, mat [ it ]) :: base in
+        List.iter
+          (fun k ->
+            match Hashtbl.find_opt table k with
+            | Some l -> l := (i, it) :: !l
+            | None -> Hashtbl.add table k (ref [ (i, it) ]))
+          (List.sort_uniq compare (keys_of env right_e)))
+      items;
+    List.concat_map
+      (fun d ->
+        let ks = List.sort_uniq compare (keys_of (d @ base) left_e) in
+        let matched =
+          List.concat_map
+            (fun k -> match Hashtbl.find_opt table k with Some l -> !l | None -> [])
+            ks
+        in
+        let matched = List.sort_uniq (fun (i, _) (j, _) -> compare i j) matched in
+        List.map (fun (_, it) -> (var, mat [ it ]) :: d) matched)
+      tuples
+  | Ast.Neq -> assert false
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    (* sort inner items by key; binary-search the satisfying range *)
+    let keyed =
+      List.concat_map
+        (fun it ->
+          List.map (fun k -> (k, it)) (keys_of ((var, mat [ it ]) :: base) right_e))
+        items
+      |> List.stable_sort (fun (a, _) (b, _) -> compare_join_key a b)
+      |> Array.of_list
+    in
+    let n = Array.length keyed in
+    (* first index with key "not less than" wrt probe, by predicate *)
+    let first_ge k =
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let m = (!lo + !hi) / 2 in
+        if compare_join_key (fst keyed.(m)) k < 0 then lo := m + 1 else hi := m
+      done;
+      !lo
+    in
+    let first_gt k =
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let m = (!lo + !hi) / 2 in
+        if compare_join_key (fst keyed.(m)) k <= 0 then lo := m + 1 else hi := m
+      done;
+      !lo
+    in
+    List.concat_map
+      (fun d ->
+        let ks = keys_of (d @ base) left_e in
+        let matched = Hashtbl.create 16 in
+        let order = ref [] in
+        let add_range lo hi =
+          for i = lo to hi - 1 do
+            let (_, it) = keyed.(i) in
+            if not (Hashtbl.mem matched i) then begin
+              Hashtbl.add matched i ();
+              order := (i, it) :: !order
+            end
+          done
+        in
+        List.iter
+          (fun k ->
+            (* left op right: e.g. left < right means right's key > left key *)
+            match op with
+            | Ast.Lt -> add_range (first_gt k) n
+            | Ast.Le -> add_range (first_ge k) n
+            | Ast.Gt -> add_range 0 (first_ge k)
+            | Ast.Ge -> add_range 0 (first_gt k)
+            | Ast.Eq | Ast.Neq -> assert false)
+          ks;
+        List.sort (fun (i, _) (j, _) -> compare i j) !order
+        |> List.map (fun (_, it) -> (var, mat [ it ]) :: d))
+      tuples
+
+(* Decorrelate a nested FLWOR bound in a LET: the Q8/Q9 pattern
+     let $a := for $t in ... where <inner> = <outer> return ...
+   Builds the inner table once and probes it per outer tuple. *)
+and decorrelate ctx base ~tuple_vars (e : Ast.expr) : (env -> item list) option =
+  match e with
+  | Ast.Flwor (clauses, ret) -> (
+    let base_vars = Sset.of_list (List.map fst base) in
+    let inner_bound =
+      List.fold_left
+        (fun acc c ->
+          match c with Ast.For (v, _) | Ast.Let (v, _) -> Sset.add v acc | _ -> acc)
+        Sset.empty clauses
+    in
+    (* every clause except where-conjuncts must avoid outer tuple vars *)
+    let clean_clauses_ok =
+      List.for_all
+        (fun c ->
+          match c with
+          | Ast.For (_, e) | Ast.Let (_, e) -> not (Analysis.mentions tuple_vars e)
+          | Ast.Where _ -> true
+          | Ast.Order_by keys -> not (List.exists (fun (k, _) -> Analysis.mentions tuple_vars k) keys))
+        clauses
+      && not (Analysis.mentions tuple_vars ret)
+    in
+    if not clean_clauses_ok then None
+    else begin
+      let conjs = List.concat_map (function Ast.Where e -> Analysis.conjuncts e | _ -> []) clauses in
+      let correlated, clean = List.partition (Analysis.mentions tuple_vars) conjs in
+      match correlated with
+      | [ c ] -> (
+        match
+          Analysis.join_conjunct ~left_vars:tuple_vars ~right_vars:inner_bound
+            ~outer:base_vars c
+        with
+        | Some (op, outer_e, inner_e) when op <> Ast.Neq ->
+          (* rebuild inner clause list without any Where, then re-add the
+             clean conjuncts as a single Where before the end *)
+          let structural =
+            List.filter (function Ast.Where _ -> false | _ -> true) clauses
+          in
+          let rebuilt =
+            match Analysis.conjoin clean with
+            | None -> structural
+            | Some w -> structural @ [ Ast.Where w ]
+          in
+          (* evaluate inner tuples once, in the base env *)
+          let inner_tuples = flwor_tuples ctx base rebuilt in
+          (* static env binding the inner variables' summary provenance,
+             so the join keys can be typed to compressed codes *)
+          let typing_env =
+            List.fold_left
+              (fun env c ->
+                match c with
+                | Ast.For (v, e) | Ast.Let (v, e) ->
+                  (v, { seq = Mat []; snodes = static_snodes ctx env e }) :: env
+                | Ast.Where _ | Ast.Order_by _ -> env)
+              base structural
+          in
+          let mode = join_key_mode ctx typing_env outer_e inner_e in
+          let keys_of env e =
+            List.concat_map (join_key ctx mode) (materialize ctx (eval ctx env e))
+          in
+          (match op with
+          | Ast.Eq ->
+            let table : (join_key, (int * env) list ref) Hashtbl.t = Hashtbl.create 256 in
+            List.iteri
+              (fun i d ->
+                List.iter
+                  (fun k ->
+                    match Hashtbl.find_opt table k with
+                    | Some l -> l := (i, d) :: !l
+                    | None -> Hashtbl.add table k (ref [ (i, d) ]))
+                  (List.sort_uniq compare (keys_of (d @ base) inner_e)))
+              inner_tuples;
+            Some
+              (fun outer_delta ->
+                let ks = List.sort_uniq compare (keys_of (outer_delta @ base) outer_e) in
+                let matched =
+                  List.concat_map
+                    (fun k -> match Hashtbl.find_opt table k with Some l -> !l | None -> [])
+                    ks
+                  |> List.sort_uniq (fun (i, _) (j, _) -> compare i j)
+                in
+                List.concat_map
+                  (fun (_, d) ->
+                    materialize ctx (eval ctx (d @ outer_delta @ base) ret))
+                  matched)
+          | _ ->
+            (* inequality correlation: sorted probe array *)
+            let keyed =
+              List.concat_map
+                (fun d -> List.map (fun k -> (k, d)) (keys_of (d @ base) inner_e))
+                inner_tuples
+              |> List.stable_sort (fun (a, _) (b, _) -> compare_join_key a b)
+              |> Array.of_list
+            in
+            let n = Array.length keyed in
+            let first_ge k =
+              let lo = ref 0 and hi = ref n in
+              while !lo < !hi do
+                let m = (!lo + !hi) / 2 in
+                if compare_join_key (fst keyed.(m)) k < 0 then lo := m + 1 else hi := m
+              done;
+              !lo
+            in
+            let first_gt k =
+              let lo = ref 0 and hi = ref n in
+              while !lo < !hi do
+                let m = (!lo + !hi) / 2 in
+                if compare_join_key (fst keyed.(m)) k <= 0 then lo := m + 1 else hi := m
+              done;
+              !lo
+            in
+            Some
+              (fun outer_delta ->
+                let ks = keys_of (outer_delta @ base) outer_e in
+                let matched = Hashtbl.create 16 in
+                let order = ref [] in
+                let add_range lo hi =
+                  for i = lo to hi - 1 do
+                    if not (Hashtbl.mem matched i) then begin
+                      Hashtbl.add matched i ();
+                      order := (i, snd keyed.(i)) :: !order
+                    end
+                  done
+                in
+                List.iter
+                  (fun k ->
+                    match op with
+                    | Ast.Lt -> add_range (first_gt k) n
+                    | Ast.Le -> add_range (first_ge k) n
+                    | Ast.Gt -> add_range 0 (first_ge k)
+                    | Ast.Ge -> add_range 0 (first_gt k)
+                    | Ast.Eq | Ast.Neq -> assert false)
+                  ks;
+                List.sort (fun (i, _) (j, _) -> compare i j) !order
+                |> List.concat_map (fun (_, d) ->
+                       materialize ctx (eval ctx (d @ outer_delta @ base) ret))))
+        | _ -> None)
+      | _ -> None
+    end)
+  | _ -> None
+
+(* Evaluate a FLWOR's clause pipeline and return the binding tuples
+   (deltas), without evaluating a return expression. *)
+and flwor_tuples ctx (base : env) (clauses : Ast.clause list) : env list =
+  (* Reuse eval_flwor by returning a marker? Simpler: inline a light
+     version without join detection (the rebuilt inner pipeline is already
+     join-free in the common patterns, and correctness is what matters). *)
+  let tuples = ref [ [] ] in
+  List.iter
+    (fun clause ->
+      match clause with
+      | Ast.For (v, e) ->
+        tuples :=
+          List.concat_map
+            (fun d ->
+              let items = materialize ctx (eval ctx (d @ base) e) in
+              List.map (fun it -> (v, mat [ it ]) :: d) items)
+            !tuples
+      | Ast.Let (v, e) ->
+        tuples := List.map (fun d -> (v, eval ctx (d @ base) e) :: d) !tuples
+      | Ast.Where e ->
+        tuples := List.filter (fun d -> ebv ctx (eval ctx (d @ base) e)) !tuples
+      | Ast.Order_by _ -> ())
+    clauses;
+  !tuples
+
+(* --- Join keys --- *)
+
+and join_key_mode ctx base left_e right_e : key_mode =
+  let conts_of e = static_value_containers ctx base e in
+  match conts_of left_e, conts_of right_e with
+  | Some (l :: ls), Some (r :: rs) ->
+    let mid = l.Container.model_id in
+    if
+      r.Container.model_id = mid
+      && List.for_all (fun (c : Container.t) -> c.Container.model_id = mid) (ls @ rs)
+      && Compress.Codec.supports l.Container.algorithm `Eq
+    then Mode_code (mid, l)
+    else Mode_atom
+  | _ -> Mode_atom
+
+(* Static summary-node resolution for an expression (no data access):
+   used to type join keys for variables that are only bound inside a
+   nested FLWOR being decorrelated. *)
+and static_snodes ctx (env : env) (e : Ast.expr) : Summary.node list =
+  match e with
+  | Ast.Doc _ -> [ ctx.repo.Repository.summary.Summary.root ]
+  | Ast.Var v -> (match List.assoc_opt v env with Some b -> b.snodes | None -> [])
+  | Ast.Context -> (match List.assoc_opt "." env with Some b -> b.snodes | None -> [])
+  | Ast.Path (src, steps) ->
+    List.fold_left
+      (fun sn (st : Ast.step) ->
+        match st.Ast.test with Ast.Text -> sn | _ -> advance_snodes ctx sn st)
+      (static_snodes ctx env src) steps
+  | Ast.Distinct_values e -> static_snodes ctx env e
+  | _ -> []
+
+and static_value_containers ctx env (e : Ast.expr) : Container.t list option =
+  match e with
+  | Ast.Path (src, steps) -> (
+    let snodes0 =
+      match src with
+      | Ast.Doc _ -> Some [ ctx.repo.Repository.summary.Summary.root ]
+      | Ast.Var v -> (
+        match List.assoc_opt v env with Some b -> Some b.snodes | None -> None)
+      | Ast.Context -> (
+        match List.assoc_opt "." env with Some b -> Some b.snodes | None -> None)
+      | _ -> None
+    in
+    match snodes0 with
+    | None | Some [] -> None
+    | Some snodes ->
+      Option.map (List.map fst) (resolve_value_path ctx snodes steps))
+  | _ -> None
+
+and join_key ctx (mode : key_mode) (it : item) : join_key list =
+  let it = match it with Att (_, v) -> v | it -> it in
+  match mode, it with
+  | Mode_code (mid, _), Cval { cont; code } when cont.Container.model_id = mid ->
+    [ Kcode code ]
+  | Mode_code (_, shared), _ ->
+    (* same model, different physical item: re-compress the atom *)
+    [ Kcode (Container.compress_constant shared (atom_string ctx it)) ]
+  | Mode_atom, it -> (
+    match atom_number ctx it with
+    | Some f -> [ Knum f ]
+    | None -> [ Kstr (atom_string ctx it) ])
+
+and compare_join_key (a : join_key) (b : join_key) : int =
+  match a, b with
+  | Kcode x, Kcode y -> String.compare x y
+  | Knum x, Knum y -> compare x y
+  | Kstr x, Kstr y -> String.compare x y
+  | Kcode _, _ -> -1
+  | _, Kcode _ -> 1
+  | Knum _, Kstr _ -> -1
+  | Kstr _, Knum _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run (repo : Repository.t) (query : Ast.expr) : item list =
+  let ctx = { repo } in
+  materialize ctx (eval ctx [] query)
+
+let run_string (repo : Repository.t) (query : string) : item list =
+  run repo (Xquery.Parser.parse query)
+
+(** Serialize results, decompressing — the Decompress + XMLSerialize tail
+    every plan ends with (§4). *)
+let serialize (repo : Repository.t) (items : item list) : string =
+  let ctx = { repo } in
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i it ->
+      if i > 0 then Buffer.add_char buf '\n';
+      match it with
+      | Node id -> Xmlkit.Printer.add_node buf (reconstruct ctx id)
+      | Elem t -> Xmlkit.Printer.add_node buf t
+      | Att (n, v) ->
+        Buffer.add_string buf (Printf.sprintf "%s=\"%s\"" n (atom_string ctx v))
+      | other -> Buffer.add_string buf (atom_string ctx other))
+    items;
+  Buffer.contents buf

@@ -1,0 +1,111 @@
+(** XQueC query executor (§4): evaluates the XQuery subset directly over
+    the compressed repository.
+
+    Paths resolve against the structure summary; value predicates push
+    into containers and run on compressed codes whenever the codec
+    supports the comparison class; uncorrelated FOR/LET sources evaluate
+    once; value joins hash/probe compressed codes when both sides share
+    a source model; single-conjunct-correlated nested FLWORs (the XMark
+    Q8/Q9/Q10 pattern) decorrelate into build-once join tables; values
+    decompress only on output. *)
+
+open Storage
+
+type item =
+  | Node of int  (** structure-tree node id *)
+  | Cval of { cont : Container.t; code : string }  (** compressed value *)
+  | Att of string * item  (** attribute node: name + value *)
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Elem of Xmlkit.Tree.t  (** constructed element *)
+
+(** A sequence with summary provenance; the [All_*] forms are symbolic
+    "every instance under these summary nodes" and avoid materializing
+    whole paths (Fig. 4). *)
+type seqv =
+  | Mat of item list
+  | All_nodes of Summary.node list
+  | All_values of Summary.node list
+
+type binding = { seq : seqv; snodes : Summary.node list }
+
+type ctx = { repo : Repository.t }
+
+type env = (string * binding) list
+
+exception Eval_error of string
+
+(** {2 Entry points} *)
+
+val run : Repository.t -> Xquery.Ast.expr -> item list
+
+val run_string : Repository.t -> string -> item list
+
+(** Serialize results, decompressing — the Decompress + XMLSerialize
+    tail of every plan (§4, Fig. 5). *)
+val serialize : Repository.t -> item list -> string
+
+(** {2 Building blocks used by the physical algebra, plans and the
+    optimizer} *)
+
+val mat : item list -> binding
+
+val materialize : ctx -> binding -> item list
+
+val count : ctx -> binding -> int
+
+val atom_string : ctx -> item -> string
+
+val atom_number : ctx -> item -> float option
+
+val eval : ctx -> env -> Xquery.Ast.expr -> binding
+
+(** Reconstruct the XML subtree rooted at a node id. *)
+val reconstruct : ctx -> int -> Xmlkit.Tree.t
+
+(** String value of an element (all descendant text, attributes
+    excluded). *)
+val node_string_value : ctx -> int -> string
+
+(** One summary step relative to a set of summary nodes. *)
+val advance_snodes : ctx -> Summary.node list -> Xquery.Ast.step -> Summary.node list
+
+(** {2 Predicate pushdown analysis} *)
+
+type const_operand = Cstr of string | Cnum of float
+
+val const_of_expr : Xquery.Ast.expr -> const_operand option
+
+type pushable =
+  | P_value of Xquery.Ast.cmp_op * Xquery.Ast.step list * const_operand
+  | P_textual of [ `Contains | `Starts_with ] * Xquery.Ast.step list * string
+  | P_exists of Xquery.Ast.step list
+
+val recognize_pushable : Xquery.Ast.expr -> pushable option
+
+(** Resolve a context-relative value path to (container, hops to the
+    candidate element) pairs, or [None] when unresolvable (or when the
+    container records would not be semantically exact for the predicate:
+    bare-element comparisons and — under [concat_semantics], used for
+    contains/starts-with — multi-text instances). *)
+val resolve_value_path :
+  ?concat_semantics:bool ->
+  ctx ->
+  Summary.node list ->
+  Xquery.Ast.step list ->
+  (Container.t * int) list option
+
+(** Containers a value-producing expression statically resolves to. *)
+val static_value_containers : ctx -> env -> Xquery.Ast.expr -> Container.t list option
+
+(** {2 Join key typing} *)
+
+type join_key = Kcode of string | Knum of float | Kstr of string
+
+type key_mode =
+  | Mode_code of int * Container.t
+      (** both sides share this source model: probe compressed codes *)
+  | Mode_atom
+
+val join_key_mode : ctx -> env -> Xquery.Ast.expr -> Xquery.Ast.expr -> key_mode

@@ -1,0 +1,283 @@
+(* Loader / compressor (§1.1 module 1): parses an XML document in one SAX
+   pass and shreds it into the compressed repository structures — name
+   dictionary, structure tree, per-path value containers and the structure
+   summary. Projection is "prepared in advance" (§2.3): every value lands
+   in the container of its root-to-leaf path.
+
+   Containers are typed <type, pe>: values that all parse as canonical
+   numbers get the order-preserving numeric codec; other containers
+   default to ALM, the paper's no-workload choice for strings (§2.1). The
+   workload-driven partitioner may later re-assign algorithms and merge
+   source models. *)
+
+open Storage
+
+type options = {
+  default_string_algorithm : Compress.Codec.algorithm;
+  detect_numeric : bool;
+  spill_directory : string option;
+      (** when set, container values are staged in per-container spill
+          files on secondary storage during parsing instead of being
+          accumulated in memory — the paper's §6 plan for documents
+          larger than memory (e.g. SwissProt) *)
+}
+
+let default_options =
+  { default_string_algorithm = Compress.Codec.Alm_alg; detect_numeric = true;
+    spill_directory = None }
+
+(* Per-container accumulator while parsing: in memory, or staged on
+   secondary storage. *)
+type staging =
+  | In_memory of (string * int * int * int) list ref
+      (* value, record parent id, owner node id, owner slot — reversed *)
+  | Spilled of string * out_channel (* file path + append channel *)
+
+type pending = {
+  p_path : string;
+  p_kind : Container.kind;
+  p_id : int;
+  p_staging : staging;
+  mutable p_count : int;
+}
+
+let stage_record (st : staging) (value, parent, owner, slot) =
+  match st with
+  | In_memory l -> l := (value, parent, owner, slot) :: !l
+  | Spilled (_, oc) ->
+    let buf = Buffer.create (String.length value + 16) in
+    Compress.Rle.add_varint buf (String.length value);
+    Buffer.add_string buf value;
+    Compress.Rle.add_varint buf parent;
+    Compress.Rle.add_varint buf owner;
+    Compress.Rle.add_varint buf slot;
+    Buffer.output_buffer oc buf
+
+(* Entries in arrival order; consumes (and deletes) a spill file. *)
+let staged_entries (st : staging) : (string * int * int * int) list =
+  match st with
+  | In_memory l -> List.rev !l
+  | Spilled (path, oc) ->
+    close_out oc;
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let data = really_input_string ic n in
+    close_in ic;
+    Sys.remove path;
+    let entries = ref [] in
+    let pos = ref 0 in
+    while !pos < n do
+      let (len, p) = Compress.Rle.read_varint data !pos in
+      let value = String.sub data p len in
+      let (parent, p) = Compress.Rle.read_varint data (p + len) in
+      let (owner, p) = Compress.Rle.read_varint data p in
+      let (slot, p) = Compress.Rle.read_varint data p in
+      entries := (value, parent, owner, slot) :: !entries;
+      pos := p
+    done;
+    List.rev !entries
+
+type frame = {
+  f_id : int;
+  f_snode : Summary.node;
+  f_level : int;
+  mutable f_rev_children : int list; (* >= 0 node id; < 0 text marker -(slot+1) *)
+  mutable f_nvalues : int;           (* slots handed out so far *)
+}
+
+let load ?(options = default_options) ~name (xml : string) : Repository.t =
+  let dict = Name_dict.create () in
+  let summary = Summary.create () in
+  let builder = Structure_tree.builder () in
+  let pendings : (string, pending) Hashtbl.t = Hashtbl.create 64 in
+  let pending_order = ref [] in
+  let next_container = ref 0 in
+  let container_for ~path ~kind ~snode_for_text =
+    match Hashtbl.find_opt pendings path with
+    | Some p -> p
+    | None ->
+      let staging =
+        match options.spill_directory with
+        | None -> In_memory (ref [])
+        | Some dir ->
+          let file = Filename.temp_file ~temp_dir:dir "xquec_container" ".spill" in
+          Spilled (file, open_out_bin file)
+      in
+      let p =
+        { p_path = path; p_kind = kind; p_id = !next_container; p_staging = staging;
+          p_count = 0 }
+      in
+      incr next_container;
+      Hashtbl.add pendings path p;
+      pending_order := p :: !pending_order;
+      (match snode_for_text with
+      | Some (sn : Summary.node) -> sn.Summary.text_container <- Some p.p_id
+      | None -> ());
+      p
+  in
+  let stack : frame list ref = ref [] in
+  (* Child lists and value-pointer lists per node, collected as we go. *)
+  let rev_children_tbl : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  let record_value ~(pending : pending) ~value ~record_parent ~owner =
+    let slot = owner.f_nvalues in
+    owner.f_nvalues <- slot + 1;
+    stage_record pending.p_staging (value, record_parent, owner.f_id, slot);
+    let seq = pending.p_count in
+    pending.p_count <- seq + 1;
+    (slot, seq)
+  in
+  (* For back-filling sorted record indexes we remember, per owner node,
+     the (container, seq) in arrival order; seq is resolved to the sorted
+     index after containers are built. *)
+  let pending_ptrs : (int, (int * int) list) Hashtbl.t = Hashtbl.create 1024 in
+  let add_ptr owner_id cont seq =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt pending_ptrs owner_id) in
+    Hashtbl.replace pending_ptrs owner_id ((cont, seq) :: prev)
+  in
+  let handle ev =
+    match ev with
+    | Xmlkit.Sax.Start_element (tag, attributes) ->
+      let tag_code = Name_dict.intern dict tag in
+      let (parent_id, parent_snode, level, parent_frame) =
+        match !stack with
+        | [] -> (-1, summary.Summary.root, 0, None)
+        | fr :: _ -> (fr.f_id, fr.f_snode, fr.f_level + 1, Some fr)
+      in
+      let snode = Summary.child_or_create parent_snode ~tag:tag_code ~name:tag in
+      let id = Structure_tree.open_node builder ~tag:tag_code ~parent:parent_id ~level in
+      Summary.add_id snode id;
+      (match parent_frame with
+      | Some fr -> fr.f_rev_children <- id :: fr.f_rev_children
+      | None -> ());
+      let frame =
+        { f_id = id; f_snode = snode; f_level = level; f_rev_children = []; f_nvalues = 0 }
+      in
+      (* Attributes: an attribute is a node (tagged "@name") whose single
+         value goes to the container of path pe/@name. *)
+      List.iter
+        (fun (aname, avalue) ->
+          let atag = "@" ^ aname in
+          let atag_code = Name_dict.intern dict atag in
+          let asnode = Summary.child_or_create snode ~tag:atag_code ~name:atag in
+          let attr_id =
+            Structure_tree.open_node builder ~tag:atag_code ~parent:id ~level:(level + 1)
+          in
+          Summary.add_id asnode attr_id;
+          frame.f_rev_children <- attr_id :: frame.f_rev_children;
+          let pending =
+            container_for ~path:asnode.Summary.path ~kind:Container.Attribute
+              ~snode_for_text:None
+          in
+          (match asnode.Summary.text_container with
+          | None -> asnode.Summary.text_container <- Some pending.p_id
+          | Some _ -> ());
+          (* The attribute node owns the value; the record's parent pointer
+             is the attribute node itself (its parent is the element). *)
+          let attr_frame =
+            { f_id = attr_id; f_snode = asnode; f_level = level + 1;
+              f_rev_children = []; f_nvalues = 0 }
+          in
+          let (_slot, seq) =
+            record_value ~pending ~value:avalue ~record_parent:attr_id ~owner:attr_frame
+          in
+          add_ptr attr_id pending.p_id seq;
+          Hashtbl.replace rev_children_tbl attr_id [];
+          Structure_tree.close_node builder ~id:attr_id)
+        attributes;
+      stack := frame :: !stack
+    | Xmlkit.Sax.End_element _ -> (
+      match !stack with
+      | fr :: rest ->
+        Hashtbl.replace rev_children_tbl fr.f_id fr.f_rev_children;
+        Structure_tree.close_node builder ~id:fr.f_id;
+        stack := rest
+      | [] -> assert false)
+    | Xmlkit.Sax.Characters text -> (
+      match !stack with
+      | fr :: _ ->
+        let pending =
+          container_for
+            ~path:(fr.f_snode.Summary.path ^ "/#text")
+            ~kind:Container.Text ~snode_for_text:(Some fr.f_snode)
+        in
+        let (slot, seq) =
+          record_value ~pending ~value:text ~record_parent:fr.f_id ~owner:fr
+        in
+        fr.f_rev_children <- -(slot + 1) :: fr.f_rev_children;
+        add_ptr fr.f_id pending.p_id seq
+      | [] -> assert false)
+  in
+  Xmlkit.Sax.parse_string ~f:handle xml;
+  Summary.seal_t summary;
+  (* Build containers: choose the codec, compress, sort, and remember the
+     arrival-order -> sorted-index mapping for pointer back-fill. *)
+  let pending_list = List.rev !pending_order in
+  let seq_maps : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  let choose_algorithm values =
+    if options.detect_numeric then begin
+      match Compress.Ipack.train values with
+      | _ -> Compress.Codec.Numeric_alg
+      | exception Compress.Ipack.Unsupported _ -> options.default_string_algorithm
+    end
+    else options.default_string_algorithm
+  in
+  let containers =
+    List.map
+      (fun p ->
+        let entries = staged_entries p.p_staging in
+        let values = List.map (fun (v, _, _, _) -> v) entries in
+        let algorithm = choose_algorithm values in
+        let model = Compress.Codec.train algorithm values in
+        let records =
+          List.mapi
+            (fun seq (v, record_parent, _, _) ->
+              ({ Container.code = Compress.Codec.compress model v; parent = record_parent }, seq))
+            entries
+          |> Array.of_list
+        in
+        Array.sort
+          (fun ((a : Container.record), sa) (b, sb) ->
+            compare (a.Container.code, a.Container.parent, sa) (b.Container.code, b.Container.parent, sb))
+          records;
+        let seq_to_idx = Array.make (Array.length records) 0 in
+        Array.iteri (fun idx (_, seq) -> seq_to_idx.(seq) <- idx) records;
+        Hashtbl.add seq_maps p.p_id seq_to_idx;
+        let plain_bytes = List.fold_left (fun acc v -> acc + String.length v) 0 values in
+        {
+          Container.id = p.p_id;
+          path = p.p_path;
+          kind = p.p_kind;
+          algorithm;
+          model;
+          model_id = p.p_id;
+          records = Array.map fst records;
+          plain_bytes;
+        })
+      pending_list
+    |> Array.of_list
+  in
+  (* Assemble per-node child lists and resolved value pointers. *)
+  let n = Structure_tree.next_id builder in
+  let rev_children = Array.make n [] in
+  let rev_values = Array.make n [] in
+  Hashtbl.iter (fun id kids -> if id < n then rev_children.(id) <- kids) rev_children_tbl;
+  Hashtbl.iter
+    (fun id ptrs ->
+      if id < n then
+        rev_values.(id) <-
+          List.map
+            (fun (cont, seq) -> (cont, (Hashtbl.find seq_maps cont).(seq)))
+            ptrs)
+    pending_ptrs;
+  let tree = Structure_tree.finish builder ~rev_children ~rev_values in
+  {
+    Repository.dict;
+    tree;
+    containers;
+    summary;
+    source_name = name;
+    original_size = String.length xml;
+  }
+
+let load_document ?options ~name (doc : Xmlkit.Tree.document) : Repository.t =
+  load ?options ~name (Xmlkit.Printer.to_string doc)

@@ -1,0 +1,21 @@
+(** Loader / compressor (§1.1 module 1): one SAX pass shreds an XML
+    document into the repository structures; values land in the
+    container of their root-to-leaf path (projection "prepared in
+    advance", §2.3). Numeric containers get the packed codec; strings
+    default to ALM, the paper's no-workload choice. *)
+
+type options = {
+  default_string_algorithm : Compress.Codec.algorithm;
+  detect_numeric : bool;
+  spill_directory : string option;
+      (** stage container values in spill files on secondary storage
+          during parsing (the paper's §6 plan for very large documents);
+          [None] keeps them in memory *)
+}
+
+val default_options : options
+
+val load : ?options:options -> name:string -> string -> Storage.Repository.t
+
+val load_document :
+  ?options:options -> name:string -> Xmlkit.Tree.document -> Storage.Repository.t

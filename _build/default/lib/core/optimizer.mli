@@ -1,0 +1,27 @@
+(** Strategy analysis ("EXPLAIN"): reports, without touching data, the
+    evaluation strategy the executor will choose — summary accesses,
+    compressed-domain pushdowns, join methods, decorrelations. *)
+
+open Storage
+
+type predicate_plan = {
+  predicate : string;
+  containers : string list;
+  compressed_domain : bool;
+}
+
+type decision =
+  | Summary_path of { path : string; snodes : int }
+  | Navigation of { path : string }
+  | Pushdown of predicate_plan
+  | Scan_filter of predicate_plan
+  | Hash_join of { variable : string; left : string; right : string; on_codes : bool }
+  | Sorted_probe of { variable : string; left : string; right : string; on_codes : bool }
+  | Decorrelate of { variable : string; op : string; on_codes : bool }
+  | Correlated_loop of { variable : string }
+
+val pp_decision : Format.formatter -> decision -> unit
+
+val explain : Repository.t -> Xquery.Ast.expr -> decision list
+
+val explain_string : Repository.t -> string -> string

@@ -1,0 +1,30 @@
+(** Greedy configuration search (§3.3): starting from all-bzip
+    singletons, per workload predicate propose re-algorithm / extract /
+    merge moves and keep the cheapest. *)
+
+open Storage
+
+type move_trace = {
+  predicate : Workload.predicate;
+  accepted : bool;
+  cost_before : float;
+  cost_after : float;
+}
+
+type result = {
+  configuration : Cost_model.configuration;
+  initial_cost : float;
+  final_cost : float;
+  trace : move_trace list;
+}
+
+(** Run the search without applying it. *)
+val search : ?seed:int -> ?weights:Cost_model.weights -> Repository.t -> Workload.t -> result
+
+(** Apply a configuration: per set, train a shared source model on the
+    union of values, recompress, and fix up tree value pointers. *)
+val apply : Repository.t -> Cost_model.configuration -> unit
+
+(** Analyze, search and apply in one call. *)
+val optimize :
+  ?seed:int -> ?weights:Cost_model.weights -> Repository.t -> Xquery.Ast.expr list -> result

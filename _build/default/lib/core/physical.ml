@@ -1,0 +1,283 @@
+(* Physical algebra (§4): the operator set of the XQueC query engine,
+   as explicit tuple-stream combinators.
+
+   Three operator classes, as in the paper:
+   - data access: ContScan, ContAccess, StructureSummaryAccess, Parent,
+     Child, TextContent;
+   - data combination: selections, merge / hash / nested-loop joins;
+   - compression-aware: Decompress (and compressed constants are produced
+     by {!Storage.Container.compress_constant}).
+
+   ContScan / ContAccess deliver tuples in *data order* (containers are
+   value-sorted, §2.2), which is what enables 1-pass merge joins;
+   StructureSummaryAccess / Child / Parent preserve *document order*.
+   The executor uses the same access paths internally; this module makes
+   plans first-class so they can be built by hand (the paper's own
+   experiments used hand-chosen plans — its optimizer was "not finalized")
+   and costed by the ablation benchmarks. *)
+
+open Storage
+
+type item = Executor.item
+
+type tuple = item array
+
+(** A plan produces a fresh tuple stream on each [run]. *)
+type plan = { width : int; run : unit -> tuple Seq.t }
+
+let run (p : plan) : tuple list = List.of_seq (p.run ())
+
+let cardinality (p : plan) : int = Seq.fold_left (fun n _ -> n + 1) 0 (p.run ())
+
+(* ------------------------------------------------------------------ *)
+(* Data access                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** ContScan: all (value, parent) records of a container, in compressed-
+    value order. *)
+let cont_scan (repo : Repository.t) (cid : int) : plan =
+  let cont = repo.Repository.containers.(cid) in
+  {
+    width = 2;
+    run =
+      (fun () ->
+        Array.to_seq (Container.scan cont)
+        |> Seq.map (fun (r : Container.record) ->
+               [| Executor.Cval { cont; code = r.Container.code }; Executor.Node r.Container.parent |]));
+  }
+
+(** ContAccess: records matching an equality criterion on the compressed
+    constant (binary search). *)
+let cont_access_eq (repo : Repository.t) (cid : int) ~(value : string) : plan =
+  let cont = repo.Repository.containers.(cid) in
+  {
+    width = 2;
+    run =
+      (fun () ->
+        let code = Container.compress_constant cont value in
+        List.to_seq (Container.lookup_eq cont code)
+        |> Seq.map (fun (r : Container.record) ->
+               [| Executor.Cval { cont; code = r.Container.code }; Executor.Node r.Container.parent |]));
+  }
+
+(** ContAccess with an interval criterion (order-preserving codecs). *)
+let cont_access_range (repo : Repository.t) (cid : int) ?(lo : string option)
+    ?(hi : string option) () : plan =
+  let cont = repo.Repository.containers.(cid) in
+  {
+    width = 2;
+    run =
+      (fun () ->
+        let lo = Option.map (Container.compress_constant cont) lo in
+        let hi = Option.map (Container.compress_constant cont) hi in
+        List.to_seq (Container.lookup_range cont ?lo ?hi ())
+        |> Seq.map (fun (r : Container.record) ->
+               [| Executor.Cval { cont; code = r.Container.code }; Executor.Node r.Container.parent |]));
+  }
+
+(** StructureSummaryAccess: element ids reachable by a path, in document
+    order, straight from the summary — no structure-tree parse. *)
+let summary_access (repo : Repository.t) (steps : Summary.step list) : plan =
+  {
+    width = 1;
+    run =
+      (fun () ->
+        let snodes = Summary.match_steps repo.Repository.summary steps in
+        Array.to_seq (Summary.merged_ids snodes) |> Seq.map (fun id -> [| Executor.Node id |]));
+  }
+
+let node_exn = function
+  | Executor.Node id -> id
+  | _ -> invalid_arg "expected a node column"
+
+(** Child: append the children (with a given tag) of column [col];
+    order-preserving with respect to the input. *)
+let child (repo : Repository.t) ~(tag : string) (input : plan) ~(col : int) : plan =
+  let code = Name_dict.code repo.Repository.dict tag in
+  {
+    width = input.width + 1;
+    run =
+      (fun () ->
+        input.run ()
+        |> Seq.concat_map (fun tup ->
+               match code with
+               | None -> Seq.empty
+               | Some code ->
+                 Structure_tree.children_with_tag repo.Repository.tree (node_exn tup.(col)) code
+                 |> List.to_seq
+                 |> Seq.map (fun c -> Array.append tup [| Executor.Node c |])));
+  }
+
+(** Parent: append the parent of column [col]; order-preserving. *)
+let parent (repo : Repository.t) (input : plan) ~(col : int) : plan =
+  {
+    width = input.width + 1;
+    run =
+      (fun () ->
+        input.run ()
+        |> Seq.filter_map (fun tup ->
+               let p = Structure_tree.parent repo.Repository.tree (node_exn tup.(col)) in
+               if p < 0 then None else Some (Array.append tup [| Executor.Node p |])));
+  }
+
+(** TextContent: pair element ids in [col] with their immediate text
+    values — implemented as a hash join against a ContScan, as in §4. *)
+let text_content (repo : Repository.t) (cids : int list) (input : plan) ~(col : int) : plan =
+  {
+    width = input.width + 1;
+    run =
+      (fun () ->
+        let table : (int, item list) Hashtbl.t = Hashtbl.create 1024 in
+        List.iter
+          (fun cid ->
+            let cont = repo.Repository.containers.(cid) in
+            Array.iter
+              (fun (r : Container.record) ->
+                let prev = Option.value ~default:[] (Hashtbl.find_opt table r.Container.parent) in
+                Hashtbl.replace table r.Container.parent
+                  (Executor.Cval { cont; code = r.Container.code } :: prev))
+              (Container.scan cont))
+          cids;
+        input.run ()
+        |> Seq.concat_map (fun tup ->
+               match Hashtbl.find_opt table (node_exn tup.(col)) with
+               | Some values ->
+                 List.to_seq (List.rev values)
+                 |> Seq.map (fun v -> Array.append tup [| v |])
+               | None -> Seq.empty));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Data combination                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let select (pred : tuple -> bool) (input : plan) : plan =
+  { width = input.width; run = (fun () -> Seq.filter pred (input.run ())) }
+
+let project (cols : int list) (input : plan) : plan =
+  let cols = Array.of_list cols in
+  {
+    width = Array.length cols;
+    run = (fun () -> Seq.map (fun tup -> Array.map (fun c -> tup.(c)) cols) (input.run ()));
+  }
+
+let key_code = function
+  | Executor.Cval { code; _ } -> code
+  | Executor.Att (_, Executor.Cval { code; _ }) -> code
+  | _ -> invalid_arg "expected a compressed-value column"
+
+(** MergeJoin on compressed codes: both inputs must be sorted on their
+    join column (ContScan order). 1-pass, no decompression. *)
+let merge_join (left : plan) ~(lcol : int) (right : plan) ~(rcol : int) : plan =
+  {
+    width = left.width + right.width;
+    run =
+      (fun () ->
+        (* materialize the smaller side groups lazily is overkill here:
+           classic sorted-merge with group buffering on the right *)
+        let ls = Array.of_seq (left.run ()) in
+        let rs = Array.of_seq (right.run ()) in
+        let out = ref [] in
+        let i = ref 0 and j = ref 0 in
+        while !i < Array.length ls && !j < Array.length rs do
+          let lk = key_code ls.(!i).(lcol) and rk = key_code rs.(!j).(rcol) in
+          let c = String.compare lk rk in
+          if c < 0 then incr i
+          else if c > 0 then incr j
+          else begin
+            (* emit the group product *)
+            let j0 = !j in
+            let rec last k =
+              if k < Array.length rs && String.equal (key_code rs.(k).(rcol)) lk then last (k + 1)
+              else k
+            in
+            let j1 = last j0 in
+            let rec emit_l k =
+              if k < Array.length ls && String.equal (key_code ls.(k).(lcol)) lk then begin
+                for jj = j0 to j1 - 1 do
+                  out := Array.append ls.(k) rs.(jj) :: !out
+                done;
+                emit_l (k + 1)
+              end
+              else k
+            in
+            i := emit_l !i;
+            j := j1
+          end
+        done;
+        List.to_seq (List.rev !out));
+  }
+
+(** HashJoin on compressed codes (or any item key via [key]). *)
+let hash_join ?(key = key_code) (left : plan) ~(lcol : int) (right : plan) ~(rcol : int) : plan
+    =
+  {
+    width = left.width + right.width;
+    run =
+      (fun () ->
+        let table : (string, tuple list) Hashtbl.t = Hashtbl.create 1024 in
+        Seq.iter
+          (fun tup ->
+            let k = key tup.(rcol) in
+            Hashtbl.replace table k
+              (tup :: Option.value ~default:[] (Hashtbl.find_opt table k)))
+          (right.run ());
+        left.run ()
+        |> Seq.concat_map (fun ltup ->
+               match Hashtbl.find_opt table (key ltup.(lcol)) with
+               | Some rtups ->
+                 List.to_seq (List.rev rtups) |> Seq.map (fun rtup -> Array.append ltup rtup)
+               | None -> Seq.empty));
+  }
+
+(** Nested-loop join (arbitrary predicate) — the fallback operator. *)
+let nl_join (pred : tuple -> tuple -> bool) (left : plan) (right : plan) : plan =
+  {
+    width = left.width + right.width;
+    run =
+      (fun () ->
+        let rs = List.of_seq (right.run ()) in
+        left.run ()
+        |> Seq.concat_map (fun ltup ->
+               List.to_seq rs
+               |> Seq.filter_map (fun rtup ->
+                      if pred ltup rtup then Some (Array.append ltup rtup) else None)));
+  }
+
+(** Sort on a column with an item comparison. *)
+let sort (cmp : item -> item -> int) ~(col : int) (input : plan) : plan =
+  {
+    width = input.width;
+    run =
+      (fun () ->
+        let arr = Array.of_seq (input.run ()) in
+        Array.stable_sort (fun a b -> cmp a.(col) b.(col)) arr;
+        Array.to_seq arr);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compression-aware operators                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Decompress a column: Cval -> Str. Placed as late as possible in
+    plans (Fig. 5 decompresses only the two name columns, at the top). *)
+let decompress (repo : Repository.t) (input : plan) ~(col : int) : plan =
+  ignore repo;
+  {
+    width = input.width;
+    run =
+      (fun () ->
+        input.run ()
+        |> Seq.map (fun tup ->
+               let tup = Array.copy tup in
+               (match tup.(col) with
+               | Executor.Cval { cont; code } ->
+                 tup.(col) <- Executor.Str (Compress.Codec.decompress cont.Container.model code)
+               | _ -> ());
+               tup));
+  }
+
+(** XMLSerialize: render one column of every tuple. *)
+let xml_serialize (repo : Repository.t) (input : plan) ~(col : int) : string =
+  let items = List.of_seq (Seq.map (fun tup -> tup.(col)) (input.run ())) in
+  Executor.serialize repo items

@@ -1,0 +1,53 @@
+(** Physical algebra (§4): the paper's operator set as explicit
+    tuple-stream combinators — data access (ContScan, ContAccess,
+    StructureSummaryAccess, Parent, Child, TextContent), data
+    combination (selections, merge/hash/nested-loop joins, sort), and
+    the compression-aware Decompress / XMLSerialize. ContScan order is
+    value order (containers are sorted), which is what makes the 1-pass
+    merge join valid. *)
+
+open Storage
+
+type item = Executor.item
+
+type tuple = item array
+
+type plan = { width : int; run : unit -> tuple Seq.t }
+
+val run : plan -> tuple list
+
+val cardinality : plan -> int
+
+val cont_scan : Repository.t -> int -> plan
+
+val cont_access_eq : Repository.t -> int -> value:string -> plan
+
+val cont_access_range : Repository.t -> int -> ?lo:string -> ?hi:string -> unit -> plan
+
+val summary_access : Repository.t -> Summary.step list -> plan
+
+val child : Repository.t -> tag:string -> plan -> col:int -> plan
+
+val parent : Repository.t -> plan -> col:int -> plan
+
+(** Hash join pairing element ids with their immediate text values. *)
+val text_content : Repository.t -> int list -> plan -> col:int -> plan
+
+val select : (tuple -> bool) -> plan -> plan
+
+val project : int list -> plan -> plan
+
+(** 1-pass merge join on compressed codes; inputs must be sorted on
+    their join columns (ContScan order) and share a source model. *)
+val merge_join : plan -> lcol:int -> plan -> rcol:int -> plan
+
+val hash_join : ?key:(item -> string) -> plan -> lcol:int -> plan -> rcol:int -> plan
+
+val nl_join : (tuple -> tuple -> bool) -> plan -> plan -> plan
+
+val sort : (item -> item -> int) -> col:int -> plan -> plan
+
+(** Decompress a column (Cval -> Str); placed as late as possible. *)
+val decompress : Repository.t -> plan -> col:int -> plan
+
+val xml_serialize : Repository.t -> plan -> col:int -> string

@@ -1,0 +1,138 @@
+(* Hand-built physical plans, in the spirit of the paper's Fig. 5: the
+   XMark Q9 execution plan that joins persons, buyers and European items
+   entirely on compressed attributes, with Decompress at the very top.
+   Used by the examples and the ablation benchmarks (the paper's own
+   measurements also used hand-chosen plans). *)
+
+open Storage
+
+let find_container repo path =
+  match Repository.find_container_by_path repo path with
+  | Some c -> c.Container.id
+  | None -> invalid_arg ("no container for path " ^ path)
+
+(** Fig. 5: Q9's three-way join.
+
+    person/@id  ⋈  buyer/@person      (merge join on compressed codes when
+    itemref/@item ⋈ europe/item/@id    both pairs share a source model,
+                                       hash join otherwise)
+    then Parent/Child steps fetch each person's name and each item's name
+    via TextContent, and only those two columns are decompressed. *)
+let q9 (repo : Repository.t) : (string * string) list =
+  let person_id = find_container repo "/site/people/person/@id" in
+  let buyer_person = find_container repo "/site/closed_auctions/closed_auction/buyer/@person" in
+  let itemref_item = find_container repo "/site/closed_auctions/closed_auction/itemref/@item" in
+  let europe_item_id = find_container repo "/site/regions/europe/item/@id" in
+  let person_name = find_container repo "/site/people/person/name/#text" in
+  let item_name = find_container repo "/site/regions/europe/item/name/#text" in
+  let same_model a b =
+    (Repository.container repo a).Container.model_id
+    = (Repository.container repo b).Container.model_id
+  in
+  let join l ~lcol r ~rcol ~shared =
+    (* compressed-domain merge join when the containers share a source
+       model (ContScan order = value order on both sides); otherwise a
+       hash join keyed on decompressed strings *)
+    if shared then Physical.merge_join l ~lcol r ~rcol
+    else
+      Physical.hash_join
+        ~key:(fun it ->
+          match it with
+          | Executor.Cval { cont; code } -> Compress.Codec.decompress cont.Container.model code
+          | Executor.Str s -> s
+          | _ -> invalid_arg "bad join key")
+        l ~lcol r ~rcol
+  in
+  (* buyers(person_code, closed_auction-buyer node) x persons *)
+  let persons = Physical.cont_scan repo person_id in
+  let buyers = Physical.cont_scan repo buyer_person in
+  let pb =
+    join persons ~lcol:0 buyers ~rcol:0 ~shared:(same_model person_id buyer_person)
+    (* cols: 0 person-id code, 1 @id attr node, 2 buyer code, 3 buyer attr node *)
+  in
+  (* attach the closed_auction element: parent of the buyer attr node is
+     the buyer element, whose parent is the closed_auction *)
+  let pb = Physical.parent repo pb ~col:3 in (* 4: buyer element *)
+  let pb = Physical.parent repo pb ~col:4 in (* 5: closed_auction *)
+  (* itemrefs of those closed_auctions: child itemref, then its @item value *)
+  let itemrefs = Physical.cont_scan repo itemref_item in (* 0: code, 1: @item attr node *)
+  let items = Physical.cont_scan repo europe_item_id in (* 0: code, 1: @id attr node *)
+  let ii =
+    join itemrefs ~lcol:0 items ~rcol:0 ~shared:(same_model itemref_item europe_item_id)
+    (* 0 itemref code, 1 @item node, 2 item-id code, 3 @id node *)
+  in
+  let ii = Physical.parent repo ii ~col:1 in (* 4: itemref element *)
+  let ii = Physical.parent repo ii ~col:4 in (* 5: closed_auction *)
+  let ii = Physical.parent repo ii ~col:3 in (* 6: europe item element *)
+  (* join the two halves on the closed_auction node id *)
+  let node_key = function
+    | Executor.Node id -> string_of_int id
+    | _ -> invalid_arg "bad node key"
+  in
+  let joined = Physical.hash_join ~key:node_key pb ~lcol:5 ii ~rcol:5 in
+  (* pb: 0..5 ; ii at offset 6: item element at col 6+6=12 *)
+  (* person element: parent of @id attr node (col 1); then Child steps
+     down to the name elements whose text containers hold the names *)
+  let joined = Physical.parent repo joined ~col:1 in (* 13: person element *)
+  let joined = Physical.child repo ~tag:"name" joined ~col:13 in (* 14: person/name *)
+  let joined = Physical.child repo ~tag:"name" joined ~col:12 in (* 15: item/name *)
+  let with_pname = Physical.text_content repo [ person_name ] joined ~col:14 in (* 16 *)
+  let with_iname = Physical.text_content repo [ item_name ] with_pname ~col:15 in (* 17 *)
+  (* Decompress only at the very top, then serialize *)
+  let final = Physical.decompress repo (Physical.decompress repo with_iname ~col:16) ~col:17 in
+  Physical.run final
+  |> List.map (fun tup ->
+         let s = function Executor.Str s -> s | _ -> "" in
+         (s tup.(16), s tup.(17)))
+
+(** The same result computed naively (nested loops over uncompressed
+    values) — the comparison point for the late-decompression ablation. *)
+let q9_naive (repo : Repository.t) : (string * string) list =
+  let dump path =
+    Container.dump (Repository.container repo (find_container repo path))
+  in
+  let persons = dump "/site/people/person/@id" in
+  let buyers = dump "/site/closed_auctions/closed_auction/buyer/@person" in
+  let itemrefs = dump "/site/closed_auctions/closed_auction/itemref/@item" in
+  let items = dump "/site/regions/europe/item/@id" in
+  let tree = repo.Repository.tree in
+  let auction_of attr_node = Structure_tree.parent tree (Structure_tree.parent tree attr_node) in
+  let name_tag = Option.get (Name_dict.code repo.Repository.dict "name") in
+  let text_of path node =
+    (* node is the person/item element; its name child holds the text *)
+    let name_elems = Structure_tree.children_with_tag tree node name_tag in
+    let cid = find_container repo path in
+    let cont = Repository.container repo cid in
+    Array.to_list (Container.scan cont)
+    |> List.filter_map (fun (r : Container.record) ->
+           if List.mem r.Container.parent name_elems then
+             Some (Container.decompress_record cont r)
+           else None)
+    |> String.concat ""
+  in
+  List.concat_map
+    (fun (pid, pnode) ->
+      List.concat_map
+        (fun (bid, bnode) ->
+          if String.equal pid bid then begin
+            let auction = auction_of bnode in
+            List.concat_map
+              (fun (iref, irnode) ->
+                if auction_of irnode = auction then
+                  List.filter_map
+                    (fun (iid, idnode) ->
+                      if String.equal iref iid then begin
+                        let item = Structure_tree.parent tree idnode in
+                        let person = Structure_tree.parent tree pnode in
+                        Some
+                          ( text_of "/site/people/person/name/#text" person,
+                            text_of "/site/regions/europe/item/name/#text" item )
+                      end
+                      else None)
+                    items
+                else [])
+              itemrefs
+          end
+          else [])
+        buyers)
+    persons

@@ -1,0 +1,194 @@
+(* Query workload analysis (§3): extracts the value-comparison predicates
+   of a set of queries and resolves each side to the containers it
+   touches. The result feeds the E/I/D matrices of the cost model and
+   drives the greedy partitioning search. *)
+
+open Storage
+open Xquery
+
+type pred_class = Cls_eq | Cls_ineq | Cls_wild
+
+(** A predicate between container sets; [right = []] means a constant. *)
+type predicate = { cls : pred_class; left : int list; right : int list }
+
+type t = { predicates : predicate list; container_count : int }
+
+let class_of_op = function
+  | Ast.Eq | Ast.Neq -> Cls_eq
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> Cls_ineq
+
+(* Static resolution environment: variable -> summary nodes. *)
+type senv = (string * Summary.node list) list
+
+let summary_step repo (st : Ast.step) : Summary.step option =
+  let code n = Name_dict.code repo.Repository.dict n in
+  match st.Ast.axis, st.Ast.test with
+  | Ast.Child, Ast.Name n -> Option.map (fun c -> `Child c) (code n)
+  | Ast.Child, Ast.Any -> Some `Child_any
+  | Ast.Descendant, Ast.Name n -> Option.map (fun c -> `Desc c) (code n)
+  | Ast.Descendant, Ast.Any -> Some `Desc_any
+  | Ast.Attribute, Ast.Name n -> Option.map (fun c -> `Child c) (code ("@" ^ n))
+  | _ -> None
+
+let advance repo snodes st =
+  match summary_step repo st with
+  | None -> []
+  | Some sstep ->
+    let is_attr c =
+      c >= 0
+      &&
+      let n = Name_dict.name repo.Repository.dict c in
+      String.length n > 0 && n.[0] = '@'
+    in
+    Summary.step_from ~is_attr snodes sstep
+
+(* Summary nodes reachable by a path expression, or [] when unresolvable. *)
+let rec resolve_snodes repo (env : senv) (e : Ast.expr) : Summary.node list =
+  match e with
+  | Ast.Doc _ -> [ repo.Repository.summary.Summary.root ]
+  | Ast.Var v | Ast.Some_satisfies (v, _, _) when List.mem_assoc v env -> List.assoc v env
+  | Ast.Context -> (match List.assoc_opt "." env with Some s -> s | None -> [])
+  | Ast.Path (src, steps) ->
+    List.fold_left
+      (fun snodes (st : Ast.step) ->
+        match st.Ast.axis, st.Ast.test with
+        | _, Ast.Text -> snodes (* text keeps the element's snodes *)
+        | _ -> advance repo snodes st)
+      (resolve_snodes repo env src)
+      steps
+  | Ast.Distinct_values e | Ast.String_of e -> resolve_snodes repo env e
+  | _ -> []
+
+(* Containers holding the values an operand expression compares. *)
+let rec operand_containers repo (env : senv) (e : Ast.expr) : int list =
+  match e with
+  | Ast.Path (_, steps) -> (
+    let snodes = resolve_snodes repo env e in
+    let text_conts snodes =
+      List.filter_map (fun (sn : Summary.node) -> sn.Summary.text_container) snodes
+    in
+    match List.rev steps with
+    | { Ast.axis = Ast.Attribute; _ } :: _ | { Ast.test = Ast.Text; _ } :: _ ->
+      text_conts snodes
+    | _ ->
+      (* comparing an element compares its string value: every text
+         container in the subtree participates *)
+      let subtree = List.concat_map (fun sn -> Summary.descend_all sn []) snodes in
+      text_conts subtree)
+  | Ast.Arith (_, a, b) -> operand_containers repo env a @ operand_containers repo env b
+  | Ast.Number_of a | Ast.String_of a | Ast.Distinct_values a -> operand_containers repo env a
+  | _ -> []
+
+let rec collect repo (env : senv) (e : Ast.expr) (acc : predicate list ref) : unit =
+  let operand env e = operand_containers repo env e in
+  match e with
+  | Ast.Cmp (op, a, b) ->
+    let ca = operand env a and cb = operand env b in
+    (match ca, cb with
+    | [], [] -> ()
+    | l, r -> acc := { cls = class_of_op op; left = l; right = r } :: !acc);
+    collect repo env a acc;
+    collect repo env b acc
+  | Ast.Contains (a, b) | Ast.Starts_with (a, b) ->
+    (match operand env a with
+    | [] -> ()
+    | l -> acc := { cls = Cls_wild; left = l; right = [] } :: !acc);
+    collect repo env a acc;
+    collect repo env b acc
+  | Ast.Ftcontains (a, _) ->
+    (match operand env a with
+    | [] -> ()
+    | l -> acc := { cls = Cls_wild; left = l; right = [] } :: !acc);
+    collect repo env a acc
+  | Ast.Flwor (clauses, ret) ->
+    let env = ref env in
+    List.iter
+      (fun c ->
+        match c with
+        | Ast.For (v, e) | Ast.Let (v, e) ->
+          collect repo !env e acc;
+          env := (v, resolve_snodes repo !env e) :: !env
+        | Ast.Where e -> collect repo !env e acc
+        | Ast.Order_by keys -> List.iter (fun (k, _) -> collect repo !env k acc) keys)
+      clauses;
+    collect repo !env ret acc
+  | Ast.Path (src, steps) ->
+    collect repo env src acc;
+    (* predicates inside steps compare relative to the step's element *)
+    let snodes = ref (resolve_snodes repo env src) in
+    List.iter
+      (fun (st : Ast.step) ->
+        snodes := (match st.Ast.test with Ast.Text -> !snodes | _ -> advance repo !snodes st);
+        List.iter
+          (function
+            | Ast.Pos _ | Ast.Pos_last -> ()
+            | Ast.Cond e -> collect repo (("." , !snodes) :: env) e acc)
+          st.Ast.predicates)
+      steps
+  | Ast.Some_satisfies (v, e, cond) | Ast.Every_satisfies (v, e, cond) ->
+    collect repo env e acc;
+    collect repo ((v, resolve_snodes repo env e) :: env) cond acc
+  | Ast.If (a, b, c) ->
+    collect repo env a acc;
+    collect repo env b acc;
+    collect repo env c acc
+  | Ast.And (a, b) | Ast.Or (a, b) | Ast.Arith (_, a, b) ->
+    collect repo env a acc;
+    collect repo env b acc
+  | Ast.Not a
+  | Ast.Aggregate (_, a)
+  | Ast.Empty a
+  | Ast.Exists a
+  | Ast.Distinct_values a
+  | Ast.String_of a
+  | Ast.Number_of a
+  | Ast.Name_of a -> collect repo env a acc
+  | Ast.Element (_, attrs, kids) ->
+    List.iter
+      (fun (_, v) -> match v with Ast.Attr_expr e -> collect repo env e acc | Ast.Attr_string _ -> ())
+      attrs;
+    List.iter (fun k -> collect repo env k acc) kids
+  | Ast.Sequence es -> List.iter (fun e -> collect repo env e acc) es
+  | Ast.Literal_string _ | Ast.Literal_number _ | Ast.Var _ | Ast.Context | Ast.Doc _ -> ()
+
+(** Analyze a workload of queries against a loaded repository. *)
+let analyze (repo : Repository.t) (queries : Ast.expr list) : t =
+  let acc = ref [] in
+  List.iter (fun q -> collect repo [] q acc) queries;
+  { predicates = List.rev !acc; container_count = Array.length repo.Repository.containers }
+
+let of_query_strings repo (texts : string list) : t =
+  analyze repo (List.map Xquery.Parser.parse texts)
+
+(** The E/I/D comparison matrices of §3.2: square matrices of size
+    (|C|+1) x (|C|+1) counting, per predicate class (equality /
+    inequality / prefix-wildcard), the workload's comparisons between
+    containers i and j; row/column |C| stands for comparisons with
+    constants. The matrices are symmetric by construction. *)
+let matrices (w : t) : int array array * int array array * int array array =
+  let n = w.container_count in
+  let make () = Array.make_matrix (n + 1) (n + 1) 0 in
+  let e = make () and i = make () and d = make () in
+  List.iter
+    (fun p ->
+      let m = match p.cls with Cls_eq -> e | Cls_ineq -> i | Cls_wild -> d in
+      let bump a b =
+        m.(a).(b) <- m.(a).(b) + 1;
+        if a <> b then m.(b).(a) <- m.(b).(a) + 1
+      in
+      match p.right with
+      | [] -> List.iter (fun l -> bump l n) p.left
+      | right -> List.iter (fun l -> List.iter (fun r -> bump l r) right) p.left)
+    w.predicates;
+  (e, i, d)
+
+(** Container ids mentioned by any predicate. *)
+let queried_containers (w : t) : int list =
+  List.concat_map (fun p -> p.left @ p.right) w.predicates |> List.sort_uniq compare
+
+let pp_predicate ppf (p : predicate) =
+  let cls = match p.cls with Cls_eq -> "eq" | Cls_ineq -> "ineq" | Cls_wild -> "wild" in
+  Fmt.pf ppf "%s: {%a} vs %s" cls
+    Fmt.(list ~sep:comma int)
+    p.left
+    (if p.right = [] then "const" else Fmt.str "{%a}" Fmt.(list ~sep:comma int) p.right)

@@ -1,0 +1,29 @@
+(** Query workload analysis (§3): extracts the value-comparison
+    predicates of a set of queries, resolving each side to the
+    containers it touches — the input of the cost model and the greedy
+    partitioning search. *)
+
+open Storage
+
+type pred_class = Cls_eq | Cls_ineq | Cls_wild
+
+(** A predicate between container sets; [right = []] means a constant. *)
+type predicate = { cls : pred_class; left : int list; right : int list }
+
+type t = { predicates : predicate list; container_count : int }
+
+(** Summary nodes a path expression reaches (static, no data access). *)
+val resolve_snodes :
+  Repository.t -> (string * Summary.node list) list -> Xquery.Ast.expr -> Summary.node list
+
+val analyze : Repository.t -> Xquery.Ast.expr list -> t
+
+val of_query_strings : Repository.t -> string list -> t
+
+(** The E/I/D comparison matrices of §3.2 ((|C|+1)², symmetric; the last
+    row/column counts comparisons with constants). *)
+val matrices : t -> int array array * int array array * int array array
+
+val queried_containers : t -> int list
+
+val pp_predicate : Format.formatter -> predicate -> unit

@@ -1,0 +1,1 @@
+lib/storage/container.ml: Array Buffer Compress Hashtbl List String

@@ -1,0 +1,1 @@
+lib/storage/container.mli: Buffer Compress Hashtbl

@@ -1,0 +1,1 @@
+lib/storage/ids.ml: Fmt

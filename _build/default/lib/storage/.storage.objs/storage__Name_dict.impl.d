@@ -1,0 +1,1 @@
+lib/storage/name_dict.ml: Array Compress Hashtbl List String

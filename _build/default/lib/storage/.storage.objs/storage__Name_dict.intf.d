@@ -1,0 +1,1 @@
+lib/storage/name_dict.mli:

@@ -1,0 +1,1 @@
+lib/storage/repository.ml: Array Buffer Compress Container Hashtbl List Name_dict String Structure_tree Summary

@@ -1,0 +1,1 @@
+lib/storage/repository.mli: Compress Container Name_dict Structure_tree Summary

@@ -1,0 +1,1 @@
+lib/storage/structure_tree.ml: Array Btree Compress Ids List

@@ -1,0 +1,1 @@
+lib/storage/structure_tree.mli: Buffer Ids

@@ -1,0 +1,1 @@
+lib/storage/summary.ml: Array Compress Hashtbl List Name_dict

@@ -1,0 +1,1 @@
+lib/storage/summary.mli: Buffer Name_dict

@@ -1,0 +1,276 @@
+(* B+ tree with integer keys — the access-support structure built over the
+   node-record sequence (§2.2: "we construct and store a B+ search tree on
+   top of the sequence of node records").
+
+   Supports point lookup, in-order range folds, bulk loading from a sorted
+   array, and incremental insertion. Page accounting ([page_count],
+   [byte_size]) feeds the storage-occupancy experiment. *)
+
+type 'v node =
+  | Leaf of { mutable keys : int array; mutable vals : 'v array; mutable next : 'v node option }
+  | Internal of { mutable keys : int array; mutable kids : 'v node array }
+
+type 'v t = { mutable root : 'v node; order : int; mutable count : int }
+
+let default_order = 64
+
+let create ?(order = default_order) () =
+  { root = Leaf { keys = [||]; vals = [||]; next = None }; order; count = 0 }
+
+let length t = t.count
+
+(* Position of the child to follow for [key] in an internal node: first
+   separator strictly greater than key. *)
+let child_index keys key =
+  let n = Array.length keys in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Index of [key] in a sorted array, or the insertion point. *)
+let search_index keys key =
+  let n = Array.length keys in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) < key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let find t key =
+  let rec go node =
+    match node with
+    | Leaf l ->
+      let i = search_index l.keys key in
+      if i < Array.length l.keys && l.keys.(i) = key then Some l.vals.(i) else None
+    | Internal n -> go n.kids.(child_index n.keys key)
+  in
+  go t.root
+
+let mem t key = Option.is_some (find t key)
+
+(** Greatest binding with key <= [key]. *)
+let find_le t key =
+  let rec go node best =
+    match node with
+    | Leaf l ->
+      let i = search_index l.keys key in
+      let i = if i < Array.length l.keys && l.keys.(i) = key then i else i - 1 in
+      if i >= 0 then Some (l.keys.(i), l.vals.(i)) else best
+    | Internal n ->
+      let i = child_index n.keys key in
+      (* everything in kids below i is < key; remember the best-so-far by
+         descending and falling back on the left sibling subtree *)
+      let best =
+        if i > 0 then
+          let rec rightmost = function
+            | Leaf l ->
+              let k = Array.length l.keys - 1 in
+              Some (l.keys.(k), l.vals.(k))
+            | Internal n -> rightmost n.kids.(Array.length n.kids - 1)
+          in
+          match rightmost n.kids.(i - 1) with Some _ as r -> r | None -> best
+        else best
+      in
+      go n.kids.(i) best
+  in
+  go t.root None
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+(* Insert; replaces the value on duplicate key. *)
+let insert t key value =
+  let order = t.order in
+  (* Returns Some (separator, new right sibling) when the node split. *)
+  let rec go node =
+    match node with
+    | Leaf l ->
+      let i = search_index l.keys key in
+      if i < Array.length l.keys && l.keys.(i) = key then begin
+        l.vals.(i) <- value;
+        None
+      end
+      else begin
+        t.count <- t.count + 1;
+        l.keys <- array_insert l.keys i key;
+        l.vals <- array_insert l.vals i value;
+        if Array.length l.keys <= order then None
+        else begin
+          let mid = Array.length l.keys / 2 in
+          let right_keys = Array.sub l.keys mid (Array.length l.keys - mid) in
+          let right_vals = Array.sub l.vals mid (Array.length l.vals - mid) in
+          let right = Leaf { keys = right_keys; vals = right_vals; next = l.next } in
+          l.keys <- Array.sub l.keys 0 mid;
+          l.vals <- Array.sub l.vals 0 mid;
+          l.next <- Some right;
+          Some (right_keys.(0), right)
+        end
+      end
+    | Internal n ->
+      let i = child_index n.keys key in
+      (match go n.kids.(i) with
+      | None -> None
+      | Some (sep, right) ->
+        n.keys <- array_insert n.keys i sep;
+        n.kids <- array_insert n.kids (i + 1) right;
+        if Array.length n.kids <= order then None
+        else begin
+          let mid = Array.length n.keys / 2 in
+          let sep_up = n.keys.(mid) in
+          let right_keys = Array.sub n.keys (mid + 1) (Array.length n.keys - mid - 1) in
+          let right_kids = Array.sub n.kids (mid + 1) (Array.length n.kids - mid - 1) in
+          n.keys <- Array.sub n.keys 0 mid;
+          n.kids <- Array.sub n.kids 0 (mid + 1);
+          Some (sep_up, Internal { keys = right_keys; kids = right_kids })
+        end)
+  in
+  match go t.root with
+  | None -> ()
+  | Some (sep, right) ->
+    t.root <- Internal { keys = [| sep |]; kids = [| t.root; right |] }
+
+(** Bulk load from key-sorted bindings (strictly increasing keys). *)
+let of_sorted_array ?(order = default_order) (bindings : (int * 'v) array) : 'v t =
+  let n = Array.length bindings in
+  let per_leaf = max 2 (order / 2) in
+  let leaves = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let len = min per_leaf (n - !i) in
+    let keys = Array.init len (fun j -> fst bindings.(!i + j)) in
+    let vals = Array.init len (fun j -> snd bindings.(!i + j)) in
+    leaves := Leaf { keys; vals; next = None } :: !leaves;
+    i := !i + len
+  done;
+  let leaves = Array.of_list (List.rev !leaves) in
+  (* Chain the leaves. *)
+  for j = 0 to Array.length leaves - 2 do
+    match leaves.(j), leaves.(j + 1) with
+    | Leaf l, (Leaf _ as next) -> l.next <- Some next
+    | _ -> assert false
+  done;
+  let first_key = function
+    | Leaf l -> l.keys.(0)
+    | Internal _ -> assert false
+  in
+  let rec build level =
+    if Array.length level <= 1 then level
+    else begin
+      let per_node = max 2 (order / 2) in
+      let groups = ref [] in
+      let i = ref 0 in
+      while !i < Array.length level do
+        let len = min per_node (Array.length level - !i) in
+        let kids = Array.sub level !i len in
+        let keys = Array.init (len - 1) (fun j -> min_key kids.(j + 1)) in
+        groups := Internal { keys; kids } :: !groups;
+        i := !i + len
+      done;
+      build (Array.of_list (List.rev !groups))
+    end
+  and min_key node =
+    match node with
+    | Leaf _ -> first_key node
+    | Internal n -> min_key n.kids.(0)
+  in
+  if n = 0 then create ~order ()
+  else begin
+    let roots = build leaves in
+    { root = roots.(0); order; count = n }
+  end
+
+(** Fold over bindings with key in [lo, hi] in key order. *)
+let fold_range t ~lo ~hi ~init ~f =
+  let rec descend node =
+    match node with
+    | Leaf _ -> node
+    | Internal n -> descend n.kids.(child_index n.keys lo)
+  in
+  let rec walk acc node =
+    match node with
+    | Leaf l ->
+      let acc = ref acc in
+      let stop = ref false in
+      for i = 0 to Array.length l.keys - 1 do
+        if not !stop then begin
+          let k = l.keys.(i) in
+          if k > hi then stop := true
+          else if k >= lo then acc := f !acc k l.vals.(i)
+        end
+      done;
+      if !stop then !acc
+      else (match l.next with None -> !acc | Some next -> walk !acc next)
+    | Internal _ -> assert false
+  in
+  walk init (descend t.root)
+
+let iter_range t ~lo ~hi ~f =
+  fold_range t ~lo ~hi ~init:() ~f:(fun () k v -> f k v)
+
+let fold t ~init ~f = fold_range t ~lo:min_int ~hi:max_int ~init ~f
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+let page_count t =
+  let rec go node =
+    match node with
+    | Leaf _ -> 1
+    | Internal n -> Array.fold_left (fun acc k -> acc + go k) 1 n.kids
+  in
+  go t.root
+
+let depth t =
+  let rec go node =
+    match node with Leaf _ -> 1 | Internal n -> 1 + go n.kids.(0)
+  in
+  go t.root
+
+(** Approximate serialized size: keys at 4 bytes plus per-value payload. *)
+let byte_size t ~value_bytes =
+  let rec go node =
+    match node with
+    | Leaf l -> (4 * Array.length l.keys) + Array.fold_left (fun a v -> a + value_bytes v) 0 l.vals + 8
+    | Internal n ->
+      (4 * Array.length n.keys) + 8 + Array.fold_left (fun acc k -> acc + go k) 0 n.kids
+  in
+  go t.root
+
+(* Structural invariants, used by the test suite. *)
+let check_invariants t =
+  let rec go node lo hi depth =
+    match node with
+    | Leaf l ->
+      Array.iteri
+        (fun i k ->
+          if i > 0 && l.keys.(i - 1) >= k then failwith "leaf keys not increasing";
+          (match lo with Some b when k < b -> failwith "leaf key below bound" | _ -> ());
+          (match hi with Some b when k >= b -> failwith "leaf key above bound" | _ -> ()))
+        l.keys;
+      depth
+    | Internal n ->
+      if Array.length n.kids <> Array.length n.keys + 1 then failwith "fanout mismatch";
+      Array.iteri
+        (fun i k ->
+          if i > 0 && n.keys.(i - 1) >= k then failwith "internal keys not increasing")
+        n.keys;
+      let depths =
+        Array.to_list
+          (Array.mapi
+             (fun i kid ->
+               let lo' = if i = 0 then lo else Some n.keys.(i - 1) in
+               let hi' = if i = Array.length n.keys then hi else Some n.keys.(i) in
+               go kid lo' hi' (depth + 1))
+             n.kids)
+      in
+      (match depths with
+      | [] -> failwith "empty internal node"
+      | d :: rest ->
+        if not (List.for_all (fun d' -> d' = d) rest) then failwith "unbalanced";
+        d)
+  in
+  ignore (go t.root None None 1)

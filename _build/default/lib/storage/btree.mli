@@ -1,0 +1,44 @@
+(** B+ tree with integer keys — the access-support structure of §2.2,
+    built over the node-record sequence. Supports point lookup, range
+    folds, bulk loading and incremental insertion; page accounting feeds
+    the storage-occupancy experiment. *)
+
+type 'v t
+
+val default_order : int
+
+val create : ?order:int -> unit -> 'v t
+
+val length : 'v t -> int
+
+val find : 'v t -> int -> 'v option
+
+val mem : 'v t -> int -> bool
+
+(** Greatest binding with key <= the argument. *)
+val find_le : 'v t -> int -> (int * 'v) option
+
+(** Insert; replaces the value on duplicate key. *)
+val insert : 'v t -> int -> 'v -> unit
+
+(** Bulk load from strictly-increasing key-sorted bindings. *)
+val of_sorted_array : ?order:int -> (int * 'v) array -> 'v t
+
+(** Fold over bindings with key in [lo, hi], in key order. *)
+val fold_range : 'v t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> 'v -> 'a) -> 'a
+
+val iter_range : 'v t -> lo:int -> hi:int -> f:(int -> 'v -> unit) -> unit
+
+val fold : 'v t -> init:'a -> f:('a -> int -> 'v -> 'a) -> 'a
+
+val to_list : 'v t -> (int * 'v) list
+
+val page_count : 'v t -> int
+
+val depth : 'v t -> int
+
+(** Approximate serialized size given a per-value payload size. *)
+val byte_size : 'v t -> value_bytes:('v -> int) -> int
+
+(** Raises [Failure] when a structural invariant is violated (tests). *)
+val check_invariants : 'v t -> unit

@@ -1,0 +1,169 @@
+(* Value containers (§2.2): all data values found under the same
+   root-to-leaf path are stored together. A container is a sequence of
+   records <compressed value, parent pointer>, kept in lexicographic order
+   of the compressed values — NOT document order — enabling binary search
+   and 1-pass merge joins. With an order-preserving codec the code order
+   coincides with the plaintext order; with Huffman it still clusters
+   equal values, so equality search works in the compressed domain. *)
+
+type kind = Text | Attribute
+
+type record = { code : string; parent : int }
+
+type t = {
+  id : int;
+  path : string;  (** root-to-leaf path expression, e.g. "/site/people/person/name/#text" *)
+  kind : kind;
+  mutable algorithm : Compress.Codec.algorithm;
+  mutable model : Compress.Codec.model;
+  mutable model_id : int;  (** containers sharing a source model share this id *)
+  mutable records : record array;
+  mutable plain_bytes : int;  (** total plaintext bytes (for stats / cost model) *)
+}
+
+let length t = Array.length t.records
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Build a container from (value, parent-id) pairs, training a fresh
+    source model with the given algorithm. *)
+let build ~id ~path ~kind ~algorithm (values : (string * int) list) : t =
+  let model = Compress.Codec.train algorithm (List.map fst values) in
+  let records =
+    List.map (fun (v, parent) -> { code = Compress.Codec.compress model v; parent }) values
+    |> Array.of_list
+  in
+  Array.sort (fun a b -> compare (a.code, a.parent) (b.code, b.parent)) records;
+  let plain_bytes = List.fold_left (fun acc (v, _) -> acc + String.length v) 0 values in
+  { id; path; kind; algorithm; model; model_id = id; records; plain_bytes }
+
+(** All (plaintext, parent) pairs, decompressed. *)
+let dump (t : t) : (string * int) list =
+  Array.to_list t.records
+  |> List.map (fun r -> (Compress.Codec.decompress t.model r.code, r.parent))
+
+(** Re-compress with a new algorithm / shared model. [model] must have
+    been trained on a superset of this container's values. Returns the
+    permutation old record index -> new record index so callers can fix
+    up value pointers into this container. *)
+let recompress (t : t) ~algorithm ~model ~model_id : int array =
+  let plain = dump t in
+  let records =
+    List.mapi
+      (fun old_idx (v, parent) ->
+        ({ code = Compress.Codec.compress model v; parent }, old_idx))
+      plain
+    |> Array.of_list
+  in
+  Array.sort
+    (fun (a, ia) (b, ib) -> compare (a.code, a.parent, ia) (b.code, b.parent, ib))
+    records;
+  let remap = Array.make (Array.length records) 0 in
+  Array.iteri (fun new_idx (_, old_idx) -> remap.(old_idx) <- new_idx) records;
+  t.algorithm <- algorithm;
+  t.model <- model;
+  t.model_id <- model_id;
+  t.records <- Array.map fst records;
+  remap
+
+(* ------------------------------------------------------------------ *)
+(* Access paths                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** ContScan: all records in compressed-value order. *)
+let scan (t : t) : record array = t.records
+
+(* First index with code >= [code] (or length if none). *)
+let lower_bound (t : t) (code : string) : int =
+  let lo = ref 0 and hi = ref (Array.length t.records) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare t.records.(mid).code code < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index with code > [code]. *)
+let upper_bound (t : t) (code : string) : int =
+  let lo = ref 0 and hi = ref (Array.length t.records) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare t.records.(mid).code code <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** ContAccess with an equality criterion: binary search on the compressed
+    code (valid whenever the algorithm supports [eq]). *)
+let lookup_eq (t : t) (code : string) : record list =
+  let lo = lower_bound t code and hi = upper_bound t code in
+  List.init (hi - lo) (fun i -> t.records.(lo + i))
+
+(** ContAccess with an interval criterion on compressed codes (valid only
+    for order-preserving algorithms). Bounds are inclusive [lo] /
+    exclusive [hi]; [None] means unbounded. *)
+let lookup_range (t : t) ?lo ?hi () : record list =
+  let start = match lo with None -> 0 | Some c -> lower_bound t c in
+  let stop = match hi with None -> Array.length t.records | Some c -> lower_bound t c in
+  List.init (max 0 (stop - start)) (fun i -> t.records.(start + i))
+
+let decompress_record (t : t) (r : record) : string =
+  Compress.Codec.decompress t.model r.code
+
+(** Compress a query constant against this container's source model, for
+    compressed-domain comparisons. *)
+let compress_constant (t : t) (v : string) : string =
+  Compress.Codec.compress t.model v
+
+(* ------------------------------------------------------------------ *)
+(* Size accounting / serialization                                     *)
+(* ------------------------------------------------------------------ *)
+
+let compressed_bytes (t : t) =
+  Array.fold_left (fun acc r -> acc + String.length r.code) 0 t.records
+
+let serialize buf (t : t) =
+  let add_varint = Compress.Rle.add_varint in
+  add_varint buf t.id;
+  add_varint buf (String.length t.path);
+  Buffer.add_string buf t.path;
+  Buffer.add_char buf (match t.kind with Text -> 'T' | Attribute -> 'A');
+  let alg = Compress.Codec.algorithm_name t.algorithm in
+  add_varint buf (String.length alg);
+  Buffer.add_string buf alg;
+  add_varint buf t.model_id;
+  add_varint buf t.plain_bytes;
+  add_varint buf (Array.length t.records);
+  Array.iter
+    (fun r ->
+      add_varint buf (String.length r.code);
+      Buffer.add_string buf r.code;
+      add_varint buf r.parent)
+    t.records
+
+let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (pos : int) :
+    t * int =
+  let read_varint = Compress.Rle.read_varint in
+  let (id, pos) = read_varint s pos in
+  let (plen, pos) = read_varint s pos in
+  let path = String.sub s pos plen in
+  let pos = pos + plen in
+  let kind = match s.[pos] with 'T' -> Text | 'A' -> Attribute | _ -> failwith "bad kind" in
+  let pos = pos + 1 in
+  let (alen, pos) = read_varint s pos in
+  let algorithm = Compress.Codec.algorithm_of_name (String.sub s pos alen) in
+  let pos = pos + alen in
+  let (model_id, pos) = read_varint s pos in
+  let (plain_bytes, pos) = read_varint s pos in
+  let (n, pos) = read_varint s pos in
+  let pos = ref pos in
+  let records =
+    Array.init n (fun _ ->
+        let (clen, p) = read_varint s !pos in
+        let code = String.sub s p clen in
+        let (parent, p) = read_varint s (p + clen) in
+        pos := p;
+        { code; parent })
+  in
+  let model = Hashtbl.find models model_id in
+  ({ id; path; kind; algorithm; model; model_id; records; plain_bytes }, !pos)

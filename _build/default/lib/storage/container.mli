@@ -1,0 +1,64 @@
+(** Value containers (§2.2): all data values found under one root-to-leaf
+    path, as individually compressed records <code, parent id> kept in
+    lexicographic order of the codes (NOT document order) — enabling
+    binary search, range scans and 1-pass merge joins. *)
+
+type kind = Text | Attribute
+
+type record = { code : string; parent : int }
+
+type t = {
+  id : int;
+  path : string;
+  kind : kind;
+  mutable algorithm : Compress.Codec.algorithm;
+  mutable model : Compress.Codec.model;
+  mutable model_id : int;  (** containers sharing a source model share this *)
+  mutable records : record array;
+  mutable plain_bytes : int;
+}
+
+val length : t -> int
+
+(** Build from (value, parent-id) pairs, training a fresh model. *)
+val build :
+  id:int ->
+  path:string ->
+  kind:kind ->
+  algorithm:Compress.Codec.algorithm ->
+  (string * int) list ->
+  t
+
+(** All (plaintext, parent) pairs, decompressed, in record order. *)
+val dump : t -> (string * int) list
+
+(** Re-compress with a new algorithm / shared model; returns the
+    old-index -> new-index permutation for pointer fix-up. *)
+val recompress :
+  t -> algorithm:Compress.Codec.algorithm -> model:Compress.Codec.model -> model_id:int -> int array
+
+(** ContScan: all records in compressed-value order. *)
+val scan : t -> record array
+
+(** First index with code >= / > the argument. *)
+val lower_bound : t -> string -> int
+
+val upper_bound : t -> string -> int
+
+(** ContAccess, equality criterion (valid under the [eq] property). *)
+val lookup_eq : t -> string -> record list
+
+(** ContAccess, interval criterion on codes (order-preserving codecs);
+    [lo] inclusive, [hi] exclusive, [None] = unbounded. *)
+val lookup_range : t -> ?lo:string -> ?hi:string -> unit -> record list
+
+val decompress_record : t -> record -> string
+
+(** Compress a query constant against this container's source model. *)
+val compress_constant : t -> string -> string
+
+val compressed_bytes : t -> int
+
+val serialize : Buffer.t -> t -> unit
+
+val deserialize : models:(int, Compress.Codec.model) Hashtbl.t -> string -> int -> t * int

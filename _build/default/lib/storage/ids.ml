@@ -1,0 +1,28 @@
+(* Node identifiers.
+
+   The evaluated XQueC prototype uses "simple unique IDs" (§5); the paper
+   announces a move to 3-valued structural identifiers in the spirit of
+   pre/post/level numbering [26,27,28]. Both are provided: simple ids are
+   the pre-order ranks, and [Structural] adds the post rank and the level,
+   enabling constant-time ancestor/descendant tests without joins. *)
+
+type simple = int
+
+module Structural = struct
+  type t = { pre : int; post : int; level : int }
+
+  let make ~pre ~post ~level = { pre; post; level }
+
+  (** Is [a] a strict ancestor of [d]? *)
+  let is_ancestor a d = a.pre < d.pre && a.post > d.post
+
+  let is_descendant d a = is_ancestor a d
+
+  (** Is [p] the parent of [c]? *)
+  let is_parent p c = is_ancestor p c && p.level = c.level - 1
+
+  (** Document order coincides with pre order. *)
+  let compare_doc_order a b = compare a.pre b.pre
+
+  let pp ppf t = Fmt.pf ppf "(%d,%d,%d)" t.pre t.post t.level
+end

@@ -1,0 +1,22 @@
+(** Node identifiers. The evaluated prototype uses simple pre-order ids
+    (§5); [Structural] adds the paper's announced 3-valued
+    (pre, post, level) identifiers enabling constant-time
+    ancestor/descendant tests. *)
+
+type simple = int
+
+module Structural : sig
+  type t = { pre : int; post : int; level : int }
+
+  val make : pre:int -> post:int -> level:int -> t
+
+  val is_ancestor : t -> t -> bool
+
+  val is_descendant : t -> t -> bool
+
+  val is_parent : t -> t -> bool
+
+  val compare_doc_order : t -> t -> int
+
+  val pp : Format.formatter -> t -> unit
+end

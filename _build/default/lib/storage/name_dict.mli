@@ -1,0 +1,23 @@
+(** Node-name dictionary (§2.2): element and attribute names encoded on
+    ceil(log2 N) bits; attribute names carry a '@' prefix. *)
+
+type t
+
+val create : unit -> t
+
+(** Idempotent: returns the existing code for a known name. *)
+val intern : t -> string -> int
+
+val code : t -> string -> int option
+
+(** Raises [Invalid_argument] on an out-of-range code. *)
+val name : t -> int -> string
+
+val size : t -> int
+
+(** Bits per encoded tag (the paper's example: 92 names on 7 bits). *)
+val bits_per_code : t -> int
+
+val serialized_size : t -> int
+
+val to_list : t -> string list

@@ -1,0 +1,41 @@
+(** Compressed repository: the name dictionary, structure tree, value
+    containers, shared source models and structure summary for one
+    document, with byte-level serialization for the size experiments. *)
+
+type t = {
+  dict : Name_dict.t;
+  tree : Structure_tree.t;
+  containers : Container.t array;
+  summary : Summary.t;
+  source_name : string;
+  original_size : int;
+}
+
+val container : t -> int -> Container.t
+
+val find_container_by_path : t -> string -> Container.t option
+
+(** Distinct source models (shared-model containers count once). *)
+val models : t -> (int * Compress.Codec.model) list
+
+type size_breakdown = {
+  name_dict_bytes : int;
+  tree_bytes : int;
+  containers_bytes : int;
+  models_bytes : int;
+  summary_bytes : int;
+  btree_bytes : int;
+  total_bytes : int;
+  essential_bytes : int;
+      (** without access structures: values + models + dictionary +
+          a forward-only structure tree *)
+}
+
+val size_breakdown : t -> size_breakdown
+
+(** 1 - cs/os, as defined in the paper's §5. *)
+val compression_factor : t -> float
+
+val serialize : t -> string
+
+val deserialize : string -> t

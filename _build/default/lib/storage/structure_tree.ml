@@ -1,0 +1,228 @@
+(* Structure tree (§2.2): one record per non-value node (element or
+   attribute), holding its ID, tag code, children IDs and (redundantly)
+   its parent ID, plus pointers to its text/attribute values in their
+   containers. IDs are pre-order ranks, so they coincide with document
+   order; the (pre, post, level) triple also realizes the paper's
+   future-work 3-valued structural ids. *)
+
+type t = {
+  tags : int array;                 (* name-dictionary code per node *)
+  parents : int array;              (* -1 for the root *)
+  posts : int array;                (* post-order rank *)
+  levels : int array;               (* root = 0 *)
+  children : int array array;
+      (* child entries in document order: an entry >= 0 is a child
+         element/attribute node id; an entry < 0 is a text marker
+         -(slot+1) indexing into this node's [values] *)
+  values : (int * int) array array; (* (container id, record index) per node *)
+  lasts : int array;                (* last descendant (pre id) per node *)
+  index : int Btree.t;
+      (* B+ access structure over the record sequence: sparse, one entry
+         per page of [page_records] records, mapping the page's first
+         node id to its slot *)
+}
+
+let page_records = 64
+
+let build_index n =
+  let pages = (n + page_records - 1) / page_records in
+  Btree.of_sorted_array (Array.init pages (fun p -> (p * page_records, p * page_records)))
+
+let node_count t = Array.length t.tags
+
+let tag t id = t.tags.(id)
+let parent t id = t.parents.(id)
+let level t id = t.levels.(id)
+let value_pointers t id = t.values.(id)
+
+(** Raw child entries (node ids and text markers), document order. *)
+let child_entries t id = t.children.(id)
+
+(** Child element/attribute node ids only, document order. *)
+let child_nodes t id =
+  Array.to_list t.children.(id) |> List.filter (fun c -> c >= 0)
+
+let structural_id t id =
+  Ids.Structural.make ~pre:id ~post:t.posts.(id) ~level:t.levels.(id)
+
+(** Constant-time ancestor test via the structural id extension. *)
+let is_ancestor t ~ancestor ~descendant =
+  ancestor < descendant && t.posts.(ancestor) > t.posts.(descendant)
+
+(** children with a given tag code, preserving document order. *)
+let children_with_tag t id tag_code =
+  child_nodes t id |> List.filter (fun c -> t.tags.(c) = tag_code)
+
+(** Last descendant (pre id) of [id]: descendants are exactly the pre ids
+    in (id, last_descendant id]. *)
+let last_descendant t id = t.lasts.(id)
+
+(** All descendants of [id] (excluding [id]), document order. *)
+let descendants t id =
+  let stop = t.lasts.(id) in
+  List.init (stop - id) (fun i -> id + 1 + i)
+
+(** Rewrite value pointers after containers were recompressed (their
+    records re-sorted): [remap cont_id] returns the old-to-new index
+    permutation for that container, or None if it is unchanged. *)
+let set_value_container (t : t) ~node ~slot ~container =
+  let (_, idx) = t.values.(node).(slot) in
+  t.values.(node).(slot) <- (container, idx)
+
+let remap_values (t : t) (remap : int -> int array option) : unit =
+  Array.iteri
+    (fun node ptrs ->
+      Array.iteri
+        (fun slot (cont, idx) ->
+          match remap cont with
+          | Some perm -> t.values.(node).(slot) <- (cont, perm.(idx))
+          | None -> ignore (node, ptrs))
+        ptrs)
+    t.values
+
+(** Look a node up through the B+ index (the honest access path used when
+    the tree is on storage): sparse index to the page, then an in-page
+    scan. Array indexing is its in-memory shortcut. *)
+let find t id =
+  if id < 0 || id >= node_count t then None
+  else
+    match Btree.find_le t.index id with
+    | Some (_, page_start) ->
+      let rec scan slot = if slot = id then Some slot else scan (slot + 1) in
+      scan page_start
+    | None -> None
+
+type builder = {
+  mutable b_tags : int list;    (* reversed: id order *)
+  mutable b_parents : int list;
+  mutable b_posts : (int * int) list; (* (id, post) in completion order *)
+  mutable b_levels : int list;
+  mutable next_id : int;
+  mutable next_post : int;
+}
+
+let builder () =
+  { b_tags = []; b_parents = []; b_posts = []; b_levels = []; next_id = 0; next_post = 0 }
+
+(* The builder is driven in document order: open_node returns the fresh id;
+   close_node assigns the post rank. The loader accumulates child lists and
+   value pointers itself (it knows them only as parsing proceeds) and hands
+   them to [finish] as reversed per-node lists. *)
+let open_node (b : builder) ~tag ~parent ~level : int =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  b.b_tags <- tag :: b.b_tags;
+  b.b_parents <- parent :: b.b_parents;
+  b.b_levels <- level :: b.b_levels;
+  id
+
+let close_node (b : builder) ~id =
+  b.b_posts <- (id, b.next_post) :: b.b_posts;
+  b.next_post <- b.next_post + 1
+
+let next_id (b : builder) = b.next_id
+
+(* last descendant per node, computed bottom-up (ids are pre-order, so a
+   node's children have larger ids and are already resolved when we walk
+   ids in decreasing order). *)
+let compute_lasts (children : int array array) : int array =
+  let n = Array.length children in
+  let lasts = Array.make n 0 in
+  for id = n - 1 downto 0 do
+    let last = ref id in
+    Array.iter (fun c -> if c >= 0 && lasts.(c) > !last then last := lasts.(c)) children.(id);
+    lasts.(id) <- !last
+  done;
+  lasts
+
+let finish (b : builder) ~(rev_children : int list array)
+    ~(rev_values : (int * int) list array) : t =
+  let n = b.next_id in
+  let tags = Array.of_list (List.rev b.b_tags) in
+  let parents = Array.of_list (List.rev b.b_parents) in
+  let levels = Array.of_list (List.rev b.b_levels) in
+  let posts = Array.make n 0 in
+  List.iter (fun (id, post) -> posts.(id) <- post) b.b_posts;
+  let children = Array.map (fun l -> Array.of_list (List.rev l)) rev_children in
+  let values = Array.map (fun l -> Array.of_list (List.rev l)) rev_values in
+  let lasts = compute_lasts children in
+  { tags; parents; posts; levels; children; values; lasts; index = build_index n }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let serialize buf (t : t) =
+  let add_varint = Compress.Rle.add_varint in
+  let n = node_count t in
+  add_varint buf n;
+  (* posts, levels and lasts are recomputed at load time; the record
+     stores tag, (redundant) parent pointer, child entries and value
+     pointers, as in the paper. *)
+  for id = 0 to n - 1 do
+    add_varint buf t.tags.(id);
+    add_varint buf (id - t.parents.(id));
+    add_varint buf (Array.length t.children.(id));
+    (* child node ids are > id: delta-encode against id (even codes);
+       text markers are encoded as odd codes *)
+    Array.iter
+      (fun c -> add_varint buf (if c >= 0 then 2 * (c - id) else (2 * -c) - 1))
+      t.children.(id);
+    add_varint buf (Array.length t.values.(id));
+    (* the container id is derivable from the node's summary path, so
+       only the record index is stored *)
+    Array.iter (fun (_cont, idx) -> add_varint buf idx) t.values.(id)
+  done
+
+let deserialize (s : string) (pos : int) : t * int =
+  let read_varint = Compress.Rle.read_varint in
+  let (n, pos) = read_varint s pos in
+  let tags = Array.make n 0 in
+  let parents = Array.make n 0 in
+  let children = Array.make n [||] in
+  let values = Array.make n [||] in
+  let pos = ref pos in
+  for id = 0 to n - 1 do
+    let (tag, p) = read_varint s !pos in
+    let (pdelta, p) = read_varint s p in
+    let (nk, p) = read_varint s p in
+    let p = ref p in
+    let kids =
+      Array.init nk (fun _ ->
+          let (d, np) = read_varint s !p in
+          p := np;
+          if d land 1 = 0 then id + (d / 2) else -((d + 1) / 2))
+    in
+    let (nv, np) = read_varint s !p in
+    p := np;
+    (* container ids are re-resolved against the structure summary by the
+       repository loader; -1 is the placeholder *)
+    let vals =
+      Array.init nv (fun _ ->
+          let (idx, np) = read_varint s !p in
+          p := np;
+          (-1, idx))
+    in
+    tags.(id) <- tag;
+    parents.(id) <- id - pdelta;
+    children.(id) <- kids;
+    values.(id) <- vals;
+    pos := !p
+  done;
+  let lasts = compute_lasts children in
+  (* recompute posts and levels by a DFS over the children structure *)
+  let posts = Array.make n 0 in
+  let levels = Array.make n 0 in
+  let next_post = ref 0 in
+  let rec dfs id level =
+    levels.(id) <- level;
+    Array.iter (fun c -> if c >= 0 then dfs c (level + 1)) children.(id);
+    posts.(id) <- !next_post;
+    incr next_post
+  in
+  if n > 0 then dfs 0 0;
+  ({ tags; parents; posts; levels; children; values; lasts; index = build_index n }, !pos)
+
+(** Size of the B+ access structure alone (for the §2.2 occupancy
+    breakdown). *)
+let index_bytes (t : t) = Btree.byte_size t.index ~value_bytes:(fun _ -> 4)

@@ -1,0 +1,68 @@
+(** Structure tree (§2.2): one record per non-value node, holding tag
+    code, (redundant) parent pointer, child entries and value pointers.
+    Ids are pre-order ranks; (pre, post, level) realizes the paper's
+    3-valued structural ids. Child entries interleave element/attribute
+    node ids (>= 0) with text markers (< 0, indexing the node's value
+    pointers) so documents reconstruct in exact order. *)
+
+type t
+
+val node_count : t -> int
+
+val tag : t -> int -> int
+
+val parent : t -> int -> int
+
+val level : t -> int -> int
+
+(** (container id, record index) pairs, in document (slot) order. *)
+val value_pointers : t -> int -> (int * int) array
+
+(** Raw child entries (node ids and text markers), document order. *)
+val child_entries : t -> int -> int array
+
+(** Child element/attribute node ids only. *)
+val child_nodes : t -> int -> int list
+
+val structural_id : t -> int -> Ids.Structural.t
+
+(** Constant-time strict-ancestor test via pre/post ranks. *)
+val is_ancestor : t -> ancestor:int -> descendant:int -> bool
+
+val children_with_tag : t -> int -> int -> int list
+
+(** Descendants of a node occupy the pre-id range (id, last_descendant]. *)
+val last_descendant : t -> int -> int
+
+val descendants : t -> int -> int list
+
+(** Rewrite value pointers after containers were recompressed. *)
+val remap_values : t -> (int -> int array option) -> unit
+
+val set_value_container : t -> node:int -> slot:int -> container:int -> unit
+
+(** Lookup through the sparse B+ page index (the honest on-storage
+    access path). *)
+val find : t -> int -> int option
+
+(** {2 Document-order construction} *)
+
+type builder
+
+val builder : unit -> builder
+
+val open_node : builder -> tag:int -> parent:int -> level:int -> int
+
+val close_node : builder -> id:int -> unit
+
+val next_id : builder -> int
+
+val finish :
+  builder -> rev_children:int list array -> rev_values:(int * int) list array -> t
+
+val serialize : Buffer.t -> t -> unit
+
+val deserialize : string -> int -> t * int
+
+(** Size of the B+ access structure (for the §2.2 breakdown). *)
+val index_bytes : t -> int

@@ -1,0 +1,161 @@
+(* Structure summary (§2.2): a tree of all distinct paths in the document.
+   Each summary node accessible by path p stores the list of document
+   nodes reachable by p (in document order); leaf paths that carry values
+   point to the corresponding containers. This is the redundant access
+   support structure that lets queries skip parsing the structure tree
+   (§2.3 and Fig. 4). *)
+
+type node = {
+  tag : int;                       (* name-dictionary code; -1 at the root *)
+  path : string;                   (* /site/people/person *)
+  mutable kids : node list;        (* child summary nodes, by distinct tag *)
+  mutable rev_ids : int list;      (* build-time accumulator *)
+  mutable ids : int array;         (* document nodes reachable by this path *)
+  mutable text_container : int option; (* container with immediate text values *)
+}
+
+type t = { root : node }
+
+let make_node ~tag ~path =
+  { tag; path; kids = []; rev_ids = []; ids = [||]; text_container = None }
+
+let create () = { root = make_node ~tag:(-1) ~path:"" }
+
+(** Find or create the child of [n] with the given tag code. *)
+let child_or_create n ~tag ~name =
+  match List.find_opt (fun k -> k.tag = tag) n.kids with
+  | Some k -> k
+  | None ->
+    let k = make_node ~tag ~path:(n.path ^ "/" ^ name) in
+    n.kids <- n.kids @ [ k ];
+    k
+
+let add_id n id = n.rev_ids <- id :: n.rev_ids
+
+let rec seal n =
+  n.ids <- Array.of_list (List.rev n.rev_ids);
+  n.rev_ids <- [];
+  List.iter seal n.kids
+
+let seal_t t = seal t.root
+
+let find_child n tag = List.find_opt (fun k -> k.tag = tag) n.kids
+
+(** All summary nodes matching a sequence of steps from the root.
+    A step selects children by tag code (or any tag), or descendants by
+    tag code (or any tag). Attribute summary nodes (whose names start
+    with '@' in the dictionary) are only reached by explicit tag codes. *)
+type step = [ `Child of int | `Desc of int | `Child_any | `Desc_any ]
+
+let rec descend_all n acc =
+  (* all summary nodes in the subtree rooted at n, including n *)
+  List.fold_left (fun acc k -> descend_all k acc) (n :: acc) n.kids
+
+let dedup_nodes nodes =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n.path then false
+      else begin
+        Hashtbl.add seen n.path ();
+        true
+      end)
+    nodes
+
+(** Apply one step relative to [nodes]: matching children (or
+    descendants) of each node. *)
+let step_from ?(is_attr = fun (_ : int) -> false) (nodes : node list) (st : step) : node list =
+  let apply nodes st =
+    match st with
+    | `Child tag -> List.filter_map (fun n -> find_child n tag) nodes
+    | `Child_any ->
+      List.concat_map (fun n -> List.filter (fun k -> not (is_attr k.tag)) n.kids) nodes
+    | `Desc tag ->
+      (* descendant::tag relative to each node *)
+      let subtree_nodes =
+        List.concat_map (fun n -> List.concat_map (fun k -> descend_all k []) n.kids) nodes
+      in
+      List.filter (fun n -> n.tag = tag) subtree_nodes
+    | `Desc_any ->
+      let subtree_nodes =
+        List.concat_map (fun n -> List.concat_map (fun k -> descend_all k []) n.kids) nodes
+      in
+      List.filter (fun n -> not (is_attr n.tag)) subtree_nodes
+  in
+  dedup_nodes (apply nodes st)
+
+(** All summary nodes matching steps from the (document) root. *)
+let match_steps ?is_attr (t : t) (steps : step list) : node list =
+  List.fold_left (fun nodes st -> step_from ?is_attr nodes st) [ t.root ] steps
+
+(** Document-order ids reachable through any of the given summary nodes. *)
+let merged_ids (nodes : node list) : int array =
+  match nodes with
+  | [] -> [||]
+  | [ n ] -> n.ids
+  | nodes ->
+    let all = Array.concat (List.map (fun n -> n.ids) nodes) in
+    Array.sort compare all;
+    all
+
+let fold (t : t) ~init ~f =
+  let rec go acc n = List.fold_left go (f acc n) n.kids in
+  go init t.root
+
+let node_count t = fold t ~init:0 ~f:(fun acc _ -> acc + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let serialize buf (t : t) =
+  let add_varint = Compress.Rle.add_varint in
+  let rec go n =
+    add_varint buf (n.tag + 1);
+    add_varint buf (Array.length n.ids);
+    (* ids are increasing: delta-encode *)
+    let prev = ref 0 in
+    Array.iter
+      (fun id ->
+        add_varint buf (id - !prev);
+        prev := id)
+      n.ids;
+    (match n.text_container with
+    | None -> add_varint buf 0
+    | Some c -> add_varint buf (c + 1));
+    add_varint buf (List.length n.kids);
+    List.iter go n.kids
+  in
+  go t.root
+
+let deserialize ~(dict : Name_dict.t) (s : string) (pos : int) : t * int =
+  let read_varint = Compress.Rle.read_varint in
+  let pos = ref pos in
+  let rec go parent_path =
+    let (tag1, p) = read_varint s !pos in
+    let tag = tag1 - 1 in
+    let (nids, p) = read_varint s p in
+    pos := p;
+    let prev = ref 0 in
+    let ids =
+      Array.init nids (fun _ ->
+          let (d, p) = read_varint s !pos in
+          pos := p;
+          prev := !prev + d;
+          !prev)
+    in
+    let (tc1, p) = read_varint s !pos in
+    let (nkids, p) = read_varint s p in
+    pos := p;
+    let path =
+      if tag = -1 then "" else parent_path ^ "/" ^ Name_dict.name dict tag
+    in
+    let n = make_node ~tag ~path in
+    n.ids <- ids;
+    n.text_container <- (if tc1 = 0 then None else Some (tc1 - 1));
+    let kids = List.init nkids (fun _ -> go path) in
+    n.kids <- kids;
+    n
+  in
+  let root = go "" in
+  ({ root }, !pos)

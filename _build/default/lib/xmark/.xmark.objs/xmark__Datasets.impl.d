@@ -1,0 +1,1 @@
+lib/xmark/datasets.ml: Buffer List Printf Rng String Wordpool

@@ -1,0 +1,1 @@
+lib/xmark/xmlgen.ml: Array Buffer List Printf Rng String Wordpool

@@ -1,0 +1,1 @@
+lib/xmark/xmlgen.mli:

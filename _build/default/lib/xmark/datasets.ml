@@ -1,0 +1,113 @@
+(* Stand-ins for the real-life corpora of Table 1 / Fig. 6-left:
+   Shakespeare.xml (text-heavy drama markup), Washington-Course.xml
+   (short structured records) and Baseball.xml (numeric statistics).
+   Each generator mirrors the structural profile that drives the
+   compression-factor comparison: text/markup ratio, value types, and
+   repetitiveness. *)
+
+let shakespeare ?(seed = 7) ~scale () : string =
+  let rng = Rng.of_int seed in
+  let buf = Buffer.create (1 lsl 18) in
+  let add = Buffer.add_string buf in
+  let addf fmt = Printf.ksprintf add fmt in
+  let line () =
+    String.concat " "
+      (List.init (4 + Rng.int rng 8) (fun _ -> Rng.pick rng Wordpool.shakespeare))
+  in
+  let n_acts = max 1 (int_of_float (6.0 *. scale)) in
+  add "<PLAY>";
+  addf "<TITLE>The Tragedie of %s</TITLE>" (Rng.pick rng Wordpool.first_names);
+  for act = 1 to n_acts do
+    addf "<ACT><TITLE>ACT %d</TITLE>" act;
+    for scene = 1 to 5 do
+      addf "<SCENE><TITLE>SCENE %d. %s.</TITLE>" scene (Rng.pick rng Wordpool.cities);
+      for _ = 1 to 14 do
+        addf "<SPEECH><SPEAKER>%s</SPEAKER>"
+          (String.uppercase_ascii (Rng.pick rng Wordpool.first_names));
+        for _ = 1 to 2 + Rng.int rng 5 do
+          addf "<LINE>%s</LINE>" (line ())
+        done;
+        add "</SPEECH>"
+      done;
+      if Rng.chance rng 0.3 then addf "<STAGEDIR>Exeunt %s</STAGEDIR>" (line ());
+      add "</SCENE>"
+    done;
+    add "</ACT>"
+  done;
+  add "</PLAY>";
+  Buffer.contents buf
+
+let course ?(seed = 11) ~scale () : string =
+  let rng = Rng.of_int seed in
+  let buf = Buffer.create (1 lsl 18) in
+  let add = Buffer.add_string buf in
+  let addf fmt = Printf.ksprintf add fmt in
+  let depts = [| "CSE"; "MATH"; "PHYS"; "CHEM"; "BIOL"; "HIST"; "ECON"; "PSYCH" |] in
+  let titles =
+    [|
+      "Introduction to Programming"; "Data Structures"; "Algorithms";
+      "Database Systems"; "Operating Systems"; "Linear Algebra"; "Calculus";
+      "Organic Chemistry"; "World History"; "Microeconomics"; "Statistics";
+    |]
+  in
+  let n = max 10 (int_of_float (900.0 *. scale)) in
+  add "<root>";
+  for i = 0 to n - 1 do
+    addf
+      "<course_listing reg_num=\"%05d\"><code>%s %d</code><title>%s</title><credits>%d</credits><days>%s</days><place><building>%s</building><room>%d</room></place><instructor>%s %s</instructor><enrollment cap=\"%d\" enrolled=\"%d\"/></course_listing>"
+      (10000 + i) (Rng.pick rng depts)
+      (100 + Rng.int rng 499)
+      (Rng.pick rng titles)
+      (1 + Rng.int rng 5)
+      (if Rng.bool rng then "MWF" else "TTh")
+      (Rng.pick rng Wordpool.streets)
+      (100 + Rng.int rng 400)
+      (Rng.pick rng Wordpool.first_names)
+      (Rng.pick rng Wordpool.last_names)
+      (20 + Rng.int rng 200)
+      (Rng.int rng 200)
+  done;
+  add "</root>";
+  Buffer.contents buf
+
+let baseball ?(seed = 13) ~scale () : string =
+  let rng = Rng.of_int seed in
+  let buf = Buffer.create (1 lsl 18) in
+  let add = Buffer.add_string buf in
+  let addf fmt = Printf.ksprintf add fmt in
+  let n_teams = max 2 (int_of_float (28.0 *. scale)) in
+  add "<SEASON><YEAR>1998</YEAR>";
+  for league = 1 to 2 do
+    addf "<LEAGUE><LEAGUE_NAME>%s</LEAGUE_NAME>"
+      (if league = 1 then "National League" else "American League");
+    for t = 0 to (n_teams / 2) - 1 do
+      addf "<TEAM><TEAM_CITY>%s</TEAM_CITY><TEAM_NAME>%ss</TEAM_NAME>"
+        (Rng.pick rng Wordpool.cities)
+        (Rng.pick rng Wordpool.item_nouns);
+      ignore t;
+      for _ = 1 to 25 do
+        addf
+          "<PLAYER><SURNAME>%s</SURNAME><GIVEN_NAME>%s</GIVEN_NAME><POSITION>%s</POSITION><GAMES>%d</GAMES><AT_BATS>%d</AT_BATS><RUNS>%d</RUNS><HITS>%d</HITS><DOUBLES>%d</DOUBLES><TRIPLES>%d</TRIPLES><HOME_RUNS>%d</HOME_RUNS><RBI>%d</RBI><STEALS>%d</STEALS><WALKS>%d</WALKS><STRIKE_OUTS>%d</STRIKE_OUTS></PLAYER>"
+          (Rng.pick rng Wordpool.last_names)
+          (Rng.pick rng Wordpool.first_names)
+          (Rng.pick rng [| "First Base"; "Catcher"; "Pitcher"; "Outfield"; "Shortstop" |])
+          (Rng.int rng 162) (Rng.int rng 600) (Rng.int rng 120) (Rng.int rng 200)
+          (Rng.int rng 45) (Rng.int rng 12) (Rng.int rng 50) (Rng.int rng 140)
+          (Rng.int rng 40) (Rng.int rng 110) (Rng.int rng 160)
+      done;
+      add "</TEAM>"
+    done;
+    add "</LEAGUE>"
+  done;
+  add "</SEASON>";
+  Buffer.contents buf
+
+type dataset = { name : string; xml : string }
+
+(** The Fig. 6-left corpus at sizes comparable (scaled down) to Table 1. *)
+let real_life_corpus () : dataset list =
+  [
+    { name = "shakespeare"; xml = shakespeare ~scale:1.5 () };
+    { name = "washington-course"; xml = course ~scale:1.5 () };
+    { name = "baseball"; xml = baseball ~scale:1.0 () };
+  ]

@@ -1,0 +1,12 @@
+(** Synthetic stand-ins for the real-life corpora of Table 1 /
+    Fig. 6-left, matching each original's structural profile. *)
+
+val shakespeare : ?seed:int -> scale:float -> unit -> string
+
+val course : ?seed:int -> scale:float -> unit -> string
+
+val baseball : ?seed:int -> scale:float -> unit -> string
+
+type dataset = { name : string; xml : string }
+
+val real_life_corpus : unit -> dataset list

@@ -1,0 +1,17 @@
+(** The XMark query set (Q1-Q20) in the XQuery subset; adaptations from
+    the originals are recorded per query. *)
+
+type query = {
+  id : string;
+  description : string;
+  text : string;
+  adapted : string option;
+}
+
+val all : query list
+
+(** Raises [Not_found] on an unknown id. *)
+val by_id : string -> query
+
+(** The Fig. 7 chart set (Q8/Q9 are reported separately). *)
+val fig7_ids : string list

@@ -1,0 +1,30 @@
+(* Small deterministic PRNG (xorshift64-star) so generated documents are
+   reproducible across runs and platforms. *)
+
+type t = { mutable state : int64 }
+
+let create ?(seed = 0x9E3779B97F4A7C15L) () =
+  { state = (if seed = 0L then 1L else seed) }
+
+let of_int seed = create ~seed:(Int64.of_int (seed lxor 0x5DEECE66D)) ()
+
+let next (t : t) : int64 =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let float t scale = float_of_int (int t 1_000_000) /. 1_000_000.0 *. scale
+
+let bool t = int t 2 = 0
+
+let chance t p = float t 1.0 < p
+
+let pick t (arr : 'a array) = arr.(int t (Array.length arr))

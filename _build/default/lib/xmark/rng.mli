@@ -1,0 +1,20 @@
+(** Deterministic PRNG (xorshift64-star) for reproducible documents. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+
+val of_int : int -> t
+
+val next : t -> int64
+
+(** Uniform int in [0, bound). *)
+val int : t -> int -> int
+
+val float : t -> float -> float
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,68 @@
+(* Word pools for synthetic text. xmlgen fills auction descriptions with
+   Shakespeare vocabulary; we do the same with a fixed sample, so the
+   compressibility profile (skewed word frequencies, shared stems)
+   matches the paper's data. *)
+
+let shakespeare =
+  [|
+    "the"; "and"; "to"; "of"; "i"; "you"; "my"; "that"; "in"; "a"; "is"; "not";
+    "me"; "it"; "with"; "be"; "his"; "your"; "this"; "but"; "he"; "have"; "as";
+    "thou"; "him"; "so"; "will"; "what"; "thy"; "all"; "her"; "no"; "by"; "do";
+    "shall"; "if"; "are"; "we"; "thee"; "on"; "lord"; "our"; "king"; "good";
+    "now"; "sir"; "from"; "come"; "at"; "they"; "she"; "or"; "here"; "let";
+    "would"; "more"; "was"; "well"; "then"; "love"; "man"; "hath"; "which";
+    "there"; "than"; "am"; "how"; "like"; "their"; "may"; "upon"; "make";
+    "such"; "us"; "when"; "one"; "them"; "yet"; "must"; "say"; "out"; "who";
+    "did"; "should"; "go"; "see"; "can"; "know"; "were"; "enter"; "give";
+    "o"; "take"; "speak"; "some"; "death"; "night"; "day"; "time"; "heart";
+    "father"; "most"; "why"; "never"; "where"; "these"; "had"; "heaven";
+    "therefore"; "madam"; "exeunt"; "honour"; "majesty"; "gracious";
+    "gentleman"; "daughter"; "mistress"; "gold"; "purse"; "duke"; "crown";
+  |]
+
+let first_names =
+  [|
+    "Alba"; "Bruno"; "Carmen"; "Dieter"; "Elena"; "Farid"; "Greta"; "Hakim";
+    "Ines"; "Jurgen"; "Keiko"; "Luigi"; "Marta"; "Nils"; "Olga"; "Pavel";
+    "Quentin"; "Rosa"; "Sven"; "Tamar"; "Ulrich"; "Vera"; "Walid"; "Xenia";
+    "Yusuf"; "Zelda"; "Andrei"; "Beatriz"; "Cosimo"; "Dalia";
+  |]
+
+let last_names =
+  [|
+    "Abel"; "Bauer"; "Costa"; "Duarte"; "Engel"; "Ferrari"; "Gomez"; "Huber";
+    "Ito"; "Jensen"; "Keller"; "Lopez"; "Meyer"; "Novak"; "Olsen"; "Petrov";
+    "Quaranta"; "Rossi"; "Schmidt"; "Tanaka"; "Ueda"; "Vogel"; "Weber";
+    "Xu"; "Yamada"; "Zhang"; "Arion"; "Bonifati"; "Manolescu"; "Pugliese";
+  |]
+
+let cities =
+  [|
+    "Paris"; "Rome"; "Berlin"; "Madrid"; "Lisbon"; "Vienna"; "Prague";
+    "Warsaw"; "Athens"; "Dublin"; "Oslo"; "Helsinki"; "Tokyo"; "Osaka";
+    "Sydney"; "Toronto"; "Boston"; "Seattle"; "Austin"; "Denver";
+  |]
+
+let countries =
+  [|
+    "United States"; "Germany"; "France"; "Italy"; "Spain"; "Japan";
+    "Australia"; "Canada"; "Norway"; "Poland";
+  |]
+
+let streets =
+  [| "Oak"; "Maple"; "Cedar"; "Pine"; "Elm"; "Birch"; "Willow"; "Chestnut" |]
+
+let education =
+  [| "High School"; "College"; "Graduate School"; "Other" |]
+
+let item_adjectives =
+  [|
+    "great"; "pristine"; "rare"; "vintage"; "golden"; "antique"; "broken";
+    "huge"; "tiny"; "special"; "ordinary"; "magnificent";
+  |]
+
+let item_nouns =
+  [|
+    "chair"; "table"; "painting"; "vase"; "clock"; "ring"; "book"; "lamp";
+    "mirror"; "carpet"; "statue"; "coin"; "stamp"; "guitar"; "camera";
+  |]

@@ -1,0 +1,231 @@
+(* XMark-like auction document generator — the stand-in for the xmlgen
+   tool of the XMark benchmark [8]. It reproduces the schema outline of
+   the paper's Fig. 1: a site with regions/items, categories, people,
+   open and closed auctions, connected by IDREF attributes, with
+   Shakespeare-vocabulary description text (including the nested
+   parlist/listitem/text/emph/keyword structures Q15/Q16 navigate).
+
+   [generate ~scale] produces roughly [scale] megabytes of XML; element
+   ratios follow xmlgen's (items : people : open : closed ≈ 4:5:6:3 per
+   unit). *)
+
+type counts = {
+  items_per_region : int;
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+  categories : int;
+}
+
+let regions = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let counts_of_scale scale =
+  let n = max 0.02 scale in
+  {
+    items_per_region = max 1 (int_of_float (95.0 *. n));
+    people = max 3 (int_of_float (360.0 *. n));
+    open_auctions = max 2 (int_of_float (175.0 *. n));
+    closed_auctions = max 2 (int_of_float (95.0 *. n));
+    categories = max 2 (int_of_float (25.0 *. n));
+  }
+
+type gen = { rng : Rng.t; buf : Buffer.t; counts : counts }
+
+let total_items g = g.counts.items_per_region * Array.length regions
+
+let add g s = Buffer.add_string g.buf s
+let addf g fmt = Printf.ksprintf (Buffer.add_string g.buf) fmt
+
+let sentence g n =
+  let words = List.init n (fun _ -> Rng.pick g.rng Wordpool.shakespeare) in
+  String.concat " " words
+
+let text_block g =
+  sentence g (45 + Rng.int g.rng 90)
+
+let date g =
+  Printf.sprintf "%02d/%02d/%4d" (1 + Rng.int g.rng 12) (1 + Rng.int g.rng 28)
+    (1998 + Rng.int g.rng 4)
+
+let time g = Printf.sprintf "%02d:%02d:%02d" (Rng.int g.rng 24) (Rng.int g.rng 60) (Rng.int g.rng 60)
+
+let price g = Printf.sprintf "%d.%02d" (1 + Rng.int g.rng 300) (Rng.int g.rng 100)
+
+let person_name g =
+  Rng.pick g.rng Wordpool.first_names ^ " " ^ Rng.pick g.rng Wordpool.last_names
+
+(* description: plain text, or the nested parlist structure that XMark's
+   Q15/Q16 long paths navigate. *)
+let description g =
+  add g "\n<description>";
+  if Rng.chance g.rng 0.35 then begin
+    add g "<parlist><listitem>";
+    if Rng.chance g.rng 0.5 then begin
+      (* the Q15 path: parlist/listitem/parlist/listitem/text/emph/keyword *)
+      addf g "<parlist><listitem><text>%s<emph><keyword>%s</keyword></emph></text></listitem></parlist>"
+        (text_block g) (sentence g 2)
+    end
+    else addf g "<text>%s</text>" (text_block g);
+    add g "</listitem>";
+    if Rng.chance g.rng 0.4 then addf g "<listitem><text>%s</text></listitem>" (text_block g);
+    add g "</parlist>"
+  end
+  else addf g "<text>%s</text>" (text_block g);
+  add g "</description>"
+
+let annotation g =
+  addf g "\n<annotation><author person=\"person%d\"/>" (Rng.int g.rng g.counts.people);
+  description g;
+  addf g "<happiness>%d</happiness></annotation>" (1 + Rng.int g.rng 10)
+
+let item g ~id =
+  addf g "\n<item id=\"item%d\"" id;
+  if Rng.chance g.rng 0.1 then add g " featured=\"yes\"";
+  add g ">";
+  addf g "\n  <location>%s</location>" (Rng.pick g.rng Wordpool.countries);
+  addf g "<quantity>%d</quantity>" (1 + Rng.int g.rng 5);
+  addf g "\n  <name>%s %s %d</name>"
+    (Rng.pick g.rng Wordpool.item_adjectives)
+    (Rng.pick g.rng Wordpool.item_nouns)
+    id;
+  add g "<payment>Creditcard</payment>";
+  description g;
+  addf g "<shipping>Will ship %s</shipping>"
+    (if Rng.bool g.rng then "internationally" else "only within country");
+  let ncat = 1 + Rng.int g.rng 3 in
+  for _ = 1 to ncat do
+    addf g "<incategory category=\"category%d\"/>" (Rng.int g.rng g.counts.categories)
+  done;
+  if Rng.chance g.rng 0.5 then
+    addf g "<mailbox><mail><from>%s</from><to>%s</to><date>%s</date><text>%s</text></mail></mailbox>"
+      (person_name g) (person_name g) (date g) (text_block g);
+  add g "</item>"
+
+let person g ~id =
+  addf g "\n<person id=\"person%d\">" id;
+  addf g "\n  <name>%s</name>" (person_name g);
+  addf g "\n  <emailaddress>mailto:user%d@example.com</emailaddress>" id;
+  if Rng.chance g.rng 0.6 then
+    addf g "<phone>+%d (%d) %d</phone>" (1 + Rng.int g.rng 40) (Rng.int g.rng 999)
+      (1000000 + Rng.int g.rng 8999999);
+  if Rng.chance g.rng 0.7 then
+    addf g
+      "<address><street>%d %s St</street><city>%s</city><country>%s</country><zipcode>%d</zipcode></address>"
+      (1 + Rng.int g.rng 99)
+      (Rng.pick g.rng Wordpool.streets)
+      (Rng.pick g.rng Wordpool.cities)
+      (Rng.pick g.rng Wordpool.countries)
+      (10000 + Rng.int g.rng 89999);
+  if Rng.chance g.rng 0.5 then
+    addf g "<homepage>http://www.example.com/~user%d</homepage>" id;
+  if Rng.chance g.rng 0.6 then
+    addf g "<creditcard>%04d %04d %04d %04d</creditcard>" (Rng.int g.rng 10000)
+      (Rng.int g.rng 10000) (Rng.int g.rng 10000) (Rng.int g.rng 10000);
+  if Rng.chance g.rng 0.8 then begin
+    addf g "<profile income=\"%d.%02d\">" (9000 + Rng.int g.rng 91000) (Rng.int g.rng 100);
+    let nint = Rng.int g.rng 4 in
+    for _ = 1 to nint do
+      addf g "<interest category=\"category%d\"/>" (Rng.int g.rng g.counts.categories)
+    done;
+    if Rng.chance g.rng 0.6 then
+      addf g "<education>%s</education>" (Rng.pick g.rng Wordpool.education);
+    if Rng.chance g.rng 0.7 then
+      addf g "<gender>%s</gender>" (if Rng.bool g.rng then "male" else "female");
+    addf g "<business>%s</business>" (if Rng.bool g.rng then "Yes" else "No");
+    if Rng.chance g.rng 0.5 then addf g "<age>%d</age>" (18 + Rng.int g.rng 60);
+    add g "</profile>"
+  end;
+  if Rng.chance g.rng 0.4 then begin
+    add g "<watches>";
+    let nw = 1 + Rng.int g.rng 3 in
+    for _ = 1 to nw do
+      addf g "<watch open_auction=\"open_auction%d\"/>" (Rng.int g.rng g.counts.open_auctions)
+    done;
+    add g "</watches>"
+  end;
+  add g "</person>"
+
+let bidder g =
+  addf g "\n<bidder><date>%s</date><time>%s</time><personref person=\"person%d\"/><increase>%s</increase></bidder>"
+    (date g) (time g) (Rng.int g.rng g.counts.people) (price g)
+
+let open_auction g ~id =
+  addf g "\n<open_auction id=\"open_auction%d\">" id;
+  addf g "\n  <initial>%s</initial>" (price g);
+  if Rng.chance g.rng 0.4 then addf g "<reserve>%s</reserve>" (price g);
+  let nbid = Rng.int g.rng 6 in
+  for _ = 1 to nbid do
+    bidder g
+  done;
+  addf g "\n  <current>%s</current>" (price g);
+  if Rng.chance g.rng 0.3 then add g "<privacy>Yes</privacy>";
+  addf g "\n  <itemref item=\"item%d\"/>" (Rng.int g.rng (total_items g));
+  addf g "\n  <seller person=\"person%d\"/>" (Rng.int g.rng g.counts.people);
+  annotation g;
+  addf g "<quantity>%d</quantity>" (1 + Rng.int g.rng 5);
+  addf g "<type>%s</type>" (if Rng.bool g.rng then "Regular" else "Featured");
+  addf g "<interval><start>%s</start><end>%s</end></interval>" (date g) (date g);
+  add g "</open_auction>"
+
+let closed_auction g =
+  add g "\n<closed_auction>";
+  addf g "\n  <seller person=\"person%d\"/>" (Rng.int g.rng g.counts.people);
+  addf g "<buyer person=\"person%d\"/>" (Rng.int g.rng g.counts.people);
+  addf g "\n  <itemref item=\"item%d\"/>" (Rng.int g.rng (total_items g));
+  addf g "\n  <price>%s</price>" (price g);
+  addf g "<date>%s</date>" (date g);
+  addf g "<quantity>%d</quantity>" (1 + Rng.int g.rng 5);
+  addf g "<type>%s</type>" (if Rng.bool g.rng then "Regular" else "Featured");
+  annotation g;
+  add g "</closed_auction>"
+
+let category g ~id =
+  addf g "\n<category id=\"category%d\"><name>%s</name>" id (sentence g 2);
+  description g;
+  add g "</category>"
+
+(** Generate an auction document of roughly [scale] megabytes. *)
+let generate ?(seed = 42) ~scale () : string =
+  let counts = counts_of_scale scale in
+  let g = { rng = Rng.of_int seed; buf = Buffer.create (1 lsl 20); counts } in
+  add g "<site>";
+  add g "\n<regions>";
+  let item_id = ref 0 in
+  Array.iter
+    (fun region ->
+      addf g "<%s>" region;
+      for _ = 1 to counts.items_per_region do
+        item g ~id:!item_id;
+        incr item_id
+      done;
+      addf g "</%s>" region)
+    regions;
+  add g "\n</regions>";
+  add g "\n<categories>";
+  for id = 0 to counts.categories - 1 do
+    category g ~id
+  done;
+  add g "\n</categories>";
+  add g "\n<catgraph>";
+  for _ = 1 to counts.categories do
+    addf g "<edge from=\"category%d\" to=\"category%d\"/>" (Rng.int g.rng counts.categories)
+      (Rng.int g.rng counts.categories)
+  done;
+  add g "\n</catgraph>";
+  add g "\n<people>";
+  for id = 0 to counts.people - 1 do
+    person g ~id
+  done;
+  add g "\n</people>";
+  add g "\n<open_auctions>";
+  for id = 0 to counts.open_auctions - 1 do
+    open_auction g ~id
+  done;
+  add g "\n</open_auctions>";
+  add g "\n<closed_auctions>";
+  for _ = 1 to counts.closed_auctions do
+    closed_auction g
+  done;
+  add g "\n</closed_auctions>";
+  add g "</site>";
+  Buffer.contents g.buf

@@ -1,0 +1,19 @@
+(** XMark-like auction document generator (the xmlgen stand-in):
+    reproduces the paper's Fig. 1 schema — regions/items, categories,
+    people, open and closed auctions, IDREF links, Shakespeare-vocabulary
+    descriptions including the nested parlist paths of Q15/Q16.
+    [scale] is roughly megabytes of output. *)
+
+type counts = {
+  items_per_region : int;
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+  categories : int;
+}
+
+val regions : string array
+
+val counts_of_scale : float -> counts
+
+val generate : ?seed:int -> scale:float -> unit -> string

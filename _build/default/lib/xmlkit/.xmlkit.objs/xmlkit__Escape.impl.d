@@ -1,0 +1,1 @@
+lib/xmlkit/escape.ml: Buffer String Uchar

@@ -1,0 +1,1 @@
+lib/xmlkit/parser.ml: List Printf Sax String Tree

@@ -1,0 +1,1 @@
+lib/xmlkit/sax.ml: Buffer Char Escape List Printf String

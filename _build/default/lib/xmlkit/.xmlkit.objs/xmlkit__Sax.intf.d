@@ -1,0 +1,1 @@
+lib/xmlkit/sax.mli:

@@ -1,0 +1,1 @@
+lib/xmlkit/stats.ml: Fmt Hashtbl List Printer String Tree

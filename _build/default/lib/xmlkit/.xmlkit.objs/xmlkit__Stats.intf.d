@@ -1,0 +1,1 @@
+lib/xmlkit/stats.mli: Format Tree

@@ -1,0 +1,1 @@
+lib/xmlkit/tree.ml: Buffer Fmt List String

@@ -1,0 +1,1 @@
+lib/xmlkit/tree.mli: Format

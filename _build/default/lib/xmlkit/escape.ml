@@ -1,0 +1,54 @@
+(* XML character escaping and entity resolution. *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Resolve a named or numeric entity body (without [&] and [;]).
+    Raises [Failure] on unknown entities. *)
+let resolve_entity body =
+  match body with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+    let len = String.length body in
+    if len >= 2 && body.[0] = '#' then begin
+      let code =
+        if body.[1] = 'x' || body.[1] = 'X' then
+          int_of_string_opt ("0x" ^ String.sub body 2 (len - 2))
+        else int_of_string_opt (String.sub body 1 (len - 1))
+      in
+      match code with
+      | Some c when c >= 0 && c < 0x110000 ->
+        (* Encode the code point as UTF-8. *)
+        let buf = Buffer.create 4 in
+        Buffer.add_utf_8_uchar buf (Uchar.of_int c);
+        Buffer.contents buf
+      | Some _ | None -> failwith ("invalid character reference: &" ^ body ^ ";")
+    end
+    else failwith ("unknown entity: &" ^ body ^ ";")

@@ -1,0 +1,9 @@
+(** XML character escaping and entity resolution. *)
+
+val escape_text : string -> string
+
+val escape_attr : string -> string
+
+(** Resolve a named or numeric entity body (without [&] / [;]).
+    Raises [Failure] on unknown entities. *)
+val resolve_entity : string -> string

@@ -1,0 +1,7 @@
+(** DOM parser built on the SAX layer. *)
+
+exception Malformed of string * int
+
+val parse_string : string -> Tree.document
+
+val parse_file : string -> Tree.document

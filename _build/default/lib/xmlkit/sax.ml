@@ -1,0 +1,263 @@
+(* Streaming (SAX-style) XML parser, written from scratch.
+
+   The parser is a recursive-descent scanner over a string. It supports
+   elements, attributes, character data, CDATA sections, comments,
+   processing instructions, an (ignored) DOCTYPE declaration, and the five
+   predefined entities plus numeric character references.
+
+   Whitespace-only text between elements is dropped (all the documents this
+   system handles are data-centric); whitespace inside mixed content is
+   preserved because such text nodes also carry non-space characters. *)
+
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Characters of string
+
+exception Malformed of string * int  (** message, byte offset *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Malformed (msg, st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %c, found %c" c c')
+  | None -> fail st (Printf.sprintf "expected %c, found end of input" c)
+
+let expect_string st s =
+  let n = String.length s in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = s then
+    st.pos <- st.pos + n
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  || Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let skip_space st =
+  let rec go () =
+    match peek st with
+    | Some c when is_space c -> advance st; go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let read_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | Some c -> fail st (Printf.sprintf "invalid name start: %c" c)
+  | None -> fail st "unexpected end of input in name");
+  let rec go () =
+    match peek st with
+    | Some c when is_name_char c -> advance st; go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub st.src start (st.pos - start)
+
+let read_entity st =
+  (* Positioned just after '&'. *)
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some ';' ->
+      let body = String.sub st.src start (st.pos - start) in
+      advance st;
+      (try Escape.resolve_entity body with Failure m -> fail st m)
+    | Some _ -> advance st; if st.pos - start > 12 then fail st "entity too long" else go ()
+    | None -> fail st "unterminated entity"
+  in
+  go ()
+
+let read_attr_value st =
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) -> advance st; q
+    | Some _ | None -> fail st "expected quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some c when c = quote -> advance st; Buffer.contents buf
+    | Some '&' -> advance st; Buffer.add_string buf (read_entity st); go ()
+    | Some '<' -> fail st "'<' in attribute value"
+    | Some c -> advance st; Buffer.add_char buf c; go ()
+    | None -> fail st "unterminated attribute value"
+  in
+  go ()
+
+let read_attributes st =
+  let rec go acc =
+    skip_space st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let name = read_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      let value = read_attr_value st in
+      go ((name, value) :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []
+
+let skip_until st marker =
+  (* Advance past the next occurrence of [marker]. *)
+  let n = String.length marker in
+  let limit = String.length st.src - n in
+  let rec go () =
+    if st.pos > limit then fail st (Printf.sprintf "missing %S" marker)
+    else if String.sub st.src st.pos n = marker then st.pos <- st.pos + n
+    else begin advance st; go () end
+  in
+  go ()
+
+let read_cdata st =
+  (* Positioned after "<![CDATA[". *)
+  let start = st.pos in
+  skip_until st "]]>";
+  String.sub st.src start (st.pos - start - 3)
+
+(* Skip a DOCTYPE declaration, including an optional internal subset. *)
+let skip_doctype st =
+  let rec go depth =
+    match peek st with
+    | Some '[' -> advance st; go (depth + 1)
+    | Some ']' -> advance st; go (depth - 1)
+    | Some '>' when depth = 0 -> advance st
+    | Some _ -> advance st; go depth
+    | None -> fail st "unterminated DOCTYPE"
+  in
+  go 0
+
+let blank s = String.for_all is_space s
+
+(** Parse [src], feeding events to [f]. Raises {!Malformed} on errors. *)
+let parse_string ~f src =
+  let st = { src; pos = 0 } in
+  let text_buf = Buffer.create 256 in
+  let flush_text () =
+    if Buffer.length text_buf > 0 then begin
+      let s = Buffer.contents text_buf in
+      Buffer.clear text_buf;
+      if not (blank s) then f (Characters s)
+    end
+  in
+  let depth = ref 0 in
+  let seen_root = ref false in
+  let rec events () =
+    match peek st with
+    | None ->
+      flush_text ();
+      if !depth > 0 then fail st "unexpected end of input: unclosed elements";
+      if not !seen_root then fail st "no root element"
+    | Some '<' ->
+      advance st;
+      (match peek st with
+      | Some '?' ->
+        advance st;
+        skip_until st "?>";
+        events ()
+      | Some '!' ->
+        advance st;
+        if st.pos + 1 < String.length st.src && st.src.[st.pos] = '-'
+           && st.src.[st.pos + 1] = '-'
+        then begin
+          st.pos <- st.pos + 2;
+          skip_until st "-->";
+          events ()
+        end
+        else if
+          st.pos + 7 <= String.length st.src
+          && String.sub st.src st.pos 7 = "[CDATA["
+        then begin
+          st.pos <- st.pos + 7;
+          let data = read_cdata st in
+          Buffer.add_string text_buf data;
+          events ()
+        end
+        else begin
+          expect_string st "DOCTYPE";
+          skip_doctype st;
+          events ()
+        end
+      | Some '/' ->
+        advance st;
+        flush_text ();
+        let name = read_name st in
+        skip_space st;
+        expect st '>';
+        if !depth = 0 then fail st "closing tag without opening";
+        decr depth;
+        f (End_element name);
+        events ()
+      | Some _ ->
+        flush_text ();
+        if !depth = 0 && !seen_root then fail st "multiple root elements";
+        let name = read_name st in
+        let attributes = read_attributes st in
+        skip_space st;
+        (match peek st with
+        | Some '/' ->
+          advance st;
+          expect st '>';
+          seen_root := true;
+          f (Start_element (name, attributes));
+          f (End_element name)
+        | Some '>' ->
+          advance st;
+          seen_root := true;
+          incr depth;
+          f (Start_element (name, attributes))
+        | Some c -> fail st (Printf.sprintf "unexpected %c in tag" c)
+        | None -> fail st "unterminated tag");
+        events ()
+      | None -> fail st "unterminated markup")
+    | Some '&' ->
+      advance st;
+      Buffer.add_string text_buf (read_entity st);
+      events ()
+    | Some c ->
+      if !depth = 0 then begin
+        if not (is_space c) then fail st "text outside root element";
+        advance st;
+        events ()
+      end
+      else begin
+        advance st;
+        Buffer.add_char text_buf c;
+        events ()
+      end
+  in
+  events ()
+
+(** Fold over events with matching-tag checking of end elements. *)
+let fold ~f ~init src =
+  let acc = ref init in
+  let stack = ref [] in
+  let handle ev =
+    (match ev with
+    | Start_element (name, _) -> stack := name :: !stack
+    | End_element name -> (
+      match !stack with
+      | top :: rest when String.equal top name -> stack := rest
+      | top :: _ ->
+        raise (Malformed (Printf.sprintf "mismatched tags: <%s> closed by </%s>" top name, 0))
+      | [] -> raise (Malformed ("stray closing tag", 0)))
+    | Characters _ -> ());
+    acc := f !acc ev
+  in
+  parse_string ~f:handle src;
+  !acc

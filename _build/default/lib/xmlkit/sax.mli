@@ -1,0 +1,16 @@
+(** Streaming (SAX-style) XML parser. Supports elements, attributes,
+    character data, CDATA, comments, processing instructions, DOCTYPE
+    skipping, predefined entities and character references.
+    Whitespace-only text between elements is dropped. *)
+
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Characters of string
+
+exception Malformed of string * int  (** message, byte offset *)
+
+val parse_string : f:(event -> unit) -> string -> unit
+
+(** Fold over events with matching-tag checking. *)
+val fold : f:('a -> event -> 'a) -> init:'a -> string -> 'a

@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast Buffer Float List Printf String

@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the XQuery subset of {!Ast}; operates
+    on the character stream so direct element constructors parse without
+    lexer modes. *)
+
+exception Syntax_error of string * int  (** message, byte offset *)
+
+val parse : string -> Ast.expr

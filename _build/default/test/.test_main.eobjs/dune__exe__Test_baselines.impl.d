@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Lazy List Parser Stats Storage Tree Xmark Xmlkit Xquec_core Xquery

@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Alm Arith Bitio Buffer Bwt Bzip Char Codec Compress Hu_tucker Huffman Ipack Lazy List Lzss Mtf Printf QCheck2 QCheck_alcotest Rle String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Char Compress Cost_model Executor Float List Loader Optimizer Option Partitioner Physical Plans Printf Storage String Workload Xmark Xquec_core Xquery

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Baselines Compress List Printf Xmark Xmlkit Xquec_core Xquery

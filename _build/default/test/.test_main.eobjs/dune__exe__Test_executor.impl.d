@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Compress Executor Lazy List Loader Xquec_core

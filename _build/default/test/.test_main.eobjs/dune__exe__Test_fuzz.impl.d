@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Baselines Compress Filename List Parser Printer Printf QCheck2 QCheck_alcotest Storage String Tree Xmark Xmlkit Xquec_core Xquery

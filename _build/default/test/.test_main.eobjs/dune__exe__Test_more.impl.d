@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Char Compress Engine Executor Lazy List Loader Option Partitioner Physical Printf QCheck2 QCheck_alcotest Storage String Workload Xquec_core

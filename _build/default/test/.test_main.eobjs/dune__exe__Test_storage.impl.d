@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Btree Compress Container List Name_dict Option Printf QCheck2 QCheck_alcotest Repository Storage String Structure_tree Summary Xmark Xquec_core Xquery

@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest Array List Parser Printf Stats String Tree Xmark Xmlkit Xquec_core

@@ -1,0 +1,1 @@
+test/test_xmlkit.ml: Alcotest Escape List Parser Printer Printf QCheck2 QCheck_alcotest Sax Stats String Tree Xmlkit

@@ -1,0 +1,164 @@
+(* Tests for the reimplemented comparison systems: XMill, XGrind, XPRESS
+   and the Galax-like reference engine. *)
+
+open Xmlkit
+
+let auction = lazy (Xmark.Xmlgen.generate ~scale:0.12 ())
+
+(* ------------------------------------------------------------------ *)
+(* XMill                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_xmill_roundtrip () =
+  let xml = Lazy.force auction in
+  let xm = Baselines.Xmill.compress xml in
+  let back = Baselines.Xmill.decompress xm in
+  (* whitespace-only text is dropped on both paths; compare trees *)
+  Alcotest.(check bool) "tree-equal after roundtrip" true
+    (Tree.equal (Parser.parse_string back).Tree.root (Parser.parse_string xml).Tree.root)
+
+let test_xmill_compresses_best () =
+  let xml = Lazy.force auction in
+  let xm = Baselines.Xmill.compression_factor (Baselines.Xmill.compress xml) in
+  let xg = Baselines.Xgrind.compression_factor (Baselines.Xgrind.compress xml) in
+  let xp = Baselines.Xpress.compression_factor (Baselines.Xpress.compress xml) in
+  let repo = Xquec_core.Loader.load ~name:"a" xml in
+  let xq = Storage.Repository.compression_factor repo in
+  (* Fig. 6 ordering: the non-queryable compressor wins *)
+  Alcotest.(check bool) "xmill > xgrind" true (xm > xg);
+  Alcotest.(check bool) "xmill > xpress" true (xm > xp);
+  Alcotest.(check bool) "xmill > xquec" true (xm > xq);
+  Alcotest.(check bool) "all compress" true (xm > 0.0 && xg > 0.0 && xp > 0.0 && xq > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* XGrind                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_xgrind_exact_match () =
+  let xml = Lazy.force auction in
+  let xg = Baselines.Xgrind.compress xml in
+  (* reference answer via Galax on the uncompressed document *)
+  let doc = Parser.parse_string xml in
+  let expected =
+    Baselines.Galax_like.run ~docs:[ ("a", doc) ]
+      (Xquery.Parser.parse "document(\"a\")/site/people/person[@id = \"person3\"]/name/text()")
+    |> List.map Baselines.Galax_like.string_of_item
+  in
+  let got =
+    Baselines.Xgrind.query_exact xg ~target_path:"site/people/person/name/#text"
+      ~pred_path:"site/people/person/@id" ~value:"person3"
+  in
+  Alcotest.(check (list string)) "xgrind exact-match = reference" expected got
+
+let test_xgrind_no_match () =
+  let xml = Lazy.force auction in
+  let xg = Baselines.Xgrind.compress xml in
+  Alcotest.(check (list string)) "no hit" []
+    (Baselines.Xgrind.query_exact xg ~target_path:"site/people/person/name/#text"
+       ~pred_path:"site/people/person/@id" ~value:"person999999")
+
+let test_xgrind_scan_visits_everything () =
+  let xml = Lazy.force auction in
+  let xg = Baselines.Xgrind.compress xml in
+  let starts = ref 0 and values = ref 0 in
+  Baselines.Xgrind.scan xg ~f:(fun ev ->
+      match ev with
+      | Baselines.Xgrind.Start _ -> incr starts
+      | Baselines.Xgrind.Value _ -> incr values
+      | Baselines.Xgrind.End _ -> ());
+  let st = Stats.of_document (Parser.parse_string xml) in
+  Alcotest.(check int) "elements+attributes" (st.Stats.elements + st.Stats.attributes) !starts;
+  Alcotest.(check int) "text+attr values" (st.Stats.text_nodes + st.Stats.attributes) !values
+
+(* ------------------------------------------------------------------ *)
+(* XPRESS                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_xpress_path_query () =
+  let xml = Lazy.force auction in
+  let xp = Baselines.Xpress.compress xml in
+  let doc = Parser.parse_string xml in
+  let expected =
+    Baselines.Galax_like.run ~docs:[ ("a", doc) ]
+      (Xquery.Parser.parse "document(\"a\")/site/regions/europe/item/location/text()")
+    |> List.map Baselines.Galax_like.string_of_item
+    |> List.sort compare
+  in
+  let got =
+    Baselines.Xpress.query_path xp [ "site"; "regions"; "europe"; "item"; "location" ]
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "xpress path = reference" expected got
+
+let test_xpress_suffix_path () =
+  let xml = Lazy.force auction in
+  let xp = Baselines.Xpress.compress xml in
+  let doc = Parser.parse_string xml in
+  let expected =
+    Baselines.Galax_like.run ~docs:[ ("a", doc) ]
+      (Xquery.Parser.parse "document(\"a\")//location/text()")
+    |> List.map Baselines.Galax_like.string_of_item
+    |> List.sort compare
+  in
+  (* a single-tag RAE query is a suffix test: //location *)
+  let got = Baselines.Xpress.query_path xp [ "location" ] |> List.sort compare in
+  Alcotest.(check (list string)) "xpress suffix path = reference" expected got
+
+let test_xpress_range_query () =
+  let xml = Lazy.force auction in
+  let xp = Baselines.Xpress.compress xml in
+  let doc = Parser.parse_string xml in
+  let expected =
+    Baselines.Galax_like.run ~docs:[ ("a", doc) ]
+      (Xquery.Parser.parse
+         "for $p in document(\"a\")//price where $p/text() >= 100 and $p/text() <= 200 return $p/text()")
+    |> List.map Baselines.Galax_like.string_of_item
+    |> List.sort compare
+  in
+  let got =
+    Baselines.Xpress.query_path xp ~range:(Some 100.0, Some 200.0) [ "price" ]
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "xpress range = reference" expected got
+
+(* ------------------------------------------------------------------ *)
+(* Galax-like reference engine                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_galax_basics () =
+  let doc = Parser.parse_string "<a><b>1</b><b>2</b><c x=\"9\">3</c></a>" in
+  let run q =
+    Baselines.Galax_like.serialize
+      (Baselines.Galax_like.run ~docs:[ ("d", doc) ] (Xquery.Parser.parse q))
+  in
+  Alcotest.(check string) "path" "1\n2" (run "document(\"d\")/a/b/text()");
+  Alcotest.(check string) "attr" "x=\"9\"" (run "document(\"d\")/a/c/@x");
+  Alcotest.(check string) "count" "3" (run "count(document(\"d\")/a/*)");
+  Alcotest.(check string) "sum" "6" (run "sum(document(\"d\")/a/*/text())");
+  Alcotest.(check string) "where" "2"
+    (run "for $b in document(\"d\")/a/b where $b/text() > 1 return $b/text()");
+  Alcotest.(check string) "constructor" "<r n=\"2\"/>"
+    (run "for $x in document(\"d\")/a/c return <r n=\"{count(document(\"d\")/a/b)}\"/>")
+
+let suites =
+  [
+    ( "xmill",
+      [
+        Alcotest.test_case "roundtrip" `Slow test_xmill_roundtrip;
+        Alcotest.test_case "best compression factor (fig. 6 order)" `Slow
+          test_xmill_compresses_best;
+      ] );
+    ( "xgrind",
+      [
+        Alcotest.test_case "exact-match query" `Slow test_xgrind_exact_match;
+        Alcotest.test_case "no match" `Slow test_xgrind_no_match;
+        Alcotest.test_case "scan visits whole document" `Slow test_xgrind_scan_visits_everything;
+      ] );
+    ( "xpress",
+      [
+        Alcotest.test_case "rooted path query" `Slow test_xpress_path_query;
+        Alcotest.test_case "suffix path query" `Slow test_xpress_suffix_path;
+        Alcotest.test_case "numeric range query" `Slow test_xpress_range_query;
+      ] );
+    ( "galax-like", [ Alcotest.test_case "basics" `Quick test_galax_basics ] );
+  ]

@@ -1,0 +1,430 @@
+(* Tests for the compression substrate: round-trips for every codec,
+   order-preservation and compressed-domain predicates, model
+   serialization, and the bzip pipeline stages. *)
+
+open Compress
+
+let sample_values =
+  [
+    "there"; "their"; "these"; "the"; "theology"; "zebra"; "apple"; "banana";
+    "a"; ""; "mango mango mango"; "Shakespeare wrote many plays";
+    "creditcard"; "2001-05-04"; "united states"; "gold ring";
+  ]
+
+let words =
+  [ "the"; "quick"; "brown"; "fox"; "jumps"; "over"; "lazy"; "dog"; "auction";
+    "person"; "item"; "europe"; "gold"; "silver"; "bidder"; "increase" ]
+
+let big_text =
+  let buf = Buffer.create 4096 in
+  let state = ref 12345 in
+  for _ = 1 to 800 do
+    state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+    Buffer.add_string buf (List.nth words (!state mod List.length words));
+    Buffer.add_char buf ' '
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_string =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 40))
+
+let gen_text =
+  QCheck2.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'c'; 'e'; 't'; 'h'; ' '; 'r'; 's' ]) (int_range 0 30))
+
+let gen_pair g = QCheck2.Gen.pair g g
+
+(* ------------------------------------------------------------------ *)
+(* Bitio                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitio_roundtrip () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.add_bits w 0b101 3;
+  Bitio.Writer.add_bits w 0xABCD 16;
+  Bitio.Writer.add_bit w true;
+  let s = Bitio.Writer.contents w in
+  let r = Bitio.Reader.of_string s in
+  Alcotest.(check int) "3 bits" 0b101 (Bitio.Reader.read_bits r 3);
+  Alcotest.(check int) "16 bits" 0xABCD (Bitio.Reader.read_bits r 16);
+  Alcotest.(check bool) "1 bit" true (Bitio.Reader.read_bit r)
+
+let test_bitio_width () =
+  Alcotest.(check int) "w1" 1 (Bitio.width_for 2);
+  Alcotest.(check int) "w2" 2 (Bitio.width_for 3);
+  Alcotest.(check int) "w8" 8 (Bitio.width_for 256);
+  Alcotest.(check int) "w9" 9 (Bitio.width_for 257)
+
+let prop_bitio =
+  QCheck2.Test.make ~name:"bitio roundtrip" ~count:300
+    QCheck2.Gen.(small_list (pair (int_bound 0xffff) (int_range 1 16)))
+    (fun specs ->
+      let specs = List.map (fun (v, w) -> (v land ((1 lsl w) - 1), w)) specs in
+      let w = Bitio.Writer.create () in
+      List.iter (fun (v, width) -> Bitio.Writer.add_bits w v width) specs;
+      let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+      List.for_all (fun (v, width) -> Bitio.Reader.read_bits r width = v) specs)
+
+(* ------------------------------------------------------------------ *)
+(* Per-codec round-trip + property suites                              *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_tests name train compress decompress =
+  let model = train sample_values in
+  let rt v =
+    Alcotest.(check string)
+      (Printf.sprintf "%s roundtrip %S" name v)
+      v
+      (decompress model (compress model v))
+  in
+  Alcotest.test_case (name ^ " roundtrips") `Quick (fun () ->
+      List.iter rt sample_values;
+      rt "unseen value entirely new";
+      rt (String.make 200 'x');
+      rt "\x00\x01\xff binary \xfe")
+
+let prop_roundtrip name gen train compress decompress =
+  QCheck2.Test.make ~name:(name ^ " roundtrip (random)") ~count:300 gen (fun v ->
+      let model = train sample_values in
+      decompress model (compress model v) = v)
+
+(* Training happens once per property run to keep tests fast. *)
+let huffman_model = lazy (Huffman.train sample_values)
+let alm_model = lazy (Alm.train sample_values)
+let arith_model = lazy (Arith.train sample_values)
+let hu_model = lazy (Hu_tucker.train sample_values)
+
+let prop_cached name gen f = QCheck2.Test.make ~name ~count:400 gen f
+
+(* --- Huffman --- *)
+
+let test_huffman_equality () =
+  let m = Lazy.force huffman_model in
+  let a = Huffman.compress m "gold ring" in
+  let b = Huffman.compress m "gold ring" in
+  let c = Huffman.compress m "gold rings" in
+  Alcotest.(check bool) "equal" true (Huffman.equal_compressed a b);
+  Alcotest.(check bool) "not equal" false (Huffman.equal_compressed a c)
+
+let test_huffman_prefix () =
+  let m = Lazy.force huffman_model in
+  let v = Huffman.compress m "gold ring" in
+  let yes = Huffman.compress_prefix m "gold" in
+  let no = Huffman.compress_prefix m "silver" in
+  Alcotest.(check bool) "prefix matches" true (Huffman.matches_prefix ~prefix_bits:yes v);
+  Alcotest.(check bool) "prefix rejects" false (Huffman.matches_prefix ~prefix_bits:no v)
+
+let prop_huffman_prefix =
+  prop_cached "huffman prefix-wildcard agrees with plaintext" (gen_pair gen_text)
+    (fun (v, p) ->
+      let m = Lazy.force huffman_model in
+      let compressed = Huffman.compress m v in
+      let prefix_bits = Huffman.compress_prefix m p in
+      let plain =
+        String.length p <= String.length v && String.sub v 0 (String.length p) = p
+      in
+      Huffman.matches_prefix ~prefix_bits compressed = plain)
+
+let test_huffman_model_serial () =
+  let m = Lazy.force huffman_model in
+  let m' = Huffman.deserialize_model (Huffman.serialize_model m) in
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "serial roundtrip" v (Huffman.decompress m' (Huffman.compress m v)))
+    sample_values
+
+let test_huffman_compresses () =
+  let m = Huffman.train [ big_text ] in
+  let c = Huffman.compress m big_text in
+  Alcotest.(check bool) "smaller than input" true
+    (String.length c < String.length big_text)
+
+(* --- ALM --- *)
+
+let test_alm_fig2 () =
+  (* The paper's Fig. 2 scenario: "the" must receive several codes around
+     the longer token "there", and order must be preserved. *)
+  let m = Alm.of_tokens [ "the"; "there"; "ir"; "se" ] in
+  let enc = Alm.compress m in
+  let check_lt a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s < %s compressed" a b)
+      true
+      (Alm.compare_compressed (enc a) (enc b) < 0)
+  in
+  check_lt "their" "there";
+  check_lt "there" "these";
+  check_lt "the" "their";
+  check_lt "the" "there";
+  List.iter
+    (fun v -> Alcotest.(check string) "fig2 roundtrip" v (Alm.decompress m (enc v)))
+    [ "their"; "there"; "these"; "the"; "th"; "t"; "" ]
+
+let prop_alm_order =
+  prop_cached "alm order preservation" (gen_pair gen_text) (fun (a, b) ->
+      let m = Lazy.force alm_model in
+      let ca = Alm.compress m a and cb = Alm.compress m b in
+      compare (Alm.compare_compressed ca cb) 0 = compare (String.compare a b) 0)
+
+let prop_alm_order_binary =
+  prop_cached "alm order preservation (binary)" (gen_pair gen_string) (fun (a, b) ->
+      let m = Lazy.force alm_model in
+      let ca = Alm.compress m a and cb = Alm.compress m b in
+      compare (Alm.compare_compressed ca cb) 0 = compare (String.compare a b) 0)
+
+let test_alm_prefix_range () =
+  let m = Lazy.force alm_model in
+  let (lo, hi) = Alm.prefix_range m "the" in
+  let inside = Alm.compress m "theology" in
+  let outside = Alm.compress m "tha" in
+  let matches c =
+    Alm.compare_compressed lo c <= 0
+    && match hi with None -> true | Some h -> Alm.compare_compressed c h < 0
+  in
+  Alcotest.(check bool) "inside" true (matches inside);
+  Alcotest.(check bool) "outside" false (matches outside)
+
+let test_alm_model_serial () =
+  let m = Lazy.force alm_model in
+  let m' = Alm.deserialize_model (Alm.serialize_model m) in
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "serial roundtrip" v (Alm.decompress m' (Alm.compress m v)))
+    sample_values
+
+let test_alm_compresses () =
+  let m = Alm.train [ big_text ] in
+  let c = Alm.compress m big_text in
+  Alcotest.(check bool) "smaller than input" true
+    (String.length c < String.length big_text)
+
+(* --- Arithmetic --- *)
+
+let prop_arith_order =
+  prop_cached "arith order preservation" (gen_pair gen_text) (fun (a, b) ->
+      let m = Lazy.force arith_model in
+      let ca = Arith.compress m a and cb = Arith.compress m b in
+      compare (Arith.compare_compressed ca cb) 0 = compare (String.compare a b) 0)
+
+let test_arith_model_serial () =
+  let m = Lazy.force arith_model in
+  let m' = Arith.deserialize_model (Arith.serialize_model m) in
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "serial roundtrip" v (Arith.decompress m' (Arith.compress m' v)))
+    sample_values
+
+(* --- Hu-Tucker --- *)
+
+let prop_hu_order =
+  prop_cached "hu-tucker order preservation" (gen_pair gen_text) (fun (a, b) ->
+      let m = Lazy.force hu_model in
+      let ca = Hu_tucker.compress m a and cb = Hu_tucker.compress m b in
+      compare (Hu_tucker.compare_compressed ca cb) 0 = compare (String.compare a b) 0)
+
+let test_hu_optimality_sanity () =
+  (* Hu-Tucker is optimal among alphabetic codes; on a heavily skewed
+     distribution it must beat the fixed-width 9-bit encoding. *)
+  let values = List.init 200 (fun _ -> "aaaaaaaaab") in
+  let m = Hu_tucker.train values in
+  let c = Hu_tucker.compress m "aaaaaaaaab" in
+  Alcotest.(check bool) "beats fixed width" true (String.length c < 10)
+
+let test_hu_model_serial () =
+  let m = Lazy.force hu_model in
+  let m' = Hu_tucker.deserialize_model (Hu_tucker.serialize_model m) in
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "serial roundtrip" v
+        (Hu_tucker.decompress m' (Hu_tucker.compress m v)))
+    sample_values
+
+(* --- BWT / MTF / RLE / Bzip / LZSS --- *)
+
+let prop_bwt =
+  QCheck2.Test.make ~name:"bwt roundtrip" ~count:300 gen_string (fun s ->
+      Bwt.inverse (Bwt.transform s) = s)
+
+let prop_mtf =
+  QCheck2.Test.make ~name:"mtf roundtrip" ~count:300 gen_string (fun s ->
+      Mtf.decode (Mtf.encode s) = s)
+
+let prop_rle =
+  QCheck2.Test.make ~name:"rle roundtrip" ~count:300
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 3)) (int_range 0 80))
+    (fun s -> Rle.decode (Rle.encode s) = s)
+
+let prop_bzip =
+  QCheck2.Test.make ~name:"bzip roundtrip" ~count:100 gen_string (fun s ->
+      Bzip.decompress (Bzip.compress s) = s)
+
+let test_bzip_big () =
+  Alcotest.(check string) "big text" big_text (Bzip.decompress (Bzip.compress big_text));
+  let c = Bzip.compress big_text in
+  Alcotest.(check bool) "compresses repetitive text" true
+    (String.length c < String.length big_text / 2)
+
+let test_bzip_multiblock () =
+  let data = String.concat "" (List.init 80 (fun i -> big_text ^ string_of_int i)) in
+  Alcotest.(check bool) "spans blocks" true (String.length data > 1 lsl 18);
+  Alcotest.(check string) "multiblock roundtrip" data (Bzip.decompress (Bzip.compress data))
+
+let prop_lzss =
+  QCheck2.Test.make ~name:"lzss roundtrip" ~count:200 gen_string (fun s ->
+      Lzss.decompress (Lzss.compress s) = s)
+
+let test_lzss_big () =
+  Alcotest.(check string) "big text" big_text (Lzss.decompress (Lzss.compress big_text));
+  let c = Lzss.compress big_text in
+  Alcotest.(check bool) "compresses repetitive text" true
+    (String.length c < String.length big_text)
+
+(* --- Numeric --- *)
+
+let test_numeric_int () =
+  let m = Ipack.train [ "0"; "5"; "123"; "99999" ] in
+  List.iter
+    (fun v -> Alcotest.(check string) "int roundtrip" v (Ipack.decompress m (Ipack.compress m v)))
+    [ "0"; "5"; "123"; "99999"; "1000000" ];
+  let lt a b =
+    Ipack.compare_compressed (Ipack.compress m a) (Ipack.compress m b) < 0
+  in
+  Alcotest.(check bool) "9 < 10 numerically" true (lt "9" "10");
+  Alcotest.(check bool) "100 > 99" true (lt "99" "100")
+
+let test_numeric_decimal () =
+  let m = Ipack.train [ "0.00"; "58.43"; "1.99" ] in
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "decimal roundtrip" v (Ipack.decompress m (Ipack.compress m v)))
+    [ "0.00"; "58.43"; "1.99"; "40.00"; "12345.67" ];
+  let lt a b =
+    Ipack.compare_compressed (Ipack.compress m a) (Ipack.compress m b) < 0
+  in
+  Alcotest.(check bool) "9.50 < 10.20" true (lt "9.50" "10.20")
+
+let test_numeric_rejects_text () =
+  match Ipack.train [ "12"; "gold" ] with
+  | exception Ipack.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let prop_numeric_order =
+  QCheck2.Test.make ~name:"numeric order = numeric comparison" ~count:300
+    QCheck2.Gen.(pair (int_bound 100000) (int_bound 100000))
+    (fun (a, b) ->
+      let m = Ipack.train [ "1" ] in
+      let ca = Ipack.compress m (string_of_int a)
+      and cb = Ipack.compress m (string_of_int b) in
+      compare (Ipack.compare_compressed ca cb) 0 = compare a b)
+
+(* --- Codec layer --- *)
+
+let test_codec_dispatch () =
+  List.iter
+    (fun alg ->
+      match Codec.train alg sample_values with
+      | exception Codec.Unsupported _ ->
+        Alcotest.(check string) "only numeric may reject" "numeric"
+          (Codec.algorithm_name alg)
+      | model ->
+        Alcotest.(check string) "name roundtrip" (Codec.algorithm_name alg)
+          (Codec.algorithm_name (Codec.algorithm_of_name (Codec.algorithm_name alg)));
+        List.iter
+          (fun v ->
+            Alcotest.(check string)
+              (Codec.algorithm_name alg ^ " codec roundtrip")
+              v
+              (Codec.decompress model (Codec.compress model v)))
+          sample_values)
+    Codec.all_algorithms
+
+let test_codec_properties () =
+  let p = Codec.properties Codec.Alm_alg in
+  Alcotest.(check bool) "alm ineq" true p.Codec.ineq;
+  Alcotest.(check bool) "alm wild" false p.Codec.wild;
+  let p = Codec.properties Codec.Huffman_alg in
+  Alcotest.(check bool) "huffman ineq" false p.Codec.ineq;
+  Alcotest.(check bool) "huffman wild" true p.Codec.wild;
+  Alcotest.(check bool) "bzip nothing" false (Codec.supports Codec.Bzip_alg `Eq);
+  Alcotest.(check bool) "alm cheaper than huffman" true
+    (Codec.decompression_cost Codec.Alm_alg < Codec.decompression_cost Codec.Huffman_alg)
+
+let suites =
+  [
+    ( "bitio",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_bitio_roundtrip;
+        Alcotest.test_case "width_for" `Quick test_bitio_width;
+        QCheck_alcotest.to_alcotest prop_bitio;
+      ] );
+    ( "huffman",
+      [
+        roundtrip_tests "huffman" Huffman.train Huffman.compress Huffman.decompress;
+        Alcotest.test_case "equality in compressed domain" `Quick test_huffman_equality;
+        Alcotest.test_case "prefix wildcard" `Quick test_huffman_prefix;
+        Alcotest.test_case "model serialization" `Quick test_huffman_model_serial;
+        Alcotest.test_case "actually compresses" `Quick test_huffman_compresses;
+        QCheck_alcotest.to_alcotest
+          (prop_roundtrip "huffman" gen_string Huffman.train Huffman.compress
+             Huffman.decompress);
+        QCheck_alcotest.to_alcotest prop_huffman_prefix;
+      ] );
+    ( "alm",
+      [
+        roundtrip_tests "alm" Alm.train Alm.compress Alm.decompress;
+        Alcotest.test_case "paper fig. 2 scenario" `Quick test_alm_fig2;
+        Alcotest.test_case "prefix range extension" `Quick test_alm_prefix_range;
+        Alcotest.test_case "model serialization" `Quick test_alm_model_serial;
+        Alcotest.test_case "actually compresses" `Quick test_alm_compresses;
+        QCheck_alcotest.to_alcotest
+          (prop_roundtrip "alm" gen_string Alm.train Alm.compress Alm.decompress);
+        QCheck_alcotest.to_alcotest prop_alm_order;
+        QCheck_alcotest.to_alcotest prop_alm_order_binary;
+      ] );
+    ( "arith",
+      [
+        roundtrip_tests "arith" Arith.train Arith.compress Arith.decompress;
+        Alcotest.test_case "model serialization" `Quick test_arith_model_serial;
+        QCheck_alcotest.to_alcotest
+          (prop_roundtrip "arith" gen_string Arith.train Arith.compress Arith.decompress);
+        QCheck_alcotest.to_alcotest prop_arith_order;
+      ] );
+    ( "hu-tucker",
+      [
+        roundtrip_tests "hu-tucker" Hu_tucker.train Hu_tucker.compress
+          Hu_tucker.decompress;
+        Alcotest.test_case "optimality sanity" `Quick test_hu_optimality_sanity;
+        Alcotest.test_case "model serialization" `Quick test_hu_model_serial;
+        QCheck_alcotest.to_alcotest
+          (prop_roundtrip "hu-tucker" gen_string Hu_tucker.train Hu_tucker.compress
+             Hu_tucker.decompress);
+        QCheck_alcotest.to_alcotest prop_hu_order;
+      ] );
+    ( "bzip-pipeline",
+      [
+        Alcotest.test_case "bzip big text" `Quick test_bzip_big;
+        Alcotest.test_case "bzip multi-block" `Quick test_bzip_multiblock;
+        Alcotest.test_case "lzss big text" `Quick test_lzss_big;
+        QCheck_alcotest.to_alcotest prop_bwt;
+        QCheck_alcotest.to_alcotest prop_mtf;
+        QCheck_alcotest.to_alcotest prop_rle;
+        QCheck_alcotest.to_alcotest prop_bzip;
+        QCheck_alcotest.to_alcotest prop_lzss;
+      ] );
+    ( "numeric",
+      [
+        Alcotest.test_case "integers" `Quick test_numeric_int;
+        Alcotest.test_case "decimals" `Quick test_numeric_decimal;
+        Alcotest.test_case "rejects text" `Quick test_numeric_rejects_text;
+        QCheck_alcotest.to_alcotest prop_numeric_order;
+      ] );
+    ( "codec",
+      [
+        Alcotest.test_case "dispatch all algorithms" `Quick test_codec_dispatch;
+        Alcotest.test_case "properties table" `Quick test_codec_properties;
+      ] );
+  ]

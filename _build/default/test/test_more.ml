@@ -1,0 +1,189 @@
+(* Additional coverage: physical operator combinators, summary
+   serialization, codec misuse, workload corner cases, and the CLI's
+   workload-file format helpers exercised through the engine. *)
+
+open Xquec_core
+
+let shop =
+  "<shop><item id=\"i1\" price=\"10.50\"><name>chair</name></item>\
+   <item id=\"i2\" price=\"5.00\"><name>table</name></item>\
+   <item id=\"i3\" price=\"99.99\"><name>mirror</name></item></shop>"
+
+let repo = lazy (Loader.load ~name:"shop.xml" shop)
+
+let cid path =
+  match Storage.Repository.find_container_by_path (Lazy.force repo) path with
+  | Some c -> c.Storage.Container.id
+  | None -> Alcotest.failf "no container %s" path
+
+(* ------------------------------------------------------------------ *)
+(* Physical combinators                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_project_select_sort () =
+  let repo = Lazy.force repo in
+  let prices = Physical.cont_scan repo (cid "/shop/item/@price") in
+  let projected = Physical.project [ 0 ] prices in
+  Alcotest.(check int) "project width" 1 projected.Physical.width;
+  let sorted =
+    Physical.sort
+      (fun a b ->
+        compare
+          (Executor.atom_number { Executor.repo } a)
+          (Executor.atom_number { Executor.repo } b))
+      ~col:0 projected
+  in
+  let values =
+    Physical.run sorted
+    |> List.map (fun t -> Executor.atom_string { Executor.repo } t.(0))
+  in
+  Alcotest.(check (list string)) "numeric sort" [ "5.00"; "10.50"; "99.99" ] values;
+  let selected =
+    Physical.select
+      (fun t ->
+        match Executor.atom_number { Executor.repo } t.(0) with
+        | Some f -> f > 6.0
+        | None -> false)
+      projected
+  in
+  Alcotest.(check int) "select" 2 (Physical.cardinality selected)
+
+let test_text_content_operator () =
+  let repo = Lazy.force repo in
+  let code n = Option.get (Storage.Name_dict.code repo.Storage.Repository.dict n) in
+  let names =
+    Physical.summary_access repo [ `Child (code "shop"); `Child (code "item"); `Child (code "name") ]
+  in
+  let with_text = Physical.text_content repo [ cid "/shop/item/name/#text" ] names ~col:0 in
+  let texts =
+    Physical.run with_text |> List.map (fun t -> Executor.atom_string { Executor.repo } t.(1))
+  in
+  Alcotest.(check (list string)) "text content doc order" [ "chair"; "table"; "mirror" ] texts
+
+let test_xml_serialize_operator () =
+  let repo = Lazy.force repo in
+  let plan = Physical.cont_access_eq repo (cid "/shop/item/@id") ~value:"i2" in
+  let plan = Physical.decompress repo plan ~col:0 in
+  Alcotest.(check string) "serialize column" "i2" (Physical.xml_serialize repo plan ~col:0)
+
+(* ------------------------------------------------------------------ *)
+(* Codec misuse / properties                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_order_agnostic_compare_rejected () =
+  let m = Compress.Codec.train Compress.Codec.Huffman_alg [ "a"; "b" ] in
+  match Compress.Codec.compare_compressed m "x" "y" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Huffman must reject order comparison"
+
+let test_alm_model_is_token_function () =
+  (* the serialized model is the token list; rebuilding from tokens gives
+     identical encodings *)
+  let values = List.init 80 (fun i -> Printf.sprintf "value number %d" i) in
+  let m = Compress.Alm.train values in
+  let m' = Compress.Alm.of_tokens (Compress.Alm.model_tokens m) in
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "same encoding" (Compress.Alm.compress m v)
+        (Compress.Alm.compress m' v))
+    values
+
+let prop_bzip_idempotent_frames =
+  QCheck2.Test.make ~name:"bzip roundtrip of its own output" ~count:50
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200))
+    (fun s ->
+      let once = Compress.Bzip.compress s in
+      let twice = Compress.Bzip.compress once in
+      Compress.Bzip.decompress (Compress.Bzip.decompress twice) = s)
+
+let prop_hu_tucker_optimal_vs_huffman =
+  (* alphabetic codes cannot beat unconstrained Huffman codes *)
+  QCheck2.Test.make ~name:"hu-tucker >= huffman expected length" ~count:50
+    QCheck2.Gen.(list_size (int_range 5 30) (string_size ~gen:(oneofl [ 'a'; 'b'; 'c'; 'z' ]) (int_range 1 10)))
+    (fun values ->
+      values = []
+      ||
+      let hu = Compress.Hu_tucker.train values in
+      let hf = Compress.Huffman.train values in
+      let total codec = List.fold_left (fun a v -> a + String.length (codec v)) 0 values in
+      (* allow one padding byte of slack per value *)
+      total (Compress.Hu_tucker.compress hu) + List.length values
+      >= total (Compress.Huffman.compress hf))
+
+(* ------------------------------------------------------------------ *)
+(* Workload corner cases                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_ftcontains_is_wild () =
+  let repo = Lazy.force repo in
+  let w =
+    Workload.of_query_strings repo
+      [ "for $i in document(\"shop.xml\")/shop/item where ftcontains($i/name/text(), \"chair\") return $i" ]
+  in
+  Alcotest.(check bool) "one wild predicate" true
+    (List.exists
+       (fun (p : Workload.predicate) -> p.Workload.cls = Workload.Cls_wild)
+       w.Workload.predicates)
+
+let test_workload_unresolvable_paths_ignored () =
+  let repo = Lazy.force repo in
+  let w =
+    Workload.of_query_strings repo
+      [ "for $i in document(\"shop.xml\")/shop/nonexistent where $i/foo = \"x\" return $i" ]
+  in
+  Alcotest.(check int) "no predicates from unknown paths" 0 (List.length w.Workload.predicates)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level behaviour                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_workload_load () =
+  let workload =
+    [ "for $i in document(\"shop.xml\")/shop/item where $i/@price >= 10 return $i/name/text()" ]
+  in
+  let engine = Engine.load ~name:"shop.xml" ~workload shop in
+  (match engine.Engine.partitioning with
+  | Some r ->
+    Alcotest.(check bool) "search ran" true (r.Partitioner.trace <> []);
+    Alcotest.(check bool) "cost did not increase" true
+      (r.Partitioner.final_cost <= r.Partitioner.initial_cost)
+  | None -> Alcotest.fail "expected partitioning");
+  Alcotest.(check string) "query result" "chair\nmirror"
+    (Engine.query_serialized engine
+       "for $i in document(\"shop.xml\")/shop/item where $i/@price >= 10 return $i/name/text()")
+
+let test_engine_indent_output () =
+  let engine = Engine.load ~name:"s.xml" "<a><b>x</b><c/></a>" in
+  let plain = Engine.to_xml engine in
+  let indented = Engine.to_xml ~indent:true engine in
+  Alcotest.(check bool) "indent adds newlines" true
+    (String.contains indented '\n' && not (String.contains plain '\n'))
+
+let suites =
+  [
+    ( "physical-extra",
+      [
+        Alcotest.test_case "project/select/sort" `Quick test_project_select_sort;
+        Alcotest.test_case "text_content operator" `Quick test_text_content_operator;
+        Alcotest.test_case "xml_serialize operator" `Quick test_xml_serialize_operator;
+      ] );
+    ( "codec-extra",
+      [
+        Alcotest.test_case "order-agnostic compare rejected" `Quick
+          test_order_agnostic_compare_rejected;
+        Alcotest.test_case "alm model = token function" `Quick test_alm_model_is_token_function;
+        QCheck_alcotest.to_alcotest prop_bzip_idempotent_frames;
+        QCheck_alcotest.to_alcotest prop_hu_tucker_optimal_vs_huffman;
+      ] );
+    ( "workload-extra",
+      [
+        Alcotest.test_case "ftcontains classifies as wild" `Quick test_workload_ftcontains_is_wild;
+        Alcotest.test_case "unresolvable paths ignored" `Quick
+          test_workload_unresolvable_paths_ignored;
+      ] );
+    ( "engine",
+      [
+        Alcotest.test_case "workload-driven load" `Quick test_engine_workload_load;
+        Alcotest.test_case "indented output" `Quick test_engine_indent_output;
+      ] );
+  ]

@@ -1,0 +1,254 @@
+(* Tests for the storage layer: B+tree, name dictionary, containers,
+   structure tree, summary and full-repository serialization. *)
+
+open Storage
+
+(* ------------------------------------------------------------------ *)
+(* B+ tree                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_btree_basic () =
+  let t = Btree.create ~order:4 () in
+  List.iter (fun k -> Btree.insert t k (k * 10)) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  Btree.check_invariants t;
+  Alcotest.(check int) "length" 10 (Btree.length t);
+  Alcotest.(check (option int)) "find 7" (Some 70) (Btree.find t 7);
+  Alcotest.(check (option int)) "find missing" None (Btree.find t 11);
+  Btree.insert t 7 (-1);
+  Alcotest.(check (option int)) "replace" (Some (-1)) (Btree.find t 7);
+  Alcotest.(check int) "length after replace" 10 (Btree.length t)
+
+let test_btree_bulk () =
+  let n = 1000 in
+  let t = Btree.of_sorted_array ~order:8 (Array.init n (fun i -> (i * 2, i))) in
+  Btree.check_invariants t;
+  Alcotest.(check int) "length" n (Btree.length t);
+  Alcotest.(check (option int)) "find" (Some 250) (Btree.find t 500);
+  Alcotest.(check (option int)) "odd key missing" None (Btree.find t 501);
+  Alcotest.(check bool) "depth > 1" true (Btree.depth t > 1)
+
+let test_btree_find_le () =
+  let t = Btree.of_sorted_array (Array.init 100 (fun i -> (i * 10, i))) in
+  Alcotest.(check (option (pair int int))) "exact" (Some (50, 5)) (Btree.find_le t 50);
+  Alcotest.(check (option (pair int int))) "below" (Some (50, 5)) (Btree.find_le t 57);
+  Alcotest.(check (option (pair int int))) "first" (Some (0, 0)) (Btree.find_le t 3);
+  Alcotest.(check (option (pair int int))) "none" None (Btree.find_le t (-1));
+  Alcotest.(check (option (pair int int))) "last" (Some (990, 99)) (Btree.find_le t 10000)
+
+let test_btree_range () =
+  let t = Btree.of_sorted_array (Array.init 50 (fun i -> (i, i))) in
+  let collected = Btree.fold_range t ~lo:10 ~hi:19 ~init:[] ~f:(fun acc k _ -> k :: acc) in
+  Alcotest.(check (list int)) "range" (List.init 10 (fun i -> 10 + i)) (List.rev collected)
+
+let prop_btree_model =
+  QCheck2.Test.make ~name:"btree agrees with assoc-list model" ~count:100
+    QCheck2.Gen.(small_list (pair (int_bound 100) (int_bound 1000)))
+    (fun bindings ->
+      let t = Btree.create ~order:4 () in
+      List.iter (fun (k, v) -> Btree.insert t k v) bindings;
+      Btree.check_invariants t;
+      (* last write wins in the model *)
+      let model =
+        List.fold_left (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc) [] bindings
+      in
+      List.for_all (fun (k, v) -> Btree.find t k = Some v) model
+      && Btree.length t = List.length model)
+
+(* ------------------------------------------------------------------ *)
+(* Name dictionary                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_name_dict () =
+  let d = Name_dict.create () in
+  let a = Name_dict.intern d "site" in
+  let b = Name_dict.intern d "person" in
+  let a' = Name_dict.intern d "site" in
+  Alcotest.(check int) "stable" a a';
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check string) "name" "person" (Name_dict.name d b);
+  Alcotest.(check (option int)) "code" (Some b) (Name_dict.code d "person");
+  Alcotest.(check (option int)) "missing" None (Name_dict.code d "nope")
+
+let test_name_dict_bits () =
+  let d = Name_dict.create () in
+  for i = 0 to 91 do
+    ignore (Name_dict.intern d (Printf.sprintf "tag%d" i))
+  done;
+  (* the paper's example: 92 names fit on 7 bits *)
+  Alcotest.(check int) "92 names on 7 bits" 7 (Name_dict.bits_per_code d)
+
+(* ------------------------------------------------------------------ *)
+(* Containers                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_container algorithm =
+  Container.build ~id:0 ~path:"/a/b/#text" ~kind:Container.Text ~algorithm
+    [ ("delta", 1); ("alpha", 2); ("charlie", 3); ("bravo", 4); ("alpha", 5) ]
+
+let test_container_sorted () =
+  let c = sample_container Compress.Codec.Alm_alg in
+  let codes = Array.to_list (Container.scan c) |> List.map (fun r -> r.Container.code) in
+  Alcotest.(check bool) "sorted by code" true
+    (List.sort String.compare codes = codes);
+  (* order-preserving codec: code order = plaintext order *)
+  let values = Array.to_list (Container.scan c) |> List.map (Container.decompress_record c) in
+  Alcotest.(check (list string)) "plaintext order" [ "alpha"; "alpha"; "bravo"; "charlie"; "delta" ]
+    values
+
+let test_container_lookup_eq () =
+  let c = sample_container Compress.Codec.Alm_alg in
+  let hits = Container.lookup_eq c (Container.compress_constant c "alpha") in
+  Alcotest.(check int) "two alphas" 2 (List.length hits);
+  Alcotest.(check (list int)) "parents" [ 2; 5 ]
+    (List.map (fun r -> r.Container.parent) hits |> List.sort compare);
+  Alcotest.(check int) "no miss" 0
+    (List.length (Container.lookup_eq c (Container.compress_constant c "zulu")))
+
+let test_container_lookup_range () =
+  let c = sample_container Compress.Codec.Alm_alg in
+  let lo = Container.compress_constant c "b" in
+  let hi = Container.compress_constant c "d" in
+  let hits = Container.lookup_range c ~lo ~hi () in
+  let values = List.map (Container.decompress_record c) hits in
+  Alcotest.(check (list string)) "range [b,d)" [ "bravo"; "charlie" ] values
+
+let test_container_recompress () =
+  let c = sample_container Compress.Codec.Alm_alg in
+  let before = Container.dump c in
+  let model = Compress.Codec.train Compress.Codec.Huffman_alg (List.map fst before) in
+  let remap = Container.recompress c ~algorithm:Compress.Codec.Huffman_alg ~model ~model_id:9 in
+  Alcotest.(check int) "remap size" 5 (Array.length remap);
+  let after = Container.dump c in
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare before = List.sort compare after);
+  (* the permutation maps old positions to the same (value, parent) *)
+  let before_arr = Array.of_list before in
+  Array.iteri
+    (fun old_idx new_idx ->
+      let r = (Container.scan c).(new_idx) in
+      let (v, p) = before_arr.(old_idx) in
+      Alcotest.(check string) "value follows remap" v (Container.decompress_record c r);
+      Alcotest.(check int) "parent follows remap" p r.Container.parent)
+    remap
+
+(* ------------------------------------------------------------------ *)
+(* Structure tree + summary via the loader                             *)
+(* ------------------------------------------------------------------ *)
+
+let small_repo () =
+  Xquec_core.Loader.load ~name:"t"
+    "<a><b id=\"1\"><c>x</c><c>y</c></b><b id=\"2\"><c>z</c></b><d/></a>"
+
+let test_tree_navigation () =
+  let repo = small_repo () in
+  let tree = repo.Repository.tree in
+  let dict = repo.Repository.dict in
+  let code n = Option.get (Name_dict.code dict n) in
+  Alcotest.(check int) "node count (a,2xb,3xc,d,2x@id)" 9 (Structure_tree.node_count tree);
+  let bs = Structure_tree.children_with_tag tree 0 (code "b") in
+  Alcotest.(check int) "two b children" 2 (List.length bs);
+  let b1 = List.hd bs in
+  Alcotest.(check int) "parent of b" 0 (Structure_tree.parent tree b1);
+  let cs = Structure_tree.children_with_tag tree b1 (code "c") in
+  Alcotest.(check int) "two c under first b" 2 (List.length cs);
+  (* ancestors via pre/post *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "b ancestor of c" true
+        (Structure_tree.is_ancestor tree ~ancestor:b1 ~descendant:c);
+      Alcotest.(check bool) "a ancestor of c" true
+        (Structure_tree.is_ancestor tree ~ancestor:0 ~descendant:c))
+    cs;
+  let all_desc = Structure_tree.descendants tree 0 in
+  Alcotest.(check int) "descendants of root" 8 (List.length all_desc)
+
+let test_tree_find_via_index () =
+  let repo = small_repo () in
+  let tree = repo.Repository.tree in
+  for id = 0 to Structure_tree.node_count tree - 1 do
+    Alcotest.(check (option int)) "find through sparse index" (Some id)
+      (Structure_tree.find tree id)
+  done;
+  Alcotest.(check (option int)) "out of range" None (Structure_tree.find tree 999)
+
+let test_summary_matching () =
+  let repo = small_repo () in
+  let s = repo.Repository.summary in
+  let dict = repo.Repository.dict in
+  let code n = Option.get (Name_dict.code dict n) in
+  let is_attr c = (Name_dict.name dict c).[0] = '@' in
+  let m = Summary.match_steps ~is_attr s [ `Child (code "a"); `Child (code "b") ] in
+  Alcotest.(check int) "one b snode" 1 (List.length m);
+  Alcotest.(check int) "b instances" 2 (Array.length (List.hd m).Summary.ids);
+  let m = Summary.match_steps ~is_attr s [ `Desc (code "c") ] in
+  Alcotest.(check int) "desc c snode" 1 (List.length m);
+  Alcotest.(check int) "c instances" 3 (Array.length (List.hd m).Summary.ids);
+  let m = Summary.match_steps ~is_attr s [ `Child (code "a"); `Child_any ] in
+  Alcotest.(check int) "any children of a: b and d" 2 (List.length m)
+
+let test_summary_node_count () =
+  let repo = small_repo () in
+  (* root + a + b + @id + c + c/#text? (text containers are not summary
+     nodes) + d: the path tree is tiny compared to the document *)
+  Alcotest.(check int) "summary nodes" 5 (Summary.node_count repo.Repository.summary - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Repository serialization                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_repository_roundtrip () =
+  let xml = Xmark.Xmlgen.generate ~scale:0.03 () in
+  let repo = Xquec_core.Loader.load ~name:"auction.xml" xml in
+  let data = Repository.serialize repo in
+  let repo' = Repository.deserialize data in
+  Alcotest.(check int) "node count" (Structure_tree.node_count repo.Repository.tree)
+    (Structure_tree.node_count repo'.Repository.tree);
+  Alcotest.(check int) "containers" (Array.length repo.Repository.containers)
+    (Array.length repo'.Repository.containers);
+  (* queries give identical answers on the restored repository *)
+  List.iter
+    (fun (q : Xmark.Queries.query) ->
+      let ast = Xquery.Parser.parse q.Xmark.Queries.text in
+      let a = Xquec_core.Executor.serialize repo (Xquec_core.Executor.run repo ast) in
+      let b = Xquec_core.Executor.serialize repo' (Xquec_core.Executor.run repo' ast) in
+      Alcotest.(check string) (q.Xmark.Queries.id ^ " identical after reload") a b)
+    Xmark.Queries.all
+
+let test_size_breakdown_consistent () =
+  let xml = Xmark.Xmlgen.generate ~scale:0.05 () in
+  let repo = Xquec_core.Loader.load ~name:"a" xml in
+  let sz = Repository.size_breakdown repo in
+  Alcotest.(check bool) "total = sum of parts" true
+    (sz.Repository.total_bytes
+    = sz.Repository.name_dict_bytes + sz.Repository.tree_bytes
+      + sz.Repository.containers_bytes + sz.Repository.models_bytes
+      + sz.Repository.summary_bytes + sz.Repository.btree_bytes);
+  Alcotest.(check bool) "essential < total" true
+    (sz.Repository.essential_bytes < sz.Repository.total_bytes)
+
+let suites =
+  [
+    ( "btree",
+      [
+        Alcotest.test_case "insert/find" `Quick test_btree_basic;
+        Alcotest.test_case "bulk load" `Quick test_btree_bulk;
+        Alcotest.test_case "find_le" `Quick test_btree_find_le;
+        Alcotest.test_case "range fold" `Quick test_btree_range;
+        QCheck_alcotest.to_alcotest prop_btree_model;
+      ] );
+    ( "storage",
+      [
+        Alcotest.test_case "name dictionary" `Quick test_name_dict;
+        Alcotest.test_case "name dictionary bits (paper example)" `Quick test_name_dict_bits;
+        Alcotest.test_case "container is value-sorted" `Quick test_container_sorted;
+        Alcotest.test_case "container equality lookup" `Quick test_container_lookup_eq;
+        Alcotest.test_case "container range lookup" `Quick test_container_lookup_range;
+        Alcotest.test_case "container recompression remap" `Quick test_container_recompress;
+        Alcotest.test_case "structure tree navigation" `Quick test_tree_navigation;
+        Alcotest.test_case "B+ index lookup" `Quick test_tree_find_via_index;
+        Alcotest.test_case "summary matching" `Quick test_summary_matching;
+        Alcotest.test_case "summary is small" `Quick test_summary_node_count;
+        Alcotest.test_case "repository roundtrip" `Slow test_repository_roundtrip;
+        Alcotest.test_case "size breakdown consistent" `Quick test_size_breakdown_consistent;
+      ] );
+  ]

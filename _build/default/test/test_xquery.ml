@@ -1,0 +1,145 @@
+(* Tests for the XQuery front-end: each syntactic construct of the
+   subset, error reporting, and a print/reparse sanity property. *)
+
+open Xquery
+
+let parse = Parser.parse
+
+let parses name src =
+  Alcotest.test_case name `Quick (fun () -> ignore (parse src))
+
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse src with
+      | exception Parser.Syntax_error _ -> ()
+      | _ -> Alcotest.fail "expected Syntax_error")
+
+let test_path_shape () =
+  match parse "document(\"d\")/site//item/@id" with
+  | Ast.Path (Ast.Doc "d", [ s1; s2; s3 ]) ->
+    Alcotest.(check bool) "child" true (s1.Ast.axis = Ast.Child);
+    Alcotest.(check bool) "descendant" true (s2.Ast.axis = Ast.Descendant);
+    Alcotest.(check bool) "attribute" true (s3.Ast.axis = Ast.Attribute)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_predicates () =
+  match parse "$x/a[2]/b[@id = \"k\"][c]" with
+  | Ast.Path (Ast.Var "x", [ s1; s2 ]) ->
+    (match s1.Ast.predicates with
+    | [ Ast.Pos 2 ] -> ()
+    | _ -> Alcotest.fail "expected positional predicate");
+    Alcotest.(check int) "two predicates on b" 2 (List.length s2.Ast.predicates)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_flwor_clauses () =
+  match parse "for $a in $x, $b in $y let $c := $a where $a = $b order by $c return $c" with
+  | Ast.Flwor (clauses, Ast.Var "c") ->
+    let shapes =
+      List.map
+        (function
+          | Ast.For (v, _) -> "for " ^ v
+          | Ast.Let (v, _) -> "let " ^ v
+          | Ast.Where _ -> "where"
+          | Ast.Order_by _ -> "order")
+        clauses
+    in
+    Alcotest.(check (list string)) "clauses"
+      [ "for a"; "for b"; "let c"; "where"; "order" ]
+      shapes
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_operator_precedence () =
+  match parse "1 + 2 * 3 = 7 and 2 < 3" with
+  | Ast.And (Ast.Cmp (Ast.Eq, Ast.Arith (Ast.Add, _, Ast.Arith (Ast.Mul, _, _)), _), Ast.Cmp (Ast.Lt, _, _))
+    -> ()
+  | e -> Alcotest.failf "unexpected: %s" (Ast.to_string e)
+
+let test_constructor () =
+  match parse "<item id=\"{$i}\" k=\"x\">text{$v}<sub/></item>" with
+  | Ast.Element ("item", [ ("id", Ast.Attr_expr (Ast.Var "i")); ("k", Ast.Attr_string "x") ], kids)
+    ->
+    Alcotest.(check int) "three children" 3 (List.length kids)
+  | e -> Alcotest.failf "unexpected: %s" (Ast.to_string e)
+
+let test_functions () =
+  (match parse "count($x)" with
+  | Ast.Aggregate (Ast.Count, Ast.Var "x") -> ()
+  | _ -> Alcotest.fail "count");
+  (match parse "contains($x/a, \"gold\")" with
+  | Ast.Contains (_, Ast.Literal_string "gold") -> ()
+  | _ -> Alcotest.fail "contains");
+  match parse "not(empty($x))" with
+  | Ast.Not (Ast.Empty _) -> ()
+  | _ -> Alcotest.fail "not/empty"
+
+let test_quantifier () =
+  match parse "some $p in $b/bidder satisfies $p/@person = \"p1\"" with
+  | Ast.Some_satisfies ("p", _, Ast.Cmp (Ast.Eq, _, _)) -> ()
+  | _ -> Alcotest.fail "quantifier"
+
+let test_context_forms () =
+  (match parse "$x/a[@id = \"1\"]" with
+  | Ast.Path (_, [ { Ast.predicates = [ Ast.Cond (Ast.Cmp (_, Ast.Path (Ast.Context, _), _)) ]; _ } ])
+    -> ()
+  | _ -> Alcotest.fail "attr predicate rooted at context");
+  match parse "$x/a[b = \"v\"]" with
+  | Ast.Path (_, [ { Ast.predicates = [ Ast.Cond (Ast.Cmp (_, Ast.Path (Ast.Context, _), _)) ]; _ } ])
+    -> ()
+  | _ -> Alcotest.fail "bare-name predicate rooted at context"
+
+let test_comment_skipping () =
+  match parse "(: outer (: nested :) :) count($x)" with
+  | Ast.Aggregate (Ast.Count, _) -> ()
+  | _ -> Alcotest.fail "comments"
+
+let test_xmark_queries_parse () =
+  List.iter
+    (fun (q : Xmark.Queries.query) ->
+      match parse q.Xmark.Queries.text with
+      | _ -> ()
+      | exception Parser.Syntax_error (m, p) ->
+        Alcotest.failf "%s does not parse: %s at %d" q.Xmark.Queries.id m p)
+    Xmark.Queries.all
+
+let test_print_reparse () =
+  (* pretty-printed ASTs should at least stay parseable and stable *)
+  List.iter
+    (fun src ->
+      let a = parse src in
+      let printed = Ast.to_string a in
+      let b = parse printed in
+      Alcotest.(check string) ("stable print: " ^ src) printed (Ast.to_string b))
+    [
+      "for $a in document(\"d\")/site/a where $a/b = 3 return $a";
+      "count($x/a[2])";
+      "if ($x = 1) then \"a\" else \"b\"";
+      "some $p in $b/c satisfies $p = \"v\"";
+    ]
+
+let suites =
+  [
+    ( "xquery-parser",
+      [
+        Alcotest.test_case "path shape" `Quick test_path_shape;
+        Alcotest.test_case "predicates" `Quick test_predicates;
+        Alcotest.test_case "flwor clauses" `Quick test_flwor_clauses;
+        Alcotest.test_case "operator precedence" `Quick test_operator_precedence;
+        Alcotest.test_case "element constructor" `Quick test_constructor;
+        Alcotest.test_case "functions" `Quick test_functions;
+        Alcotest.test_case "quantifier" `Quick test_quantifier;
+        Alcotest.test_case "context-relative forms" `Quick test_context_forms;
+        Alcotest.test_case "nested comments" `Quick test_comment_skipping;
+        Alcotest.test_case "all XMark queries parse" `Quick test_xmark_queries_parse;
+        Alcotest.test_case "print/reparse stable" `Quick test_print_reparse;
+        parses "arithmetic div/mod" "$x div 2 mod 3";
+        parses "order by descending" "for $a in $x order by $a descending return $a";
+        parses "sequence" "($a, $b, 3)";
+        parses "nested flwor" "for $a in $x return for $b in $a return $b";
+        parses "string escapes" "\"he said \"\"hi\"\"\"";
+        rejects "unclosed paren" "count($x";
+        rejects "missing return" "for $a in $x where $a";
+        rejects "trailing garbage" "count($x) garbage";
+        rejects "bad var" "$";
+        rejects "mismatched constructor" "<a>{$x}</b>";
+      ] );
+  ]
