@@ -1,0 +1,40 @@
+# Convenience targets; everything below is plain dune.
+
+XQUEC := dune exec bin/xquec.exe --
+SMOKE_DIR := _smoke
+
+.PHONY: all build check test bench smoke clean
+
+all: build
+
+build:
+	dune build
+
+# tier-1 gate: everything compiles and the full test suite passes
+check:
+	dune build
+	dune runtest
+
+test: check
+
+bench:
+	dune exec bench/main.exe
+
+# end-to-end smoke: generate an XMark document, compress it with a small
+# workload, then EXPLAIN ANALYZE a query against the repository with
+# tracing + metrics on.
+smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(XQUEC) generate -d xmark -s 0.05 -o $(SMOKE_DIR)/auction.xml
+	printf 'for $$p in document("auction.xml")/site/people/person where $$p/@id = "person0" return $$p/name\n' \
+	  > $(SMOKE_DIR)/workload.xq
+	$(XQUEC) compress $(SMOKE_DIR)/auction.xml -w $(SMOKE_DIR)/workload.xq \
+	  -o $(SMOKE_DIR)/auction.xqc --trace-out $(SMOKE_DIR)/compress-trace.json
+	$(XQUEC) explain $(SMOKE_DIR)/auction.xqc \
+	  'for $$p in document("auction.xml")/site/people/person where $$p/@id = "person0" return $$p/name/text()' \
+	  --stats --trace-out $(SMOKE_DIR)/query-trace.json
+	@echo "smoke artifacts in $(SMOKE_DIR)/"
+
+clean:
+	dune clean
+	rm -rf $(SMOKE_DIR)

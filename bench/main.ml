@@ -49,6 +49,46 @@ let header title = Fmt.pr "@.=== %s ===@." title
 let rule () = Fmt.pr "%s@." (String.make 78 '-')
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every experiment records its headline numbers as it prints them; the
+   driver writes the collected datapoints to BENCH_results.json
+   (override with --json FILE, disable with --no-json) so runs can be
+   diffed and plotted without scraping the textual report. *)
+
+let json_out = ref (Some "BENCH_results.json")
+let results : (string * string * Xquec_obs.Json.t) list ref = ref []
+let num x = Xquec_obs.Json.Num x
+let str s = Xquec_obs.Json.Str s
+let obj fields = Xquec_obs.Json.Obj fields
+let record ~exp key v = results := (exp, key, v) :: !results
+
+(* group by experiment, preserving first-occurrence order; a key recorded
+   several times (one per table row) becomes a JSON array *)
+let results_json () =
+  let recs = List.rev !results in
+  let order key_of =
+    List.fold_left (fun acc r -> if List.mem (key_of r) acc then acc else acc @ [ key_of r ]) []
+  in
+  let group exp =
+    let entries = List.filter_map (fun (e, k, v) -> if e = exp then Some (k, v) else None) recs in
+    obj
+      (List.map
+         (fun k ->
+           match List.filter_map (fun (k', v) -> if k' = k then Some v else None) entries with
+           | [ v ] -> (k, v)
+           | vs -> (k, Xquec_obs.Json.List vs))
+         (order fst entries))
+  in
+  obj
+    [
+      ("harness", str "xquec-bench");
+      ("xmark_scale", num !scale);
+      ("experiments", obj (List.map (fun e -> (e, group e)) (order (fun (e, _, _) -> e) recs)));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Shared fixtures                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -81,6 +121,17 @@ let table1 () =
   rule ();
   let row name xml =
     let st = Xmlkit.Stats.of_document (Xmlkit.Parser.parse_string xml) in
+    record ~exp:"table1" "dataset"
+      (obj
+         [
+           ("name", str name);
+           ("size_kb", num (float_of_int (String.length xml / 1024)));
+           ("elements", num (float_of_int st.Xmlkit.Stats.elements));
+           ("attributes", num (float_of_int st.Xmlkit.Stats.attributes));
+           ("max_depth", num (float_of_int st.Xmlkit.Stats.max_depth));
+           ("distinct_tags", num (float_of_int st.Xmlkit.Stats.distinct_tags));
+           ("text_share", num (Xmlkit.Stats.value_share st));
+         ]);
     Fmt.pr "%-20s %9d %9d %8d %7d %6d %9.1f%%@." name
       (String.length xml / 1024)
       st.Xmlkit.Stats.elements st.Xmlkit.Stats.attributes st.Xmlkit.Stats.max_depth
@@ -95,12 +146,16 @@ let table1 () =
 (* Fig. 6: compression factors                                         *)
 (* ------------------------------------------------------------------ *)
 
-let cf_row name xml =
+let cf_row ~exp name xml =
   let xm = Baselines.Xmill.compression_factor (Baselines.Xmill.compress xml) in
   let xg = Baselines.Xgrind.compression_factor (Baselines.Xgrind.compress xml) in
   let xp = Baselines.Xpress.compression_factor (Baselines.Xpress.compress xml) in
   let repo = Xquec_core.Loader.load ~name xml in
   let xq = Storage.Repository.compression_factor repo in
+  record ~exp "row"
+    (obj
+       [ ("name", str name); ("xmill", num xm); ("xgrind", num xg); ("xpress", num xp);
+         ("xquec", num xq) ]);
   Fmt.pr "%-22s %8.1f%% %8.1f%% %8.1f%% %8.1f%%@." name (100. *. xm) (100. *. xg)
     (100. *. xp) (100. *. xq);
   (xm, xg, xp, xq)
@@ -111,12 +166,21 @@ let fig6_left () =
   rule ();
   let rows =
     List.map
-      (fun (d : Xmark.Datasets.dataset) -> cf_row d.Xmark.Datasets.name d.Xmark.Datasets.xml)
+      (fun (d : Xmark.Datasets.dataset) ->
+        cf_row ~exp:"fig6_left" d.Xmark.Datasets.name d.Xmark.Datasets.xml)
       (Lazy.force corpus)
   in
   let n = float_of_int (List.length rows) in
   let avg f = 100.0 *. List.fold_left (fun a r -> a +. f r) 0.0 rows /. n in
   rule ();
+  record ~exp:"fig6_left" "average"
+    (obj
+       [
+         ("xmill", num (avg (fun (a, _, _, _) -> a) /. 100.0));
+         ("xgrind", num (avg (fun (_, b, _, _) -> b) /. 100.0));
+         ("xpress", num (avg (fun (_, _, c, _) -> c) /. 100.0));
+         ("xquec", num (avg (fun (_, _, _, d) -> d) /. 100.0));
+       ]);
   Fmt.pr "%-22s %8.1f%% %8.1f%% %8.1f%% %8.1f%%@." "average"
     (avg (fun (a, _, _, _) -> a))
     (avg (fun (_, b, _, _) -> b))
@@ -130,7 +194,7 @@ let fig6_right () =
   List.iter
     (fun s ->
       let xml = Xmark.Xmlgen.generate ~scale:s () in
-      ignore (cf_row (Printf.sprintf "xmark %d KB" (String.length xml / 1024)) xml))
+      ignore (cf_row ~exp:"fig6_right" (Printf.sprintf "xmark %d KB" (String.length xml / 1024)) xml))
     !fig6_scales
 
 (* ------------------------------------------------------------------ *)
@@ -171,6 +235,10 @@ let fig7 () =
             ignore (Baselines.Galax_like.run ~docs:[ ("auction.xml", dom) ] ast))
       in
       let note = match q.Xmark.Queries.adapted with Some _ -> "(adapted)" | None -> "" in
+      record ~exp:"fig7" "query"
+        (obj
+           [ ("id", str id); ("xquec_ms", num xq_ms); ("galax_ms", num galax_ms);
+             ("adapted", str note) ]);
       Fmt.pr "%-5s %12.2f %12.2f %7.1fx  %s@." id xq_ms galax_ms (galax_ms /. xq_ms) note)
     Xmark.Queries.fig7_ids
 
@@ -196,9 +264,11 @@ let q8_q9 () =
   rule ();
   let q8x = run_xquec "Q8" and q9x = run_xquec "Q9" in
   let q8g = run_galax "Q8" in
+  record ~exp:"q8_q9" "q8" (obj [ ("xquec_ms", num q8x); ("galax_ms", num q8g) ]);
   Fmt.pr "%-5s %12.1f %12.1f@." "Q8" q8x q8g;
   if !scale <= 2.5 then begin
     let q9g = run_galax "Q9" in
+    record ~exp:"q8_q9" "q9" (obj [ ("xquec_ms", num q9x); ("galax_ms", num q9g) ]);
     Fmt.pr "%-5s %12.1f %12.1f@." "Q9" q9x q9g
   end
   else begin
@@ -208,6 +278,7 @@ let q8_q9 () =
   end;
   let repo = Xquec_core.Engine.repo engine in
   let plan_ms = time_median (fun () -> ignore (Xquec_core.Plans.q9 repo)) in
+  record ~exp:"q8_q9" "q9_fig5_plan_ms" (num plan_ms);
   Fmt.pr "%-5s %12.1f %12s  (hand-built Fig. 5 physical plan)@." "Q9*" plan_ms "-"
 
 (* ------------------------------------------------------------------ *)
@@ -221,6 +292,18 @@ let storage_occupancy () =
   let sz = Xquec_core.Engine.size_breakdown engine in
   let os = float_of_int repo.Storage.Repository.original_size in
   let pct x = 100.0 *. float_of_int x /. os in
+  record ~exp:"storage_occupancy" "bytes"
+    (obj
+       [
+         ("original", num os);
+         ("total", num (float_of_int sz.Storage.Repository.total_bytes));
+         ("tree", num (float_of_int sz.Storage.Repository.tree_bytes));
+         ("containers", num (float_of_int sz.Storage.Repository.containers_bytes));
+         ("models", num (float_of_int sz.Storage.Repository.models_bytes));
+         ("summary", num (float_of_int sz.Storage.Repository.summary_bytes));
+         ("btree", num (float_of_int sz.Storage.Repository.btree_bytes));
+         ("essential", num (float_of_int sz.Storage.Repository.essential_bytes));
+       ]);
   Fmt.pr "original document:        %9d bytes@." repo.Storage.Repository.original_size;
   Fmt.pr "full repository:          %9d bytes (%.1f%% of original; CF %.1f%%)@."
     sz.Storage.Repository.total_bytes
@@ -337,6 +420,18 @@ let partitioning_gain () =
   Fmt.pr "  model cost %.0f, decompression cost %.0f, total %.0f@."
     good_cost.Xquec_core.Cost_model.model good_cost.Xquec_core.Cost_model.decompression
     good_cost.Xquec_core.Cost_model.total;
+  record ~exp:"partitioning_gain" "costs"
+    (obj
+       [
+         ("naive_total", num naive_cost.Xquec_core.Cost_model.total);
+         ("good_total", num good_cost.Xquec_core.Cost_model.total);
+         ("good_sets", num (float_of_int (List.length good.Xquec_core.Cost_model.sets)));
+         ( "gain",
+           num
+             (1.0
+             -. (good_cost.Xquec_core.Cost_model.total /. naive_cost.Xquec_core.Cost_model.total))
+         );
+       ]);
   Fmt.pr "@.total cost gain: %.1f%% (the paper's example gains 21.4%%/28.6%% on text/names)@."
     (100.0 *. (1.0 -. (good_cost.Xquec_core.Cost_model.total /. naive_cost.Xquec_core.Cost_model.total)))
 
@@ -365,6 +460,8 @@ let ablations () =
     time_median ~runs:5 (fun () ->
         ignore (String.length (Compress.Bzip.decompress compressed_chunk)))
   in
+  record ~exp:"ablations" "per_value_access"
+    (obj [ ("per_value_ms", num per_value_ms); ("whole_chunk_ms", num whole_chunk_ms) ]);
   Fmt.pr "(a) access one of %d values: individually compressed %.3f ms, \
           XMill-style chunk decompression %.3f ms (%.0fx)@."
     (List.length values) per_value_ms whole_chunk_ms (whole_chunk_ms /. per_value_ms);
@@ -395,6 +492,8 @@ let ablations () =
                 (Xquec_core.Physical.cont_scan repo pid.Storage.Container.id)
                 (Xquec_core.Physical.cont_scan repo buyer.Storage.Container.id))))
   in
+  record ~exp:"ablations" "value_join"
+    (obj [ ("merge_join_ms", num merge_ms); ("nested_loop_ms", num nl_ms) ]);
   Fmt.pr "(b) person-buyer join (shared model: %b): 1-pass merge join %.2f ms, \
           decompressing nested loop %.1f ms (%.0fx)@."
     shared merge_ms nl_ms (nl_ms /. merge_ms);
@@ -419,6 +518,8 @@ let ablations () =
           (Storage.Container.scan prices);
         ignore !n)
   in
+  record ~exp:"ablations" "inequality"
+    (obj [ ("compressed_domain_ms", num in_domain_ms); ("scan_decompress_ms", num scan_ms) ]);
   Fmt.pr "(c) price >= 100 over %d records: compressed-domain range %.4f ms, \
           scan+decompress %.3f ms (%.0fx)@."
     (Storage.Container.length prices) in_domain_ms scan_ms (scan_ms /. in_domain_ms);
@@ -438,6 +539,8 @@ let ablations () =
         done;
         ignore !n)
   in
+  record ~exp:"ablations" "summary_access"
+    (obj [ ("summary_ms", num summary_ms); ("structure_scan_ms", num nav_ms) ]);
   Fmt.pr "(d) //item count: structure-summary access %.4f ms, full structure scan %.3f ms@."
     summary_ms nav_ms;
 
@@ -468,6 +571,8 @@ let ablations () =
             ignore (up id))
           item_ids)
   in
+  record ~exp:"ablations" "ancestor_check"
+    (obj [ ("structural_ids_ms", num structural_ms); ("parent_walk_ms", num walk_ms) ]);
   Fmt.pr "(e) %d ancestor checks: (pre,post) structural ids %.4f ms, parent-chain walks %.4f ms@."
     (List.length item_ids) structural_ms walk_ms
 
@@ -506,6 +611,9 @@ let homomorphic_scan () =
         ignore
           (Baselines.Xpress.query_path xp [ "site"; "regions"; "europe"; "item"; "location" ]))
   in
+  record ~exp:"homomorphic_scan" "times"
+    (obj
+       [ ("xquec_ms", num xquec_ms); ("xgrind_ms", num xgrind_ms); ("xpress_ms", num xpress_ms) ]);
   Fmt.pr "%-42s %10s@." "system / query" "time(ms)";
   rule ();
   Fmt.pr "%-42s %10.3f@." "XQueC: Q1 exact match (ContAccess)" xquec_ms;
@@ -542,6 +650,15 @@ let codec_costs () =
               List.iter (fun c -> ignore (Compress.Codec.decompress model c)) codes)
         in
         let mbps = float_of_int plain /. 1048576.0 /. (ms /. 1000.0) in
+        record ~exp:"codec_costs" "codec"
+          (obj
+             [
+               ("name", str (Compress.Codec.algorithm_name alg));
+               ("ratio", num (1.0 -. (float_of_int compressed /. float_of_int plain)));
+               ("model_bytes", num (float_of_int (Compress.Codec.model_size model)));
+               ("decompress_mbps", num mbps);
+               ("d_c", num (Compress.Codec.decompression_cost alg));
+             ]);
         Fmt.pr "%-12s %9.2f%% %12d %14.1f %6.1f@."
           (Compress.Codec.algorithm_name alg)
           (100.0 *. (1.0 -. (float_of_int compressed /. float_of_int plain)))
@@ -578,6 +695,12 @@ let () =
     | "--fig6-scales" :: v :: rest ->
       fig6_scales := List.map float_of_string (String.split_on_char ',' v);
       parse_args rest
+    | "--json" :: v :: rest ->
+      json_out := Some v;
+      parse_args rest
+    | "--no-json" :: rest ->
+      json_out := None;
+      parse_args rest
     | name :: rest ->
       if List.mem_assoc name experiments then selected := name :: !selected
       else begin
@@ -590,5 +713,18 @@ let () =
   parse_args (List.tl (Array.to_list Sys.argv));
   let to_run = match List.rev !selected with [] -> List.map fst experiments | l -> l in
   Fmt.pr "XQueC benchmark harness (XMark scale %.2g)@." !scale;
-  List.iter (fun name -> (List.assoc name experiments) ()) to_run;
+  List.iter
+    (fun name ->
+      let t0 = Unix.gettimeofday () in
+      (List.assoc name experiments) ();
+      record ~exp:name "wall_s" (num (Unix.gettimeofday () -. t0)))
+    to_run;
+  (match !json_out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Xquec_obs.Json.to_string (results_json ()));
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "@.wrote %s@." path
+  | None -> ());
   Fmt.pr "@.done.@."

@@ -15,13 +15,25 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
+(* Workload files come from all sorts of editors: tolerate a UTF-8 byte
+   order mark and CRLF line endings. *)
+let strip_bom s =
+  if String.length s >= 3 && String.sub s 0 3 = "\xef\xbb\xbf" then
+    String.sub s 3 (String.length s - 3)
+  else s
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
 let read_workload = function
   | None -> None
   | Some path ->
     (* one query per stanza; stanzas separated by lines containing ';;' *)
-    let body = read_file path in
+    let body = strip_bom (read_file path) in
     let stanzas =
       String.split_on_char '\n' body
+      |> List.map strip_cr
       |> List.fold_left
            (fun (acc, cur) line ->
              if String.trim line = ";;" then (List.rev cur :: acc, [])
@@ -38,6 +50,51 @@ let read_workload = function
     in
     if queries = [] then None else Some queries
 
+(* --- telemetry options (shared by compress / query / explain) ------- *)
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Collect telemetry and dump the metrics registry (counters, gauges, \
+              histograms) to stderr when the command finishes.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Collect telemetry and write the recorded spans as chrome-trace JSON to \
+              $(docv) (open in chrome://tracing or ui.perfetto.dev).")
+
+let with_telemetry ~stats ~trace_out f =
+  if stats || trace_out <> None then Xquec_obs.set_enabled true;
+  let finish () =
+    (match trace_out with
+    | Some path ->
+      Xquec_obs.Trace.export path;
+      Fmt.epr "wrote %d spans to %s@." (List.length (Xquec_obs.Trace.spans ())) path
+    | None -> ());
+    if stats then prerr_string (Xquec_obs.Metrics.dump_text ())
+  in
+  Fun.protect ~finally:finish f
+
+(* A repository argument that also accepts raw XML: sniff the first
+   non-whitespace byte — documents start with '<', serialized
+   repositories never do. *)
+let load_engine_any path =
+  let data = strip_bom (read_file path) in
+  let rec first_nonspace i =
+    if i >= String.length data then None
+    else
+      match data.[i] with
+      | ' ' | '\t' | '\r' | '\n' -> first_nonspace (i + 1)
+      | c -> Some c
+  in
+  if first_nonspace 0 = Some '<' then
+    Xquec_core.Engine.load ~name:(Filename.basename path) data
+  else Xquec_core.Engine.restore data
+
 (* --- compress ------------------------------------------------------- *)
 
 let compress_cmd =
@@ -53,7 +110,8 @@ let compress_cmd =
           ~doc:"File of XQuery queries (separated by lines containing ';;') used to choose \
                 the compression configuration (paper §3).")
   in
-  let run input output workload =
+  let run input output workload stats trace_out =
+    with_telemetry ~stats ~trace_out @@ fun () ->
     let xml = read_file input in
     let name = Filename.basename input in
     let engine = Xquec_core.Engine.load ~name ?workload:(read_workload workload) xml in
@@ -72,7 +130,7 @@ let compress_cmd =
     Fmt.pr "wrote %s@." out
   in
   Cmd.v (Cmd.info "compress" ~doc:"Compress an XML document into a queryable repository")
-    Term.(const run $ input $ output $ workload)
+    Term.(const run $ input $ output $ workload $ stats_flag $ trace_out)
 
 (* --- decompress ----------------------------------------------------- *)
 
@@ -97,8 +155,9 @@ let query_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
   let timing = Arg.(value & flag & info [ "t"; "time" ] ~doc:"Print the evaluation time.") in
-  let run input query timing =
-    let engine = Xquec_core.Engine.restore (read_file input) in
+  let run input query timing stats trace_out =
+    with_telemetry ~stats ~trace_out @@ fun () ->
+    let engine = load_engine_any input in
     let t0 = Unix.gettimeofday () in
     let result = Xquec_core.Engine.query_serialized engine query in
     let dt = Unix.gettimeofday () -. t0 in
@@ -109,21 +168,38 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Evaluate an XQuery expression over a compressed repository (results are \
              decompressed only for output)")
-    Term.(const run $ input $ query $ timing)
+    Term.(const run $ input $ query $ timing $ stats_flag $ trace_out)
 
 (* --- explain -------------------------------------------------------- *)
 
 let explain_cmd =
-  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT"
+         (* .xqc repository or raw .xml *))
+  in
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
-  let run input query =
-    let engine = Xquec_core.Engine.restore (read_file input) in
-    print_endline (Xquec_core.Optimizer.explain_string (Xquec_core.Engine.repo engine) query)
+  let plan_only =
+    Arg.(
+      value & flag
+      & info [ "plan-only" ]
+          ~doc:"Only analyze the strategy (the classic EXPLAIN); do not evaluate the \
+                query or print the profiled plan.")
+  in
+  let run input query plan_only stats trace_out =
+    with_telemetry ~stats ~trace_out @@ fun () ->
+    let engine = load_engine_any input in
+    let repo = Xquec_core.Engine.repo engine in
+    if plan_only then print_endline (Xquec_core.Optimizer.explain_string repo query)
+    else print_string (Xquec_core.Optimizer.explain_profiled repo query)
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Show the evaluation strategy for a query: summary accesses,              compressed-domain pushdowns, join methods, decorrelations")
-    Term.(const run $ input $ query)
+       ~doc:"EXPLAIN ANALYZE a query: the evaluation strategy (summary accesses, \
+             compressed-domain pushdowns, join methods, decorrelations) plus the \
+             profiled physical plan with per-operator wall time, cardinalities, and \
+             compressed vs. decompressed predicate counts. INPUT may be a compressed \
+             repository or a raw XML document.")
+    Term.(const run $ input $ query $ plan_only $ stats_flag $ trace_out)
 
 (* --- stats ---------------------------------------------------------- *)
 

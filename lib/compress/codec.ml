@@ -69,31 +69,60 @@ let algorithm_of_model = function
 (** Train a source model on container values. Raises {!Unsupported} when
     the algorithm cannot represent the values (numeric codec on text). *)
 let train (alg : algorithm) (values : string list) : model =
-  match alg with
-  | Huffman_alg -> M_huffman (Huffman.train values)
-  | Alm_alg -> M_alm (Alm.train values)
-  | Arith_alg -> M_arith (Arith.train values)
-  | Hu_tucker_alg -> M_hu_tucker (Hu_tucker.train values)
-  | Bzip_alg -> M_bzip
-  | Numeric_alg -> M_numeric (Ipack.train values)
+  let build () =
+    match alg with
+    | Huffman_alg -> M_huffman (Huffman.train values)
+    | Alm_alg -> M_alm (Alm.train values)
+    | Arith_alg -> M_arith (Arith.train values)
+    | Hu_tucker_alg -> M_hu_tucker (Hu_tucker.train values)
+    | Bzip_alg -> M_bzip
+    | Numeric_alg -> M_numeric (Ipack.train values)
+  in
+  if not (Xquec_obs.is_enabled ()) then build ()
+  else begin
+    let name = algorithm_name alg in
+    Xquec_obs.Metrics.incr (Printf.sprintf "codec.%s.train_calls" name);
+    Xquec_obs.Trace.with_span
+      ~name:"codec.train"
+      ~attrs:[ ("algorithm", name); ("values", string_of_int (List.length values)) ]
+      build
+  end
 
 let compress (m : model) (value : string) : string =
-  match m with
-  | M_huffman h -> Huffman.compress h value
-  | M_alm a -> Alm.compress a value
-  | M_arith a -> Arith.compress a value
-  | M_hu_tucker h -> Hu_tucker.compress h value
-  | M_bzip -> Bzip.compress value
-  | M_numeric n -> Ipack.compress n value
+  let code =
+    match m with
+    | M_huffman h -> Huffman.compress h value
+    | M_alm a -> Alm.compress a value
+    | M_arith a -> Arith.compress a value
+    | M_hu_tucker h -> Hu_tucker.compress h value
+    | M_bzip -> Bzip.compress value
+    | M_numeric n -> Ipack.compress n value
+  in
+  if Xquec_obs.is_enabled () then begin
+    let name = algorithm_name (algorithm_of_model m) in
+    Xquec_obs.Metrics.incr (Printf.sprintf "codec.%s.encode_calls" name);
+    Xquec_obs.Metrics.incr ~by:(String.length code)
+      (Printf.sprintf "codec.%s.encoded_bytes" name)
+  end;
+  code
 
 let decompress (m : model) (compressed : string) : string =
-  match m with
-  | M_huffman h -> Huffman.decompress h compressed
-  | M_alm a -> Alm.decompress a compressed
-  | M_arith a -> Arith.decompress a compressed
-  | M_hu_tucker h -> Hu_tucker.decompress h compressed
-  | M_bzip -> Bzip.decompress compressed
-  | M_numeric n -> Ipack.decompress n compressed
+  let value =
+    match m with
+    | M_huffman h -> Huffman.decompress h compressed
+    | M_alm a -> Alm.decompress a compressed
+    | M_arith a -> Arith.decompress a compressed
+    | M_hu_tucker h -> Hu_tucker.decompress h compressed
+    | M_bzip -> Bzip.decompress compressed
+    | M_numeric n -> Ipack.decompress n compressed
+  in
+  if Xquec_obs.is_enabled () then begin
+    let name = algorithm_name (algorithm_of_model m) in
+    Xquec_obs.Metrics.incr (Printf.sprintf "codec.%s.decode_calls" name);
+    Xquec_obs.Metrics.incr ~by:(String.length value)
+      (Printf.sprintf "codec.%s.decoded_bytes" name)
+  end;
+  value
 
 let model_size = function
   | M_huffman h -> Huffman.model_size h

@@ -81,8 +81,11 @@ let set_key (ids : int list) (alg : Compress.Codec.algorithm) =
 let estimate_set (t : t) (ids : int list) (alg : Compress.Codec.algorithm) : float * float =
   let key = set_key ids alg in
   match Hashtbl.find_opt t.estimate_cache key with
-  | Some r -> r
+  | Some r ->
+    Xquec_obs.Metrics.incr "cost_model.estimate_cache_hits";
+    r
   | None ->
+    Xquec_obs.Metrics.incr "cost_model.estimate_cache_misses";
     let result =
       let merged = List.concat_map (fun id -> Hashtbl.find t.samples id) ids in
       match Compress.Codec.train alg merged with
@@ -169,6 +172,7 @@ let predicate_cost (t : t) (config : configuration) (p : Workload.predicate) : f
 
 (** Total cost of a configuration. *)
 let cost (t : t) (config : configuration) : float =
+  Xquec_obs.Metrics.incr "cost_model.evaluations";
   let storage, model =
     List.fold_left
       (fun (s, m) (ids, alg) ->

@@ -12,6 +12,8 @@ type t = { repo : Repository.t; partitioning : Partitioner.result option }
     finalized. *)
 let load ?(name = "doc.xml") ?(workload : string list option) ?loader_options (xml : string) : t
     =
+  Xquec_obs.Trace.with_span ~name:"engine.load" ~attrs:[ ("document", name) ]
+  @@ fun () ->
   let repo = Loader.load ?options:loader_options ~name xml in
   let partitioning =
     match workload with
@@ -29,6 +31,12 @@ let parse_query = Xquery.Parser.parse
 (** Evaluate a query; results stay compressed where possible. *)
 let query (t : t) (text : string) : Executor.item list =
   Executor.run t.repo (parse_query text)
+
+(** Evaluate with per-operator profiling: returns the results plus the
+    annotated physical plan tree. *)
+let query_profiled (t : t) (text : string) :
+    Executor.item list * Xquec_obs.Explain.node =
+  Executor.run_profiled t.repo (parse_query text)
 
 let query_ast (t : t) (ast : Xquery.Ast.expr) : Executor.item list = Executor.run t.repo ast
 
@@ -48,7 +56,7 @@ let restore (data : string) : t = { repo = Repository.deserialize data; partitio
 (** Reconstruct the full document from the compressed repository (the
     decompressor direction). *)
 let to_document (t : t) : Xmlkit.Tree.document =
-  let ctx = { Executor.repo = t.repo } in
+  let ctx = Executor.mk_ctx t.repo in
   { Xmlkit.Tree.root = Executor.reconstruct ctx 0 }
 
 let to_xml ?indent (t : t) : string = Xmlkit.Printer.to_string ?indent (to_document t)

@@ -19,6 +19,10 @@ val parse_query : string -> Xquery.Ast.expr
 
 val query : t -> string -> Executor.item list
 
+(** Evaluate with per-operator profiling: results plus the annotated
+    physical plan tree (see {!Xquec_obs.Explain}). *)
+val query_profiled : t -> string -> Executor.item list * Xquec_obs.Explain.node
+
 val query_ast : t -> Xquery.Ast.expr -> Executor.item list
 
 (** Evaluate and serialize (decompressing the result, as the paper's QET

@@ -43,7 +43,21 @@ type binding = { seq : seqv; snodes : Summary.node list }
 
 let mat items = { seq = Mat items; snodes = [] }
 
-type ctx = { repo : Repository.t }
+type ctx = {
+  repo : Repository.t;
+  prof : Xquec_obs.Explain.t option;  (** attached EXPLAIN profile, if any *)
+  prof_ops : bool;
+      (** open operator nodes in the profile; switched off inside
+          per-tuple / per-node evaluation so the plan tree mirrors
+          operators, not data (cmp counts still accumulate) *)
+}
+
+let mk_ctx repo = { repo; prof = None; prof_ops = true }
+
+(* Per-item evaluation under an operator: keep the profile (so predicate
+   evaluations are still attributed to the innermost open operator) but
+   stop opening new operator nodes. *)
+let quiet ctx = if ctx.prof_ops then { ctx with prof_ops = false } else ctx
 
 type env = (string * binding) list
 
@@ -202,6 +216,59 @@ let count ctx (b : binding) : int =
       0 snodes
   | All_values _ -> List.length (materialize ctx b)
 
+(* ------------------------------------------------------------------ *)
+(* Profiling shims (free when the ctx carries no Explain profile)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f] as an operator node; [rows] extracts the output cardinality
+   from its result. *)
+let prof_rows ctx ?attrs ~kind op ~(rows : 'a -> int) (f : unit -> 'a) : 'a =
+  match ctx.prof with
+  | Some p when ctx.prof_ops ->
+    Xquec_obs.Explain.with_op p ?attrs ~kind op (fun node ->
+        let v = f () in
+        Xquec_obs.Explain.set_rows node (rows v);
+        v)
+  | _ -> f ()
+
+let prof_binding ctx ?attrs ~kind op (f : unit -> binding) : binding =
+  match ctx.prof with
+  | Some p when ctx.prof_ops ->
+    Xquec_obs.Explain.with_op p ?attrs ~kind op (fun node ->
+        let b = f () in
+        Xquec_obs.Explain.set_rows node (count ctx b);
+        b)
+  | _ -> f ()
+
+(* [n] predicate evaluations decided on compressed codes ([compressed])
+   or after decompression; attributed to the innermost open operator and
+   to the global executor.cmp.* counters. *)
+let note_cmp ctx ~compressed n =
+  if n > 0 then begin
+    (match ctx.prof with
+    | Some p -> Xquec_obs.Explain.note_cmp p ~compressed n
+    | None -> ());
+    if Xquec_obs.is_enabled () then
+      Xquec_obs.Metrics.incr ~by:n
+        (if compressed then "executor.cmp.compressed" else "executor.cmp.decompressed")
+  end
+
+let short_expr ?(limit = 48) (e : Ast.expr) : string =
+  let s = Ast.to_string e in
+  if String.length s > limit then String.sub s 0 (limit - 3) ^ "..." else s
+
+let step_label (st : Ast.step) : string =
+  let axis =
+    match st.Ast.axis with
+    | Ast.Child -> "child"
+    | Ast.Descendant -> "descendant"
+    | Ast.Attribute -> "attribute"
+  in
+  let test =
+    match st.Ast.test with Ast.Name n -> n | Ast.Any -> "*" | Ast.Text -> "text()"
+  in
+  axis ^ "::" ^ test
+
 let rec atom_string ctx = function
   | Node id -> node_string_value ctx id
   | Cval { cont; code } -> decompress_cval cont code
@@ -262,8 +329,17 @@ let cmp_holds ctx op a b =
   | Ast.Eq, Cval x, Cval y
     when x.cont.Container.model_id = y.cont.Container.model_id
          && Compress.Codec.supports x.cont.Container.algorithm `Eq ->
+    note_cmp ctx ~compressed:true 1;
     String.equal x.code y.code
   | _ ->
+    let compressed =
+      match a, b with
+      | Cval x, Cval y ->
+        x.cont.Container.model_id = y.cont.Container.model_id
+        && Compress.Codec.supports x.cont.Container.algorithm `Ineq
+      | _ -> false
+    in
+    note_cmp ctx ~compressed 1;
     let c = compare_items ctx a b in
     (match op with
     | Ast.Eq -> c = 0
@@ -310,8 +386,15 @@ let rec filter_records ctx (cont : Container.t) (op : Ast.cmp_op) (const : const
     Container.record list =
   let alg = cont.Container.algorithm in
   let scan_filter pred =
+    note_cmp ctx ~compressed:false (Container.length cont);
     Array.to_list (Container.scan cont)
     |> List.filter (fun (r : Container.record) -> pred (decompress_cval cont r.Container.code))
+  in
+  (* a lookup decided in the compressed domain: every matched record is a
+     comparison that never decompressed *)
+  let in_domain records =
+    note_cmp ctx ~compressed:true (List.length records);
+    records
   in
   let generic () =
     (* decompressed comparison with XQuery general-comparison semantics *)
@@ -351,19 +434,21 @@ let rec filter_records ctx (cont : Container.t) (op : Ast.cmp_op) (const : const
     match op with
     | Ast.Eq -> (
       match Compress.Ipack.pack_exact m f with
-      | Some code -> Container.lookup_eq cont code
+      | Some code -> in_domain (Container.lookup_eq cont code)
       | None -> [])
     | Ast.Neq -> generic ()
-    | Ast.Lt -> Container.lookup_range cont ~hi:(Compress.Ipack.pack_bound m ~dir:`Ceil f) ()
+    | Ast.Lt ->
+      in_domain (Container.lookup_range cont ~hi:(Compress.Ipack.pack_bound m ~dir:`Ceil f) ())
     | Ast.Le ->
       let b = Compress.Ipack.pack_bound m ~dir:`Floor f in
       let lo_idx = 0 and hi_idx = Container.upper_bound cont b in
-      List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i))
+      in_domain (List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i)))
     | Ast.Gt ->
       let b = Compress.Ipack.pack_bound m ~dir:`Floor f in
       let lo_idx = Container.upper_bound cont b and hi_idx = Container.length cont in
-      List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i))
-    | Ast.Ge -> Container.lookup_range cont ~lo:(Compress.Ipack.pack_bound m ~dir:`Ceil f) ())
+      in_domain (List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i)))
+    | Ast.Ge ->
+      in_domain (Container.lookup_range cont ~lo:(Compress.Ipack.pack_bound m ~dir:`Ceil f) ()))
   | Compress.Codec.M_numeric m, Cstr s -> (
     match float_of_string_opt s with
     | Some f -> filter_records ctx cont op (Cnum f)
@@ -373,20 +458,20 @@ let rec filter_records ctx (cont : Container.t) (op : Ast.cmp_op) (const : const
       ignore m;
       generic ())
   | _, Cstr s when Compress.Codec.supports alg `Eq && op = Ast.Eq ->
-    Container.lookup_eq cont (Container.compress_constant cont s)
+    in_domain (Container.lookup_eq cont (Container.compress_constant cont s))
   | _, Cstr s
     when Compress.Codec.supports alg `Ineq
          && (op = Ast.Lt || op = Ast.Le || op = Ast.Gt || op = Ast.Ge) -> (
     let code = Container.compress_constant cont s in
     match op with
-    | Ast.Lt -> Container.lookup_range cont ~hi:code ()
+    | Ast.Lt -> in_domain (Container.lookup_range cont ~hi:code ())
     | Ast.Le ->
       let hi_idx = Container.upper_bound cont code in
-      List.init hi_idx (fun i -> cont.Container.records.(i))
+      in_domain (List.init hi_idx (fun i -> cont.Container.records.(i)))
     | Ast.Gt ->
       let lo_idx = Container.upper_bound cont code and hi_idx = Container.length cont in
-      List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i))
-    | Ast.Ge -> Container.lookup_range cont ~lo:code ()
+      in_domain (List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i)))
+    | Ast.Ge -> in_domain (Container.lookup_range cont ~lo:code ())
     | Ast.Eq | Ast.Neq -> assert false)
   | _ -> generic ()
 
@@ -395,25 +480,30 @@ let rec filter_records ctx (cont : Container.t) (op : Ast.cmp_op) (const : const
    order-preserving codecs (prefix range); contains always decompresses. *)
 let filter_records_textual ctx (cont : Container.t) ~(kind : [ `Contains | `Starts_with ])
     (needle : string) : Container.record list =
-  ignore ctx;
   match kind with
   | `Starts_with -> (
     match cont.Container.model with
     | Compress.Codec.M_huffman h ->
+      (* bit-prefix match on codes: every record is tested, none decompress *)
+      note_cmp ctx ~compressed:true (Container.length cont);
       let prefix_bits = Compress.Huffman.compress_prefix h needle in
       Array.to_list (Container.scan cont)
       |> List.filter (fun (r : Container.record) ->
              Compress.Huffman.matches_prefix ~prefix_bits r.Container.code)
     | Compress.Codec.M_alm m ->
       let (lo, hi) = Compress.Alm.prefix_range m needle in
-      Container.lookup_range cont ~lo ?hi ()
+      let records = Container.lookup_range cont ~lo ?hi () in
+      note_cmp ctx ~compressed:true (List.length records);
+      records
     | _ ->
+      note_cmp ctx ~compressed:false (Container.length cont);
       Array.to_list (Container.scan cont)
       |> List.filter (fun (r : Container.record) ->
              let v = decompress_cval cont r.Container.code in
              String.length needle <= String.length v
              && String.sub v 0 (String.length needle) = needle))
   | `Contains ->
+    note_cmp ctx ~compressed:false (Container.length cont);
     let contains hay =
       let n = String.length needle and h = String.length hay in
       if n = 0 then true
@@ -722,18 +812,24 @@ let rec eval ctx (env : env) (e : Ast.expr) : binding =
     | _ -> mat [ Str "" ])
   | Ast.Some_satisfies (v, e, cond) ->
     let items = materialize ctx (eval ctx env e) in
+    let qctx = quiet ctx in
     mat
-      [ Bool (List.exists (fun it -> ebv ctx (eval ctx ((v, mat [ it ]) :: env) cond)) items) ]
+      [ Bool (List.exists (fun it -> ebv qctx (eval qctx ((v, mat [ it ]) :: env) cond)) items) ]
   | Ast.Every_satisfies (v, e, cond) ->
     let items = materialize ctx (eval ctx env e) in
+    let qctx = quiet ctx in
     mat
-      [ Bool (List.for_all (fun it -> ebv ctx (eval ctx ((v, mat [ it ]) :: env) cond)) items) ]
+      [ Bool (List.for_all (fun it -> ebv qctx (eval qctx ((v, mat [ it ]) :: env) cond)) items) ]
   | Ast.Element (tag, attrs, kids) -> mat [ Elem (construct ctx env tag attrs kids) ]
   | Ast.Sequence es -> mat (List.concat_map (fun e -> materialize ctx (eval ctx env e)) es)
 
 (* --- Path steps --- *)
 
 and eval_step ctx env (b : binding) (st : Ast.step) : binding =
+  prof_binding ctx ~kind:"step" (step_label st) @@ fun () ->
+  eval_step_inner ctx env b st
+
+and eval_step_inner ctx env (b : binding) (st : Ast.step) : binding =
   let has_pos =
     List.exists
       (function Ast.Pos _ | Ast.Pos_last -> true | Ast.Cond _ -> false)
@@ -862,8 +958,9 @@ and eval_step ctx env (b : binding) (st : Ast.step) : binding =
             | Ast.Pos_last -> (
               match List.rev kids with k :: _ -> [ k ] | [] -> [])
             | Ast.Cond e ->
+              let qctx = quiet ctx in
               List.filter
-                (fun k -> ebv ctx (eval ctx (("." , mat [ Node k ]) :: env) e))
+                (fun k -> ebv qctx (eval qctx (("." , mat [ Node k ]) :: env) e))
                 kids)
           kids st.Ast.predicates
       in
@@ -888,18 +985,42 @@ and apply_cond_predicates ctx env snodes (candidates : int array) (preds : Ast.p
       match p with
       | Ast.Pos _ | Ast.Pos_last -> cands (* handled by the navigation path *)
       | Ast.Cond e -> (
-        match Option.bind (recognize_pushable e) (pushdown_matches ctx snodes) with
-        | Some matched ->
-          Array.to_list cands |> List.filter (mem_sorted matched) |> Array.of_list
-        | None ->
-          Array.to_list cands
-          |> List.filter (fun id -> ebv ctx (eval ctx (("." , mat [ Node id ]) :: env) e))
-          |> Array.of_list))
+        let per_node cands =
+          prof_rows ctx ~kind:"where"
+            ("filter [" ^ short_expr e ^ "]")
+            ~rows:Array.length
+            (fun () ->
+              let qctx = quiet ctx in
+              Array.to_list cands
+              |> List.filter (fun id ->
+                     ebv qctx (eval qctx (("." , mat [ Node id ]) :: env) e))
+              |> Array.of_list)
+        in
+        match recognize_pushable e with
+        | None -> per_node cands
+        | Some pu ->
+          prof_rows ctx ~kind:"pushdown"
+            ("pushdown [" ^ short_expr e ^ "]")
+            ~rows:Array.length
+            (fun () ->
+              match pushdown_matches ctx snodes pu with
+              | Some matched ->
+                Array.to_list cands |> List.filter (mem_sorted matched) |> Array.of_list
+              | None -> per_node cands)))
     candidates preds
 
 (* --- Aggregates, distinct --- *)
 
 and eval_aggregate ctx env agg e : binding =
+  let name =
+    match agg with
+    | Ast.Count -> "count"
+    | Ast.Sum -> "sum"
+    | Ast.Avg -> "avg"
+    | Ast.Min -> "min"
+    | Ast.Max -> "max"
+  in
+  prof_binding ctx ~kind:"aggregate" (name ^ "()") @@ fun () ->
   let b = eval ctx env e in
   match agg with
   | Ast.Count -> mat [ Num (float_of_int (count ctx b)) ]
@@ -1021,6 +1142,8 @@ and construct ctx env tag attrs kids : Xmlkit.Tree.t =
 (* --- FLWOR with join detection and decorrelation --- *)
 
 and eval_flwor ctx (base : env) (clauses : Ast.clause list) (ret : Ast.expr) : binding =
+  prof_binding ctx ~kind:"flwor" "flwor" @@ fun () ->
+  let qctx = quiet ctx in
   let base_vars = Sset.of_list (List.map fst base) in
   let all_conjuncts =
     List.concat_map (function Ast.Where e -> Analysis.conjuncts e | _ -> []) clauses
@@ -1038,71 +1161,98 @@ and eval_flwor ctx (base : env) (clauses : Ast.clause list) (ret : Ast.expr) : b
     in
     pending := rest;
     List.iter
-      (fun c -> tuples := List.filter (fun d -> ebv ctx (eval ctx (full d) c)) !tuples)
+      (fun c ->
+        prof_rows ctx ~kind:"where"
+          ("where [" ^ short_expr c ^ "]")
+          ~rows:(fun () -> List.length !tuples)
+          (fun () ->
+            tuples := List.filter (fun d -> ebv qctx (eval qctx (full d) c)) !tuples))
       ready
   in
   let process_clause (clause : Ast.clause) =
     match clause with
     | Ast.For (v, e) ->
       let correlated = Analysis.mentions !bound e in
-      if not correlated then begin
-        let source = eval ctx base e in
-        match find_join ctx ~var:v ~bound:!bound ~base_vars pending with
-        | Some join -> tuples := exec_join ctx base !tuples ~var:v ~source join
-        | None ->
-          let items = materialize ctx source in
-          tuples :=
-            List.concat_map
-              (fun d -> List.map (fun it -> (v, mat [ it ]) :: d) items)
-              !tuples
-      end
-      else
-        tuples :=
-          List.concat_map
-            (fun d ->
-              let items = materialize ctx (eval ctx (full d) e) in
-              List.map (fun it -> (v, mat [ it ]) :: d) items)
-            !tuples;
+      prof_rows ctx ~kind:"for"
+        ("for $" ^ v ^ if correlated then " (correlated)" else "")
+        ~rows:(fun () -> List.length !tuples)
+        (fun () ->
+          if not correlated then begin
+            let source = eval ctx base e in
+            match find_join ctx ~var:v ~bound:!bound ~base_vars pending with
+            | Some ((jop, _, _) as join) ->
+              let jkind, jname =
+                if jop = Ast.Eq then ("hash_join", "hash join $" ^ v)
+                else ("sorted_probe", "sorted probe $" ^ v)
+              in
+              tuples :=
+                prof_rows ctx ~kind:jkind jname ~rows:List.length (fun () ->
+                    exec_join qctx base !tuples ~var:v ~source join)
+            | None ->
+              let items = materialize ctx source in
+              tuples :=
+                List.concat_map
+                  (fun d -> List.map (fun it -> (v, mat [ it ]) :: d) items)
+                  !tuples
+          end
+          else
+            tuples :=
+              List.concat_map
+                (fun d ->
+                  let items = materialize qctx (eval qctx (full d) e) in
+                  List.map (fun it -> (v, mat [ it ]) :: d) items)
+                !tuples);
       bound := Sset.add v !bound;
       apply_ready ()
     | Ast.Let (v, e) ->
       let correlated = Analysis.mentions !bound e in
-      if not correlated then begin
-        let b = eval ctx base e in
-        tuples := List.map (fun d -> (v, b) :: d) !tuples
-      end
-      else begin
-        match decorrelate ctx base ~tuple_vars:!bound e with
-        | Some probe -> tuples := List.map (fun d -> (v, mat (probe d)) :: d) !tuples
-        | None ->
-          tuples := List.map (fun d -> (v, eval ctx (full d) e) :: d) !tuples
-      end;
+      prof_rows ctx ~kind:"let"
+        ("let $" ^ v ^ if correlated then " (correlated)" else "")
+        ~rows:(fun () -> List.length !tuples)
+        (fun () ->
+          if not correlated then begin
+            let b = eval ctx base e in
+            tuples := List.map (fun d -> (v, b) :: d) !tuples
+          end
+          else begin
+            match decorrelate qctx base ~tuple_vars:!bound e with
+            | Some probe ->
+              prof_rows ctx ~kind:"decorrelate" ("decorrelate $" ^ v)
+                ~rows:(fun () -> List.length !tuples)
+                (fun () -> tuples := List.map (fun d -> (v, mat (probe d)) :: d) !tuples)
+            | None ->
+              tuples := List.map (fun d -> (v, eval qctx (full d) e) :: d) !tuples
+          end);
       bound := Sset.add v !bound;
       apply_ready ()
     | Ast.Where _ -> apply_ready ()
     | Ast.Order_by keys ->
-      let decorated =
-        List.map
-          (fun d -> (List.map (fun (k, dir) -> (materialize ctx (eval ctx (full d) k), dir)) keys, d))
-          !tuples
-      in
-      let cmp (ka, _) (kb, _) =
-        let rec go = function
-          | [] -> 0
-          | ((a, dir), (b, _)) :: rest ->
-            let c =
-              match a, b with
-              | [], [] -> 0
-              | [], _ -> -1
-              | _, [] -> 1
-              | x :: _, y :: _ -> compare_items ctx x y
+      prof_rows ctx ~kind:"order_by" "order by"
+        ~rows:(fun () -> List.length !tuples)
+        (fun () ->
+          let decorated =
+            List.map
+              (fun d ->
+                (List.map (fun (k, dir) -> (materialize qctx (eval qctx (full d) k), dir)) keys, d))
+              !tuples
+          in
+          let cmp (ka, _) (kb, _) =
+            let rec go = function
+              | [] -> 0
+              | ((a, dir), (b, _)) :: rest ->
+                let c =
+                  match a, b with
+                  | [], [] -> 0
+                  | [], _ -> -1
+                  | _, [] -> 1
+                  | x :: _, y :: _ -> compare_items qctx x y
+                in
+                let c = match dir with `Asc -> c | `Desc -> -c in
+                if c <> 0 then c else go rest
             in
-            let c = match dir with `Asc -> c | `Desc -> -c in
-            if c <> 0 then c else go rest
-        in
-        go (List.combine ka kb)
-      in
-      tuples := List.map snd (List.stable_sort cmp decorated)
+            go (List.combine ka kb)
+          in
+          tuples := List.map snd (List.stable_sort cmp decorated))
   in
   List.iter process_clause clauses;
   apply_ready ();
@@ -1110,7 +1260,9 @@ and eval_flwor ctx (base : env) (clauses : Ast.clause list) (ret : Ast.expr) : b
     err "where clause references unbound variables: %s"
       (String.concat ", "
          (List.concat_map (fun c -> Sset.elements (Analysis.free_vars c)) !pending));
-  mat (List.concat_map (fun d -> materialize ctx (eval ctx (full d) ret)) !tuples)
+  mat
+    (prof_rows ctx ~kind:"return" "return" ~rows:List.length (fun () ->
+         List.concat_map (fun d -> materialize qctx (eval qctx (full d) ret)) !tuples))
 
 (* Find a consumable join conjunct between the new variable [var] and the
    already-bound variables. Removes it from [pending] when found. *)
@@ -1467,16 +1619,33 @@ and compare_join_key (a : join_key) (b : join_key) : int =
 (* ------------------------------------------------------------------ *)
 
 let run (repo : Repository.t) (query : Ast.expr) : item list =
-  let ctx = { repo } in
+  Xquec_obs.Trace.with_span ~name:"executor.run" @@ fun () ->
+  let ctx = mk_ctx repo in
   materialize ctx (eval ctx [] query)
 
 let run_string (repo : Repository.t) (query : string) : item list =
   run repo (Xquery.Parser.parse query)
 
+(** Evaluate with an attached EXPLAIN profile: returns the results and
+    the root of the annotated operator tree (wall time, cardinalities,
+    compressed vs. decompress-then-compare predicate counts). Works
+    whether or not global telemetry is enabled. *)
+let run_profiled (repo : Repository.t) (query : Ast.expr) :
+    item list * Xquec_obs.Explain.node =
+  let prof = Xquec_obs.Explain.create (short_expr ~limit:72 query) in
+  let ctx = { repo; prof = Some prof; prof_ops = true } in
+  let t0 = Xquec_obs.Trace.now_us () in
+  let items =
+    Xquec_obs.Trace.with_span ~name:"executor.run" (fun () ->
+        materialize ctx (eval ctx [] query))
+  in
+  let wall_us = Xquec_obs.Trace.now_us () -. t0 in
+  (items, Xquec_obs.Explain.finish prof ~wall_us ~rows:(List.length items))
+
 (** Serialize results, decompressing — the Decompress + XMLSerialize tail
     every plan ends with (§4). *)
 let serialize (repo : Repository.t) (items : item list) : string =
-  let ctx = { repo } in
+  let ctx = mk_ctx repo in
   let buf = Buffer.create 256 in
   List.iteri
     (fun i it ->

@@ -30,7 +30,14 @@ type seqv =
 
 type binding = { seq : seqv; snodes : Summary.node list }
 
-type ctx = { repo : Repository.t }
+type ctx = {
+  repo : Repository.t;
+  prof : Xquec_obs.Explain.t option;  (** attached EXPLAIN profile, if any *)
+  prof_ops : bool;  (** open operator nodes in the profile *)
+}
+
+(** A plain evaluation context (no profile attached). *)
+val mk_ctx : Repository.t -> ctx
 
 type env = (string * binding) list
 
@@ -41,6 +48,12 @@ exception Eval_error of string
 val run : Repository.t -> Xquery.Ast.expr -> item list
 
 val run_string : Repository.t -> string -> item list
+
+(** Evaluate with per-operator profiling: results plus the root of the
+    annotated plan tree (inclusive wall time, output cardinalities, and
+    compressed-domain vs. decompress-then-compare predicate counts).
+    Independent of the global {!Xquec_obs.set_enabled} switch. *)
+val run_profiled : Repository.t -> Xquery.Ast.expr -> item list * Xquec_obs.Explain.node
 
 (** Serialize results, decompressing — the Decompress + XMLSerialize
     tail of every plan (§4, Fig. 5). *)

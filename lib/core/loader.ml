@@ -86,6 +86,10 @@ type frame = {
 }
 
 let load ?(options = default_options) ~name (xml : string) : Repository.t =
+  Xquec_obs.Trace.with_span ~name:"loader.load"
+    ~attrs:[ ("document", name); ("bytes", string_of_int (String.length xml)) ]
+  @@ fun () ->
+  Xquec_obs.Metrics.incr "loader.documents";
   let dict = Name_dict.create () in
   let summary = Summary.create () in
   let builder = Structure_tree.builder () in
@@ -207,7 +211,9 @@ let load ?(options = default_options) ~name (xml : string) : Repository.t =
         add_ptr fr.f_id pending.p_id seq
       | [] -> assert false)
   in
-  Xmlkit.Sax.parse_string ~f:handle xml;
+  Xquec_obs.Trace.with_span ~name:"loader.parse" (fun () ->
+      Xquec_obs.Metrics.time_ms "loader.parse_ms" (fun () ->
+          Xmlkit.Sax.parse_string ~f:handle xml));
   Summary.seal_t summary;
   (* Build containers: choose the codec, compress, sort, and remember the
      arrival-order -> sorted-index mapping for pointer back-fill. *)
@@ -222,6 +228,10 @@ let load ?(options = default_options) ~name (xml : string) : Repository.t =
     else options.default_string_algorithm
   in
   let containers =
+    Xquec_obs.Trace.with_span ~name:"loader.build_containers"
+      ~attrs:[ ("containers", string_of_int (List.length pending_list)) ]
+    @@ fun () ->
+    Xquec_obs.Metrics.time_ms "loader.build_containers_ms" @@ fun () ->
     List.map
       (fun p ->
         let entries = staged_entries p.p_staging in
@@ -243,16 +253,23 @@ let load ?(options = default_options) ~name (xml : string) : Repository.t =
         Array.iteri (fun idx (_, seq) -> seq_to_idx.(seq) <- idx) records;
         Hashtbl.add seq_maps p.p_id seq_to_idx;
         let plain_bytes = List.fold_left (fun acc v -> acc + String.length v) 0 values in
-        {
-          Container.id = p.p_id;
-          path = p.p_path;
-          kind = p.p_kind;
-          algorithm;
-          model;
-          model_id = p.p_id;
-          records = Array.map fst records;
-          plain_bytes;
-        })
+        let cont =
+          {
+            Container.id = p.p_id;
+            path = p.p_path;
+            kind = p.p_kind;
+            algorithm;
+            model;
+            model_id = p.p_id;
+            records = Array.map fst records;
+            plain_bytes;
+          }
+        in
+        if Xquec_obs.is_enabled () then begin
+          Xquec_obs.Metrics.incr ~by:(Container.length cont) "loader.values";
+          Container.publish_metrics cont
+        end;
+        cont)
       pending_list
     |> Array.of_list
   in
@@ -270,6 +287,11 @@ let load ?(options = default_options) ~name (xml : string) : Repository.t =
             ptrs)
     pending_ptrs;
   let tree = Structure_tree.finish builder ~rev_children ~rev_values in
+  if Xquec_obs.is_enabled () then begin
+    Xquec_obs.Metrics.set_gauge "loader.containers" (float_of_int (Array.length containers));
+    Xquec_obs.Metrics.set_gauge "loader.tree_nodes"
+      (float_of_int (Structure_tree.node_count tree))
+  end;
   {
     Repository.dict;
     tree;

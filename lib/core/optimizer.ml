@@ -77,7 +77,7 @@ let short e =
 
 (** Analyze a query against a repository. *)
 let explain (repo : Repository.t) (query : Ast.expr) : decision list =
-  let ctx = { Executor.repo } in
+  let ctx = Executor.mk_ctx repo in
   let out = ref [] in
   let emit d = out := d :: !out in
   let container_paths cs = List.map (fun (c : Container.t) -> c.Container.path) cs in
@@ -305,3 +305,26 @@ let explain (repo : Repository.t) (query : Ast.expr) : decision list =
 let explain_string (repo : Repository.t) (query : string) : string =
   let decisions = explain repo (Xquery.Parser.parse query) in
   Fmt.str "%a" Fmt.(list ~sep:(any "@.") pp_decision) decisions
+
+(** EXPLAIN ANALYZE: evaluate the query with an attached profile and
+    render the strategy decisions followed by the annotated physical
+    plan — per-operator wall time, output cardinalities, and
+    compressed-domain vs. decompress-then-compare predicate counts. *)
+let explain_profiled (repo : Repository.t) (query : string) : string =
+  let ast = Xquery.Parser.parse query in
+  let decisions = explain repo ast in
+  let (_items, plan) = Executor.run_profiled repo ast in
+  let t = Xquec_obs.Explain.totals plan in
+  let buf = Buffer.create 1024 in
+  if decisions <> [] then begin
+    Buffer.add_string buf "strategy:\n";
+    List.iter (fun d -> Buffer.add_string buf (Fmt.str "  %a\n" pp_decision d)) decisions;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf "profiled plan:\n";
+  Buffer.add_string buf (Xquec_obs.Explain.render plan);
+  Buffer.add_string buf
+    (Printf.sprintf "%d operators; predicate cmps: %d compressed-domain, %d decompressed\n"
+       t.Xquec_obs.Explain.operators t.Xquec_obs.Explain.compressed
+       t.Xquec_obs.Explain.decompressed);
+  Buffer.contents buf

@@ -25,3 +25,9 @@ val pp_decision : Format.formatter -> decision -> unit
 val explain : Repository.t -> Xquery.Ast.expr -> decision list
 
 val explain_string : Repository.t -> string -> string
+
+(** EXPLAIN ANALYZE: evaluate the query with an attached profile and
+    render the strategy decisions plus the annotated physical plan
+    (per-operator wall time, cardinalities, compressed-domain vs.
+    decompress-then-compare predicate counts). *)
+val explain_profiled : Repository.t -> string -> string

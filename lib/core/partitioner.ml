@@ -79,6 +79,11 @@ let replace_set config ~old_sets ~new_sets : Cost_model.configuration =
     applying it. *)
 let search ?(seed = 17) ?(weights = Cost_model.default_weights) (repo : Repository.t)
     (workload : Workload.t) : result =
+  Xquec_obs.Trace.with_span ~name:"partitioner.search"
+    ~attrs:
+      [ ("predicates", string_of_int (List.length workload.Workload.predicates)) ]
+  @@ fun () ->
+  Xquec_obs.Metrics.time_ms "partitioner.search_ms" @@ fun () ->
   let model = Cost_model.create ~weights repo workload in
   let queried = Workload.queried_containers workload in
   let initial : Cost_model.configuration =
@@ -98,10 +103,15 @@ let search ?(seed = 17) ?(weights = Cost_model.default_weights) (repo : Reposito
     in
     let (after, chosen) = best in
     config := chosen;
+    if Xquec_obs.is_enabled () then begin
+      Xquec_obs.Metrics.incr ~by:(List.length proposals) "partitioner.moves_proposed";
+      if after < before then Xquec_obs.Metrics.incr "partitioner.moves_accepted"
+    end;
     trace :=
       { predicate = pred; accepted = after < before; cost_before = before; cost_after = after }
       :: !trace
   in
+  Xquec_obs.Metrics.set_gauge "partitioner.initial_cost" initial_cost;
   let preds = shuffle ~seed workload.Workload.predicates in
   List.iter
     (fun (pred : Workload.predicate) ->
@@ -144,17 +154,18 @@ let search ?(seed = 17) ?(weights = Cost_model.default_weights) (repo : Reposito
           try_moves pred (extracts @ merges)
         | [] -> ()))
     preds;
-  {
-    configuration = !config;
-    initial_cost;
-    final_cost = Cost_model.cost model !config;
-    trace = List.rev !trace;
-  }
+  let final_cost = Cost_model.cost model !config in
+  Xquec_obs.Metrics.set_gauge "partitioner.final_cost" final_cost;
+  { configuration = !config; initial_cost; final_cost; trace = List.rev !trace }
 
 (** Apply a configuration to the repository: per set, train a shared
     source model on the union of the containers' values and recompress.
     Containers outside the configuration are left as loaded. *)
 let apply (repo : Repository.t) (config : Cost_model.configuration) : unit =
+  Xquec_obs.Trace.with_span ~name:"partitioner.apply"
+    ~attrs:[ ("sets", string_of_int (List.length config.Cost_model.sets)) ]
+  @@ fun () ->
+  Xquec_obs.Metrics.time_ms "partitioner.apply_ms" @@ fun () ->
   List.iter
     (fun (ids, alg) ->
       let containers = List.map (fun id -> repo.Repository.containers.(id)) ids in
@@ -175,6 +186,9 @@ let apply (repo : Repository.t) (config : Cost_model.configuration) : unit =
 
 (** Convenience: analyze, search and apply in one call. *)
 let optimize ?seed ?weights (repo : Repository.t) (queries : Xquery.Ast.expr list) : result =
+  Xquec_obs.Trace.with_span ~name:"partitioner.optimize"
+    ~attrs:[ ("queries", string_of_int (List.length queries)) ]
+  @@ fun () ->
   let workload = Workload.analyze repo queries in
   let result = search ?seed ?weights repo workload in
   apply repo result.configuration;

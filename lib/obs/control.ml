@@ -1,0 +1,5 @@
+(* Global on/off switch for the telemetry layer. Instrumentation sites
+   check this single ref before doing any work, so a disabled build pays
+   one load + branch per site and allocates nothing. *)
+
+let enabled = ref false

@@ -1,0 +1,196 @@
+(* Process-wide metrics registry: counters, gauges, and log-scale
+   histograms, keyed by dotted names ("loader.parse_ms",
+   "container./site/people/person/name/#text.encoded_bytes",
+   "codec.alm.encode_calls", "executor.step.rows_out").
+
+   Everything is a no-op while [Control.enabled] is false; snapshot /
+   read accessors work regardless so tests can inspect state after a
+   run. Single-threaded by design, like the rest of the engine. *)
+
+(* --- histograms ---------------------------------------------------- *)
+
+(* Log-scale buckets: bucket 0 holds values <= [lowest_bound]; bucket i
+   holds (lowest_bound * 2^(i-1), lowest_bound * 2^i]; the last bucket
+   is open-ended. With lowest_bound = 0.001 and 40 buckets the range
+   covers one microsecond to ~half a million seconds when observing
+   milliseconds — also fine for byte sizes. *)
+let bucket_count = 40
+
+let lowest_bound = 0.001
+
+let bucket_index (v : float) : int =
+  if v <= lowest_bound then 0
+  else begin
+    (* smallest i with lowest_bound * 2^i >= v *)
+    let i = int_of_float (Float.ceil (Float.log2 (v /. lowest_bound))) in
+    min (bucket_count - 1) (max 1 i)
+  end
+
+let bucket_upper_bound (i : int) : float =
+  if i >= bucket_count - 1 then Float.infinity
+  else lowest_bound *. Float.pow 2.0 (float_of_int i)
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+type histogram_stats = { count : int; sum : float; min : float; max : float; mean : float }
+
+(* --- registry ------------------------------------------------------ *)
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 64
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset histograms
+
+(* --- writes (gated) ------------------------------------------------ *)
+
+let incr ?(by = 1) (name : string) : unit =
+  if !Control.enabled then begin
+    match Hashtbl.find_opt counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add counters name (ref by)
+  end
+
+let set_gauge (name : string) (v : float) : unit =
+  if !Control.enabled then begin
+    match Hashtbl.find_opt gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add gauges name (ref v)
+  end
+
+let observe (name : string) (v : float) : unit =
+  if !Control.enabled then begin
+    let h =
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+        let h =
+          { h_count = 0; h_sum = 0.0; h_min = Float.infinity; h_max = Float.neg_infinity;
+            h_buckets = Array.make bucket_count 0 }
+        in
+        Hashtbl.add histograms name h;
+        h
+    in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  end
+
+(** Time [f] and record its wall-clock milliseconds into histogram
+    [name]. *)
+let time_ms (name : string) (f : unit -> 'a) : 'a =
+  if not !Control.enabled then f ()
+  else begin
+    let t0 = Trace.now_us () in
+    match f () with
+    | v ->
+      observe name ((Trace.now_us () -. t0) /. 1000.0);
+      v
+    | exception e ->
+      observe name ((Trace.now_us () -. t0) /. 1000.0);
+      raise e
+  end
+
+(* --- reads (always available) -------------------------------------- *)
+
+let counter_value (name : string) : int =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let gauge_value (name : string) : float option =
+  Option.map (fun r -> !r) (Hashtbl.find_opt gauges name)
+
+let histogram_stats (name : string) : histogram_stats option =
+  Option.map
+    (fun h ->
+      { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
+        mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count) })
+    (Hashtbl.find_opt histograms name)
+
+let histogram_buckets (name : string) : (float * int) list option =
+  Option.map
+    (fun h ->
+      Array.to_list h.h_buckets
+      |> List.mapi (fun i c -> (bucket_upper_bound i, c))
+      |> List.filter (fun (_, c) -> c > 0))
+    (Hashtbl.find_opt histograms name)
+
+(* --- snapshots ----------------------------------------------------- *)
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let dump_json () : string =
+  let counter_fields = sorted_bindings counters (fun r -> Json.Num (float_of_int !r)) in
+  let gauge_fields = sorted_bindings gauges (fun r -> Json.Num !r) in
+  let histo_fields =
+    sorted_bindings histograms (fun h ->
+        Json.Obj
+          [
+            ("count", Json.Num (float_of_int h.h_count));
+            ("sum", Json.Num h.h_sum);
+            ("min", Json.Num (if h.h_count = 0 then 0.0 else h.h_min));
+            ("max", Json.Num (if h.h_count = 0 then 0.0 else h.h_max));
+            ( "buckets",
+              Json.List
+                (Array.to_list h.h_buckets
+                |> List.mapi (fun i c -> (i, c))
+                |> List.filter (fun (_, c) -> c > 0)
+                |> List.map (fun (i, c) ->
+                       Json.Obj
+                         [
+                           ("le", Json.Num (bucket_upper_bound i));
+                           ("count", Json.Num (float_of_int c));
+                         ])) );
+          ])
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("counters", Json.Obj counter_fields);
+         ("gauges", Json.Obj gauge_fields);
+         ("histograms", Json.Obj histo_fields);
+       ])
+
+let dump_text () : string =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let cs = sorted_bindings counters (fun r -> !r) in
+  let gs = sorted_bindings gauges (fun r -> !r) in
+  let hs = sorted_bindings histograms (fun h -> h) in
+  if cs <> [] then begin
+    line "counters:";
+    List.iter (fun (k, v) -> line "  %-56s %12d" k v) cs
+  end;
+  if gs <> [] then begin
+    line "gauges:";
+    List.iter (fun (k, v) -> line "  %-56s %12.2f" k v) gs
+  end;
+  if hs <> [] then begin
+    line "histograms:";
+    List.iter
+      (fun (k, (h : histogram)) ->
+        if h.h_count = 0 then line "  %-56s (empty)" k
+        else
+          line "  %-56s n=%d sum=%.3f min=%.3f mean=%.3f max=%.3f" k h.h_count h.h_sum
+            h.h_min
+            (h.h_sum /. float_of_int h.h_count)
+            h.h_max)
+      hs
+  end;
+  if cs = [] && gs = [] && hs = [] then line "(no metrics recorded)";
+  Buffer.contents buf

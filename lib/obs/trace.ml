@@ -1,0 +1,149 @@
+(* Lightweight span tracer: [with_span] brackets a computation with a
+   clamped-monotonic clock, records completed spans into a fixed-size
+   ring buffer, and exports them as chrome-trace JSON (load the file in
+   chrome://tracing or https://ui.perfetto.dev).
+
+   Disabled (the default), [with_span] is a single ref load + branch and
+   a direct call — no allocation, no clock read. *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_us : float;  (** microseconds since the trace epoch *)
+  dur_us : float;
+  depth : int;  (** nesting depth at the time the span was open *)
+  instant : bool;  (** a point event, not a bracketed span *)
+}
+
+(* --- clock --------------------------------------------------------- *)
+
+(* OCaml's stdlib has no monotonic clock; clamp gettimeofday so nested
+   span arithmetic stays well-ordered even if the wall clock steps
+   backwards. *)
+let last_us = ref 0.0
+
+let now_us () =
+  let t = Unix.gettimeofday () *. 1e6 in
+  if t > !last_us then last_us := t;
+  !last_us
+
+let epoch_us = now_us ()
+
+(* --- ring-buffer sink ---------------------------------------------- *)
+
+let default_capacity = 8192
+
+let capacity = ref default_capacity
+
+let ring : span option array ref = ref [||]
+
+let write_pos = ref 0
+
+let recorded = ref 0 (* total spans ever recorded, including overwritten *)
+
+let depth = ref 0
+
+let ensure_ring () =
+  if Array.length !ring <> !capacity then begin
+    ring := Array.make !capacity None;
+    write_pos := 0;
+    recorded := 0
+  end
+
+let set_capacity n =
+  capacity := max 1 n;
+  ring := [||] (* reallocated lazily at the next record *)
+
+let clear () =
+  ring := [||];
+  write_pos := 0;
+  recorded := 0;
+  depth := 0
+
+let record (s : span) =
+  ensure_ring ();
+  !ring.(!write_pos) <- Some s;
+  write_pos := (!write_pos + 1) mod !capacity;
+  incr recorded
+
+(** Completed spans, oldest first (at most [capacity], older ones are
+    overwritten). *)
+let spans () : span list =
+  let cap = Array.length !ring in
+  if cap = 0 then []
+  else begin
+    let out = ref [] in
+    for i = 0 to cap - 1 do
+      (* walk backwards from the newest entry *)
+      let idx = ((!write_pos - 1 - i) mod cap + cap) mod cap in
+      match !ring.(idx) with Some s -> out := s :: !out | None -> ()
+    done;
+    !out
+  end
+
+let dropped () = max 0 (!recorded - Array.length !ring)
+
+(* --- spans --------------------------------------------------------- *)
+
+let with_span ?(attrs = []) ~name (f : unit -> 'a) : 'a =
+  if not !Control.enabled then f ()
+  else begin
+    let t0 = now_us () in
+    let d = !depth in
+    incr depth;
+    let finish () =
+      decr depth;
+      let t1 = now_us () in
+      record
+        { name; attrs; start_us = t0 -. epoch_us; dur_us = t1 -. t0; depth = d;
+          instant = false }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(** Record an instantaneous event (chrome-trace "instant"). *)
+let event ?(attrs = []) name =
+  if !Control.enabled then
+    record
+      { name; attrs; start_us = now_us () -. epoch_us; dur_us = 0.0; depth = !depth;
+        instant = true }
+
+(* --- export -------------------------------------------------------- *)
+
+let span_to_json (s : span) : Json.t =
+  let args =
+    Json.Obj
+      (("depth", Json.Num (float_of_int s.depth))
+      :: List.map (fun (k, v) -> (k, Json.Str v)) s.attrs)
+  in
+  Json.Obj
+    [
+      ("name", Json.Str s.name);
+      ("cat", Json.Str "xquec");
+      ("ph", Json.Str (if s.instant then "i" else "X"));
+      ("ts", Json.Num s.start_us);
+      ("dur", Json.Num s.dur_us);
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num 1.0);
+      ("args", args);
+    ]
+
+(** The whole buffer in chrome-trace format. *)
+let to_chrome_json () : string =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map span_to_json (spans ())));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+let export (path : string) : unit =
+  let oc = open_out_bin path in
+  output_string oc (to_chrome_json ());
+  close_out oc

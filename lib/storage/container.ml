@@ -23,6 +23,20 @@ type t = {
 
 let length t = Array.length t.records
 
+let compressed_bytes_of records =
+  Array.fold_left (fun acc r -> acc + String.length r.code) 0 records
+
+(* Publish per-container size + codec choice under the metric naming
+   scheme "container.<path>.*" (no-ops while telemetry is disabled). *)
+let publish_metrics (t : t) : unit =
+  if Xquec_obs.is_enabled () then begin
+    let pfx = "container." ^ t.path in
+    Xquec_obs.Metrics.set_gauge (pfx ^ ".encoded_bytes")
+      (float_of_int (compressed_bytes_of t.records));
+    Xquec_obs.Metrics.set_gauge (pfx ^ ".plain_bytes") (float_of_int t.plain_bytes);
+    Xquec_obs.Metrics.set_gauge (pfx ^ ".records") (float_of_int (Array.length t.records))
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -37,7 +51,9 @@ let build ~id ~path ~kind ~algorithm (values : (string * int) list) : t =
   in
   Array.sort (fun a b -> compare (a.code, a.parent) (b.code, b.parent)) records;
   let plain_bytes = List.fold_left (fun acc (v, _) -> acc + String.length v) 0 values in
-  { id; path; kind; algorithm; model; model_id = id; records; plain_bytes }
+  let t = { id; path; kind; algorithm; model; model_id = id; records; plain_bytes } in
+  publish_metrics t;
+  t
 
 (** All (plaintext, parent) pairs, decompressed. *)
 let dump (t : t) : (string * int) list =
@@ -66,6 +82,10 @@ let recompress (t : t) ~algorithm ~model ~model_id : int array =
   t.model <- model;
   t.model_id <- model_id;
   t.records <- Array.map fst records;
+  if Xquec_obs.is_enabled () then begin
+    Xquec_obs.Metrics.incr "container.recompressions";
+    publish_metrics t
+  end;
   remap
 
 (* ------------------------------------------------------------------ *)
@@ -73,7 +93,12 @@ let recompress (t : t) ~algorithm ~model ~model_id : int array =
 (* ------------------------------------------------------------------ *)
 
 (** ContScan: all records in compressed-value order. *)
-let scan (t : t) : record array = t.records
+let scan (t : t) : record array =
+  if Xquec_obs.is_enabled () then begin
+    Xquec_obs.Metrics.incr "container.scans";
+    Xquec_obs.Metrics.incr ~by:(Array.length t.records) "container.scanned_records"
+  end;
+  t.records
 
 (* First index with code >= [code] (or length if none). *)
 let lower_bound (t : t) (code : string) : int =
@@ -96,6 +121,7 @@ let upper_bound (t : t) (code : string) : int =
 (** ContAccess with an equality criterion: binary search on the compressed
     code (valid whenever the algorithm supports [eq]). *)
 let lookup_eq (t : t) (code : string) : record list =
+  Xquec_obs.Metrics.incr "container.lookup_eq";
   let lo = lower_bound t code and hi = upper_bound t code in
   List.init (hi - lo) (fun i -> t.records.(lo + i))
 
@@ -103,6 +129,7 @@ let lookup_eq (t : t) (code : string) : record list =
     for order-preserving algorithms). Bounds are inclusive [lo] /
     exclusive [hi]; [None] means unbounded. *)
 let lookup_range (t : t) ?lo ?hi () : record list =
+  Xquec_obs.Metrics.incr "container.lookup_range";
   let start = match lo with None -> 0 | Some c -> lower_bound t c in
   let stop = match hi with None -> Array.length t.records | Some c -> lower_bound t c in
   List.init (max 0 (stop - start)) (fun i -> t.records.(start + i))
@@ -119,8 +146,7 @@ let compress_constant (t : t) (v : string) : string =
 (* Size accounting / serialization                                     *)
 (* ------------------------------------------------------------------ *)
 
-let compressed_bytes (t : t) =
-  Array.fold_left (fun acc r -> acc + String.length r.code) 0 t.records
+let compressed_bytes (t : t) = compressed_bytes_of t.records
 
 let serialize buf (t : t) =
   let add_varint = Compress.Rle.add_varint in

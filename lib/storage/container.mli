@@ -59,6 +59,12 @@ val compress_constant : t -> string -> string
 
 val compressed_bytes : t -> int
 
+(** Publish "container.<path>.{encoded_bytes,plain_bytes,records}"
+    gauges to {!Xquec_obs.Metrics} (no-op while telemetry is off).
+    Called automatically by {!build} and {!recompress}; the loader calls
+    it for containers it assembles directly. *)
+val publish_metrics : t -> unit
+
 val serialize : Buffer.t -> t -> unit
 
 val deserialize : models:(int, Compress.Codec.model) Hashtbl.t -> string -> int -> t * int

@@ -90,16 +90,28 @@ let size_breakdown (t : t) : size_breakdown =
   let essential_bytes =
     name_dict_bytes + forward_tree_bytes + container_codes_bytes + models_bytes
   in
-  {
-    name_dict_bytes;
-    tree_bytes;
-    containers_bytes;
-    models_bytes;
-    summary_bytes;
-    btree_bytes;
-    total_bytes;
-    essential_bytes;
-  }
+  let result =
+    {
+      name_dict_bytes;
+      tree_bytes;
+      containers_bytes;
+      models_bytes;
+      summary_bytes;
+      btree_bytes;
+      total_bytes;
+      essential_bytes;
+    }
+  in
+  if Xquec_obs.is_enabled () then begin
+    let g name v = Xquec_obs.Metrics.set_gauge ("repository." ^ name) (float_of_int v) in
+    g "total_bytes" total_bytes;
+    g "tree_bytes" tree_bytes;
+    g "containers_bytes" containers_bytes;
+    g "models_bytes" models_bytes;
+    g "summary_bytes" summary_bytes;
+    g "original_bytes" t.original_size
+  end;
+  result
 
 (** Compression factor 1 - cs/os as defined in §5. *)
 let compression_factor (t : t) =
@@ -111,6 +123,9 @@ let compression_factor (t : t) =
 (* ------------------------------------------------------------------ *)
 
 let serialize (t : t) : string =
+  Xquec_obs.Trace.with_span ~name:"repository.serialize"
+    ~attrs:[ ("source", t.source_name) ]
+  @@ fun () ->
   let buf = Buffer.create (1 lsl 16) in
   let add_varint = Compress.Rle.add_varint in
   let add_str s =
@@ -149,6 +164,9 @@ let serialize (t : t) : string =
   Buffer.contents buf
 
 let deserialize (s : string) : t =
+  Xquec_obs.Trace.with_span ~name:"repository.deserialize"
+    ~attrs:[ ("bytes", string_of_int (String.length s)) ]
+  @@ fun () ->
   let read_varint = Compress.Rle.read_varint in
   let pos = ref 0 in
   let str () =

@@ -29,19 +29,19 @@ let test_project_select_sort () =
     Physical.sort
       (fun a b ->
         compare
-          (Executor.atom_number { Executor.repo } a)
-          (Executor.atom_number { Executor.repo } b))
+          (Executor.atom_number (Executor.mk_ctx repo) a)
+          (Executor.atom_number (Executor.mk_ctx repo) b))
       ~col:0 projected
   in
   let values =
     Physical.run sorted
-    |> List.map (fun t -> Executor.atom_string { Executor.repo } t.(0))
+    |> List.map (fun t -> Executor.atom_string (Executor.mk_ctx repo) t.(0))
   in
   Alcotest.(check (list string)) "numeric sort" [ "5.00"; "10.50"; "99.99" ] values;
   let selected =
     Physical.select
       (fun t ->
-        match Executor.atom_number { Executor.repo } t.(0) with
+        match Executor.atom_number (Executor.mk_ctx repo) t.(0) with
         | Some f -> f > 6.0
         | None -> false)
       projected
@@ -56,7 +56,7 @@ let test_text_content_operator () =
   in
   let with_text = Physical.text_content repo [ cid "/shop/item/name/#text" ] names ~col:0 in
   let texts =
-    Physical.run with_text |> List.map (fun t -> Executor.atom_string { Executor.repo } t.(1))
+    Physical.run with_text |> List.map (fun t -> Executor.atom_string (Executor.mk_ctx repo) t.(1))
   in
   Alcotest.(check (list string)) "text content doc order" [ "chair"; "table"; "mirror" ] texts
 

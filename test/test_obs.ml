@@ -1,0 +1,239 @@
+(* Telemetry layer tests: span nesting and the trace ring buffer,
+   log-scale histogram bucketing, metrics JSON round-trips through the
+   hand-rolled parser, and an EXPLAIN golden test asserting operator
+   names and row counts on a small XMark-style document. *)
+
+open Xquec_core
+module Obs = Xquec_obs
+
+let with_fresh_telemetry f =
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.reset ()) (fun () -> Obs.with_enabled f)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_fresh_telemetry @@ fun () ->
+  let result =
+    Obs.Trace.with_span ~name:"outer" ~attrs:[ ("k", "v") ] (fun () ->
+        Obs.Trace.with_span ~name:"inner" (fun () -> 6 * 7))
+  in
+  Alcotest.(check int) "value threads through" 42 result;
+  match Obs.Trace.spans () with
+  | [ inner; outer ] ->
+    (* spans complete innermost-first *)
+    Alcotest.(check string) "inner name" "inner" inner.Obs.Trace.name;
+    Alcotest.(check string) "outer name" "outer" outer.Obs.Trace.name;
+    Alcotest.(check int) "outer depth" 0 outer.Obs.Trace.depth;
+    Alcotest.(check int) "inner depth" 1 inner.Obs.Trace.depth;
+    Alcotest.(check bool) "inner within outer (start)" true
+      (inner.Obs.Trace.start_us >= outer.Obs.Trace.start_us);
+    Alcotest.(check bool) "inner within outer (duration)" true
+      (inner.Obs.Trace.dur_us <= outer.Obs.Trace.dur_us);
+    Alcotest.(check (list (pair string string))) "attrs kept" [ ("k", "v") ]
+      outer.Obs.Trace.attrs
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_disabled_records_nothing () =
+  Obs.reset ();
+  Alcotest.(check bool) "telemetry off" false (Obs.is_enabled ());
+  let r = Obs.Trace.with_span ~name:"ghost" (fun () -> 1) in
+  Alcotest.(check int) "still runs" 1 r;
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.Trace.spans ()))
+
+let test_ring_buffer_overwrites () =
+  with_fresh_telemetry @@ fun () ->
+  Obs.Trace.set_capacity 4;
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_capacity Obs.Trace.default_capacity)
+  @@ fun () ->
+  for i = 1 to 10 do
+    Obs.Trace.with_span ~name:(Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let names = List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.spans ()) in
+  Alcotest.(check (list string)) "newest 4 survive, oldest first"
+    [ "s7"; "s8"; "s9"; "s10" ] names;
+  Alcotest.(check int) "dropped count" 6 (Obs.Trace.dropped ())
+
+let test_chrome_trace_json () =
+  with_fresh_telemetry @@ fun () ->
+  Obs.Trace.with_span ~name:"load" (fun () ->
+      Obs.Trace.with_span ~name:"parse" (fun () -> ()));
+  let json = Obs.Json.parse (Obs.Trace.to_chrome_json ()) in
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  List.iter
+    (fun ev ->
+      let field name = Option.bind (Obs.Json.member name ev) Obs.Json.to_str in
+      Alcotest.(check (option string)) "phase" (Some "X") (field "ph");
+      Alcotest.(check bool) "has ts" true
+        (Option.bind (Obs.Json.member "ts" ev) Obs.Json.to_float <> None))
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_bucketing () =
+  (* bucket 0 holds v <= lowest_bound; bucket i covers
+     (lb * 2^(i-1), lb * 2^i] *)
+  Alcotest.(check int) "at lowest bound" 0 (Obs.Metrics.bucket_index 0.001);
+  Alcotest.(check int) "below lowest bound" 0 (Obs.Metrics.bucket_index 0.0001);
+  Alcotest.(check int) "just above" 1 (Obs.Metrics.bucket_index 0.0015);
+  Alcotest.(check int) "upper edge inclusive" 1 (Obs.Metrics.bucket_index 0.002);
+  Alcotest.(check int) "next bucket" 2 (Obs.Metrics.bucket_index 0.003);
+  Alcotest.(check int) "huge values clamp to last" (Obs.Metrics.bucket_count - 1)
+    (Obs.Metrics.bucket_index 1e30);
+  Alcotest.(check (float 1e-9)) "bucket 1 upper bound" 0.002
+    (Obs.Metrics.bucket_upper_bound 1);
+  with_fresh_telemetry @@ fun () ->
+  List.iter (Obs.Metrics.observe "h") [ 0.0005; 0.0015; 0.0016; 100.0 ];
+  (match Obs.Metrics.histogram_stats "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+    Alcotest.(check int) "count" 4 s.Obs.Metrics.count;
+    Alcotest.(check (float 1e-9)) "min" 0.0005 s.Obs.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 100.0 s.Obs.Metrics.max);
+  match Obs.Metrics.histogram_buckets "h" with
+  | None -> Alcotest.fail "buckets missing"
+  | Some buckets ->
+    Alcotest.(check int) "three occupied buckets" 3 (List.length buckets);
+    Alcotest.(check (list int)) "bucket counts" [ 1; 2; 1 ] (List.map snd buckets)
+
+let test_metrics_json_roundtrip () =
+  with_fresh_telemetry @@ fun () ->
+  Obs.Metrics.incr ~by:3 "loader.documents";
+  Obs.Metrics.incr "loader.documents";
+  Obs.Metrics.set_gauge "partitioner.final_cost" 123.5;
+  Obs.Metrics.observe "loader.parse_ms" 2.25;
+  Obs.Metrics.observe "loader.parse_ms" 4.75;
+  let json = Obs.Json.parse (Obs.Metrics.dump_json ()) in
+  let path keys =
+    List.fold_left (fun v k -> Option.bind v (Obs.Json.member k)) (Some json) keys
+  in
+  Alcotest.(check (option (float 1e-9))) "counter" (Some 4.0)
+    (Option.bind (path [ "counters"; "loader.documents" ]) Obs.Json.to_float);
+  Alcotest.(check (option (float 1e-9))) "gauge" (Some 123.5)
+    (Option.bind (path [ "gauges"; "partitioner.final_cost" ]) Obs.Json.to_float);
+  Alcotest.(check (option (float 1e-9))) "histogram count" (Some 2.0)
+    (Option.bind (path [ "histograms"; "loader.parse_ms"; "count" ]) Obs.Json.to_float);
+  Alcotest.(check (option (float 1e-9))) "histogram sum" (Some 7.0)
+    (Option.bind (path [ "histograms"; "loader.parse_ms"; "sum" ]) Obs.Json.to_float);
+  (* disabled registry refuses writes but still dumps *)
+  Obs.set_enabled false;
+  Obs.Metrics.incr "ignored.counter";
+  Alcotest.(check int) "write gated off" 0 (Obs.Metrics.counter_value "ignored.counter")
+
+let test_json_parser_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | exception Obs.Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "parser accepted %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nulll"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Explain golden test                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let xmark_doc =
+  "<site><people>\
+   <person id=\"person0\"><name>Kasidit Treweek</name><emailaddress>mailto:k@t</emailaddress></person>\
+   <person id=\"person1\"><name>Aloys Rommel</name></person>\
+   <person id=\"person2\"><name>Obadiah Shore</name></person>\
+   </people></site>"
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let find_op (root : Obs.Explain.node) (op : string) : Obs.Explain.node =
+  match
+    Obs.Explain.fold
+      (fun acc n -> if acc = None && n.Obs.Explain.op = op then Some n else acc)
+      None root
+  with
+  | Some n -> n
+  | None -> Alcotest.failf "operator %S not in plan:\n%s" op (Obs.Explain.render root)
+
+let test_explain_path_query () =
+  let eng = Engine.load ~name:"xmark.xml" xmark_doc in
+  let (items, plan) = Engine.query_profiled eng "document(\"xmark.xml\")/site/people/person/name" in
+  Alcotest.(check int) "result cardinality" 3 (List.length items);
+  Alcotest.(check int) "root rows" 3 plan.Obs.Explain.rows;
+  List.iter
+    (fun (op, rows) ->
+      let n = find_op plan op in
+      Alcotest.(check string) "kind" "step" n.Obs.Explain.kind;
+      Alcotest.(check int) (op ^ " rows") rows n.Obs.Explain.rows;
+      Alcotest.(check bool) (op ^ " timed") true (n.Obs.Explain.wall_us >= 0.0))
+    [ ("child::site", 1); ("child::people", 1); ("child::person", 3); ("child::name", 3) ];
+  (* the rendered tree shows every operator with wall time and rows *)
+  let rendered = Obs.Explain.render plan in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("render mentions " ^ needle) true
+        (contains ~needle rendered))
+    [ "child::person"; "ms, 3 rows" ]
+
+let test_explain_pushdown_rows () =
+  let eng = Engine.load ~name:"xmark.xml" xmark_doc in
+  let (items, plan) =
+    Engine.query_profiled eng
+      "document(\"xmark.xml\")/site/people/person[@id = \"person1\"]/name"
+  in
+  Alcotest.(check int) "one person matches" 1 (List.length items);
+  let pushdown = find_op plan "pushdown [./@id = \"person1\"]" in
+  Alcotest.(check string) "pushdown kind" "pushdown" pushdown.Obs.Explain.kind;
+  Alcotest.(check int) "pushdown rows" 1 pushdown.Obs.Explain.rows;
+  Alcotest.(check bool) "decided on compressed codes" true
+    (pushdown.Obs.Explain.cmp_compressed > 0);
+  let totals = Obs.Explain.totals plan in
+  Alcotest.(check bool) "totals see it" true (totals.Obs.Explain.compressed > 0)
+
+let test_explain_flwor_operators () =
+  let eng = Engine.load ~name:"xmark.xml" xmark_doc in
+  let (items, plan) =
+    Engine.query_profiled eng
+      "for $p in document(\"xmark.xml\")/site/people/person where $p/@id = \"person0\" \
+       return $p/name/text()"
+  in
+  Alcotest.(check int) "one result" 1 (List.length items);
+  let flwor = find_op plan "flwor" in
+  Alcotest.(check string) "flwor kind" "flwor" flwor.Obs.Explain.kind;
+  let for_node = find_op plan "for $p" in
+  Alcotest.(check string) "for kind" "for" for_node.Obs.Explain.kind;
+  Alcotest.(check int) "tuples after binding" 3 for_node.Obs.Explain.rows;
+  let where = find_op plan "where [$p/@id = \"person0\"]" in
+  Alcotest.(check int) "tuples after where" 1 where.Obs.Explain.rows;
+  let ret = find_op plan "return" in
+  Alcotest.(check int) "returned items" 1 ret.Obs.Explain.rows
+
+let suites =
+  [
+    ( "obs-trace",
+      [
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "disabled records nothing" `Quick test_span_disabled_records_nothing;
+        Alcotest.test_case "ring buffer overwrites" `Quick test_ring_buffer_overwrites;
+        Alcotest.test_case "chrome trace json" `Quick test_chrome_trace_json;
+      ] );
+    ( "obs-metrics",
+      [
+        Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+        Alcotest.test_case "json round-trip" `Quick test_metrics_json_roundtrip;
+        Alcotest.test_case "parser rejects garbage" `Quick test_json_parser_rejects_garbage;
+      ] );
+    ( "obs-explain",
+      [
+        Alcotest.test_case "path query golden" `Quick test_explain_path_query;
+        Alcotest.test_case "pushdown rows" `Quick test_explain_pushdown_rows;
+        Alcotest.test_case "flwor operators" `Quick test_explain_flwor_operators;
+      ] );
+  ]
