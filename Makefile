@@ -3,19 +3,27 @@
 XQUEC := dune exec bin/xquec.exe --
 SMOKE_DIR := _smoke
 
-.PHONY: all build check test bench smoke clean
+.PHONY: all build check test bench smoke docs clean
 
 all: build
 
 build:
 	dune build
 
-# tier-1 gate: everything compiles and the full test suite passes
+# tier-1 gate: everything compiles and the full test suite passes,
+# including (called out explicitly because the fixture lives on disk)
+# the v1-format backward-compatibility read of test/fixtures/v1_small.xqc
 check:
 	dune build
 	dune runtest
+	cd test && dune exec ./test_main.exe -- test storage
 
 test: check
+
+# documentation gate: every exported item in the storage and compress
+# interfaces must carry an odoc comment (no odoc install needed)
+docs: build
+	ocaml tools/doc_lint.ml lib/storage lib/compress
 
 bench:
 	dune exec bench/main.exe

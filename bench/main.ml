@@ -668,6 +668,98 @@ let codec_costs () =
     Compress.Codec.all_algorithms
 
 (* ------------------------------------------------------------------ *)
+(* Buffer pool: cold vs. warm cache, and the block-size sweep           *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold run: pool cleared, every touched block decodes. Warm run: the
+   same query again, the working set resident. The gap is what the
+   buffer pool buys on repeated / overlapping queries; decoded bytes per
+   run show the demand-paging effect of header pruning. *)
+let cache () =
+  header "Buffer pool: cold vs. warm cache";
+  let engine = Lazy.force xmark_engine in
+  let queries =
+    [
+      ("selective_eq", "document(\"auction.xml\")/site/people/person[@id = \"person100\"]/name");
+      ("range", "document(\"auction.xml\")/site/open_auctions/open_auction[initial > 200]/reserve");
+      ("join_q8",
+       "for $p in document(\"auction.xml\")/site/people/person let $a := \
+        for $t in document(\"auction.xml\")/site/closed_auctions/closed_auction where \
+        $t/buyer/@person = $p/@id return $t return <item person=\"{$p/name/text()}\">{count($a)}</item>");
+    ]
+  in
+  Fmt.pr "%-14s %11s %11s %8s %14s %14s@." "query" "cold(ms)" "warm(ms)" "speedup"
+    "cold dec(B)" "warm dec(B)";
+  rule ();
+  List.iter
+    (fun (name, q) ->
+      let run () = ignore (Xquec_core.Engine.query_serialized engine q) in
+      Storage.Buffer_pool.clear ();
+      let s0 = Storage.Buffer_pool.snapshot () in
+      let (_, cold_ms) = time run in
+      let s1 = Storage.Buffer_pool.snapshot () in
+      let warm_ms = time_median ~runs:5 run in
+      let s2 = Storage.Buffer_pool.snapshot () in
+      let cold_dec = s1.Storage.Buffer_pool.s_decoded_bytes - s0.Storage.Buffer_pool.s_decoded_bytes in
+      (* per warm run: 1 warmup + 5 timed runs happened since s1 *)
+      let warm_dec = (s2.Storage.Buffer_pool.s_decoded_bytes - s1.Storage.Buffer_pool.s_decoded_bytes) / 6 in
+      let speedup = if warm_ms > 0.0 then cold_ms /. warm_ms else 0.0 in
+      record ~exp:"cache" "query"
+        (obj
+           [
+             ("name", str name);
+             ("cold_ms", num cold_ms);
+             ("warm_ms", num warm_ms);
+             ("speedup", num speedup);
+             ("cold_decoded_bytes", num (float_of_int cold_dec));
+             ("warm_decoded_bytes_per_run", num (float_of_int warm_dec));
+           ]);
+      Fmt.pr "%-14s %11.2f %11.2f %7.1fx %14d %14d@." name cold_ms warm_ms speedup cold_dec
+        warm_dec)
+    queries;
+  (* Block-size sweep: rebuild the repository at several block budgets
+     and watch the storage / selectivity trade-off — smaller blocks prune
+     more precisely but pay more per-block overhead. *)
+  header "Block-size sweep (selective equality query, cold cache)";
+  let xml = Lazy.force xmark_doc in
+  let saved = Storage.Container.default_block_size () in
+  Fmt.pr "%-12s %14s %12s %14s %10s@." "block(B)" "containers(B)" "blocks" "cold dec(B)"
+    "cold(ms)";
+  rule ();
+  List.iter
+    (fun bs ->
+      Storage.Container.set_default_block_size bs;
+      let repo = Xquec_core.Loader.load ~name:"auction.xml" xml in
+      let sz = Storage.Repository.size_breakdown repo in
+      let nblocks =
+        Array.fold_left (fun a c -> a + Storage.Container.block_count c) 0
+          repo.Storage.Repository.containers
+      in
+      Storage.Buffer_pool.clear ();
+      let s0 = Storage.Buffer_pool.snapshot () in
+      let (_, cold_ms) =
+        time (fun () ->
+            ignore
+              (Xquec_core.Executor.run_string repo
+                 "document(\"auction.xml\")/site/people/person[@id = \"person100\"]/name"))
+      in
+      let s1 = Storage.Buffer_pool.snapshot () in
+      let dec = s1.Storage.Buffer_pool.s_decoded_bytes - s0.Storage.Buffer_pool.s_decoded_bytes in
+      record ~exp:"cache" "block_size"
+        (obj
+           [
+             ("bytes", num (float_of_int bs));
+             ("containers_bytes", num (float_of_int sz.Storage.Repository.containers_bytes));
+             ("blocks", num (float_of_int nblocks));
+             ("cold_decoded_bytes", num (float_of_int dec));
+             ("cold_ms", num cold_ms);
+           ]);
+      Fmt.pr "%-12d %14d %12d %14d %10.2f@." bs sz.Storage.Repository.containers_bytes nblocks
+        dec cold_ms)
+    [ 1024; 4096; 16384; 65536 ];
+  Storage.Container.set_default_block_size saved
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -683,6 +775,7 @@ let experiments =
     ("ablations", ablations);
     ("homomorphic_scan", homomorphic_scan);
     ("codec_costs", codec_costs);
+    ("cache", cache);
   ]
 
 let () =

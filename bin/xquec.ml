@@ -67,15 +67,40 @@ let trace_out =
         ~doc:"Collect telemetry and write the recorded spans as chrome-trace JSON to \
               $(docv) (open in chrome://tracing or ui.perfetto.dev).")
 
-let with_telemetry ~stats ~trace_out f =
+let cache_mb =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:"Byte budget of the shared buffer pool that caches decoded container \
+              blocks, in MiB (default 64). 0 effectively disables caching: every \
+              block access beyond the most recent one decodes again.")
+
+let buffer_pool_summary () =
+  let s = Storage.Buffer_pool.snapshot () in
+  Printf.sprintf
+    "buffer pool: %d hits / %d misses / %d evictions; %d blocks pruned; %d B decoded; %d B resident in %d blocks (budget %d B)\n"
+    s.Storage.Buffer_pool.s_hits s.Storage.Buffer_pool.s_misses
+    s.Storage.Buffer_pool.s_evictions s.Storage.Buffer_pool.s_blocks_skipped
+    s.Storage.Buffer_pool.s_decoded_bytes s.Storage.Buffer_pool.s_resident_bytes
+    s.Storage.Buffer_pool.s_resident_blocks
+    (Storage.Buffer_pool.budget_bytes ())
+
+let with_telemetry ~stats ~trace_out ?cache_mb f =
   if stats || trace_out <> None then Xquec_obs.set_enabled true;
+  (match cache_mb with
+  | Some mb -> Storage.Buffer_pool.set_budget ~bytes:(mb * 1024 * 1024)
+  | None -> ());
   let finish () =
     (match trace_out with
     | Some path ->
       Xquec_obs.Trace.export path;
       Fmt.epr "wrote %d spans to %s@." (List.length (Xquec_obs.Trace.spans ())) path
     | None -> ());
-    if stats then prerr_string (Xquec_obs.Metrics.dump_text ())
+    if stats then begin
+      prerr_string (Xquec_obs.Metrics.dump_text ());
+      prerr_string (buffer_pool_summary ())
+    end
   in
   Fun.protect ~finally:finish f
 
@@ -155,8 +180,8 @@ let query_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
   let timing = Arg.(value & flag & info [ "t"; "time" ] ~doc:"Print the evaluation time.") in
-  let run input query timing stats trace_out =
-    with_telemetry ~stats ~trace_out @@ fun () ->
+  let run input query timing stats trace_out cache_mb =
+    with_telemetry ~stats ~trace_out ?cache_mb @@ fun () ->
     let engine = load_engine_any input in
     let t0 = Unix.gettimeofday () in
     let result = Xquec_core.Engine.query_serialized engine query in
@@ -168,7 +193,7 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Evaluate an XQuery expression over a compressed repository (results are \
              decompressed only for output)")
-    Term.(const run $ input $ query $ timing $ stats_flag $ trace_out)
+    Term.(const run $ input $ query $ timing $ stats_flag $ trace_out $ cache_mb)
 
 (* --- explain -------------------------------------------------------- *)
 
@@ -185,8 +210,8 @@ let explain_cmd =
           ~doc:"Only analyze the strategy (the classic EXPLAIN); do not evaluate the \
                 query or print the profiled plan.")
   in
-  let run input query plan_only stats trace_out =
-    with_telemetry ~stats ~trace_out @@ fun () ->
+  let run input query plan_only stats trace_out cache_mb =
+    with_telemetry ~stats ~trace_out ?cache_mb @@ fun () ->
     let engine = load_engine_any input in
     let repo = Xquec_core.Engine.repo engine in
     if plan_only then print_endline (Xquec_core.Optimizer.explain_string repo query)
@@ -196,10 +221,11 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"EXPLAIN ANALYZE a query: the evaluation strategy (summary accesses, \
              compressed-domain pushdowns, join methods, decorrelations) plus the \
-             profiled physical plan with per-operator wall time, cardinalities, and \
-             compressed vs. decompressed predicate counts. INPUT may be a compressed \
-             repository or a raw XML document.")
-    Term.(const run $ input $ query $ plan_only $ stats_flag $ trace_out)
+             profiled physical plan with per-operator wall time, cardinalities, \
+             compressed vs. decompressed predicate counts, and per-operator buffer-pool \
+             activity (hits, misses, pruned blocks, bytes decoded). INPUT may be a \
+             compressed repository or a raw XML document.")
+    Term.(const run $ input $ query $ plan_only $ stats_flag $ trace_out $ cache_mb)
 
 (* --- stats ---------------------------------------------------------- *)
 

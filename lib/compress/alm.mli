@@ -10,8 +10,10 @@
     several codes, one per gap between the longer tokens' regions —
     exactly the paper's Fig. 2. *)
 
+(** The source model: an interval dictionary with code assignments. *)
 type model
 
+(** Raised when decompressing bytes no model run produced. *)
 exception Corrupt of string
 
 (** Smallest string strictly greater than every string with prefix [t],
@@ -29,13 +31,17 @@ val of_tokens : string list -> model
     container size so the source model never dwarfs the data. *)
 val train : ?max_tokens:int -> ?sample_bytes:int -> string list -> model
 
+(** Encode a plaintext value as a code-sequence byte string. *)
 val compress : model -> string -> string
 
+(** Invert {!compress}. Raises {!Corrupt} on invalid input. *)
 val decompress : model -> string -> string
 
 (** Order-preserving: compare compressed values directly. *)
 val compare_compressed : string -> string -> int
 
+(** Compressed equality (plain byte equality, since the code is
+    injective). *)
 val equal_compressed : string -> string -> bool
 
 (** Compressed bounds for a prefix wildcard [p*]: matching values are
@@ -50,8 +56,11 @@ val model_entries : model -> int
     function of this list. *)
 val model_tokens : model -> string list
 
+(** Serialize the model (its token list) for the repository. *)
 val serialize_model : model -> string
 
+(** Invert {!serialize_model}. Raises {!Corrupt} on invalid input. *)
 val deserialize_model : string -> model
 
+(** Serialized size in bytes (counted into the repository total). *)
 val model_size : model -> int

@@ -5,11 +5,15 @@
     the bit-sequence comparison — the property all order-preserving
     codecs in this library rely on. *)
 
+(** Append-only bit stream. *)
 module Writer : sig
+  (** A growable bit buffer. *)
   type t
 
+  (** Fresh writer; [size] is the initial byte capacity. *)
   val create : ?size:int -> unit -> t
 
+  (** Append a single bit. *)
   val add_bit : t -> bool -> unit
 
   (** [add_bits w v width] writes the [width] low bits of [v], most
@@ -23,17 +27,25 @@ module Writer : sig
   val contents : t -> string
 end
 
+(** Sequential bit-stream consumer. *)
 module Reader : sig
+  (** A cursor over an immutable byte string. *)
   type t
 
+  (** Raised when reading past the end of the stream. *)
   exception Out_of_bits
 
+  (** Reader positioned at the string's first bit. *)
   val of_string : string -> t
 
+  (** Bits left before {!Out_of_bits}. *)
   val bits_remaining : t -> int
 
+  (** Consume one bit. *)
   val read_bit : t -> bool
 
+  (** [read_bits r width] consumes [width] bits, most significant
+      first. *)
   val read_bits : t -> int -> int
 end
 

@@ -1,8 +1,12 @@
 (** Burrows-Wheeler transform over cyclic rotations (prefix-doubling
     sort, O(n log^2 n)). *)
 
+(** Transformed text plus the rank of the original rotation, needed to
+    invert. *)
 type t = { data : string; primary : int }
 
+(** Forward transform (last column of the sorted rotation matrix). *)
 val transform : string -> t
 
+(** Invert {!transform}. *)
 val inverse : t -> string

@@ -3,10 +3,14 @@
     the per-container back end of the XMill baseline. Self-framing;
     multi-block above 256 KiB; tiny inputs skip the Huffman stage. *)
 
+(** Raised when decompressing a malformed stream. *)
 exception Corrupt of string
 
+(** Plaintext bytes per BWT block (256 KiB). *)
 val block_size : int
 
+(** Compress arbitrary bytes (self-framing; no model needed). *)
 val compress : string -> string
 
+(** Invert {!compress}. Raises {!Corrupt} on invalid input. *)
 val decompress : string -> string

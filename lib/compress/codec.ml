@@ -124,6 +124,73 @@ let decompress (m : model) (compressed : string) : string =
   end;
   value
 
+(* ------------------------------------------------------------------ *)
+(* Block-oriented storage API (repository format v2)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A block payload packs a run of already-compressed container records
+   <code, parent> into one byte string: a 1-byte stage flag, then per
+   record varint(|code|), the code bytes, varint(parent). When the LZSS
+   second stage wins (codes of one path share structure, so it often
+   does) the framed body is stored LZ-compressed; tiny payloads skip the
+   attempt. Decoding a block is the unit of work the buffer pool caches
+   and the unit the executor's min/max pruning avoids. *)
+
+let block_stage_raw = '\000'
+
+let block_stage_lzss = '\001'
+
+(* below this, the LZSS attempt costs more than it can save *)
+let block_lzss_threshold = 96
+
+let encode_block (records : (string * int) array) : string =
+  let body = Buffer.create 512 in
+  Array.iter
+    (fun (code, parent) ->
+      Rle.add_varint body (String.length code);
+      Buffer.add_string body code;
+      Rle.add_varint body parent)
+    records;
+  let raw = Buffer.contents body in
+  let payload =
+    if String.length raw < block_lzss_threshold then String.make 1 block_stage_raw ^ raw
+    else begin
+      let lz = Lzss.compress raw in
+      if String.length lz < String.length raw then String.make 1 block_stage_lzss ^ lz
+      else String.make 1 block_stage_raw ^ raw
+    end
+  in
+  if Xquec_obs.is_enabled () then begin
+    Xquec_obs.Metrics.incr "codec.block.encode_calls";
+    Xquec_obs.Metrics.incr ~by:(String.length payload) "codec.block.encoded_bytes";
+    if String.length payload > 0 && payload.[0] = block_stage_lzss then
+      Xquec_obs.Metrics.incr "codec.block.lzss_blocks"
+  end;
+  payload
+
+let decode_block ~(count : int) (payload : string) : (string * int) array =
+  if String.length payload = 0 then invalid_arg "decode_block: empty payload";
+  let body =
+    match payload.[0] with
+    | c when c = block_stage_raw -> String.sub payload 1 (String.length payload - 1)
+    | c when c = block_stage_lzss -> Lzss.decompress (String.sub payload 1 (String.length payload - 1))
+    | _ -> invalid_arg "decode_block: unknown stage flag"
+  in
+  let pos = ref 0 in
+  let records =
+    Array.init count (fun _ ->
+        let (clen, p) = Rle.read_varint body !pos in
+        let code = String.sub body p clen in
+        let (parent, p) = Rle.read_varint body (p + clen) in
+        pos := p;
+        (code, parent))
+  in
+  if Xquec_obs.is_enabled () then begin
+    Xquec_obs.Metrics.incr "codec.block.decode_calls";
+    Xquec_obs.Metrics.incr ~by:(String.length payload) "codec.block.decoded_payload_bytes"
+  end;
+  records
+
 let model_size = function
   | M_huffman h -> Huffman.model_size h
   | M_alm a -> Alm.model_size a

@@ -9,8 +9,10 @@
     [eq] and [wild] properties of the paper's §3.2. Order is NOT
     preserved. *)
 
+(** The source model: a canonical Huffman code. *)
 type model
 
+(** Raised when decompressing bytes no model run produced. *)
 exception Corrupt of string
 
 (** 256 byte symbols + the end-of-string symbol. *)
@@ -30,13 +32,16 @@ val train : string list -> model
 (** Train for raw-stream mode (no end-of-string symbol). *)
 val train_raw : string -> model
 
+(** Encode one value, terminated by the end-of-string symbol. *)
 val compress : model -> string -> string
 
+(** Invert {!compress}. Raises {!Corrupt} on invalid input. *)
 val decompress : model -> string -> string
 
 (** Encode a byte sequence of externally known length (no EOS). *)
 val compress_raw : model -> string -> string
 
+(** Invert {!compress_raw} given the original byte count. *)
 val decompress_raw : model -> count:int -> string -> string
 
 (** Equality in the compressed domain (both sides under one model). *)
@@ -48,8 +53,11 @@ val compress_prefix : model -> string -> string * int
 (** Does [compressed] start with the given compressed prefix bits? *)
 val matches_prefix : prefix_bits:string * int -> string -> bool
 
+(** Serialize the code lengths for the repository. *)
 val serialize_model : model -> string
 
+(** Invert {!serialize_model}. Raises {!Corrupt} on invalid input. *)
 val deserialize_model : string -> model
 
+(** Serialized size in bytes (counted into the repository total). *)
 val model_size : model -> int

@@ -7,21 +7,30 @@
     coincides with numeric comparison. Round-trips the exact source
     text. *)
 
+(** Value shape: canonical integers, or decimals with a fixed number of
+    fraction digits. *)
 type variant = Int | Decimal of int
 
+(** The (tiny) source model is just the detected variant. *)
 type model = { variant : variant }
 
+(** Raised by {!train} when values are not uniformly numeric. *)
 exception Unsupported of string
 
+(** Raised when unpacking bytes no model run produced. *)
 exception Corrupt of string
 
 (** Raises {!Unsupported} when the values are not uniformly numeric. *)
 val train : string list -> model
 
+(** Pack one value's source text. *)
 val compress : model -> string -> string
 
+(** Invert {!compress}, reproducing the exact source text. Raises
+    {!Corrupt} on invalid input. *)
 val decompress : model -> string -> string
 
+(** Order-preserving: byte comparison = numeric comparison. *)
 val compare_compressed : string -> string -> int
 
 (** Packed bound for comparing stored values against an arbitrary float
@@ -35,8 +44,11 @@ val pack_exact : model -> float -> string option
 (** Numeric value of a packed code. *)
 val to_float : model -> string -> float
 
+(** Serialize the variant tag for the repository. *)
 val serialize_model : model -> string
 
+(** Invert {!serialize_model}. Raises {!Corrupt} on invalid input. *)
 val deserialize_model : string -> model
 
+(** Serialized size in bytes (counted into the repository total). *)
 val model_size : model -> int

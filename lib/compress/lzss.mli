@@ -1,6 +1,8 @@
 (** LZSS (LZ77 family) with a 4 KiB window and hash-chain match finder —
     stands in for the gzip second pass of the XMill baseline. *)
 
+(** Compress arbitrary bytes (self-framing; no model needed). *)
 val compress : string -> string
 
+(** Invert {!compress}. Raises [Failure] on invalid input. *)
 val decompress : string -> string

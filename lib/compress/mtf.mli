@@ -1,5 +1,8 @@
 (** Move-to-front transform. *)
 
+(** Replace each byte by its rank in a move-to-front list (length
+    preserved). *)
 val encode : string -> string
 
+(** Invert {!encode}. *)
 val decode : string -> string

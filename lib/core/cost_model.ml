@@ -53,7 +53,7 @@ let sample_container (c : Container.t) : string list =
   let out = ref [] in
   let i = ref 0 in
   while !i < n && !budget > 0 do
-    let v = Container.decompress_record c c.Container.records.(!i) in
+    let v = Container.decompress_record c (Container.get c !i) in
     budget := !budget - String.length v;
     out := v :: !out;
     i := !i + step

@@ -86,14 +86,14 @@ let node_text_values ctx id : item list =
   |> Array.to_list
   |> List.map (fun (cid, idx) ->
          let cont = container ctx cid in
-         Cval { cont; code = cont.Container.records.(idx).Container.code })
+         Cval { cont; code = (Container.get cont idx).Container.code })
 
 (* The value of an attribute node. *)
 let attr_node_value ctx id : item option =
   match Array.to_list (Structure_tree.value_pointers ctx.repo.Repository.tree id) with
   | (cid, idx) :: _ ->
     let cont = container ctx cid in
-    Some (Cval { cont; code = cont.Container.records.(idx).Container.code })
+    Some (Cval { cont; code = (Container.get cont idx).Container.code })
   | [] -> None
 
 let decompress_cval (cont : Container.t) code = Compress.Codec.decompress cont.Container.model code
@@ -115,7 +115,7 @@ let node_string_value ctx id : string =
           let slot = -entry - 1 in
           let (cid, idx) = values.(slot) in
           let cont = container ctx cid in
-          Buffer.add_string buf (decompress_cval cont cont.Container.records.(idx).Container.code)
+          Buffer.add_string buf (decompress_cval cont (Container.get cont idx).Container.code)
         end)
       (Structure_tree.child_entries tree id)
   in
@@ -151,7 +151,7 @@ let rec reconstruct ctx id : Xmlkit.Tree.t =
         let (cid, idx) = values.(slot) in
         let cont = container ctx cid in
         kids :=
-          Xmlkit.Tree.Text (decompress_cval cont cont.Container.records.(idx).Container.code)
+          Xmlkit.Tree.Text (decompress_cval cont (Container.get cont idx).Container.code)
           :: !kids
       end)
     (Structure_tree.child_entries tree id);
@@ -220,13 +220,26 @@ let count ctx (b : binding) : int =
 (* Profiling shims (free when the ctx carries no Explain profile)      *)
 (* ------------------------------------------------------------------ *)
 
+(* Stamp the buffer-pool activity of [f]'s whole evaluation onto [node]
+   (inclusive of child operators, same convention as wall time). *)
+let with_cache_delta (node : Xquec_obs.Explain.node) (f : unit -> 'a) : 'a =
+  let s0 = Storage.Buffer_pool.snapshot () in
+  let v = f () in
+  let s1 = Storage.Buffer_pool.snapshot () in
+  Xquec_obs.Explain.set_cache node
+    ~hits:(s1.Storage.Buffer_pool.s_hits - s0.Storage.Buffer_pool.s_hits)
+    ~misses:(s1.Storage.Buffer_pool.s_misses - s0.Storage.Buffer_pool.s_misses)
+    ~skipped:(s1.Storage.Buffer_pool.s_blocks_skipped - s0.Storage.Buffer_pool.s_blocks_skipped)
+    ~decoded_bytes:(s1.Storage.Buffer_pool.s_decoded_bytes - s0.Storage.Buffer_pool.s_decoded_bytes);
+  v
+
 (* Run [f] as an operator node; [rows] extracts the output cardinality
    from its result. *)
 let prof_rows ctx ?attrs ~kind op ~(rows : 'a -> int) (f : unit -> 'a) : 'a =
   match ctx.prof with
   | Some p when ctx.prof_ops ->
     Xquec_obs.Explain.with_op p ?attrs ~kind op (fun node ->
-        let v = f () in
+        let v = with_cache_delta node f in
         Xquec_obs.Explain.set_rows node (rows v);
         v)
   | _ -> f ()
@@ -235,7 +248,7 @@ let prof_binding ctx ?attrs ~kind op (f : unit -> binding) : binding =
   match ctx.prof with
   | Some p when ctx.prof_ops ->
     Xquec_obs.Explain.with_op p ?attrs ~kind op (fun node ->
-        let b = f () in
+        let b = with_cache_delta node (fun () -> f ()) in
         Xquec_obs.Explain.set_rows node (count ctx b);
         b)
   | _ -> f ()
@@ -441,12 +454,11 @@ let rec filter_records ctx (cont : Container.t) (op : Ast.cmp_op) (const : const
       in_domain (Container.lookup_range cont ~hi:(Compress.Ipack.pack_bound m ~dir:`Ceil f) ())
     | Ast.Le ->
       let b = Compress.Ipack.pack_bound m ~dir:`Floor f in
-      let lo_idx = 0 and hi_idx = Container.upper_bound cont b in
-      in_domain (List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i)))
+      in_domain (Container.range cont ~lo:0 ~hi:(Container.upper_bound cont b))
     | Ast.Gt ->
       let b = Compress.Ipack.pack_bound m ~dir:`Floor f in
-      let lo_idx = Container.upper_bound cont b and hi_idx = Container.length cont in
-      in_domain (List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i)))
+      in_domain
+        (Container.range cont ~lo:(Container.upper_bound cont b) ~hi:(Container.length cont))
     | Ast.Ge ->
       in_domain (Container.lookup_range cont ~lo:(Compress.Ipack.pack_bound m ~dir:`Ceil f) ()))
   | Compress.Codec.M_numeric m, Cstr s -> (
@@ -466,11 +478,10 @@ let rec filter_records ctx (cont : Container.t) (op : Ast.cmp_op) (const : const
     match op with
     | Ast.Lt -> in_domain (Container.lookup_range cont ~hi:code ())
     | Ast.Le ->
-      let hi_idx = Container.upper_bound cont code in
-      in_domain (List.init hi_idx (fun i -> cont.Container.records.(i)))
+      in_domain (Container.range cont ~lo:0 ~hi:(Container.upper_bound cont code))
     | Ast.Gt ->
-      let lo_idx = Container.upper_bound cont code and hi_idx = Container.length cont in
-      in_domain (List.init (hi_idx - lo_idx) (fun i -> cont.Container.records.(lo_idx + i)))
+      in_domain
+        (Container.range cont ~lo:(Container.upper_bound cont code) ~hi:(Container.length cont))
     | Ast.Ge -> in_domain (Container.lookup_range cont ~lo:code ())
     | Ast.Eq | Ast.Neq -> assert false)
   | _ -> generic ()
@@ -1636,8 +1647,9 @@ let run_profiled (repo : Repository.t) (query : Ast.expr) :
   let ctx = { repo; prof = Some prof; prof_ops = true } in
   let t0 = Xquec_obs.Trace.now_us () in
   let items =
-    Xquec_obs.Trace.with_span ~name:"executor.run" (fun () ->
-        materialize ctx (eval ctx [] query))
+    with_cache_delta prof.Xquec_obs.Explain.root (fun () ->
+        Xquec_obs.Trace.with_span ~name:"executor.run" (fun () ->
+            materialize ctx (eval ctx [] query)))
   in
   let wall_us = Xquec_obs.Trace.now_us () -. t0 in
   (items, Xquec_obs.Explain.finish prof ~wall_us ~rows:(List.length items))

@@ -241,34 +241,29 @@ let load ?(options = default_options) ~name (xml : string) : Repository.t =
         let records =
           List.mapi
             (fun seq (v, record_parent, _, _) ->
-              ({ Container.code = Compress.Codec.compress model v; parent = record_parent }, seq))
+              ( { Container.code = Compress.Codec.compress model v; parent = record_parent },
+                seq,
+                String.length v ))
             entries
           |> Array.of_list
         in
         Array.sort
-          (fun ((a : Container.record), sa) (b, sb) ->
+          (fun ((a : Container.record), sa, _) (b, sb, _) ->
             compare (a.Container.code, a.Container.parent, sa) (b.Container.code, b.Container.parent, sb))
           records;
         let seq_to_idx = Array.make (Array.length records) 0 in
-        Array.iteri (fun idx (_, seq) -> seq_to_idx.(seq) <- idx) records;
+        Array.iteri (fun idx (_, seq, _) -> seq_to_idx.(seq) <- idx) records;
         Hashtbl.add seq_maps p.p_id seq_to_idx;
         let plain_bytes = List.fold_left (fun acc v -> acc + String.length v) 0 values in
         let cont =
-          {
-            Container.id = p.p_id;
-            path = p.p_path;
-            kind = p.p_kind;
-            algorithm;
-            model;
-            model_id = p.p_id;
-            records = Array.map fst records;
-            plain_bytes;
-          }
+          Container.of_sorted_records
+            ~plain_sizes:(Array.map (fun (_, _, len) -> len) records)
+            ~id:p.p_id ~path:p.p_path ~kind:p.p_kind ~algorithm ~model ~model_id:p.p_id
+            ~plain_bytes
+            (Array.map (fun (r, _, _) -> r) records)
         in
-        if Xquec_obs.is_enabled () then begin
+        if Xquec_obs.is_enabled () then
           Xquec_obs.Metrics.incr ~by:(Container.length cont) "loader.values";
-          Container.publish_metrics cont
-        end;
         cont)
       pending_list
     |> Array.of_list

@@ -19,6 +19,10 @@ type node = {
       (** predicate evaluations decided on compressed codes at this node *)
   mutable cmp_decompressed : int;
       (** predicate evaluations that had to decompress values *)
+  mutable cache_hits : int;  (** buffer-pool hits, inclusive of children *)
+  mutable cache_misses : int;  (** buffer-pool misses (block decodes) *)
+  mutable blocks_skipped : int;  (** blocks pruned via headers, never decoded *)
+  mutable decoded_bytes : int;  (** bytes charged to the pool by this subtree *)
   mutable rev_children : node list;
 }
 
@@ -26,6 +30,7 @@ type t = { root : node; mutable stack : node list }
 
 let make_node ?(attrs = []) ~kind op =
   { op; kind; attrs; wall_us = 0.0; rows = -1; cmp_compressed = 0; cmp_decompressed = 0;
+    cache_hits = 0; cache_misses = 0; blocks_skipped = 0; decoded_bytes = 0;
     rev_children = [] }
 
 let create ?attrs (op : string) : t =
@@ -71,6 +76,16 @@ let note_cmp (t : t) ~(compressed : bool) (n : int) : unit =
     else node.cmp_decompressed <- node.cmp_decompressed + n
   end
 
+(** Stamp a node's buffer-pool activity (hits/misses/pruned blocks/bytes
+    decoded). Like [wall_us] this is inclusive of the node's children:
+    the executor records the delta of the process-wide pool counters
+    around the operator's whole evaluation. *)
+let set_cache (node : node) ~hits ~misses ~skipped ~decoded_bytes =
+  node.cache_hits <- hits;
+  node.cache_misses <- misses;
+  node.blocks_skipped <- skipped;
+  node.decoded_bytes <- decoded_bytes
+
 (** Close the profile: stamp the root's wall time and return the tree. *)
 let finish (t : t) ~(wall_us : float) ~(rows : int) : node =
   t.root.wall_us <- wall_us;
@@ -106,6 +121,11 @@ let annotations (n : node) : string =
     parts :=
       Printf.sprintf "cmp %d compressed / %d decompressed" n.cmp_compressed n.cmp_decompressed
       :: !parts;
+  if n.cache_hits > 0 || n.cache_misses > 0 || n.blocks_skipped > 0 then
+    parts :=
+      Printf.sprintf "cache %d hit / %d miss, %d blocks pruned, %d B decoded" n.cache_hits
+        n.cache_misses n.blocks_skipped n.decoded_bytes
+      :: !parts;
   List.iter (fun (k, v) -> parts := Printf.sprintf "%s=%s" k v :: !parts) (List.rev n.attrs);
   match !parts with [] -> "" | l -> "  [" ^ String.concat "; " l ^ "]"
 
@@ -140,6 +160,10 @@ let rec to_json (n : node) : Json.t =
       ("rows", if n.rows >= 0 then Json.Num (float_of_int n.rows) else Json.Null);
       ("cmp_compressed", Json.Num (float_of_int n.cmp_compressed));
       ("cmp_decompressed", Json.Num (float_of_int n.cmp_decompressed));
+      ("cache_hits", Json.Num (float_of_int n.cache_hits));
+      ("cache_misses", Json.Num (float_of_int n.cache_misses));
+      ("blocks_skipped", Json.Num (float_of_int n.blocks_skipped));
+      ("decoded_bytes", Json.Num (float_of_int n.decoded_bytes));
       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) n.attrs));
       ("children", Json.List (List.map to_json (children n)));
     ]

@@ -3,16 +3,23 @@
     folds, bulk loading and incremental insertion; page accounting feeds
     the storage-occupancy experiment. *)
 
+(** A B+ tree mapping int keys to ['v] values. Mutable; not
+    thread-safe. *)
 type 'v t
 
+(** Default fan-out (maximum children per interior page). *)
 val default_order : int
 
+(** Fresh empty tree; [order] overrides {!default_order} (minimum 3). *)
 val create : ?order:int -> unit -> 'v t
 
+(** Number of bindings. *)
 val length : 'v t -> int
 
+(** Point lookup. *)
 val find : 'v t -> int -> 'v option
 
+(** [mem t k] iff [k] is bound. *)
 val mem : 'v t -> int -> bool
 
 (** Greatest binding with key <= the argument. *)
@@ -27,14 +34,20 @@ val of_sorted_array : ?order:int -> (int * 'v) array -> 'v t
 (** Fold over bindings with key in [lo, hi], in key order. *)
 val fold_range : 'v t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> 'v -> 'a) -> 'a
 
+(** Iterate over bindings with key in [lo, hi], in key order. *)
 val iter_range : 'v t -> lo:int -> hi:int -> f:(int -> 'v -> unit) -> unit
 
+(** Fold over all bindings in key order. *)
 val fold : 'v t -> init:'a -> f:('a -> int -> 'v -> 'a) -> 'a
 
+(** All bindings in key order. *)
 val to_list : 'v t -> (int * 'v) list
 
+(** Number of allocated pages (leaves + interior), for occupancy
+    accounting. *)
 val page_count : 'v t -> int
 
+(** Height of the tree (1 = a single leaf). *)
 val depth : 'v t -> int
 
 (** Approximate serialized size given a per-value payload size. *)

@@ -1,0 +1,199 @@
+(* Process-wide buffer pool: an LRU cache of decoded container blocks
+   with a byte budget, shared by every container in every open
+   repository. Containers decode at most the blocks a predicate
+   touches (demand paging); repeated access to the same blocks — warm
+   joins, repeated queries — hits here instead of re-decoding.
+
+   Single-threaded like the rest of the engine. Entries are keyed by
+   (container uid, generation, block index): the uid is process-unique
+   (two repositories never collide), and a container bumps its
+   generation when it is recompressed so stale entries can never be
+   returned; [invalidate] additionally drops them eagerly so they stop
+   occupying budget.
+
+   The pool keeps its own cumulative counters unconditionally (they are
+   a handful of int adds) so EXPLAIN can attribute per-operator cache
+   activity even when the global metrics switch is off; the same events
+   are mirrored into [Xquec_obs.Metrics] under "bufferpool.*" when
+   telemetry is enabled. *)
+
+type key = { k_uid : int; k_gen : int; k_blk : int }
+
+(** A decoded block: parallel arrays of still-compressed codes and
+    parent ids, plus the byte charge this entry puts on the budget. *)
+type decoded = { codes : string array; parents : int array; d_bytes : int }
+
+(* intrusive doubly-linked LRU list; [lru_front] is most recent *)
+type node = {
+  nkey : key;
+  value : decoded;
+  mutable prev : node option;  (* towards the front (more recent) *)
+  mutable next : node option;  (* towards the back (less recent) *)
+}
+
+let table : (key, node) Hashtbl.t = Hashtbl.create 1024
+
+let lru_front : node option ref = ref None
+
+let lru_back : node option ref = ref None
+
+let default_budget_bytes = 64 * 1024 * 1024
+
+let budget_ref = ref default_budget_bytes
+
+(* cumulative, never reset by eviction *)
+let hits = ref 0
+
+let misses = ref 0
+
+let evictions = ref 0
+
+let decoded_bytes = ref 0
+
+let blocks_skipped = ref 0
+
+(* resident *)
+let resident_bytes = ref 0
+
+let resident_blocks = ref 0
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_decoded_bytes : int;
+  s_blocks_skipped : int;
+  s_resident_bytes : int;
+  s_resident_blocks : int;
+}
+
+let snapshot () : stats =
+  {
+    s_hits = !hits;
+    s_misses = !misses;
+    s_evictions = !evictions;
+    s_decoded_bytes = !decoded_bytes;
+    s_blocks_skipped = !blocks_skipped;
+    s_resident_bytes = !resident_bytes;
+    s_resident_blocks = !resident_blocks;
+  }
+
+let budget_bytes () = !budget_ref
+
+(* --- LRU list surgery ---------------------------------------------- *)
+
+let unlink (n : node) : unit =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> lru_front := n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> lru_back := n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front (n : node) : unit =
+  n.next <- !lru_front;
+  n.prev <- None;
+  (match !lru_front with Some f -> f.prev <- Some n | None -> lru_back := Some n);
+  lru_front := Some n
+
+let touch (n : node) : unit =
+  if !lru_front != Some n then begin
+    unlink n;
+    push_front n
+  end
+
+let publish_residency () =
+  if Xquec_obs.is_enabled () then begin
+    Xquec_obs.Metrics.set_gauge "bufferpool.resident_bytes" (float_of_int !resident_bytes);
+    Xquec_obs.Metrics.set_gauge "bufferpool.resident_blocks" (float_of_int !resident_blocks)
+  end
+
+let drop (n : node) : unit =
+  unlink n;
+  Hashtbl.remove table n.nkey;
+  resident_bytes := !resident_bytes - n.value.d_bytes;
+  resident_blocks := !resident_blocks - 1
+
+(* Evict from the back until within budget. The newest entry is never
+   evicted, so a single block larger than the whole budget still works
+   (it is simply the only resident block). *)
+let rec evict_to_budget ~(keep : node) : unit =
+  if !resident_bytes > !budget_ref then begin
+    match !lru_back with
+    | Some n when n != keep ->
+      drop n;
+      incr evictions;
+      if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr "bufferpool.evictions";
+      evict_to_budget ~keep
+    | Some _ | None -> ()
+  end
+
+(* --- public API ----------------------------------------------------- *)
+
+let set_budget ~(bytes : int) : unit =
+  budget_ref := max 0 bytes;
+  (* shrink immediately; keep at least the most recent entry *)
+  match !lru_front with Some keep -> evict_to_budget ~keep | None -> ()
+
+let fetch ~(uid : int) ~(gen : int) ~(blk : int) ~(decode : unit -> decoded) : decoded =
+  let key = { k_uid = uid; k_gen = gen; k_blk = blk } in
+  match Hashtbl.find_opt table key with
+  | Some n ->
+    incr hits;
+    if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr "bufferpool.hits";
+    touch n;
+    n.value
+  | None ->
+    incr misses;
+    let v = decode () in
+    decoded_bytes := !decoded_bytes + v.d_bytes;
+    if Xquec_obs.is_enabled () then begin
+      Xquec_obs.Metrics.incr "bufferpool.misses";
+      Xquec_obs.Metrics.incr ~by:v.d_bytes "bufferpool.decoded_bytes"
+    end;
+    let n = { nkey = key; value = v; prev = None; next = None } in
+    Hashtbl.replace table key n;
+    push_front n;
+    resident_bytes := !resident_bytes + v.d_bytes;
+    resident_blocks := !resident_blocks + 1;
+    evict_to_budget ~keep:n;
+    publish_residency ();
+    v
+
+let note_skipped (n : int) : unit =
+  if n > 0 then begin
+    blocks_skipped := !blocks_skipped + n;
+    if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr ~by:n "container.blocks_skipped"
+  end
+
+let invalidate ~(uid : int) : unit =
+  let victims =
+    Hashtbl.fold (fun k n acc -> if k.k_uid = uid then n :: acc else acc) table []
+  in
+  List.iter drop victims;
+  publish_residency ()
+
+let clear () : unit =
+  Hashtbl.reset table;
+  lru_front := None;
+  lru_back := None;
+  resident_bytes := 0;
+  resident_blocks := 0;
+  publish_residency ()
+
+let reset_stats () : unit =
+  hits := 0;
+  misses := 0;
+  evictions := 0;
+  decoded_bytes := 0;
+  blocks_skipped := 0
+
+(* --- uid allocation -------------------------------------------------- *)
+
+let uid_counter = ref 0
+
+let fresh_uid () : int =
+  incr uid_counter;
+  !uid_counter

@@ -1,0 +1,69 @@
+(** Process-wide buffer pool: an LRU cache of decoded container blocks
+    with a byte budget, shared across all containers and repositories.
+
+    Containers call {!fetch} on every block access; the pool either
+    returns the resident decoded block (hit) or runs the supplied decode
+    thunk, caches the result, and evicts least-recently-used blocks
+    until the pool is back under budget (miss). Cumulative counters are
+    maintained unconditionally so the executor's EXPLAIN can attribute
+    cache activity per operator even when global telemetry is off;
+    events are mirrored to [Xquec_obs.Metrics] under ["bufferpool.*"]
+    when it is on. Single-threaded, like the rest of the engine. *)
+
+(** A decoded block: parallel arrays of codes (still individually
+    compressed) and parent node ids.
+
+    Invariant: [Array.length codes = Array.length parents], and codes
+    are in non-decreasing order (containers are value-sorted and blocks
+    are contiguous slices). [d_bytes] is the byte charge the entry puts
+    on the pool budget (code bytes plus per-record overhead). *)
+type decoded = { codes : string array; parents : int array; d_bytes : int }
+
+(** Cumulative and resident pool counters, readable at any time.
+    [s_hits]/[s_misses]/[s_evictions]/[s_decoded_bytes]/[s_blocks_skipped]
+    only grow (see {!reset_stats}); the two [s_resident_*] fields track
+    what currently occupies the budget. *)
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_decoded_bytes : int;  (** total bytes ever charged by decodes *)
+  s_blocks_skipped : int;  (** blocks pruned via headers, never decoded *)
+  s_resident_bytes : int;
+  s_resident_blocks : int;
+}
+
+(** Current counter values (cheap: a record copy of a few ints). *)
+val snapshot : unit -> stats
+
+(** Set the pool's byte budget (the CLI's [--cache-mb]); evicts
+    immediately if the pool is over the new budget. The most recently
+    used block is never evicted, so one oversized block still works. *)
+val set_budget : bytes:int -> unit
+
+(** The current byte budget (default 64 MiB). *)
+val budget_bytes : unit -> int
+
+(** [fetch ~uid ~gen ~blk ~decode] returns the decoded block for
+    container [uid] (at recompression generation [gen]), block index
+    [blk] — from cache on a hit, via [decode] on a miss. *)
+val fetch : uid:int -> gen:int -> blk:int -> decode:(unit -> decoded) -> decoded
+
+(** Record [n] blocks skipped wholesale by header min/max pruning
+    (counted into {!stats} and the ["container.blocks_skipped"]
+    metric). *)
+val note_skipped : int -> unit
+
+(** Drop every resident block of container [uid] (used after
+    recompression, together with the generation bump). *)
+val invalidate : uid:int -> unit
+
+(** Drop all resident blocks (a "cold cache" for benchmarks). Does not
+    reset the cumulative counters. *)
+val clear : unit -> unit
+
+(** Zero the cumulative counters (resident state is untouched). *)
+val reset_stats : unit -> unit
+
+(** Allocate a process-unique container id for pool keys. *)
+val fresh_uid : unit -> int

@@ -4,61 +4,232 @@
    of the compressed values — NOT document order — enabling binary search
    and 1-pass merge joins. With an order-preserving codec the code order
    coincides with the plaintext order; with Huffman it still clusters
-   equal values, so equality search works in the compressed domain. *)
+   equal values, so equality search works in the compressed domain.
+
+   Since repository format v2 the record sequence is stored as
+   fixed-budget BLOCKS (~16 KiB of plaintext per block by default): each
+   block carries a header <count, min code, max code, plain bytes,
+   payload length> and a payload produced by {!Compress.Codec.encode_block}.
+   Blocks are contiguous slices of the sorted sequence, so the header
+   min/max ranges are themselves sorted and every access path can prune
+   blocks wholesale before decoding anything. Decoded blocks live in the
+   shared {!Buffer_pool}; a container never holds decoded records
+   directly, which is what makes demand paging real: a predicate that
+   touches 2 of 50 blocks decodes 2 blocks. *)
 
 type kind = Text | Attribute
 
 type record = { code : string; parent : int }
 
+type block = {
+  b_start : int;  (** global index of the block's first record *)
+  b_count : int;
+  b_min : string;  (** conservative lower bound: [b_min <=] every code in the block *)
+  b_max : string;  (** conservative upper bound: [b_max >=] every code in the block *)
+  b_plain : int;  (** plaintext bytes covered (exact at build, estimated for v1 loads) *)
+  b_payload : string;  (** {!Compress.Codec.encode_block} output *)
+}
+
 type t = {
   id : int;
+  uid : int;  (** process-unique identity for buffer-pool keys *)
   path : string;  (** root-to-leaf path expression, e.g. "/site/people/person/name/#text" *)
   kind : kind;
   mutable algorithm : Compress.Codec.algorithm;
   mutable model : Compress.Codec.model;
   mutable model_id : int;  (** containers sharing a source model share this id *)
-  mutable records : record array;
+  mutable blocks : block array;
+  mutable n_records : int;
   mutable plain_bytes : int;  (** total plaintext bytes (for stats / cost model) *)
+  mutable generation : int;  (** bumped by recompress; part of the pool key *)
 }
 
-let length t = Array.length t.records
+let length t = t.n_records
 
-let compressed_bytes_of records =
-  Array.fold_left (fun acc r -> acc + String.length r.code) 0 records
+let block_count t = Array.length t.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Block size configuration                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Target plaintext bytes per block. Small enough that selective
+   predicates skip most of a large container, large enough that the
+   varint framing and the pool bookkeeping stay negligible. *)
+let default_block_size_ref = ref 16384
+
+let set_default_block_size n =
+  if n < 1 then invalid_arg "Container.set_default_block_size";
+  default_block_size_ref := n
+
+let default_block_size () = !default_block_size_ref
+
+(* ------------------------------------------------------------------ *)
+(* Block construction / decoding                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Header keys are conservative bounds, not exact codes: b_min is a
+   prefix of the block's first code (so b_min <= every code) and b_max a
+   lexicographic upper bound derived from its last code (so b_max >=
+   every code). Capping them keeps headers tiny even for codecs with
+   long codes (bzip stores whole compressed values); pruning merely
+   becomes a superset test, and the in-block binary searches on real
+   codes keep results exact. *)
+let header_key_cap = 8
+
+let bound_min (s : string) : string =
+  if String.length s <= header_key_cap then s else String.sub s 0 header_key_cap
+
+let bound_max (s : string) : string =
+  if String.length s <= header_key_cap then s
+  else begin
+    (* increment the last non-0xff byte of the capped prefix, producing a
+       short string strictly greater than anything prefixed by it *)
+    let rec last_incrementable i = if i < 0 then None else if s.[i] <> '\xff' then Some i else last_incrementable (i - 1) in
+    match last_incrementable (header_key_cap - 1) with
+    | Some i -> String.sub s 0 i ^ String.make 1 (Char.chr (Char.code s.[i] + 1))
+    | None -> s (* capped prefix is all 0xff: keep the exact code *)
+  end
+
+(* Chunk sorted records into blocks: greedy fill while the accumulated
+   plaintext stays under the budget (every block holds >= 1 record).
+   [plain_size i] is the plaintext length of record i. *)
+let blocks_of_records ~block_size ~(plain_size : int -> int) (records : record array) :
+    block array =
+  let n = Array.length records in
+  if n = 0 then [||]
+  else begin
+    let out = ref [] in
+    let start = ref 0 in
+    while !start < n do
+      let stop = ref (!start + 1) in
+      let acc = ref (plain_size !start) in
+      while
+        !stop < n
+        && !acc + plain_size !stop <= block_size
+      do
+        acc := !acc + plain_size !stop;
+        incr stop
+      done;
+      let count = !stop - !start in
+      let slice = Array.init count (fun i ->
+          let r = records.(!start + i) in
+          (r.code, r.parent))
+      in
+      out :=
+        {
+          b_start = !start;
+          b_count = count;
+          b_min = bound_min records.(!start).code;
+          b_max = bound_max records.(!stop - 1).code;
+          b_plain = !acc;
+          b_payload = Compress.Codec.encode_block slice;
+        }
+        :: !out;
+      start := !stop
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+(* Decode block [i] through the buffer pool. *)
+let fetch_block (t : t) (i : int) : Buffer_pool.decoded =
+  let b = t.blocks.(i) in
+  Buffer_pool.fetch ~uid:t.uid ~gen:t.generation ~blk:i ~decode:(fun () ->
+      let recs = Compress.Codec.decode_block ~count:b.b_count b.b_payload in
+      let codes = Array.map fst recs in
+      let parents = Array.map snd recs in
+      let d_bytes =
+        Array.fold_left (fun acc c -> acc + String.length c + 16) 64 codes
+      in
+      if Xquec_obs.is_enabled () then begin
+        Xquec_obs.Metrics.incr "container.blocks_decoded";
+        Xquec_obs.Metrics.incr ~by:(String.length b.b_payload)
+          "container.block_bytes_decoded"
+      end;
+      { Buffer_pool.codes; parents; d_bytes })
+
+(* records of block i, materialized *)
+let block_records (t : t) (i : int) : record list =
+  let d = fetch_block t i in
+  List.init (Array.length d.Buffer_pool.codes) (fun off ->
+      { code = d.Buffer_pool.codes.(off); parent = d.Buffer_pool.parents.(off) })
+
+let compressed_bytes (t : t) =
+  Array.fold_left (fun acc b -> acc + String.length b.b_payload) 0 t.blocks
 
 (* Publish per-container size + codec choice under the metric naming
    scheme "container.<path>.*" (no-ops while telemetry is disabled). *)
 let publish_metrics (t : t) : unit =
   if Xquec_obs.is_enabled () then begin
     let pfx = "container." ^ t.path in
-    Xquec_obs.Metrics.set_gauge (pfx ^ ".encoded_bytes")
-      (float_of_int (compressed_bytes_of t.records));
+    Xquec_obs.Metrics.set_gauge (pfx ^ ".encoded_bytes") (float_of_int (compressed_bytes t));
     Xquec_obs.Metrics.set_gauge (pfx ^ ".plain_bytes") (float_of_int t.plain_bytes);
-    Xquec_obs.Metrics.set_gauge (pfx ^ ".records") (float_of_int (Array.length t.records))
+    Xquec_obs.Metrics.set_gauge (pfx ^ ".records") (float_of_int t.n_records);
+    Xquec_obs.Metrics.set_gauge (pfx ^ ".blocks") (float_of_int (Array.length t.blocks))
   end
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(** Build a container from (value, parent-id) pairs, training a fresh
-    source model with the given algorithm. *)
-let build ~id ~path ~kind ~algorithm (values : (string * int) list) : t =
-  let model = Compress.Codec.train algorithm (List.map fst values) in
-  let records =
-    List.map (fun (v, parent) -> { code = Compress.Codec.compress model v; parent }) values
-    |> Array.of_list
+(** Assemble a container from records already sorted by (code, parent).
+    [plain_sizes.(i)] is the plaintext length of record [i] when known
+    (exact block budgeting); omitted, sizes are estimated from the
+    container average. Used by the loader, which sorts records itself to
+    build its sequence-to-index maps. *)
+let of_sorted_records ?block_size ?plain_sizes ~id ~path ~kind ~algorithm ~model ~model_id
+    ~plain_bytes (records : record array) : t =
+  let block_size = Option.value ~default:!default_block_size_ref block_size in
+  let n = Array.length records in
+  let plain_size =
+    match plain_sizes with
+    | Some sizes -> fun i -> max 1 sizes.(i)
+    | None ->
+      let avg = if n = 0 then 1 else max 1 (plain_bytes / n) in
+      fun _ -> avg
   in
-  Array.sort (fun a b -> compare (a.code, a.parent) (b.code, b.parent)) records;
-  let plain_bytes = List.fold_left (fun acc (v, _) -> acc + String.length v) 0 values in
-  let t = { id; path; kind; algorithm; model; model_id = id; records; plain_bytes } in
+  let blocks = blocks_of_records ~block_size ~plain_size records in
+  let t =
+    {
+      id;
+      uid = Buffer_pool.fresh_uid ();
+      path;
+      kind;
+      algorithm;
+      model;
+      model_id;
+      blocks;
+      n_records = n;
+      plain_bytes;
+      generation = 0;
+    }
+  in
   publish_metrics t;
   t
 
-(** All (plaintext, parent) pairs, decompressed. *)
+(** Build a container from (value, parent-id) pairs, training a fresh
+    source model with the given algorithm. *)
+let build ?block_size ~id ~path ~kind ~algorithm (values : (string * int) list) : t =
+  let model = Compress.Codec.train algorithm (List.map fst values) in
+  let triples =
+    List.map
+      (fun (v, parent) ->
+        ({ code = Compress.Codec.compress model v; parent }, String.length v))
+      values
+    |> Array.of_list
+  in
+  Array.sort (fun (a, _) (b, _) -> compare (a.code, a.parent) (b.code, b.parent)) triples;
+  let records = Array.map fst triples in
+  let plain_sizes = Array.map snd triples in
+  let plain_bytes = Array.fold_left ( + ) 0 plain_sizes in
+  of_sorted_records ?block_size ~plain_sizes ~id ~path ~kind ~algorithm ~model ~model_id:id
+    ~plain_bytes records
+
+(** All (plaintext, parent) pairs, decompressed, in record order. *)
 let dump (t : t) : (string * int) list =
-  Array.to_list t.records
-  |> List.map (fun r -> (Compress.Codec.decompress t.model r.code, r.parent))
+  List.concat
+    (List.init (Array.length t.blocks) (fun i ->
+         block_records t i
+         |> List.map (fun r -> (Compress.Codec.decompress t.model r.code, r.parent))))
 
 (** Re-compress with a new algorithm / shared model. [model] must have
     been trained on a superset of this container's values. Returns the
@@ -66,22 +237,30 @@ let dump (t : t) : (string * int) list =
     up value pointers into this container. *)
 let recompress (t : t) ~algorithm ~model ~model_id : int array =
   let plain = dump t in
-  let records =
+  let triples =
     List.mapi
       (fun old_idx (v, parent) ->
-        ({ code = Compress.Codec.compress model v; parent }, old_idx))
+        ({ code = Compress.Codec.compress model v; parent }, String.length v, old_idx))
       plain
     |> Array.of_list
   in
   Array.sort
-    (fun (a, ia) (b, ib) -> compare (a.code, a.parent, ia) (b.code, b.parent, ib))
-    records;
-  let remap = Array.make (Array.length records) 0 in
-  Array.iteri (fun new_idx (_, old_idx) -> remap.(old_idx) <- new_idx) records;
+    (fun (a, _, ia) (b, _, ib) -> compare (a.code, a.parent, ia) (b.code, b.parent, ib))
+    triples;
+  let remap = Array.make (Array.length triples) 0 in
+  Array.iteri (fun new_idx (_, _, old_idx) -> remap.(old_idx) <- new_idx) triples;
+  let records = Array.map (fun (r, _, _) -> r) triples in
+  let plain_sizes = Array.map (fun (_, s, _) -> s) triples in
   t.algorithm <- algorithm;
   t.model <- model;
   t.model_id <- model_id;
-  t.records <- Array.map fst records;
+  t.generation <- t.generation + 1;
+  Buffer_pool.invalidate ~uid:t.uid;
+  t.blocks <-
+    blocks_of_records ~block_size:!default_block_size_ref
+      ~plain_size:(fun i -> max 1 plain_sizes.(i))
+      records;
+  t.n_records <- Array.length records;
   if Xquec_obs.is_enabled () then begin
     Xquec_obs.Metrics.incr "container.recompressions";
     publish_metrics t
@@ -92,47 +271,213 @@ let recompress (t : t) ~algorithm ~model ~model_id : int array =
 (* Access paths                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(** ContScan: all records in compressed-value order. *)
+(* Index of the block containing global record index [i]. *)
+let block_of_index (t : t) (i : int) : int =
+  let lo = ref 0 and hi = ref (Array.length t.blocks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.blocks.(mid).b_start <= i then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(** Random access to one record: decodes (at most) the one block that
+    holds it, through the buffer pool. *)
+let get (t : t) (i : int) : record =
+  if i < 0 || i >= t.n_records then invalid_arg "Container.get";
+  let bi = block_of_index t i in
+  let d = fetch_block t bi in
+  let off = i - t.blocks.(bi).b_start in
+  { code = d.Buffer_pool.codes.(off); parent = d.Buffer_pool.parents.(off) }
+
+(** ContScan: all records in compressed-value order (decodes every
+    block — the access path min/max pruning exists to avoid). *)
 let scan (t : t) : record array =
   if Xquec_obs.is_enabled () then begin
     Xquec_obs.Metrics.incr "container.scans";
-    Xquec_obs.Metrics.incr ~by:(Array.length t.records) "container.scanned_records"
+    Xquec_obs.Metrics.incr ~by:t.n_records "container.scanned_records"
   end;
-  t.records
+  let out = Array.make t.n_records { code = ""; parent = 0 } in
+  Array.iteri
+    (fun bi b ->
+      let d = fetch_block t bi in
+      for off = 0 to b.b_count - 1 do
+        out.(b.b_start + off) <-
+          { code = d.Buffer_pool.codes.(off); parent = d.Buffer_pool.parents.(off) }
+      done)
+    t.blocks;
+  out
 
-(* First index with code >= [code] (or length if none). *)
+(* --- header-level binary searches ---------------------------------- *)
+
+(* First block whose max code is >= / > [code]; Array.length blocks if none.
+   Valid because blocks are contiguous sorted slices. *)
+let first_block_max_ge (t : t) (code : string) : int =
+  let lo = ref 0 and hi = ref (Array.length t.blocks) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare t.blocks.(mid).b_max code < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let first_block_max_gt (t : t) (code : string) : int =
+  let lo = ref 0 and hi = ref (Array.length t.blocks) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare t.blocks.(mid).b_max code <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Last block whose min code is < [code]; -1 if none. *)
+let last_block_min_lt (t : t) (code : string) : int =
+  let lo = ref (-1) and hi = ref (Array.length t.blocks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if String.compare t.blocks.(mid).b_min code < 0 then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* Last block whose min code is <= [code]; -1 if none. *)
+let last_block_min_le (t : t) (code : string) : int =
+  let lo = ref (-1) and hi = ref (Array.length t.blocks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if String.compare t.blocks.(mid).b_min code <= 0 then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* --- in-block binary searches -------------------------------------- *)
+
+let in_block_lower (d : Buffer_pool.decoded) (code : string) : int =
+  let codes = d.Buffer_pool.codes in
+  let lo = ref 0 and hi = ref (Array.length codes) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare codes.(mid) code < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let in_block_upper (d : Buffer_pool.decoded) (code : string) : int =
+  let codes = d.Buffer_pool.codes in
+  let lo = ref 0 and hi = ref (Array.length codes) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare codes.(mid) code <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First global index with code >= [code] (or length if none): a header
+   binary search plus at most ONE block decode. *)
 let lower_bound (t : t) (code : string) : int =
-  let lo = ref 0 and hi = ref (Array.length t.records) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if String.compare t.records.(mid).code code < 0 then lo := mid + 1 else hi := mid
-  done;
-  !lo
+  let bi = first_block_max_ge t code in
+  if bi >= Array.length t.blocks then t.n_records
+  else begin
+    let b = t.blocks.(bi) in
+    if String.compare b.b_min code >= 0 then b.b_start
+    else b.b_start + in_block_lower (fetch_block t bi) code
+  end
 
-(* First index with code > [code]. *)
+(* First global index with code > [code]. *)
 let upper_bound (t : t) (code : string) : int =
-  let lo = ref 0 and hi = ref (Array.length t.records) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if String.compare t.records.(mid).code code <= 0 then lo := mid + 1 else hi := mid
-  done;
-  !lo
+  let bi = first_block_max_gt t code in
+  if bi >= Array.length t.blocks then t.n_records
+  else begin
+    let b = t.blocks.(bi) in
+    if String.compare b.b_min code > 0 then b.b_start
+    else b.b_start + in_block_upper (fetch_block t bi) code
+  end
 
-(** ContAccess with an equality criterion: binary search on the compressed
-    code (valid whenever the algorithm supports [eq]). *)
+(** Records with global indices in [lo, hi): decodes only the blocks the
+    interval touches; everything outside is counted as pruned. *)
+let range (t : t) ~(lo : int) ~(hi : int) : record list =
+  let lo = max 0 lo and hi = min t.n_records hi in
+  let nblocks = Array.length t.blocks in
+  if hi <= lo then begin
+    Buffer_pool.note_skipped nblocks;
+    []
+  end
+  else begin
+    let b0 = block_of_index t lo and b1 = block_of_index t (hi - 1) in
+    Buffer_pool.note_skipped (nblocks - (b1 - b0 + 1));
+    List.concat
+      (List.init (b1 - b0 + 1) (fun k ->
+           let bi = b0 + k in
+           let b = t.blocks.(bi) in
+           let d = fetch_block t bi in
+           let off_lo = max 0 (lo - b.b_start) in
+           let off_hi = min b.b_count (hi - b.b_start) in
+           List.init (off_hi - off_lo) (fun j ->
+               {
+                 code = d.Buffer_pool.codes.(off_lo + j);
+                 parent = d.Buffer_pool.parents.(off_lo + j);
+               })))
+  end
+
+(** ContAccess with an equality criterion: header min/max pruning, then
+    binary search on the compressed code inside the (few) candidate
+    blocks. Valid whenever the algorithm supports [eq]. *)
 let lookup_eq (t : t) (code : string) : record list =
   Xquec_obs.Metrics.incr "container.lookup_eq";
-  let lo = lower_bound t code and hi = upper_bound t code in
-  List.init (hi - lo) (fun i -> t.records.(lo + i))
+  let nblocks = Array.length t.blocks in
+  let b0 = first_block_max_ge t code in
+  let b1 = last_block_min_le t code in
+  if b0 >= nblocks || b1 < b0 then begin
+    Buffer_pool.note_skipped nblocks;
+    []
+  end
+  else begin
+    Buffer_pool.note_skipped (nblocks - (b1 - b0 + 1));
+    List.concat
+      (List.init (b1 - b0 + 1) (fun k ->
+           let bi = b0 + k in
+           let d = fetch_block t bi in
+           let off_lo = in_block_lower d code in
+           let off_hi = in_block_upper d code in
+           List.init (off_hi - off_lo) (fun j ->
+               {
+                 code = d.Buffer_pool.codes.(off_lo + j);
+                 parent = d.Buffer_pool.parents.(off_lo + j);
+               })))
+  end
 
 (** ContAccess with an interval criterion on compressed codes (valid only
     for order-preserving algorithms). Bounds are inclusive [lo] /
-    exclusive [hi]; [None] means unbounded. *)
+    exclusive [hi]; [None] means unbounded. Candidate blocks are chosen
+    from headers alone; only they are decoded. *)
 let lookup_range (t : t) ?lo ?hi () : record list =
   Xquec_obs.Metrics.incr "container.lookup_range";
-  let start = match lo with None -> 0 | Some c -> lower_bound t c in
-  let stop = match hi with None -> Array.length t.records | Some c -> lower_bound t c in
-  List.init (max 0 (stop - start)) (fun i -> t.records.(start + i))
+  let nblocks = Array.length t.blocks in
+  if nblocks = 0 then []
+  else begin
+    let b0 = match lo with None -> 0 | Some c -> first_block_max_ge t c in
+    let b1 = match hi with None -> nblocks - 1 | Some c -> last_block_min_lt t c in
+    if b0 >= nblocks || b1 < b0 then begin
+      Buffer_pool.note_skipped nblocks;
+      []
+    end
+    else begin
+      Buffer_pool.note_skipped (nblocks - (b1 - b0 + 1));
+      List.concat
+        (List.init (b1 - b0 + 1) (fun k ->
+             let bi = b0 + k in
+             let b = t.blocks.(bi) in
+             let d = fetch_block t bi in
+             let off_lo =
+               match lo with
+               | Some c when bi = b0 && String.compare b.b_min c < 0 -> in_block_lower d c
+               | _ -> 0
+             in
+             let off_hi =
+               match hi with
+               | Some c when bi = b1 && String.compare b.b_max c >= 0 -> in_block_lower d c
+               | _ -> b.b_count
+             in
+             List.init (max 0 (off_hi - off_lo)) (fun j ->
+                 {
+                   code = d.Buffer_pool.codes.(off_lo + j);
+                   parent = d.Buffer_pool.parents.(off_lo + j);
+                 })))
+    end
+  end
 
 let decompress_record (t : t) (r : record) : string =
   Compress.Codec.decompress t.model r.code
@@ -143,31 +488,102 @@ let compress_constant (t : t) (v : string) : string =
   Compress.Codec.compress t.model v
 
 (* ------------------------------------------------------------------ *)
-(* Size accounting / serialization                                     *)
+(* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let compressed_bytes (t : t) = compressed_bytes_of t.records
+(* v2 container layout (inside a repository v2 image):
+     varint id | varint |path| path | kind byte ('T'/'A')
+     varint |alg| alg | varint model_id | varint plain_bytes
+     varint n_records | varint n_blocks
+     then per block:
+       varint b_count | varint |b_min| b_min | varint |b_max| b_max
+       varint b_plain | varint |payload| payload
+   Block payloads are stored verbatim, which makes save -> load -> save
+   byte-exact. *)
 
 let serialize buf (t : t) =
   let add_varint = Compress.Rle.add_varint in
+  let add_str s =
+    add_varint buf (String.length s);
+    Buffer.add_string buf s
+  in
   add_varint buf t.id;
-  add_varint buf (String.length t.path);
-  Buffer.add_string buf t.path;
+  add_str t.path;
   Buffer.add_char buf (match t.kind with Text -> 'T' | Attribute -> 'A');
-  let alg = Compress.Codec.algorithm_name t.algorithm in
-  add_varint buf (String.length alg);
-  Buffer.add_string buf alg;
+  add_str (Compress.Codec.algorithm_name t.algorithm);
   add_varint buf t.model_id;
   add_varint buf t.plain_bytes;
-  add_varint buf (Array.length t.records);
+  add_varint buf t.n_records;
+  add_varint buf (Array.length t.blocks);
   Array.iter
-    (fun r ->
-      add_varint buf (String.length r.code);
-      Buffer.add_string buf r.code;
-      add_varint buf r.parent)
-    t.records
+    (fun b ->
+      add_varint buf b.b_count;
+      add_str b.b_min;
+      add_str b.b_max;
+      add_varint buf b.b_plain;
+      add_str b.b_payload)
+    t.blocks
 
 let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (pos : int) :
+    t * int =
+  let read_varint = Compress.Rle.read_varint in
+  let pos = ref pos in
+  let varint () =
+    let (v, p) = read_varint s !pos in
+    pos := p;
+    v
+  in
+  let str () =
+    let n = varint () in
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  let id = varint () in
+  let path = str () in
+  let kind = match s.[!pos] with 'T' -> Text | 'A' -> Attribute | _ -> failwith "bad kind" in
+  incr pos;
+  let algorithm = Compress.Codec.algorithm_of_name (str ()) in
+  let model_id = varint () in
+  let plain_bytes = varint () in
+  let n_records = varint () in
+  let n_blocks = varint () in
+  let start = ref 0 in
+  let blocks =
+    Array.init n_blocks (fun _ ->
+        let b_count = varint () in
+        let b_min = str () in
+        let b_max = str () in
+        let b_plain = varint () in
+        let b_payload = str () in
+        let b =
+          { b_start = !start; b_count; b_min; b_max; b_plain; b_payload }
+        in
+        start := !start + b_count;
+        b)
+  in
+  if !start <> n_records then failwith "container: block counts disagree with record count";
+  let model = Hashtbl.find models model_id in
+  ( {
+      id;
+      uid = Buffer_pool.fresh_uid ();
+      path;
+      kind;
+      algorithm;
+      model;
+      model_id;
+      blocks;
+      n_records;
+      plain_bytes;
+      generation = 0;
+    },
+    !pos )
+
+(* v1 layout: records inline, one <code, parent> pair after another. The
+   records come back in sorted order (v1 containers were sorted too), so
+   re-blocking preserves every invariant; per-record plaintext sizes are
+   estimated from the container average. *)
+let deserialize_v1 ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (pos : int) :
     t * int =
   let read_varint = Compress.Rle.read_varint in
   let (id, pos) = read_varint s pos in
@@ -192,4 +608,7 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
         { code; parent })
   in
   let model = Hashtbl.find models model_id in
-  ({ id; path; kind; algorithm; model; model_id; records; plain_bytes }, !pos)
+  let t =
+    of_sorted_records ~id ~path ~kind ~algorithm ~model ~model_id ~plain_bytes records
+  in
+  (t, !pos)

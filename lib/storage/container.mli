@@ -1,27 +1,79 @@
-(** Value containers (§2.2): all data values found under one root-to-leaf
-    path, as individually compressed records <code, parent id> kept in
-    lexicographic order of the codes (NOT document order) — enabling
-    binary search, range scans and 1-pass merge joins. *)
+(** Value containers (§2.2 of the paper): all data values reached by
+    the same root-to-leaf path live together as records
+    [<compressed value, parent pointer>], sorted lexicographically by
+    compressed value — not document order — so equality and (for
+    order-preserving codecs) range predicates run as binary searches in
+    the compressed domain.
 
+    Since repository format v2 the sorted sequence is physically split
+    into fixed-budget compressed {e blocks} (~16 KiB of plaintext each
+    by default). Each block header carries the record count and the
+    min/max compressed value of its slice, so every access path below
+    prunes whole blocks from headers alone and decodes — through the
+    shared {!Buffer_pool} — only the blocks a predicate actually
+    touches. *)
+
+(** Containers hold either text nodes or attribute values. *)
 type kind = Text | Attribute
 
+(** One container record: the compressed value and the structure-tree id
+    of the parent element (the "value pointer" inverse). *)
 type record = { code : string; parent : int }
 
+(** One compressed block: a contiguous slice of the sorted record
+    sequence.
+
+    Invariants: [b_min] is [<=] and [b_max] is [>=] every code in the
+    block (conservative bounds capped at ~8 bytes, derived from the
+    slice's first and last codes — pruning stays correct, headers stay
+    tiny even for long-code codecs); consecutive blocks cover
+    consecutive index ranges ([b_start] strictly increasing, next
+    [b_start] = [b_start + b_count]); [b_payload] is a
+    {!Compress.Codec.encode_block} image decoding to exactly [b_count]
+    records. *)
+type block = {
+  b_start : int;
+  b_count : int;
+  b_min : string;
+  b_max : string;
+  b_plain : int;
+  b_payload : string;
+}
+
 type t = {
-  id : int;
-  path : string;
+  id : int;  (** repository-local container id (value pointers refer to it) *)
+  uid : int;  (** process-unique identity used for buffer-pool keys *)
+  path : string;  (** root-to-leaf path, e.g. ["/site/people/person/name/#text"] *)
   kind : kind;
   mutable algorithm : Compress.Codec.algorithm;
   mutable model : Compress.Codec.model;
-  mutable model_id : int;  (** containers sharing a source model share this *)
-  mutable records : record array;
-  mutable plain_bytes : int;
+  mutable model_id : int;  (** containers sharing a source model share this id *)
+  mutable blocks : block array;
+  mutable n_records : int;
+  mutable plain_bytes : int;  (** total plaintext bytes (stats / cost model) *)
+  mutable generation : int;  (** bumped on {!recompress}; part of the pool key *)
 }
 
+(** Number of records (across all blocks). *)
 val length : t -> int
 
-(** Build from (value, parent-id) pairs, training a fresh model. *)
+(** Number of physical blocks. *)
+val block_count : t -> int
+
+(** Set the target plaintext bytes per block for subsequently built
+    containers (the benchmark's block-size sweep). Raises
+    [Invalid_argument] on a non-positive size. *)
+val set_default_block_size : int -> unit
+
+(** Current block-size target in bytes (initially 16384). *)
+val default_block_size : unit -> int
+
+(** [build ~id ~path ~kind ~algorithm values] trains a fresh source
+    model on the [(value, parent)] pairs, compresses them, sorts by
+    (code, parent) and chunks into blocks of [?block_size] (default
+    {!default_block_size}) plaintext bytes. *)
 val build :
+  ?block_size:int ->
   id:int ->
   path:string ->
   kind:kind ->
@@ -29,42 +81,104 @@ val build :
   (string * int) list ->
   t
 
-(** All (plaintext, parent) pairs, decompressed, in record order. *)
+(** Assemble a container from records {e already sorted} by
+    (code, parent) — used by the loader, which sorts records itself to
+    derive its sequence-to-index maps. [plain_sizes.(i)] is the exact
+    plaintext length of record [i]; when omitted, block budgeting falls
+    back to the container-average estimate [plain_bytes / n]. *)
+val of_sorted_records :
+  ?block_size:int ->
+  ?plain_sizes:int array ->
+  id:int ->
+  path:string ->
+  kind:kind ->
+  algorithm:Compress.Codec.algorithm ->
+  model:Compress.Codec.model ->
+  model_id:int ->
+  plain_bytes:int ->
+  record array ->
+  t
+
+(** All [(plaintext, parent)] pairs in record (compressed-value) order;
+    decompresses every value. *)
 val dump : t -> (string * int) list
 
-(** Re-compress with a new algorithm / shared model; returns the
-    old-index -> new-index permutation for pointer fix-up. *)
+(** [recompress t ~algorithm ~model ~model_id] re-encodes every value
+    with the new (typically shared) model, re-sorts, re-blocks, bumps
+    the generation and invalidates the container's buffer-pool entries.
+    Returns the permutation old index -> new index so callers can patch
+    value pointers. [model] must have been trained on a superset of this
+    container's values. *)
 val recompress :
-  t -> algorithm:Compress.Codec.algorithm -> model:Compress.Codec.model -> model_id:int -> int array
+  t ->
+  algorithm:Compress.Codec.algorithm ->
+  model:Compress.Codec.model ->
+  model_id:int ->
+  int array
 
-(** ContScan: all records in compressed-value order. *)
+(** ContScan: every record in compressed-value order. Decodes all
+    blocks (the pruning access paths below exist to avoid this). *)
 val scan : t -> record array
 
-(** First index with code >= / > the argument. *)
+(** [get t i] is record [i] (0-based, in compressed-value order);
+    decodes at most the one block holding it. Raises [Invalid_argument]
+    out of bounds. *)
+val get : t -> int -> record
+
+(** [range t ~lo ~hi] is the records with indices in [lo, hi) (upper
+    bound exclusive), decoding only the blocks that interval touches;
+    the rest are counted as pruned ({!Buffer_pool.note_skipped}).
+    Bounds are clamped to the valid index range. *)
+val range : t -> lo:int -> hi:int -> record list
+
+(** First index whose code is [>=] the argument ([length t] if none).
+    One header binary search plus at most one block decode. *)
 val lower_bound : t -> string -> int
 
+(** First index whose code is [>] the argument ([length t] if none). *)
 val upper_bound : t -> string -> int
 
-(** ContAccess, equality criterion (valid under the [eq] property). *)
+(** ContAccess with an equality criterion: candidate blocks are chosen
+    by header min/max, only they are decoded, and matches are found by
+    in-block binary search. Valid whenever the algorithm supports
+    [`Eq]. *)
 val lookup_eq : t -> string -> record list
 
-(** ContAccess, interval criterion on codes (order-preserving codecs);
-    [lo] inclusive, [hi] exclusive, [None] = unbounded. *)
+(** ContAccess with an interval criterion on compressed codes
+    (inclusive [lo], exclusive [hi]; [None] = unbounded). Valid only
+    for order-preserving algorithms. Decodes only the blocks whose
+    header range intersects the interval. *)
 val lookup_range : t -> ?lo:string -> ?hi:string -> unit -> record list
 
+(** Decompress one record's value with the container's model. *)
 val decompress_record : t -> record -> string
 
-(** Compress a query constant against this container's source model. *)
+(** Compress a query constant against this container's source model, so
+    predicates can be evaluated in the compressed domain. *)
 val compress_constant : t -> string -> string
 
+(** Total bytes of the stored block payloads (the container's share of
+    the repository's value area). *)
 val compressed_bytes : t -> int
 
-(** Publish "container.<path>.{encoded_bytes,plain_bytes,records}"
-    gauges to {!Xquec_obs.Metrics} (no-op while telemetry is off).
-    Called automatically by {!build} and {!recompress}; the loader calls
-    it for containers it assembles directly. *)
+(** Publish per-container gauges ([container.<path>.encoded_bytes],
+    [.plain_bytes], [.records], [.blocks]) when telemetry is enabled.
+    Called automatically by {!build}, {!of_sorted_records} and
+    {!recompress}. *)
 val publish_metrics : t -> unit
 
+(** Append the v2 wire image (block headers + verbatim payloads — a
+    save/load/save cycle is byte-exact). The model itself is serialized
+    once per [model_id] by {!Repository}. *)
 val serialize : Buffer.t -> t -> unit
 
-val deserialize : models:(int, Compress.Codec.model) Hashtbl.t -> string -> int -> t * int
+(** Parse a v2 container image at [pos]; [models] maps [model_id] to
+    the already-deserialized shared models. Returns the container and
+    the first position past it. *)
+val deserialize :
+  models:(int, Compress.Codec.model) Hashtbl.t -> string -> int -> t * int
+
+(** Parse a legacy v1 (record-at-a-time) container image, re-blocking
+    its records with sizes estimated from the container average. *)
+val deserialize_v1 :
+  models:(int, Compress.Codec.model) Hashtbl.t -> string -> int -> t * int

@@ -3,20 +3,32 @@
     (pre, post, level) identifiers enabling constant-time
     ancestor/descendant tests. *)
 
+(** Simple identifier: the node's pre-order rank. *)
 type simple = int
 
+(** Structural (pre, post, level) identifiers: [a] is an ancestor of
+    [d] iff [a.pre < d.pre && a.post > d.post] — no tree traversal
+    needed. *)
 module Structural : sig
+  (** The identifier triple; [level] is the root-relative depth. *)
   type t = { pre : int; post : int; level : int }
 
+  (** Build an identifier from its components. *)
   val make : pre:int -> post:int -> level:int -> t
 
+  (** [is_ancestor a d] iff [a] is a proper ancestor of [d]. *)
   val is_ancestor : t -> t -> bool
 
+  (** [is_descendant d a] iff [d] is a proper descendant of [a]. *)
   val is_descendant : t -> t -> bool
 
+  (** [is_parent p c] iff [p] is the parent of [c] (ancestor one level
+      up). *)
   val is_parent : t -> t -> bool
 
+  (** Document order = pre-order rank comparison. *)
   val compare_doc_order : t -> t -> int
 
+  (** Render as "(pre,post,level)" for debugging. *)
   val pp : Format.formatter -> t -> unit
 end

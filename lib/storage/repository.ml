@@ -122,6 +122,12 @@ let compression_factor (t : t) =
 (* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Format v2 images start with this magic; v1 images start directly with
+   the varint-prefixed source name, whose length byte can never collide
+   with 'X'. Both layouts are otherwise identical except for the
+   container encoding (v1: records inline; v2: block headers+payloads). *)
+let v2_magic = "XQC\x02"
+
 let serialize (t : t) : string =
   Xquec_obs.Trace.with_span ~name:"repository.serialize"
     ~attrs:[ ("source", t.source_name) ]
@@ -132,6 +138,7 @@ let serialize (t : t) : string =
     add_varint buf (String.length s);
     Buffer.add_string buf s
   in
+  Buffer.add_string buf v2_magic;
   add_str t.source_name;
   add_varint buf t.original_size;
   (* name dictionary *)
@@ -167,8 +174,15 @@ let deserialize (s : string) : t =
   Xquec_obs.Trace.with_span ~name:"repository.deserialize"
     ~attrs:[ ("bytes", string_of_int (String.length s)) ]
   @@ fun () ->
+  let is_v2 =
+    String.length s >= String.length v2_magic
+    && String.equal (String.sub s 0 (String.length v2_magic)) v2_magic
+  in
+  let container_deserialize =
+    if is_v2 then Container.deserialize else Container.deserialize_v1
+  in
   let read_varint = Compress.Rle.read_varint in
-  let pos = ref 0 in
+  let pos = ref (if is_v2 then String.length v2_magic else 0) in
   let str () =
     let (n, p) = read_varint s !pos in
     let v = String.sub s p n in
@@ -215,7 +229,7 @@ let deserialize (s : string) : t =
   let n_containers = varint () in
   let containers =
     Array.init n_containers (fun _ ->
-        let (c, p) = Container.deserialize ~models:model_table s !pos in
+        let (c, p) = container_deserialize ~models:model_table s !pos in
         pos := p;
         c)
   in

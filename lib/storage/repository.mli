@@ -2,6 +2,9 @@
     containers, shared source models and structure summary for one
     document, with byte-level serialization for the size experiments. *)
 
+(** A loaded repository. [containers] is indexed by container id;
+    [original_size] is the source document's byte size (denominator of
+    the compression factor). *)
 type t = {
   dict : Name_dict.t;
   tree : Structure_tree.t;
@@ -11,13 +14,16 @@ type t = {
   original_size : int;
 }
 
+(** Container by id. Raises [Invalid_argument] if out of range. *)
 val container : t -> int -> Container.t
 
+(** Container whose assignment path equals the argument, if any. *)
 val find_container_by_path : t -> string -> Container.t option
 
 (** Distinct source models (shared-model containers count once). *)
 val models : t -> (int * Compress.Codec.model) list
 
+(** Serialized byte size per component (the §2.2 storage layout). *)
 type size_breakdown = {
   name_dict_bytes : int;
   tree_bytes : int;
@@ -31,11 +37,18 @@ type size_breakdown = {
           a forward-only structure tree *)
 }
 
+(** Measure the serialized size of each repository component. *)
 val size_breakdown : t -> size_breakdown
 
 (** 1 - cs/os, as defined in the paper's §5. *)
 val compression_factor : t -> float
 
+(** Serialize to the current (v2, block-structured) on-disk format,
+    prefixed with the "XQC\x02" magic. *)
 val serialize : t -> string
 
+(** Parse a serialized repository. Accepts both the v2 format (magic
+    "XQC\x02", block-structured containers) and the legacy v1
+    record-wise format (no magic); v1 containers are re-blocked on
+    load. Raises [Failure] on corrupt input. *)
 val deserialize : string -> t

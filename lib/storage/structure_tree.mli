@@ -5,14 +5,19 @@
     node ids (>= 0) with text markers (< 0, indexing the node's value
     pointers) so documents reconstruct in exact order. *)
 
+(** The immutable structure tree; node ids are pre-order ranks. *)
 type t
 
+(** Number of element/attribute nodes. *)
 val node_count : t -> int
 
+(** Name-dictionary code of a node's tag. *)
 val tag : t -> int -> int
 
+(** Parent node id; -1 at the root. *)
 val parent : t -> int -> int
 
+(** Depth of a node (0 at the root). *)
 val level : t -> int -> int
 
 (** (container id, record index) pairs, in document (slot) order. *)
@@ -24,21 +29,27 @@ val child_entries : t -> int -> int array
 (** Child element/attribute node ids only. *)
 val child_nodes : t -> int -> int list
 
+(** The (pre, post, level) identifier of a node. *)
 val structural_id : t -> int -> Ids.Structural.t
 
 (** Constant-time strict-ancestor test via pre/post ranks. *)
 val is_ancestor : t -> ancestor:int -> descendant:int -> bool
 
+(** [children_with_tag t node tag]: child node ids carrying [tag],
+    document order. *)
 val children_with_tag : t -> int -> int -> int list
 
 (** Descendants of a node occupy the pre-id range (id, last_descendant]. *)
 val last_descendant : t -> int -> int
 
+(** All proper descendants of a node, document order. *)
 val descendants : t -> int -> int list
 
 (** Rewrite value pointers after containers were recompressed. *)
 val remap_values : t -> (int -> int array option) -> unit
 
+(** Redirect one value pointer slot to a different container (used when
+    splitting containers during recompression). *)
 val set_value_container : t -> node:int -> slot:int -> container:int -> unit
 
 (** Lookup through the sparse B+ page index (the honest on-storage
@@ -47,21 +58,32 @@ val find : t -> int -> int option
 
 (** {2 Document-order construction} *)
 
+(** Accumulates nodes as the SAX loader walks the document. *)
 type builder
 
+(** Fresh empty builder. *)
 val builder : unit -> builder
 
+(** Register a node at element open; returns its (pre-order) id. *)
 val open_node : builder -> tag:int -> parent:int -> level:int -> int
 
+(** Register the element close, fixing the node's post rank. *)
 val close_node : builder -> id:int -> unit
 
+(** The id the next {!open_node} will return. *)
 val next_id : builder -> int
 
+(** Freeze into an immutable tree. [rev_children] and [rev_values] hold
+    each node's child entries and value pointers in reverse document
+    order (as accumulated by the loader). *)
 val finish :
   builder -> rev_children:int list array -> rev_values:(int * int) list array -> t
 
+(** Append the tree's serialized form to the buffer. *)
 val serialize : Buffer.t -> t -> unit
 
+(** [deserialize s pos] parses a tree at offset [pos], returning it with
+    the offset past it. Raises [Failure] on corrupt input. *)
 val deserialize : string -> int -> t * int
 
 (** Size of the B+ access structure (for the §2.2 breakdown). *)

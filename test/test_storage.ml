@@ -132,6 +132,136 @@ let test_container_recompress () =
     remap
 
 (* ------------------------------------------------------------------ *)
+(* Blocks and the buffer pool                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* a container with many tiny values and a 1-byte block budget: every
+   record lands in its own block *)
+let blocky_container ?(n = 40) () =
+  let values = List.init n (fun i -> (Printf.sprintf "v%03d" i, i + 1)) in
+  Container.build ~block_size:1 ~id:0 ~path:"/a/b/#text" ~kind:Container.Text
+    ~algorithm:Compress.Codec.Alm_alg values
+
+let test_container_blocks () =
+  let c = blocky_container () in
+  Alcotest.(check int) "one record per block" 40 (Container.block_count c);
+  (* headers partition the index space *)
+  let next = ref 0 in
+  Array.iter
+    (fun (b : Container.block) ->
+      Alcotest.(check int) "contiguous" !next b.Container.b_start;
+      next := b.Container.b_start + b.Container.b_count)
+    c.Container.blocks;
+  Alcotest.(check int) "covers all records" (Container.length c) !next;
+  (* random access agrees with a full scan *)
+  let all = Container.scan c in
+  for i = 0 to Container.length c - 1 do
+    Alcotest.(check string) "get = scan" all.(i).Container.code (Container.get c i).Container.code
+  done;
+  (* range decodes agree too *)
+  let r = Container.range c ~lo:5 ~hi:12 in
+  Alcotest.(check int) "range size" 7 (List.length r);
+  List.iteri
+    (fun k (r : Container.record) ->
+      Alcotest.(check string) "range = scan slice" all.(5 + k).Container.code r.Container.code)
+    r
+
+let test_block_pruning () =
+  let c = blocky_container () in
+  Buffer_pool.clear ();
+  let s0 = Buffer_pool.snapshot () in
+  let hits = Container.lookup_eq c (Container.compress_constant c "v007") in
+  let s1 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "one match" 1 (List.length hits);
+  (* min/max pruning: at most a couple of the 40 blocks decode *)
+  let decoded = s1.Buffer_pool.s_misses - s0.Buffer_pool.s_misses in
+  Alcotest.(check bool) "decodes at most 2 of 40 blocks" true (decoded <= 2);
+  Alcotest.(check bool) "pruned most blocks" true
+    (s1.Buffer_pool.s_blocks_skipped - s0.Buffer_pool.s_blocks_skipped >= 38);
+  (* a range lookup is also pruned *)
+  let s2 = Buffer_pool.snapshot () in
+  let lo = Container.compress_constant c "v010" in
+  let hi = Container.compress_constant c "v015" in
+  let rs = Container.lookup_range c ~lo ~hi () in
+  let s3 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "five in range" 5 (List.length rs);
+  Alcotest.(check bool) "range pruned too" true
+    (s3.Buffer_pool.s_blocks_skipped - s2.Buffer_pool.s_blocks_skipped >= 30)
+
+let test_buffer_pool_hits_and_eviction () =
+  let saved = Buffer_pool.budget_bytes () in
+  Buffer_pool.clear ();
+  let uid = Buffer_pool.fresh_uid () in
+  let mk i =
+    (* a decoded block charging exactly 100 bytes *)
+    { Buffer_pool.codes = [| Printf.sprintf "c%d" i |]; parents = [| i |]; d_bytes = 100 }
+  in
+  let decodes = ref 0 in
+  let fetch i =
+    Buffer_pool.fetch ~uid ~gen:0 ~blk:i ~decode:(fun () -> incr decodes; mk i)
+  in
+  Fun.protect ~finally:(fun () ->
+      Buffer_pool.set_budget ~bytes:saved;
+      Buffer_pool.clear ())
+  @@ fun () ->
+  Buffer_pool.set_budget ~bytes:250;
+  let s0 = Buffer_pool.snapshot () in
+  ignore (fetch 0);
+  ignore (fetch 0);
+  let s1 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "second fetch hits" 1 (s1.Buffer_pool.s_hits - s0.Buffer_pool.s_hits);
+  Alcotest.(check int) "one decode" 1 !decodes;
+  Alcotest.(check int) "byte accounting" 100 s1.Buffer_pool.s_resident_bytes;
+  (* 250-byte budget holds two 100-byte blocks; the third evicts the LRU *)
+  ignore (fetch 1);
+  ignore (fetch 0) (* touch 0: block 1 becomes LRU *);
+  ignore (fetch 2);
+  let s2 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "one eviction" 1 (s2.Buffer_pool.s_evictions - s1.Buffer_pool.s_evictions);
+  Alcotest.(check int) "two resident" 2 s2.Buffer_pool.s_resident_blocks;
+  (* block 1 was evicted (LRU), 0 and 2 still hit *)
+  ignore (fetch 0);
+  ignore (fetch 2);
+  let s3 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "0 and 2 hit" 2 (s3.Buffer_pool.s_hits - s2.Buffer_pool.s_hits);
+  ignore (fetch 1);
+  let s4 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "1 re-decodes" 1 (s4.Buffer_pool.s_misses - s3.Buffer_pool.s_misses);
+  (* invalidation drops the container's blocks *)
+  Buffer_pool.invalidate ~uid;
+  Alcotest.(check int) "invalidate empties" 0 (Buffer_pool.snapshot ()).Buffer_pool.s_resident_blocks
+
+let test_executor_pruning_via_counters () =
+  (* a selective pushed-down predicate must decode strictly less than the
+     whole container (the acceptance criterion of the block design) *)
+  let xml =
+    "<r>"
+    ^ String.concat ""
+        (List.init 200 (fun i -> Printf.sprintf "<e a=\"key%03d\"/>" i))
+    ^ "</r>"
+  in
+  let saved = Container.default_block_size () in
+  Container.set_default_block_size 64;
+  Fun.protect ~finally:(fun () -> Container.set_default_block_size saved)
+  @@ fun () ->
+  let repo = Xquec_core.Loader.load ~name:"t" xml in
+  let k = Option.get (Repository.find_container_by_path repo "/r/e/@a") in
+  Alcotest.(check bool) "container split into many blocks" true
+    (Container.block_count k > 10);
+  Buffer_pool.clear ();
+  let s0 = Buffer_pool.snapshot () in
+  let items =
+    Xquec_core.Executor.run_string repo "document(\"t\")/r/e[@a = \"key123\"]"
+  in
+  let s1 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "one element matches" 1 (List.length items);
+  let decoded = s1.Buffer_pool.s_misses - s0.Buffer_pool.s_misses in
+  Alcotest.(check bool) "decoded a strict subset of blocks" true
+    (decoded > 0 && decoded < Container.block_count k);
+  Alcotest.(check bool) "skipped blocks were counted" true
+    (s1.Buffer_pool.s_blocks_skipped - s0.Buffer_pool.s_blocks_skipped > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Structure tree + summary via the loader                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -214,6 +344,47 @@ let test_repository_roundtrip () =
       Alcotest.(check string) (q.Xmark.Queries.id ^ " identical after reload") a b)
     Xmark.Queries.all
 
+let test_repository_v2_byte_exact () =
+  let xml = Xmark.Xmlgen.generate ~scale:0.03 () in
+  let repo = Xquec_core.Loader.load ~name:"auction.xml" xml in
+  let data = Repository.serialize repo in
+  Alcotest.(check string) "v2 magic" "XQC\x02" (String.sub data 0 4);
+  let repo' = Repository.deserialize data in
+  let data' = Repository.serialize repo' in
+  Alcotest.(check bool) "save/load/save is byte-exact" true (String.equal data data')
+
+let read_fixture name =
+  let path = Filename.concat "fixtures" name in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_repository_v1_fixture () =
+  (* a repository written by the pre-block (v1) format must still load *)
+  let data = read_fixture "v1_small.xqc" in
+  Alcotest.(check bool) "fixture is not v2" true (String.sub data 0 4 <> "XQC\x02");
+  let repo = Repository.deserialize data in
+  Alcotest.(check string) "source name" "v1_small.xml" repo.Repository.source_name;
+  (* it answers queries like the freshly-loaded equivalent *)
+  let fresh = Xquec_core.Loader.load ~name:"v1_small.xml" (read_fixture "v1_small.xml") in
+  List.iter
+    (fun q ->
+      let a = Xquec_core.Executor.serialize repo (Xquec_core.Executor.run_string repo q) in
+      let b = Xquec_core.Executor.serialize fresh (Xquec_core.Executor.run_string fresh q) in
+      Alcotest.(check string) (q ^ " matches fresh load") a b)
+    [
+      "document(\"v1_small.xml\")/site/people/person/name";
+      "document(\"v1_small.xml\")/site/people/person[age > 30]/name";
+      "document(\"v1_small.xml\")/site/people/person[@id = \"p2\"]";
+    ];
+  (* and re-saving upgrades it to v2, which then round-trips byte-exactly *)
+  let v2 = Repository.serialize repo in
+  Alcotest.(check string) "re-save upgrades to v2" "XQC\x02" (String.sub v2 0 4);
+  Alcotest.(check bool) "upgraded image round-trips" true
+    (String.equal v2 (Repository.serialize (Repository.deserialize v2)))
+
 let test_size_breakdown_consistent () =
   let xml = Xmark.Xmlgen.generate ~scale:0.05 () in
   let repo = Xquec_core.Loader.load ~name:"a" xml in
@@ -244,11 +415,17 @@ let suites =
         Alcotest.test_case "container equality lookup" `Quick test_container_lookup_eq;
         Alcotest.test_case "container range lookup" `Quick test_container_lookup_range;
         Alcotest.test_case "container recompression remap" `Quick test_container_recompress;
+        Alcotest.test_case "block structure invariants" `Quick test_container_blocks;
+        Alcotest.test_case "min/max block pruning" `Quick test_block_pruning;
+        Alcotest.test_case "buffer pool LRU + accounting" `Quick test_buffer_pool_hits_and_eviction;
+        Alcotest.test_case "executor pruning skips decodes" `Quick test_executor_pruning_via_counters;
         Alcotest.test_case "structure tree navigation" `Quick test_tree_navigation;
         Alcotest.test_case "B+ index lookup" `Quick test_tree_find_via_index;
         Alcotest.test_case "summary matching" `Quick test_summary_matching;
         Alcotest.test_case "summary is small" `Quick test_summary_node_count;
         Alcotest.test_case "repository roundtrip" `Slow test_repository_roundtrip;
+        Alcotest.test_case "repository v2 byte-exact" `Quick test_repository_v2_byte_exact;
+        Alcotest.test_case "repository v1 fixture read" `Quick test_repository_v1_fixture;
         Alcotest.test_case "size breakdown consistent" `Quick test_size_breakdown_consistent;
       ] );
   ]

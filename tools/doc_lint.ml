@@ -1,0 +1,118 @@
+(* Documentation lint for .mli interfaces: every exported item (val,
+   type, exception, external, module) must carry an odoc comment —
+   either a [(** ... *)] block directly above it, inline on the same
+   line, or directly below the declaration.
+
+   Run as a plain script (no odoc needed):
+
+     ocaml tools/doc_lint.ml lib/storage lib/compress
+
+   Exits 1 and lists the offenders if any exported item is undocumented;
+   `make docs` treats that as a build failure. *)
+
+let item_prefixes = [ "val "; "type "; "exception "; "external "; "module " ]
+
+let starts_with p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let trim = String.trim
+
+(* Per line: does a doc comment end on it? Tracks comment nesting so a
+   close marker inside a plain comment does not count. *)
+let analyze_lines (lines : string array) =
+  let n = Array.length lines in
+  let closes_doc = Array.make n false in
+  let depth = ref 0 in
+  let in_doc = ref false in
+  for i = 0 to n - 1 do
+    let line = lines.(i) in
+    let len = String.length line in
+    let j = ref 0 in
+    while !j < len do
+      if !j + 2 < len && String.sub line !j 3 = "(**" && !depth = 0 then begin
+        depth := 1;
+        in_doc := true;
+        j := !j + 3
+      end
+      else if !j + 1 < len && String.sub line !j 2 = "(*" then begin
+        if !depth = 0 then in_doc := false;
+        incr depth;
+        j := !j + 2
+      end
+      else if !j + 1 < len && String.sub line !j 2 = "*)" then begin
+        decr depth;
+        if !depth = 0 && !in_doc then closes_doc.(i) <- true;
+        j := !j + 2
+      end
+      else incr j
+    done
+  done;
+  closes_doc
+
+let check_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = Array.of_list (List.rev !lines) in
+  let closes_doc = analyze_lines lines in
+  let n = Array.length lines in
+  let missing = ref [] in
+  for i = 0 to n - 1 do
+    let line = lines.(i) in
+    if List.exists (fun p -> starts_with p line) item_prefixes then begin
+      (* skip "module type of"-style aliases and local opens *)
+      let prev_doc =
+        (* nearest non-blank line above ends a doc comment *)
+        let rec above k = if k < 0 then false
+          else if trim lines.(k) = "" then false
+          else closes_doc.(k)
+        in
+        above (i - 1)
+      in
+      let contains_sub s sub =
+        let ls = String.length s and lb = String.length sub in
+        let rec go k = k + lb <= ls && (String.sub s k lb = sub || go (k + 1)) in
+        go 0
+      in
+      let inline_doc =
+        (* a doc opener on the declaration line itself or right after *)
+        let has k = k < n && contains_sub lines.(k) "(**" in
+        has i || has (i + 1)
+      in
+      if not (prev_doc || inline_doc) then missing := (i + 1, trim line) :: !missing
+    end
+  done;
+  List.rev !missing
+
+let () =
+  let dirs = match Array.to_list Sys.argv with _ :: rest when rest <> [] -> rest | _ -> [ "lib" ] in
+  let files =
+    List.concat_map
+      (fun dir ->
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".mli")
+        |> List.map (Filename.concat dir)
+        |> List.sort compare)
+      dirs
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun f ->
+      match check_file f with
+      | [] -> ()
+      | missing ->
+        List.iter
+          (fun (lnum, decl) ->
+            incr failures;
+            Printf.eprintf "%s:%d: undocumented export: %s\n" f lnum decl)
+          missing)
+    files;
+  if !failures > 0 then begin
+    Printf.eprintf "doc lint: %d undocumented exports in %d files checked\n" !failures
+      (List.length files);
+    exit 1
+  end
+  else Printf.printf "doc lint: %d interface files clean\n" (List.length files)
