@@ -12,18 +12,24 @@ build:
 
 # tier-1 gate: everything compiles and the full test suite passes,
 # including (called out explicitly because the fixture lives on disk)
-# the v1-format backward-compatibility read of test/fixtures/v1_small.xqc
+# the v1-format backward-compatibility read of test/fixtures/v1_small.xqc.
+# The storage suite runs twice more: with a 4-domain decode pool
+# (parallel block decode exercised everywhere) and with 0 domains (the
+# sequential fallback), which must both agree with the default run.
 check:
 	dune build
 	dune runtest
 	cd test && dune exec ./test_main.exe -- test storage
+	cd test && XQUEC_DECODE_DOMAINS=4 dune exec ./test_main.exe -- test storage
+	cd test && XQUEC_DECODE_DOMAINS=0 dune exec ./test_main.exe -- test storage
 
 test: check
 
-# documentation gate: every exported item in the storage and compress
-# interfaces must carry an odoc comment (no odoc install needed)
+# documentation gate: every exported item in the storage, compress,
+# core and obs interfaces must carry an odoc comment (no odoc install
+# needed)
 docs: build
-	ocaml tools/doc_lint.ml lib/storage lib/compress
+	ocaml tools/doc_lint.ml lib/storage lib/compress lib/core lib/obs
 
 bench:
 	dune exec bench/main.exe
@@ -41,6 +47,8 @@ smoke: build
 	$(XQUEC) explain $(SMOKE_DIR)/auction.xqc \
 	  'for $$p in document("auction.xml")/site/people/person where $$p/@id = "person0" return $$p/name/text()' \
 	  --stats --trace-out $(SMOKE_DIR)/query-trace.json
+	dune exec bench/main.exe -- --scale 0.1 --domains 1 \
+	  --json $(SMOKE_DIR)/parallel.json parallel
 	@echo "smoke artifacts in $(SMOKE_DIR)/"
 
 clean:

@@ -760,6 +760,110 @@ let cache () =
   Storage.Container.set_default_block_size saved
 
 (* ------------------------------------------------------------------ *)
+(* Parallel block decode: the domains sweep                             *)
+(* ------------------------------------------------------------------ *)
+
+let domains_sweep = ref [ 0; 1; 2; 4; 8 ]
+
+(* Cold decode throughput as a function of the decode-pool size. Two
+   workloads per row: a cold full scan of the largest container (pure
+   decode, the upper bound on what the pool can buy) and a cold
+   selective engine query (decode amortized behind pruning and executor
+   work). Results are digest-checked across all pool sizes — parallelism
+   must never change an answer. NOTE: the speedups are bounded by the
+   host's physical cores; on a single-core machine
+   (Domain.recommended_domain_count () = 1) every row degenerates to the
+   sequential path and the table documents exactly that. *)
+let parallel () =
+  header "Parallel block decode: domains sweep (cold cache)";
+  let engine = Lazy.force xmark_engine in
+  let repo = Xquec_core.Engine.repo engine in
+  let biggest =
+    Array.fold_left
+      (fun acc (c : Storage.Container.t) ->
+        if Storage.Container.block_count c > Storage.Container.block_count acc then c else acc)
+      repo.Storage.Repository.containers.(0) repo.Storage.Repository.containers
+  in
+  Fmt.pr "host: Domain.recommended_domain_count () = %d (speedup is bounded by physical \
+          cores)@."
+    (Domain.recommended_domain_count ());
+  Fmt.pr "largest container: %s (%d records in %d blocks)@." biggest.Storage.Container.path
+    (Storage.Container.length biggest)
+    (Storage.Container.block_count biggest);
+  let query = "document(\"auction.xml\")/site/people/person[@id = \"person100\"]/name" in
+  let saved = Storage.Domain_pool.size () in
+  Fun.protect ~finally:(fun () -> Storage.Domain_pool.set_size saved) @@ fun () ->
+  let scan_digest (rs : Storage.Container.record array) =
+    let buf = Buffer.create 4096 in
+    Array.iter
+      (fun (r : Storage.Container.record) ->
+        Buffer.add_string buf r.Storage.Container.code;
+        Buffer.add_string buf (string_of_int r.Storage.Container.parent))
+      rs;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  let cold_median f =
+    let sample () =
+      Storage.Buffer_pool.clear ();
+      snd (time f)
+    in
+    ignore (sample ());
+    let samples = List.init 3 (fun _ -> sample ()) in
+    List.nth (List.sort compare samples) 1
+  in
+  Fmt.pr "%-8s %14s %9s %14s %9s %10s@." "domains" "full_scan(ms)" "speedup" "selective(ms)"
+    "speedup" "waits";
+  rule ();
+  let base_scan = ref 0.0 and base_sel = ref 0.0 in
+  let digests = ref [] in
+  List.iter
+    (fun d ->
+      Storage.Domain_pool.set_size d;
+      Storage.Buffer_pool.clear ();
+      let scan_result = ref [||] in
+      let scan_ms = cold_median (fun () -> scan_result := Storage.Container.scan biggest) in
+      let digest = scan_digest !scan_result in
+      let query_out = ref "" in
+      let sel_ms =
+        cold_median (fun () -> query_out := Xquec_core.Engine.query_serialized engine query)
+      in
+      digests := (d, digest, !query_out) :: !digests;
+      let s = Storage.Buffer_pool.snapshot () in
+      if d = 1 then begin
+        base_scan := scan_ms;
+        base_sel := sel_ms
+      end;
+      let speedup base ms = if base > 0.0 && ms > 0.0 then base /. ms else 0.0 in
+      record ~exp:"parallel" "domains"
+        (obj
+           [
+             ("domains", num (float_of_int d));
+             ("full_scan_cold_ms", num scan_ms);
+             ("selective_cold_ms", num sel_ms);
+             ("scan_speedup_vs_1", num (speedup !base_scan scan_ms));
+             ("selective_speedup_vs_1", num (speedup !base_sel sel_ms));
+             ("scan_digest", str digest);
+           ]);
+      Fmt.pr "%-8d %14.2f %8.2fx %14.2f %8.2fx %10d@." d scan_ms (speedup !base_scan scan_ms)
+        sel_ms (speedup !base_sel sel_ms) s.Storage.Buffer_pool.s_latch_waits)
+    !domains_sweep;
+  (* byte-identical answers across every pool size *)
+  let identical =
+    match !digests with
+    | [] -> true
+    | (_, d0, q0) :: rest -> List.for_all (fun (_, d, q) -> d = d0 && q = q0) rest
+  in
+  record ~exp:"parallel" "results_identical"
+    (obj
+       [
+         ("identical", num (if identical then 1.0 else 0.0));
+         ( "recommended_domain_count",
+           num (float_of_int (Domain.recommended_domain_count ())) );
+       ]);
+  Fmt.pr "results byte-identical across domain counts: %b@." identical;
+  if not identical then failwith "parallel decode changed query results"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -776,6 +880,7 @@ let experiments =
     ("homomorphic_scan", homomorphic_scan);
     ("codec_costs", codec_costs);
     ("cache", cache);
+    ("parallel", parallel);
   ]
 
 let () =
@@ -787,6 +892,9 @@ let () =
       parse_args rest
     | "--fig6-scales" :: v :: rest ->
       fig6_scales := List.map float_of_string (String.split_on_char ',' v);
+      parse_args rest
+    | "--domains" :: v :: rest ->
+      domains_sweep := List.map int_of_string (String.split_on_char ',' v);
       parse_args rest
     | "--json" :: v :: rest ->
       json_out := Some v;

@@ -76,20 +76,38 @@ let cache_mb =
               blocks, in MiB (default 64). 0 effectively disables caching: every \
               block access beyond the most recent one decodes again.")
 
+let decode_domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "decode-domains" ] ~docv:"N"
+        ~doc:"Number of worker domains decoding container blocks in parallel. 0 forces \
+              the sequential path (byte-identical to the pre-parallel engine); the \
+              default is one worker per spare core, or \\$XQUEC_DECODE_DOMAINS when \
+              set.")
+
 let buffer_pool_summary () =
   let s = Storage.Buffer_pool.snapshot () in
+  let p = Storage.Domain_pool.snapshot () in
   Printf.sprintf
-    "buffer pool: %d hits / %d misses / %d evictions; %d blocks pruned; %d B decoded; %d B resident in %d blocks (budget %d B)\n"
+    "buffer pool: %d hits / %d misses / %d latch waits / %d evictions; %d blocks pruned; %d B decoded; %d B resident in %d blocks (budget %d B)\n\
+     decode pool: %d domains; %d batches / %d tasks (%d inline); %.1f ms parallel-decode wall\n"
     s.Storage.Buffer_pool.s_hits s.Storage.Buffer_pool.s_misses
-    s.Storage.Buffer_pool.s_evictions s.Storage.Buffer_pool.s_blocks_skipped
-    s.Storage.Buffer_pool.s_decoded_bytes s.Storage.Buffer_pool.s_resident_bytes
-    s.Storage.Buffer_pool.s_resident_blocks
+    s.Storage.Buffer_pool.s_latch_waits s.Storage.Buffer_pool.s_evictions
+    s.Storage.Buffer_pool.s_blocks_skipped s.Storage.Buffer_pool.s_decoded_bytes
+    s.Storage.Buffer_pool.s_resident_bytes s.Storage.Buffer_pool.s_resident_blocks
     (Storage.Buffer_pool.budget_bytes ())
+    p.Storage.Domain_pool.p_domains p.Storage.Domain_pool.p_batches
+    p.Storage.Domain_pool.p_tasks p.Storage.Domain_pool.p_inline
+    p.Storage.Domain_pool.p_wall_ms
 
-let with_telemetry ~stats ~trace_out ?cache_mb f =
+let with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains f =
   if stats || trace_out <> None then Xquec_obs.set_enabled true;
   (match cache_mb with
   | Some mb -> Storage.Buffer_pool.set_budget ~bytes:(mb * 1024 * 1024)
+  | None -> ());
+  (match decode_domains with
+  | Some n -> Storage.Domain_pool.set_size n
   | None -> ());
   let finish () =
     (match trace_out with
@@ -180,8 +198,8 @@ let query_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
   let timing = Arg.(value & flag & info [ "t"; "time" ] ~doc:"Print the evaluation time.") in
-  let run input query timing stats trace_out cache_mb =
-    with_telemetry ~stats ~trace_out ?cache_mb @@ fun () ->
+  let run input query timing stats trace_out cache_mb decode_domains =
+    with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains @@ fun () ->
     let engine = load_engine_any input in
     let t0 = Unix.gettimeofday () in
     let result = Xquec_core.Engine.query_serialized engine query in
@@ -193,7 +211,9 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Evaluate an XQuery expression over a compressed repository (results are \
              decompressed only for output)")
-    Term.(const run $ input $ query $ timing $ stats_flag $ trace_out $ cache_mb)
+    Term.(
+      const run $ input $ query $ timing $ stats_flag $ trace_out $ cache_mb
+      $ decode_domains)
 
 (* --- explain -------------------------------------------------------- *)
 
@@ -210,8 +230,8 @@ let explain_cmd =
           ~doc:"Only analyze the strategy (the classic EXPLAIN); do not evaluate the \
                 query or print the profiled plan.")
   in
-  let run input query plan_only stats trace_out cache_mb =
-    with_telemetry ~stats ~trace_out ?cache_mb @@ fun () ->
+  let run input query plan_only stats trace_out cache_mb decode_domains =
+    with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains @@ fun () ->
     let engine = load_engine_any input in
     let repo = Xquec_core.Engine.repo engine in
     if plan_only then print_endline (Xquec_core.Optimizer.explain_string repo query)
@@ -223,9 +243,11 @@ let explain_cmd =
              compressed-domain pushdowns, join methods, decorrelations) plus the \
              profiled physical plan with per-operator wall time, cardinalities, \
              compressed vs. decompressed predicate counts, and per-operator buffer-pool \
-             activity (hits, misses, pruned blocks, bytes decoded). INPUT may be a \
-             compressed repository or a raw XML document.")
-    Term.(const run $ input $ query $ plan_only $ stats_flag $ trace_out $ cache_mb)
+             activity (hits, misses, latch waits, pruned blocks, bytes decoded). INPUT \
+             may be a compressed repository or a raw XML document.")
+    Term.(
+      const run $ input $ query $ plan_only $ stats_flag $ trace_out $ cache_mb
+      $ decode_domains)
 
 (* --- stats ---------------------------------------------------------- *)
 

@@ -2,12 +2,18 @@
     splitting, join-predicate detection — the basis of the executor's
     join and decorrelation planning. *)
 
+(** Sets of variable names (["$p"] and friends). *)
 module Sset : Set.S with type elt = string
 
+(** Variables an expression reads but does not bind itself. *)
 val free_vars : Xquery.Ast.expr -> Sset.t
 
+(** Split a [where] clause on top-level [and]s into its conjuncts
+    (a non-conjunction is returned as a singleton). *)
 val conjuncts : Xquery.Ast.expr -> Xquery.Ast.expr list
 
+(** Rebuild a conjunction from {!conjuncts} output; [None] for the empty
+    list (no residual predicate). *)
 val conjoin : Xquery.Ast.expr list -> Xquery.Ast.expr option
 
 (** A comparison usable as a join between [left_vars] and [right_vars]
@@ -20,4 +26,6 @@ val join_conjunct :
   Xquery.Ast.expr ->
   (Xquery.Ast.cmp_op * Xquery.Ast.expr * Xquery.Ast.expr) option
 
+(** Does the expression mention any variable of the set? (Used to decide
+    which side of a join a conjunct belongs to.) *)
 val mentions : Sset.t -> Xquery.Ast.expr -> bool

@@ -6,14 +6,21 @@
 
 open Storage
 
+(** A candidate partitioning: each set lists the container ids it merges
+    and the compression algorithm the merged set would use. *)
 type configuration = { sets : (int list * Compress.Codec.algorithm) list }
 
+(** Relative importance of the three cost terms (§3.2's alpha/beta/gamma). *)
 type weights = { w_storage : float; w_model : float; w_decompression : float }
 
+(** Equal weighting of storage, model and decompression cost. *)
 val default_weights : weights
 
+(** An evaluator bound to one repository + workload; caches per-container
+    samples so repeated {!cost} calls during the greedy search are cheap. *)
 type t
 
+(** Build an evaluator; samples each container's values once up front. *)
 val create : ?weights:weights -> Repository.t -> Workload.t -> t
 
 (** (storage cost, model cost) estimate for one partition set, measured
@@ -25,8 +32,12 @@ val estimate_set : t -> int list -> Compress.Codec.algorithm -> float * float
     configuration, else record counts weighted by d_c. *)
 val predicate_cost : t -> configuration -> Workload.predicate -> float
 
+(** Total weighted cost of a configuration (lower is better). *)
 val cost : t -> configuration -> float
 
+(** The three cost terms of a configuration before weighting, plus their
+    weighted total — what [xquec partition --explain] prints. *)
 type cost_breakdown = { storage : float; model : float; decompression : float; total : float }
 
+(** Per-term decomposition of {!cost} for the same configuration. *)
 val breakdown : t -> configuration -> cost_breakdown

@@ -2,6 +2,8 @@
     tuned to a query workload — and evaluate XQuery over the compressed
     repository. *)
 
+(** A loaded repository plus, when a workload guided compression, the
+    partitioning decision that produced it. *)
 type t = {
   repo : Storage.Repository.t;
   partitioning : Partitioner.result option;
@@ -13,31 +15,43 @@ type t = {
 val load :
   ?name:string -> ?workload:string list -> ?loader_options:Loader.options -> string -> t
 
+(** The underlying storage repository. *)
 val repo : t -> Storage.Repository.t
 
+(** Parse an XQuery string to its AST (raises
+    [Xquery.Parser.Syntax_error] on malformed input). *)
 val parse_query : string -> Xquery.Ast.expr
 
+(** Parse and evaluate a query, returning result items (still in their
+    compressed-domain representation where possible). *)
 val query : t -> string -> Executor.item list
 
 (** Evaluate with per-operator profiling: results plus the annotated
     physical plan tree (see {!Xquec_obs.Explain}). *)
 val query_profiled : t -> string -> Executor.item list * Xquec_obs.Explain.node
 
+(** Evaluate an already-parsed query. *)
 val query_ast : t -> Xquery.Ast.expr -> Executor.item list
 
 (** Evaluate and serialize (decompressing the result, as the paper's QET
     measurements do). *)
 val query_serialized : t -> string -> string
 
+(** Original document bytes / compressed repository bytes. *)
 val compression_factor : t -> float
 
+(** Per-component byte accounting of the compressed repository. *)
 val size_breakdown : t -> Storage.Repository.size_breakdown
 
+(** Serialize the repository to the on-disk container format (the bytes
+    written by [xquec compress -o]). *)
 val save : t -> string
 
+(** Inverse of {!save}; accepts both v1 and v2 container layouts. *)
 val restore : string -> t
 
 (** Reconstruct the full document (the decompressor direction). *)
 val to_document : t -> Xmlkit.Tree.document
 
+(** {!to_document} serialized back to XML text. *)
 val to_xml : ?indent:bool -> t -> string

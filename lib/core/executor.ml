@@ -229,6 +229,7 @@ let with_cache_delta (node : Xquec_obs.Explain.node) (f : unit -> 'a) : 'a =
   Xquec_obs.Explain.set_cache node
     ~hits:(s1.Storage.Buffer_pool.s_hits - s0.Storage.Buffer_pool.s_hits)
     ~misses:(s1.Storage.Buffer_pool.s_misses - s0.Storage.Buffer_pool.s_misses)
+    ~waits:(s1.Storage.Buffer_pool.s_latch_waits - s0.Storage.Buffer_pool.s_latch_waits)
     ~skipped:(s1.Storage.Buffer_pool.s_blocks_skipped - s0.Storage.Buffer_pool.s_blocks_skipped)
     ~decoded_bytes:(s1.Storage.Buffer_pool.s_decoded_bytes - s0.Storage.Buffer_pool.s_decoded_bytes);
   v
@@ -575,16 +576,10 @@ let recognize_pushable (e : Ast.expr) : pushable option =
    subtree, so it only resolves to the immediate-text container when that
    is provably the complete string value: exactly one text child per
    instance and no text anywhere below. *)
-let parents_all_distinct (cont : Container.t) : bool =
-  let seen = Hashtbl.create (Container.length cont) in
-  Array.for_all
-    (fun (r : Container.record) ->
-      if Hashtbl.mem seen r.Container.parent then false
-      else begin
-        Hashtbl.add seen r.Container.parent ();
-        true
-      end)
-    (Container.scan cont)
+(* Precomputed per container at build/load time — the old per-query
+   implementation did a full [Container.scan], decoding every block and
+   defeating the header pruning it was meant to enable. *)
+let parents_all_distinct (cont : Container.t) : bool = cont.Container.distinct_parents
 
 let resolve_value_path ?(concat_semantics = false) ctx (snodes : Summary.node list)
     (vsteps : Ast.step list) : (Container.t * int) list option =

@@ -11,6 +11,7 @@
 
 open Storage
 
+(** A result item. Values stay compressed ([Cval]) until serialization. *)
 type item =
   | Node of int  (** structure-tree node id *)
   | Cval of { cont : Container.t; code : string }  (** compressed value *)
@@ -28,8 +29,11 @@ type seqv =
   | All_nodes of Summary.node list
   | All_values of Summary.node list
 
+(** What a variable is bound to: its sequence plus the summary nodes its
+    items are instances of (provenance for later path steps). *)
 type binding = { seq : seqv; snodes : Summary.node list }
 
+(** Evaluation context threaded through every operator. *)
 type ctx = {
   repo : Repository.t;
   prof : Xquec_obs.Explain.t option;  (** attached EXPLAIN profile, if any *)
@@ -39,14 +43,19 @@ type ctx = {
 (** A plain evaluation context (no profile attached). *)
 val mk_ctx : Repository.t -> ctx
 
+(** Variable environment: name (with leading ["$"]) to binding. *)
 type env = (string * binding) list
 
+(** Raised on semantic errors (unknown document, unbound variable, type
+    mismatch in a comparison, …). *)
 exception Eval_error of string
 
 (** {2 Entry points} *)
 
+(** Evaluate a parsed query against a repository. *)
 val run : Repository.t -> Xquery.Ast.expr -> item list
 
+(** Parse then {!run}. *)
 val run_string : Repository.t -> string -> item list
 
 (** Evaluate with per-operator profiling: results plus the root of the
@@ -62,16 +71,25 @@ val serialize : Repository.t -> item list -> string
 (** {2 Building blocks used by the physical algebra, plans and the
     optimizer} *)
 
+(** Wrap an already-materialized list as a binding (no provenance). *)
 val mat : item list -> binding
 
+(** Force a binding to a concrete item list, expanding the symbolic
+    [All_*] forms by walking the structure tree. *)
 val materialize : ctx -> binding -> item list
 
+(** Cardinality of a binding; counts [All_*] forms from the summary's
+    per-snode instance counts without materializing. *)
 val count : ctx -> binding -> int
 
+(** Atomized string value of an item (decompresses a [Cval]). *)
 val atom_string : ctx -> item -> string
 
+(** Atomized numeric value, or [None] if the item is not a number. *)
 val atom_number : ctx -> item -> float option
 
+(** Evaluate an expression under an environment — the executor's core
+    recursion, exposed for the physical algebra and EXPLAIN. *)
 val eval : ctx -> env -> Xquery.Ast.expr -> binding
 
 (** Reconstruct the XML subtree rooted at a node id. *)
@@ -86,15 +104,21 @@ val advance_snodes : ctx -> Summary.node list -> Xquery.Ast.step -> Summary.node
 
 (** {2 Predicate pushdown analysis} *)
 
+(** A constant comparison operand. *)
 type const_operand = Cstr of string | Cnum of float
 
+(** Recognize a literal (string or number) as a constant operand. *)
 val const_of_expr : Xquery.Ast.expr -> const_operand option
 
+(** Predicate shapes the executor can push into container scans: a value
+    comparison against a constant, a textual predicate, or a bare
+    existence test — each with the context-relative path to the value. *)
 type pushable =
   | P_value of Xquery.Ast.cmp_op * Xquery.Ast.step list * const_operand
   | P_textual of [ `Contains | `Starts_with ] * Xquery.Ast.step list * string
   | P_exists of Xquery.Ast.step list
 
+(** Match a [where]-clause conjunct against the {!pushable} shapes. *)
 val recognize_pushable : Xquery.Ast.expr -> pushable option
 
 (** Resolve a context-relative value path to (container, hops to the
@@ -114,11 +138,16 @@ val static_value_containers : ctx -> env -> Xquery.Ast.expr -> Container.t list 
 
 (** {2 Join key typing} *)
 
+(** A hash-join key: a compressed code, or an atomized number/string. *)
 type join_key = Kcode of string | Knum of float | Kstr of string
 
+(** How both join sides will be keyed. *)
 type key_mode =
   | Mode_code of int * Container.t
       (** both sides share this source model: probe compressed codes *)
   | Mode_atom
 
+(** Choose the key mode for a join of two value expressions: compressed
+    codes when both sides resolve to containers sharing one source
+    model, else atomized values. *)
 val join_key_mode : ctx -> env -> Xquery.Ast.expr -> Xquery.Ast.expr -> key_mode

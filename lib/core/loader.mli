@@ -4,6 +4,7 @@
     advance", §2.3). Numeric containers get the packed codec; strings
     default to ALM, the paper's no-workload choice. *)
 
+(** Knobs for the one-pass load. *)
 type options = {
   default_string_algorithm : Compress.Codec.algorithm;
   detect_numeric : bool;
@@ -13,9 +14,13 @@ type options = {
           [None] keeps them in memory *)
 }
 
+(** ALM strings, numeric detection on, no spilling. *)
 val default_options : options
 
+(** Parse XML text and build a compressed repository registered under
+    [name] (the [document("name")] queries resolve against it). *)
 val load : ?options:options -> name:string -> string -> Storage.Repository.t
 
+(** Same as {!load} but from an already-parsed DOM tree. *)
 val load_document :
   ?options:options -> name:string -> Xmlkit.Tree.document -> Storage.Repository.t

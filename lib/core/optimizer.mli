@@ -4,12 +4,15 @@
 
 open Storage
 
+(** How one predicate will be evaluated: its text, the containers it
+    touches, and whether the comparison runs on compressed codes. *)
 type predicate_plan = {
   predicate : string;
   containers : string list;
   compressed_domain : bool;
 }
 
+(** One strategy decision in the report, in evaluation order. *)
 type decision =
   | Summary_path of { path : string; snodes : int }
   | Navigation of { path : string }
@@ -20,10 +23,13 @@ type decision =
   | Decorrelate of { variable : string; op : string; on_codes : bool }
   | Correlated_loop of { variable : string }
 
+(** Render one decision as a human-readable line. *)
 val pp_decision : Format.formatter -> decision -> unit
 
+(** Predict the executor's strategy for a parsed query (no data access). *)
 val explain : Repository.t -> Xquery.Ast.expr -> decision list
 
+(** {!explain} on a query string, pretty-printed one decision per line. *)
 val explain_string : Repository.t -> string -> string
 
 (** EXPLAIN ANALYZE: evaluate the query with an attached profile and

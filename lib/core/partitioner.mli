@@ -4,6 +4,8 @@
 
 open Storage
 
+(** One proposed move of the greedy search: the predicate that motivated
+    it, whether it lowered the cost, and the costs either side. *)
 type move_trace = {
   predicate : Workload.predicate;
   accepted : bool;
@@ -11,6 +13,8 @@ type move_trace = {
   cost_after : float;
 }
 
+(** Outcome of a search: the winning configuration, the costs of the
+    initial and final configurations, and the per-move trace. *)
 type result = {
   configuration : Cost_model.configuration;
   initial_cost : float;

@@ -8,46 +8,71 @@
 
 open Storage
 
+(** Tuple fields are executor items. *)
 type item = Executor.item
 
+(** A row: one item per column. *)
 type tuple = item array
 
+(** A lazily re-runnable operator tree of the given output width. *)
 type plan = { width : int; run : unit -> tuple Seq.t }
 
+(** Execute a plan and collect its rows. *)
 val run : plan -> tuple list
 
+(** Row count of a plan (executes it). *)
 val cardinality : plan -> int
 
+(** ContScan: all (element id, compressed value) pairs of a container,
+    in value order. *)
 val cont_scan : Repository.t -> int -> plan
 
+(** ContAccess=: rows whose decompressed value equals [value], via the
+    container's access support when present. *)
 val cont_access_eq : Repository.t -> int -> value:string -> plan
 
+(** ContAccess range: rows with value in [[lo, hi]] (either bound
+    optional). *)
 val cont_access_range : Repository.t -> int -> ?lo:string -> ?hi:string -> unit -> plan
 
+(** StructureSummaryAccess: element ids of all instances reached by a
+    summary path from the root. *)
 val summary_access : Repository.t -> Summary.step list -> plan
 
+(** Child: expand column [col] to its children with the given tag
+    (one output row per child). *)
 val child : Repository.t -> tag:string -> plan -> col:int -> plan
 
+(** Parent: replace column [col] by each node's parent id. *)
 val parent : Repository.t -> plan -> col:int -> plan
 
 (** Hash join pairing element ids with their immediate text values. *)
 val text_content : Repository.t -> int list -> plan -> col:int -> plan
 
+(** Keep rows satisfying the predicate. *)
 val select : (tuple -> bool) -> plan -> plan
 
+(** Keep the listed columns, in the listed order. *)
 val project : int list -> plan -> plan
 
 (** 1-pass merge join on compressed codes; inputs must be sorted on
     their join columns (ContScan order) and share a source model. *)
 val merge_join : plan -> lcol:int -> plan -> rcol:int -> plan
 
+(** Hash join on equal join-column keys ([key] defaults to the raw
+    compressed code / string identity). *)
 val hash_join : ?key:(item -> string) -> plan -> lcol:int -> plan -> rcol:int -> plan
 
+(** Nested-loop join on an arbitrary row predicate (the fallback the
+    ablations compare against). *)
 val nl_join : (tuple -> tuple -> bool) -> plan -> plan -> plan
 
+(** Sort rows by column [col] under the item comparator. *)
 val sort : (item -> item -> int) -> col:int -> plan -> plan
 
 (** Decompress a column (Cval -> Str); placed as late as possible. *)
 val decompress : Repository.t -> plan -> col:int -> plan
 
+(** XMLSerialize: render column [col] of every row as XML text — the
+    tail operator of every plan. *)
 val xml_serialize : Repository.t -> plan -> col:int -> string

@@ -1,0 +1,7 @@
+(** Global on/off switch for the telemetry layer. Instrumentation sites
+    check this single ref before doing any work, so a disabled build
+    pays one load + branch per site and allocates nothing. Flip it via
+    {!Xquec_obs.set_enabled} rather than directly. *)
+
+(** The switch; [false] by default. *)
+val enabled : bool ref

@@ -21,6 +21,9 @@ type node = {
       (** predicate evaluations that had to decompress values *)
   mutable cache_hits : int;  (** buffer-pool hits, inclusive of children *)
   mutable cache_misses : int;  (** buffer-pool misses (block decodes) *)
+  mutable cache_waits : int;
+      (** buffer-pool latch waits: fetches that blocked on another
+          domain's in-flight decode of the same block *)
   mutable blocks_skipped : int;  (** blocks pruned via headers, never decoded *)
   mutable decoded_bytes : int;  (** bytes charged to the pool by this subtree *)
   mutable rev_children : node list;
@@ -30,8 +33,8 @@ type t = { root : node; mutable stack : node list }
 
 let make_node ?(attrs = []) ~kind op =
   { op; kind; attrs; wall_us = 0.0; rows = -1; cmp_compressed = 0; cmp_decompressed = 0;
-    cache_hits = 0; cache_misses = 0; blocks_skipped = 0; decoded_bytes = 0;
-    rev_children = [] }
+    cache_hits = 0; cache_misses = 0; cache_waits = 0; blocks_skipped = 0;
+    decoded_bytes = 0; rev_children = [] }
 
 let create ?attrs (op : string) : t =
   let root = make_node ?attrs ~kind:"root" op in
@@ -80,9 +83,10 @@ let note_cmp (t : t) ~(compressed : bool) (n : int) : unit =
     decoded). Like [wall_us] this is inclusive of the node's children:
     the executor records the delta of the process-wide pool counters
     around the operator's whole evaluation. *)
-let set_cache (node : node) ~hits ~misses ~skipped ~decoded_bytes =
+let set_cache (node : node) ~hits ~misses ~waits ~skipped ~decoded_bytes =
   node.cache_hits <- hits;
   node.cache_misses <- misses;
+  node.cache_waits <- waits;
   node.blocks_skipped <- skipped;
   node.decoded_bytes <- decoded_bytes
 
@@ -121,11 +125,13 @@ let annotations (n : node) : string =
     parts :=
       Printf.sprintf "cmp %d compressed / %d decompressed" n.cmp_compressed n.cmp_decompressed
       :: !parts;
-  if n.cache_hits > 0 || n.cache_misses > 0 || n.blocks_skipped > 0 then
+  if n.cache_hits > 0 || n.cache_misses > 0 || n.blocks_skipped > 0 then begin
+    let waits = if n.cache_waits > 0 then Printf.sprintf " / %d wait" n.cache_waits else "" in
     parts :=
-      Printf.sprintf "cache %d hit / %d miss, %d blocks pruned, %d B decoded" n.cache_hits
-        n.cache_misses n.blocks_skipped n.decoded_bytes
-      :: !parts;
+      Printf.sprintf "cache %d hit / %d miss%s, %d blocks pruned, %d B decoded" n.cache_hits
+        n.cache_misses waits n.blocks_skipped n.decoded_bytes
+      :: !parts
+  end;
   List.iter (fun (k, v) -> parts := Printf.sprintf "%s=%s" k v :: !parts) (List.rev n.attrs);
   match !parts with [] -> "" | l -> "  [" ^ String.concat "; " l ^ "]"
 
@@ -162,6 +168,7 @@ let rec to_json (n : node) : Json.t =
       ("cmp_decompressed", Json.Num (float_of_int n.cmp_decompressed));
       ("cache_hits", Json.Num (float_of_int n.cache_hits));
       ("cache_misses", Json.Num (float_of_int n.cache_misses));
+      ("cache_waits", Json.Num (float_of_int n.cache_waits));
       ("blocks_skipped", Json.Num (float_of_int n.blocks_skipped));
       ("decoded_bytes", Json.Num (float_of_int n.decoded_bytes));
       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) n.attrs));

@@ -1,0 +1,43 @@
+(** Minimal JSON value type, printer and parser — enough for the
+    metrics snapshots, chrome traces and BENCH_results.json this layer
+    emits, and for the tests to round-trip them, without an external
+    dependency. *)
+
+(** A JSON value (numbers are floats, objects keep field order). *)
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Backslash-escape a string for embedding between JSON quotes. *)
+val escape : string -> string
+
+(** Render a number the way the printer does: integers without a
+    fractional part, everything else via [%.6g]. *)
+val number_to_string : float -> string
+
+(** Serialize a value to compact (single-line) JSON. NaN and infinite
+    numbers print as [null]. *)
+val to_string : t -> string
+
+(** Raised by {!parse} with a message and offset. *)
+exception Parse_error of string
+
+(** Parse a complete JSON document (trailing garbage is an error).
+    Non-ASCII [\u] escapes are replaced by ['?']. *)
+val parse : string -> t
+
+(** Field of an object, [None] on missing field or non-object. *)
+val member : string -> t -> t option
+
+(** Numeric payload of a [Num], else [None]. *)
+val to_float : t -> float option
+
+(** String payload of a [Str], else [None]. *)
+val to_str : t -> string option
+
+(** Element list of a [List], else [None]. *)
+val to_list : t -> t list option

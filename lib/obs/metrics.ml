@@ -5,7 +5,13 @@
 
    Everything is a no-op while [Control.enabled] is false; snapshot /
    read accessors work regardless so tests can inspect state after a
-   run. Single-threaded by design, like the rest of the engine. *)
+   run.
+
+   Thread safety: the registry is shared with the Domain_pool decode
+   workers (container decode thunks bump "container.blocks_decoded"
+   etc. from worker domains), so one mutex guards every table access.
+   It is a leaf lock — nothing is called while holding it — making the
+   lock ordering with the storage locks trivially acyclic. *)
 
 (* --- histograms ---------------------------------------------------- *)
 
@@ -42,6 +48,19 @@ type histogram_stats = { count : int; sum : float; min : float; max : float; mea
 
 (* --- registry ------------------------------------------------------ *)
 
+(* guards the three tables and every value they hold *)
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
 
 let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 64
@@ -49,46 +68,47 @@ let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset histograms
+  with_lock (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset histograms)
 
 (* --- writes (gated) ------------------------------------------------ *)
 
 let incr ?(by = 1) (name : string) : unit =
-  if !Control.enabled then begin
-    match Hashtbl.find_opt counters name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.add counters name (ref by)
-  end
+  if !Control.enabled then
+    with_lock (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.add counters name (ref by))
 
 let set_gauge (name : string) (v : float) : unit =
-  if !Control.enabled then begin
-    match Hashtbl.find_opt gauges name with
-    | Some r -> r := v
-    | None -> Hashtbl.add gauges name (ref v)
-  end
+  if !Control.enabled then
+    with_lock (fun () ->
+        match Hashtbl.find_opt gauges name with
+        | Some r -> r := v
+        | None -> Hashtbl.add gauges name (ref v))
 
 let observe (name : string) (v : float) : unit =
-  if !Control.enabled then begin
-    let h =
-      match Hashtbl.find_opt histograms name with
-      | Some h -> h
-      | None ->
+  if !Control.enabled then
+    with_lock (fun () ->
         let h =
-          { h_count = 0; h_sum = 0.0; h_min = Float.infinity; h_max = Float.neg_infinity;
-            h_buckets = Array.make bucket_count 0 }
+          match Hashtbl.find_opt histograms name with
+          | Some h -> h
+          | None ->
+            let h =
+              { h_count = 0; h_sum = 0.0; h_min = Float.infinity;
+                h_max = Float.neg_infinity; h_buckets = Array.make bucket_count 0 }
+            in
+            Hashtbl.add histograms name h;
+            h
         in
-        Hashtbl.add histograms name h;
-        h
-    in
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
-    let i = bucket_index v in
-    h.h_buckets.(i) <- h.h_buckets.(i) + 1
-  end
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v;
+        let i = bucket_index v in
+        h.h_buckets.(i) <- h.h_buckets.(i) + 1)
 
 (** Time [f] and record its wall-clock milliseconds into histogram
     [name]. *)
@@ -108,25 +128,28 @@ let time_ms (name : string) (f : unit -> 'a) : 'a =
 (* --- reads (always available) -------------------------------------- *)
 
 let counter_value (name : string) : int =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  with_lock (fun () ->
+      match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
 
 let gauge_value (name : string) : float option =
-  Option.map (fun r -> !r) (Hashtbl.find_opt gauges name)
+  with_lock (fun () -> Option.map (fun r -> !r) (Hashtbl.find_opt gauges name))
 
 let histogram_stats (name : string) : histogram_stats option =
-  Option.map
-    (fun h ->
-      { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
-        mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count) })
-    (Hashtbl.find_opt histograms name)
+  with_lock (fun () ->
+      Option.map
+        (fun h ->
+          { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
+            mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count) })
+        (Hashtbl.find_opt histograms name))
 
 let histogram_buckets (name : string) : (float * int) list option =
-  Option.map
-    (fun h ->
-      Array.to_list h.h_buckets
-      |> List.mapi (fun i c -> (bucket_upper_bound i, c))
-      |> List.filter (fun (_, c) -> c > 0))
-    (Hashtbl.find_opt histograms name)
+  with_lock (fun () ->
+      Option.map
+        (fun h ->
+          Array.to_list h.h_buckets
+          |> List.mapi (fun i c -> (bucket_upper_bound i, c))
+          |> List.filter (fun (_, c) -> c > 0))
+        (Hashtbl.find_opt histograms name))
 
 (* --- snapshots ----------------------------------------------------- *)
 
@@ -135,6 +158,7 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let dump_json () : string =
+  with_lock @@ fun () ->
   let counter_fields = sorted_bindings counters (fun r -> Json.Num (float_of_int !r)) in
   let gauge_fields = sorted_bindings gauges (fun r -> Json.Num !r) in
   let histo_fields =
@@ -167,6 +191,7 @@ let dump_json () : string =
        ])
 
 let dump_text () : string =
+  with_lock @@ fun () ->
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let cs = sorted_bindings counters (fun r -> !r) in

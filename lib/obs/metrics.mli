@@ -1,0 +1,64 @@
+(** Process-wide metrics registry: counters, gauges, and log-scale
+    histograms, keyed by dotted names (["loader.parse_ms"],
+    ["codec.alm.encode_calls"], ["executor.step.rows_out"]).
+
+    Writes are no-ops while the global telemetry switch is off;
+    read/snapshot accessors work regardless so tests can inspect state
+    after a run.
+
+    Thread safety: the registry is shared with the
+    {!Storage.Domain_pool} decode workers (container decode thunks
+    bump ["container.blocks_decoded"] etc. from worker domains), so
+    one mutex guards every table access. It is a leaf lock — nothing
+    else is called while holding it — making the lock ordering with
+    the storage locks trivially acyclic. *)
+
+(** Aggregates of one histogram. *)
+type histogram_stats = { count : int; sum : float; min : float; max : float; mean : float }
+
+(** {2 Histogram bucket layout (exposed for tests)} *)
+
+(** Number of log-scale buckets per histogram. *)
+val bucket_count : int
+
+(** Bucket a value falls into: 0 for values at or below the lowest
+    bound, doubling upper bounds after that, last bucket open-ended. *)
+val bucket_index : float -> int
+
+(** Inclusive upper bound of a bucket ([infinity] for the last). *)
+val bucket_upper_bound : int -> float
+
+(** Drop every counter, gauge and histogram. *)
+val reset : unit -> unit
+
+(** Add [by] (default 1) to a counter, creating it at first use. *)
+val incr : ?by:int -> string -> unit
+
+(** Set a gauge to the given value. *)
+val set_gauge : string -> float -> unit
+
+(** Record one observation into a log-scale histogram (buckets double
+    from 0.001 up; suits milliseconds and byte sizes alike). *)
+val observe : string -> float -> unit
+
+(** Time [f] and record its wall-clock milliseconds into histogram
+    [name]. *)
+val time_ms : string -> (unit -> 'a) -> 'a
+
+(** Current counter value; 0 when never incremented. *)
+val counter_value : string -> int
+
+(** Current gauge value, if the gauge exists. *)
+val gauge_value : string -> float option
+
+(** Aggregates of a histogram, if it exists. *)
+val histogram_stats : string -> histogram_stats option
+
+(** Non-empty (upper bound, count) buckets of a histogram, ascending. *)
+val histogram_buckets : string -> (float * int) list option
+
+(** Whole registry as a JSON snapshot (names sorted). *)
+val dump_json : unit -> string
+
+(** Whole registry as aligned human-readable text (names sorted). *)
+val dump_text : unit -> string

@@ -1,0 +1,57 @@
+(** Lightweight span tracer: {!with_span} brackets a computation with a
+    clamped-monotonic clock, records completed spans into a fixed-size
+    ring buffer, and exports them as chrome-trace JSON (load the file
+    in chrome://tracing or https://ui.perfetto.dev).
+
+    Disabled (the default), {!with_span} is a single ref load + branch
+    and a direct call — no allocation, no clock read.
+
+    Thread safety: none — the ring buffer, depth counter and clock
+    clamp are plain refs, intended for the main domain only. Decode
+    tasks running on {!Storage.Domain_pool} workers must not open
+    spans (they don't: the pool brackets whole batches from the
+    caller's domain instead). *)
+
+(** A completed (or instant) span. *)
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_us : float;  (** microseconds since the trace epoch *)
+  dur_us : float;
+  depth : int;  (** nesting depth at the time the span was open *)
+  instant : bool;  (** a point event, not a bracketed span *)
+}
+
+(** Monotonic-clamped wall clock in microseconds (shared clock source
+    of the metrics and explain timers). *)
+val now_us : unit -> float
+
+(** Initial ring-buffer capacity (8192 spans). *)
+val default_capacity : int
+
+(** Resize the ring buffer (takes effect at the next record; clears
+    recorded spans). *)
+val set_capacity : int -> unit
+
+(** Drop all recorded spans and reset the nesting depth. *)
+val clear : unit -> unit
+
+(** Completed spans, oldest first (at most the capacity; older ones
+    are overwritten). *)
+val spans : unit -> span list
+
+(** Spans lost to ring-buffer overwrite since the last {!clear}. *)
+val dropped : unit -> int
+
+(** Bracket [f] in a span named [name] (recorded even when [f] raises).
+    A no-op passthrough while the global switch is off. *)
+val with_span : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+
+(** Record an instantaneous event (chrome-trace "instant"). *)
+val event : ?attrs:(string * string) list -> string -> unit
+
+(** The whole buffer in chrome-trace format. *)
+val to_chrome_json : unit -> string
+
+(** Write {!to_chrome_json} to a file. *)
+val export : string -> unit

@@ -1,0 +1,32 @@
+(** Xquec_obs: the telemetry substrate — span tracing, a metrics
+    registry, and profiled-plan EXPLAIN — shared by the loader, the
+    storage layer, the codecs, the executor and the CLI.
+
+    Everything is off by default; {!set_enabled} (or the CLI's
+    [--stats] / [--trace-out] / explain paths) turns the global sinks
+    on. Disabled instrumentation costs one ref load + branch per
+    site. *)
+
+(** JSON values and (de)serialization. *)
+module Json = Json
+
+(** Span tracing with chrome-trace export (main domain only). *)
+module Trace = Trace
+
+(** Thread-safe counters, gauges and histograms. *)
+module Metrics = Metrics
+
+(** Profiled physical plans (EXPLAIN ANALYZE). *)
+module Explain = Explain
+
+(** Turn the global trace/metrics sinks on or off. *)
+val set_enabled : bool -> unit
+
+(** Current state of the global switch. *)
+val is_enabled : unit -> bool
+
+(** Enable collection, run [f], restore the previous state. *)
+val with_enabled : (unit -> 'a) -> 'a
+
+(** Clear every sink (metrics registry and trace ring buffer). *)
+val reset : unit -> unit

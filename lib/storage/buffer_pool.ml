@@ -4,15 +4,32 @@
    touches (demand paging); repeated access to the same blocks — warm
    joins, repeated queries — hits here instead of re-decoding.
 
-   Single-threaded like the rest of the engine. Entries are keyed by
-   (container uid, generation, block index): the uid is process-unique
-   (two repositories never collide), and a container bumps its
-   generation when it is recompressed so stale entries can never be
-   returned; [invalidate] additionally drops them eagerly so they stop
-   occupying budget.
+   THREAD SAFETY (see docs/CONCURRENCY.md). Since the parallel-decode
+   subsystem landed, the pool is shared by the main domain and the
+   Domain_pool workers:
+
+   - one process-wide [lock] guards the hash table, the LRU list and
+     the resident-size accounting. It is a leaf lock: decode thunks
+     run OUTSIDE it.
+   - an in-flight decode is a [Pending] latch in the table. A second
+     requester of the same block finds the latch and blocks on it
+     instead of decoding again (counted as [s_latch_waits]); the
+     decoder installs the finished block and broadcasts. Every fetch
+     is therefore exactly one of: hit, miss (this caller decoded) or
+     latch wait. With a sequential pool (--decode-domains 0) waits
+     are structurally impossible and the counters coincide with the
+     historical single-threaded ones.
+   - cumulative counters are atomics so any domain may bump them and
+     [snapshot] needs no lock for them.
+
+   Entries are keyed by (container uid, generation, block index): the
+   uid is process-unique (two repositories never collide), and a
+   container bumps its generation when it is recompressed so stale
+   entries can never be returned; [invalidate] additionally drops them
+   eagerly so they stop occupying budget.
 
    The pool keeps its own cumulative counters unconditionally (they are
-   a handful of int adds) so EXPLAIN can attribute per-operator cache
+   a handful of atomic adds) so EXPLAIN can attribute per-operator cache
    activity even when the global metrics switch is off; the same events
    are mirrored into [Xquec_obs.Metrics] under "bufferpool.*" when
    telemetry is enabled. *)
@@ -31,7 +48,23 @@ type node = {
   mutable next : node option;  (* towards the back (less recent) *)
 }
 
-let table : (key, node) Hashtbl.t = Hashtbl.create 1024
+(* A latch for an in-flight decode. Lifecycle: created under the pool
+   lock in state [L_decoding]; the decoding domain completes it to
+   [L_done] (after installing the block) or [L_failed] and broadcasts;
+   waiters block on [l_cond] until the state leaves [L_decoding]. *)
+type latch = {
+  l_mutex : Mutex.t;
+  l_cond : Condition.t;
+  mutable l_state : latch_state;
+}
+
+and latch_state = L_decoding | L_done of decoded | L_failed of exn
+
+type entry = Resident of node | Pending of latch
+
+let lock = Mutex.create ()
+
+let table : (key, entry) Hashtbl.t = Hashtbl.create 1024
 
 let lru_front : node option ref = ref None
 
@@ -41,18 +74,20 @@ let default_budget_bytes = 64 * 1024 * 1024
 
 let budget_ref = ref default_budget_bytes
 
-(* cumulative, never reset by eviction *)
-let hits = ref 0
+(* cumulative, never reset by eviction; atomic so any domain may bump *)
+let hits = Atomic.make 0
 
-let misses = ref 0
+let misses = Atomic.make 0
 
-let evictions = ref 0
+let latch_waits = Atomic.make 0
 
-let decoded_bytes = ref 0
+let evictions = Atomic.make 0
 
-let blocks_skipped = ref 0
+let decoded_bytes = Atomic.make 0
 
-(* resident *)
+let blocks_skipped = Atomic.make 0
+
+(* resident accounting: guarded by [lock] *)
 let resident_bytes = ref 0
 
 let resident_blocks = ref 0
@@ -60,6 +95,7 @@ let resident_blocks = ref 0
 type stats = {
   s_hits : int;
   s_misses : int;
+  s_latch_waits : int;
   s_evictions : int;
   s_decoded_bytes : int;
   s_blocks_skipped : int;
@@ -68,19 +104,23 @@ type stats = {
 }
 
 let snapshot () : stats =
+  Mutex.lock lock;
+  let rb = !resident_bytes and rn = !resident_blocks in
+  Mutex.unlock lock;
   {
-    s_hits = !hits;
-    s_misses = !misses;
-    s_evictions = !evictions;
-    s_decoded_bytes = !decoded_bytes;
-    s_blocks_skipped = !blocks_skipped;
-    s_resident_bytes = !resident_bytes;
-    s_resident_blocks = !resident_blocks;
+    s_hits = Atomic.get hits;
+    s_misses = Atomic.get misses;
+    s_latch_waits = Atomic.get latch_waits;
+    s_evictions = Atomic.get evictions;
+    s_decoded_bytes = Atomic.get decoded_bytes;
+    s_blocks_skipped = Atomic.get blocks_skipped;
+    s_resident_bytes = rb;
+    s_resident_blocks = rn;
   }
 
 let budget_bytes () = !budget_ref
 
-(* --- LRU list surgery ---------------------------------------------- *)
+(* --- LRU list surgery (all called with [lock] held) ------------------ *)
 
 let unlink (n : node) : unit =
   (match n.prev with
@@ -118,13 +158,14 @@ let drop (n : node) : unit =
 
 (* Evict from the back until within budget. The newest entry is never
    evicted, so a single block larger than the whole budget still works
-   (it is simply the only resident block). *)
+   (it is simply the only resident block). Pending latches are not in
+   the LRU list, so an in-flight decode can never be evicted. *)
 let rec evict_to_budget ~(keep : node) : unit =
   if !resident_bytes > !budget_ref then begin
     match !lru_back with
     | Some n when n != keep ->
       drop n;
-      incr evictions;
+      Atomic.incr evictions;
       if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr "bufferpool.evictions";
       evict_to_budget ~keep
     | Some _ | None -> ()
@@ -133,67 +174,141 @@ let rec evict_to_budget ~(keep : node) : unit =
 (* --- public API ----------------------------------------------------- *)
 
 let set_budget ~(bytes : int) : unit =
+  Mutex.lock lock;
   budget_ref := max 0 bytes;
   (* shrink immediately; keep at least the most recent entry *)
-  match !lru_front with Some keep -> evict_to_budget ~keep | None -> ()
+  (match !lru_front with Some keep -> evict_to_budget ~keep | None -> ());
+  Mutex.unlock lock
+
+let resident ~(uid : int) ~(gen : int) ~(blk : int) : bool =
+  let key = { k_uid = uid; k_gen = gen; k_blk = blk } in
+  Mutex.lock lock;
+  let r = match Hashtbl.find_opt table key with Some (Resident _) -> true | _ -> false in
+  Mutex.unlock lock;
+  r
+
+(* Block on [l] until its decode completes; re-raise its failure. *)
+let await_latch (l : latch) : decoded =
+  Atomic.incr latch_waits;
+  if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr "bufferpool.latch_waits";
+  Mutex.lock l.l_mutex;
+  let rec wait () =
+    match l.l_state with
+    | L_decoding ->
+      Condition.wait l.l_cond l.l_mutex;
+      wait ()
+    | st -> st
+  in
+  let st = wait () in
+  Mutex.unlock l.l_mutex;
+  match st with
+  | L_done v -> v
+  | L_failed e -> raise e
+  | L_decoding -> assert false
+
+(* Complete [l] and wake every waiter. *)
+let settle_latch (l : latch) (st : latch_state) : unit =
+  Mutex.lock l.l_mutex;
+  l.l_state <- st;
+  Condition.broadcast l.l_cond;
+  Mutex.unlock l.l_mutex
 
 let fetch ~(uid : int) ~(gen : int) ~(blk : int) ~(decode : unit -> decoded) : decoded =
   let key = { k_uid = uid; k_gen = gen; k_blk = blk } in
+  Mutex.lock lock;
   match Hashtbl.find_opt table key with
-  | Some n ->
-    incr hits;
-    if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr "bufferpool.hits";
+  | Some (Resident n) ->
     touch n;
+    Mutex.unlock lock;
+    Atomic.incr hits;
+    if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr "bufferpool.hits";
     n.value
+  | Some (Pending l) ->
+    Mutex.unlock lock;
+    await_latch l
   | None ->
-    incr misses;
-    let v = decode () in
-    decoded_bytes := !decoded_bytes + v.d_bytes;
-    if Xquec_obs.is_enabled () then begin
-      Xquec_obs.Metrics.incr "bufferpool.misses";
-      Xquec_obs.Metrics.incr ~by:v.d_bytes "bufferpool.decoded_bytes"
-    end;
-    let n = { nkey = key; value = v; prev = None; next = None } in
-    Hashtbl.replace table key n;
-    push_front n;
-    resident_bytes := !resident_bytes + v.d_bytes;
-    resident_blocks := !resident_blocks + 1;
-    evict_to_budget ~keep:n;
-    publish_residency ();
-    v
+    let l = { l_mutex = Mutex.create (); l_cond = Condition.create (); l_state = L_decoding } in
+    Hashtbl.replace table key (Pending l);
+    Mutex.unlock lock;
+    Atomic.incr misses;
+    (match decode () with
+    | v ->
+      Mutex.lock lock;
+      (* Install only if we still own the slot: [invalidate] / [clear]
+         may have raced with the decode, in which case the result is
+         handed to the waiters but not cached. *)
+      (match Hashtbl.find_opt table key with
+      | Some (Pending l') when l' == l ->
+        let n = { nkey = key; value = v; prev = None; next = None } in
+        Hashtbl.replace table key (Resident n);
+        push_front n;
+        resident_bytes := !resident_bytes + v.d_bytes;
+        resident_blocks := !resident_blocks + 1;
+        evict_to_budget ~keep:n
+      | _ -> ());
+      Mutex.unlock lock;
+      ignore (Atomic.fetch_and_add decoded_bytes v.d_bytes);
+      if Xquec_obs.is_enabled () then begin
+        Xquec_obs.Metrics.incr "bufferpool.misses";
+        Xquec_obs.Metrics.incr ~by:v.d_bytes "bufferpool.decoded_bytes";
+        Mutex.lock lock;
+        publish_residency ();
+        Mutex.unlock lock
+      end;
+      settle_latch l (L_done v);
+      v
+    | exception e ->
+      Mutex.lock lock;
+      (match Hashtbl.find_opt table key with
+      | Some (Pending l') when l' == l -> Hashtbl.remove table key
+      | _ -> ());
+      Mutex.unlock lock;
+      settle_latch l (L_failed e);
+      raise e)
 
 let note_skipped (n : int) : unit =
   if n > 0 then begin
-    blocks_skipped := !blocks_skipped + n;
+    ignore (Atomic.fetch_and_add blocks_skipped n);
     if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr ~by:n "container.blocks_skipped"
   end
 
 let invalidate ~(uid : int) : unit =
+  Mutex.lock lock;
   let victims =
-    Hashtbl.fold (fun k n acc -> if k.k_uid = uid then n :: acc else acc) table []
+    Hashtbl.fold (fun k e acc -> if k.k_uid = uid then (k, e) :: acc else acc) table []
   in
-  List.iter drop victims;
-  publish_residency ()
+  List.iter
+    (fun (k, e) ->
+      match e with
+      | Resident n -> drop n
+      | Pending _ ->
+        (* The in-flight decoder's install check will see its latch is
+           gone and skip caching; waiters still get the value. *)
+        Hashtbl.remove table k)
+    victims;
+  publish_residency ();
+  Mutex.unlock lock
 
 let clear () : unit =
+  Mutex.lock lock;
   Hashtbl.reset table;
   lru_front := None;
   lru_back := None;
   resident_bytes := 0;
   resident_blocks := 0;
-  publish_residency ()
+  publish_residency ();
+  Mutex.unlock lock
 
 let reset_stats () : unit =
-  hits := 0;
-  misses := 0;
-  evictions := 0;
-  decoded_bytes := 0;
-  blocks_skipped := 0
+  Atomic.set hits 0;
+  Atomic.set misses 0;
+  Atomic.set latch_waits 0;
+  Atomic.set evictions 0;
+  Atomic.set decoded_bytes 0;
+  Atomic.set blocks_skipped 0
 
 (* --- uid allocation -------------------------------------------------- *)
 
-let uid_counter = ref 0
+let uid_counter = Atomic.make 0
 
-let fresh_uid () : int =
-  incr uid_counter;
-  !uid_counter
+let fresh_uid () : int = Atomic.fetch_and_add uid_counter 1 + 1

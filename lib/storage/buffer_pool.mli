@@ -8,7 +8,18 @@
     maintained unconditionally so the executor's EXPLAIN can attribute
     cache activity per operator even when global telemetry is off;
     events are mirrored to [Xquec_obs.Metrics] under ["bufferpool.*"]
-    when it is on. Single-threaded, like the rest of the engine. *)
+    when it is on.
+
+    {b Thread safety:} every function in this interface may be called
+    from any domain (the {!Domain_pool} workers decode into the pool
+    concurrently). A single mutex guards the LRU structures; decode
+    thunks run outside it. An in-flight decode is represented by a
+    per-block latch: a second requester of the same block blocks on the
+    latch instead of decoding again, counted as an [s_latch_waits]
+    event, so every fetch is exactly one of hit / miss / latch wait.
+    With [--decode-domains 0] no other domain exists, latch waits cannot
+    occur, and the counters coincide with the historical
+    single-threaded semantics. See [docs/CONCURRENCY.md]. *)
 
 (** A decoded block: parallel arrays of codes (still individually
     compressed) and parent node ids.
@@ -20,12 +31,15 @@
 type decoded = { codes : string array; parents : int array; d_bytes : int }
 
 (** Cumulative and resident pool counters, readable at any time.
-    [s_hits]/[s_misses]/[s_evictions]/[s_decoded_bytes]/[s_blocks_skipped]
-    only grow (see {!reset_stats}); the two [s_resident_*] fields track
-    what currently occupies the budget. *)
+    The cumulative fields ([s_hits] … [s_blocks_skipped]) only grow
+    (see {!reset_stats}); the two [s_resident_*] fields track what
+    currently occupies the budget. *)
 type stats = {
   s_hits : int;
   s_misses : int;
+  s_latch_waits : int;
+      (** fetches that blocked on another domain's in-flight decode of
+          the same block (always 0 under [--decode-domains 0]) *)
   s_evictions : int;
   s_decoded_bytes : int;  (** total bytes ever charged by decodes *)
   s_blocks_skipped : int;  (** blocks pruned via headers, never decoded *)
@@ -33,7 +47,8 @@ type stats = {
   s_resident_blocks : int;
 }
 
-(** Current counter values (cheap: a record copy of a few ints). *)
+(** Current counter values (cheap: atomic reads plus a brief lock for
+    the resident fields). *)
 val snapshot : unit -> stats
 
 (** Set the pool's byte budget (the CLI's [--cache-mb]); evicts
@@ -46,8 +61,18 @@ val budget_bytes : unit -> int
 
 (** [fetch ~uid ~gen ~blk ~decode] returns the decoded block for
     container [uid] (at recompression generation [gen]), block index
-    [blk] — from cache on a hit, via [decode] on a miss. *)
+    [blk] — from cache on a hit, via [decode] on a miss, or by waiting
+    on the latch of a concurrent decode of the same block. [decode] runs
+    outside the pool lock; if it raises, the exception propagates to
+    this caller and is re-raised at every latch waiter. *)
 val fetch : uid:int -> gen:int -> blk:int -> decode:(unit -> decoded) -> decoded
+
+(** [resident ~uid ~gen ~blk] is [true] iff the block is currently
+    cached (in-flight decodes count as absent). A stat-free peek used by
+    the batch decode path to partition candidate blocks; the answer may
+    be stale by the time the caller acts on it — that is safe, it only
+    costs an extra hit or latch wait. *)
+val resident : uid:int -> gen:int -> blk:int -> bool
 
 (** Record [n] blocks skipped wholesale by header min/max pruning
     (counted into {!stats} and the ["container.blocks_skipped"]
@@ -55,15 +80,17 @@ val fetch : uid:int -> gen:int -> blk:int -> decode:(unit -> decoded) -> decoded
 val note_skipped : int -> unit
 
 (** Drop every resident block of container [uid] (used after
-    recompression, together with the generation bump). *)
+    recompression, together with the generation bump). In-flight decodes
+    for [uid] complete but are not cached. *)
 val invalidate : uid:int -> unit
 
 (** Drop all resident blocks (a "cold cache" for benchmarks). Does not
-    reset the cumulative counters. *)
+    reset the cumulative counters. In-flight decodes complete but are
+    not cached. *)
 val clear : unit -> unit
 
 (** Zero the cumulative counters (resident state is untouched). *)
 val reset_stats : unit -> unit
 
-(** Allocate a process-unique container id for pool keys. *)
+(** Allocate a process-unique container id for pool keys (atomic). *)
 val fresh_uid : unit -> int

@@ -42,6 +42,11 @@ type t = {
   mutable n_records : int;
   mutable plain_bytes : int;  (** total plaintext bytes (for stats / cost model) *)
   mutable generation : int;  (** bumped by recompress; part of the pool key *)
+  mutable distinct_parents : bool;
+      (** no two records share a parent pointer — precomputed at build
+          time so bare-element predicates can skip the existence check
+          that used to scan every block (stored in the v2 image,
+          recomputed on v1 load) *)
 }
 
 let length t = t.n_records
@@ -147,11 +152,46 @@ let fetch_block (t : t) (i : int) : Buffer_pool.decoded =
       end;
       { Buffer_pool.codes; parents; d_bytes })
 
-(* records of block i, materialized *)
-let block_records (t : t) (i : int) : record list =
-  let d = fetch_block t i in
-  List.init (Array.length d.Buffer_pool.codes) (fun off ->
-      { code = d.Buffer_pool.codes.(off); parent = d.Buffer_pool.parents.(off) })
+(* Batch decode path: decode blocks [b0, b1] (inclusive) and return
+   their decoded images in order. Blocks already resident stay on the
+   caller's fast path (counted as hits); the absent ones are submitted
+   to the {!Domain_pool} as one batch, each task decoding through
+   {!Buffer_pool.fetch} so results land in the pool as they complete
+   and concurrent queries dedup on the pool's latches. With a pool of
+   size 0 — or fewer than two absent blocks — everything runs on the
+   calling domain in block order, preserving sequential semantics and
+   counters exactly. *)
+let fetch_blocks (t : t) ~(b0 : int) ~(b1 : int) : Buffer_pool.decoded array =
+  let n = b1 - b0 + 1 in
+  if n <= 0 then [||]
+  else begin
+    let results : Buffer_pool.decoded option array = Array.make n None in
+    if Domain_pool.size () > 0 && n > 1 then begin
+      let absent = ref [] in
+      for k = n - 1 downto 0 do
+        if not (Buffer_pool.resident ~uid:t.uid ~gen:t.generation ~blk:(b0 + k)) then
+          absent := k :: !absent
+      done;
+      match !absent with
+      | [] | [ _ ] -> ()  (* nothing or one block to decode: inline below *)
+      | ks ->
+        (* Each task writes its own slot; Domain_pool.run's batch latch
+           (a mutex handoff) publishes the writes to this domain. *)
+        let tasks =
+          Array.of_list
+            (List.map (fun k () -> results.(k) <- Some (fetch_block t (b0 + k))) ks)
+        in
+        Domain_pool.run tasks
+    end;
+    Array.init n (fun k ->
+        match results.(k) with Some d -> d | None -> fetch_block t (b0 + k))
+  end
+
+(** Decode blocks [b0, b1] into the buffer pool (in parallel when a
+    domain pool is configured) without returning them — the warm-up
+    half of every batched access path below. *)
+let prefetch_blocks (t : t) ~(b0 : int) ~(b1 : int) : unit =
+  ignore (fetch_blocks t ~b0 ~b1)
 
 let compressed_bytes (t : t) =
   Array.fold_left (fun acc b -> acc + String.length b.b_payload) 0 t.blocks
@@ -170,6 +210,19 @@ let publish_metrics (t : t) : unit =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
+
+(* One pass over the (still plaintext-side) records at build time; the
+   executor reads the resulting bit instead of scanning every block to
+   re-derive it per query. *)
+let all_parents_distinct (records : record array) : bool =
+  let seen = Hashtbl.create (Array.length records * 2 + 1) in
+  try
+    Array.iter
+      (fun r ->
+        if Hashtbl.mem seen r.parent then raise Exit else Hashtbl.add seen r.parent ())
+      records;
+    true
+  with Exit -> false
 
 (** Assemble a container from records already sorted by (code, parent).
     [plain_sizes.(i)] is the plaintext length of record [i] when known
@@ -201,6 +254,7 @@ let of_sorted_records ?block_size ?plain_sizes ~id ~path ~kind ~algorithm ~model
       n_records = n;
       plain_bytes;
       generation = 0;
+      distinct_parents = all_parents_distinct records;
     }
   in
   publish_metrics t;
@@ -226,10 +280,13 @@ let build ?block_size ~id ~path ~kind ~algorithm (values : (string * int) list) 
 
 (** All (plaintext, parent) pairs, decompressed, in record order. *)
 let dump (t : t) : (string * int) list =
+  let ds = fetch_blocks t ~b0:0 ~b1:(Array.length t.blocks - 1) in
   List.concat
     (List.init (Array.length t.blocks) (fun i ->
-         block_records t i
-         |> List.map (fun r -> (Compress.Codec.decompress t.model r.code, r.parent))))
+         let d = ds.(i) in
+         List.init (Array.length d.Buffer_pool.codes) (fun off ->
+             ( Compress.Codec.decompress t.model d.Buffer_pool.codes.(off),
+               d.Buffer_pool.parents.(off) ))))
 
 (** Re-compress with a new algorithm / shared model. [model] must have
     been trained on a superset of this container's values. Returns the
@@ -261,6 +318,7 @@ let recompress (t : t) ~algorithm ~model ~model_id : int array =
       ~plain_size:(fun i -> max 1 plain_sizes.(i))
       records;
   t.n_records <- Array.length records;
+  t.distinct_parents <- all_parents_distinct records;
   if Xquec_obs.is_enabled () then begin
     Xquec_obs.Metrics.incr "container.recompressions";
     publish_metrics t
@@ -297,9 +355,10 @@ let scan (t : t) : record array =
     Xquec_obs.Metrics.incr ~by:t.n_records "container.scanned_records"
   end;
   let out = Array.make t.n_records { code = ""; parent = 0 } in
+  let ds = fetch_blocks t ~b0:0 ~b1:(Array.length t.blocks - 1) in
   Array.iteri
     (fun bi b ->
-      let d = fetch_block t bi in
+      let d = ds.(bi) in
       for off = 0 to b.b_count - 1 do
         out.(b.b_start + off) <-
           { code = d.Buffer_pool.codes.(off); parent = d.Buffer_pool.parents.(off) }
@@ -398,11 +457,12 @@ let range (t : t) ~(lo : int) ~(hi : int) : record list =
   else begin
     let b0 = block_of_index t lo and b1 = block_of_index t (hi - 1) in
     Buffer_pool.note_skipped (nblocks - (b1 - b0 + 1));
+    let ds = fetch_blocks t ~b0 ~b1 in
     List.concat
       (List.init (b1 - b0 + 1) (fun k ->
            let bi = b0 + k in
            let b = t.blocks.(bi) in
-           let d = fetch_block t bi in
+           let d = ds.(k) in
            let off_lo = max 0 (lo - b.b_start) in
            let off_hi = min b.b_count (hi - b.b_start) in
            List.init (off_hi - off_lo) (fun j ->
@@ -426,10 +486,10 @@ let lookup_eq (t : t) (code : string) : record list =
   end
   else begin
     Buffer_pool.note_skipped (nblocks - (b1 - b0 + 1));
+    let ds = fetch_blocks t ~b0 ~b1 in
     List.concat
       (List.init (b1 - b0 + 1) (fun k ->
-           let bi = b0 + k in
-           let d = fetch_block t bi in
+           let d = ds.(k) in
            let off_lo = in_block_lower d code in
            let off_hi = in_block_upper d code in
            List.init (off_hi - off_lo) (fun j ->
@@ -456,11 +516,12 @@ let lookup_range (t : t) ?lo ?hi () : record list =
     end
     else begin
       Buffer_pool.note_skipped (nblocks - (b1 - b0 + 1));
+      let ds = fetch_blocks t ~b0 ~b1 in
       List.concat
         (List.init (b1 - b0 + 1) (fun k ->
              let bi = b0 + k in
              let b = t.blocks.(bi) in
-             let d = fetch_block t bi in
+             let d = ds.(k) in
              let off_lo =
                match lo with
                | Some c when bi = b0 && String.compare b.b_min c < 0 -> in_block_lower d c
@@ -492,9 +553,10 @@ let compress_constant (t : t) (v : string) : string =
 (* ------------------------------------------------------------------ *)
 
 (* v2 container layout (inside a repository v2 image):
-     varint id | varint |path| path | kind byte ('T'/'A')
+     varint id | varint |path| path | kind byte ('T'/'A') | flags byte
      varint |alg| alg | varint model_id | varint plain_bytes
      varint n_records | varint n_blocks
+   Flags: bit 0 = parents all distinct (precomputed at build time).
      then per block:
        varint b_count | varint |b_min| b_min | varint |b_max| b_max
        varint b_plain | varint |payload| payload
@@ -510,6 +572,7 @@ let serialize buf (t : t) =
   add_varint buf t.id;
   add_str t.path;
   Buffer.add_char buf (match t.kind with Text -> 'T' | Attribute -> 'A');
+  Buffer.add_char buf (Char.chr (if t.distinct_parents then 1 else 0));
   add_str (Compress.Codec.algorithm_name t.algorithm);
   add_varint buf t.model_id;
   add_varint buf t.plain_bytes;
@@ -542,6 +605,8 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
   let id = varint () in
   let path = str () in
   let kind = match s.[!pos] with 'T' -> Text | 'A' -> Attribute | _ -> failwith "bad kind" in
+  incr pos;
+  let distinct_parents = Char.code s.[!pos] land 1 <> 0 in
   incr pos;
   let algorithm = Compress.Codec.algorithm_of_name (str ()) in
   let model_id = varint () in
@@ -576,6 +641,7 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
       n_records;
       plain_bytes;
       generation = 0;
+      distinct_parents;
     },
     !pos )
 

@@ -52,6 +52,12 @@ type t = {
   mutable n_records : int;
   mutable plain_bytes : int;  (** total plaintext bytes (stats / cost model) *)
   mutable generation : int;  (** bumped on {!recompress}; part of the pool key *)
+  mutable distinct_parents : bool;
+      (** no two records share a parent pointer. Precomputed at build /
+          recompress time and stored in the v2 image (recomputed when
+          loading v1), so bare-element existence predicates can take the
+          header-pruned path instead of scanning every block to check
+          distinctness. *)
 }
 
 (** Number of records (across all blocks). *)
@@ -117,8 +123,25 @@ val recompress :
   int array
 
 (** ContScan: every record in compressed-value order. Decodes all
-    blocks (the pruning access paths below exist to avoid this). *)
+    blocks (the pruning access paths below exist to avoid this) — in
+    parallel on the {!Domain_pool} when one is configured. *)
 val scan : t -> record array
+
+(** [fetch_blocks t ~b0 ~b1] decodes blocks [b0..b1] (inclusive) and
+    returns their images in block order — the batch decode path behind
+    {!scan}, {!range}, {!lookup_eq}, {!lookup_range} and {!dump}.
+    Already-resident blocks are fetched on the calling domain (hits);
+    the absent ones are decoded as one {!Domain_pool} batch, installing
+    into the {!Buffer_pool} as they complete. With a pool of size 0, or
+    fewer than two absent blocks, everything runs sequentially on the
+    calling domain, with counters identical to the historical
+    single-threaded path. Empty ranges ([b1 < b0]) yield [[||]]. *)
+val fetch_blocks : t -> b0:int -> b1:int -> Buffer_pool.decoded array
+
+(** [prefetch_blocks t ~b0 ~b1] is {!fetch_blocks} for effect only:
+    warm the buffer pool with the candidate blocks of an upcoming
+    scan/range without materializing records. *)
+val prefetch_blocks : t -> b0:int -> b1:int -> unit
 
 (** [get t i] is record [i] (0-based, in compressed-value order);
     decodes at most the one block holding it. Raises [Invalid_argument]

@@ -262,6 +262,209 @@ let test_executor_pruning_via_counters () =
     (s1.Buffer_pool.s_blocks_skipped - s0.Buffer_pool.s_blocks_skipped > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel decode: domain pool + thread-safe buffer pool              *)
+(* ------------------------------------------------------------------ *)
+
+let read_fixture name =
+  let path = Filename.concat "fixtures" name in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Run [f] with the decode pool resized to [n] domains, restoring the
+   ambient size (whatever $XQUEC_DECODE_DOMAINS / the host picked)
+   afterwards so the other suites keep their configuration. *)
+let with_pool_size n f =
+  let saved = Domain_pool.size () in
+  Domain_pool.set_size n;
+  Fun.protect ~finally:(fun () -> Domain_pool.set_size saved) f
+
+let record_list (rs : Container.record array) =
+  Array.to_list rs |> List.map (fun (r : Container.record) -> (r.Container.code, r.Container.parent))
+
+let test_parallel_scan_parity () =
+  let c = blocky_container ~n:60 () in
+  let reference =
+    with_pool_size 0 (fun () ->
+        Buffer_pool.clear ();
+        record_list (Container.scan c))
+  in
+  List.iter
+    (fun domains ->
+      with_pool_size domains (fun () ->
+          Buffer_pool.clear ();
+          let cold = record_list (Container.scan c) in
+          Alcotest.(check bool)
+            (Printf.sprintf "cold scan identical at %d domains" domains)
+            true (cold = reference);
+          let warm = record_list (Container.scan c) in
+          Alcotest.(check bool)
+            (Printf.sprintf "warm scan identical at %d domains" domains)
+            true (warm = reference);
+          (* the pruned access paths agree too *)
+          Buffer_pool.clear ();
+          let eq = Container.lookup_eq c (Container.compress_constant c "v007") in
+          Alcotest.(check int)
+            (Printf.sprintf "lookup_eq at %d domains" domains)
+            1 (List.length eq);
+          Buffer_pool.clear ();
+          let r = Container.range c ~lo:5 ~hi:35 in
+          Alcotest.(check int)
+            (Printf.sprintf "range size at %d domains" domains)
+            30 (List.length r)))
+    [ 1; 2; 4 ]
+
+let test_parallel_latch_dedup () =
+  (* N raw domains scanning the same cold container concurrently: the
+     in-flight latches must dedup decodes, so the total number of misses
+     (= decode thunk runs) stays <= the block count, and every domain
+     sees the same records. *)
+  let c = blocky_container ~n:50 () in
+  with_pool_size 0 (fun () ->
+      (* pool size 0: contention comes purely from the raw domains, so
+         the miss accounting below isn't mixed with helper activity *)
+      Buffer_pool.clear ();
+      let reference = record_list (Container.scan c) in
+      Buffer_pool.clear ();
+      let s0 = Buffer_pool.snapshot () in
+      let scans =
+        List.init 4 (fun _ -> Domain.spawn (fun () -> record_list (Container.scan c)))
+      in
+      let results = List.map Domain.join scans in
+      let s1 = Buffer_pool.snapshot () in
+      List.iteri
+        (fun i r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "domain %d scan identical" i)
+            true (r = reference))
+        results;
+      let misses = s1.Buffer_pool.s_misses - s0.Buffer_pool.s_misses in
+      Alcotest.(check bool) "each block decoded at most once" true
+        (misses <= Container.block_count c);
+      (* 4 scans x 50 blocks = 200 accesses, each exactly one of
+         hit / miss / latch wait *)
+      let hits = s1.Buffer_pool.s_hits - s0.Buffer_pool.s_hits in
+      let waits = s1.Buffer_pool.s_latch_waits - s0.Buffer_pool.s_latch_waits in
+      Alcotest.(check int) "accesses partition into hit/miss/wait"
+        (4 * Container.block_count c)
+        (hits + misses + waits))
+
+let test_prefetch_blocks () =
+  let c = blocky_container ~n:30 () in
+  with_pool_size 2 (fun () ->
+      Buffer_pool.clear ();
+      Container.prefetch_blocks c ~b0:0 ~b1:(Container.block_count c - 1);
+      let s0 = Buffer_pool.snapshot () in
+      ignore (Container.scan c);
+      let s1 = Buffer_pool.snapshot () in
+      Alcotest.(check int) "scan after prefetch decodes nothing" 0
+        (s1.Buffer_pool.s_misses - s0.Buffer_pool.s_misses);
+      Alcotest.(check int) "scan after prefetch all hits"
+        (Container.block_count c)
+        (s1.Buffer_pool.s_hits - s0.Buffer_pool.s_hits))
+
+let test_sequential_parity_v1_fixture () =
+  (* --decode-domains 0 on the v1 fixture must agree with a parallel
+     pool, and must never block on a latch (no other domain exists). *)
+  let data = read_fixture "v1_small.xqc" in
+  let queries =
+    [
+      "document(\"v1_small.xml\")/site/people/person/name";
+      "document(\"v1_small.xml\")/site/people/person[age > 30]/name";
+      "document(\"v1_small.xml\")/site/people/person[@id = \"p2\"]";
+    ]
+  in
+  let answers domains =
+    with_pool_size domains (fun () ->
+        Buffer_pool.clear ();
+        let repo = Repository.deserialize data in
+        let s0 = Buffer_pool.snapshot () in
+        let out =
+          List.map
+            (fun q ->
+              Xquec_core.Executor.serialize repo (Xquec_core.Executor.run_string repo q))
+            queries
+        in
+        let s1 = Buffer_pool.snapshot () in
+        (out, s1.Buffer_pool.s_latch_waits - s0.Buffer_pool.s_latch_waits))
+  in
+  let (seq, seq_waits) = answers 0 in
+  let (par, _) = answers 4 in
+  Alcotest.(check (list string)) "0-domain answers = 4-domain answers" seq par;
+  Alcotest.(check int) "sequential path never waits on a latch" 0 seq_waits
+
+(* ------------------------------------------------------------------ *)
+(* distinct_parents precompute                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_distinct_parents_bit () =
+  let distinct =
+    Container.build ~id:0 ~path:"/a/b/#text" ~kind:Container.Text
+      ~algorithm:Compress.Codec.Alm_alg
+      [ ("x", 1); ("y", 2); ("z", 3) ]
+  in
+  Alcotest.(check bool) "distinct parents detected" true distinct.Container.distinct_parents;
+  let dup =
+    Container.build ~id:1 ~path:"/a/b/#text" ~kind:Container.Text
+      ~algorithm:Compress.Codec.Alm_alg
+      [ ("x", 1); ("y", 1); ("z", 3) ]
+  in
+  Alcotest.(check bool) "duplicate parent detected" false dup.Container.distinct_parents;
+  (* recompress recomputes *)
+  let before = Container.dump dup in
+  let model = Compress.Codec.train Compress.Codec.Huffman_alg (List.map fst before) in
+  ignore (Container.recompress dup ~algorithm:Compress.Codec.Huffman_alg ~model ~model_id:9);
+  Alcotest.(check bool) "recompress keeps the bit honest" false dup.Container.distinct_parents
+
+let container_bits (repo : Repository.t) =
+  Array.to_list repo.Repository.containers
+  |> List.map (fun (c : Container.t) -> (c.Container.path, c.Container.distinct_parents))
+  |> List.sort compare
+
+let test_distinct_parents_persisted () =
+  (* the bit survives a v2 save/load, and is recomputed on v1 loads *)
+  let xml = Xmark.Xmlgen.generate ~scale:0.03 () in
+  let repo = Xquec_core.Loader.load ~name:"auction.xml" xml in
+  let repo' = Repository.deserialize (Repository.serialize repo) in
+  Alcotest.(check bool) "v2 roundtrip preserves bits" true
+    (container_bits repo = container_bits repo');
+  let v1 = Repository.deserialize (read_fixture "v1_small.xqc") in
+  let fresh = Xquec_core.Loader.load ~name:"v1_small.xml" (read_fixture "v1_small.xml") in
+  Alcotest.(check bool) "v1 load recomputes the same bits" true
+    (container_bits v1 = container_bits fresh)
+
+let test_bare_element_predicate_pruned () =
+  (* regression: bare-element predicates used to re-derive parent
+     distinctness with a full Container.scan per query, decoding every
+     block; with the precomputed bit they prune like attribute
+     predicates *)
+  let xml =
+    "<r>"
+    ^ String.concat ""
+        (List.init 200 (fun i -> Printf.sprintf "<e><c>key%03d</c></e>" i))
+    ^ "</r>"
+  in
+  let saved = Container.default_block_size () in
+  Container.set_default_block_size 64;
+  Fun.protect ~finally:(fun () -> Container.set_default_block_size saved)
+  @@ fun () ->
+  let repo = Xquec_core.Loader.load ~name:"t" xml in
+  let k = Option.get (Repository.find_container_by_path repo "/r/e/c/#text") in
+  Alcotest.(check bool) "container split into many blocks" true
+    (Container.block_count k > 10);
+  Alcotest.(check bool) "bit precomputed as distinct" true k.Container.distinct_parents;
+  Buffer_pool.clear ();
+  let s0 = Buffer_pool.snapshot () in
+  let items = Xquec_core.Executor.run_string repo "document(\"t\")/r/e[c = \"key123\"]" in
+  let s1 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "one element matches" 1 (List.length items);
+  let decoded = s1.Buffer_pool.s_misses - s0.Buffer_pool.s_misses in
+  Alcotest.(check bool) "bare-element predicate decodes a strict subset" true
+    (decoded > 0 && decoded < Container.block_count k)
+
+(* ------------------------------------------------------------------ *)
 (* Structure tree + summary via the loader                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -353,14 +556,6 @@ let test_repository_v2_byte_exact () =
   let data' = Repository.serialize repo' in
   Alcotest.(check bool) "save/load/save is byte-exact" true (String.equal data data')
 
-let read_fixture name =
-  let path = Filename.concat "fixtures" name in
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
 let test_repository_v1_fixture () =
   (* a repository written by the pre-block (v1) format must still load *)
   let data = read_fixture "v1_small.xqc" in
@@ -419,6 +614,13 @@ let suites =
         Alcotest.test_case "min/max block pruning" `Quick test_block_pruning;
         Alcotest.test_case "buffer pool LRU + accounting" `Quick test_buffer_pool_hits_and_eviction;
         Alcotest.test_case "executor pruning skips decodes" `Quick test_executor_pruning_via_counters;
+        Alcotest.test_case "parallel scan parity (1/2/4 domains)" `Quick test_parallel_scan_parity;
+        Alcotest.test_case "latch dedup under contention" `Quick test_parallel_latch_dedup;
+        Alcotest.test_case "prefetch warms the pool" `Quick test_prefetch_blocks;
+        Alcotest.test_case "decode-domains 0 parity on v1 fixture" `Quick test_sequential_parity_v1_fixture;
+        Alcotest.test_case "distinct_parents precompute" `Quick test_distinct_parents_bit;
+        Alcotest.test_case "distinct_parents persisted / recomputed" `Quick test_distinct_parents_persisted;
+        Alcotest.test_case "bare-element predicate pruned" `Quick test_bare_element_predicate_pruned;
         Alcotest.test_case "structure tree navigation" `Quick test_tree_navigation;
         Alcotest.test_case "B+ index lookup" `Quick test_tree_find_via_index;
         Alcotest.test_case "summary matching" `Quick test_summary_matching;
