@@ -2,8 +2,14 @@
 
 XQUEC := dune exec bin/xquec.exe --
 SMOKE_DIR := _smoke
+GATE_DIR := _gate
 
-.PHONY: all build check test bench smoke docs clean
+# The fast, deterministic experiments the quick bench gate reruns on
+# every `make check` (counts, sizes and digests only — quick mode skips
+# timing metrics, and experiments not on this list are skipped).
+GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel
+
+.PHONY: all build check test bench bench-gate smoke docs clean
 
 all: build
 
@@ -16,12 +22,28 @@ build:
 # The storage suite runs twice more: with a 4-domain decode pool
 # (parallel block decode exercised everywhere) and with 0 domains (the
 # sequential fallback), which must both agree with the default run.
+# Finally the quick bench gate reruns the fast experiments and diffs
+# their counts and digests against the committed baseline.
 check:
 	dune build
 	dune runtest
 	cd test && dune exec ./test_main.exe -- test storage
 	cd test && XQUEC_DECODE_DOMAINS=4 dune exec ./test_main.exe -- test storage
 	cd test && XQUEC_DECODE_DOMAINS=0 dune exec ./test_main.exe -- test storage
+	mkdir -p $(GATE_DIR)
+	dune exec bench/main.exe -- --json $(GATE_DIR)/quick.json $(GATE_QUICK_EXPERIMENTS) \
+	  > $(GATE_DIR)/quick.log
+	dune exec tools/bench_gate.exe -- --quick --candidate $(GATE_DIR)/quick.json
+
+# full bench regression gate: rerun the whole suite (~3 min at the
+# default scale) and diff every metric — timings included, with 2x
+# slack — against the committed BENCH_results.json. The verdict also
+# lands in $(GATE_DIR)/verdict.json for machines.
+bench-gate: build
+	mkdir -p $(GATE_DIR)
+	dune exec bench/main.exe -- --json $(GATE_DIR)/results.json > $(GATE_DIR)/bench.log
+	dune exec tools/bench_gate.exe -- --candidate $(GATE_DIR)/results.json \
+	  --json $(GATE_DIR)/verdict.json
 
 test: check
 
@@ -53,4 +75,4 @@ smoke: build
 
 clean:
 	dune clean
-	rm -rf $(SMOKE_DIR)
+	rm -rf $(SMOKE_DIR) $(GATE_DIR)

@@ -757,7 +757,53 @@ let cache () =
       Fmt.pr "%-12d %14d %12d %14d %10.2f@." bs sz.Storage.Repository.containers_bytes nblocks
         dec cold_ms)
     [ 1024; 4096; 16384; 65536 ];
-  Storage.Container.set_default_block_size saved
+  Storage.Container.set_default_block_size saved;
+  (* Scan resistance: a full container scan (Tail admission) must not
+     evict a warmed working set. Warm the selective query's blocks under
+     a tight budget, scan the largest container, then re-run the
+     selective query — a scan-resistant pool re-runs it without new
+     misses. *)
+  header "Scan resistance (tight budget, full scan between warm runs)";
+  let repo = Xquec_core.Engine.repo engine in
+  let biggest =
+    Array.fold_left
+      (fun acc (c : Storage.Container.t) ->
+        if Storage.Container.block_count c > Storage.Container.block_count acc then c else acc)
+      repo.Storage.Repository.containers.(0) repo.Storage.Repository.containers
+  in
+  let selective = "document(\"auction.xml\")/site/people/person[@id = \"person100\"]/name" in
+  let budget = 256 * 1024 in
+  let saved_budget = Storage.Buffer_pool.budget_bytes () in
+  Fun.protect ~finally:(fun () -> Storage.Buffer_pool.set_budget ~bytes:saved_budget)
+  @@ fun () ->
+  Storage.Buffer_pool.set_budget ~bytes:budget;
+  Storage.Buffer_pool.clear ();
+  ignore (Xquec_core.Engine.query_serialized engine selective);
+  ignore (Xquec_core.Engine.query_serialized engine selective) (* fully warm *);
+  let s0 = Storage.Buffer_pool.snapshot () in
+  ignore (Storage.Container.scan biggest);
+  let s1 = Storage.Buffer_pool.snapshot () in
+  ignore (Xquec_core.Engine.query_serialized engine selective);
+  let s2 = Storage.Buffer_pool.snapshot () in
+  let scan_inserts = s1.Storage.Buffer_pool.s_scan_inserts - s0.Storage.Buffer_pool.s_scan_inserts in
+  let hot_misses_after_scan = s2.Storage.Buffer_pool.s_misses - s1.Storage.Buffer_pool.s_misses in
+  let within_budget = if s2.Storage.Buffer_pool.s_resident_bytes <= budget then 1.0 else 0.0 in
+  record ~exp:"cache" "scan_resistance"
+    (obj
+       [
+         ("budget_bytes", num (float_of_int budget));
+         ("scan_blocks", num (float_of_int (Storage.Container.block_count biggest)));
+         ("scan_inserts", num (float_of_int scan_inserts));
+         ("hot_misses_after_scan", num (float_of_int hot_misses_after_scan));
+         ("resident_within_budget", num within_budget);
+       ]);
+  Fmt.pr
+    "budget %d B: scan of %s (%d blocks) tail-admitted %d blocks; selective re-run after \
+     scan: %d misses (scan-resistant = 0); resident %d B %s budget@."
+    budget biggest.Storage.Container.path
+    (Storage.Container.block_count biggest)
+    scan_inserts hot_misses_after_scan s2.Storage.Buffer_pool.s_resident_bytes
+    (if within_budget = 1.0 then "within" else "OVER")
 
 (* ------------------------------------------------------------------ *)
 (* Parallel block decode: the domains sweep                             *)

@@ -86,23 +86,38 @@ let decode_domains =
               default is one worker per spare core, or \\$XQUEC_DECODE_DOMAINS when \
               set.")
 
+let query_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "query-log" ] ~docv:"FILE"
+        ~doc:"Append one JSONL record per query to $(docv): query hash, plan shape, \
+              wall/CPU time, per-operator cardinalities, bytes decoded vs. pruned, \
+              buffer-pool and decode-pool activity, GC allocation (schema in \
+              docs/OBSERVABILITY.md). \\$XQUEC_QUERY_LOG sets a process-wide default.")
+
 let buffer_pool_summary () =
   let s = Storage.Buffer_pool.snapshot () in
   let p = Storage.Domain_pool.snapshot () in
   Printf.sprintf
-    "buffer pool: %d hits / %d misses / %d latch waits / %d evictions; %d blocks pruned; %d B decoded; %d B resident in %d blocks (budget %d B)\n\
-     decode pool: %d domains; %d batches / %d tasks (%d inline); %.1f ms parallel-decode wall\n"
+    "buffer pool: %d hits / %d misses / %d latch waits / %d evictions; %d blocks pruned; %d scan inserts; %d B decoded (payload %d B decoded / %d B pruned); %d B resident in %d blocks (budget %d B)\n\
+     decode pool: %d domains; %d batches / %d tasks (%d inline); max queue depth %d; %.1f ms parallel-decode wall\n"
     s.Storage.Buffer_pool.s_hits s.Storage.Buffer_pool.s_misses
     s.Storage.Buffer_pool.s_latch_waits s.Storage.Buffer_pool.s_evictions
-    s.Storage.Buffer_pool.s_blocks_skipped s.Storage.Buffer_pool.s_decoded_bytes
-    s.Storage.Buffer_pool.s_resident_bytes s.Storage.Buffer_pool.s_resident_blocks
+    s.Storage.Buffer_pool.s_blocks_skipped s.Storage.Buffer_pool.s_scan_inserts
+    s.Storage.Buffer_pool.s_decoded_bytes s.Storage.Buffer_pool.s_payload_bytes
+    s.Storage.Buffer_pool.s_skipped_bytes s.Storage.Buffer_pool.s_resident_bytes
+    s.Storage.Buffer_pool.s_resident_blocks
     (Storage.Buffer_pool.budget_bytes ())
     p.Storage.Domain_pool.p_domains p.Storage.Domain_pool.p_batches
     p.Storage.Domain_pool.p_tasks p.Storage.Domain_pool.p_inline
-    p.Storage.Domain_pool.p_wall_ms
+    p.Storage.Domain_pool.p_max_queue_depth p.Storage.Domain_pool.p_wall_ms
 
-let with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains f =
+let with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains ?query_log f =
   if stats || trace_out <> None then Xquec_obs.set_enabled true;
+  (match query_log with
+  | Some file -> Xquec_obs.Query_log.set_path (Some file)
+  | None -> ());
   (match cache_mb with
   | Some mb -> Storage.Buffer_pool.set_budget ~bytes:(mb * 1024 * 1024)
   | None -> ());
@@ -198,11 +213,11 @@ let query_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
   let timing = Arg.(value & flag & info [ "t"; "time" ] ~doc:"Print the evaluation time.") in
-  let run input query timing stats trace_out cache_mb decode_domains =
-    with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains @@ fun () ->
+  let run input query timing stats trace_out cache_mb decode_domains query_log =
+    with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains ?query_log @@ fun () ->
     let engine = load_engine_any input in
     let t0 = Unix.gettimeofday () in
-    let result = Xquec_core.Engine.query_serialized engine query in
+    let result, _prof = Xquec_core.Engine.query_serialized_logged engine query in
     let dt = Unix.gettimeofday () -. t0 in
     print_endline result;
     if timing then Fmt.epr "query evaluated in %.1f ms@." (1000.0 *. dt)
@@ -213,7 +228,7 @@ let query_cmd =
              decompressed only for output)")
     Term.(
       const run $ input $ query $ timing $ stats_flag $ trace_out $ cache_mb
-      $ decode_domains)
+      $ decode_domains $ query_log)
 
 (* --- explain -------------------------------------------------------- *)
 
@@ -230,12 +245,17 @@ let explain_cmd =
           ~doc:"Only analyze the strategy (the classic EXPLAIN); do not evaluate the \
                 query or print the profiled plan.")
   in
-  let run input query plan_only stats trace_out cache_mb decode_domains =
-    with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains @@ fun () ->
+  let run input query plan_only stats trace_out cache_mb decode_domains query_log =
+    with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains ?query_log @@ fun () ->
     let engine = load_engine_any input in
     let repo = Xquec_core.Engine.repo engine in
     if plan_only then print_endline (Xquec_core.Optimizer.explain_string repo query)
-    else print_string (Xquec_core.Optimizer.explain_profiled repo query)
+    else begin
+      (* Route through the logged evaluation path so `explain --query-log`
+         appends the same one-record-per-query accounting as `query`. *)
+      let _out, prof = Xquec_core.Engine.query_serialized_logged engine query in
+      print_string (Xquec_core.Optimizer.render_profiled repo query prof)
+    end
   in
   Cmd.v
     (Cmd.info "explain"
@@ -247,7 +267,49 @@ let explain_cmd =
              may be a compressed repository or a raw XML document.")
     Term.(
       const run $ input $ query $ plan_only $ stats_flag $ trace_out $ cache_mb
-      $ decode_domains)
+      $ decode_domains $ query_log)
+
+(* --- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let port =
+    Arg.(
+      value & opt int 9464
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks a free port; the bound port is printed \
+                on startup).")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind (default loopback only).")
+  in
+  let run input port host cache_mb decode_domains query_log =
+    with_telemetry ~stats:false ~trace_out:None ?cache_mb ?decode_domains ?query_log
+    @@ fun () ->
+    (* metrics + spans always on under serve: the endpoint exists to be scraped *)
+    Xquec_obs.set_enabled true;
+    let engine = load_engine_any input in
+    let server =
+      Xquec_obs.Expo.start ~host ~port
+        ~extra:(Xquec_core.Serve.handler engine)
+        ~collect:Xquec_core.Serve.publish_pool_metrics ()
+    in
+    Fmt.pr "xquec serve: listening on http://%s:%d (endpoints: /metrics /healthz /query /stats)@."
+      host (Xquec_obs.Expo.port server);
+    Xquec_obs.Expo.wait server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a repository over HTTP: POST /query (or GET /query?q=...) evaluates \
+             XQuery; GET /metrics exposes the counters, gauges, and histograms in \
+             Prometheus text format (buffer-pool, decode-pool, per-container, and \
+             per-query series); GET /healthz and GET /stats (JSON) for probes and \
+             debugging. Single-threaded accept loop intended for local inspection and \
+             scrapes, not production traffic.")
+    Term.(const run $ input $ port $ host $ cache_mb $ decode_domains $ query_log)
 
 (* --- stats ---------------------------------------------------------- *)
 
@@ -318,4 +380,7 @@ let () =
        (Cmd.group ~default
           (Cmd.info "xquec" ~version:"1.0.0"
              ~doc:"XQueC: an XQuery processor and compressor (EDBT 2004 reproduction)")
-          [ compress_cmd; decompress_cmd; query_cmd; explain_cmd; stats_cmd; generate_cmd ]))
+          [
+            compress_cmd; decompress_cmd; query_cmd; explain_cmd; stats_cmd; serve_cmd;
+            generate_cmd;
+          ]))

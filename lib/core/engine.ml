@@ -45,6 +45,109 @@ let query_ast (t : t) (ast : Xquery.Ast.expr) : Executor.item list = Executor.ru
 let query_serialized (t : t) (text : string) : string =
   Executor.serialize t.repo (query t text)
 
+(* --- query log ------------------------------------------------------- *)
+
+let iso8601 (t : float) : string =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    (int_of_float (Float.rem t 1.0 *. 1000.0))
+
+let cpu_ms () =
+  let tms = Unix.times () in
+  (tms.Unix.tms_utime +. tms.Unix.tms_stime) *. 1000.0
+
+(** Evaluate, serialize, and append one record to the JSONL query log
+    ({!Xquec_obs.Query_log}) accounting for the query's full cost: wall
+    and CPU time, the profiled plan (shape + per-operator
+    cardinalities), buffer-pool and decode-pool counter deltas, bytes
+    decoded vs. bytes pruned, and GC allocation deltas. Also returns
+    the profile so callers (EXPLAIN, serve) can render it. The deltas
+    are taken around evaluation {e and} serialization, so they
+    reconcile with the CLI's [--stats] pool summary for a
+    single-query run. When no log file is configured this is
+    {!query_profiled} + serialization without the bookkeeping. *)
+let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain.node =
+  if not (Xquec_obs.Query_log.enabled ()) then begin
+    let items, prof = query_profiled t text in
+    (Executor.serialize t.repo items, prof)
+  end
+  else begin
+    let module Json = Xquec_obs.Json in
+    let started_at = Unix.gettimeofday () in
+    let pool0 = Buffer_pool.snapshot () in
+    let dpool0 = Domain_pool.snapshot () in
+    let gc_alloc0 = Gc.allocated_bytes () in
+    let gc0 = Gc.quick_stat () in
+    let cpu0 = cpu_ms () in
+    let t0 = Xquec_obs.Trace.now_us () in
+    let items, prof = query_profiled t text in
+    let out = Executor.serialize t.repo items in
+    (* deltas taken after serialization: decompressing the result is
+       part of the query's cost (the paper's QET convention) *)
+    let wall_ms = (Xquec_obs.Trace.now_us () -. t0) /. 1000.0 in
+    let cpu = cpu_ms () -. cpu0 in
+    let pool1 = Buffer_pool.snapshot () in
+    let dpool1 = Domain_pool.snapshot () in
+    let gc_alloc1 = Gc.allocated_bytes () in
+    let gc1 = Gc.quick_stat () in
+    let n name v = (name, Json.Num (float_of_int v)) in
+    let record =
+      Json.Obj
+        [
+          ("ts", Json.Str (iso8601 started_at));
+          ("query_hash", Json.Str (Digest.to_hex (Digest.string text)));
+          ("query", Json.Str text);
+          ("plan_shape", Json.Str (Xquec_obs.Explain.shape prof));
+          ("wall_ms", Json.Num wall_ms);
+          ("cpu_ms", Json.Num cpu);
+          n "rows" (List.length items);
+          n "result_bytes" (String.length out);
+          ( "bytes",
+            Json.Obj
+              [
+                n "decoded" (pool1.Buffer_pool.s_decoded_bytes - pool0.Buffer_pool.s_decoded_bytes);
+                n "payload_decoded"
+                  (pool1.Buffer_pool.s_payload_bytes - pool0.Buffer_pool.s_payload_bytes);
+                n "payload_skipped"
+                  (pool1.Buffer_pool.s_skipped_bytes - pool0.Buffer_pool.s_skipped_bytes);
+              ] );
+          ( "pool",
+            Json.Obj
+              [
+                n "hits" (pool1.Buffer_pool.s_hits - pool0.Buffer_pool.s_hits);
+                n "misses" (pool1.Buffer_pool.s_misses - pool0.Buffer_pool.s_misses);
+                n "latch_waits"
+                  (pool1.Buffer_pool.s_latch_waits - pool0.Buffer_pool.s_latch_waits);
+                n "evictions" (pool1.Buffer_pool.s_evictions - pool0.Buffer_pool.s_evictions);
+                n "blocks_skipped"
+                  (pool1.Buffer_pool.s_blocks_skipped - pool0.Buffer_pool.s_blocks_skipped);
+                n "scan_inserts"
+                  (pool1.Buffer_pool.s_scan_inserts - pool0.Buffer_pool.s_scan_inserts);
+              ] );
+          ( "decode_pool",
+            Json.Obj
+              [
+                n "domains" dpool1.Domain_pool.p_domains;
+                n "batches" (dpool1.Domain_pool.p_batches - dpool0.Domain_pool.p_batches);
+                n "tasks" (dpool1.Domain_pool.p_tasks - dpool0.Domain_pool.p_tasks);
+                n "inline_tasks" (dpool1.Domain_pool.p_inline - dpool0.Domain_pool.p_inline);
+                n "max_queue_depth" dpool1.Domain_pool.p_max_queue_depth;
+              ] );
+          ( "gc",
+            Json.Obj
+              [
+                ("allocated_bytes", Json.Num (gc_alloc1 -. gc_alloc0));
+                n "minor_collections" (gc1.Gc.minor_collections - gc0.Gc.minor_collections);
+                n "major_collections" (gc1.Gc.major_collections - gc0.Gc.major_collections);
+              ] );
+          ("plan", Xquec_obs.Explain.summary_json prof);
+        ]
+    in
+    Xquec_obs.Query_log.append record;
+    (out, prof)
+  end
+
 let compression_factor (t : t) = Repository.compression_factor t.repo
 
 let size_breakdown (t : t) = Repository.size_breakdown t.repo

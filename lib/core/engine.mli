@@ -37,6 +37,17 @@ val query_ast : t -> Xquery.Ast.expr -> Executor.item list
     measurements do). *)
 val query_serialized : t -> string -> string
 
+(** Evaluate, serialize, and — when a query-log file is configured
+    (see {!Xquec_obs.Query_log}) — append exactly one JSONL record
+    accounting for the query's full cost: wall/CPU time, plan shape
+    and per-operator cardinalities, buffer-pool / decode-pool counter
+    deltas, bytes decoded vs. bytes pruned, and GC allocation deltas
+    (schema in [docs/OBSERVABILITY.md]). Deltas are taken around
+    evaluation {e and} serialization, so they reconcile with the
+    [--stats] pool summary of a single-query run. Also returns the
+    profiled plan. *)
+val query_serialized_logged : t -> string -> string * Xquec_obs.Explain.node
+
 (** Original document bytes / compressed repository bytes. *)
 val compression_factor : t -> float
 

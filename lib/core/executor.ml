@@ -227,11 +227,14 @@ let with_cache_delta (node : Xquec_obs.Explain.node) (f : unit -> 'a) : 'a =
   let v = f () in
   let s1 = Storage.Buffer_pool.snapshot () in
   Xquec_obs.Explain.set_cache node
+    ~skipped_bytes:
+      (s1.Storage.Buffer_pool.s_skipped_bytes - s0.Storage.Buffer_pool.s_skipped_bytes)
     ~hits:(s1.Storage.Buffer_pool.s_hits - s0.Storage.Buffer_pool.s_hits)
     ~misses:(s1.Storage.Buffer_pool.s_misses - s0.Storage.Buffer_pool.s_misses)
     ~waits:(s1.Storage.Buffer_pool.s_latch_waits - s0.Storage.Buffer_pool.s_latch_waits)
     ~skipped:(s1.Storage.Buffer_pool.s_blocks_skipped - s0.Storage.Buffer_pool.s_blocks_skipped)
-    ~decoded_bytes:(s1.Storage.Buffer_pool.s_decoded_bytes - s0.Storage.Buffer_pool.s_decoded_bytes);
+    ~decoded_bytes:(s1.Storage.Buffer_pool.s_decoded_bytes - s0.Storage.Buffer_pool.s_decoded_bytes)
+    ();
   v
 
 (* Run [f] as an operator node; [rows] extracts the output cardinality

@@ -306,14 +306,13 @@ let explain_string (repo : Repository.t) (query : string) : string =
   let decisions = explain repo (Xquery.Parser.parse query) in
   Fmt.str "%a" Fmt.(list ~sep:(any "@.") pp_decision) decisions
 
-(** EXPLAIN ANALYZE: evaluate the query with an attached profile and
-    render the strategy decisions followed by the annotated physical
-    plan — per-operator wall time, output cardinalities, and
+(** Render the EXPLAIN ANALYZE report for an already-profiled plan:
+    strategy decisions followed by the annotated physical plan —
+    per-operator wall time, output cardinalities, and
     compressed-domain vs. decompress-then-compare predicate counts. *)
-let explain_profiled (repo : Repository.t) (query : string) : string =
-  let ast = Xquery.Parser.parse query in
-  let decisions = explain repo ast in
-  let (_items, plan) = Executor.run_profiled repo ast in
+let render_profiled (repo : Repository.t) (query : string)
+    (plan : Xquec_obs.Explain.node) : string =
+  let decisions = explain repo (Xquery.Parser.parse query) in
   let t = Xquec_obs.Explain.totals plan in
   let buf = Buffer.create 1024 in
   if decisions <> [] then begin
@@ -328,3 +327,9 @@ let explain_profiled (repo : Repository.t) (query : string) : string =
        t.Xquec_obs.Explain.operators t.Xquec_obs.Explain.compressed
        t.Xquec_obs.Explain.decompressed);
   Buffer.contents buf
+
+(** EXPLAIN ANALYZE: evaluate the query with an attached profile and
+    render it with {!render_profiled}. *)
+let explain_profiled (repo : Repository.t) (query : string) : string =
+  let (_items, plan) = Executor.run_profiled repo (Xquery.Parser.parse query) in
+  render_profiled repo query plan

@@ -32,6 +32,12 @@ val explain : Repository.t -> Xquery.Ast.expr -> decision list
 (** {!explain} on a query string, pretty-printed one decision per line. *)
 val explain_string : Repository.t -> string -> string
 
+(** Render the EXPLAIN ANALYZE report for an already-profiled plan
+    (strategy decisions plus the annotated physical plan). Lets callers
+    that obtained the profile elsewhere — e.g. the query-logged
+    evaluation path — reuse the report format. *)
+val render_profiled : Repository.t -> string -> Xquec_obs.Explain.node -> string
+
 (** EXPLAIN ANALYZE: evaluate the query with an attached profile and
     render the strategy decisions plus the annotated physical plan
     (per-operator wall time, cardinalities, compressed-domain vs.

@@ -1,0 +1,76 @@
+(* The `xquec serve` request handler: query evaluation over one loaded
+   repository, mounted as the [extra] routes of an
+   [Xquec_obs.Expo] server (which contributes /metrics and /healthz).
+
+   Routes:
+     POST /query          body = XQuery text
+     GET  /query?q=...    percent-encoded XQuery text
+     GET  /stats          full metrics registry as JSON
+
+   Queries run sequentially on the server's accept domain — the engine
+   evaluates one query at a time (the storage layer parallelizes block
+   decode underneath via the Domain_pool), which matches the Expo
+   server's one-connection-at-a-time model. Each query bumps
+   "serve.queries", records "serve.query_ms", and appends a query-log
+   record when a log file is configured. *)
+
+open Xquec_obs
+
+(* Sync the storage-layer atomics into the metrics registry so a
+   /metrics scrape always carries the bufferpool.* / decodepool.*
+   series, even for counts accumulated while telemetry was off or
+   maintained outside the registry (latch waits, queue depth). *)
+let publish_pool_metrics () : unit =
+  let s = Storage.Buffer_pool.snapshot () in
+  Metrics.set_counter "bufferpool.hits" s.Storage.Buffer_pool.s_hits;
+  Metrics.set_counter "bufferpool.misses" s.Storage.Buffer_pool.s_misses;
+  Metrics.set_counter "bufferpool.latch_waits" s.Storage.Buffer_pool.s_latch_waits;
+  Metrics.set_counter "bufferpool.evictions" s.Storage.Buffer_pool.s_evictions;
+  Metrics.set_counter "bufferpool.decoded_bytes" s.Storage.Buffer_pool.s_decoded_bytes;
+  Metrics.set_counter "bufferpool.scan_inserts" s.Storage.Buffer_pool.s_scan_inserts;
+  Metrics.set_counter "bufferpool.payload_bytes" s.Storage.Buffer_pool.s_payload_bytes;
+  Metrics.set_counter "bufferpool.skipped_bytes" s.Storage.Buffer_pool.s_skipped_bytes;
+  Metrics.set_gauge "bufferpool.resident_bytes"
+    (float_of_int s.Storage.Buffer_pool.s_resident_bytes);
+  Metrics.set_gauge "bufferpool.resident_blocks"
+    (float_of_int s.Storage.Buffer_pool.s_resident_blocks);
+  let d = Storage.Domain_pool.snapshot () in
+  Metrics.set_gauge "decodepool.domains" (float_of_int d.Storage.Domain_pool.p_domains);
+  Metrics.set_counter "decodepool.batches" d.Storage.Domain_pool.p_batches;
+  Metrics.set_counter "decodepool.tasks" d.Storage.Domain_pool.p_tasks;
+  Metrics.set_counter "decodepool.inline_tasks" d.Storage.Domain_pool.p_inline;
+  Metrics.set_gauge "decodepool.max_queue_depth"
+    (float_of_int d.Storage.Domain_pool.p_max_queue_depth)
+
+let run_query (engine : Engine.t) (text : string) : Expo.response =
+  let text = String.trim text in
+  if text = "" then Expo.respond 400 "text/plain; charset=utf-8" "empty query\n"
+  else begin
+    match
+      Metrics.time_ms "serve.query_ms" (fun () ->
+          Engine.query_serialized_logged engine text)
+    with
+    | out, _prof ->
+      Metrics.incr "serve.queries";
+      Expo.respond 200 "text/plain; charset=utf-8" (out ^ "\n")
+    | exception e ->
+      Metrics.incr "serve.query_errors";
+      Expo.respond 400 "text/plain; charset=utf-8" (Printexc.to_string e ^ "\n")
+  end
+
+(** The [extra] handler for {!Xquec_obs.Expo.start}: query evaluation
+    routes over [engine] ([None] falls through to the built-in
+    /metrics and /healthz). *)
+let handler (engine : Engine.t) : Expo.handler =
+ fun req ->
+  match (req.Expo.meth, req.Expo.path) with
+  | "POST", "/query" -> Some (run_query engine req.Expo.body)
+  | "GET", "/query" -> (
+    match List.assoc_opt "q" req.Expo.query with
+    | Some q -> Some (run_query engine q)
+    | None ->
+      Some (Expo.respond 400 "text/plain; charset=utf-8" "missing query parameter q\n"))
+  | "GET", "/stats" ->
+    publish_pool_metrics ();
+    Some (Expo.respond 200 "application/json; charset=utf-8" (Metrics.dump_json ()))
+  | _ -> None

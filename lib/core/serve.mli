@@ -1,0 +1,22 @@
+(** The [xquec serve] request handler: query evaluation over one loaded
+    repository, mounted as the [extra] routes of an
+    {!Xquec_obs.Expo} server (which contributes [/metrics] and
+    [/healthz]).
+
+    Routes: [POST /query] (body = XQuery text), [GET /query?q=...]
+    (percent-encoded query), [GET /stats] (metrics registry as JSON).
+    Successful queries return the serialized result as [text/plain];
+    parse or evaluation errors return 400 with the exception text.
+    Each query bumps the ["serve.queries"] counter, records
+    ["serve.query_ms"], and appends a query-log record when a log file
+    is configured. *)
+
+(** Sync the buffer-pool and decode-pool counters into the metrics
+    registry (as ["bufferpool.*"] / ["decodepool.*"] series) — the
+    [collect] callback to pass to {!Xquec_obs.Expo.start} so every
+    scrape is fresh. *)
+val publish_pool_metrics : unit -> unit
+
+(** Request handler over the given engine, to pass as
+    {!Xquec_obs.Expo.start}'s [extra]. *)
+val handler : Engine.t -> Xquec_obs.Expo.handler

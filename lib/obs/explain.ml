@@ -26,6 +26,8 @@ type node = {
           domain's in-flight decode of the same block *)
   mutable blocks_skipped : int;  (** blocks pruned via headers, never decoded *)
   mutable decoded_bytes : int;  (** bytes charged to the pool by this subtree *)
+  mutable skipped_bytes : int;
+      (** compressed payload bytes of the pruned blocks *)
   mutable rev_children : node list;
 }
 
@@ -34,7 +36,7 @@ type t = { root : node; mutable stack : node list }
 let make_node ?(attrs = []) ~kind op =
   { op; kind; attrs; wall_us = 0.0; rows = -1; cmp_compressed = 0; cmp_decompressed = 0;
     cache_hits = 0; cache_misses = 0; cache_waits = 0; blocks_skipped = 0;
-    decoded_bytes = 0; rev_children = [] }
+    decoded_bytes = 0; skipped_bytes = 0; rev_children = [] }
 
 let create ?attrs (op : string) : t =
   let root = make_node ?attrs ~kind:"root" op in
@@ -83,12 +85,14 @@ let note_cmp (t : t) ~(compressed : bool) (n : int) : unit =
     decoded). Like [wall_us] this is inclusive of the node's children:
     the executor records the delta of the process-wide pool counters
     around the operator's whole evaluation. *)
-let set_cache (node : node) ~hits ~misses ~waits ~skipped ~decoded_bytes =
+let set_cache (node : node) ?(skipped_bytes = 0) ~hits ~misses ~waits ~skipped
+    ~decoded_bytes () =
   node.cache_hits <- hits;
   node.cache_misses <- misses;
   node.cache_waits <- waits;
   node.blocks_skipped <- skipped;
-  node.decoded_bytes <- decoded_bytes
+  node.decoded_bytes <- decoded_bytes;
+  node.skipped_bytes <- skipped_bytes
 
 (** Close the profile: stamp the root's wall time and return the tree. *)
 let finish (t : t) ~(wall_us : float) ~(rows : int) : node =
@@ -127,9 +131,12 @@ let annotations (n : node) : string =
       :: !parts;
   if n.cache_hits > 0 || n.cache_misses > 0 || n.blocks_skipped > 0 then begin
     let waits = if n.cache_waits > 0 then Printf.sprintf " / %d wait" n.cache_waits else "" in
+    let pruned_bytes =
+      if n.skipped_bytes > 0 then Printf.sprintf " (%d B pruned)" n.skipped_bytes else ""
+    in
     parts :=
-      Printf.sprintf "cache %d hit / %d miss%s, %d blocks pruned, %d B decoded" n.cache_hits
-        n.cache_misses waits n.blocks_skipped n.decoded_bytes
+      Printf.sprintf "cache %d hit / %d miss%s, %d blocks pruned%s, %d B decoded"
+        n.cache_hits n.cache_misses waits n.blocks_skipped pruned_bytes n.decoded_bytes
       :: !parts
   end;
   List.iter (fun (k, v) -> parts := Printf.sprintf "%s=%s" k v :: !parts) (List.rev n.attrs);
@@ -171,6 +178,30 @@ let rec to_json (n : node) : Json.t =
       ("cache_waits", Json.Num (float_of_int n.cache_waits));
       ("blocks_skipped", Json.Num (float_of_int n.blocks_skipped));
       ("decoded_bytes", Json.Num (float_of_int n.decoded_bytes));
+      ("skipped_bytes", Json.Num (float_of_int n.skipped_bytes));
       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) n.attrs));
       ("children", Json.List (List.map to_json (children n)));
+    ]
+
+(** Compact single-line plan shape built from operator kinds, e.g.
+    ["root(step(step,predicate))"] — a stable fingerprint for grouping
+    query-log records by plan. *)
+let rec shape (n : node) : string =
+  match children n with
+  | [] -> n.kind
+  | kids -> n.kind ^ "(" ^ String.concat "," (List.map shape kids) ^ ")"
+
+(** Compact per-operator profile for the query log: one object per
+    node with only op/kind/rows/wall_ms/cmp counts (children nested),
+    an order of magnitude smaller than {!to_json}. *)
+let rec summary_json (n : node) : Json.t =
+  Json.Obj
+    [
+      ("op", Json.Str n.op);
+      ("kind", Json.Str n.kind);
+      ("wall_ms", Json.Num (n.wall_us /. 1000.0));
+      ("rows", if n.rows >= 0 then Json.Num (float_of_int n.rows) else Json.Null);
+      ("cmp_compressed", Json.Num (float_of_int n.cmp_compressed));
+      ("cmp_decompressed", Json.Num (float_of_int n.cmp_decompressed));
+      ("children", Json.List (List.map summary_json (children n)));
     ]

@@ -28,6 +28,8 @@ type node = {
           domain's in-flight decode of the same block *)
   mutable blocks_skipped : int;  (** blocks pruned via headers, never decoded *)
   mutable decoded_bytes : int;  (** bytes charged to the pool by this subtree *)
+  mutable skipped_bytes : int;
+      (** compressed payload bytes of the pruned blocks *)
   mutable rev_children : node list;  (** children, newest first (see {!children}) *)
 }
 
@@ -53,11 +55,20 @@ val set_rows : node -> int -> unit
 val note_cmp : t -> compressed:bool -> int -> unit
 
 (** Stamp a node's buffer-pool activity (hits/misses/latch waits/pruned
-    blocks/bytes decoded). Like [wall_us] this is inclusive of the
-    node's children: the executor records the delta of the process-wide
-    pool counters around the operator's whole evaluation. *)
+    blocks/bytes decoded, plus optionally the payload bytes of the
+    pruned blocks). Like [wall_us] this is inclusive of the node's
+    children: the executor records the delta of the process-wide pool
+    counters around the operator's whole evaluation. *)
 val set_cache :
-  node -> hits:int -> misses:int -> waits:int -> skipped:int -> decoded_bytes:int -> unit
+  node ->
+  ?skipped_bytes:int ->
+  hits:int ->
+  misses:int ->
+  waits:int ->
+  skipped:int ->
+  decoded_bytes:int ->
+  unit ->
+  unit
 
 (** Close the profile: stamp the root's wall time and cardinality and
     return the tree. *)
@@ -80,3 +91,13 @@ val render : node -> string
 
 (** The tree as JSON (one object per node, children nested). *)
 val to_json : node -> Json.t
+
+(** Compact single-line plan shape built from operator kinds, e.g.
+    ["root(step(step,predicate))"] — a stable fingerprint for grouping
+    query-log records by plan. *)
+val shape : node -> string
+
+(** Compact per-operator profile for the query log: one object per
+    node with only op/kind/rows/wall_ms/cmp counts (children nested),
+    an order of magnitude smaller than {!to_json}. *)
+val summary_json : node -> Json.t

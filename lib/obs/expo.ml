@@ -1,0 +1,231 @@
+(* Minimal HTTP/1.1 server for metrics exposition — blocking Unix
+   sockets, no external dependencies. This is deliberately not a
+   general web server: one accept loop on a dedicated domain, one
+   connection handled at a time, [Connection: close] on every response.
+   A Prometheus scraper (or curl) issues one request per connection a
+   few times a minute; sequential handling is exactly enough and keeps
+   the code auditable.
+
+   Built-in routes: GET /metrics (Prometheus text exposition of the
+   whole Metrics registry, after running the [collect] callback so
+   gauges derived from live state are fresh) and GET /healthz. An
+   [extra] handler runs first, so an embedding server (xquec serve)
+   can add query endpoints without this module knowing about them. *)
+
+type request = {
+  meth : string;  (* "GET", "POST", ... *)
+  path : string;  (* decoded path without the query string *)
+  query : (string * string) list;  (* decoded query parameters, in order *)
+  body : string;
+}
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = request -> response option
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  domain : unit Domain.t;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let respond (status : int) (content_type : string) (body : string) : response =
+  { status; content_type; body }
+
+(* --- request parsing ------------------------------------------------- *)
+
+let percent_decode (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+      match (hex s.[!i + 1], hex s.[!i + 2]) with
+      | Some h, Some l ->
+        Buffer.add_char buf (Char.chr ((h * 16) + l));
+        i := !i + 2
+      | _ -> Buffer.add_char buf '%')
+    | '+' -> Buffer.add_char buf ' '
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_query (s : string) : (string * string) list =
+  String.split_on_char '&' s
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | None -> Some (percent_decode kv, "")
+           | Some eq ->
+             Some
+               ( percent_decode (String.sub kv 0 eq),
+                 percent_decode (String.sub kv (eq + 1) (String.length kv - eq - 1)) ))
+
+(* Read one CRLF- (or LF-) terminated line, without the terminator. *)
+let read_line_crlf (ic : in_channel) : string =
+  let line = input_line ic in
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+exception Bad_request of string
+
+let parse_request (ic : in_channel) : request =
+  let request_line = read_line_crlf ic in
+  let meth, target =
+    match String.split_on_char ' ' request_line with
+    | [ m; t; _version ] -> (m, t)
+    | _ -> raise (Bad_request "malformed request line")
+  in
+  (* headers: we only need Content-Length *)
+  let content_length = ref 0 in
+  let rec headers () =
+    let line = read_line_crlf ic in
+    if line <> "" then begin
+      (match String.index_opt line ':' with
+      | Some colon ->
+        let k = String.lowercase_ascii (String.trim (String.sub line 0 colon)) in
+        let v = String.trim (String.sub line (colon + 1) (String.length line - colon - 1)) in
+        if k = "content-length" then
+          content_length := Option.value ~default:0 (int_of_string_opt v)
+      | None -> ());
+      headers ()
+    end
+  in
+  headers ();
+  let body =
+    let n = max 0 (min !content_length (16 * 1024 * 1024)) in
+    if n = 0 then "" else really_input_string ic n
+  in
+  let path, query =
+    match String.index_opt target '?' with
+    | None -> (target, [])
+    | Some q ->
+      ( String.sub target 0 q,
+        parse_query (String.sub target (q + 1) (String.length target - q - 1)) )
+  in
+  { meth; path = percent_decode path; query; body }
+
+let write_response (oc : out_channel) (r : response) : unit =
+  Printf.fprintf oc "HTTP/1.1 %d %s\r\n" r.status (status_text r.status);
+  Printf.fprintf oc "Content-Type: %s\r\n" r.content_type;
+  Printf.fprintf oc "Content-Length: %d\r\n" (String.length r.body);
+  output_string oc "Connection: close\r\n\r\n";
+  output_string oc r.body;
+  flush oc
+
+(* --- routing --------------------------------------------------------- *)
+
+let builtin_routes ~(collect : unit -> unit) (req : request) : response =
+  match (req.meth, req.path) with
+  | "GET", "/metrics" ->
+    collect ();
+    respond 200 "text/plain; version=0.0.4; charset=utf-8" (Metrics.to_prometheus ())
+  | "GET", "/healthz" -> respond 200 "text/plain; charset=utf-8" "ok\n"
+  | _, ("/metrics" | "/healthz") -> respond 405 "text/plain; charset=utf-8" "method not allowed\n"
+  | _ -> respond 404 "text/plain; charset=utf-8" "not found\n"
+
+let handle_connection ~(extra : handler) ~(collect : unit -> unit) (fd : Unix.file_descr) :
+    unit =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let req = parse_request ic in
+     let resp =
+       try
+         match extra req with
+         | Some r -> r
+         | None -> builtin_routes ~collect req
+       with e ->
+         respond 500 "text/plain; charset=utf-8" (Printexc.to_string e ^ "\n")
+     in
+     write_response oc resp
+   with
+  | Bad_request msg ->
+    (try write_response oc (respond 400 "text/plain; charset=utf-8" (msg ^ "\n"))
+     with _ -> ())
+  | End_of_file | Sys_error _ -> ());
+  (* closing the channel closes the underlying fd *)
+  try close_out_noerr oc with _ -> ()
+
+(* --- lifecycle ------------------------------------------------------- *)
+
+let accept_loop (t_sock : Unix.file_descr) (stopping : bool Atomic.t) (extra : handler)
+    (collect : unit -> unit) : unit =
+  let rec loop () =
+    if not (Atomic.get stopping) then begin
+      (match Unix.accept t_sock with
+      | fd, _addr -> handle_connection ~extra ~collect fd
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* listen socket closed by [stop] *)
+        Atomic.set stopping true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ~(port : int) ?(extra : handler = fun _ -> None)
+    ?(collect : unit -> unit = fun () -> ()) () : t =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with _ -> ());
+     raise e);
+  let actual_port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let domain = Domain.spawn (fun () -> accept_loop sock stopping extra collect) in
+  { sock; port = actual_port; stopping; domain }
+
+let port (t : t) : int = t.port
+
+let stop (t : t) : unit =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    (* Closing the fd does NOT wake a thread already parked in accept()
+       on Linux, so the acceptor must be woken explicitly: shutdown on
+       the listening socket makes the blocked accept fail (EINVAL), and
+       a loopback self-connection is the portable fallback — the loop
+       re-checks [stopping] after handling it. Only close after the
+       join, so the acceptor never races a recycled fd number. *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with _ -> ());
+    (try
+       let addr =
+         match Unix.getsockname t.sock with
+         | Unix.ADDR_INET (a, p) when a <> Unix.inet_addr_any -> Unix.ADDR_INET (a, p)
+         | _ -> Unix.ADDR_INET (Unix.inet_addr_loopback, t.port)
+       in
+       let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect c addr with _ -> ());
+       (try Unix.close c with _ -> ())
+     with _ -> ());
+    Domain.join t.domain;
+    (try Unix.close t.sock with _ -> ())
+  end
+
+let wait (t : t) : unit = Domain.join t.domain

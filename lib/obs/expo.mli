@@ -1,0 +1,59 @@
+(** Minimal HTTP/1.1 server for metrics exposition — blocking [Unix]
+    sockets, no external dependencies, one accept loop on a dedicated
+    domain handling one connection at a time ([Connection: close] on
+    every response). A Prometheus scraper issues one request per
+    connection a few times a minute; sequential handling is exactly
+    enough.
+
+    Built-in routes: [GET /metrics] (the whole {!Metrics} registry in
+    Prometheus text exposition format, after running the [collect]
+    callback so derived gauges are fresh) and [GET /healthz]. The
+    optional [extra] handler runs first, so an embedding server
+    ([xquec serve]) can add query endpoints. *)
+
+(** A parsed HTTP request. [path] and [query] keys/values are
+    percent-decoded; [body] is raw (capped at 16 MiB). *)
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  body : string;
+}
+
+(** Status, content type and body of a reply ([Content-Length] and
+    [Connection: close] are added by the server). *)
+type response = { status : int; content_type : string; body : string }
+
+(** An [extra] route handler: return [Some] to answer the request,
+    [None] to fall through to the built-in routes (and their 404). *)
+type handler = request -> response option
+
+(** A running server. *)
+type t
+
+(** Build a {!response}. *)
+val respond : int -> string -> string -> response
+
+(** [start ~port ()] binds [host] (default ["127.0.0.1"]) : [port]
+    (0 = ephemeral, see {!port}) and serves until {!stop}. [extra] is
+    consulted before the built-in routes; [collect] runs before each
+    [/metrics] export. Raises [Unix.Unix_error] if the bind fails. *)
+val start :
+  ?host:string ->
+  port:int ->
+  ?extra:handler ->
+  ?collect:(unit -> unit) ->
+  unit ->
+  t
+
+(** The bound port (useful after [start ~port:0]). *)
+val port : t -> int
+
+(** Shut down the listener, wake the acceptor if it is parked in
+    [accept] (a blocked accept is not interrupted by closing the fd),
+    join the accept-loop domain, then close the socket. In-flight
+    requests finish first. Idempotent. *)
+val stop : t -> unit
+
+(** Block until the server stops (the [xquec serve] foreground path). *)
+val wait : t -> unit

@@ -89,6 +89,16 @@ let set_gauge (name : string) (v : float) : unit =
         | Some r -> r := v
         | None -> Hashtbl.add gauges name (ref v))
 
+(* Set a counter to an absolute value — for collectors that sync an
+   externally maintained cumulative counter (buffer-pool / domain-pool
+   atomics) into the registry before an export. *)
+let set_counter (name : string) (v : int) : unit =
+  if !Control.enabled then
+    with_lock (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some r -> r := v
+        | None -> Hashtbl.add counters name (ref v))
+
 let observe (name : string) (v : float) : unit =
   if !Control.enabled then
     with_lock (fun () ->
@@ -141,6 +151,43 @@ let histogram_stats (name : string) : histogram_stats option =
           { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
             mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count) })
         (Hashtbl.find_opt histograms name))
+
+(* Percentile estimate from the log-scale buckets: find the bucket the
+   rank lands in and interpolate linearly inside it. Bucket edges are
+   tightened with the recorded h_min / h_max (which also bound the
+   open-ended last bucket), so the estimate is exact for single-bucket
+   distributions and within one bucket (a factor of 2) otherwise. *)
+let histogram_percentile (name : string) (p : float) : float option =
+  with_lock (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | None -> None
+      | Some h when h.h_count = 0 -> None
+      | Some h ->
+        let p = Float.max 0.0 (Float.min 1.0 p) in
+        let target = p *. float_of_int h.h_count in
+        let rec find i cum =
+          if i >= bucket_count then h.h_max
+          else begin
+            let c = h.h_buckets.(i) in
+            let cum' = cum +. float_of_int c in
+            if c > 0 && cum' >= target then begin
+              let lo =
+                if i = 0 then 0.0
+                else lowest_bound *. Float.pow 2.0 (float_of_int (i - 1))
+              in
+              let lo = Float.max lo (Float.min h.h_min h.h_max) in
+              let hi = Float.min (bucket_upper_bound i) h.h_max in
+              let hi = Float.max lo hi in
+              let frac =
+                if c = 0 then 1.0
+                else Float.max 0.0 (Float.min 1.0 ((target -. cum) /. float_of_int c))
+              in
+              lo +. (frac *. (hi -. lo))
+            end
+            else find (i + 1) cum'
+          end
+        in
+        Some (find 0 0.0))
 
 let histogram_buckets (name : string) : (float * int) list option =
   with_lock (fun () ->
@@ -218,4 +265,114 @@ let dump_text () : string =
       hs
   end;
   if cs = [] && gs = [] && hs = [] then line "(no metrics recorded)";
+  Buffer.contents buf
+
+(* --- Prometheus text exposition ------------------------------------ *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; everything else becomes '_'. *)
+let prom_sanitize (s : string) : string =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    s
+
+(* Label values escape backslash, double quote and newline. *)
+let prom_escape_label (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Per-container metrics are registered as "container.<path>.<leaf>"
+   where <path> is a root-to-leaf XML path ("/site/people/.../#text").
+   Exposing the path inside the metric name would create one series
+   name per container; fold it into a label instead:
+   xquec_container_<leaf>{path="<path>"}. Everything else maps
+   "a.b.c" -> "xquec_a_b_c". Returns (metric name, label pairs). *)
+let prom_name (name : string) : string * (string * string) list =
+  let container_prefix = "container./" in
+  if String.length name > String.length container_prefix
+     && String.sub name 0 (String.length container_prefix) = container_prefix
+  then begin
+    match String.rindex_opt name '.' with
+    | Some dot when dot > String.length "container" ->
+      let path = String.sub name (String.length "container.") (dot - String.length "container.") in
+      let leaf = String.sub name (dot + 1) (String.length name - dot - 1) in
+      ("xquec_container_" ^ prom_sanitize leaf, [ ("path", path) ])
+    | _ -> ("xquec_" ^ prom_sanitize name, [])
+  end
+  else ("xquec_" ^ prom_sanitize name, [])
+
+let prom_labels (labels : (string * string) list) : string =
+  match labels with
+  | [] -> ""
+  | ls ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape_label v)) ls)
+    ^ "}"
+
+let prom_float (v : float) : string =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Json.number_to_string v
+
+(** The whole registry in Prometheus text exposition format (version
+    0.0.4): counters and gauges as single samples, histograms as
+    cumulative [_bucket{le=...}] series plus [_sum] and [_count]. A
+    [# TYPE] comment precedes each metric; series are sorted by
+    registry name. *)
+let to_prometheus () : string =
+  with_lock @@ fun () ->
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (* Emit TYPE headers once per exposed metric name (containers share
+     one name across many label sets). *)
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let type_header name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      line "# TYPE %s %s" name kind
+    end
+  in
+  List.iter
+    (fun (k, v) ->
+      let name, labels = prom_name k in
+      type_header name "counter";
+      line "%s%s %d" name (prom_labels labels) v)
+    (sorted_bindings counters (fun r -> !r));
+  List.iter
+    (fun (k, v) ->
+      let name, labels = prom_name k in
+      type_header name "gauge";
+      line "%s%s %s" name (prom_labels labels) (prom_float v))
+    (sorted_bindings gauges (fun r -> !r));
+  List.iter
+    (fun (k, (h : histogram)) ->
+      let name, labels = prom_name k in
+      type_header name "histogram";
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if c > 0 && i < bucket_count - 1 then begin
+            cum := !cum + c;
+            line "%s_bucket%s %d" name
+              (prom_labels (labels @ [ ("le", prom_float (bucket_upper_bound i)) ]))
+              !cum
+          end)
+        h.h_buckets;
+      line "%s_bucket%s %d" name (prom_labels (labels @ [ ("le", "+Inf") ])) h.h_count;
+      line "%s_sum%s %s" name (prom_labels labels) (prom_float h.h_sum);
+      line "%s_count%s %d" name (prom_labels labels) h.h_count)
+    (sorted_bindings histograms (fun h -> h));
   Buffer.contents buf

@@ -37,6 +37,11 @@ val incr : ?by:int -> string -> unit
 (** Set a gauge to the given value. *)
 val set_gauge : string -> float -> unit
 
+(** Set a counter to an absolute value — for collectors that sync an
+    externally maintained cumulative counter (e.g. the buffer-pool
+    atomics) into the registry before an export. *)
+val set_counter : string -> int -> unit
+
 (** Record one observation into a log-scale histogram (buckets double
     from 0.001 up; suits milliseconds and byte sizes alike). *)
 val observe : string -> float -> unit
@@ -57,8 +62,24 @@ val histogram_stats : string -> histogram_stats option
 (** Non-empty (upper bound, count) buckets of a histogram, ascending. *)
 val histogram_buckets : string -> (float * int) list option
 
+(** [histogram_percentile name p] estimates the [p]-quantile
+    ([0. <= p <= 1.], e.g. 0.5 / 0.95 / 0.99) of a histogram by linear
+    interpolation inside the log-scale bucket the rank falls in; edges
+    are tightened with the recorded min/max, so the estimate is within
+    one bucket (a factor of 2) of the true value. [None] if the
+    histogram does not exist or is empty. *)
+val histogram_percentile : string -> float -> float option
+
 (** Whole registry as a JSON snapshot (names sorted). *)
 val dump_json : unit -> string
 
 (** Whole registry as aligned human-readable text (names sorted). *)
 val dump_text : unit -> string
+
+(** Whole registry in Prometheus text exposition format (v0.0.4):
+    every name is prefixed ["xquec_"] and sanitized to
+    [[a-zA-Z0-9_:]]; per-container metrics
+    (["container.<path>.<leaf>"]) become
+    [xquec_container_<leaf>{path="<path>"}]; histograms are exposed as
+    cumulative [_bucket{le=...}] series plus [_sum] and [_count]. *)
+val to_prometheus : unit -> string

@@ -1,0 +1,29 @@
+(** Structured JSONL query log: one JSON object per executed query,
+    appended to a log file. The sink is chosen by {!set_path} (the
+    CLI's [--query-log FILE] flag) or, when never set explicitly, by
+    the [XQUEC_QUERY_LOG] environment variable read lazily on first
+    use. No path means logging is off and {!append} is a no-op.
+
+    This module owns only the sink; the record itself — schema
+    documented in [docs/OBSERVABILITY.md] — is assembled by the engine,
+    which is the layer that can see the executor profile, the storage
+    counters and the GC.
+
+    Thread safety: a mutex serializes path changes and appends, so
+    concurrent server queries each produce exactly one untorn line. *)
+
+(** Select the log file ([None] turns logging off). Overrides the
+    environment default. *)
+val set_path : string option -> unit
+
+(** The active log file: the last {!set_path} value, or the
+    [XQUEC_QUERY_LOG] environment variable if {!set_path} was never
+    called. *)
+val path : unit -> string option
+
+(** Whether a log file is configured. *)
+val enabled : unit -> bool
+
+(** Append one record as a single JSON line (creating the file if
+    needed). A no-op when no path is configured. *)
+val append : Json.t -> unit

@@ -1,10 +1,22 @@
 (* Lightweight span tracer: [with_span] brackets a computation with a
-   clamped-monotonic clock, records completed spans into a fixed-size
-   ring buffer, and exports them as chrome-trace JSON (load the file in
-   chrome://tracing or https://ui.perfetto.dev).
+   clamped-monotonic clock, records completed spans into per-domain
+   fixed-size ring buffers, and exports them all as chrome-trace JSON
+   (load the file in chrome://tracing or https://ui.perfetto.dev, where
+   every domain appears as its own thread track).
 
    Disabled (the default), [with_span] is a single ref load + branch and
-   a direct call — no allocation, no clock read. *)
+   a direct call — no allocation, no clock read.
+
+   Concurrency model (see docs/CONCURRENCY.md): every domain owns a
+   private sink (ring buffer + nesting depth + clock clamp) reached
+   through domain-local storage, so the recording hot path takes no lock
+   and touches no shared mutable state. A process-wide registry of sinks
+   (one mutex, locked only when a domain records its first span and by
+   the read/maintenance entry points) lets [spans] / [to_chrome_json] /
+   [clear] / [set_capacity] see every domain's buffer. Read and
+   maintenance calls assume the worker domains are quiescent — in this
+   engine they run between [Domain_pool] batches, whose completion latch
+   publishes the workers' writes. *)
 
 type span = {
   name : string;
@@ -12,6 +24,7 @@ type span = {
   start_us : float;  (** microseconds since the trace epoch *)
   dur_us : float;
   depth : int;  (** nesting depth at the time the span was open *)
+  tid : int;  (** id of the domain that recorded the span *)
   instant : bool;  (** a point event, not a bracketed span *)
 }
 
@@ -19,84 +32,136 @@ type span = {
 
 (* OCaml's stdlib has no monotonic clock; clamp gettimeofday so nested
    span arithmetic stays well-ordered even if the wall clock steps
-   backwards. *)
-let last_us = ref 0.0
+   backwards. The clamp is domain-local: cross-domain ordering is only
+   used for display, where a microsecond-level skew is harmless. *)
+let clamp_key : float ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0.0)
 
 let now_us () =
+  let last = Domain.DLS.get clamp_key in
   let t = Unix.gettimeofday () *. 1e6 in
-  if t > !last_us then last_us := t;
-  !last_us
+  if t > !last then last := t;
+  !last
 
 let epoch_us = now_us ()
 
-(* --- ring-buffer sink ---------------------------------------------- *)
+(* --- per-domain ring-buffer sinks ---------------------------------- *)
 
 let default_capacity = 8192
 
 let capacity = ref default_capacity
 
-let ring : span option array ref = ref [||]
+type sink = {
+  s_tid : int;  (* (Domain.self () :> int) of the owning domain *)
+  s_label : string;  (* thread name shown in the chrome-trace export *)
+  mutable ring : span option array;
+  mutable write_pos : int;
+  mutable recorded : int;  (* total spans ever recorded, incl. overwritten *)
+  mutable depth : int;
+}
 
-let write_pos = ref 0
+(* Registry of every sink ever created, in registration order (the main
+   domain first: its sink is created at module initialization).
+   [registry_mutex] guards the list itself; each sink's fields are only
+   written by its owning domain. *)
+let registry_mutex = Mutex.create ()
 
-let recorded = ref 0 (* total spans ever recorded, including overwritten *)
+let sinks : sink list ref = ref []
 
-let depth = ref 0
+let new_sink () =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock registry_mutex;
+  let label = if !sinks = [] then "main" else Printf.sprintf "domain-%d" tid in
+  let s = { s_tid = tid; s_label = label; ring = [||]; write_pos = 0; recorded = 0; depth = 0 } in
+  sinks := !sinks @ [ s ];
+  Mutex.unlock registry_mutex;
+  s
 
-let ensure_ring () =
-  if Array.length !ring <> !capacity then begin
-    ring := Array.make !capacity None;
-    write_pos := 0;
-    recorded := 0
+let sink_key : sink Domain.DLS.key = Domain.DLS.new_key new_sink
+
+(* The module initializes on the main domain: register its sink first so
+   single-domain span order (and the "main" label) is deterministic. *)
+let main_sink = Domain.DLS.get sink_key
+
+let () = ignore main_sink
+
+let my_sink () = Domain.DLS.get sink_key
+
+let ensure_ring (s : sink) =
+  if Array.length s.ring <> !capacity then begin
+    s.ring <- Array.make !capacity None;
+    s.write_pos <- 0;
+    s.recorded <- 0
   end
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  match f !sinks with
+  | v ->
+    Mutex.unlock registry_mutex;
+    v
+  | exception e ->
+    Mutex.unlock registry_mutex;
+    raise e
 
 let set_capacity n =
   capacity := max 1 n;
-  ring := [||] (* reallocated lazily at the next record *)
+  (* rings are reallocated lazily at each sink's next record *)
+  with_registry (List.iter (fun s ->
+      s.ring <- [||];
+      s.write_pos <- 0;
+      s.recorded <- 0))
 
 let clear () =
-  ring := [||];
-  write_pos := 0;
-  recorded := 0;
-  depth := 0
+  with_registry (List.iter (fun s ->
+      s.ring <- [||];
+      s.write_pos <- 0;
+      s.recorded <- 0;
+      s.depth <- 0))
 
-let record (s : span) =
-  ensure_ring ();
-  !ring.(!write_pos) <- Some s;
-  write_pos := (!write_pos + 1) mod !capacity;
-  incr recorded
+let record (s : sink) (sp : span) =
+  ensure_ring s;
+  s.ring.(s.write_pos) <- Some sp;
+  s.write_pos <- (s.write_pos + 1) mod !capacity;
+  s.recorded <- s.recorded + 1
 
-(** Completed spans, oldest first (at most [capacity], older ones are
-    overwritten). *)
-let spans () : span list =
-  let cap = Array.length !ring in
+(* Completed spans of one sink, oldest first. *)
+let sink_spans (s : sink) : span list =
+  let cap = Array.length s.ring in
   if cap = 0 then []
   else begin
     let out = ref [] in
     for i = 0 to cap - 1 do
       (* walk backwards from the newest entry *)
-      let idx = ((!write_pos - 1 - i) mod cap + cap) mod cap in
-      match !ring.(idx) with Some s -> out := s :: !out | None -> ()
+      let idx = ((s.write_pos - 1 - i) mod cap + cap) mod cap in
+      match s.ring.(idx) with Some sp -> out := sp :: !out | None -> ()
     done;
     !out
   end
 
-let dropped () = max 0 (!recorded - Array.length !ring)
+(** Completed spans of every domain: the registering domain's spans
+    first (main, then workers in first-span order), each oldest first. *)
+let spans () : span list =
+  with_registry (fun ss -> List.concat_map sink_spans ss)
+
+let dropped () =
+  with_registry
+    (List.fold_left (fun acc s -> acc + max 0 (s.recorded - Array.length s.ring)) 0)
 
 (* --- spans --------------------------------------------------------- *)
 
 let with_span ?(attrs = []) ~name (f : unit -> 'a) : 'a =
   if not !Control.enabled then f ()
   else begin
+    let s = my_sink () in
     let t0 = now_us () in
-    let d = !depth in
-    incr depth;
+    let d = s.depth in
+    s.depth <- d + 1;
     let finish () =
-      decr depth;
+      s.depth <- s.depth - 1;
       let t1 = now_us () in
-      record
+      record s
         { name; attrs; start_us = t0 -. epoch_us; dur_us = t1 -. t0; depth = d;
-          instant = false }
+          tid = s.s_tid; instant = false }
     in
     match f () with
     | v ->
@@ -109,10 +174,25 @@ let with_span ?(attrs = []) ~name (f : unit -> 'a) : 'a =
 
 (** Record an instantaneous event (chrome-trace "instant"). *)
 let event ?(attrs = []) name =
-  if !Control.enabled then
-    record
-      { name; attrs; start_us = now_us () -. epoch_us; dur_us = 0.0; depth = !depth;
-        instant = true }
+  if !Control.enabled then begin
+    let s = my_sink () in
+    record s
+      { name; attrs; start_us = now_us () -. epoch_us; dur_us = 0.0; depth = s.depth;
+        tid = s.s_tid; instant = true }
+  end
+
+(** Record a span whose endpoints were measured by the caller (clock
+    values from {!now_us}) — used for queue-wait spans, whose start is
+    stamped by the submitting domain and whose end by the executing
+    one. *)
+let add_span ?(attrs = []) ~name ~(start_us : float) ~(end_us : float) () : unit =
+  if !Control.enabled then begin
+    let s = my_sink () in
+    record s
+      { name; attrs; start_us = start_us -. epoch_us;
+        dur_us = Float.max 0.0 (end_us -. start_us); depth = s.depth; tid = s.s_tid;
+        instant = false }
+  end
 
 (* --- export -------------------------------------------------------- *)
 
@@ -130,16 +210,31 @@ let span_to_json (s : span) : Json.t =
       ("ts", Json.Num s.start_us);
       ("dur", Json.Num s.dur_us);
       ("pid", Json.Num 1.0);
-      ("tid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int s.tid));
       ("args", args);
     ]
 
-(** The whole buffer in chrome-trace format. *)
+(* One chrome-trace "M" (metadata) event naming a thread track. *)
+let thread_name_json (tid : int) (label : string) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int tid));
+      ("args", Json.Obj [ ("name", Json.Str label) ]);
+    ]
+
+(** Every domain's buffer in chrome-trace format, with thread-name
+    metadata so Perfetto labels the main domain and each worker. *)
 let to_chrome_json () : string =
+  let names =
+    with_registry (fun ss -> List.map (fun s -> thread_name_json s.s_tid s.s_label) ss)
+  in
   Json.to_string
     (Json.Obj
        [
-         ("traceEvents", Json.List (List.map span_to_json (spans ())));
+         ("traceEvents", Json.List (names @ List.map span_to_json (spans ())));
          ("displayTimeUnit", Json.Str "ms");
        ])
 

@@ -1,16 +1,21 @@
 (** Lightweight span tracer: {!with_span} brackets a computation with a
-    clamped-monotonic clock, records completed spans into a fixed-size
-    ring buffer, and exports them as chrome-trace JSON (load the file
-    in chrome://tracing or https://ui.perfetto.dev).
+    clamped-monotonic clock, records completed spans into per-domain
+    fixed-size ring buffers, and exports them all as chrome-trace JSON
+    (load the file in chrome://tracing or https://ui.perfetto.dev,
+    where every domain appears as its own thread track).
 
     Disabled (the default), {!with_span} is a single ref load + branch
     and a direct call — no allocation, no clock read.
 
-    Thread safety: none — the ring buffer, depth counter and clock
-    clamp are plain refs, intended for the main domain only. Decode
-    tasks running on {!Storage.Domain_pool} workers must not open
-    spans (they don't: the pool brackets whole batches from the
-    caller's domain instead). *)
+    Thread safety: recording is lock-free and domain-local — every
+    domain owns a private ring buffer (created on its first span and
+    registered in a process-wide sink list), so {!Storage.Domain_pool}
+    workers may open spans freely. The read and maintenance entry
+    points ({!spans}, {!dropped}, {!to_chrome_json}, {!clear},
+    {!set_capacity}) take the registry lock and assume the worker
+    domains are quiescent; in this engine they run between
+    [Domain_pool] batches, whose completion latch publishes the
+    workers' ring writes. See [docs/CONCURRENCY.md]. *)
 
 (** A completed (or instant) span. *)
 type span = {
@@ -19,28 +24,31 @@ type span = {
   start_us : float;  (** microseconds since the trace epoch *)
   dur_us : float;
   depth : int;  (** nesting depth at the time the span was open *)
+  tid : int;  (** id of the domain that recorded the span *)
   instant : bool;  (** a point event, not a bracketed span *)
 }
 
 (** Monotonic-clamped wall clock in microseconds (shared clock source
-    of the metrics and explain timers). *)
+    of the metrics and explain timers). The clamp is domain-local. *)
 val now_us : unit -> float
 
-(** Initial ring-buffer capacity (8192 spans). *)
+(** Initial per-domain ring-buffer capacity (8192 spans). *)
 val default_capacity : int
 
-(** Resize the ring buffer (takes effect at the next record; clears
-    recorded spans). *)
+(** Resize every domain's ring buffer (takes effect at each sink's next
+    record; clears recorded spans). *)
 val set_capacity : int -> unit
 
-(** Drop all recorded spans and reset the nesting depth. *)
+(** Drop all recorded spans of every domain and reset nesting depths. *)
 val clear : unit -> unit
 
-(** Completed spans, oldest first (at most the capacity; older ones
-    are overwritten). *)
+(** Completed spans of every domain: domains in first-span order (the
+    main domain first), each domain's spans oldest first (at most the
+    capacity per domain; older ones are overwritten). *)
 val spans : unit -> span list
 
-(** Spans lost to ring-buffer overwrite since the last {!clear}. *)
+(** Spans lost to ring-buffer overwrite since the last {!clear},
+    summed over all domains. *)
 val dropped : unit -> int
 
 (** Bracket [f] in a span named [name] (recorded even when [f] raises).
@@ -50,7 +58,23 @@ val with_span : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 
 (** Record an instantaneous event (chrome-trace "instant"). *)
 val event : ?attrs:(string * string) list -> string -> unit
 
-(** The whole buffer in chrome-trace format. *)
+(** [add_span ~name ~start_us ~end_us ()] records a span whose
+    endpoints were measured by the caller (clock values from
+    {!now_us}) — used for queue-wait spans, whose start is stamped by
+    the submitting domain and whose end by the executing one. The span
+    lands in the calling domain's buffer; a negative interval is
+    clamped to zero duration. *)
+val add_span :
+  ?attrs:(string * string) list ->
+  name:string ->
+  start_us:float ->
+  end_us:float ->
+  unit ->
+  unit
+
+(** Every domain's buffer in chrome-trace format, with thread-name
+    metadata events so Perfetto labels the main domain and each
+    worker. *)
 val to_chrome_json : unit -> string
 
 (** Write {!to_chrome_json} to a file. *)

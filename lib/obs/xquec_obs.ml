@@ -10,6 +10,9 @@ module Json = Json
 module Trace = Trace
 module Metrics = Metrics
 module Explain = Explain
+module Query_log = Query_log
+module Expo = Expo
+module Gate = Gate
 
 let set_enabled (b : bool) : unit = Control.enabled := b
 

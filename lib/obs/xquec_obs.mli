@@ -10,14 +10,25 @@
 (** JSON values and (de)serialization. *)
 module Json = Json
 
-(** Span tracing with chrome-trace export (main domain only). *)
+(** Span tracing with chrome-trace export (per-domain ring buffers). *)
 module Trace = Trace
 
-(** Thread-safe counters, gauges and histograms. *)
+(** Thread-safe counters, gauges and histograms, with JSON and
+    Prometheus exposition. *)
 module Metrics = Metrics
 
 (** Profiled physical plans (EXPLAIN ANALYZE). *)
 module Explain = Explain
+
+(** Structured JSONL query log sink. *)
+module Query_log = Query_log
+
+(** Minimal HTTP server exposing [/metrics] and [/healthz]. *)
+module Expo = Expo
+
+(** Benchmark regression gate: tolerance-aware BENCH_results.json
+    comparison. *)
+module Gate = Gate
 
 (** Turn the global trace/metrics sinks on or off. *)
 val set_enabled : bool -> unit

@@ -62,6 +62,15 @@ and latch_state = L_decoding | L_done of decoded | L_failed of exn
 
 type entry = Resident of node | Pending of latch
 
+(* Where a freshly decoded block enters the LRU list. [Mru] (the
+   default) is classic LRU insertion at the front. [Tail] is the
+   scan-resistant policy: sequential scans insert at the back, so a
+   one-pass scan of a huge container churns only the cold end of the
+   list and cannot flush the hot working set; a block that IS
+   re-referenced gets promoted to the front by the hit path's [touch]
+   like any other entry. *)
+type admission = Mru | Tail
+
 let lock = Mutex.create ()
 
 let table : (key, entry) Hashtbl.t = Hashtbl.create 1024
@@ -87,6 +96,16 @@ let decoded_bytes = Atomic.make 0
 
 let blocks_skipped = Atomic.make 0
 
+let scan_inserts = Atomic.make 0 (* blocks admitted at the LRU tail *)
+
+(* compressed-payload bytes actually decoded vs. pruned via headers —
+   the same unit on both sides, so a query log can report a meaningful
+   decoded-vs-skipped ratio (d_bytes above is the in-memory charge,
+   which is not comparable to pruned on-disk payload bytes). *)
+let payload_bytes = Atomic.make 0
+
+let skipped_bytes = Atomic.make 0
+
 (* resident accounting: guarded by [lock] *)
 let resident_bytes = ref 0
 
@@ -99,6 +118,9 @@ type stats = {
   s_evictions : int;
   s_decoded_bytes : int;
   s_blocks_skipped : int;
+  s_scan_inserts : int;
+  s_payload_bytes : int;
+  s_skipped_bytes : int;
   s_resident_bytes : int;
   s_resident_blocks : int;
 }
@@ -114,6 +136,9 @@ let snapshot () : stats =
     s_evictions = Atomic.get evictions;
     s_decoded_bytes = Atomic.get decoded_bytes;
     s_blocks_skipped = Atomic.get blocks_skipped;
+    s_scan_inserts = Atomic.get scan_inserts;
+    s_payload_bytes = Atomic.get payload_bytes;
+    s_skipped_bytes = Atomic.get skipped_bytes;
     s_resident_bytes = rb;
     s_resident_blocks = rn;
   }
@@ -138,6 +163,14 @@ let push_front (n : node) : unit =
   (match !lru_front with Some f -> f.prev <- Some n | None -> lru_back := Some n);
   lru_front := Some n
 
+(* Tail insertion for scan admission: the block becomes the next
+   eviction victim unless it is re-referenced first. *)
+let push_back (n : node) : unit =
+  n.prev <- !lru_back;
+  n.next <- None;
+  (match !lru_back with Some b -> b.next <- Some n | None -> lru_front := Some n);
+  lru_back := Some n
+
 let touch (n : node) : unit =
   if !lru_front != Some n then begin
     unlink n;
@@ -156,14 +189,17 @@ let drop (n : node) : unit =
   resident_bytes := !resident_bytes - n.value.d_bytes;
   resident_blocks := !resident_blocks - 1
 
-(* Evict from the back until within budget. The newest entry is never
-   evicted, so a single block larger than the whole budget still works
-   (it is simply the only resident block). Pending latches are not in
-   the LRU list, so an in-flight decode can never be evicted. *)
-let rec evict_to_budget ~(keep : node) : unit =
+(* Evict from the back until within budget. [keep] (when given) is never
+   evicted, so a single MRU-admitted block larger than the whole budget
+   still works (it is simply the only resident block). A tail-admitted
+   scan block gets no such protection ([keep = None]): it may evict
+   itself immediately, which is exactly what keeps a huge scan from
+   displacing anything. Pending latches are not in the LRU list, so an
+   in-flight decode can never be evicted. *)
+let rec evict_to_budget ~(keep : node option) : unit =
   if !resident_bytes > !budget_ref then begin
     match !lru_back with
-    | Some n when n != keep ->
+    | Some n when (match keep with Some k -> k != n | None -> true) ->
       drop n;
       Atomic.incr evictions;
       if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr "bufferpool.evictions";
@@ -177,7 +213,7 @@ let set_budget ~(bytes : int) : unit =
   Mutex.lock lock;
   budget_ref := max 0 bytes;
   (* shrink immediately; keep at least the most recent entry *)
-  (match !lru_front with Some keep -> evict_to_budget ~keep | None -> ());
+  evict_to_budget ~keep:!lru_front;
   Mutex.unlock lock
 
 let resident ~(uid : int) ~(gen : int) ~(blk : int) : bool =
@@ -213,7 +249,8 @@ let settle_latch (l : latch) (st : latch_state) : unit =
   Condition.broadcast l.l_cond;
   Mutex.unlock l.l_mutex
 
-let fetch ~(uid : int) ~(gen : int) ~(blk : int) ~(decode : unit -> decoded) : decoded =
+let fetch ?(admission = Mru) ~(uid : int) ~(gen : int) ~(blk : int)
+    (decode : unit -> decoded) : decoded =
   let key = { k_uid = uid; k_gen = gen; k_blk = blk } in
   Mutex.lock lock;
   match Hashtbl.find_opt table key with
@@ -241,10 +278,21 @@ let fetch ~(uid : int) ~(gen : int) ~(blk : int) ~(decode : unit -> decoded) : d
       | Some (Pending l') when l' == l ->
         let n = { nkey = key; value = v; prev = None; next = None } in
         Hashtbl.replace table key (Resident n);
-        push_front n;
         resident_bytes := !resident_bytes + v.d_bytes;
         resident_blocks := !resident_blocks + 1;
-        evict_to_budget ~keep:n
+        (match admission with
+        | Mru ->
+          push_front n;
+          evict_to_budget ~keep:(Some n)
+        | Tail ->
+          (* Scan admission: enter at the eviction end and get no
+             protection from the budget pass — an over-budget scan
+             block evicts itself rather than anything hot. *)
+          push_back n;
+          Atomic.incr scan_inserts;
+          if Xquec_obs.is_enabled () then
+            Xquec_obs.Metrics.incr "bufferpool.scan_inserts";
+          evict_to_budget ~keep:None)
       | _ -> ());
       Mutex.unlock lock;
       ignore (Atomic.fetch_and_add decoded_bytes v.d_bytes);
@@ -266,11 +314,19 @@ let fetch ~(uid : int) ~(gen : int) ~(blk : int) ~(decode : unit -> decoded) : d
       settle_latch l (L_failed e);
       raise e)
 
-let note_skipped (n : int) : unit =
+let note_skipped ?(bytes = 0) (n : int) : unit =
   if n > 0 then begin
     ignore (Atomic.fetch_and_add blocks_skipped n);
-    if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr ~by:n "container.blocks_skipped"
+    if bytes > 0 then ignore (Atomic.fetch_and_add skipped_bytes bytes);
+    if Xquec_obs.is_enabled () then begin
+      Xquec_obs.Metrics.incr ~by:n "container.blocks_skipped";
+      if bytes > 0 then
+        Xquec_obs.Metrics.incr ~by:bytes "container.payload_bytes_skipped"
+    end
   end
+
+let note_payload_decoded (bytes : int) : unit =
+  if bytes > 0 then ignore (Atomic.fetch_and_add payload_bytes bytes)
 
 let invalidate ~(uid : int) : unit =
   Mutex.lock lock;
@@ -305,7 +361,10 @@ let reset_stats () : unit =
   Atomic.set latch_waits 0;
   Atomic.set evictions 0;
   Atomic.set decoded_bytes 0;
-  Atomic.set blocks_skipped 0
+  Atomic.set blocks_skipped 0;
+  Atomic.set scan_inserts 0;
+  Atomic.set payload_bytes 0;
+  Atomic.set skipped_bytes 0
 
 (* --- uid allocation -------------------------------------------------- *)
 

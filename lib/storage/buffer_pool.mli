@@ -30,6 +30,17 @@
     on the pool budget (code bytes plus per-record overhead). *)
 type decoded = { codes : string array; parents : int array; d_bytes : int }
 
+(** Where a freshly decoded block enters the LRU list. [Mru] (the
+    default) inserts at the front — classic LRU. [Tail] is the
+    scan-resistant policy used by {!Container.scan} and {!Container.range}:
+    the block enters at the eviction end (and, if the pool is over
+    budget, may be evicted immediately — even before anything hotter),
+    so a one-pass scan of a container larger than the budget cannot
+    flush the hot working set. A tail-admitted block that gets
+    re-referenced is promoted to the front by the hit path like any
+    other entry. *)
+type admission = Mru | Tail
+
 (** Cumulative and resident pool counters, readable at any time.
     The cumulative fields ([s_hits] … [s_blocks_skipped]) only grow
     (see {!reset_stats}); the two [s_resident_*] fields track what
@@ -43,6 +54,13 @@ type stats = {
   s_evictions : int;
   s_decoded_bytes : int;  (** total bytes ever charged by decodes *)
   s_blocks_skipped : int;  (** blocks pruned via headers, never decoded *)
+  s_scan_inserts : int;  (** blocks admitted at the LRU tail ({!Tail}) *)
+  s_payload_bytes : int;
+      (** compressed payload bytes actually decoded (same unit as
+          [s_skipped_bytes], so decoded-vs-pruned ratios are meaningful;
+          [s_decoded_bytes] by contrast is the in-memory charge) *)
+  s_skipped_bytes : int;
+      (** compressed payload bytes of header-pruned blocks *)
   s_resident_bytes : int;
   s_resident_blocks : int;
 }
@@ -59,13 +77,21 @@ val set_budget : bytes:int -> unit
 (** The current byte budget (default 64 MiB). *)
 val budget_bytes : unit -> int
 
-(** [fetch ~uid ~gen ~blk ~decode] returns the decoded block for
+(** [fetch ~uid ~gen ~blk decode] returns the decoded block for
     container [uid] (at recompression generation [gen]), block index
     [blk] — from cache on a hit, via [decode] on a miss, or by waiting
     on the latch of a concurrent decode of the same block. [decode] runs
     outside the pool lock; if it raises, the exception propagates to
-    this caller and is re-raised at every latch waiter. *)
-val fetch : uid:int -> gen:int -> blk:int -> decode:(unit -> decoded) -> decoded
+    this caller and is re-raised at every latch waiter. [?admission]
+    (default {!Mru}) chooses where a miss-decoded block enters the LRU
+    list; it has no effect on hits or latch waits. *)
+val fetch :
+  ?admission:admission ->
+  uid:int ->
+  gen:int ->
+  blk:int ->
+  (unit -> decoded) ->
+  decoded
 
 (** [resident ~uid ~gen ~blk] is [true] iff the block is currently
     cached (in-flight decodes count as absent). A stat-free peek used by
@@ -76,8 +102,14 @@ val resident : uid:int -> gen:int -> blk:int -> bool
 
 (** Record [n] blocks skipped wholesale by header min/max pruning
     (counted into {!stats} and the ["container.blocks_skipped"]
-    metric). *)
-val note_skipped : int -> unit
+    metric). [?bytes] is the total compressed payload size of the
+    pruned blocks, accumulated into [s_skipped_bytes]. *)
+val note_skipped : ?bytes:int -> int -> unit
+
+(** Record compressed payload bytes consumed by an actual block decode
+    (accumulated into [s_payload_bytes]; called by the container decode
+    thunk). *)
+val note_payload_decoded : int -> unit
 
 (** Drop every resident block of container [uid] (used after
     recompression, together with the generation bump). In-flight decodes

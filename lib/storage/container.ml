@@ -135,16 +135,24 @@ let blocks_of_records ~block_size ~(plain_size : int -> int) (records : record a
     Array.of_list (List.rev !out)
   end
 
-(* Decode block [i] through the buffer pool. *)
-let fetch_block (t : t) (i : int) : Buffer_pool.decoded =
+(* Decode block [i] through the buffer pool. The decode thunk runs on
+   whichever domain executes it (caller or a Domain_pool worker), so its
+   trace span lands in that domain's ring buffer — which is what makes
+   decode parallelism visible in the chrome-trace export. *)
+let fetch_block ?admission (t : t) (i : int) : Buffer_pool.decoded =
   let b = t.blocks.(i) in
-  Buffer_pool.fetch ~uid:t.uid ~gen:t.generation ~blk:i ~decode:(fun () ->
+  Buffer_pool.fetch ?admission ~uid:t.uid ~gen:t.generation ~blk:i
+    (fun () ->
+      Xquec_obs.Trace.with_span ~name:"container.decode"
+        ~attrs:[ ("path", t.path); ("block", string_of_int i) ]
+      @@ fun () ->
       let recs = Compress.Codec.decode_block ~count:b.b_count b.b_payload in
       let codes = Array.map fst recs in
       let parents = Array.map snd recs in
       let d_bytes =
         Array.fold_left (fun acc c -> acc + String.length c + 16) 64 codes
       in
+      Buffer_pool.note_payload_decoded (String.length b.b_payload);
       if Xquec_obs.is_enabled () then begin
         Xquec_obs.Metrics.incr "container.blocks_decoded";
         Xquec_obs.Metrics.incr ~by:(String.length b.b_payload)
@@ -161,7 +169,8 @@ let fetch_block (t : t) (i : int) : Buffer_pool.decoded =
    size 0 — or fewer than two absent blocks — everything runs on the
    calling domain in block order, preserving sequential semantics and
    counters exactly. *)
-let fetch_blocks (t : t) ~(b0 : int) ~(b1 : int) : Buffer_pool.decoded array =
+let fetch_blocks ?admission (t : t) ~(b0 : int) ~(b1 : int) :
+    Buffer_pool.decoded array =
   let n = b1 - b0 + 1 in
   if n <= 0 then [||]
   else begin
@@ -179,12 +188,14 @@ let fetch_blocks (t : t) ~(b0 : int) ~(b1 : int) : Buffer_pool.decoded array =
            (a mutex handoff) publishes the writes to this domain. *)
         let tasks =
           Array.of_list
-            (List.map (fun k () -> results.(k) <- Some (fetch_block t (b0 + k))) ks)
+            (List.map
+               (fun k () -> results.(k) <- Some (fetch_block ?admission t (b0 + k)))
+               ks)
         in
         Domain_pool.run tasks
     end;
     Array.init n (fun k ->
-        match results.(k) with Some d -> d | None -> fetch_block t (b0 + k))
+        match results.(k) with Some d -> d | None -> fetch_block ?admission t (b0 + k))
   end
 
 (** Decode blocks [b0, b1] into the buffer pool (in parallel when a
@@ -348,14 +359,18 @@ let get (t : t) (i : int) : record =
   { code = d.Buffer_pool.codes.(off); parent = d.Buffer_pool.parents.(off) }
 
 (** ContScan: all records in compressed-value order (decodes every
-    block — the access path min/max pruning exists to avoid). *)
+    block — the access path min/max pruning exists to avoid). Blocks it
+    decodes enter the buffer pool at the LRU tail ({!Buffer_pool.Tail})
+    so a full scan cannot flush the hot working set. *)
 let scan (t : t) : record array =
   if Xquec_obs.is_enabled () then begin
     Xquec_obs.Metrics.incr "container.scans";
     Xquec_obs.Metrics.incr ~by:t.n_records "container.scanned_records"
   end;
   let out = Array.make t.n_records { code = ""; parent = 0 } in
-  let ds = fetch_blocks t ~b0:0 ~b1:(Array.length t.blocks - 1) in
+  let ds =
+    fetch_blocks ~admission:Buffer_pool.Tail t ~b0:0 ~b1:(Array.length t.blocks - 1)
+  in
   Array.iteri
     (fun bi b ->
       let d = ds.(bi) in
@@ -445,19 +460,33 @@ let upper_bound (t : t) (code : string) : int =
     else b.b_start + in_block_upper (fetch_block t bi) code
   end
 
+(* Compressed payload bytes of the blocks OUTSIDE [b0, b1] — the ones a
+   pruning access path skipped ([b1 < b0] means all of them). Reported
+   to the pool alongside the skipped-block count so decoded-vs-pruned
+   byte ratios come out in the same (compressed payload) unit. *)
+let pruned_payload_bytes (t : t) ~(b0 : int) ~(b1 : int) : int =
+  let total = ref 0 in
+  Array.iteri
+    (fun i b -> if i < b0 || i > b1 then total := !total + String.length b.b_payload)
+    t.blocks;
+  !total
+
 (** Records with global indices in [lo, hi): decodes only the blocks the
-    interval touches; everything outside is counted as pruned. *)
+    interval touches; everything outside is counted as pruned. Like
+    {!scan}, decoded blocks enter the pool at the LRU tail. *)
 let range (t : t) ~(lo : int) ~(hi : int) : record list =
   let lo = max 0 lo and hi = min t.n_records hi in
   let nblocks = Array.length t.blocks in
   if hi <= lo then begin
-    Buffer_pool.note_skipped nblocks;
+    Buffer_pool.note_skipped ~bytes:(pruned_payload_bytes t ~b0:0 ~b1:(-1)) nblocks;
     []
   end
   else begin
     let b0 = block_of_index t lo and b1 = block_of_index t (hi - 1) in
-    Buffer_pool.note_skipped (nblocks - (b1 - b0 + 1));
-    let ds = fetch_blocks t ~b0 ~b1 in
+    Buffer_pool.note_skipped
+      ~bytes:(pruned_payload_bytes t ~b0 ~b1)
+      (nblocks - (b1 - b0 + 1));
+    let ds = fetch_blocks ~admission:Buffer_pool.Tail t ~b0 ~b1 in
     List.concat
       (List.init (b1 - b0 + 1) (fun k ->
            let bi = b0 + k in
@@ -481,11 +510,13 @@ let lookup_eq (t : t) (code : string) : record list =
   let b0 = first_block_max_ge t code in
   let b1 = last_block_min_le t code in
   if b0 >= nblocks || b1 < b0 then begin
-    Buffer_pool.note_skipped nblocks;
+    Buffer_pool.note_skipped ~bytes:(pruned_payload_bytes t ~b0:0 ~b1:(-1)) nblocks;
     []
   end
   else begin
-    Buffer_pool.note_skipped (nblocks - (b1 - b0 + 1));
+    Buffer_pool.note_skipped
+      ~bytes:(pruned_payload_bytes t ~b0 ~b1)
+      (nblocks - (b1 - b0 + 1));
     let ds = fetch_blocks t ~b0 ~b1 in
     List.concat
       (List.init (b1 - b0 + 1) (fun k ->
@@ -511,11 +542,13 @@ let lookup_range (t : t) ?lo ?hi () : record list =
     let b0 = match lo with None -> 0 | Some c -> first_block_max_ge t c in
     let b1 = match hi with None -> nblocks - 1 | Some c -> last_block_min_lt t c in
     if b0 >= nblocks || b1 < b0 then begin
-      Buffer_pool.note_skipped nblocks;
+      Buffer_pool.note_skipped ~bytes:(pruned_payload_bytes t ~b0:0 ~b1:(-1)) nblocks;
       []
     end
     else begin
-      Buffer_pool.note_skipped (nblocks - (b1 - b0 + 1));
+      Buffer_pool.note_skipped
+        ~bytes:(pruned_payload_bytes t ~b0 ~b1)
+        (nblocks - (b1 - b0 + 1));
       let ds = fetch_blocks t ~b0 ~b1 in
       List.concat
         (List.init (b1 - b0 + 1) (fun k ->

@@ -124,7 +124,10 @@ val recompress :
 
 (** ContScan: every record in compressed-value order. Decodes all
     blocks (the pruning access paths below exist to avoid this) — in
-    parallel on the {!Domain_pool} when one is configured. *)
+    parallel on the {!Domain_pool} when one is configured. Decoded
+    blocks are admitted at the buffer pool's LRU tail
+    ({!Buffer_pool.Tail}), so a full scan cannot flush the pool's hot
+    working set. *)
 val scan : t -> record array
 
 (** [fetch_blocks t ~b0 ~b1] decodes blocks [b0..b1] (inclusive) and
@@ -135,8 +138,11 @@ val scan : t -> record array
     into the {!Buffer_pool} as they complete. With a pool of size 0, or
     fewer than two absent blocks, everything runs sequentially on the
     calling domain, with counters identical to the historical
-    single-threaded path. Empty ranges ([b1 < b0]) yield [[||]]. *)
-val fetch_blocks : t -> b0:int -> b1:int -> Buffer_pool.decoded array
+    single-threaded path. Empty ranges ([b1 < b0]) yield [[||]].
+    [?admission] (default {!Buffer_pool.Mru}) is the pool admission
+    policy for miss-decoded blocks. *)
+val fetch_blocks :
+  ?admission:Buffer_pool.admission -> t -> b0:int -> b1:int -> Buffer_pool.decoded array
 
 (** [prefetch_blocks t ~b0 ~b1] is {!fetch_blocks} for effect only:
     warm the buffer pool with the candidate blocks of an upcoming
@@ -151,7 +157,8 @@ val get : t -> int -> record
 (** [range t ~lo ~hi] is the records with indices in [lo, hi) (upper
     bound exclusive), decoding only the blocks that interval touches;
     the rest are counted as pruned ({!Buffer_pool.note_skipped}).
-    Bounds are clamped to the valid index range. *)
+    Bounds are clamped to the valid index range. Like {!scan}, decoded
+    blocks are admitted at the pool's LRU tail. *)
 val range : t -> lo:int -> hi:int -> record list
 
 (** First index whose code is [>=] the argument ([length t] if none).

@@ -63,12 +63,20 @@ let stat_inline = Atomic.make 0 (* tasks executed on the calling domain *)
 
 let stat_wall_us = Atomic.make 0 (* cumulative parallel-batch wall, µs *)
 
+let stat_max_depth = Atomic.make 0 (* high-water queue depth, post-enqueue *)
+
+(* CAS-max: lift [a] to at least [v]. *)
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
 type stats = {
   p_domains : int;
   p_batches : int;
   p_tasks : int;
   p_inline : int;
   p_wall_ms : float;
+  p_max_queue_depth : int;
 }
 
 let snapshot () : stats =
@@ -78,13 +86,15 @@ let snapshot () : stats =
     p_tasks = Atomic.get stat_tasks;
     p_inline = Atomic.get stat_inline;
     p_wall_ms = float_of_int (Atomic.get stat_wall_us) /. 1000.0;
+    p_max_queue_depth = Atomic.get stat_max_depth;
   }
 
 let reset_stats () =
   Atomic.set stat_batches 0;
   Atomic.set stat_tasks 0;
   Atomic.set stat_inline 0;
-  Atomic.set stat_wall_us 0
+  Atomic.set stat_wall_us 0;
+  Atomic.set stat_max_depth 0
 
 (* --- workers --------------------------------------------------------- *)
 
@@ -171,22 +181,39 @@ let run_parallel (tasks : task array) =
       b_exn = None;
     }
   in
-  let wrap t () =
-    (try t ()
-     with e ->
-       Mutex.lock b.b_mutex;
-       (match b.b_exn with None -> b.b_exn <- Some e | Some _ -> ());
-       Mutex.unlock b.b_mutex);
-    Mutex.lock b.b_mutex;
-    b.b_remaining <- b.b_remaining - 1;
-    if b.b_remaining = 0 then Condition.broadcast b.b_cond;
-    Mutex.unlock b.b_mutex
+  (* With telemetry on, each task records a queue-wait span (enqueue →
+     pickup, stamped across domains with the shared clock) and runs
+     inside a "decodepool.task" span — both land in the ring buffer of
+     the domain that executes the task, so the chrome-trace export shows
+     decode work attributed to its worker. *)
+  let traced = Xquec_obs.is_enabled () in
+  let wrap t =
+    let enq_us = if traced then Xquec_obs.Trace.now_us () else 0.0 in
+    fun () ->
+      (try
+         if traced then begin
+           Xquec_obs.Trace.add_span ~name:"decodepool.queue_wait" ~start_us:enq_us
+             ~end_us:(Xquec_obs.Trace.now_us ()) ();
+           Xquec_obs.Trace.with_span ~name:"decodepool.task" t
+         end
+         else t ()
+       with e ->
+         Mutex.lock b.b_mutex;
+         (match b.b_exn with None -> b.b_exn <- Some e | Some _ -> ());
+         Mutex.unlock b.b_mutex);
+      Mutex.lock b.b_mutex;
+      b.b_remaining <- b.b_remaining - 1;
+      if b.b_remaining = 0 then Condition.broadcast b.b_cond;
+      Mutex.unlock b.b_mutex
   in
   Mutex.lock pool_mutex;
   ensure_workers_locked ();
   Array.iter (fun t -> Queue.add (wrap t) queue) tasks;
+  let depth = Queue.length queue in
   Condition.broadcast pool_cond;
   Mutex.unlock pool_mutex;
+  atomic_max stat_max_depth depth;
+  if traced then Xquec_obs.Metrics.observe "decodepool.queue_depth" (float_of_int depth);
   (* Help: the submitting domain drains the queue alongside the workers
      (it may execute tasks of a concurrent batch — harmless, their latch
      is decremented all the same). *)

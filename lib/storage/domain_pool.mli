@@ -49,14 +49,16 @@ val run : task array -> unit
 
 (** Cumulative pool counters (see {!snapshot}): configured size, batches
     and tasks submitted, tasks that ran on the submitting domain (the
-    sequential fallback plus queue "help"), and total wall-clock time
-    spent inside {!run}. *)
+    sequential fallback plus queue "help"), total wall-clock time spent
+    inside {!run}, and the high-water shared-queue depth observed just
+    after a batch was enqueued (0 until a parallel batch runs). *)
 type stats = {
   p_domains : int;
   p_batches : int;
   p_tasks : int;
   p_inline : int;
   p_wall_ms : float;
+  p_max_queue_depth : int;
 }
 
 (** Current counter values (atomic reads; callable from any domain). *)

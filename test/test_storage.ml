@@ -198,7 +198,7 @@ let test_buffer_pool_hits_and_eviction () =
   in
   let decodes = ref 0 in
   let fetch i =
-    Buffer_pool.fetch ~uid ~gen:0 ~blk:i ~decode:(fun () -> incr decodes; mk i)
+    Buffer_pool.fetch ~uid ~gen:0 ~blk:i (fun () -> incr decodes; mk i)
   in
   Fun.protect ~finally:(fun () ->
       Buffer_pool.set_budget ~bytes:saved;
@@ -230,6 +230,77 @@ let test_buffer_pool_hits_and_eviction () =
   (* invalidation drops the container's blocks *)
   Buffer_pool.invalidate ~uid;
   Alcotest.(check int) "invalidate empties" 0 (Buffer_pool.snapshot ()).Buffer_pool.s_resident_blocks
+
+let test_scan_resistant_admission () =
+  let saved = Buffer_pool.budget_bytes () in
+  Buffer_pool.clear ();
+  let uid = Buffer_pool.fresh_uid () in
+  let mk i =
+    { Buffer_pool.codes = [| Printf.sprintf "c%d" i |]; parents = [| i |]; d_bytes = 100 }
+  in
+  let fetch ?admission i = Buffer_pool.fetch ?admission ~uid ~gen:0 ~blk:i (fun () -> mk i) in
+  Fun.protect ~finally:(fun () ->
+      Buffer_pool.set_budget ~bytes:saved;
+      Buffer_pool.clear ())
+  @@ fun () ->
+  (* 250-byte budget: exactly the two-block hot set *)
+  Buffer_pool.set_budget ~bytes:250;
+  ignore (fetch 0);
+  ignore (fetch 1);
+  let s0 = Buffer_pool.snapshot () in
+  (* a "scan" sweeps 5 cold blocks with Tail admission: each enters at
+     the LRU end and is itself the first eviction victim, so the hot
+     set never leaves the pool *)
+  for i = 10 to 14 do
+    ignore (fetch ~admission:Buffer_pool.Tail i)
+  done;
+  let s1 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "scan inserts counted" 5
+    (s1.Buffer_pool.s_scan_inserts - s0.Buffer_pool.s_scan_inserts);
+  Alcotest.(check bool) "stays within budget" true (s1.Buffer_pool.s_resident_bytes <= 250);
+  ignore (fetch 0);
+  ignore (fetch 1);
+  let s2 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "hot set survives the scan (hits)" 2
+    (s2.Buffer_pool.s_hits - s1.Buffer_pool.s_hits);
+  Alcotest.(check int) "hot set survives the scan (no re-decode)" 0
+    (s2.Buffer_pool.s_misses - s1.Buffer_pool.s_misses);
+  (* a hit on a tail-admitted block still promotes it to MRU *)
+  Buffer_pool.set_budget ~bytes:350;
+  ignore (fetch ~admission:Buffer_pool.Tail 10) (* resident: 1, 0, 10(tail) *);
+  ignore (fetch 10) (* hit: promoted to MRU *);
+  ignore (fetch 2) (* over budget: evicts the true LRU (block 0), not 10 *);
+  let s3 = Buffer_pool.snapshot () in
+  ignore (fetch 10);
+  let s4 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "promoted scan block survives eviction" 1
+    (s4.Buffer_pool.s_hits - s3.Buffer_pool.s_hits);
+  ignore (fetch 0);
+  let s5 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "unpromoted LRU block was the victim" 1
+    (s5.Buffer_pool.s_misses - s4.Buffer_pool.s_misses)
+
+let test_scan_admission_via_container () =
+  let c = blocky_container () in
+  Buffer_pool.clear ();
+  let s0 = Buffer_pool.snapshot () in
+  ignore (Container.scan c);
+  let s1 = Buffer_pool.snapshot () in
+  Alcotest.(check int) "every scan decode is tail-admitted"
+    (s1.Buffer_pool.s_misses - s0.Buffer_pool.s_misses)
+    (s1.Buffer_pool.s_scan_inserts - s0.Buffer_pool.s_scan_inserts);
+  Alcotest.(check bool) "payload bytes accounted" true
+    (s1.Buffer_pool.s_payload_bytes - s0.Buffer_pool.s_payload_bytes > 0);
+  (* a pruned point lookup charges the skipped blocks' payload bytes to
+     the skipped counter, in the same (compressed payload) unit *)
+  Buffer_pool.clear ();
+  let s2 = Buffer_pool.snapshot () in
+  ignore (Container.lookup_eq c (Container.compress_constant c "v007"));
+  let s3 = Buffer_pool.snapshot () in
+  Alcotest.(check bool) "pruning skipped blocks" true
+    (s3.Buffer_pool.s_blocks_skipped - s2.Buffer_pool.s_blocks_skipped > 0);
+  Alcotest.(check bool) "skipped payload bytes accounted" true
+    (s3.Buffer_pool.s_skipped_bytes - s2.Buffer_pool.s_skipped_bytes > 0)
 
 let test_executor_pruning_via_counters () =
   (* a selective pushed-down predicate must decode strictly less than the
@@ -613,6 +684,8 @@ let suites =
         Alcotest.test_case "block structure invariants" `Quick test_container_blocks;
         Alcotest.test_case "min/max block pruning" `Quick test_block_pruning;
         Alcotest.test_case "buffer pool LRU + accounting" `Quick test_buffer_pool_hits_and_eviction;
+        Alcotest.test_case "scan-resistant tail admission" `Quick test_scan_resistant_admission;
+        Alcotest.test_case "scan admission via container" `Quick test_scan_admission_via_container;
         Alcotest.test_case "executor pruning skips decodes" `Quick test_executor_pruning_via_counters;
         Alcotest.test_case "parallel scan parity (1/2/4 domains)" `Quick test_parallel_scan_parity;
         Alcotest.test_case "latch dedup under contention" `Quick test_parallel_latch_dedup;

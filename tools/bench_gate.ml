@@ -1,0 +1,66 @@
+(* Bench regression gate CLI: diff a fresh bench run against the
+   committed baseline (BENCH_results.json) with per-metric-class
+   tolerances and emit a machine-readable verdict.
+
+   The comparison logic lives in Xquec_obs.Gate (pure JSON in / report
+   out); this executable is just argument parsing, file IO and exit
+   codes:
+
+     bench_gate --candidate _gate/results.json            # full diff
+     bench_gate --quick --candidate _gate/results.json    # skip timings
+     bench_gate --json verdict.json ...                   # write verdict
+
+   Exit status: 0 = gate passed, 1 = regression (failed or missing
+   metrics), 2 = bad usage / unreadable input. *)
+
+let usage = "bench_gate [--baseline FILE] [--candidate FILE] [--quick] [--json OUT]"
+
+let baseline = ref "BENCH_results.json"
+let candidate = ref ""
+let quick = ref false
+let json_out = ref ""
+
+let spec =
+  [
+    ( "--baseline",
+      Arg.Set_string baseline,
+      "FILE  committed baseline (default BENCH_results.json)" );
+    ("--candidate", Arg.Set_string candidate, "FILE  fresh bench results to check");
+    ( "--quick",
+      Arg.Set quick,
+      "  skip timing metrics (machine-speed independent; what `make check` uses)" );
+    ("--json", Arg.Set_string json_out, "OUT  also write the verdict as JSON to OUT");
+  ]
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("bench_gate: " ^ s); exit 2) fmt
+
+let read_json ~what path =
+  let data =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error e -> die "cannot read %s %s: %s" what path e
+  in
+  try Xquec_obs.Json.parse data
+  with Xquec_obs.Json.Parse_error e -> die "%s %s: %s" what path e
+
+let () =
+  Arg.parse spec (fun a -> die "unexpected argument %S" a) usage;
+  if !candidate = "" then die "missing --candidate FILE (fresh bench results)";
+  let mode = if !quick then Xquec_obs.Gate.Quick else Xquec_obs.Gate.Full in
+  let report =
+    Xquec_obs.Gate.compare_results ~mode
+      ~baseline:(read_json ~what:"baseline" !baseline)
+      ~candidate:(read_json ~what:"candidate" !candidate)
+  in
+  if !json_out <> "" then begin
+    let oc = open_out !json_out in
+    output_string oc (Xquec_obs.Json.to_string (Xquec_obs.Gate.report_to_json report));
+    output_char oc '\n';
+    close_out oc
+  end;
+  print_string (Xquec_obs.Gate.render report);
+  exit (if report.Xquec_obs.Gate.r_passed then 0 else 1)
