@@ -7,7 +7,7 @@ GATE_DIR := _gate
 # The fast, deterministic experiments the quick bench gate reruns on
 # every `make check` (counts, sizes and digests only — quick mode skips
 # timing metrics, and experiments not on this list are skipped).
-GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel
+GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel join
 
 .PHONY: all build check test bench bench-gate smoke docs clean
 
@@ -71,6 +71,8 @@ smoke: build
 	  --stats --trace-out $(SMOKE_DIR)/query-trace.json
 	dune exec bench/main.exe -- --scale 0.1 --domains 1 \
 	  --json $(SMOKE_DIR)/parallel.json parallel
+	dune exec bench/main.exe -- --scale 0.1 \
+	  --json $(SMOKE_DIR)/join.json join
 	@echo "smoke artifacts in $(SMOKE_DIR)/"
 
 clean:

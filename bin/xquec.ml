@@ -112,6 +112,14 @@ let buffer_pool_summary () =
     p.Storage.Domain_pool.p_domains p.Storage.Domain_pool.p_batches
     p.Storage.Domain_pool.p_tasks p.Storage.Domain_pool.p_inline
     p.Storage.Domain_pool.p_max_queue_depth p.Storage.Domain_pool.p_wall_ms
+  ^
+  let j = Xquec_core.Executor.join_stats () in
+  if j.Xquec_core.Executor.j_block_joins = 0 then ""
+  else
+    Printf.sprintf
+      "block join: %d joins; %d blocks probed / %d skipped from headers (%d B never decoded)\n"
+      j.Xquec_core.Executor.j_block_joins j.Xquec_core.Executor.j_blocks_probed
+      j.Xquec_core.Executor.j_blocks_skipped j.Xquec_core.Executor.j_skipped_bytes
 
 let with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains ?query_log f =
   if stats || trace_out <> None then Xquec_obs.set_enabled true;

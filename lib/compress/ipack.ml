@@ -116,6 +116,38 @@ let pack_exact (m : model) (f : float) : string option =
 let to_float (m : model) (packed : string) : float =
   float_of_int (unpack_u63 packed) /. float_of_int (scale_of m)
 
+(* ------------------------------------------------------------------ *)
+(* Delta + varint sequence packing                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Zigzag mapping: small-magnitude deltas of either sign become small
+   varints (0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...). *)
+let zigzag (d : int) : int = if d >= 0 then 2 * d else (-2 * d) - 1
+
+let unzigzag (z : int) : int = if z land 1 = 0 then z / 2 else -((z + 1) / 2)
+
+let add_deltas buf (xs : int array) : unit =
+  Rle.add_varint buf (Array.length xs);
+  let prev = ref 0 in
+  Array.iter
+    (fun x ->
+      Rle.add_varint buf (zigzag (x - !prev));
+      prev := x)
+    xs
+
+let read_deltas (s : string) (pos : int) : int array * int =
+  let (n, pos) = Rle.read_varint s pos in
+  let pos = ref pos in
+  let prev = ref 0 in
+  let xs =
+    Array.init n (fun _ ->
+        let (z, p) = Rle.read_varint s !pos in
+        pos := p;
+        prev := !prev + unzigzag z;
+        !prev)
+  in
+  (xs, !pos)
+
 let serialize_model (m : model) : string =
   match m.variant with
   | Int -> "\000"

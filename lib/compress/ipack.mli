@@ -44,6 +44,29 @@ val pack_exact : model -> float -> string option
 (** Numeric value of a packed code. *)
 val to_float : model -> string -> float
 
+(** {2 Delta + varint sequence packing}
+
+    Generic helpers for packing integer sequences as consecutive
+    zigzag-varint deltas (first element differenced against 0). Used by
+    the packed structure-tree format: sequences whose neighbours are
+    close — child-entry codes, ascending record indices — shrink to
+    one byte per element regardless of magnitude. *)
+
+(** Zigzag-map an integer so small magnitudes of either sign get small
+    varints (0→0, −1→1, 1→2, −2→3, …). *)
+val zigzag : int -> int
+
+(** Invert {!zigzag}. *)
+val unzigzag : int -> int
+
+(** [add_deltas buf xs] appends [|xs|] as a varint, then each element as
+    the zigzag varint of its difference from the previous one. *)
+val add_deltas : Buffer.t -> int array -> unit
+
+(** [read_deltas s pos] inverts {!add_deltas}, returning the sequence
+    and the offset past it. *)
+val read_deltas : string -> int -> int array * int
+
 (** Serialize the variant tag for the repository. *)
 val serialize_model : model -> string
 

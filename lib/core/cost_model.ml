@@ -188,6 +188,111 @@ let cost (t : t) (config : configuration) : float =
   +. (t.weights.w_model *. model)
   +. (t.weights.w_decompression *. decompression)
 
+(* ------------------------------------------------------------------ *)
+(* Block-interval join estimation (header-only)                        *)
+(* ------------------------------------------------------------------ *)
+
+type block_join_estimate = {
+  bj_pairs : (int * int) list;
+  bj_probe_left : bool array;
+  bj_probe_right : bool array;
+  bj_left_probed_bytes : int;
+  bj_left_skipped_bytes : int;
+  bj_right_probed_bytes : int;
+  bj_right_skipped_bytes : int;
+  bj_probed_blocks : int;
+  bj_skipped_blocks : int;
+  bj_skip_fraction : float;
+  bj_exact : bool;
+}
+
+(* Block bound sequences (h_min and h_max) are non-decreasing, so for
+   each right block the overlapping left blocks form a contiguous range
+   [lo, hi) whose endpoints are themselves non-decreasing in j — a
+   two-pointer sweep enumerates every overlapping pair in
+   O(pairs + blocks). Note blocks of one side may overlap each other
+   (equal codes spanning a block boundary, or capped bounds), which is
+   why the simpler disjoint-interval merge would miss pairs. *)
+let block_join_estimate (lh : Container.header array) (rh : Container.header array) :
+    block_join_estimate =
+  let nl = Array.length lh and nr = Array.length rh in
+  let probe_l = Array.make nl false and probe_r = Array.make nr false in
+  let pairs = ref [] in
+  let lo = ref 0 and hi = ref 0 in
+  for j = 0 to nr - 1 do
+    let r = rh.(j) in
+    while
+      !lo < nl && String.compare lh.(!lo).Container.h_max r.Container.h_min < 0
+    do
+      incr lo
+    done;
+    if !hi < !lo then hi := !lo;
+    while
+      !hi < nl && String.compare lh.(!hi).Container.h_min r.Container.h_max <= 0
+    do
+      incr hi
+    done;
+    for i = !hi - 1 downto !lo do
+      pairs := (i, j) :: !pairs;
+      probe_l.(i) <- true;
+      probe_r.(j) <- true
+    done
+  done;
+  let tally probe (h : Container.header array) =
+    let probed = ref 0 and skipped = ref 0 in
+    Array.iteri
+      (fun i (hd : Container.header) ->
+        let b = hd.Container.h_payload_bytes in
+        if probe.(i) then probed := !probed + b else skipped := !skipped + b)
+      h;
+    (!probed, !skipped)
+  in
+  let (lp, ls) = tally probe_l lh and (rp, rs) = tally probe_r rh in
+  let count probe = Array.fold_left (fun acc p -> if p then acc + 1 else acc) 0 probe in
+  let probed_blocks = count probe_l + count probe_r in
+  let total_blocks = nl + nr in
+  let skipped_blocks = total_blocks - probed_blocks in
+  let exact_probed probe (h : Container.header array) =
+    let ok = ref true in
+    Array.iteri (fun i (hd : Container.header) -> if probe.(i) && not hd.Container.h_exact then ok := false) h;
+    !ok
+  in
+  {
+    bj_pairs = !pairs;
+    bj_probe_left = probe_l;
+    bj_probe_right = probe_r;
+    bj_left_probed_bytes = lp;
+    bj_left_skipped_bytes = ls;
+    bj_right_probed_bytes = rp;
+    bj_right_skipped_bytes = rs;
+    bj_probed_blocks = probed_blocks;
+    bj_skipped_blocks = skipped_blocks;
+    bj_skip_fraction =
+      (if total_blocks = 0 then 0.0
+       else float_of_int skipped_blocks /. float_of_int total_blocks);
+    bj_exact = exact_probed probe_l lh && exact_probed probe_r rh;
+  }
+
+let prefer_block_join (ests : block_join_estimate list) ~(tuples : int) : bool =
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 ests in
+  let block_cost = sum (fun e -> e.bj_left_probed_bytes + e.bj_right_probed_bytes) in
+  let left_total = sum (fun e -> e.bj_left_probed_bytes + e.bj_left_skipped_bytes) in
+  let right_total = sum (fun e -> e.bj_right_probed_bytes + e.bj_right_skipped_bytes) in
+  let left_blocks = sum (fun e -> Array.length e.bj_probe_left) in
+  let avg_left_block = if left_blocks = 0 then 0 else left_total / left_blocks in
+  (* The hash join decodes essentially every build-side (right) block
+     while keying the items, plus per-tuple probe-side lookups that
+     touch at most one left block each (and never more than all of
+     them). Once there are at least as many tuples as left blocks the
+     probe side is fully decoded anyway (also avoids overflowing the
+     product for symbolic "large" tuple counts). *)
+  let probe_cost =
+    if tuples >= left_blocks then left_total
+    else min (tuples * avg_left_block) left_total
+  in
+  let hash_cost = right_total + probe_cost in
+  block_cost <= hash_cost
+
 type cost_breakdown = { storage : float; model : float; decompression : float; total : float }
 
 let breakdown (t : t) (config : configuration) : cost_breakdown =

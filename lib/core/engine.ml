@@ -77,6 +77,7 @@ let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain
     let started_at = Unix.gettimeofday () in
     let pool0 = Buffer_pool.snapshot () in
     let dpool0 = Domain_pool.snapshot () in
+    let j0 = Executor.join_stats () in
     let gc_alloc0 = Gc.allocated_bytes () in
     let gc0 = Gc.quick_stat () in
     let cpu0 = cpu_ms () in
@@ -89,6 +90,7 @@ let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain
     let cpu = cpu_ms () -. cpu0 in
     let pool1 = Buffer_pool.snapshot () in
     let dpool1 = Domain_pool.snapshot () in
+    let j1 = Executor.join_stats () in
     let gc_alloc1 = Gc.allocated_bytes () in
     let gc1 = Gc.quick_stat () in
     let n name v = (name, Json.Num (float_of_int v)) in
@@ -133,6 +135,14 @@ let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain
                 n "tasks" (dpool1.Domain_pool.p_tasks - dpool0.Domain_pool.p_tasks);
                 n "inline_tasks" (dpool1.Domain_pool.p_inline - dpool0.Domain_pool.p_inline);
                 n "max_queue_depth" dpool1.Domain_pool.p_max_queue_depth;
+              ] );
+          ( "join",
+            Json.Obj
+              [
+                n "block_joins" (j1.Executor.j_block_joins - j0.Executor.j_block_joins);
+                n "blocks_probed" (j1.Executor.j_blocks_probed - j0.Executor.j_blocks_probed);
+                n "blocks_skipped" (j1.Executor.j_blocks_skipped - j0.Executor.j_blocks_skipped);
+                n "skipped_bytes" (j1.Executor.j_skipped_bytes - j0.Executor.j_skipped_bytes);
               ] );
           ( "gc",
             Json.Obj

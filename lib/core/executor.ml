@@ -270,6 +270,84 @@ let note_cmp ctx ~compressed n =
         (if compressed then "executor.cmp.compressed" else "executor.cmp.decompressed")
   end
 
+(* ------------------------------------------------------------------ *)
+(* Block-interval merge join: counters, toggle and plan shape          *)
+(* ------------------------------------------------------------------ *)
+
+(* Process-wide counters for the block merge join, kept as atomics (like
+   the buffer-pool stats) so they survive with telemetry off and can be
+   synced into /metrics, --stats and the query log. *)
+type join_stats = {
+  j_block_joins : int;
+  j_blocks_probed : int;
+  j_blocks_skipped : int;
+  j_skipped_bytes : int;
+}
+
+let a_block_joins = Atomic.make 0
+let a_blocks_probed = Atomic.make 0
+let a_blocks_skipped = Atomic.make 0
+let a_skipped_bytes = Atomic.make 0
+
+let join_stats () : join_stats =
+  {
+    j_block_joins = Atomic.get a_block_joins;
+    j_blocks_probed = Atomic.get a_blocks_probed;
+    j_blocks_skipped = Atomic.get a_blocks_skipped;
+    j_skipped_bytes = Atomic.get a_skipped_bytes;
+  }
+
+let reset_join_stats () =
+  Atomic.set a_block_joins 0;
+  Atomic.set a_blocks_probed 0;
+  Atomic.set a_blocks_skipped 0;
+  Atomic.set a_skipped_bytes 0
+
+let block_join_enabled =
+  ref
+    (match Sys.getenv_opt "XQUEC_BLOCK_JOIN" with
+    | Some ("0" | "false" | "off") -> false
+    | _ -> true)
+
+let set_block_join on = block_join_enabled := on
+
+let note_block_join ~probed ~skipped ~skipped_bytes =
+  Atomic.incr a_block_joins;
+  ignore (Atomic.fetch_and_add a_blocks_probed probed);
+  ignore (Atomic.fetch_and_add a_blocks_skipped skipped);
+  ignore (Atomic.fetch_and_add a_skipped_bytes skipped_bytes);
+  if Xquec_obs.is_enabled () then begin
+    Xquec_obs.Metrics.incr "executor.join.block_joins";
+    if probed > 0 then Xquec_obs.Metrics.incr ~by:probed "executor.join.blocks_probed";
+    if skipped > 0 then Xquec_obs.Metrics.incr ~by:skipped "executor.join.blocks_skipped"
+  end
+
+(* One (left container, right container) pairing of a block join with
+   its header-overlap estimate; a side with several summary nodes
+   contributes one pairing per container product. *)
+type block_pairing = {
+  bp_lc : Container.t;
+  bp_lhops : int;
+  bp_rc : Container.t;
+  bp_rhops : int;
+  bp_est : Cost_model.block_join_estimate;
+}
+
+(* A fully-decided block merge join: everything needed to execute it
+   without re-checking applicability. [pl_tuple_nodes] pairs each outer
+   tuple delta with the node id its probe-side variable is bound to;
+   [pl_item_of_node] inverts the source items (all tree nodes) to their
+   item index, so matched records map back to output positions. *)
+type block_plan = {
+  pl_items : item array;
+  pl_item_of_node : (int, int) Hashtbl.t;
+  pl_tuple_nodes : (env * int) list;
+  pl_pairings : block_pairing list;
+  pl_probed : int;
+  pl_skipped : int;
+  pl_skipped_bytes : int;
+}
+
 let short_expr ?(limit = 48) (e : Ast.expr) : string =
   let s = Ast.to_string e in
   if String.length s > limit then String.sub s 0 (limit - 3) ^ "..." else s
@@ -648,6 +726,45 @@ let resolve_value_path ?(concat_semantics = false) ctx (snodes : Summary.node li
     | _ -> None
   in
   if snodes = [] then None else go snodes 0 vsteps
+
+(* Static applicability of the block merge join for an Eq join binding
+   [var] (header/summary analysis only — shared between the executor's
+   plan builder and the optimizer's EXPLAIN): both key expressions must
+   be value paths rooted at a single variable (the right side at [var],
+   the left side at an earlier one), resolving to containers that share
+   one source model with [`Eq] support and whose record sequences are
+   verified [sorted_run]s. Returns the two sides'
+   (container, hops-to-variable) resolutions. *)
+let block_join_sides ctx (env : env) ~(var : string) (left_e : Ast.expr)
+    (right_e : Ast.expr) : ((Container.t * int) list * (Container.t * int) list) option =
+  let side_of e =
+    let (root, steps) =
+      match e with
+      | Ast.Path (Ast.Var v, steps) -> (Some v, steps)
+      | Ast.Var v -> (Some v, [])
+      | _ -> (None, [])
+    in
+    match root with
+    | None -> None
+    | Some v -> (
+      match List.assoc_opt v env with
+      | None -> None
+      | Some b -> Option.map (fun res -> (v, res)) (resolve_value_path ctx b.snodes steps))
+  in
+  match side_of left_e, side_of right_e with
+  | Some (lv, lres), Some (rv, rres) when rv = var && lv <> var -> (
+    match List.map fst (lres @ rres) with
+    | [] -> None
+    | (c0 : Container.t) :: _ as conts ->
+      if
+        Compress.Codec.supports c0.Container.algorithm `Eq
+        && List.for_all
+             (fun (c : Container.t) ->
+               c.Container.model_id = c0.Container.model_id && c.Container.sorted_run)
+             conts
+      then Some (lres, rres)
+      else None)
+  | _ -> None
 
 (* Matched element ids (at candidate level) for a pushable predicate,
    or None when it cannot be resolved statically. *)
@@ -1161,6 +1278,11 @@ and eval_flwor ctx (base : env) (clauses : Ast.clause list) (ret : Ast.expr) : b
   let bound = ref Sset.empty in
   (* tuples are deltas over [base] *)
   let tuples : env list ref = ref [ [] ] in
+  (* static provenance env: every clause variable bound so far, carrying
+     its summary nodes (and an empty sequence) — what join typing needs
+     to resolve paths rooted at {e earlier} FOR/LET variables, which the
+     per-tuple deltas can't provide statically *)
+  let prov : env ref = ref base in
   let full delta = delta @ base in
   let apply_ready () =
     let (ready, rest) =
@@ -1189,14 +1311,33 @@ and eval_flwor ctx (base : env) (clauses : Ast.clause list) (ret : Ast.expr) : b
           if not correlated then begin
             let source = eval ctx base e in
             match find_join ctx ~var:v ~bound:!bound ~base_vars pending with
-            | Some ((jop, _, _) as join) ->
-              let jkind, jname =
-                if jop = Ast.Eq then ("hash_join", "hash join $" ^ v)
-                else ("sorted_probe", "sorted probe $" ^ v)
+            | Some ((jop, left_e, right_e) as join) -> (
+              let bplan =
+                if jop = Ast.Eq then
+                  block_join_plan ctx ~base ~prov:!prov ~var:v ~source
+                    ~tuples:!tuples left_e right_e
+                else None
               in
-              tuples :=
-                prof_rows ctx ~kind:jkind jname ~rows:List.length (fun () ->
-                    exec_join qctx base !tuples ~var:v ~source join)
+              match bplan with
+              | Some plan ->
+                tuples :=
+                  prof_rows ctx ~kind:"block_merge_join"
+                    ("block merge join $" ^ v)
+                    ~attrs:
+                      [
+                        ("blocks_probed", string_of_int plan.pl_probed);
+                        ("blocks_skipped", string_of_int plan.pl_skipped);
+                      ]
+                    ~rows:List.length
+                    (fun () -> exec_block_join qctx ~var:v plan)
+              | None ->
+                let jkind, jname =
+                  if jop = Ast.Eq then ("hash_join", "hash join $" ^ v)
+                  else ("sorted_probe", "sorted probe $" ^ v)
+                in
+                tuples :=
+                  prof_rows ctx ~kind:jkind jname ~rows:List.length (fun () ->
+                      exec_join qctx base !tuples ~prov:!prov ~var:v ~source join))
             | None ->
               let items = materialize ctx source in
               tuples :=
@@ -1211,6 +1352,7 @@ and eval_flwor ctx (base : env) (clauses : Ast.clause list) (ret : Ast.expr) : b
                   let items = materialize qctx (eval qctx (full d) e) in
                   List.map (fun it -> (v, mat [ it ]) :: d) items)
                 !tuples);
+      prov := (v, { seq = Mat []; snodes = static_snodes ctx !prov e }) :: !prov;
       bound := Sset.add v !bound;
       apply_ready ()
     | Ast.Let (v, e) ->
@@ -1232,6 +1374,7 @@ and eval_flwor ctx (base : env) (clauses : Ast.clause list) (ret : Ast.expr) : b
             | None ->
               tuples := List.map (fun d -> (v, eval qctx (full d) e) :: d) !tuples
           end);
+      prov := (v, { seq = Mat []; snodes = static_snodes ctx !prov e }) :: !prov;
       bound := Sset.add v !bound;
       apply_ready ()
     | Ast.Where _ -> apply_ready ()
@@ -1294,12 +1437,13 @@ and find_join ctx ~var ~bound ~base_vars pending =
     search [] !pending
   end
 
-and exec_join ctx base tuples ~var ~source (op, left_e, right_e) =
+and exec_join ctx base tuples ~prov ~var ~source (op, left_e, right_e) =
   let items = materialize ctx source in
   (* Key mode: compressed codes when both sides statically resolve to
      containers sharing one source model; atoms otherwise. The new
-     variable's summary provenance comes from its source binding. *)
-  let typing_env = (var, { seq = Mat []; snodes = source.snodes }) :: base in
+     variable's summary provenance comes from its source binding, the
+     earlier clause variables' from the FLWOR's provenance env. *)
+  let typing_env = (var, { seq = Mat []; snodes = source.snodes }) :: prov in
   let mode = join_key_mode ctx typing_env left_e right_e in
   let keys_of env e = List.concat_map (join_key ctx mode) (materialize ctx (eval ctx env e)) in
   match op with
@@ -1382,6 +1526,218 @@ and exec_join ctx base tuples ~var ~source (op, left_e, right_e) =
         List.sort (fun (i, _) (j, _) -> compare i j) !order
         |> List.map (fun (_, it) -> (var, mat [ it ]) :: d))
       tuples
+
+(* --- Block-interval merge join (compressed-domain fast path) --- *)
+
+(* Decide whether the Eq join binding [var] can run as a block merge
+   join, and if so build the full plan. Applicability is checked from
+   block headers and the summary only — no payload is decoded here:
+   - both key expressions are value paths rooted at a single variable,
+     the right side at [var] itself, the left side at an already-bound
+     variable with known provenance;
+   - both sides resolve through {!resolve_value_path} to containers
+     sharing one source model whose codec supports [`Eq], so equal
+     plaintexts have equal codes and the merge compares compressed;
+   - every container is a verified [sorted_run] (the precondition for
+     the header interval sweep);
+   - every source item is a distinct tree node and every tuple binds
+     the left variable to a single node, so matched records map back
+     through parent pointers to output positions;
+   - the header-overlap estimate ({!Cost_model.prefer_block_join})
+     favors the block join over the hash join. *)
+and block_join_plan ctx ~base ~prov ~var ~source ~tuples left_e right_e :
+    block_plan option =
+  if not !block_join_enabled || tuples = [] then None
+  else begin
+    let typing_env = (var, { seq = Mat []; snodes = source.snodes }) :: prov in
+    (* the left side's root variable, needed to map tuples to probe nodes *)
+    let left_var =
+      match left_e with
+      | Ast.Path (Ast.Var v, _) | Ast.Var v -> Some v
+      | _ -> None
+    in
+    match block_join_sides ctx typing_env ~var left_e right_e, left_var with
+    | Some (lres, rres), Some lv ->
+        begin
+          let items = materialize ctx source in
+          let item_of_node = Hashtbl.create 256 in
+          let nodes_ok = ref true in
+          List.iteri
+            (fun i it ->
+              match it with
+              | Node id when not (Hashtbl.mem item_of_node id) ->
+                Hashtbl.add item_of_node id i
+              | _ -> nodes_ok := false)
+            items;
+          if not !nodes_ok then None
+          else begin
+            let tuple_nodes =
+              List.map
+                (fun d ->
+                  match List.assoc_opt lv (d @ base) with
+                  | Some { seq = Mat [ Node id ]; _ } -> Some (d, id)
+                  | _ -> None)
+                tuples
+            in
+            if List.exists Option.is_none tuple_nodes then None
+            else begin
+              let pairings =
+                List.concat_map
+                  (fun (lc, lhops) ->
+                    List.map
+                      (fun (rc, rhops) ->
+                        {
+                          bp_lc = lc;
+                          bp_lhops = lhops;
+                          bp_rc = rc;
+                          bp_rhops = rhops;
+                          bp_est =
+                            Cost_model.block_join_estimate (Container.headers lc)
+                              (Container.headers rc);
+                        })
+                      rres)
+                  lres
+              in
+              let ests = List.map (fun p -> p.bp_est) pairings in
+              if not (Cost_model.prefer_block_join ests ~tuples:(List.length tuples))
+              then None
+              else begin
+                let sum f = List.fold_left (fun a e -> a + f e) 0 ests in
+                Some
+                  {
+                    pl_items = Array.of_list items;
+                    pl_item_of_node = item_of_node;
+                    pl_tuple_nodes = List.filter_map Fun.id tuple_nodes;
+                    pl_pairings = pairings;
+                    pl_probed = sum (fun e -> e.Cost_model.bj_probed_blocks);
+                    pl_skipped = sum (fun e -> e.Cost_model.bj_skipped_blocks);
+                    pl_skipped_bytes =
+                      sum (fun e ->
+                          e.Cost_model.bj_left_skipped_bytes
+                          + e.Cost_model.bj_right_skipped_bytes);
+                  }
+              end
+            end
+          end
+        end
+    | _ -> None
+  end
+
+(* Execute a decided block merge join: account the skipped blocks,
+   batch-decode the probed ones (contiguous runs through the domain
+   pool), merge equal codes within each overlapping block pair, map
+   matched records to (left node, right item) pairs through parent
+   pointers, and emit per tuple in source-item order — exactly the
+   output the hash join produces, without decompressing any value. *)
+and exec_block_join ctx ~var (plan : block_plan) : env list =
+  Xquec_obs.Trace.with_span ~name:"executor.block_merge_join"
+    ~attrs:
+      [
+        ("var", var);
+        ("blocks_probed", string_of_int plan.pl_probed);
+        ("blocks_skipped", string_of_int plan.pl_skipped);
+      ]
+  @@ fun () ->
+  note_block_join ~probed:plan.pl_probed ~skipped:plan.pl_skipped
+    ~skipped_bytes:plan.pl_skipped_bytes;
+  if plan.pl_skipped > 0 then
+    Buffer_pool.note_skipped ~bytes:plan.pl_skipped_bytes plan.pl_skipped;
+  (* matched left node -> set of right item indices *)
+  let matches : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let add_match lnode idx =
+    let set =
+      match Hashtbl.find_opt matches lnode with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.add matches lnode s;
+        s
+    in
+    Hashtbl.replace set idx ()
+  in
+  (* decode the probed blocks of one side, batching each contiguous run
+     through the domain pool *)
+  let fetch_probed cont (probe : bool array) : Buffer_pool.decoded option array =
+    let n = Array.length probe in
+    let images = Array.make n None in
+    let i = ref 0 in
+    while !i < n do
+      if probe.(!i) then begin
+        let j = ref !i in
+        while !j + 1 < n && probe.(!j + 1) do incr j done;
+        let ds = Container.fetch_blocks cont ~b0:!i ~b1:!j in
+        Array.iteri (fun k d -> images.(!i + k) <- Some d) ds;
+        i := !j + 1
+      end
+      else incr i
+    done;
+    images
+  in
+  List.iter
+    (fun (p : block_pairing) ->
+      let est = p.bp_est in
+      let limg = fetch_probed p.bp_lc est.Cost_model.bj_probe_left in
+      let rimg = fetch_probed p.bp_rc est.Cost_model.bj_probe_right in
+      List.iter
+        (fun (bi, bj) ->
+          match limg.(bi), rimg.(bj) with
+          | Some dl, Some dr ->
+            let lcodes = dl.Buffer_pool.codes and rcodes = dr.Buffer_pool.codes in
+            let nl = Array.length lcodes and nr = Array.length rcodes in
+            let cmps = ref 0 in
+            let i = ref 0 and j = ref 0 in
+            while !i < nl && !j < nr do
+              incr cmps;
+              let c = String.compare lcodes.(!i) rcodes.(!j) in
+              if c < 0 then incr i
+              else if c > 0 then incr j
+              else begin
+                let code = lcodes.(!i) in
+                let ie = ref (!i + 1) in
+                while !ie < nl && String.equal lcodes.(!ie) code do incr ie done;
+                let je = ref (!j + 1) in
+                while !je < nr && String.equal rcodes.(!je) code do incr je done;
+                (* right item indices of the equal run, then the cross
+                   product against the run's left records *)
+                let ridx = ref [] in
+                for y = !je - 1 downto !j do
+                  let rnode =
+                    ancestor_at ctx
+                      (record_element ctx p.bp_rc
+                         { Container.code; parent = dr.Buffer_pool.parents.(y) })
+                      p.bp_rhops
+                  in
+                  match Hashtbl.find_opt plan.pl_item_of_node rnode with
+                  | Some idx -> ridx := idx :: !ridx
+                  | None -> ()
+                done;
+                if !ridx <> [] then
+                  for x = !i to !ie - 1 do
+                    let lnode =
+                      ancestor_at ctx
+                        (record_element ctx p.bp_lc
+                           { Container.code; parent = dl.Buffer_pool.parents.(x) })
+                        p.bp_lhops
+                    in
+                    List.iter (fun idx -> add_match lnode idx) !ridx
+                  done;
+                i := !ie;
+                j := !je
+              end
+            done;
+            note_cmp ctx ~compressed:true !cmps
+          | _ -> assert false)
+        est.Cost_model.bj_pairs)
+    plan.pl_pairings;
+  List.concat_map
+    (fun (d, lnode) ->
+      match Hashtbl.find_opt matches lnode with
+      | None -> []
+      | Some s ->
+        Hashtbl.fold (fun idx () acc -> idx :: acc) s []
+        |> List.sort compare
+        |> List.map (fun idx -> (var, mat [ plan.pl_items.(idx) ]) :: d))
+    plan.pl_tuple_nodes
 
 (* Decorrelate a nested FLWOR bound in a LET: the Q8/Q9 pattern
      let $a := for $t in ... where <inner> = <outer> return ...

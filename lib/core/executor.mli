@@ -151,3 +151,50 @@ type key_mode =
     codes when both sides resolve to containers sharing one source
     model, else atomized values. *)
 val join_key_mode : ctx -> env -> Xquery.Ast.expr -> Xquery.Ast.expr -> key_mode
+
+(** {2 Block-interval merge join}
+
+    The compressed-domain join fast path: when both key sides of an
+    equality join resolve to sorted containers under one source model,
+    the executor intersects the two sides' block bound intervals from
+    headers alone, decodes only the overlapping blocks, and merges equal
+    codes record-wise — values are never decompressed and
+    non-overlapping blocks are never fetched. *)
+
+(** Static applicability for the block merge join of the FOR variable
+    [var]: both key expressions are single-variable value paths (the
+    right side rooted at [var]) resolving to containers that share one
+    [`Eq]-capable source model and are verified [sorted_run]s. Returns
+    the (container, hops-to-variable) resolutions of the left and right
+    sides. Shared with the optimizer's EXPLAIN, which pairs the sides'
+    headers through {!Cost_model.block_join_estimate}. *)
+val block_join_sides :
+  ctx ->
+  env ->
+  var:string ->
+  Xquery.Ast.expr ->
+  Xquery.Ast.expr ->
+  ((Container.t * int) list * (Container.t * int) list) option
+
+(** Process-wide block-join counters, maintained as atomics (so they
+    accumulate with telemetry off, like the buffer-pool stats):
+    executions, blocks decoded, blocks skipped from headers alone, and
+    the stored payload bytes those skipped blocks would have read. *)
+type join_stats = {
+  j_block_joins : int;
+  j_blocks_probed : int;
+  j_blocks_skipped : int;
+  j_skipped_bytes : int;
+}
+
+(** Snapshot the cumulative block-join counters. *)
+val join_stats : unit -> join_stats
+
+(** Zero the block-join counters (benchmark / test isolation). *)
+val reset_join_stats : unit -> unit
+
+(** Enable or disable the block merge join (defaults to enabled unless
+    the environment sets [XQUEC_BLOCK_JOIN=0]); when off, equality
+    joins always take the hash-join path — the differential tests and
+    the bench's skip-ratio experiment toggle this. *)
+val set_block_join : bool -> unit

@@ -25,6 +25,14 @@ type decision =
   | Scan_filter of predicate_plan
       (** pushed into containers but requires decompression *)
   | Hash_join of { variable : string; left : string; right : string; on_codes : bool }
+  | Block_join of {
+      variable : string;
+      left : string;
+      right : string;
+      blocks_probed : int;
+      blocks_skipped : int;
+      skip_fraction : float;
+    }
   | Sorted_probe of { variable : string; left : string; right : string; on_codes : bool }
   | Decorrelate of { variable : string; op : string; on_codes : bool }
   | Correlated_loop of { variable : string }
@@ -42,6 +50,10 @@ let pp_decision ppf = function
   | Hash_join { variable; left; right; on_codes } ->
     Fmt.pf ppf "hash join for $%s: %s = %s%s" variable left right
       (if on_codes then " (on compressed codes)" else "")
+  | Block_join { variable; left; right; blocks_probed; blocks_skipped; skip_fraction } ->
+    Fmt.pf ppf
+      "block merge join for $%s: %s = %s (header overlap: %d blocks probed, %d skipped, %.0f%% skip)"
+      variable left right blocks_probed blocks_skipped (100.0 *. skip_fraction)
   | Sorted_probe { variable; left; right; on_codes } ->
     Fmt.pf ppf "sorted probe for $%s: %s vs %s%s" variable left right
       (if on_codes then " (on compressed codes)" else "")
@@ -218,8 +230,46 @@ let explain (repo : Repository.t) (query : Ast.expr) : decision list =
             | Some (op, left_e, right_e) when op <> Ast.Neq ->
               let typing_env = bind_snodes !inner_env v (snodes_of !inner_env e) in
               let on_codes = join_on_codes typing_env left_e right_e in
-              if op = Ast.Eq then
-                emit (Hash_join { variable = v; left = short left_e; right = short right_e; on_codes })
+              if op = Ast.Eq then begin
+                (* Prefer the header-driven block merge join whenever it is
+                   statically applicable and the header intersection says it
+                   decodes no more than a hash join would at scale (the
+                   executor re-checks at runtime with the real tuple count). *)
+                match Executor.block_join_sides ctx typing_env ~var:v left_e right_e with
+                | Some (lres, rres) ->
+                  let ests =
+                    List.concat_map
+                      (fun ((lc : Container.t), _) ->
+                        List.map
+                          (fun ((rc : Container.t), _) ->
+                            Cost_model.block_join_estimate (Container.headers lc)
+                              (Container.headers rc))
+                          rres)
+                      lres
+                  in
+                  if Cost_model.prefer_block_join ests ~tuples:max_int then begin
+                    let probed =
+                      List.fold_left (fun a e -> a + e.Cost_model.bj_probed_blocks) 0 ests
+                    in
+                    let skipped =
+                      List.fold_left (fun a e -> a + e.Cost_model.bj_skipped_blocks) 0 ests
+                    in
+                    let total = probed + skipped in
+                    emit
+                      (Block_join
+                         { variable = v; left = short left_e; right = short right_e;
+                           blocks_probed = probed; blocks_skipped = skipped;
+                           skip_fraction =
+                             (if total = 0 then 0.0 else float_of_int skipped /. float_of_int total)
+                         })
+                  end
+                  else
+                    emit
+                      (Hash_join { variable = v; left = short left_e; right = short right_e; on_codes })
+                | None ->
+                  emit
+                    (Hash_join { variable = v; left = short left_e; right = short right_e; on_codes })
+              end
               else
                 emit
                   (Sorted_probe { variable = v; left = short left_e; right = short right_e; on_codes })

@@ -19,6 +19,17 @@ type decision =
   | Pushdown of predicate_plan
   | Scan_filter of predicate_plan
   | Hash_join of { variable : string; left : string; right : string; on_codes : bool }
+  | Block_join of {
+      variable : string;
+      left : string;
+      right : string;
+      blocks_probed : int;
+      blocks_skipped : int;
+      skip_fraction : float;
+    }
+      (** header-driven block merge join: bound intervals from the two
+          sides' block headers were intersected statically;
+          [blocks_skipped] blocks never need decoding *)
   | Sorted_probe of { variable : string; left : string; right : string; on_codes : bool }
   | Decorrelate of { variable : string; op : string; on_codes : bool }
   | Correlated_loop of { variable : string }

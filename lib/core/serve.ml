@@ -40,7 +40,12 @@ let publish_pool_metrics () : unit =
   Metrics.set_counter "decodepool.tasks" d.Storage.Domain_pool.p_tasks;
   Metrics.set_counter "decodepool.inline_tasks" d.Storage.Domain_pool.p_inline;
   Metrics.set_gauge "decodepool.max_queue_depth"
-    (float_of_int d.Storage.Domain_pool.p_max_queue_depth)
+    (float_of_int d.Storage.Domain_pool.p_max_queue_depth);
+  let j = Executor.join_stats () in
+  Metrics.set_counter "executor.join.block_joins" j.Executor.j_block_joins;
+  Metrics.set_counter "executor.join.blocks_probed" j.Executor.j_blocks_probed;
+  Metrics.set_counter "executor.join.blocks_skipped" j.Executor.j_blocks_skipped;
+  Metrics.set_counter "executor.join.skipped_bytes" j.Executor.j_skipped_bytes
 
 let run_query (engine : Engine.t) (text : string) : Expo.response =
   let text = String.trim text in

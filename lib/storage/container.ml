@@ -26,6 +26,13 @@ type block = {
   b_count : int;
   b_min : string;  (** conservative lower bound: [b_min <=] every code in the block *)
   b_max : string;  (** conservative upper bound: [b_max >=] every code in the block *)
+  b_exact : bool;
+      (** [b_min]/[b_max] are the block's actual first/last codes, not
+          capped approximations. False whenever a boundary code is longer
+          than {!header_key_cap} — then [b_max] over-estimates (and
+          [b_min] under-estimates), so consumers must treat the bounds as
+          a superset interval: overlap tests stay sound, but equality or
+          containment conclusions require this bit. *)
   b_plain : int;  (** plaintext bytes covered (exact at build, estimated for v1 loads) *)
   b_payload : string;  (** {!Compress.Codec.encode_block} output *)
 }
@@ -47,6 +54,13 @@ type t = {
           time so bare-element predicates can skip the existence check
           that used to scan every block (stored in the v2 image,
           recomputed on v1 load) *)
+  mutable sorted_run : bool;
+      (** the record sequence was verified (at build / load) to be sorted
+          by (code, parent) — the precondition for header-interval merge
+          joins. Verified by an adjacent-pair scan in
+          {!of_sorted_records}, persisted in the v2 flags byte; images
+          written before the flag existed load as [false]
+          (conservatively disabling the block join on them). *)
 }
 
 let length t = t.n_records
@@ -120,12 +134,17 @@ let blocks_of_records ~block_size ~(plain_size : int -> int) (records : record a
           let r = records.(!start + i) in
           (r.code, r.parent))
       in
+      let first = records.(!start).code and last = records.(!stop - 1).code in
+      let b_min = bound_min first and b_max = bound_max last in
       out :=
         {
           b_start = !start;
           b_count = count;
-          b_min = bound_min records.(!start).code;
-          b_max = bound_max records.(!stop - 1).code;
+          b_min;
+          b_max;
+          (* exact iff neither bound was capped: the header carries the
+             real boundary codes, not approximations *)
+          b_exact = b_min = first && b_max = last;
           b_plain = !acc;
           b_payload = Compress.Codec.encode_block slice;
         }
@@ -134,6 +153,37 @@ let blocks_of_records ~block_size ~(plain_size : int -> int) (records : record a
     done;
     Array.of_list (List.rev !out)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Header-only view                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type header = {
+  h_block : int;
+  h_start : int;
+  h_count : int;
+  h_min : string;
+  h_max : string;
+  h_exact : bool;
+  h_payload_bytes : int;
+}
+
+(* Pure header projection: no payload fetch, no pool traffic. The block
+   interval join reads both sides through this before deciding what (if
+   anything) to decode. *)
+let header (t : t) (i : int) : header =
+  let b = t.blocks.(i) in
+  {
+    h_block = i;
+    h_start = b.b_start;
+    h_count = b.b_count;
+    h_min = b.b_min;
+    h_max = b.b_max;
+    h_exact = b.b_exact;
+    h_payload_bytes = String.length b.b_payload;
+  }
+
+let headers (t : t) : header array = Array.init (Array.length t.blocks) (header t)
 
 (* Decode block [i] through the buffer pool. The decode thunk runs on
    whichever domain executes it (caller or a Domain_pool worker), so its
@@ -235,6 +285,19 @@ let all_parents_distinct (records : record array) : bool =
     true
   with Exit -> false
 
+(* Adjacent-pair verification that the sequence really is sorted by
+   (code, parent). O(n) over in-memory records at build/load time — the
+   merge-join path trusts this bit instead of re-checking per query. *)
+let is_sorted_run (records : record array) : bool =
+  let n = Array.length records in
+  let rec go i =
+    i >= n
+    || (compare (records.(i - 1).code, records.(i - 1).parent) (records.(i).code, records.(i).parent)
+          <= 0
+       && go (i + 1))
+  in
+  go 1
+
 (** Assemble a container from records already sorted by (code, parent).
     [plain_sizes.(i)] is the plaintext length of record [i] when known
     (exact block budgeting); omitted, sizes are estimated from the
@@ -266,6 +329,7 @@ let of_sorted_records ?block_size ?plain_sizes ~id ~path ~kind ~algorithm ~model
       plain_bytes;
       generation = 0;
       distinct_parents = all_parents_distinct records;
+      sorted_run = is_sorted_run records;
     }
   in
   publish_metrics t;
@@ -330,6 +394,7 @@ let recompress (t : t) ~algorithm ~model ~model_id : int array =
       records;
   t.n_records <- Array.length records;
   t.distinct_parents <- all_parents_distinct records;
+  t.sorted_run <- is_sorted_run records;
   if Xquec_obs.is_enabled () then begin
     Xquec_obs.Metrics.incr "container.recompressions";
     publish_metrics t
@@ -589,12 +654,18 @@ let compress_constant (t : t) (v : string) : string =
      varint id | varint |path| path | kind byte ('T'/'A') | flags byte
      varint |alg| alg | varint model_id | varint plain_bytes
      varint n_records | varint n_blocks
-   Flags: bit 0 = parents all distinct (precomputed at build time).
+   Flags: bit 0 = parents all distinct (precomputed at build time);
+          bit 1 = record sequence verified sorted by (code, parent);
+          bit 2 = per-block flags byte present (below).
      then per block:
-       varint b_count | varint |b_min| b_min | varint |b_max| b_max
+       varint b_count | [flags byte if container bit 2]
+       varint |b_min| b_min | varint |b_max| b_max
        varint b_plain | varint |payload| payload
-   Block payloads are stored verbatim, which makes save -> load -> save
-   byte-exact. *)
+   Per-block flags: bit 0 = header bounds exact (uncapped codes).
+   Images written before bits 1-2 existed parse with both clear:
+   [sorted_run] and every [b_exact] load as false, which only disables
+   optimizations — never correctness. Block payloads are stored
+   verbatim, which makes save -> load -> save byte-exact. *)
 
 let serialize buf (t : t) =
   let add_varint = Compress.Rle.add_varint in
@@ -605,7 +676,12 @@ let serialize buf (t : t) =
   add_varint buf t.id;
   add_str t.path;
   Buffer.add_char buf (match t.kind with Text -> 'T' | Attribute -> 'A');
-  Buffer.add_char buf (Char.chr (if t.distinct_parents then 1 else 0));
+  let flags =
+    (if t.distinct_parents then 1 else 0)
+    lor (if t.sorted_run then 2 else 0)
+    lor 4 (* per-block flags byte present *)
+  in
+  Buffer.add_char buf (Char.chr flags);
   add_str (Compress.Codec.algorithm_name t.algorithm);
   add_varint buf t.model_id;
   add_varint buf t.plain_bytes;
@@ -614,6 +690,7 @@ let serialize buf (t : t) =
   Array.iter
     (fun b ->
       add_varint buf b.b_count;
+      Buffer.add_char buf (Char.chr (if b.b_exact then 1 else 0));
       add_str b.b_min;
       add_str b.b_max;
       add_varint buf b.b_plain;
@@ -639,7 +716,10 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
   let path = str () in
   let kind = match s.[!pos] with 'T' -> Text | 'A' -> Attribute | _ -> failwith "bad kind" in
   incr pos;
-  let distinct_parents = Char.code s.[!pos] land 1 <> 0 in
+  let flags = Char.code s.[!pos] in
+  let distinct_parents = flags land 1 <> 0 in
+  let sorted_run = flags land 2 <> 0 in
+  let block_flags = flags land 4 <> 0 in
   incr pos;
   let algorithm = Compress.Codec.algorithm_of_name (str ()) in
   let model_id = varint () in
@@ -650,12 +730,20 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
   let blocks =
     Array.init n_blocks (fun _ ->
         let b_count = varint () in
+        let b_exact =
+          if block_flags then begin
+            let f = Char.code s.[!pos] in
+            incr pos;
+            f land 1 <> 0
+          end
+          else false (* legacy image: assume capped (conservative) *)
+        in
         let b_min = str () in
         let b_max = str () in
         let b_plain = varint () in
         let b_payload = str () in
         let b =
-          { b_start = !start; b_count; b_min; b_max; b_plain; b_payload }
+          { b_start = !start; b_count; b_min; b_max; b_exact; b_plain; b_payload }
         in
         start := !start + b_count;
         b)
@@ -675,6 +763,7 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
       plain_bytes;
       generation = 0;
       distinct_parents;
+      sorted_run;
     },
     !pos )
 

@@ -26,8 +26,13 @@ type record = { code : string; parent : int }
     Invariants: [b_min] is [<=] and [b_max] is [>=] every code in the
     block (conservative bounds capped at ~8 bytes, derived from the
     slice's first and last codes — pruning stays correct, headers stay
-    tiny even for long-code codecs); consecutive blocks cover
-    consecutive index ranges ([b_start] strictly increasing, next
+    tiny even for long-code codecs); [b_exact] records whether both
+    bounds are the {e actual} boundary codes (it is false whenever a
+    boundary code exceeded the cap, in which case [b_max]
+    over-estimates and [b_min] under-estimates — overlap/pruning tests
+    stay sound, but any consumer wanting equality or containment
+    conclusions from the bounds must check the bit); consecutive blocks
+    cover consecutive index ranges ([b_start] strictly increasing, next
     [b_start] = [b_start + b_count]); [b_payload] is a
     {!Compress.Codec.encode_block} image decoding to exactly [b_count]
     records. *)
@@ -36,6 +41,7 @@ type block = {
   b_count : int;
   b_min : string;
   b_max : string;
+  b_exact : bool;
   b_plain : int;
   b_payload : string;
 }
@@ -58,7 +64,41 @@ type t = {
           loading v1), so bare-element existence predicates can take the
           header-pruned path instead of scanning every block to check
           distinctness. *)
+  mutable sorted_run : bool;
+      (** the record sequence was verified sorted by (code, parent) —
+          the precondition for the executor's block-interval merge join.
+          Checked by an O(n) adjacent-pair scan at build / v1-load time
+          and persisted in the v2 flags byte; v2 images written before
+          the flag existed load as [false], conservatively keeping the
+          block join off for them. *)
 }
+
+(** Header-only projection of one block: bounds, cardinality and stored
+    payload size, with {e no} payload fetch and no buffer-pool traffic.
+    [h_block] is the block's index; the other fields mirror the
+    corresponding {!block} fields ([h_payload_bytes] is the stored
+    payload's length — the bytes a decode would read). This is the view
+    the executor's block-interval join plans from before deciding which
+    blocks (if any) to decode. *)
+type header = {
+  h_block : int;
+  h_start : int;
+  h_count : int;
+  h_min : string;
+  h_max : string;
+  h_exact : bool;
+  h_payload_bytes : int;
+}
+
+(** [header t i] is the header-only view of block [i]. *)
+val header : t -> int -> header
+
+(** All block headers in block order. Pure projection: never decodes a
+    payload. Because blocks are contiguous slices of the sorted record
+    sequence, the [h_min] and [h_max] sequences are both non-decreasing,
+    which is what makes a two-pointer interval merge over two sides'
+    headers sound. *)
+val headers : t -> header array
 
 (** Number of records (across all blocks). *)
 val length : t -> int
@@ -198,8 +238,12 @@ val compressed_bytes : t -> int
 val publish_metrics : t -> unit
 
 (** Append the v2 wire image (block headers + verbatim payloads — a
-    save/load/save cycle is byte-exact). The model itself is serialized
-    once per [model_id] by {!Repository}. *)
+    save/load/save cycle is byte-exact). The container flags byte
+    carries bit 0 = [distinct_parents], bit 1 = [sorted_run], bit 2 =
+    "per-block flags byte present" (bit 0 of which is [b_exact]);
+    images written before bits 1–2 existed load with [sorted_run] and
+    every [b_exact] false. The model itself is serialized once per
+    [model_id] by {!Repository}. *)
 val serialize : Buffer.t -> t -> unit
 
 (** Parse a v2 container image at [pos]; [models] maps [model_id] to

@@ -36,7 +36,8 @@ let models (t : t) : (int * Compress.Codec.model) list =
 
 type size_breakdown = {
   name_dict_bytes : int;
-  tree_bytes : int;
+  tree_bytes : int;  (** packed (delta+varint) encoding — what v3 images store *)
+  tree_legacy_bytes : int;  (** plain-varint v2 encoding, kept for the fig6 delta *)
   containers_bytes : int;
   models_bytes : int;
   summary_bytes : int;
@@ -54,7 +55,8 @@ let buffer_size f =
 
 let size_breakdown (t : t) : size_breakdown =
   let name_dict_bytes = Name_dict.serialized_size t.dict in
-  let tree_bytes = buffer_size (fun b -> Structure_tree.serialize b t.tree) in
+  let tree_bytes = buffer_size (fun b -> Structure_tree.serialize_packed b t.tree) in
+  let tree_legacy_bytes = buffer_size (fun b -> Structure_tree.serialize b t.tree) in
   let containers_bytes =
     Array.fold_left (fun acc c -> acc + buffer_size (fun b -> Container.serialize b c)) 0
       t.containers
@@ -94,6 +96,7 @@ let size_breakdown (t : t) : size_breakdown =
     {
       name_dict_bytes;
       tree_bytes;
+      tree_legacy_bytes;
       containers_bytes;
       models_bytes;
       summary_bytes;
@@ -122,11 +125,19 @@ let compression_factor (t : t) =
 (* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Format v2 images start with this magic; v1 images start directly with
+(* Format v2/v3 images start with a magic; v1 images start directly with
    the varint-prefixed source name, whose length byte can never collide
-   with 'X'. Both layouts are otherwise identical except for the
-   container encoding (v1: records inline; v2: block headers+payloads). *)
+   with 'X'. v2 and v3 share the section layout; v3 adds one
+   format-flags byte right after the magic (bit 0 = structure tree
+   stored in the packed delta+varint encoding) and always uses the
+   block container encoding. New images are written as v3 with the
+   packed tree; v1 (records inline) and v2 (block containers, legacy
+   tree) still load. *)
 let v2_magic = "XQC\x02"
+
+let v3_magic = "XQC\x03"
+
+let flag_packed_tree = 1
 
 let serialize (t : t) : string =
   Xquec_obs.Trace.with_span ~name:"repository.serialize"
@@ -138,7 +149,8 @@ let serialize (t : t) : string =
     add_varint buf (String.length s);
     Buffer.add_string buf s
   in
-  Buffer.add_string buf v2_magic;
+  Buffer.add_string buf v3_magic;
+  Buffer.add_char buf (Char.chr flag_packed_tree);
   add_str t.source_name;
   add_varint buf t.original_size;
   (* name dictionary *)
@@ -165,7 +177,7 @@ let serialize (t : t) : string =
     ms;
   (* summary first: tree value pointers are resolved against it on load *)
   Summary.serialize buf t.summary;
-  Structure_tree.serialize buf t.tree;
+  Structure_tree.serialize_packed buf t.tree;
   add_varint buf (Array.length t.containers);
   Array.iter (fun c -> Container.serialize buf c) t.containers;
   Buffer.contents buf
@@ -174,15 +186,27 @@ let deserialize (s : string) : t =
   Xquec_obs.Trace.with_span ~name:"repository.deserialize"
     ~attrs:[ ("bytes", string_of_int (String.length s)) ]
   @@ fun () ->
-  let is_v2 =
-    String.length s >= String.length v2_magic
-    && String.equal (String.sub s 0 (String.length v2_magic)) v2_magic
+  let has_magic m =
+    String.length s >= String.length m && String.equal (String.sub s 0 (String.length m)) m
   in
+  let is_v2 = has_magic v2_magic and is_v3 = has_magic v3_magic in
   let container_deserialize =
-    if is_v2 then Container.deserialize else Container.deserialize_v1
+    if is_v2 || is_v3 then Container.deserialize else Container.deserialize_v1
   in
   let read_varint = Compress.Rle.read_varint in
-  let pos = ref (if is_v2 then String.length v2_magic else 0) in
+  let pos = ref (if is_v2 || is_v3 then String.length v2_magic else 0) in
+  let format_flags =
+    if is_v3 then begin
+      let f = Char.code s.[!pos] in
+      incr pos;
+      f
+    end
+    else 0
+  in
+  let tree_deserialize =
+    if format_flags land flag_packed_tree <> 0 then Structure_tree.deserialize_packed
+    else Structure_tree.deserialize
+  in
   let str () =
     let (n, p) = read_varint s !pos in
     let v = String.sub s p n in
@@ -224,7 +248,7 @@ let deserialize (s : string) : t =
   done;
   let (summary, p) = Summary.deserialize ~dict s !pos in
   pos := p;
-  let (tree, p) = Structure_tree.deserialize s !pos in
+  let (tree, p) = tree_deserialize s !pos in
   pos := p;
   let n_containers = varint () in
   let containers =

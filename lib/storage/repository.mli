@@ -27,6 +27,10 @@ val models : t -> (int * Compress.Codec.model) list
 type size_breakdown = {
   name_dict_bytes : int;
   tree_bytes : int;
+      (** the packed (delta+varint, v3) tree encoding actually stored *)
+  tree_legacy_bytes : int;
+      (** the plain-varint v2 tree encoding — kept so the fig6 bench can
+          report the compression-factor delta of tree packing *)
   containers_bytes : int;
   models_bytes : int;
   summary_bytes : int;
@@ -43,12 +47,16 @@ val size_breakdown : t -> size_breakdown
 (** 1 - cs/os, as defined in the paper's §5. *)
 val compression_factor : t -> float
 
-(** Serialize to the current (v2, block-structured) on-disk format,
-    prefixed with the "XQC\x02" magic. *)
+(** Serialize to the current (v3) on-disk format: magic "XQC\x03", one
+    format-flags byte (bit 0 = packed structure tree, always set by this
+    writer), then the v2 section layout with block-structured containers
+    and the delta+varint-packed tree. A save/load/save cycle is
+    byte-exact. *)
 val serialize : t -> string
 
-(** Parse a serialized repository. Accepts both the v2 format (magic
-    "XQC\x02", block-structured containers) and the legacy v1
+(** Parse a serialized repository. Accepts the v3 format (magic
+    "XQC\x03" + format-flags byte), the v2 format (magic "XQC\x02",
+    block-structured containers, plain-varint tree) and the legacy v1
     record-wise format (no magic); v1 containers are re-blocked on
     load. Raises [Failure] on corrupt input. *)
 val deserialize : string -> t

@@ -174,6 +174,46 @@ let serialize buf (t : t) =
     Array.iter (fun (_cont, idx) -> add_varint buf idx) t.values.(id)
   done
 
+(* Packed variant (repository format v3): same logical record, but the
+   child-entry codes and value record indices are stored as zigzag
+   varint deltas via {!Compress.Ipack.add_deltas}. Successive child
+   entries of one node have codes [2 * (c - id)] that grow by twice the
+   subtree size of each sibling, so the deltas stay small no matter how
+   wide the fan-out — the dominant cost of the legacy format on nodes
+   like /site/people. Value record indices are ascending per node, so
+   they delta-pack too. *)
+let serialize_packed buf (t : t) =
+  let add_varint = Compress.Rle.add_varint in
+  let n = node_count t in
+  add_varint buf n;
+  for id = 0 to n - 1 do
+    add_varint buf t.tags.(id);
+    add_varint buf (id - t.parents.(id));
+    Compress.Ipack.add_deltas buf
+      (Array.map
+         (fun c -> if c >= 0 then 2 * (c - id) else (2 * -c) - 1)
+         t.children.(id));
+    Compress.Ipack.add_deltas buf (Array.map snd t.values.(id))
+  done
+
+(* Both readers share the post/level/lasts reconstruction; they differ
+   only in how one node record is decoded. *)
+let finish_arrays ~tags ~parents ~children ~values : t =
+  let n = Array.length tags in
+  let lasts = compute_lasts children in
+  (* recompute posts and levels by a DFS over the children structure *)
+  let posts = Array.make n 0 in
+  let levels = Array.make n 0 in
+  let next_post = ref 0 in
+  let rec dfs id level =
+    levels.(id) <- level;
+    Array.iter (fun c -> if c >= 0 then dfs c (level + 1)) children.(id);
+    posts.(id) <- !next_post;
+    incr next_post
+  in
+  if n > 0 then dfs 0 0;
+  { tags; parents; posts; levels; children; values; lasts; index = build_index n }
+
 let deserialize (s : string) (pos : int) : t * int =
   let read_varint = Compress.Rle.read_varint in
   let (n, pos) = read_varint s pos in
@@ -209,19 +249,29 @@ let deserialize (s : string) (pos : int) : t * int =
     values.(id) <- vals;
     pos := !p
   done;
-  let lasts = compute_lasts children in
-  (* recompute posts and levels by a DFS over the children structure *)
-  let posts = Array.make n 0 in
-  let levels = Array.make n 0 in
-  let next_post = ref 0 in
-  let rec dfs id level =
-    levels.(id) <- level;
-    Array.iter (fun c -> if c >= 0 then dfs c (level + 1)) children.(id);
-    posts.(id) <- !next_post;
-    incr next_post
-  in
-  if n > 0 then dfs 0 0;
-  ({ tags; parents; posts; levels; children; values; lasts; index = build_index n }, !pos)
+  (finish_arrays ~tags ~parents ~children ~values, !pos)
+
+let deserialize_packed (s : string) (pos : int) : t * int =
+  let read_varint = Compress.Rle.read_varint in
+  let (n, pos) = read_varint s pos in
+  let tags = Array.make n 0 in
+  let parents = Array.make n 0 in
+  let children = Array.make n [||] in
+  let values = Array.make n [||] in
+  let pos = ref pos in
+  for id = 0 to n - 1 do
+    let (tag, p) = read_varint s !pos in
+    let (pdelta, p) = read_varint s p in
+    let (codes, p) = Compress.Ipack.read_deltas s p in
+    let (idxs, p) = Compress.Ipack.read_deltas s p in
+    tags.(id) <- tag;
+    parents.(id) <- id - pdelta;
+    children.(id) <-
+      Array.map (fun d -> if d land 1 = 0 then id + (d / 2) else -((d + 1) / 2)) codes;
+    values.(id) <- Array.map (fun idx -> (-1, idx)) idxs;
+    pos := p
+  done;
+  (finish_arrays ~tags ~parents ~children ~values, !pos)
 
 (** Size of the B+ access structure alone (for the §2.2 occupancy
     breakdown). *)

@@ -79,12 +79,27 @@ val next_id : builder -> int
 val finish :
   builder -> rev_children:int list array -> rev_values:(int * int) list array -> t
 
-(** Append the tree's serialized form to the buffer. *)
+(** Append the tree's legacy (plain-varint, repository v2) serialized
+    form to the buffer. Kept for v2 read-compat and for measuring the
+    packing gain; new images use {!serialize_packed}. *)
 val serialize : Buffer.t -> t -> unit
 
-(** [deserialize s pos] parses a tree at offset [pos], returning it with
-    the offset past it. Raises [Failure] on corrupt input. *)
+(** [deserialize s pos] parses a legacy (v2) tree at offset [pos],
+    returning it with the offset past it. Raises [Failure] on corrupt
+    input. *)
 val deserialize : string -> int -> t * int
+
+(** Append the packed (repository v3) form: per node, tag and parent
+    delta as plain varints, then child-entry codes and value record
+    indices as zigzag delta+varint sequences
+    ({!Compress.Ipack.add_deltas}) — successive sibling codes differ by
+    twice the sibling's subtree size, so wide fan-out nodes shrink to
+    ~1 byte per child. Decodes to exactly the same tree as
+    {!serialize}. *)
+val serialize_packed : Buffer.t -> t -> unit
+
+(** Invert {!serialize_packed}. Raises [Failure] on corrupt input. *)
+val deserialize_packed : string -> int -> t * int
 
 (** Size of the B+ access structure (for the §2.2 breakdown). *)
 val index_bytes : t -> int

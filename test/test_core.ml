@@ -252,6 +252,40 @@ let test_explain_q9_join () =
   Alcotest.(check bool) "inner double-FOR plans a hash join" true
     (List.exists (function Optimizer.Hash_join _ -> true | _ -> false) ds)
 
+let test_explain_block_join () =
+  (* when both join sides share a source model and are sorted runs,
+     EXPLAIN reports the header-driven block merge join with its static
+     probe/skip split *)
+  let xml =
+    "<db><items>"
+    ^ String.concat ""
+        (List.init 400 (fun i -> Printf.sprintf "<item><key>k%04d</key></item>" i))
+    ^ "</items><lookups><lookup><ref>k0003</ref></lookup></lookups></db>"
+  in
+  let q =
+    "for $l in doc('j.xml')/db/lookups/lookup for $i in doc('j.xml')/db/items/item \
+     where $i/key = $l/ref return $i/key"
+  in
+  let saved = Storage.Container.default_block_size () in
+  Storage.Container.set_default_block_size 512;
+  Fun.protect ~finally:(fun () -> Storage.Container.set_default_block_size saved)
+  @@ fun () ->
+  let eng = Engine.load ~name:"j.xml" ~workload:[ q ] xml in
+  let ds = Optimizer.explain (Engine.repo eng) (Xquery.Parser.parse q) in
+  match
+    List.find_map
+      (function
+        | Optimizer.Block_join { blocks_probed; blocks_skipped; skip_fraction; _ } ->
+          Some (blocks_probed, blocks_skipped, skip_fraction)
+        | _ -> None)
+      ds
+  with
+  | Some (probed, skipped, frac) ->
+    Alcotest.(check bool) "skips blocks statically" true (skipped > 0);
+    Alcotest.(check bool) "probes at least one block" true (probed > 0);
+    Alcotest.(check bool) "skip fraction in (0,1]" true (frac > 0.0 && frac <= 1.0)
+  | None -> Alcotest.fail "no block join decision in EXPLAIN"
+
 (* ------------------------------------------------------------------ *)
 (* Physical plans                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -346,6 +380,7 @@ let suites =
         Alcotest.test_case "explain join keys vs partitioning" `Quick
           test_explain_join_on_codes_after_partitioning;
         Alcotest.test_case "explain Q9 hash join" `Quick test_explain_q9_join;
+        Alcotest.test_case "explain block merge join" `Quick test_explain_block_join;
       ] );
     ( "physical-plans",
       [

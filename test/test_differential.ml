@@ -50,6 +50,76 @@ let test_huffman_everywhere () =
   let repo = Xquec_core.Loader.load ~options ~name:"auction.xml" xml in
   check_all_queries ~name:"huffman" doc repo
 
+(* The block merge join is an optimization, never a semantics change:
+   its answer must be byte-identical to the hash join's on randomized
+   inputs (duplicate-heavy keys so equal runs straddle block
+   boundaries), across block sizes from 1 KiB to 64 KiB, both decode
+   pool shapes (sequential and 4 domains), and both join
+   orientations. *)
+let test_block_join_vs_hash () =
+  let mk_doc ~items ~lookups ~keyspace ~seed =
+    let buf = Buffer.create (items * 32) in
+    let st = ref (seed * 7919 + 1) in
+    let rand m =
+      st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+      !st mod m
+    in
+    Buffer.add_string buf "<db><items>";
+    for _ = 1 to items do
+      Buffer.add_string buf (Printf.sprintf "<item><key>k%04d</key></item>" (rand keyspace))
+    done;
+    Buffer.add_string buf "</items><lookups>";
+    for _ = 1 to lookups do
+      Buffer.add_string buf (Printf.sprintf "<lookup><ref>k%04d</ref></lookup>" (rand keyspace))
+    done;
+    Buffer.add_string buf "</lookups></db>";
+    Buffer.contents buf
+  in
+  let queries =
+    [
+      "for $l in doc('j.xml')/db/lookups/lookup for $i in doc('j.xml')/db/items/item \
+       where $i/key = $l/ref return $i/key";
+      "for $l in doc('j.xml')/db/lookups/lookup for $i in doc('j.xml')/db/items/item \
+       where $l/ref = $i/key return $i/key";
+    ]
+  in
+  let saved_bs = Storage.Container.default_block_size () in
+  let saved_domains = Storage.Domain_pool.size () in
+  let block_joins = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Storage.Container.set_default_block_size saved_bs;
+      Storage.Domain_pool.set_size saved_domains;
+      Xquec_core.Executor.set_block_join true)
+  @@ fun () ->
+  List.iter
+    (fun bs ->
+      Storage.Container.set_default_block_size bs;
+      List.iter
+        (fun domains ->
+          Storage.Domain_pool.set_size domains;
+          List.iter
+            (fun seed ->
+              let xml = mk_doc ~items:600 ~lookups:25 ~keyspace:200 ~seed in
+              let eng = Xquec_core.Engine.load ~name:"j.xml" ~workload:queries xml in
+              List.iter
+                (fun q ->
+                  Xquec_core.Executor.set_block_join false;
+                  let hash = Xquec_core.Engine.query_serialized eng q in
+                  Xquec_core.Executor.set_block_join true;
+                  Xquec_core.Executor.reset_join_stats ();
+                  let block = Xquec_core.Engine.query_serialized eng q in
+                  let s = Xquec_core.Executor.join_stats () in
+                  block_joins := !block_joins + s.Xquec_core.Executor.j_block_joins;
+                  Alcotest.(check string)
+                    (Printf.sprintf "bs=%d domains=%d seed=%d" bs domains seed)
+                    hash block)
+                queries)
+            [ 1; 2; 3 ])
+        [ 0; 4 ])
+    [ 1024; 4096; 65536 ];
+  Alcotest.(check bool) "block join exercised at least once" true (!block_joins > 0)
+
 let suites =
   [
     ( "differential",
@@ -60,5 +130,6 @@ let suites =
         Alcotest.test_case "with partitioning" `Slow test_partitioned;
         Alcotest.test_case "after save/restore" `Slow test_after_reload;
         Alcotest.test_case "huffman-only repository" `Slow test_huffman_everywhere;
+        Alcotest.test_case "block join vs hash join" `Slow test_block_join_vs_hash;
       ] );
   ]

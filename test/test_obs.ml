@@ -444,6 +444,62 @@ let test_query_log_reconciles_with_pool_counters () =
       ]
   | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
 
+(* Block-join counters must tell one story everywhere: the query-log
+   record's "join" object equals the Executor.join_stats delta around
+   the query, and publish_pool_metrics mirrors the cumulative stats
+   into the executor.join.* series that /metrics and /stats expose. *)
+let test_query_log_join_counters_reconcile () =
+  with_query_log @@ fun file ->
+  let xml =
+    "<db><items>"
+    ^ String.concat ""
+        (List.init 300 (fun i -> Printf.sprintf "<item><key>k%04d</key></item>" i))
+    ^ "</items><lookups><lookup><ref>k0007</ref></lookup></lookups></db>"
+  in
+  let q =
+    "for $l in doc('j.xml')/db/lookups/lookup for $i in doc('j.xml')/db/items/item \
+     where $i/key = $l/ref return $i/key"
+  in
+  let saved_bs = Storage.Container.default_block_size () in
+  Storage.Container.set_default_block_size 512;
+  Fun.protect ~finally:(fun () -> Storage.Container.set_default_block_size saved_bs)
+  @@ fun () ->
+  let eng = Engine.load ~name:"j.xml" ~workload:[ q ] xml in
+  let j0 = Executor.join_stats () in
+  ignore (Engine.query_serialized_logged eng q);
+  let j1 = Executor.join_stats () in
+  Alcotest.(check bool) "the query took the block-join path" true
+    (j1.Executor.j_block_joins > j0.Executor.j_block_joins);
+  Alcotest.(check bool) "headers pruned at least one block" true
+    (j1.Executor.j_blocks_skipped > j0.Executor.j_blocks_skipped);
+  (match List.map Obs.Json.parse (read_lines file) with
+  | [ r ] ->
+    List.iter
+      (fun (keys, delta) ->
+        Alcotest.(check (float 1e-9))
+          (String.concat "." keys)
+          (float_of_int delta) (num_field r keys))
+      [
+        ([ "join"; "block_joins" ], j1.Executor.j_block_joins - j0.Executor.j_block_joins);
+        ([ "join"; "blocks_probed" ], j1.Executor.j_blocks_probed - j0.Executor.j_blocks_probed);
+        ( [ "join"; "blocks_skipped" ],
+          j1.Executor.j_blocks_skipped - j0.Executor.j_blocks_skipped );
+        ([ "join"; "skipped_bytes" ], j1.Executor.j_skipped_bytes - j0.Executor.j_skipped_bytes)
+      ]
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs));
+  (* the /metrics collector syncs the same cumulative counters (the
+     registry only accepts writes while telemetry is on, as in serve) *)
+  Obs.with_enabled @@ fun () ->
+  Serve.publish_pool_metrics ();
+  Alcotest.(check int) "metrics block_joins" j1.Executor.j_block_joins
+    (Obs.Metrics.counter_value "executor.join.block_joins");
+  Alcotest.(check int) "metrics blocks_probed" j1.Executor.j_blocks_probed
+    (Obs.Metrics.counter_value "executor.join.blocks_probed");
+  Alcotest.(check int) "metrics blocks_skipped" j1.Executor.j_blocks_skipped
+    (Obs.Metrics.counter_value "executor.join.blocks_skipped");
+  Alcotest.(check int) "metrics skipped_bytes" j1.Executor.j_skipped_bytes
+    (Obs.Metrics.counter_value "executor.join.skipped_bytes")
+
 let test_query_log_disabled_writes_nothing () =
   Obs.Query_log.set_path None;
   let eng = Engine.load ~name:"xmark.xml" xmark_doc in
@@ -638,6 +694,8 @@ let suites =
         Alcotest.test_case "one record per query" `Quick test_query_log_one_record_per_query;
         Alcotest.test_case "reconciles with pool counters" `Quick
           test_query_log_reconciles_with_pool_counters;
+        Alcotest.test_case "join counters reconcile" `Quick
+          test_query_log_join_counters_reconcile;
         Alcotest.test_case "disabled writes nothing" `Quick test_query_log_disabled_writes_nothing;
       ] );
     ( "obs-expo",

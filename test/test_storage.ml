@@ -618,11 +618,11 @@ let test_repository_roundtrip () =
       Alcotest.(check string) (q.Xmark.Queries.id ^ " identical after reload") a b)
     Xmark.Queries.all
 
-let test_repository_v2_byte_exact () =
+let test_repository_v3_byte_exact () =
   let xml = Xmark.Xmlgen.generate ~scale:0.03 () in
   let repo = Xquec_core.Loader.load ~name:"auction.xml" xml in
   let data = Repository.serialize repo in
-  Alcotest.(check string) "v2 magic" "XQC\x02" (String.sub data 0 4);
+  Alcotest.(check string) "v3 magic" "XQC\x03" (String.sub data 0 4);
   let repo' = Repository.deserialize data in
   let data' = Repository.serialize repo' in
   Alcotest.(check bool) "save/load/save is byte-exact" true (String.equal data data')
@@ -645,11 +645,12 @@ let test_repository_v1_fixture () =
       "document(\"v1_small.xml\")/site/people/person[age > 30]/name";
       "document(\"v1_small.xml\")/site/people/person[@id = \"p2\"]";
     ];
-  (* and re-saving upgrades it to v2, which then round-trips byte-exactly *)
-  let v2 = Repository.serialize repo in
-  Alcotest.(check string) "re-save upgrades to v2" "XQC\x02" (String.sub v2 0 4);
+  (* and re-saving upgrades it to the current format, which then
+     round-trips byte-exactly *)
+  let v3 = Repository.serialize repo in
+  Alcotest.(check string) "re-save upgrades to v3" "XQC\x03" (String.sub v3 0 4);
   Alcotest.(check bool) "upgraded image round-trips" true
-    (String.equal v2 (Repository.serialize (Repository.deserialize v2)))
+    (String.equal v3 (Repository.serialize (Repository.deserialize v3)))
 
 let test_size_breakdown_consistent () =
   let xml = Xmark.Xmlgen.generate ~scale:0.05 () in
@@ -662,6 +663,134 @@ let test_size_breakdown_consistent () =
       + sz.Repository.summary_bytes + sz.Repository.btree_bytes);
   Alcotest.(check bool) "essential < total" true
     (sz.Repository.essential_bytes < sz.Repository.total_bytes)
+
+let test_packed_tree_roundtrip () =
+  (* the delta+varint packed encoding preserves every field of the
+     structure tree and beats the legacy plain-varint encoding *)
+  let xml = Xmark.Xmlgen.generate ~scale:0.05 () in
+  let repo = Xquec_core.Loader.load ~name:"a" xml in
+  let tree = repo.Repository.tree in
+  let packed = Buffer.create 4096 and legacy = Buffer.create 4096 in
+  Structure_tree.serialize_packed packed tree;
+  Structure_tree.serialize legacy tree;
+  Alcotest.(check bool) "packed encoding is smaller" true
+    (Buffer.length packed < Buffer.length legacy);
+  let (t', consumed) = Structure_tree.deserialize_packed (Buffer.contents packed) 0 in
+  Alcotest.(check int) "consumed whole image" (Buffer.length packed) consumed;
+  (* both encodings leave value-pointer containers unresolved (the
+     repository resolves them against the summary on load), so the
+     packed round-trip must agree field-for-field with the legacy one *)
+  let (tl, _) = Structure_tree.deserialize (Buffer.contents legacy) 0 in
+  let n = Structure_tree.node_count tl in
+  Alcotest.(check int) "node count" n (Structure_tree.node_count t');
+  for id = 0 to n - 1 do
+    if Structure_tree.tag tl id <> Structure_tree.tag t' id
+       || Structure_tree.parent tl id <> Structure_tree.parent t' id
+       || Structure_tree.level tl id <> Structure_tree.level t' id
+       || Structure_tree.value_pointers tl id <> Structure_tree.value_pointers t' id
+       || Structure_tree.child_entries tl id <> Structure_tree.child_entries t' id
+    then Alcotest.failf "node %d differs between packed and legacy decode" id
+  done
+
+let test_repository_v2_read_compat () =
+  (* a v2 image (block containers, legacy plain-varint tree, no flags
+     byte) must still load; the reader is exercised against an image we
+     write here with the v2 layout *)
+  let xml = Xmark.Xmlgen.generate ~scale:0.03 () in
+  let repo = Xquec_core.Loader.load ~name:"auction.xml" xml in
+  let buf = Buffer.create (1 lsl 16) in
+  let add_varint = Compress.Rle.add_varint in
+  let add_str s =
+    add_varint buf (String.length s);
+    Buffer.add_string buf s
+  in
+  Buffer.add_string buf "XQC\x02";
+  add_str repo.Repository.source_name;
+  add_varint buf repo.Repository.original_size;
+  let names = Name_dict.to_list repo.Repository.dict in
+  add_varint buf (List.length names);
+  List.iter add_str names;
+  let ms = Repository.models repo in
+  add_varint buf (List.length ms);
+  List.iter
+    (fun (id, m) ->
+      add_varint buf id;
+      add_str (Compress.Codec.algorithm_name (Compress.Codec.algorithm_of_model m));
+      let body =
+        match m with
+        | Compress.Codec.M_huffman h -> Compress.Huffman.serialize_model h
+        | Compress.Codec.M_alm a -> Compress.Alm.serialize_model a
+        | Compress.Codec.M_arith a -> Compress.Arith.serialize_model a
+        | Compress.Codec.M_hu_tucker h -> Compress.Hu_tucker.serialize_model h
+        | Compress.Codec.M_bzip -> ""
+        | Compress.Codec.M_numeric n -> Compress.Ipack.serialize_model n
+      in
+      add_str body)
+    ms;
+  Summary.serialize buf repo.Repository.summary;
+  Structure_tree.serialize buf repo.Repository.tree;
+  add_varint buf (Array.length repo.Repository.containers);
+  Array.iter (fun c -> Container.serialize buf c) repo.Repository.containers;
+  let v2 = Repository.deserialize (Buffer.contents buf) in
+  List.iter
+    (fun q ->
+      let a = Xquec_core.Executor.serialize v2 (Xquec_core.Executor.run_string v2 q) in
+      let b = Xquec_core.Executor.serialize repo (Xquec_core.Executor.run_string repo q) in
+      Alcotest.(check string) (q ^ " matches v3 twin") b a)
+    [
+      "document(\"auction.xml\")/site/people/person/name";
+      "document(\"auction.xml\")/site/people/person[@id = \"person0\"]";
+    ];
+  (* re-saving the v2 load upgrades it to a v3 image with the packed tree *)
+  let v3 = Repository.serialize v2 in
+  Alcotest.(check string) "re-save upgrades to v3" "XQC\x03" (String.sub v3 0 4);
+  Alcotest.(check bool) "upgraded image round-trips" true
+    (String.equal v3 (Repository.serialize (Repository.deserialize v3)))
+
+let test_capped_bounds_conservative () =
+  (* codes longer than the 8-byte header cap: the exact bit must clear
+     and min/max pruning must stay conservative — equality lookups
+     still find every value even though all bounds share one capped
+     prefix *)
+  let saved = Container.default_block_size () in
+  Container.set_default_block_size 512;
+  Fun.protect ~finally:(fun () -> Container.set_default_block_size saved)
+  @@ fun () ->
+  let values =
+    List.init 100 (fun i ->
+        (Printf.sprintf "a-very-long-shared-prefix-%04d-%020d" i i, i + 1))
+  in
+  let c =
+    Container.build ~id:0 ~path:"/r/e/#text" ~kind:Container.Text
+      ~algorithm:Compress.Codec.Alm_alg values
+  in
+  Alcotest.(check bool) "split into several blocks" true (Container.block_count c > 3);
+  let hs = Container.headers c in
+  Alcotest.(check bool) "long codes clear the exact bit" true
+    (Array.exists (fun h -> not h.Container.h_exact) hs);
+  Array.iter
+    (fun h ->
+      Alcotest.(check bool) "bounds capped at 8 bytes" true
+        (String.length h.Container.h_min <= 8 && String.length h.Container.h_max <= 8))
+    hs;
+  (* every value still found through min/max pruning *)
+  List.iter
+    (fun (v, p) ->
+      let hits = Container.lookup_eq c (Container.compress_constant c v) in
+      Alcotest.(check (list int)) ("finds " ^ v) [ p ]
+        (List.map (fun r -> r.Container.parent) hits))
+    values;
+  (* and a header-only join estimate over capped bounds reports itself
+     inexact while still pairing every block with its equals *)
+  let est = Xquec_core.Cost_model.block_join_estimate hs hs in
+  Alcotest.(check bool) "estimate marked inexact" true
+    (not est.Xquec_core.Cost_model.bj_exact);
+  let paired_self =
+    List.for_all
+      (fun i -> List.mem (i, i) est.Xquec_core.Cost_model.bj_pairs)
+      (List.init (Array.length hs) (fun i -> i))
+  in
+  Alcotest.(check bool) "every block pairs with itself" true paired_self
 
 let suites =
   [
@@ -699,8 +828,11 @@ let suites =
         Alcotest.test_case "summary matching" `Quick test_summary_matching;
         Alcotest.test_case "summary is small" `Quick test_summary_node_count;
         Alcotest.test_case "repository roundtrip" `Slow test_repository_roundtrip;
-        Alcotest.test_case "repository v2 byte-exact" `Quick test_repository_v2_byte_exact;
+        Alcotest.test_case "repository v3 byte-exact" `Quick test_repository_v3_byte_exact;
         Alcotest.test_case "repository v1 fixture read" `Quick test_repository_v1_fixture;
+        Alcotest.test_case "repository v2 read compat" `Quick test_repository_v2_read_compat;
         Alcotest.test_case "size breakdown consistent" `Quick test_size_breakdown_consistent;
+        Alcotest.test_case "packed tree round-trip" `Quick test_packed_tree_roundtrip;
+        Alcotest.test_case "capped bounds stay conservative" `Quick test_capped_bounds_conservative;
       ] );
   ]
