@@ -7,7 +7,7 @@ GATE_DIR := _gate
 # The fast, deterministic experiments the quick bench gate reruns on
 # every `make check` (counts, sizes and digests only — quick mode skips
 # timing metrics, and experiments not on this list are skipped).
-GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel join
+GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel join heat
 
 .PHONY: all build check test bench bench-gate smoke docs clean
 
@@ -23,7 +23,9 @@ build:
 # (parallel block decode exercised everywhere) and with 0 domains (the
 # sequential fallback), which must both agree with the default run.
 # Finally the quick bench gate reruns the fast experiments and diffs
-# their counts and digests against the committed baseline.
+# their counts and digests against the committed baseline, and a tiny
+# generate -> compress -> query -> profile round-trip asserts the
+# workload profiler resolves at least one container from the query log.
 check:
 	dune build
 	dune runtest
@@ -34,6 +36,12 @@ check:
 	dune exec bench/main.exe -- --json $(GATE_DIR)/quick.json $(GATE_QUICK_EXPERIMENTS) \
 	  > $(GATE_DIR)/quick.log
 	dune exec tools/bench_gate.exe -- --quick --candidate $(GATE_DIR)/quick.json
+	$(XQUEC) generate -d xmark -s 0.05 -o $(GATE_DIR)/auction.xml
+	$(XQUEC) compress $(GATE_DIR)/auction.xml -o $(GATE_DIR)/auction.xqc
+	$(XQUEC) query $(GATE_DIR)/auction.xqc \
+	  'for $$p in document("auction.xml")/site/people/person where $$p/@id = "person0" return $$p/name' \
+	  --query-log $(GATE_DIR)/query-log.jsonl > /dev/null
+	$(XQUEC) profile $(GATE_DIR)/query-log.jsonl --json | grep -q '"container"'
 
 # full bench regression gate: rerun the whole suite (~3 min at the
 # default scale) and diff every metric — timings included, with 2x
@@ -68,7 +76,9 @@ smoke: build
 	  -o $(SMOKE_DIR)/auction.xqc --trace-out $(SMOKE_DIR)/compress-trace.json
 	$(XQUEC) explain $(SMOKE_DIR)/auction.xqc \
 	  'for $$p in document("auction.xml")/site/people/person where $$p/@id = "person0" return $$p/name/text()' \
-	  --stats --trace-out $(SMOKE_DIR)/query-trace.json
+	  --stats --trace-out $(SMOKE_DIR)/query-trace.json \
+	  --query-log $(SMOKE_DIR)/query-log.jsonl
+	$(XQUEC) profile $(SMOKE_DIR)/query-log.jsonl
 	dune exec bench/main.exe -- --scale 0.1 --domains 1 \
 	  --json $(SMOKE_DIR)/parallel.json parallel
 	dune exec bench/main.exe -- --scale 0.1 \

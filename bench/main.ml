@@ -1054,6 +1054,107 @@ let join () =
   if not equal then failwith "block join changed the XMark Q8 answer"
 
 (* ------------------------------------------------------------------ *)
+(* Workload observatory: heat overhead + drift                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two claims gated here: (1) the always-on heat accounting costs <= 2%
+   wall time on the standard XMark chart mix (A/B via Heat.set_enabled,
+   interleaved min-of-reps so both arms see the same machine state);
+   (2) the drift score separates workloads — identical mixes score ~0,
+   a shifted mix scores strictly higher. Both drift values come from
+   deterministic record counts, so they are stable across runs. *)
+let heat () =
+  header "Workload observatory: heat overhead and drift score";
+  let engine = Lazy.force xmark_engine in
+  let queries =
+    List.map (fun id -> (Xmark.Queries.by_id id).Xmark.Queries.text) Xmark.Queries.fig7_ids
+  in
+  let run_mix () =
+    List.iter (fun q -> ignore (Xquec_core.Engine.query_serialized engine q)) queries
+  in
+  (* Finely interleaved best-of: single mixes timed on/off/on/off...,
+     minimum per side. This VM's dominant noise is CPU-steal windows of
+     up to a few seconds that contaminate whole stretches of
+     measurements — at single-mix (~100 ms) granularity any clean
+     stretch contains samples of BOTH sides, so both minima land in
+     clean windows and their difference isolates the instrumentation
+     cost. Coarser schemes (best-of-long-reps, paired rep deltas) were
+     tried first and still swung by several ms run-to-run. One heap
+     flush up front; a major slice landing mid-sample just makes that
+     sample an outlier the minimum discards. *)
+  run_mix ();
+  let samples = 25 in
+  let best_on = ref infinity and best_off = ref infinity in
+  let measure enabled best =
+    Xquec_obs.Heat.set_enabled enabled;
+    let t = snd (time run_mix) in
+    if t < !best then best := t
+  in
+  Gc.full_major ();
+  for _ = 1 to samples do
+    measure true best_on;
+    measure false best_off
+  done;
+  Xquec_obs.Heat.set_enabled true;
+  let overhead_ms = !best_on -. !best_off in
+  (* 2% relative with a 1 ms absolute noise floor *)
+  let overhead_ok = overhead_ms <= Float.max (0.02 *. !best_off) 1.0 in
+  Fmt.pr "instrumentation: mix off %.1f ms, on %.1f ms (Δ %+.2f ms) → %s@." !best_off
+    !best_on overhead_ms
+    (if overhead_ok then "within 2%" else "OVER BUDGET");
+  (* drift: same mix twice vs. a shifted mix, through the real query
+     log (the files a production profile run would read) *)
+  let mix_a =
+    [
+      "for $p in document(\"auction.xml\")/site/people/person where $p/profile/@income > \
+       \"80000\" return $p/name";
+      "for $i in document(\"auction.xml\")/site/regions/europe/item where $i/location = \
+       \"United States\" return $i/name";
+    ]
+  in
+  let mix_b =
+    [
+      "for $o in document(\"auction.xml\")/site/open_auctions/open_auction where $o/reserve > \
+       \"100\" return $o/reserve";
+      "for $a in document(\"auction.xml\")/site/closed_auctions/closed_auction for $p in \
+       document(\"auction.xml\")/site/people/person where $p/@id = $a/buyer/@person return \
+       $p/name";
+    ]
+  in
+  let log_mix mix =
+    let path = Filename.temp_file "xquec_heat_" ".jsonl" in
+    Xquec_obs.Query_log.set_path (Some path);
+    List.iter (fun q -> ignore (Xquec_core.Engine.query_serialized_logged engine q)) mix;
+    Xquec_obs.Query_log.set_path None;
+    let fp = Xquec_obs.Profile.of_records (Xquec_obs.Profile.load_jsonl path) in
+    Sys.remove path;
+    fp
+  in
+  let fp_a1 = log_mix mix_a in
+  let fp_a2 = log_mix mix_a in
+  let fp_b = log_mix mix_b in
+  let drift_identical = Xquec_obs.Profile.drift fp_a1 fp_a2 in
+  let drift_shifted = Xquec_obs.Profile.drift fp_a1 fp_b in
+  Fmt.pr "drift: identical mixes %.4f, shifted mix %.4f@." drift_identical drift_shifted;
+  record ~exp:"heat" "overhead"
+    (obj
+       [
+         ("off_ms", num !best_off);
+         ("on_ms", num !best_on);
+         ("overhead_ms", num overhead_ms);
+         ("overhead_ok", str (if overhead_ok then "yes" else "no"));
+       ]);
+  record ~exp:"heat" "drift"
+    (obj
+       [
+         ("identical", num drift_identical);
+         ("shifted", num drift_shifted);
+         ("separates", str (if drift_shifted > drift_identical then "yes" else "no"));
+       ]);
+  if drift_shifted <= drift_identical then
+    failwith "drift score failed to separate a shifted workload from an identical one"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1072,6 +1173,7 @@ let experiments =
     ("cache", cache);
     ("parallel", parallel);
     ("join", join);
+    ("heat", heat);
   ]
 
 let () =

@@ -112,14 +112,32 @@ let buffer_pool_summary () =
     p.Storage.Domain_pool.p_domains p.Storage.Domain_pool.p_batches
     p.Storage.Domain_pool.p_tasks p.Storage.Domain_pool.p_inline
     p.Storage.Domain_pool.p_max_queue_depth p.Storage.Domain_pool.p_wall_ms
+  ^ (let j = Xquec_core.Executor.join_stats () in
+     if j.Xquec_core.Executor.j_block_joins = 0 then ""
+     else
+       Printf.sprintf
+         "block join: %d joins; %d blocks probed / %d skipped from headers (%d B never decoded)\n"
+         j.Xquec_core.Executor.j_block_joins j.Xquec_core.Executor.j_blocks_probed
+         j.Xquec_core.Executor.j_blocks_skipped j.Xquec_core.Executor.j_skipped_bytes)
   ^
-  let j = Xquec_core.Executor.join_stats () in
-  if j.Xquec_core.Executor.j_block_joins = 0 then ""
+  (* container heat: the hottest containers by block touches *)
+  let heat =
+    Xquec_obs.Heat.snapshot ()
+    |> List.filter (fun (h : Xquec_obs.Heat.stat) -> h.Xquec_obs.Heat.touches > 0)
+    |> List.sort (fun (a : Xquec_obs.Heat.stat) b ->
+           compare b.Xquec_obs.Heat.touches a.Xquec_obs.Heat.touches)
+  in
+  if heat = [] then ""
   else
-    Printf.sprintf
-      "block join: %d joins; %d blocks probed / %d skipped from headers (%d B never decoded)\n"
-      j.Xquec_core.Executor.j_block_joins j.Xquec_core.Executor.j_blocks_probed
-      j.Xquec_core.Executor.j_blocks_skipped j.Xquec_core.Executor.j_skipped_bytes
+    "container heat (top 5 by block touches):\n"
+    ^ String.concat ""
+        (List.filteri (fun i _ -> i < 5) heat
+        |> List.map (fun (h : Xquec_obs.Heat.stat) ->
+               Printf.sprintf
+                 "  %-48s %d touches (%d decodes / %d hits); %d skipped; %d B decoded / %d B pruned\n"
+                 h.Xquec_obs.Heat.label h.Xquec_obs.Heat.touches h.Xquec_obs.Heat.decodes
+                 h.Xquec_obs.Heat.hits h.Xquec_obs.Heat.header_skips
+                 h.Xquec_obs.Heat.bytes_decoded h.Xquec_obs.Heat.bytes_skipped))
 
 let with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains ?query_log f =
   if stats || trace_out <> None then Xquec_obs.set_enabled true;
@@ -305,7 +323,8 @@ let serve_cmd =
         ~extra:(Xquec_core.Serve.handler engine)
         ~collect:Xquec_core.Serve.publish_pool_metrics ()
     in
-    Fmt.pr "xquec serve: listening on http://%s:%d (endpoints: /metrics /healthz /query /stats)@."
+    Fmt.pr
+      "xquec serve: listening on http://%s:%d (endpoints: /metrics /healthz /query /stats /heat)@."
       host (Xquec_obs.Expo.port server);
     Xquec_obs.Expo.wait server
   in
@@ -318,6 +337,60 @@ let serve_cmd =
              debugging. Single-threaded accept loop intended for local inspection and \
              scrapes, not production traffic.")
     Term.(const run $ input $ port $ host $ cache_mb $ decode_domains $ query_log)
+
+(* --- profile --------------------------------------------------------- *)
+
+let profile_cmd =
+  let logs = Arg.(non_empty & pos_all file [] & info [] ~docv:"QUERY_LOG.jsonl") in
+  let baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"LOG"
+          ~doc:"A second query log to compare against: the report gains a drift score \
+                (total variation distance between the two workload fingerprints, 0 = \
+                identical mix, 1 = disjoint).")
+  in
+  let heat =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "heat" ] ~docv:"FILE"
+          ~doc:"A heat snapshot (the GET /heat payload) joined into the block-size \
+                recommendations: sequential-vs-random access patterns refine the \
+                per-container advice.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of a table.")
+  in
+  let run logs baseline heat json =
+    let records = List.concat_map Xquec_obs.Profile.load_jsonl logs in
+    if records = [] then begin
+      Fmt.epr "xquec profile: no query-log records in %s@." (String.concat ", " logs);
+      exit 1
+    end;
+    let fp = Xquec_obs.Profile.of_records records in
+    let baseline =
+      Option.map
+        (fun file -> Xquec_obs.Profile.of_records (Xquec_obs.Profile.load_jsonl file))
+        baseline
+    in
+    let heat =
+      Option.map (fun file -> Xquec_obs.Json.parse (strip_bom (read_file file))) heat
+    in
+    if json then
+      print_endline (Xquec_obs.Json.to_string (Xquec_obs.Profile.report_json ?baseline ?heat fp))
+    else print_string (Xquec_obs.Profile.render ?baseline ?heat fp)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Aggregate one or more JSONL query logs (from --query-log / \
+             \\$XQUEC_QUERY_LOG) into a workload fingerprint: per-container predicate \
+             mix (eq/range/wild/exists/join), observed selectivity, decode volume, and \
+             per-container block-size recommendations. With --baseline, also a drift \
+             score between the two workloads; with --heat, access patterns from a heat \
+             snapshot refine the recommendations.")
+    Term.(const run $ logs $ baseline $ heat $ json)
 
 (* --- stats ---------------------------------------------------------- *)
 
@@ -390,5 +463,5 @@ let () =
              ~doc:"XQueC: an XQuery processor and compressor (EDBT 2004 reproduction)")
           [
             compress_cmd; decompress_cmd; query_cmd; explain_cmd; stats_cmd; serve_cmd;
-            generate_cmd;
+            profile_cmd; generate_cmd;
           ]))

@@ -78,6 +78,7 @@ let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain
     let pool0 = Buffer_pool.snapshot () in
     let dpool0 = Domain_pool.snapshot () in
     let j0 = Executor.join_stats () in
+    let heat0 = Xquec_obs.Heat.snapshot () in
     let gc_alloc0 = Gc.allocated_bytes () in
     let gc0 = Gc.quick_stat () in
     let cpu0 = cpu_ms () in
@@ -91,9 +92,63 @@ let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain
     let pool1 = Buffer_pool.snapshot () in
     let dpool1 = Domain_pool.snapshot () in
     let j1 = Executor.join_stats () in
+    let heat1 = Xquec_obs.Heat.snapshot () in
     let gc_alloc1 = Gc.allocated_bytes () in
     let gc1 = Gc.quick_stat () in
     let n name v = (name, Json.Num (float_of_int v)) in
+    (* per-container heat deltas: which containers this query touched
+       and what it cost there. Keyed by pool uid; heat disabled (or a
+       query touching no container) yields an empty list. *)
+    let containers =
+      let before = List.map (fun (s : Xquec_obs.Heat.stat) -> (s.uid, s)) heat0 in
+      List.filter_map
+        (fun (s1 : Xquec_obs.Heat.stat) ->
+          let z =
+            match List.assoc_opt s1.uid before with
+            | Some s0 ->
+              {
+                s1 with
+                touches = s1.touches - s0.Xquec_obs.Heat.touches;
+                decodes = s1.decodes - s0.Xquec_obs.Heat.decodes;
+                hits = s1.hits - s0.Xquec_obs.Heat.hits;
+                header_skips = s1.header_skips - s0.Xquec_obs.Heat.header_skips;
+                bytes_decoded = s1.bytes_decoded - s0.Xquec_obs.Heat.bytes_decoded;
+                bytes_skipped = s1.bytes_skipped - s0.Xquec_obs.Heat.bytes_skipped;
+              }
+            | None -> s1
+          in
+          if
+            z.Xquec_obs.Heat.touches = 0
+            && z.Xquec_obs.Heat.header_skips = 0
+            && z.Xquec_obs.Heat.bytes_decoded = 0
+          then None
+          else
+            Some
+              (Json.Obj
+                 [
+                   ("container", Json.Str z.Xquec_obs.Heat.label);
+                   n "touches" z.Xquec_obs.Heat.touches;
+                   n "decodes" z.Xquec_obs.Heat.decodes;
+                   n "hits" z.Xquec_obs.Heat.hits;
+                   n "header_skips" z.Xquec_obs.Heat.header_skips;
+                   n "decoded_bytes" z.Xquec_obs.Heat.bytes_decoded;
+                   n "skipped_bytes" z.Xquec_obs.Heat.bytes_skipped;
+                 ]))
+        heat1
+    in
+    (* container-resolved predicate observations of this evaluation *)
+    let predicates =
+      List.map
+        (fun (o : Executor.pred_obs) ->
+          Json.Obj
+            [
+              ("container", Json.Str o.Executor.o_container);
+              ("kind", Json.Str o.Executor.o_kind);
+              n "candidates" o.Executor.o_candidates;
+              n "matches" o.Executor.o_matches;
+            ])
+        (Executor.predicate_observations ())
+    in
     let record =
       Json.Obj
         [
@@ -151,6 +206,8 @@ let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain
                 n "minor_collections" (gc1.Gc.minor_collections - gc0.Gc.minor_collections);
                 n "major_collections" (gc1.Gc.major_collections - gc0.Gc.major_collections);
               ] );
+          ("containers", Json.List containers);
+          ("predicates", Json.List predicates);
           ("plan", Xquec_obs.Explain.summary_json prof);
         ]
     in

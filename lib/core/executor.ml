@@ -322,6 +322,52 @@ let note_block_join ~probed ~skipped ~skipped_bytes =
     if skipped > 0 then Xquec_obs.Metrics.incr ~by:skipped "executor.join.blocks_skipped"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Predicate-mix observations                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One container-resolved predicate (pushed-down filter, existence
+   test, or compressed-domain join side) as observed during
+   evaluation — the raw material the engine tags query-log records
+   with and [Obs.Profile] aggregates into a workload fingerprint.
+   Accumulated in a plain ref, like the Explain profile: queries are
+   evaluated one at a time and [run] / [run_profiled] reset it, so
+   after a query the list describes exactly that query. Not
+   thread-safe across concurrently evaluated queries. *)
+type pred_obs = {
+  o_container : string;  (* container (or summary) path *)
+  o_kind : string;  (* "eq" | "range" | "wild" | "exists" | "join" *)
+  o_candidates : int;  (* records / instances considered *)
+  o_matches : int;  (* records / instances matched *)
+}
+
+(* Merged by (container, kind): per-tuple comparison notes (one per
+   FLWOR tuple) would otherwise contribute thousands of entries, and
+   the fingerprint only needs the sums. First-observation order is
+   kept so the log record is stable. *)
+let pred_obs_tbl : (string * string, int ref * int ref) Hashtbl.t = Hashtbl.create 16
+let pred_obs_order : (string * string) list ref = ref []
+
+let reset_predicate_observations () =
+  Hashtbl.reset pred_obs_tbl;
+  pred_obs_order := []
+
+let predicate_observations () =
+  List.rev_map
+    (fun ((container, kind) as key) ->
+      let c, m = Hashtbl.find pred_obs_tbl key in
+      { o_container = container; o_kind = kind; o_candidates = !c; o_matches = !m })
+    !pred_obs_order
+
+let note_pred ~container ~kind ~candidates ~matches =
+  match Hashtbl.find_opt pred_obs_tbl (container, kind) with
+  | Some (c, m) ->
+    c := !c + candidates;
+    m := !m + matches
+  | None ->
+    Hashtbl.add pred_obs_tbl (container, kind) (ref candidates, ref matches);
+    pred_obs_order := (container, kind) :: !pred_obs_order
+
 (* One (left container, right container) pairing of a block join with
    its header-overlap estimate; a side with several summary nodes
    contributes one pairing per container product. *)
@@ -769,13 +815,16 @@ let block_join_sides ctx (env : env) ~(var : string) (left_e : Ast.expr)
 (* Matched element ids (at candidate level) for a pushable predicate,
    or None when it cannot be resolved statically. *)
 let pushdown_matches ctx (snodes : Summary.node list) (p : pushable) : int array option =
-  let of_records resolved records_of =
+  let of_records ~kind resolved records_of =
     let ids =
       List.concat_map
         (fun ((cont : Container.t), hops) ->
+          let records = records_of cont in
+          note_pred ~container:cont.Container.path ~kind ~candidates:(Container.length cont)
+            ~matches:(List.length records);
           List.map
             (fun r -> ancestor_at ctx (record_element ctx cont r) hops)
-            (records_of cont))
+            records)
         resolved
     in
     let arr = Array.of_list ids in
@@ -788,12 +837,16 @@ let pushdown_matches ctx (snodes : Summary.node list) (p : pushable) : int array
     else
       match resolve_value_path ctx snodes vsteps with
       | None -> None
-      | Some resolved -> of_records resolved (fun cont -> filter_records ctx cont op const))
+      | Some resolved ->
+        of_records
+          ~kind:(if op = Ast.Eq then "eq" else "range")
+          resolved
+          (fun cont -> filter_records ctx cont op const))
   | P_textual (kind, vsteps, needle) -> (
     match resolve_value_path ~concat_semantics:true ctx snodes vsteps with
     | None -> None
     | Some resolved ->
-      of_records resolved (fun cont -> filter_records_textual ctx cont ~kind needle))
+      of_records ~kind:"wild" resolved (fun cont -> filter_records_textual ctx cont ~kind needle))
   | P_exists esteps -> (
     (* existence of a child path: ids of the target snodes mapped up *)
     let rec advance snodes hops = function
@@ -809,6 +862,11 @@ let pushdown_matches ctx (snodes : Summary.node list) (p : pushable) : int array
     match advance snodes 0 esteps with
     | None | Some (_, 0) -> None
     | Some (targets, hops) ->
+      List.iter
+        (fun (sn : Summary.node) ->
+          let n = Array.length sn.Summary.ids in
+          note_pred ~container:sn.Summary.path ~kind:"exists" ~candidates:n ~matches:n)
+        targets;
       let ids =
         List.concat_map
           (fun (sn : Summary.node) ->
@@ -865,7 +923,9 @@ let rec eval ctx (env : env) (e : Ast.expr) : binding =
   | Ast.If (c, t, f) -> if ebv ctx (eval ctx env c) then eval ctx env t else eval ctx env f
   | Ast.Cmp (op, a, b) ->
     let xs = materialize ctx (eval ctx env a) and ys = materialize ctx (eval ctx env b) in
-    mat [ Bool (List.exists (fun x -> List.exists (fun y -> cmp_holds ctx op x y) ys) xs) ]
+    let holds = List.exists (fun x -> List.exists (fun y -> cmp_holds ctx op x y) ys) xs in
+    note_cmp_obs ctx env op ~a ~b ~xs ~ys ~holds;
+    mat [ Bool holds ]
   | Ast.Arith (op, a, b) ->
     let x = singleton_number ctx (eval ctx env a)
     and y = singleton_number ctx (eval ctx env b) in
@@ -1446,6 +1506,7 @@ and exec_join ctx base tuples ~prov ~var ~source (op, left_e, right_e) =
   let typing_env = (var, { seq = Mat []; snodes = source.snodes }) :: prov in
   let mode = join_key_mode ctx typing_env left_e right_e in
   let keys_of env e = List.concat_map (join_key ctx mode) (materialize ctx (eval ctx env e)) in
+  let out =
   match op with
   | Ast.Eq ->
     let table : (join_key, (int * item) list ref) Hashtbl.t = Hashtbl.create 256 in
@@ -1526,6 +1587,15 @@ and exec_join ctx base tuples ~prov ~var ~source (op, left_e, right_e) =
         List.sort (fun (i, _) (j, _) -> compare i j) !order
         |> List.map (fun (_, it) -> (var, mat [ it ]) :: d))
       tuples
+  in
+  (* compressed-domain joins are container-resolved: observe the join
+     side for the workload fingerprint (atom joins have no container) *)
+  (match mode with
+  | Mode_code (_, (c : Container.t)) ->
+    note_pred ~container:c.Container.path ~kind:"join" ~candidates:(List.length items)
+      ~matches:(List.length out)
+  | Mode_atom -> ());
+  out
 
 (* --- Block-interval merge join (compressed-domain fast path) --- *)
 
@@ -1642,6 +1712,19 @@ and exec_block_join ctx ~var (plan : block_plan) : env list =
     ~skipped_bytes:plan.pl_skipped_bytes;
   if plan.pl_skipped > 0 then
     Buffer_pool.note_skipped ~bytes:plan.pl_skipped_bytes plan.pl_skipped;
+  (* per-container heat attribution of the header-pruned blocks (the
+     global pool counter above has no container identity) *)
+  List.iter
+    (fun (p : block_pairing) ->
+      let est = p.bp_est in
+      let unprobed probe = Array.fold_left (fun acc b -> if b then acc else acc + 1) 0 probe in
+      Xquec_obs.Heat.note_skip ~uid:p.bp_lc.Container.uid
+        ~blocks:(unprobed est.Cost_model.bj_probe_left)
+        ~bytes:est.Cost_model.bj_left_skipped_bytes;
+      Xquec_obs.Heat.note_skip ~uid:p.bp_rc.Container.uid
+        ~blocks:(unprobed est.Cost_model.bj_probe_right)
+        ~bytes:est.Cost_model.bj_right_skipped_bytes)
+    plan.pl_pairings;
   (* matched left node -> set of right item indices *)
   let matches : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
   let add_match lnode idx =
@@ -1729,15 +1812,26 @@ and exec_block_join ctx ~var (plan : block_plan) : env list =
           | _ -> assert false)
         est.Cost_model.bj_pairs)
     plan.pl_pairings;
-  List.concat_map
-    (fun (d, lnode) ->
-      match Hashtbl.find_opt matches lnode with
-      | None -> []
-      | Some s ->
-        Hashtbl.fold (fun idx () acc -> idx :: acc) s []
-        |> List.sort compare
-        |> List.map (fun idx -> (var, mat [ plan.pl_items.(idx) ]) :: d))
-    plan.pl_tuple_nodes
+  let out =
+    List.concat_map
+      (fun (d, lnode) ->
+        match Hashtbl.find_opt matches lnode with
+        | None -> []
+        | Some s ->
+          Hashtbl.fold (fun idx () acc -> idx :: acc) s []
+          |> List.sort compare
+          |> List.map (fun idx -> (var, mat [ plan.pl_items.(idx) ]) :: d))
+      plan.pl_tuple_nodes
+  in
+  let rows = List.length out in
+  List.iter
+    (fun (p : block_pairing) ->
+      note_pred ~container:p.bp_lc.Container.path ~kind:"join"
+        ~candidates:(Container.length p.bp_lc) ~matches:rows;
+      note_pred ~container:p.bp_rc.Container.path ~kind:"join"
+        ~candidates:(Container.length p.bp_rc) ~matches:rows)
+    plan.pl_pairings;
+  out
 
 (* Decorrelate a nested FLWOR bound in a LET: the Q8/Q9 pattern
      let $a := for $t in ... where <inner> = <outer> return ...
@@ -1956,6 +2050,62 @@ and static_value_containers ctx env (e : Ast.expr) : Container.t list option =
       Option.map (List.map fst) (resolve_value_path ctx snodes steps))
   | _ -> None
 
+(* Predicate-mix observation for a general comparison: the FLWOR
+   [where] path evaluates comparisons tuple-at-a-time and never reaches
+   the pushdown filters, so attribute the comparison to the container
+   its value side reads — statically when a side is a resolvable value
+   path, else from a compressed operand in the materialized sequences —
+   with one candidate per evaluation and whether it held. *)
+and note_cmp_obs ctx env (op : Ast.cmp_op) ~(a : Ast.expr) ~(b : Ast.expr) ~(xs : item list)
+    ~(ys : item list) ~(holds : bool) : unit =
+  let kind = match op with Ast.Eq | Ast.Neq -> "eq" | _ -> "range" in
+  let matches = if holds then 1 else 0 in
+  let note (c : Container.t) =
+    note_pred ~container:c.Container.path ~kind ~candidates:1 ~matches
+  in
+  let static e =
+    match static_value_containers ctx env e with Some (_ :: _ as cs) -> Some cs | _ -> None
+  in
+  (* bare-element comparisons fail the exact resolution (atomization may
+     span several text nodes) but still read the immediate-text
+     containers of the path's summary nodes — good enough to attribute *)
+  let loose e =
+    match static_snodes ctx env e with
+    | [] -> None
+    | snodes -> (
+      match
+        List.filter_map
+          (fun (sn : Summary.node) -> Option.map (container ctx) sn.Summary.text_container)
+          snodes
+      with
+      | [] -> None
+      | cs -> Some cs)
+  in
+  let from_items items =
+    List.find_map
+      (function
+        | Cval { cont; _ } | Att (_, Cval { cont; _ }) -> Some [ cont ]
+        | Node id when id >= 0 -> (
+          (* an element operand atomizes its text: attribute the
+             comparison to the node's own immediate-text container *)
+          match Structure_tree.value_pointers ctx.repo.Repository.tree id with
+          | [||] -> None
+          | values ->
+            let cid, _ = values.(0) in
+            Some [ container ctx cid ])
+        | _ -> None)
+      items
+  in
+  match static a, static b with
+  | Some cs, _ | None, Some cs -> List.iter note cs
+  | None, None -> (
+    match loose a, loose b with
+    | Some cs, _ | None, Some cs -> List.iter note cs
+    | None, None -> (
+      match from_items xs, from_items ys with
+      | Some cs, _ | None, Some cs -> List.iter note cs
+      | None, None -> ()))
+
 and join_key ctx (mode : key_mode) (it : item) : join_key list =
   let it = match it with Att (_, v) -> v | it -> it in
   match mode, it with
@@ -1985,6 +2135,7 @@ and compare_join_key (a : join_key) (b : join_key) : int =
 
 let run (repo : Repository.t) (query : Ast.expr) : item list =
   Xquec_obs.Trace.with_span ~name:"executor.run" @@ fun () ->
+  reset_predicate_observations ();
   let ctx = mk_ctx repo in
   materialize ctx (eval ctx [] query)
 
@@ -1998,6 +2149,7 @@ let run_string (repo : Repository.t) (query : string) : item list =
 let run_profiled (repo : Repository.t) (query : Ast.expr) :
     item list * Xquec_obs.Explain.node =
   let prof = Xquec_obs.Explain.create (short_expr ~limit:72 query) in
+  reset_predicate_observations ();
   let ctx = { repo; prof = Some prof; prof_ops = true } in
   let t0 = Xquec_obs.Trace.now_us () in
   let items =

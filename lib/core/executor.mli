@@ -198,3 +198,27 @@ val reset_join_stats : unit -> unit
     joins always take the hash-join path — the differential tests and
     the bench's skip-ratio experiment toggle this. *)
 val set_block_join : bool -> unit
+
+(** One container-resolved predicate observed during evaluation: a
+    pushed-down value / textual filter, a tuple-at-a-time [where]
+    comparison reading a container value, an existence test, or a
+    compressed-domain join side. [o_kind] is one of ["eq"], ["range"],
+    ["wild"], ["exists"], ["join"] — the vocabulary
+    [Xquec_obs.Profile] fingerprints over, aligned with the
+    {!Workload} predicate classes. [o_candidates] is the records (or
+    path instances, or tuples) the predicate considered and
+    [o_matches] how many matched, so [o_matches / o_candidates] is its
+    observed selectivity. *)
+type pred_obs = {
+  o_container : string;
+  o_kind : string;
+  o_candidates : int;
+  o_matches : int;
+}
+
+(** Observations of the most recently evaluated query, merged by
+    (container, kind) — per-tuple comparison notes sum into one entry —
+    in first-observation order. Reset by {!run} / {!run_profiled};
+    like the EXPLAIN profile, the accumulator assumes queries are
+    evaluated one at a time. *)
+val predicate_observations : unit -> pred_obs list

@@ -6,6 +6,7 @@
      POST /query          body = XQuery text
      GET  /query?q=...    percent-encoded XQuery text
      GET  /stats          full metrics registry as JSON
+     GET  /heat           container heat snapshot as JSON
 
    Queries run sequentially on the server's accept domain — the engine
    evaluates one query at a time (the storage layer parallelizes block
@@ -15,6 +16,139 @@
    record when a log file is configured. *)
 
 open Xquec_obs
+
+(* --- rolling SLO window ---------------------------------------------- *)
+
+(* Request latency / error rate over the last [window_buckets] seconds:
+   a ring of one-second buckets, each holding a count, an error count,
+   min/max and a log-scale histogram reusing the Metrics bucket layout.
+   A bucket is lazily re-zeroed when the ring wraps onto a new epoch
+   second. The cumulative "serve.query_ms" histogram answers
+   "since startup"; this ring answers "right now" — p50/p95/p99 and
+   error rate over the last minute — without the scraper having to
+   diff consecutive snapshots.
+
+   Single-writer: queries run sequentially on the Expo accept domain,
+   and scrapes run on that same domain (the collect callback), so no
+   lock is needed. *)
+
+let window_buckets = 60
+
+type wbucket = {
+  mutable w_epoch : int;  (* absolute second this bucket currently holds; -1 = empty *)
+  mutable w_count : int;
+  mutable w_errors : int;
+  mutable w_min : float;
+  mutable w_max : float;
+  w_hist : int array;
+}
+
+type window_stats = {
+  ws_requests : int;
+  ws_errors : int;
+  ws_error_rate : float;
+  ws_p50_ms : float;
+  ws_p95_ms : float;
+  ws_p99_ms : float;
+}
+
+let window : wbucket array =
+  Array.init window_buckets (fun _ ->
+      { w_epoch = -1; w_count = 0; w_errors = 0; w_min = infinity; w_max = 0.0;
+        w_hist = Array.make Metrics.bucket_count 0 })
+
+let window_observe ~(error : bool) (ms : float) : unit =
+  let now = int_of_float (Unix.gettimeofday ()) in
+  let b = window.(now mod window_buckets) in
+  if b.w_epoch <> now then begin
+    b.w_epoch <- now;
+    b.w_count <- 0;
+    b.w_errors <- 0;
+    b.w_min <- infinity;
+    b.w_max <- 0.0;
+    Array.fill b.w_hist 0 (Array.length b.w_hist) 0
+  end;
+  b.w_count <- b.w_count + 1;
+  if error then b.w_errors <- b.w_errors + 1;
+  if ms < b.w_min then b.w_min <- ms;
+  if ms > b.w_max then b.w_max <- ms;
+  let i = Metrics.bucket_index ms in
+  b.w_hist.(i) <- b.w_hist.(i) + 1
+
+let window_reset () =
+  Array.iter
+    (fun b ->
+      b.w_epoch <- -1;
+      b.w_count <- 0;
+      b.w_errors <- 0;
+      b.w_min <- infinity;
+      b.w_max <- 0.0;
+      Array.fill b.w_hist 0 (Array.length b.w_hist) 0)
+    window
+
+let window_stats () : window_stats =
+  let now = int_of_float (Unix.gettimeofday ()) in
+  let live = now - window_buckets + 1 in
+  let hist = Array.make Metrics.bucket_count 0 in
+  let count = ref 0 and errors = ref 0 in
+  let mn = ref infinity and mx = ref 0.0 in
+  Array.iter
+    (fun b ->
+      if b.w_epoch >= live && b.w_count > 0 then begin
+        count := !count + b.w_count;
+        errors := !errors + b.w_errors;
+        if b.w_min < !mn then mn := b.w_min;
+        if b.w_max > !mx then mx := b.w_max;
+        Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) b.w_hist
+      end)
+    window;
+  let percentile p =
+    (* same estimator as Metrics.histogram_percentile: interpolate in
+       the bucket the rank falls in, edges tightened by min/max *)
+    if !count = 0 then 0.0
+    else if p <= 0.0 then !mn
+    else if p >= 1.0 then !mx
+    else begin
+      let nonzero = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 hist in
+      if nonzero <= 1 then !mn +. (p *. (!mx -. !mn))
+      else begin
+        let target = p *. float_of_int !count in
+        let rec find i cum =
+          if i >= Metrics.bucket_count then !mx
+          else begin
+            let c = hist.(i) in
+            let cum' = cum +. float_of_int c in
+            if c > 0 && cum' >= target then begin
+              let lo = if i = 0 then 0.0 else Metrics.bucket_upper_bound (i - 1) in
+              let lo = Float.max lo !mn in
+              let hi = Float.max lo (Float.min (Metrics.bucket_upper_bound i) !mx) in
+              let frac = Float.max 0.0 (Float.min 1.0 ((target -. cum) /. float_of_int c)) in
+              lo +. (frac *. (hi -. lo))
+            end
+            else find (i + 1) cum'
+          end
+        in
+        find 0 0.0
+      end
+    end
+  in
+  {
+    ws_requests = !count;
+    ws_errors = !errors;
+    ws_error_rate = (if !count = 0 then 0.0 else float_of_int !errors /. float_of_int !count);
+    ws_p50_ms = percentile 0.50;
+    ws_p95_ms = percentile 0.95;
+    ws_p99_ms = percentile 0.99;
+  }
+
+let publish_window_metrics () =
+  let w = window_stats () in
+  Metrics.set_gauge "serve.window.requests" (float_of_int w.ws_requests);
+  Metrics.set_gauge "serve.window.errors" (float_of_int w.ws_errors);
+  Metrics.set_gauge "serve.window.error_rate" w.ws_error_rate;
+  Metrics.set_gauge "serve.window.p50_ms" w.ws_p50_ms;
+  Metrics.set_gauge "serve.window.p95_ms" w.ws_p95_ms;
+  Metrics.set_gauge "serve.window.p99_ms" w.ws_p99_ms
 
 (* Sync the storage-layer atomics into the metrics registry so a
    /metrics scrape always carries the bufferpool.* / decodepool.*
@@ -45,21 +179,27 @@ let publish_pool_metrics () : unit =
   Metrics.set_counter "executor.join.block_joins" j.Executor.j_block_joins;
   Metrics.set_counter "executor.join.blocks_probed" j.Executor.j_blocks_probed;
   Metrics.set_counter "executor.join.blocks_skipped" j.Executor.j_blocks_skipped;
-  Metrics.set_counter "executor.join.skipped_bytes" j.Executor.j_skipped_bytes
+  Metrics.set_counter "executor.join.skipped_bytes" j.Executor.j_skipped_bytes;
+  Heat.publish_metrics ();
+  publish_window_metrics ()
 
 let run_query (engine : Engine.t) (text : string) : Expo.response =
   let text = String.trim text in
   if text = "" then Expo.respond 400 "text/plain; charset=utf-8" "empty query\n"
   else begin
+    let t0 = Trace.now_us () in
+    let elapsed_ms () = (Trace.now_us () -. t0) /. 1000.0 in
     match
       Metrics.time_ms "serve.query_ms" (fun () ->
           Engine.query_serialized_logged engine text)
     with
     | out, _prof ->
       Metrics.incr "serve.queries";
+      window_observe ~error:false (elapsed_ms ());
       Expo.respond 200 "text/plain; charset=utf-8" (out ^ "\n")
     | exception e ->
       Metrics.incr "serve.query_errors";
+      window_observe ~error:true (elapsed_ms ());
       Expo.respond 400 "text/plain; charset=utf-8" (Printexc.to_string e ^ "\n")
   end
 
@@ -78,4 +218,8 @@ let handler (engine : Engine.t) : Expo.handler =
   | "GET", "/stats" ->
     publish_pool_metrics ();
     Some (Expo.respond 200 "application/json; charset=utf-8" (Metrics.dump_json ()))
+  | "GET", "/heat" ->
+    Some
+      (Expo.respond 200 "application/json; charset=utf-8"
+         (Json.to_string (Heat.snapshot_json ())))
   | _ -> None

@@ -4,15 +4,52 @@
     [/healthz]).
 
     Routes: [POST /query] (body = XQuery text), [GET /query?q=...]
-    (percent-encoded query), [GET /stats] (metrics registry as JSON).
-    Successful queries return the serialized result as [text/plain];
-    parse or evaluation errors return 400 with the exception text.
-    Each query bumps the ["serve.queries"] counter, records
-    ["serve.query_ms"], and appends a query-log record when a log file
+    (percent-encoded query), [GET /stats] (metrics registry as JSON),
+    [GET /heat] (container heat snapshot as JSON, see
+    {!Xquec_obs.Heat.snapshot_json}). Successful queries return the
+    serialized result as [text/plain]; parse or evaluation errors
+    return 400 with the exception text. Each query bumps the
+    ["serve.queries"] counter, records ["serve.query_ms"], feeds the
+    rolling SLO window, and appends a query-log record when a log file
     is configured. *)
 
-(** Sync the buffer-pool and decode-pool counters into the metrics
-    registry (as ["bufferpool.*"] / ["decodepool.*"] series) — the
+(** Rolling-window serving aggregates: request and error counts over
+    the live window, the error rate, and interpolated latency
+    percentiles in milliseconds. Zero-valued when the window is empty
+    ([ws_requests = 0]). *)
+type window_stats = {
+  ws_requests : int;
+  ws_errors : int;
+  ws_error_rate : float;
+  ws_p50_ms : float;
+  ws_p95_ms : float;
+  ws_p99_ms : float;
+}
+
+(** Record one request into the rolling window ([ms] wall latency).
+    Called by the handler for every [/query]; exposed so tests can
+    drive the window directly. Single-writer: requests are handled
+    sequentially on the server's accept domain. *)
+val window_observe : error:bool -> float -> unit
+
+(** Aggregates over the last 60 seconds of requests (p50/p95/p99 use
+    the same bucket-interpolation estimator as
+    {!Xquec_obs.Metrics.histogram_percentile}). *)
+val window_stats : unit -> window_stats
+
+(** Empty the rolling window (test isolation). *)
+val window_reset : unit -> unit
+
+(** Push the current {!window_stats} into the metrics registry as
+    ["serve.window.requests"], ["serve.window.errors"],
+    ["serve.window.error_rate"] and ["serve.window.p50_ms"] /
+    [".p95_ms"] / [".p99_ms"] gauges. Part of
+    {!publish_pool_metrics}. *)
+val publish_window_metrics : unit -> unit
+
+(** Sync the buffer-pool, decode-pool, join, heat and rolling-window
+    counters into the metrics registry (as ["bufferpool.*"] /
+    ["decodepool.*"] / ["heat.*"] / ["serve.window.*"] series) — the
     [collect] callback to pass to {!Xquec_obs.Expo.start} so every
     scrape is fresh. *)
 val publish_pool_metrics : unit -> unit

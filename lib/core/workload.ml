@@ -192,3 +192,20 @@ let pp_predicate ppf (p : predicate) =
     Fmt.(list ~sep:comma int)
     p.left
     (if p.right = [] then "const" else Fmt.str "{%a}" Fmt.(list ~sep:comma int) p.right)
+
+(** Declared-workload fingerprint: one weighted (container path, kind)
+    event per container a predicate touches — [Cls_eq] as ["eq"],
+    [Cls_ineq] as ["range"], [Cls_wild] as ["wild"], matching the
+    executor's observation vocabulary — so the build-time workload and
+    an observed query-log fingerprint ({!Xquec_obs.Profile.of_records})
+    are directly comparable with {!Xquec_obs.Profile.drift}. *)
+let fingerprint (repo : Repository.t) (w : t) : Xquec_obs.Profile.fingerprint =
+  let kind_of = function Cls_eq -> "eq" | Cls_ineq -> "range" | Cls_wild -> "wild" in
+  let path id = (Repository.container repo id).Container.path in
+  let events =
+    List.concat_map
+      (fun p ->
+        List.map (fun id -> ((path id, kind_of p.cls), 1.0)) (p.left @ p.right))
+      w.predicates
+  in
+  Xquec_obs.Profile.of_weighted_events events

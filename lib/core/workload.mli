@@ -36,3 +36,9 @@ val queried_containers : t -> int list
 
 (** Render a predicate as e.g. ["eq {3 5} ~ const"]. *)
 val pp_predicate : Format.formatter -> predicate -> unit
+
+(** Declared-workload fingerprint over (container path, predicate kind)
+    events — [Cls_eq]/[Cls_ineq]/[Cls_wild] mapped to ["eq"]/["range"]/
+    ["wild"] — directly comparable with an observed query-log
+    fingerprint via {!Xquec_obs.Profile.drift}. *)
+val fingerprint : Repository.t -> t -> Xquec_obs.Profile.fingerprint

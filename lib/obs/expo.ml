@@ -81,13 +81,35 @@ let parse_query (s : string) : (string * string) list =
                ( percent_decode (String.sub kv 0 eq),
                  percent_decode (String.sub kv (eq + 1) (String.length kv - eq - 1)) ))
 
-(* Read one CRLF- (or LF-) terminated line, without the terminator. *)
+exception Bad_request of string
+
+(* Hard ceilings: a scraper or the serve CLI never comes close, so
+   anything beyond them is a confused or hostile client and earns a
+   400 instead of unbounded buffering. *)
+let max_line_bytes = 8 * 1024
+let max_body_bytes = 16 * 1024 * 1024
+
+(* Read one CRLF- (or LF-) terminated line, without the terminator,
+   refusing lines longer than [max_line_bytes]. [End_of_file] escapes
+   only when the connection closes before the first byte (a probe or a
+   scraper going away — dropped silently by the caller); a close
+   mid-line is a malformed request and earns a 400. *)
 let read_line_crlf (ic : in_channel) : string =
-  let line = input_line ic in
+  let buf = Buffer.create 128 in
+  let rec go () =
+    match input_char ic with
+    | '\n' -> Buffer.contents buf
+    | c ->
+      if Buffer.length buf >= max_line_bytes then raise (Bad_request "header line too long");
+      Buffer.add_char buf c;
+      go ()
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then raise End_of_file
+      else raise (Bad_request "premature end of request")
+  in
+  let line = go () in
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
-
-exception Bad_request of string
 
 let parse_request (ic : in_channel) : request =
   let request_line = read_line_crlf ic in
@@ -96,25 +118,33 @@ let parse_request (ic : in_channel) : request =
     | [ m; t; _version ] -> (m, t)
     | _ -> raise (Bad_request "malformed request line")
   in
-  (* headers: we only need Content-Length *)
-  let content_length = ref 0 in
+  (* headers: we only need Content-Length, but a malformed value must
+     not be silently read as "no body" *)
+  let content_length = ref None in
   let rec headers () =
-    let line = read_line_crlf ic in
+    let line = try read_line_crlf ic with End_of_file -> raise (Bad_request "premature end of request") in
     if line <> "" then begin
       (match String.index_opt line ':' with
       | Some colon ->
         let k = String.lowercase_ascii (String.trim (String.sub line 0 colon)) in
         let v = String.trim (String.sub line (colon + 1) (String.length line - colon - 1)) in
-        if k = "content-length" then
-          content_length := Option.value ~default:0 (int_of_string_opt v)
+        if k = "content-length" then begin
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> content_length := Some n
+          | _ -> raise (Bad_request "malformed Content-Length")
+        end
       | None -> ());
       headers ()
     end
   in
   headers ();
   let body =
-    let n = max 0 (min !content_length (16 * 1024 * 1024)) in
-    if n = 0 then "" else really_input_string ic n
+    match (!content_length, meth) with
+    | None, ("POST" | "PUT" | "PATCH") -> raise (Bad_request "missing Content-Length")
+    | None, _ | Some 0, _ -> ""
+    | Some n, _ when n > max_body_bytes -> raise (Bad_request "body too large")
+    | Some n, _ -> (
+      try really_input_string ic n with End_of_file -> raise (Bad_request "truncated body"))
   in
   let path, query =
     match String.index_opt target '?' with

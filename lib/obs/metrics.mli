@@ -66,8 +66,12 @@ val histogram_buckets : string -> (float * int) list option
     ([0. <= p <= 1.], e.g. 0.5 / 0.95 / 0.99) of a histogram by linear
     interpolation inside the log-scale bucket the rank falls in; edges
     are tightened with the recorded min/max, so the estimate is within
-    one bucket (a factor of 2) of the true value. [None] if the
-    histogram does not exist or is empty. *)
+    one bucket (a factor of 2) of the true value. Edge sentinels:
+    [None] if the histogram does not exist or is empty (never a fake
+    zero); [p <= 0.] is the recorded minimum and [p >= 1.] the
+    recorded maximum (out-of-range [p] clamps to those); a histogram
+    whose observations all fell in one bucket interpolates between
+    min and max directly, so bucket boundaries never surface. *)
 val histogram_percentile : string -> float -> float option
 
 (** Whole registry as a JSON snapshot (names sorted). *)

@@ -1,0 +1,284 @@
+(* Workload fingerprinting over the JSONL query log. See profile.mli.
+
+   Everything here is pure aggregation over already-parsed Json values;
+   the only IO is [load_jsonl]. Determinism matters (the bench gate
+   compares drift scores with tight tolerance), so every list is
+   explicitly sorted and weights are plain ratios of integer counts. *)
+
+type cstat = {
+  c_container : string;
+  c_eq : int;
+  c_range : int;
+  c_wild : int;
+  c_exists : int;
+  c_join : int;
+  c_candidates : int;
+  c_matches : int;
+  c_queries : int;
+  c_decoded_bytes : int;
+}
+
+type fingerprint = {
+  records : int;
+  weights : ((string * string) * float) list;
+  containers : cstat list;
+}
+
+let selectivity c =
+  if c.c_candidates > 0 then Some (float_of_int c.c_matches /. float_of_int c.c_candidates)
+  else None
+
+let load_jsonl path =
+  let ic = open_in path in
+  let out = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Json.parse line with
+         | v -> out := v :: !out
+         | exception Json.Parse_error _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !out
+
+(* ---- record field access ---- *)
+
+let str_field name obj = Option.bind (Json.member name obj) Json.to_str
+let num_field name obj = Option.bind (Json.member name obj) Json.to_float
+let int_field name obj = Option.map int_of_float (num_field name obj)
+let list_field name obj = Option.value ~default:[] (Option.bind (Json.member name obj) Json.to_list)
+
+module Smap = Map.Make (String)
+
+module Kmap = Map.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+let empty_cstat container =
+  {
+    c_container = container;
+    c_eq = 0;
+    c_range = 0;
+    c_wild = 0;
+    c_exists = 0;
+    c_join = 0;
+    c_candidates = 0;
+    c_matches = 0;
+    c_queries = 0;
+    c_decoded_bytes = 0;
+  }
+
+let of_records records =
+  let stats = ref Smap.empty in
+  let events = ref Kmap.empty in
+  let upd container f =
+    let cur = match Smap.find_opt container !stats with Some c -> c | None -> empty_cstat container in
+    stats := Smap.add container (f cur) !stats
+  in
+  let bump_event key by = events := Kmap.update key (fun v -> Some (Option.value ~default:0 v + by)) !events in
+  let pred_events = ref 0 in
+  List.iter
+    (fun record ->
+      List.iter
+        (fun p ->
+          match str_field "container" p with
+          | None -> ()
+          | Some container ->
+            let kind = Option.value ~default:"eq" (str_field "kind" p) in
+            let cand = Option.value ~default:0 (int_field "candidates" p) in
+            let matches = Option.value ~default:0 (int_field "matches" p) in
+            incr pred_events;
+            bump_event (container, kind) 1;
+            upd container (fun c ->
+                {
+                  c with
+                  c_eq = (c.c_eq + if kind = "eq" then 1 else 0);
+                  c_range = (c.c_range + if kind = "range" then 1 else 0);
+                  c_wild = (c.c_wild + if kind = "wild" then 1 else 0);
+                  c_exists = (c.c_exists + if kind = "exists" then 1 else 0);
+                  c_join = (c.c_join + if kind = "join" then 1 else 0);
+                  c_candidates = c.c_candidates + cand;
+                  c_matches = c.c_matches + matches;
+                }))
+        (list_field "predicates" record);
+      List.iter
+        (fun t ->
+          match str_field "container" t with
+          | None -> ()
+          | Some container ->
+            let bytes = Option.value ~default:0 (int_field "decoded_bytes" t) in
+            upd container (fun c ->
+                { c with c_queries = c.c_queries + 1; c_decoded_bytes = c.c_decoded_bytes + bytes }))
+        (list_field "containers" record))
+    records;
+  (* no pushed predicates anywhere: fall back to container-touch events
+     so a navigation-only workload still fingerprints *)
+  if !pred_events = 0 then
+    Smap.iter (fun container c -> if c.c_queries > 0 then bump_event (container, "touch") c.c_queries) !stats;
+  let total = Kmap.fold (fun _ n acc -> acc + n) !events 0 in
+  let weights =
+    if total = 0 then []
+    else
+      Kmap.bindings !events
+      |> List.map (fun (k, n) -> (k, float_of_int n /. float_of_int total))
+  in
+  {
+    records = List.length records;
+    weights;
+    containers = List.map snd (Smap.bindings !stats);
+  }
+
+let of_weighted_events events =
+  let merged =
+    List.fold_left
+      (fun m (k, w) -> if w > 0.0 then Kmap.update k (fun v -> Some (Option.value ~default:0.0 v +. w)) m else m)
+      Kmap.empty events
+  in
+  let total = Kmap.fold (fun _ w acc -> acc +. w) merged 0.0 in
+  let weights =
+    if total <= 0.0 then [] else Kmap.bindings merged |> List.map (fun (k, w) -> (k, w /. total))
+  in
+  { records = 0; weights; containers = [] }
+
+let drift a b =
+  let m =
+    List.fold_left (fun m (k, w) -> Kmap.add k (w, 0.0) m) Kmap.empty a.weights
+  in
+  let m =
+    List.fold_left
+      (fun m (k, w) ->
+        Kmap.update k (function Some (wa, _) -> Some (wa, w) | None -> Some (0.0, w)) m)
+      m b.weights
+  in
+  0.5 *. Kmap.fold (fun _ (wa, wb) acc -> acc +. Float.abs (wa -. wb)) m 0.0
+
+(* ---- recommendations ---- *)
+
+type recommendation = { r_container : string; r_action : string; r_factor : float; r_reason : string }
+
+(* pull (seq_frac, header_skips, decodes) per container out of a
+   Heat.snapshot_json value *)
+let heat_access heat =
+  match Option.bind (Json.member "containers" heat) Json.to_list with
+  | None -> Smap.empty
+  | Some conts ->
+    List.fold_left
+      (fun m c ->
+        match str_field "container" c with
+        | None -> m
+        | Some path ->
+          let f name = Option.value ~default:0 (int_field name c) in
+          let seq = f "seq_touches" and runs = f "runs" in
+          let seq_frac =
+            if seq + runs > 0 then float_of_int seq /. float_of_int (seq + runs) else 0.0
+          in
+          Smap.add path (seq_frac, f "header_skips", f "decodes") m)
+      Smap.empty conts
+
+let recommend ?heat fp =
+  let access = match heat with Some h -> heat_access h | None -> Smap.empty in
+  List.map
+    (fun c ->
+      let pushed = c.c_eq + c.c_range + c.c_wild + c.c_exists + c.c_join in
+      let sel = selectivity c in
+      let acc = Smap.find_opt c.c_container access in
+      let keep reason = { r_container = c.c_container; r_action = "keep"; r_factor = 1.0; r_reason = reason } in
+      match (sel, acc) with
+      | Some s, _ when pushed > 0 && s < 0.05 && (match acc with Some (sf, _, _) -> sf < 0.5 | None -> true) ->
+        {
+          r_container = c.c_container;
+          r_action = "shrink";
+          r_factor = 0.25;
+          r_reason =
+            Printf.sprintf "selective point access (selectivity %.3f); smaller blocks sharpen header pruning" s;
+        }
+      | _, Some (sf, skips, decodes) when sf >= 0.9 && skips < decodes ->
+        {
+          r_container = c.c_container;
+          r_action = "grow";
+          r_factor = 4.0;
+          r_reason =
+            Printf.sprintf "scan-dominated access (%.0f%% sequential, little pruning); larger blocks amortize headers"
+              (100.0 *. sf);
+        }
+      | Some _, _ -> keep "mixed access; current block size is a reasonable compromise"
+      | None, _ -> keep "no pushed predicates observed; nothing to optimize against")
+    fp.containers
+
+(* ---- reports ---- *)
+
+let num n = Json.Num (float_of_int n)
+
+let cstat_json c =
+  Json.Obj
+    [
+      ("container", Json.Str c.c_container);
+      ("eq", num c.c_eq);
+      ("range", num c.c_range);
+      ("wild", num c.c_wild);
+      ("exists", num c.c_exists);
+      ("join", num c.c_join);
+      ("candidates", num c.c_candidates);
+      ("matches", num c.c_matches);
+      ("selectivity", match selectivity c with Some s -> Json.Num s | None -> Json.Null);
+      ("queries", num c.c_queries);
+      ("decoded_bytes", num c.c_decoded_bytes);
+    ]
+
+let report_json ?baseline ?heat fp =
+  let weights =
+    List.map
+      (fun ((container, kind), w) ->
+        Json.Obj [ ("container", Json.Str container); ("kind", Json.Str kind); ("weight", Json.Num w) ])
+      fp.weights
+  in
+  let recs =
+    List.map
+      (fun r ->
+        Json.Obj
+          [
+            ("container", Json.Str r.r_container);
+            ("action", Json.Str r.r_action);
+            ("factor", Json.Num r.r_factor);
+            ("reason", Json.Str r.r_reason);
+          ])
+      (recommend ?heat fp)
+  in
+  Json.Obj
+    ([ ("records", num fp.records); ("weights", Json.List weights) ]
+    @ (match baseline with Some b -> [ ("drift", Json.Num (drift b fp)) ] | None -> [])
+    @ [
+        ("containers", Json.List (List.map cstat_json fp.containers));
+        ("recommendations", Json.List recs);
+      ])
+
+let render ?baseline ?heat fp =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "workload fingerprint over %d query-log records\n" fp.records);
+  (match baseline with
+  | Some base -> Buffer.add_string b (Printf.sprintf "drift vs baseline: %.4f\n" (drift base fp))
+  | None -> ());
+  let width =
+    List.fold_left (fun acc c -> max acc (String.length c.c_container)) (String.length "container") fp.containers
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%-*s %5s %5s %5s %6s %5s %11s %11s %7s %12s\n" width "container" "eq" "range" "wild"
+       "exists" "join" "candidates" "matches" "sel" "decoded_b");
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "%-*s %5d %5d %5d %6d %5d %11d %11d %7s %12d\n" width c.c_container c.c_eq c.c_range
+           c.c_wild c.c_exists c.c_join c.c_candidates c.c_matches
+           (match selectivity c with Some s -> Printf.sprintf "%.3f" s | None -> "-")
+           c.c_decoded_bytes))
+    fp.containers;
+  Buffer.add_string b "\nblock-size recommendations:\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-*s %-6s x%-4g %s\n" width r.r_container r.r_action r.r_factor r.r_reason))
+    (recommend ?heat fp);
+  Buffer.contents b

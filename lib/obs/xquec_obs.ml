@@ -13,6 +13,8 @@ module Explain = Explain
 module Query_log = Query_log
 module Expo = Expo
 module Gate = Gate
+module Heat = Heat
+module Profile = Profile
 
 let set_enabled (b : bool) : unit = Control.enabled := b
 

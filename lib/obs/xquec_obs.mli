@@ -30,6 +30,14 @@ module Expo = Expo
     comparison. *)
 module Gate = Gate
 
+(** Per-container / per-block access heat accounting (always-on
+    atomics behind their own switch). *)
+module Heat = Heat
+
+(** Workload fingerprinting, drift scoring and block-size
+    recommendations over the JSONL query log. *)
+module Profile = Profile
+
 (** Turn the global trace/metrics sinks on or off. *)
 val set_enabled : bool -> unit
 

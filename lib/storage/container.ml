@@ -191,6 +191,7 @@ let headers (t : t) : header array = Array.init (Array.length t.blocks) (header 
    decode parallelism visible in the chrome-trace export. *)
 let fetch_block ?admission (t : t) (i : int) : Buffer_pool.decoded =
   let b = t.blocks.(i) in
+  Xquec_obs.Heat.note_touch ~uid:t.uid ~blk:i;
   Buffer_pool.fetch ?admission ~uid:t.uid ~gen:t.generation ~blk:i
     (fun () ->
       Xquec_obs.Trace.with_span ~name:"container.decode"
@@ -203,6 +204,7 @@ let fetch_block ?admission (t : t) (i : int) : Buffer_pool.decoded =
         Array.fold_left (fun acc c -> acc + String.length c + 16) 64 codes
       in
       Buffer_pool.note_payload_decoded (String.length b.b_payload);
+      Xquec_obs.Heat.note_decode ~uid:t.uid ~blk:i ~bytes:(String.length b.b_payload);
       if Xquec_obs.is_enabled () then begin
         Xquec_obs.Metrics.incr "container.blocks_decoded";
         Xquec_obs.Metrics.incr ~by:(String.length b.b_payload)
@@ -333,6 +335,7 @@ let of_sorted_records ?block_size ?plain_sizes ~id ~path ~kind ~algorithm ~model
     }
   in
   publish_metrics t;
+  Xquec_obs.Heat.register ~uid:t.uid ~label:t.path ~blocks:(Array.length t.blocks);
   t
 
 (** Build a container from (value, parent-id) pairs, training a fresh
@@ -399,6 +402,7 @@ let recompress (t : t) ~algorithm ~model ~model_id : int array =
     Xquec_obs.Metrics.incr "container.recompressions";
     publish_metrics t
   end;
+  Xquec_obs.Heat.register ~uid:t.uid ~label:t.path ~blocks:(Array.length t.blocks);
   remap
 
 (* ------------------------------------------------------------------ *)
@@ -536,6 +540,13 @@ let pruned_payload_bytes (t : t) ~(b0 : int) ~(b1 : int) : int =
     t.blocks;
   !total
 
+(* Report the blocks outside [b0, b1] as header-skipped, to the pool
+   (global counters) and to the heat table (per-container). *)
+let note_pruned (t : t) ~(b0 : int) ~(b1 : int) (blocks : int) : unit =
+  let bytes = pruned_payload_bytes t ~b0 ~b1 in
+  Buffer_pool.note_skipped ~bytes blocks;
+  Xquec_obs.Heat.note_skip ~uid:t.uid ~blocks ~bytes
+
 (** Records with global indices in [lo, hi): decodes only the blocks the
     interval touches; everything outside is counted as pruned. Like
     {!scan}, decoded blocks enter the pool at the LRU tail. *)
@@ -543,14 +554,12 @@ let range (t : t) ~(lo : int) ~(hi : int) : record list =
   let lo = max 0 lo and hi = min t.n_records hi in
   let nblocks = Array.length t.blocks in
   if hi <= lo then begin
-    Buffer_pool.note_skipped ~bytes:(pruned_payload_bytes t ~b0:0 ~b1:(-1)) nblocks;
+    note_pruned t ~b0:0 ~b1:(-1) nblocks;
     []
   end
   else begin
     let b0 = block_of_index t lo and b1 = block_of_index t (hi - 1) in
-    Buffer_pool.note_skipped
-      ~bytes:(pruned_payload_bytes t ~b0 ~b1)
-      (nblocks - (b1 - b0 + 1));
+    note_pruned t ~b0 ~b1 (nblocks - (b1 - b0 + 1));
     let ds = fetch_blocks ~admission:Buffer_pool.Tail t ~b0 ~b1 in
     List.concat
       (List.init (b1 - b0 + 1) (fun k ->
@@ -575,13 +584,11 @@ let lookup_eq (t : t) (code : string) : record list =
   let b0 = first_block_max_ge t code in
   let b1 = last_block_min_le t code in
   if b0 >= nblocks || b1 < b0 then begin
-    Buffer_pool.note_skipped ~bytes:(pruned_payload_bytes t ~b0:0 ~b1:(-1)) nblocks;
+    note_pruned t ~b0:0 ~b1:(-1) nblocks;
     []
   end
   else begin
-    Buffer_pool.note_skipped
-      ~bytes:(pruned_payload_bytes t ~b0 ~b1)
-      (nblocks - (b1 - b0 + 1));
+    note_pruned t ~b0 ~b1 (nblocks - (b1 - b0 + 1));
     let ds = fetch_blocks t ~b0 ~b1 in
     List.concat
       (List.init (b1 - b0 + 1) (fun k ->
@@ -607,13 +614,11 @@ let lookup_range (t : t) ?lo ?hi () : record list =
     let b0 = match lo with None -> 0 | Some c -> first_block_max_ge t c in
     let b1 = match hi with None -> nblocks - 1 | Some c -> last_block_min_lt t c in
     if b0 >= nblocks || b1 < b0 then begin
-      Buffer_pool.note_skipped ~bytes:(pruned_payload_bytes t ~b0:0 ~b1:(-1)) nblocks;
+      note_pruned t ~b0:0 ~b1:(-1) nblocks;
       []
     end
     else begin
-      Buffer_pool.note_skipped
-        ~bytes:(pruned_payload_bytes t ~b0 ~b1)
-        (nblocks - (b1 - b0 + 1));
+      note_pruned t ~b0 ~b1 (nblocks - (b1 - b0 + 1));
       let ds = fetch_blocks t ~b0 ~b1 in
       List.concat
         (List.init (b1 - b0 + 1) (fun k ->
@@ -750,7 +755,8 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
   in
   if !start <> n_records then failwith "container: block counts disagree with record count";
   let model = Hashtbl.find models model_id in
-  ( {
+  let t =
+    {
       id;
       uid = Buffer_pool.fresh_uid ();
       path;
@@ -764,8 +770,10 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
       generation = 0;
       distinct_parents;
       sorted_run;
-    },
-    !pos )
+    }
+  in
+  Xquec_obs.Heat.register ~uid:t.uid ~label:t.path ~blocks:(Array.length t.blocks);
+  (t, !pos)
 
 (* v1 layout: records inline, one <code, parent> pair after another. The
    records come back in sorted order (v1 containers were sorted too), so

@@ -1,0 +1,492 @@
+(* Workload-observatory tests: heat accounting semantics, profile
+   fingerprints and drift, block-size recommendations, the serve
+   rolling window, HTTP hardening of the exposition server, and the
+   query-log <-> heat reconciliation. *)
+
+module Obs = Xquec_obs
+open Xquec_core
+
+let j_num n = Obs.Json.Num (float_of_int n)
+let j_str s = Obs.Json.Str s
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Heat accounting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* a real pool uid keeps the tests off every other container's row *)
+let fresh_uid () = Storage.Buffer_pool.fresh_uid ()
+
+let stat_of uid =
+  List.find_opt (fun (s : Obs.Heat.stat) -> s.Obs.Heat.uid = uid) (Obs.Heat.snapshot ())
+
+let test_heat_touch_semantics () =
+  let uid = fresh_uid () in
+  Obs.Heat.register ~uid ~label:"heat:/site/a/#text" ~blocks:4;
+  (* run 1: block 0 touched twice (collapses), then 1, 2 sequentially;
+     run 2: back to block 0, re-touch collapses again *)
+  List.iter (fun blk -> Obs.Heat.note_touch ~uid ~blk) [ 0; 0; 1; 2; 0; 0 ];
+  Obs.Heat.note_decode ~uid ~blk:0 ~bytes:100;
+  Obs.Heat.note_skip ~uid ~blocks:2 ~bytes:555;
+  let s = Option.get (stat_of uid) in
+  Alcotest.(check string) "label" "heat:/site/a/#text" s.Obs.Heat.label;
+  Alcotest.(check int) "blocks" 4 s.Obs.Heat.blocks;
+  Alcotest.(check int) "touches collapse same-block repeats" 4 s.Obs.Heat.touches;
+  Alcotest.(check int) "two run starts" 2 s.Obs.Heat.runs;
+  Alcotest.(check int) "two sequential continuations" 2 s.Obs.Heat.seq_touches;
+  Alcotest.(check int) "decodes" 1 s.Obs.Heat.decodes;
+  Alcotest.(check int) "hits = touches - decodes" 3 s.Obs.Heat.hits;
+  Alcotest.(check int) "header skips" 2 s.Obs.Heat.header_skips;
+  Alcotest.(check int) "bytes decoded" 100 s.Obs.Heat.bytes_decoded;
+  Alcotest.(check int) "bytes skipped" 555 s.Obs.Heat.bytes_skipped;
+  Alcotest.(check (list (pair int int)))
+    "hot blocks order by touches then index"
+    [ (0, 2); (1, 1) ]
+    (Obs.Heat.hot_blocks ~uid ~top:2);
+  (* re-registration updates metadata but keeps the counters *)
+  Obs.Heat.register ~uid ~label:"heat:/site/a/#text-v2" ~blocks:8;
+  let s = Option.get (stat_of uid) in
+  Alcotest.(check string) "label updated" "heat:/site/a/#text-v2" s.Obs.Heat.label;
+  Alcotest.(check int) "blocks updated" 8 s.Obs.Heat.blocks;
+  Alcotest.(check int) "touches preserved" 4 s.Obs.Heat.touches
+
+let test_heat_reset_and_switch () =
+  let uid = fresh_uid () in
+  Obs.Heat.register ~uid ~label:"heat:/reset" ~blocks:2;
+  List.iter (fun blk -> Obs.Heat.note_touch ~uid ~blk) [ 0; 1 ];
+  Obs.Heat.note_decode ~uid ~blk:1 ~bytes:10;
+  Obs.Heat.reset ();
+  let s = Option.get (stat_of uid) in
+  Alcotest.(check string) "registration survives reset" "heat:/reset" s.Obs.Heat.label;
+  Alcotest.(check int) "touches zeroed" 0 s.Obs.Heat.touches;
+  Alcotest.(check int) "decodes zeroed" 0 s.Obs.Heat.decodes;
+  Alcotest.(check int) "runs zeroed" 0 s.Obs.Heat.runs;
+  Alcotest.(check (list (pair int int))) "hot blocks zeroed" [] (Obs.Heat.hot_blocks ~uid ~top:4);
+  (* the switch gates all note_* hooks *)
+  Obs.Heat.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.Heat.set_enabled true) @@ fun () ->
+  let ghost = fresh_uid () in
+  Obs.Heat.note_touch ~uid:ghost ~blk:0;
+  Obs.Heat.note_decode ~uid:ghost ~blk:0 ~bytes:1;
+  Alcotest.(check bool) "disabled records nothing" true (stat_of ghost = None)
+
+let test_heat_snapshot_json () =
+  let uid = fresh_uid () in
+  Obs.Heat.register ~uid ~label:"heat:/json" ~blocks:1;
+  Obs.Heat.note_touch ~uid ~blk:0;
+  let j = Obs.Heat.snapshot_json () in
+  Alcotest.(check (option bool)) "enabled flag" (Some true)
+    (match Obs.Json.member "enabled" j with Some (Obs.Json.Bool b) -> Some b | _ -> None);
+  let containers = Option.get (Option.bind (Obs.Json.member "containers" j) Obs.Json.to_list) in
+  let mine =
+    List.find
+      (fun c -> Obs.Json.member "container" c = Some (Obs.Json.Str "heat:/json"))
+      containers
+  in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) (field ^ " present") true (Obs.Json.member field mine <> None))
+    [ "uid"; "blocks"; "touches"; "decodes"; "hits"; "header_skips"; "bytes_decoded";
+      "bytes_skipped"; "seq_touches"; "runs"; "hot_blocks" ];
+  (* top_blocks:0 drops the per-block lists *)
+  let j0 = Obs.Heat.snapshot_json ~top_blocks:0 () in
+  let containers0 = Option.get (Option.bind (Obs.Json.member "containers" j0) Obs.Json.to_list) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "no hot_blocks at top 0" true (Obs.Json.member "hot_blocks" c = None))
+    containers0
+
+(* ------------------------------------------------------------------ *)
+(* Profile: fingerprints, drift, recommendations                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_drift_identical_and_shifted () =
+  let mix_a = [ (("/a", "eq"), 2.0); (("/b", "range"), 1.0) ] in
+  let fa = Obs.Profile.of_weighted_events mix_a in
+  let fa' = Obs.Profile.of_weighted_events mix_a in
+  let fb = Obs.Profile.of_weighted_events [ (("/c", "join"), 3.0) ] in
+  let fc = Obs.Profile.of_weighted_events [ (("/a", "eq"), 2.0) ] in
+  Alcotest.(check (float 1e-12)) "identical mixes drift exactly 0" 0.0 (Obs.Profile.drift fa fa');
+  Alcotest.(check (float 1e-12)) "disjoint mixes drift 1" 1.0 (Obs.Profile.drift fa fb);
+  let partial = Obs.Profile.drift fa fc in
+  Alcotest.(check bool) "shifted mix drifts strictly above identical" true
+    (partial > Obs.Profile.drift fa fa');
+  Alcotest.(check bool) "partial overlap drifts below disjoint" true (partial < 1.0);
+  Alcotest.(check (float 1e-12)) "drift is symmetric" (Obs.Profile.drift fb fa)
+    (Obs.Profile.drift fa fb)
+
+let pred_json ~container ~kind ~candidates ~matches =
+  Obs.Json.Obj
+    [
+      ("container", j_str container); ("kind", j_str kind);
+      ("candidates", j_num candidates); ("matches", j_num matches);
+    ]
+
+let cont_json ~container ~decoded =
+  Obs.Json.Obj [ ("container", j_str container); ("touches", j_num 1); ("decoded_bytes", j_num decoded) ]
+
+let test_of_records_aggregates () =
+  let r1 =
+    Obs.Json.Obj
+      [
+        ("predicates", Obs.Json.List
+           [
+             pred_json ~container:"/a" ~kind:"eq" ~candidates:10 ~matches:2;
+             pred_json ~container:"/a" ~kind:"eq" ~candidates:6 ~matches:1;
+             pred_json ~container:"/b" ~kind:"range" ~candidates:4 ~matches:4;
+           ]);
+        ("containers", Obs.Json.List [ cont_json ~container:"/a" ~decoded:128 ]);
+      ]
+  in
+  let r2 = Obs.Json.Obj [ ("containers", Obs.Json.List [ cont_json ~container:"/a" ~decoded:64 ]) ] in
+  let fp = Obs.Profile.of_records [ r1; r2 ] in
+  Alcotest.(check int) "records" 2 fp.Obs.Profile.records;
+  let weight k = List.assoc_opt k fp.Obs.Profile.weights in
+  Alcotest.(check (option (float 1e-9))) "eq weight 2/3" (Some (2.0 /. 3.0)) (weight ("/a", "eq"));
+  Alcotest.(check (option (float 1e-9))) "range weight 1/3" (Some (1.0 /. 3.0))
+    (weight ("/b", "range"));
+  let a = List.find (fun c -> c.Obs.Profile.c_container = "/a") fp.Obs.Profile.containers in
+  Alcotest.(check int) "eq predicates on /a" 2 a.Obs.Profile.c_eq;
+  Alcotest.(check int) "candidates summed" 16 a.Obs.Profile.c_candidates;
+  Alcotest.(check int) "matches summed" 3 a.Obs.Profile.c_matches;
+  Alcotest.(check int) "decoded bytes summed across records" 192 a.Obs.Profile.c_decoded_bytes;
+  Alcotest.(check int) "queries touching /a" 2 a.Obs.Profile.c_queries;
+  Alcotest.(check (option (float 1e-9))) "selectivity = matches/candidates" (Some (3.0 /. 16.0))
+    (Obs.Profile.selectivity a);
+  (* a log with no pushed predicates anywhere falls back to touch events *)
+  let fp2 = Obs.Profile.of_records [ r2 ] in
+  Alcotest.(check (option (float 1e-9))) "navigation-only log fingerprints as touches" (Some 1.0)
+    (List.assoc_opt ("/a", "touch") fp2.Obs.Profile.weights)
+
+let heat_json entries =
+  Obs.Json.Obj
+    [
+      ("enabled", Obs.Json.Bool true);
+      ( "containers",
+        Obs.Json.List
+          (List.map
+             (fun (path, seq, runs, skips, decodes) ->
+               Obs.Json.Obj
+                 [
+                   ("container", j_str path); ("seq_touches", j_num seq); ("runs", j_num runs);
+                   ("header_skips", j_num skips); ("decodes", j_num decodes);
+                 ])
+             entries) );
+    ]
+
+let test_recommendations () =
+  let records =
+    [
+      Obs.Json.Obj
+        [
+          ("predicates", Obs.Json.List
+             [
+               pred_json ~container:"/point" ~kind:"eq" ~candidates:1000 ~matches:2;
+               pred_json ~container:"/scan" ~kind:"range" ~candidates:100 ~matches:50;
+             ]);
+        ];
+    ]
+  in
+  let fp = Obs.Profile.of_records records in
+  let heat =
+    heat_json [ ("/point", 1, 9, 0, 10); ("/scan", 95, 5, 0, 10) ]
+  in
+  let recs = Obs.Profile.recommend ~heat fp in
+  let rec_of path = List.find (fun r -> r.Obs.Profile.r_container = path) recs in
+  let point = rec_of "/point" and scan = rec_of "/scan" in
+  Alcotest.(check string) "selective random access shrinks" "shrink" point.Obs.Profile.r_action;
+  Alcotest.(check (float 1e-9)) "shrink factor" 0.25 point.Obs.Profile.r_factor;
+  Alcotest.(check string) "sequential unpruned scans grow" "grow" scan.Obs.Profile.r_action;
+  Alcotest.(check (float 1e-9)) "grow factor" 4.0 scan.Obs.Profile.r_factor;
+  (* without heat evidence the scan container has nothing to grow on *)
+  let recs = Obs.Profile.recommend fp in
+  Alcotest.(check string) "no heat: scan keeps its size" "keep"
+    (List.find (fun r -> r.Obs.Profile.r_container = "/scan") recs).Obs.Profile.r_action
+
+(* ------------------------------------------------------------------ *)
+(* Serve rolling window                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_window () =
+  (* gauge publication goes through the telemetry-gated registry; an
+     earlier suite may have left the gate off *)
+  Obs.set_enabled true;
+  Serve.window_reset ();
+  let z = Serve.window_stats () in
+  Alcotest.(check int) "empty window has no requests" 0 z.Serve.ws_requests;
+  Alcotest.(check (float 0.0)) "empty window error rate" 0.0 z.Serve.ws_error_rate;
+  Alcotest.(check (float 0.0)) "empty window p99" 0.0 z.Serve.ws_p99_ms;
+  for i = 1 to 90 do
+    Serve.window_observe ~error:false (float_of_int i)
+  done;
+  for _ = 1 to 10 do
+    Serve.window_observe ~error:true 200.0
+  done;
+  let w = Serve.window_stats () in
+  Alcotest.(check int) "requests counted" 100 w.Serve.ws_requests;
+  Alcotest.(check int) "errors counted" 10 w.Serve.ws_errors;
+  Alcotest.(check (float 1e-9)) "error rate" 0.1 w.Serve.ws_error_rate;
+  Alcotest.(check bool) "p50 within observed range" true
+    (w.Serve.ws_p50_ms >= 1.0 && w.Serve.ws_p50_ms <= 200.0);
+  Alcotest.(check bool) "percentiles ordered" true
+    (w.Serve.ws_p50_ms <= w.Serve.ws_p95_ms && w.Serve.ws_p95_ms <= w.Serve.ws_p99_ms);
+  Alcotest.(check bool) "p99 bounded by max" true (w.Serve.ws_p99_ms <= 200.0);
+  Serve.publish_window_metrics ();
+  let dump = Obs.Metrics.dump_json () in
+  Alcotest.(check bool) "window gauges published" true
+    (contains ~needle:"serve.window.requests" dump);
+  Serve.window_reset ();
+  Alcotest.(check int) "reset empties the window" 0 (Serve.window_stats ()).Serve.ws_requests
+
+let test_histogram_percentile_sentinels () =
+  Obs.set_enabled true;
+  Alcotest.(check (option (float 0.0))) "missing histogram" None
+    (Obs.Metrics.histogram_percentile "workload.absent" 0.5);
+  let name = "workload.p.single" in
+  Obs.Metrics.observe name 7.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check (option (float 1e-9))) "single observation pins every percentile"
+        (Some 7.0)
+        (Obs.Metrics.histogram_percentile name p))
+    [ -1.0; 0.0; 0.5; 1.0; 2.0 ];
+  let name = "workload.p.bucket" in
+  Obs.Metrics.observe name 3.0;
+  Obs.Metrics.observe name 3.5;
+  Alcotest.(check (option (float 1e-9))) "p0 is the recorded min" (Some 3.0)
+    (Obs.Metrics.histogram_percentile name 0.0);
+  Alcotest.(check (option (float 1e-9))) "p100 is the recorded max" (Some 3.5)
+    (Obs.Metrics.histogram_percentile name 1.0);
+  let p50 = Option.get (Obs.Metrics.histogram_percentile name 0.5) in
+  Alcotest.(check bool) "one-bucket interpolation stays inside min..max" true
+    (p50 >= 3.0 && p50 <= 3.5)
+
+(* ------------------------------------------------------------------ *)
+(* Expo HTTP hardening                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Ship raw (possibly malformed) bytes and return the status line's
+   code, or None when the server just closed the connection. *)
+let raw_request ~port ?(close_write = true) payload =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  ignore (Unix.write_substring sock payload 0 (String.length payload));
+  if close_write then Unix.shutdown sock Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 1024 in
+  let rec drain () =
+    match Unix.read sock chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  drain ();
+  let raw = Buffer.contents buf in
+  match String.index_opt raw ' ' with
+  | Some i when String.length raw >= i + 4 -> Some (int_of_string (String.sub raw (i + 1) 3))
+  | _ -> None
+
+let test_expo_rejects_malformed_requests () =
+  let server = Obs.Expo.start ~port:0 () in
+  Fun.protect ~finally:(fun () -> Obs.Expo.stop server) @@ fun () ->
+  let port = Obs.Expo.port server in
+  let alive label =
+    Alcotest.(check (option int)) (label ^ ": server still answers") (Some 200)
+      (raw_request ~port "GET /healthz HTTP/1.1\r\n\r\n")
+  in
+  Alcotest.(check (option int)) "garbage request line" (Some 400)
+    (raw_request ~port "BLARG\r\n\r\n");
+  alive "garbage request line";
+  Alcotest.(check (option int)) "oversized header line" (Some 400)
+    (raw_request ~port ("GET /" ^ String.make 9000 'a' ^ " HTTP/1.1\r\n\r\n"));
+  alive "oversized header line";
+  Alcotest.(check (option int)) "POST without Content-Length" (Some 400)
+    (raw_request ~port "POST /query HTTP/1.1\r\n\r\n");
+  alive "POST without Content-Length";
+  Alcotest.(check (option int)) "malformed Content-Length" (Some 400)
+    (raw_request ~port "POST /query HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
+  alive "malformed Content-Length";
+  Alcotest.(check (option int)) "negative Content-Length" (Some 400)
+    (raw_request ~port "POST /query HTTP/1.1\r\nContent-Length: -5\r\n\r\n");
+  alive "negative Content-Length";
+  Alcotest.(check (option int)) "oversized body declaration" (Some 400)
+    (raw_request ~port "POST /query HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+  alive "oversized body declaration";
+  Alcotest.(check (option int)) "truncated body" (Some 400)
+    (raw_request ~port "POST /query HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+  alive "truncated body";
+  Alcotest.(check (option int)) "premature end of headers" (Some 400)
+    (raw_request ~port "GET /healthz HTTP/1.1\r\nHost: x");
+  alive "premature end of headers"
+
+(* ------------------------------------------------------------------ *)
+(* Query-log <-> heat reconciliation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let xmark_doc =
+  "<site><people>\
+   <person id=\"person0\"><name>Kasidit Treweek</name><age>32</age></person>\
+   <person id=\"person1\"><name>Aloys Rommel</name><age>40</age></person>\
+   <person id=\"person2\"><name>Obadiah Shore</name><age>25</age></person>\
+   </people></site>"
+
+let with_query_log f =
+  let file = Filename.temp_file "xquec_wl_" ".jsonl" in
+  Obs.Query_log.set_path (Some file);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Query_log.set_path None;
+      try Sys.remove file with Sys_error _ -> ())
+    (fun () -> f file)
+
+let read_records file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (Obs.Json.parse line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* sum an int field per container label across all "containers" tags *)
+let sum_by_container records field =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match Option.bind (Obs.Json.member "containers" r) Obs.Json.to_list with
+      | None -> ()
+      | Some tags ->
+        List.iter
+          (fun tag ->
+            match (Obs.Json.member "container" tag, Obs.Json.member field tag) with
+            | Some (Obs.Json.Str label), Some (Obs.Json.Num v) ->
+              Hashtbl.replace tbl label
+                (int_of_float v + Option.value ~default:0 (Hashtbl.find_opt tbl label))
+            | _ -> ())
+          tags)
+    records;
+  tbl
+
+let test_query_log_heat_reconcile () =
+  let eng = Engine.load ~name:"xmark.xml" xmark_doc in
+  Obs.Heat.reset ();
+  let records =
+    with_query_log @@ fun file ->
+    List.iter
+      (fun q -> ignore (Engine.query_serialized_logged eng q))
+      [
+        "for $p in document(\"xmark.xml\")/site/people/person where $p/age > \"30\" return $p/name";
+        "document(\"xmark.xml\")/site/people/person[@id = \"person1\"]/name";
+        "for $p in document(\"xmark.xml\")/site/people/person return $p/age";
+      ];
+    read_records file
+  in
+  Alcotest.(check int) "one record per query" 3 (List.length records);
+  (* the per-query heat deltas must sum back to the live heat table *)
+  let logged = sum_by_container records "decoded_bytes" in
+  let live = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Obs.Heat.stat) ->
+      if s.Obs.Heat.bytes_decoded > 0 then
+        Hashtbl.replace live s.Obs.Heat.label
+          (s.Obs.Heat.bytes_decoded
+          + Option.value ~default:0 (Hashtbl.find_opt live s.Obs.Heat.label)))
+    (Obs.Heat.snapshot ());
+  Alcotest.(check bool) "queries decoded at least one container" true (Hashtbl.length live > 0);
+  Hashtbl.iter
+    (fun label bytes ->
+      Alcotest.(check int)
+        (Printf.sprintf "log sums to heat for %s" label)
+        bytes
+        (Option.value ~default:0 (Hashtbl.find_opt logged label)))
+    live;
+  Hashtbl.iter
+    (fun label bytes ->
+      if bytes > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "log container %s is known to heat" label)
+          true (Hashtbl.mem live label))
+    logged;
+  (* the where-query tagged container-resolved predicates *)
+  let kinds =
+    List.concat_map
+      (fun r ->
+        match Option.bind (Obs.Json.member "predicates" r) Obs.Json.to_list with
+        | None -> []
+        | Some ps ->
+          List.filter_map
+            (fun p ->
+              match Obs.Json.member "kind" p with Some (Obs.Json.Str k) -> Some k | _ -> None)
+            ps)
+      records
+  in
+  Alcotest.(check bool) "a range predicate was observed" true (List.mem "range" kinds);
+  (* and the log profiles into a non-empty fingerprint whose drift
+     against itself is zero — the `xquec profile` path end to end *)
+  let fp = Obs.Profile.of_records records in
+  Alcotest.(check bool) "fingerprint is non-empty" true (fp.Obs.Profile.weights <> []);
+  Alcotest.(check (float 1e-12)) "self-drift is zero" 0.0 (Obs.Profile.drift fp fp)
+
+let test_declared_workload_fingerprint () =
+  let eng = Engine.load ~name:"xmark.xml" xmark_doc in
+  let repo = Engine.repo eng in
+  let queries =
+    [
+      "for $p in document(\"xmark.xml\")/site/people/person where $p/age = \"32\" return $p/name";
+      "for $p in document(\"xmark.xml\")/site/people/person where $p/age > \"30\" return $p/name";
+    ]
+  in
+  let wl = Workload.of_query_strings repo queries in
+  let fp = Workload.fingerprint repo wl in
+  Alcotest.(check bool) "declared workload fingerprints" true (fp.Obs.Profile.weights <> []);
+  List.iter
+    (fun ((_, kind), _) ->
+      Alcotest.(check bool) ("declared kind " ^ kind) true
+        (List.mem kind [ "eq"; "range"; "wild" ]))
+    fp.Obs.Profile.weights;
+  Alcotest.(check (float 1e-12)) "declared self-drift is zero" 0.0 (Obs.Profile.drift fp fp);
+  let d = Obs.Profile.drift fp (Obs.Profile.of_weighted_events [ (("/elsewhere", "join"), 1.0) ]) in
+  Alcotest.(check (float 1e-12)) "declared vs disjoint observed drift is 1" 1.0 d
+
+let suites =
+  [
+    ( "workload-heat",
+      [
+        Alcotest.test_case "touch semantics" `Quick test_heat_touch_semantics;
+        Alcotest.test_case "reset and switch" `Quick test_heat_reset_and_switch;
+        Alcotest.test_case "snapshot json" `Quick test_heat_snapshot_json;
+      ] );
+    ( "workload-profile",
+      [
+        Alcotest.test_case "drift identical and shifted" `Quick test_drift_identical_and_shifted;
+        Alcotest.test_case "of_records aggregates" `Quick test_of_records_aggregates;
+        Alcotest.test_case "recommendations" `Quick test_recommendations;
+      ] );
+    ( "workload-serve",
+      [
+        Alcotest.test_case "rolling window" `Quick test_serve_window;
+        Alcotest.test_case "histogram percentile sentinels" `Quick
+          test_histogram_percentile_sentinels;
+      ] );
+    ( "workload-expo",
+      [
+        Alcotest.test_case "rejects malformed requests" `Quick
+          test_expo_rejects_malformed_requests;
+      ] );
+    ( "workload-reconcile",
+      [
+        Alcotest.test_case "query log matches heat" `Quick test_query_log_heat_reconcile;
+        Alcotest.test_case "declared workload fingerprint" `Quick
+          test_declared_workload_fingerprint;
+      ] );
+  ]
