@@ -7,9 +7,9 @@ GATE_DIR := _gate
 # The fast, deterministic experiments the quick bench gate reruns on
 # every `make check` (counts, sizes and digests only — quick mode skips
 # timing metrics, and experiments not on this list are skipped).
-GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel join heat
+GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel join heat serve
 
-.PHONY: all build check test bench bench-gate smoke docs clean
+.PHONY: all build check test bench bench-gate smoke serve-smoke docs clean
 
 all: build
 
@@ -42,6 +42,7 @@ check:
 	  'for $$p in document("auction.xml")/site/people/person where $$p/@id = "person0" return $$p/name' \
 	  --query-log $(GATE_DIR)/query-log.jsonl > /dev/null
 	$(XQUEC) profile $(GATE_DIR)/query-log.jsonl --json | grep -q '"container"'
+	$(MAKE) serve-smoke
 
 # full bench regression gate: rerun the whole suite (~3 min at the
 # default scale) and diff every metric — timings included, with 2x
@@ -55,11 +56,23 @@ bench-gate: build
 
 test: check
 
+# serving smoke: boot the real `xquec serve` process on a small
+# repository, fire concurrent requests at it (queries interleaved with
+# /metrics scrapes, results checked against a sequential reference),
+# and assert it shuts down cleanly on SIGTERM. See docs/SERVING.md.
+serve-smoke: build
+	mkdir -p $(GATE_DIR)
+	test -f $(GATE_DIR)/auction.xml || $(XQUEC) generate -d xmark -s 0.05 -o $(GATE_DIR)/auction.xml
+	test -f $(GATE_DIR)/auction.xqc || $(XQUEC) compress $(GATE_DIR)/auction.xml -o $(GATE_DIR)/auction.xqc
+	dune exec tools/serve_smoke.exe -- _build/default/bin/xquec.exe $(GATE_DIR)/auction.xqc
+
 # documentation gate: every exported item in the storage, compress,
 # core and obs interfaces must carry an odoc comment (no odoc install
-# needed)
+# needed), and the operator guide's flags and metric names must all
+# resolve against the sources (--xref; see tools/doc_lint.ml)
 docs: build
-	ocaml tools/doc_lint.ml lib/storage lib/compress lib/core lib/obs
+	ocaml tools/doc_lint.ml lib/storage lib/compress lib/core lib/obs \
+	  --xref docs/SERVING.md
 
 bench:
 	dune exec bench/main.exe

@@ -1155,6 +1155,162 @@ let heat () =
     failwith "drift score failed to separate a shifted workload from an identical one"
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent serving                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving claims gated here: (1) >= 100 concurrent clients are all
+   served (nothing shed below the admission gate, every reply a 200);
+   (2) the bytes each client receives are digest-identical to
+   sequential evaluation of the same schedule — concurrency changes
+   latency, never answers; (3) a repeated-query workload runs > 90%
+   plan-cache hits. Latency percentiles come from the server's own
+   rolling SLO window scraped over /metrics, so the bench exercises the
+   same series an operator would alert on (timings are full-gate-only;
+   the quick gate pins the counts, digests and hit rate). *)
+let serve () =
+  header "Concurrent serving: worker fan-out, admission, plan cache";
+  let engine = Lazy.force xmark_engine in
+  let module Expo = Xquec_obs.Expo in
+  let module Hammer = Xquec_obs.Hammer in
+  let module Plan_cache = Xquec_core.Plan_cache in
+  (* the repeated-query mix: a few cheap point lookups and one scan-ish
+     query, cycled by every client *)
+  let queries =
+    [|
+      "document(\"auction.xml\")/site/people/person[@id = \"person0\"]/name";
+      "document(\"auction.xml\")/site/people/person[@id = \"person1\"]/name";
+      "document(\"auction.xml\")/site/people/person[@id = \"person2\"]/name";
+      "document(\"auction.xml\")/site/people/person[@id = \"person3\"]/name";
+      "for $p in document(\"auction.xml\")/site/people/person where $p/profile/@income > \
+       \"80000\" return $p/name";
+      "document(\"auction.xml\")/site/regions/europe/item/name";
+      "for $o in document(\"auction.xml\")/site/open_auctions/open_auction where \
+       $o/reserve > \"100\" return $o/reserve";
+      "document(\"auction.xml\")/site/people/person[@id = \"person4\"]/emailaddress";
+    |]
+  in
+  let clients = 100 and per_client = 3 in
+  let pick client seq = queries.((client + (seq * 7)) mod Array.length queries) in
+  (* sequential reference, evaluated before any serving state exists *)
+  let expected = Array.map (fun q -> Xquec_core.Engine.query_serialized engine q ^ "\n") queries in
+  let expected_digest =
+    let buf = Buffer.create 4096 in
+    for client = 0 to clients - 1 do
+      for seq = 0 to per_client - 1 do
+        Buffer.add_string buf expected.((client + (seq * 7)) mod Array.length queries)
+      done
+    done;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  Plan_cache.set_capacity 64;
+  Plan_cache.clear ();
+  Plan_cache.reset_stats ();
+  Expo.reset_stats ();
+  Xquec_core.Serve.window_reset ();
+  (* metrics on, as under `xquec serve` — the SLO gauges the experiment
+     scrapes are published through the registry *)
+  let was_enabled = Xquec_obs.is_enabled () in
+  Xquec_obs.set_enabled true;
+  let server =
+    Expo.start ~port:0 ~workers:4 ~max_inflight:512
+      ~extra:(Xquec_core.Serve.handler engine)
+      ~collect:Xquec_core.Serve.publish_pool_metrics ()
+  in
+  let port = Expo.port server in
+  Fun.protect ~finally:(fun () ->
+      Expo.stop server;
+      Plan_cache.set_capacity 0;
+      Xquec_obs.set_enabled was_enabled)
+  @@ fun () ->
+  (* deterministic warm-up: one sequential pass compiles each distinct
+     query exactly once (8 misses), so the concurrent phase is the
+     steady state a long-running server sees — and the hit/miss split
+     stays exact under any interleaving *)
+  Array.iter
+    (fun q ->
+      let r = Hammer.request ~port ~meth:"POST" ~body:q "/query" in
+      if r.Hammer.r_status <> 200 then
+        failwith (Fmt.str "warmup query failed: HTTP %d" r.Hammer.r_status))
+    queries;
+  let outcomes, elapsed_ms =
+    time (fun () ->
+        Hammer.drive ~port ~clients ~requests_per_client:per_client
+          ~target:(fun client seq -> ("POST", "/query", pick client seq))
+          ())
+  in
+  let metrics_text = (Hammer.request ~port "/metrics").Hammer.r_body in
+  let gauge name =
+    (* first "<name> <value>" line of the exposition *)
+    let rec find = function
+      | [] -> nan
+      | line :: rest ->
+        let pfx = name ^ " " in
+        if String.length line > String.length pfx
+           && String.sub line 0 (String.length pfx) = pfx
+        then
+          float_of_string
+            (String.sub line (String.length pfx) (String.length line - String.length pfx))
+        else find rest
+    in
+    find (String.split_on_char '\n' metrics_text)
+  in
+  let p95 = gauge "xquec_serve_window_p95_ms" in
+  let p99 = gauge "xquec_serve_window_p99_ms" in
+  let n_ok =
+    List.length (List.filter (fun o -> o.Hammer.o_reply.Hammer.r_status = 200) outcomes)
+  in
+  let got_digest =
+    let buf = Buffer.create 4096 in
+    List.iter (fun o -> Buffer.add_string buf o.Hammer.o_reply.Hammer.r_body) outcomes;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  let identical = got_digest = expected_digest in
+  let pc = Plan_cache.snapshot () in
+  let hit_rate =
+    let total = pc.Plan_cache.s_hits + pc.Plan_cache.s_misses in
+    if total = 0 then 0.0 else float_of_int pc.Plan_cache.s_hits /. float_of_int total
+  in
+  let e = Expo.stats () in
+  Fmt.pr
+    "%d clients x %d requests: %d ok, %d rejected (high-water %d) in %.0f ms; p95 %.1f \
+     ms, p99 %.1f ms@."
+    clients per_client n_ok e.Expo.e_rejected e.Expo.e_inflight_high_water elapsed_ms p95
+    p99;
+  Fmt.pr "plan cache: %d hits / %d misses / %d evictions (hit rate %.3f); digests %s@."
+    pc.Plan_cache.s_hits pc.Plan_cache.s_misses pc.Plan_cache.s_evictions hit_rate
+    (if identical then "identical" else "DIFFER");
+  record ~exp:"serve" "load"
+    (obj
+       [
+         ("clients", num (float_of_int clients));
+         ("requests", num (float_of_int (clients * per_client)));
+         ("ok", num (float_of_int n_ok));
+         ("rejected", num (float_of_int e.Expo.e_rejected));
+         ("elapsed_ms", num elapsed_ms);
+         ("p95_ms", num p95);
+         ("p99_ms", num p99);
+       ]);
+  record ~exp:"serve" "plan_cache"
+    (obj
+       [
+         ("hits", num (float_of_int pc.Plan_cache.s_hits));
+         ("misses", num (float_of_int pc.Plan_cache.s_misses));
+         ("evictions", num (float_of_int pc.Plan_cache.s_evictions));
+         ("hit_rate", num hit_rate);
+       ]);
+  record ~exp:"serve" "results"
+    (obj
+       [
+         ("digest", str got_digest);
+         ("identical", str (if identical then "yes" else "NO"));
+       ]);
+  if n_ok <> clients * per_client then
+    failwith (Fmt.str "serve: %d of %d requests failed" (clients * per_client - n_ok)
+                (clients * per_client));
+  if not identical then failwith "serve: concurrent results differ from sequential";
+  if hit_rate <= 0.9 then failwith (Fmt.str "serve: plan-cache hit rate %.3f <= 0.9" hit_rate)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1174,6 +1330,7 @@ let experiments =
     ("parallel", parallel);
     ("join", join);
     ("heat", heat);
+    ("serve", serve);
   ]
 
 let () =

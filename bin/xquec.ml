@@ -312,31 +312,90 @@ let serve_cmd =
       & opt string "127.0.0.1"
       & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind (default loopback only).")
   in
-  let run input port host cache_mb decode_domains query_log =
+  let serve_workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve-workers" ] ~docv:"N"
+          ~doc:"Connection-handling worker domains. Default: available cores minus one \
+                (at least 1). 0 reverts to the sequential accept loop (one request at \
+                a time on the accept domain).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Admission gate: connections beyond N accepted-but-unfinished requests \
+                are shed immediately with 503 and Retry-After. 0 = unlimited.")
+  in
+  let query_wall_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "query-wall-ms" ] ~docv:"MS"
+          ~doc:"Per-query wall-clock budget in milliseconds; a query still decoding \
+                blocks past it is terminated with 408 and a structured error body. \
+                0 = unlimited.")
+  in
+  let query_decode_mb =
+    Arg.(
+      value & opt float 0.0
+      & info [ "query-decode-mb" ] ~docv:"MB"
+          ~doc:"Per-query decoded-bytes budget in MiB (decompressed block bytes \
+                charged as they leave the codecs); exceeded queries are terminated \
+                with 408. 0 = unlimited.")
+  in
+  let plan_cache =
+    Arg.(
+      value & opt int 128
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:"LRU plan-cache capacity in entries, keyed by the MD5 hash of the query \
+                text; repeated queries skip the parse. 0 disables the cache.")
+  in
+  let run input port host serve_workers max_inflight query_wall_ms query_decode_mb
+      plan_cache cache_mb decode_domains query_log =
     with_telemetry ~stats:false ~trace_out:None ?cache_mb ?decode_domains ?query_log
     @@ fun () ->
     (* metrics + spans always on under serve: the endpoint exists to be scraped *)
     Xquec_obs.set_enabled true;
+    let workers =
+      match serve_workers with
+      | Some n -> max 0 n
+      | None -> max 1 (Domain.recommended_domain_count () - 1)
+    in
+    Xquec_core.Plan_cache.set_capacity plan_cache;
+    Xquec_core.Serve.set_budgets ~wall_ms:query_wall_ms
+      ~decode_bytes:(int_of_float (query_decode_mb *. 1024.0 *. 1024.0))
+      ();
     let engine = load_engine_any input in
     let server =
-      Xquec_obs.Expo.start ~host ~port
+      Xquec_obs.Expo.start ~host ~port ~workers ~max_inflight
         ~extra:(Xquec_core.Serve.handler engine)
         ~collect:Xquec_core.Serve.publish_pool_metrics ()
     in
     Fmt.pr
       "xquec serve: listening on http://%s:%d (endpoints: /metrics /healthz /query /stats /heat)@."
       host (Xquec_obs.Expo.port server);
+    Fmt.pr
+      "xquec serve: %d worker(s), max-inflight %s, plan cache %s, budgets wall %s decode %s@."
+      workers
+      (if max_inflight > 0 then string_of_int max_inflight else "unlimited")
+      (if plan_cache > 0 then Fmt.str "%d entries" plan_cache else "off")
+      (if query_wall_ms > 0.0 then Fmt.str "%.0fms" query_wall_ms else "off")
+      (if query_decode_mb > 0.0 then Fmt.str "%.1fMiB" query_decode_mb else "off");
     Xquec_obs.Expo.wait server
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a repository over HTTP: POST /query (or GET /query?q=...) evaluates \
              XQuery; GET /metrics exposes the counters, gauges, and histograms in \
-             Prometheus text format (buffer-pool, decode-pool, per-container, and \
-             per-query series); GET /healthz and GET /stats (JSON) for probes and \
-             debugging. Single-threaded accept loop intended for local inspection and \
-             scrapes, not production traffic.")
-    Term.(const run $ input $ port $ host $ cache_mb $ decode_domains $ query_log)
+             Prometheus text format (buffer-pool, decode-pool, per-container, \
+             admission, plan-cache, and per-query series); GET /healthz and GET /stats \
+             (JSON) for probes and debugging. Connections fan out onto a worker-domain \
+             pool with accept-time admission control, per-query wall/decode budgets, \
+             and an LRU plan cache — see docs/SERVING.md for the operator guide.")
+    Term.(
+      const run $ input $ port $ host $ serve_workers $ max_inflight $ query_wall_ms
+      $ query_decode_mb $ plan_cache $ cache_mb $ decode_domains $ query_log)
 
 (* --- profile --------------------------------------------------------- *)
 

@@ -28,6 +28,16 @@ let repo t = t.repo
 
 let parse_query = Xquery.Parser.parse
 
+(** MD5 hex of the query text — the query log's [query_hash] and the
+    plan cache's key, computed in one place so they can never drift. *)
+let query_hash (text : string) : string = Digest.to_hex (Digest.string text)
+
+(** Parse [text] through the process-wide {!Plan_cache}: returns the
+    (possibly cached) immutable AST plus how the lookup resolved. Parse
+    errors propagate and are never cached. *)
+let compile (text : string) : Xquery.Ast.expr * Plan_cache.lookup =
+  Plan_cache.find_or_add ~key:(query_hash text) (fun () -> parse_query text)
+
 (** Evaluate a query; results stay compressed where possible. *)
 let query (t : t) (text : string) : Executor.item list =
   Executor.run t.repo (parse_query text)
@@ -66,10 +76,24 @@ let cpu_ms () =
     are taken around evaluation {e and} serialization, so they
     reconcile with the CLI's [--stats] pool summary for a
     single-query run. When no log file is configured this is
-    {!query_profiled} + serialization without the bookkeeping. *)
-let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain.node =
+    {!query_profiled} + serialization without the bookkeeping.
+
+    [plan] is a pre-compiled AST (from {!compile}) — when given, the
+    parse is skipped; [text] is still used for the log record's hash
+    and echo. [admission] is an opaque JSON object the serving layer
+    attaches describing how the request was admitted (in-flight depth,
+    plan-cache outcome, armed budgets); it is logged verbatim as the
+    record's ["admission"] field. *)
+let query_serialized_logged ?(admission : Xquec_obs.Json.t option)
+    ?(plan : Xquery.Ast.expr option) (t : t) (text : string) :
+    string * Xquec_obs.Explain.node =
+  let run_profiled () =
+    match plan with
+    | Some ast -> Executor.run_profiled t.repo ast
+    | None -> query_profiled t text
+  in
   if not (Xquec_obs.Query_log.enabled ()) then begin
-    let items, prof = query_profiled t text in
+    let items, prof = run_profiled () in
     (Executor.serialize t.repo items, prof)
   end
   else begin
@@ -83,7 +107,7 @@ let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain
     let gc0 = Gc.quick_stat () in
     let cpu0 = cpu_ms () in
     let t0 = Xquec_obs.Trace.now_us () in
-    let items, prof = query_profiled t text in
+    let items, prof = run_profiled () in
     let out = Executor.serialize t.repo items in
     (* deltas taken after serialization: decompressing the result is
        part of the query's cost (the paper's QET convention) *)
@@ -153,7 +177,7 @@ let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain
       Json.Obj
         [
           ("ts", Json.Str (iso8601 started_at));
-          ("query_hash", Json.Str (Digest.to_hex (Digest.string text)));
+          ("query_hash", Json.Str (query_hash text));
           ("query", Json.Str text);
           ("plan_shape", Json.Str (Xquec_obs.Explain.shape prof));
           ("wall_ms", Json.Num wall_ms);
@@ -210,6 +234,11 @@ let query_serialized_logged (t : t) (text : string) : string * Xquec_obs.Explain
           ("predicates", Json.List predicates);
           ("plan", Xquec_obs.Explain.summary_json prof);
         ]
+    in
+    let record =
+      match (admission, record) with
+      | Some adm, Json.Obj fields -> Json.Obj (fields @ [ ("admission", adm) ])
+      | _ -> record
     in
     Xquec_obs.Query_log.append record;
     (out, prof)

@@ -22,6 +22,16 @@ val repo : t -> Storage.Repository.t
     [Xquery.Parser.Syntax_error] on malformed input). *)
 val parse_query : string -> Xquery.Ast.expr
 
+(** MD5 hex of the query text — the query log's [query_hash] and the
+    {!Plan_cache} key, computed in one place so they cannot drift. *)
+val query_hash : string -> string
+
+(** Parse through the process-wide {!Plan_cache}: the (possibly
+    cached) immutable AST plus how the lookup resolved
+    ({!Plan_cache.Bypass} while the cache capacity is 0). Parse errors
+    propagate and are never cached. *)
+val compile : string -> Xquery.Ast.expr * Plan_cache.lookup
+
 (** Parse and evaluate a query, returning result items (still in their
     compressed-domain representation where possible). *)
 val query : t -> string -> Executor.item list
@@ -45,8 +55,19 @@ val query_serialized : t -> string -> string
     (schema in [docs/OBSERVABILITY.md]). Deltas are taken around
     evaluation {e and} serialization, so they reconcile with the
     [--stats] pool summary of a single-query run. Also returns the
-    profiled plan. *)
-val query_serialized_logged : t -> string -> string * Xquec_obs.Explain.node
+    profiled plan.
+
+    [plan] (from {!compile}) skips the parse; [text] still provides
+    the record's hash and echo. [admission] is attached verbatim as
+    the record's ["admission"] field — the serving layer's description
+    of how the request was admitted (in-flight depth, plan-cache
+    outcome, armed budgets). *)
+val query_serialized_logged :
+  ?admission:Xquec_obs.Json.t ->
+  ?plan:Xquery.Ast.expr ->
+  t ->
+  string ->
+  string * Xquec_obs.Explain.node
 
 (** Original document bytes / compressed repository bytes. *)
 val compression_factor : t -> float

@@ -344,29 +344,45 @@ type pred_obs = {
 (* Merged by (container, kind): per-tuple comparison notes (one per
    FLWOR tuple) would otherwise contribute thousands of entries, and
    the fingerprint only needs the sums. First-observation order is
-   kept so the log record is stable. *)
-let pred_obs_tbl : (string * string, int ref * int ref) Hashtbl.t = Hashtbl.create 16
-let pred_obs_order : (string * string) list ref = ref []
+   kept so the log record is stable.
+
+   The accumulator lives in Domain.DLS so concurrent queries (one per
+   serve worker domain) observe only their own predicates: [run] resets
+   the evaluating domain's slot, predicate sites bump it, and the
+   engine reads it back on the same domain immediately after
+   evaluation. Predicate checks always execute on the evaluating domain
+   — Domain_pool workers only decode blocks — so no observation is ever
+   recorded against the wrong domain's slot. *)
+type pred_obs_state = {
+  po_tbl : (string * string, int ref * int ref) Hashtbl.t;
+  mutable po_order : (string * string) list;
+}
+
+let pred_obs_key : pred_obs_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { po_tbl = Hashtbl.create 16; po_order = [] })
 
 let reset_predicate_observations () =
-  Hashtbl.reset pred_obs_tbl;
-  pred_obs_order := []
+  let st = Domain.DLS.get pred_obs_key in
+  Hashtbl.reset st.po_tbl;
+  st.po_order <- []
 
 let predicate_observations () =
+  let st = Domain.DLS.get pred_obs_key in
   List.rev_map
     (fun ((container, kind) as key) ->
-      let c, m = Hashtbl.find pred_obs_tbl key in
+      let c, m = Hashtbl.find st.po_tbl key in
       { o_container = container; o_kind = kind; o_candidates = !c; o_matches = !m })
-    !pred_obs_order
+    st.po_order
 
 let note_pred ~container ~kind ~candidates ~matches =
-  match Hashtbl.find_opt pred_obs_tbl (container, kind) with
+  let st = Domain.DLS.get pred_obs_key in
+  match Hashtbl.find_opt st.po_tbl (container, kind) with
   | Some (c, m) ->
     c := !c + candidates;
     m := !m + matches
   | None ->
-    Hashtbl.add pred_obs_tbl (container, kind) (ref candidates, ref matches);
-    pred_obs_order := (container, kind) :: !pred_obs_order
+    Hashtbl.add st.po_tbl (container, kind) (ref candidates, ref matches);
+    st.po_order <- (container, kind) :: st.po_order
 
 (* One (left container, right container) pairing of a block join with
    its header-overlap estimate; a side with several summary nodes

@@ -216,9 +216,11 @@ type pred_obs = {
   o_matches : int;
 }
 
-(** Observations of the most recently evaluated query, merged by
-    (container, kind) — per-tuple comparison notes sum into one entry —
-    in first-observation order. Reset by {!run} / {!run_profiled};
-    like the EXPLAIN profile, the accumulator assumes queries are
-    evaluated one at a time. *)
+(** Observations of the most recently evaluated query {e on the
+    calling domain}, merged by (container, kind) — per-tuple
+    comparison notes sum into one entry — in first-observation order.
+    Reset by {!run} / {!run_profiled}. The accumulator is
+    domain-local ([Domain.DLS]), so concurrent serve workers each see
+    exactly their own query's observations; read it on the domain that
+    evaluated, before it evaluates anything else. *)
 val predicate_observations : unit -> pred_obs list

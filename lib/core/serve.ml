@@ -8,11 +8,15 @@
      GET  /stats          full metrics registry as JSON
      GET  /heat           container heat snapshot as JSON
 
-   Queries run sequentially on the server's accept domain — the engine
-   evaluates one query at a time (the storage layer parallelizes block
-   decode underneath via the Domain_pool), which matches the Expo
-   server's one-connection-at-a-time model. Each query bumps
-   "serve.queries", records "serve.query_ms", and appends a query-log
+   Queries run on whichever Expo domain handles the connection — the
+   accept domain in the sequential configuration, a worker-pool domain
+   when `--serve-workers` fans connections out — so everything in this
+   module is written for concurrent callers: the SLO window takes a
+   mutex, the plan cache is the mutex-guarded Plan_cache, and the
+   per-query budget is armed in Domain.DLS on the evaluating domain
+   (the storage layer parallelizes block decode underneath via the
+   Domain_pool either way). Each query bumps "serve.queries", records
+   "serve.query_ms", consults the plan cache, and appends a query-log
    record when a log file is configured. *)
 
 open Xquec_obs
@@ -28,9 +32,10 @@ open Xquec_obs
    error rate over the last minute — without the scraper having to
    diff consecutive snapshots.
 
-   Single-writer: queries run sequentially on the Expo accept domain,
-   and scrapes run on that same domain (the collect callback), so no
-   lock is needed. *)
+   Concurrent writers: with a worker pool, several domains observe into
+   the ring (and /metrics scrapes read it) simultaneously, so every
+   ring access takes [window_mutex]. One uncontended lock per completed
+   request is noise next to evaluating the query. *)
 
 let window_buckets = 60
 
@@ -57,7 +62,14 @@ let window : wbucket array =
       { w_epoch = -1; w_count = 0; w_errors = 0; w_min = infinity; w_max = 0.0;
         w_hist = Array.make Metrics.bucket_count 0 })
 
+let window_mutex = Mutex.create ()
+
+let with_window f =
+  Mutex.lock window_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock window_mutex) f
+
 let window_observe ~(error : bool) (ms : float) : unit =
+  with_window @@ fun () ->
   let now = int_of_float (Unix.gettimeofday ()) in
   let b = window.(now mod window_buckets) in
   if b.w_epoch <> now then begin
@@ -76,6 +88,7 @@ let window_observe ~(error : bool) (ms : float) : unit =
   b.w_hist.(i) <- b.w_hist.(i) + 1
 
 let window_reset () =
+  with_window @@ fun () ->
   Array.iter
     (fun b ->
       b.w_epoch <- -1;
@@ -92,16 +105,19 @@ let window_stats () : window_stats =
   let hist = Array.make Metrics.bucket_count 0 in
   let count = ref 0 and errors = ref 0 in
   let mn = ref infinity and mx = ref 0.0 in
-  Array.iter
-    (fun b ->
-      if b.w_epoch >= live && b.w_count > 0 then begin
-        count := !count + b.w_count;
-        errors := !errors + b.w_errors;
-        if b.w_min < !mn then mn := b.w_min;
-        if b.w_max > !mx then mx := b.w_max;
-        Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) b.w_hist
-      end)
-    window;
+  (* fold under the lock; the percentile arithmetic below runs on the
+     private copy *)
+  with_window (fun () ->
+      Array.iter
+        (fun b ->
+          if b.w_epoch >= live && b.w_count > 0 then begin
+            count := !count + b.w_count;
+            errors := !errors + b.w_errors;
+            if b.w_min < !mn then mn := b.w_min;
+            if b.w_max > !mx then mx := b.w_max;
+            Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) b.w_hist
+          end)
+        window);
   let percentile p =
     (* same estimator as Metrics.histogram_percentile: interpolate in
        the bucket the rank falls in, edges tightened by min/max *)
@@ -181,7 +197,46 @@ let publish_pool_metrics () : unit =
   Metrics.set_counter "executor.join.blocks_skipped" j.Executor.j_blocks_skipped;
   Metrics.set_counter "executor.join.skipped_bytes" j.Executor.j_skipped_bytes;
   Heat.publish_metrics ();
+  let e = Expo.stats () in
+  Metrics.set_gauge "serve.admission.workers" (float_of_int e.Expo.e_workers);
+  Metrics.set_counter "serve.admission.accepted" e.Expo.e_accepted;
+  Metrics.set_counter "serve.admission.handled" e.Expo.e_handled;
+  Metrics.set_counter "serve.admission.rejected" e.Expo.e_rejected;
+  Metrics.set_gauge "serve.admission.inflight" (float_of_int e.Expo.e_inflight);
+  Metrics.set_gauge "serve.admission.inflight_high_water"
+    (float_of_int e.Expo.e_inflight_high_water);
+  let pc = Plan_cache.snapshot () in
+  Metrics.set_gauge "serve.plan_cache.capacity" (float_of_int pc.Plan_cache.s_capacity);
+  Metrics.set_gauge "serve.plan_cache.entries" (float_of_int pc.Plan_cache.s_entries);
+  Metrics.set_counter "serve.plan_cache.hits" pc.Plan_cache.s_hits;
+  Metrics.set_counter "serve.plan_cache.misses" pc.Plan_cache.s_misses;
+  Metrics.set_counter "serve.plan_cache.evictions" pc.Plan_cache.s_evictions;
   publish_window_metrics ()
+
+(* --- per-query budgets ------------------------------------------------ *)
+
+(* Configured once at server startup (from --query-wall-ms /
+   --query-decode-mb) and armed on the evaluating domain for each
+   query. 0.0 / 0 = unlimited. *)
+
+let budget_wall_ms = ref 0.0
+let budget_decode_bytes = ref 0
+
+let set_budgets ?(wall_ms = 0.0) ?(decode_bytes = 0) () : unit =
+  budget_wall_ms := Float.max 0.0 wall_ms;
+  budget_decode_bytes := max 0 decode_bytes
+
+let budget_json () : (string * Json.t) list =
+  (if !budget_wall_ms > 0.0 then [ ("wall_ms_budget", Json.Num !budget_wall_ms) ] else [])
+  @
+  if !budget_decode_bytes > 0 then
+    [ ("decode_bytes_budget", Json.Num (float_of_int !budget_decode_bytes)) ]
+  else []
+
+let lookup_label = function
+  | Plan_cache.Hit -> "hit"
+  | Plan_cache.Miss -> "miss"
+  | Plan_cache.Bypass -> "off"
 
 let run_query (engine : Engine.t) (text : string) : Expo.response =
   let text = String.trim text in
@@ -191,12 +246,49 @@ let run_query (engine : Engine.t) (text : string) : Expo.response =
     let elapsed_ms () = (Trace.now_us () -. t0) /. 1000.0 in
     match
       Metrics.time_ms "serve.query_ms" (fun () ->
-          Engine.query_serialized_logged engine text)
+          (* compile first (cache hit skips the parse entirely); parse
+             errors surface here, before any budget is armed *)
+          let plan, lookup = Engine.compile text in
+          (match lookup with
+          | Plan_cache.Hit -> Metrics.incr "serve.plan_cache.hit_queries"
+          | Plan_cache.Miss -> Metrics.incr "serve.plan_cache.miss_queries"
+          | Plan_cache.Bypass -> ());
+          let admission =
+            Json.Obj
+              ([
+                 ( "inflight",
+                   Json.Num (float_of_int (Expo.stats ()).Expo.e_inflight) );
+                 ("plan_cache", Json.Str (lookup_label lookup));
+               ]
+              @ budget_json ())
+          in
+          Budget.arm ~wall_ms:!budget_wall_ms ~decode_bytes:!budget_decode_bytes ();
+          Fun.protect
+            ~finally:(fun () -> Budget.disarm ())
+            (fun () -> Engine.query_serialized_logged ~admission ~plan engine text))
     with
     | out, _prof ->
       Metrics.incr "serve.queries";
       window_observe ~error:false (elapsed_ms ());
       Expo.respond 200 "text/plain; charset=utf-8" (out ^ "\n")
+    | exception Budget.Exceeded trip ->
+      (* a budget trip is the server refusing to finish, not a malformed
+         query: 408 with a structured body naming the tripped budget *)
+      Metrics.incr "serve.query_errors";
+      Metrics.incr ("serve.budget." ^ trip.Budget.t_kind ^ "_trips");
+      window_observe ~error:true (elapsed_ms ());
+      let body =
+        Json.to_string
+          (Json.Obj
+             [
+               ("error", Json.Str "budget_exceeded");
+               ("budget", Json.Str trip.Budget.t_kind);
+               ("limit", Json.Num trip.Budget.t_limit);
+               ("observed", Json.Num trip.Budget.t_observed);
+             ])
+        ^ "\n"
+      in
+      Expo.respond 408 "application/json; charset=utf-8" body
     | exception e ->
       Metrics.incr "serve.query_errors";
       window_observe ~error:true (elapsed_ms ());

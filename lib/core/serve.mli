@@ -8,10 +8,16 @@
     [GET /heat] (container heat snapshot as JSON, see
     {!Xquec_obs.Heat.snapshot_json}). Successful queries return the
     serialized result as [text/plain]; parse or evaluation errors
-    return 400 with the exception text. Each query bumps the
+    return 400 with the exception text; a query tripping an armed
+    budget (see {!set_budgets}) returns 408 with a structured JSON
+    body. Each query compiles through the {!Plan_cache}, bumps the
     ["serve.queries"] counter, records ["serve.query_ms"], feeds the
-    rolling SLO window, and appends a query-log record when a log file
-    is configured. *)
+    rolling SLO window, and appends a query-log record (with an
+    ["admission"] field) when a log file is configured.
+
+    Every entry point here is safe for concurrent callers — requests
+    may be handled by several Expo worker domains at once (see
+    docs/CONCURRENCY.md and docs/SERVING.md). *)
 
 (** Rolling-window serving aggregates: request and error counts over
     the live window, the error rate, and interpolated latency
@@ -28,8 +34,8 @@ type window_stats = {
 
 (** Record one request into the rolling window ([ms] wall latency).
     Called by the handler for every [/query]; exposed so tests can
-    drive the window directly. Single-writer: requests are handled
-    sequentially on the server's accept domain. *)
+    drive the window directly. Thread-safe: the ring is mutex-guarded,
+    so concurrent worker domains may observe simultaneously. *)
 val window_observe : error:bool -> float -> unit
 
 (** Aggregates over the last 60 seconds of requests (p50/p95/p99 use
@@ -47,12 +53,25 @@ val window_reset : unit -> unit
     {!publish_pool_metrics}. *)
 val publish_window_metrics : unit -> unit
 
-(** Sync the buffer-pool, decode-pool, join, heat and rolling-window
-    counters into the metrics registry (as ["bufferpool.*"] /
-    ["decodepool.*"] / ["heat.*"] / ["serve.window.*"] series) — the
-    [collect] callback to pass to {!Xquec_obs.Expo.start} so every
-    scrape is fresh. *)
+(** Sync the buffer-pool, decode-pool, join, heat, admission
+    ({!Xquec_obs.Expo.stats} as ["serve.admission.*"]), plan-cache
+    ({!Plan_cache.snapshot} as ["serve.plan_cache.*"]) and
+    rolling-window counters into the metrics registry — the [collect]
+    callback to pass to {!Xquec_obs.Expo.start} so every scrape is
+    fresh. *)
 val publish_pool_metrics : unit -> unit
+
+(** Configure the per-query budgets the handler arms (on the
+    evaluating domain, via {!Xquec_obs.Budget}) around each query:
+    [wall_ms] wall-clock milliseconds and [decode_bytes] decoded
+    bytes; 0 (the default for both) = unlimited. Called once at server
+    startup from [--query-wall-ms] / [--query-decode-mb]. *)
+val set_budgets : ?wall_ms:float -> ?decode_bytes:int -> unit -> unit
+
+(** Evaluate one query exactly as the [/query] route does (trim,
+    compile through the plan cache, arm budgets, log, observe the SLO
+    window) and produce the HTTP response. Exposed for tests. *)
+val run_query : Engine.t -> string -> Xquec_obs.Expo.response
 
 (** Request handler over the given engine, to pass as
     {!Xquec_obs.Expo.start}'s [extra]. *)

@@ -1,10 +1,28 @@
-(* Minimal HTTP/1.1 server for metrics exposition — blocking Unix
-   sockets, no external dependencies. This is deliberately not a
-   general web server: one accept loop on a dedicated domain, one
-   connection handled at a time, [Connection: close] on every response.
-   A Prometheus scraper (or curl) issues one request per connection a
-   few times a minute; sequential handling is exactly enough and keeps
-   the code auditable.
+(* Minimal HTTP/1.1 server — blocking Unix sockets, no external
+   dependencies. This is deliberately not a general web server: one
+   accept loop on a dedicated domain hands each connection to a fixed
+   pool of worker domains (or handles it inline when [workers = 0],
+   the metrics-scraper configuration), every response carries
+   [Connection: close], and admission is a single saturation gate at
+   accept time.
+
+   Concurrency model (see docs/CONCURRENCY.md):
+
+   - the acceptor owns the listening socket. For every accepted
+     connection it first applies the admission gate: when
+     [max_inflight > 0] and that many connections are already accepted
+     but unfinished, the connection is shed immediately with a canned
+     503 carrying [Retry-After] — it never reaches a worker, so a
+     saturated server keeps answering shed decisions at accept speed
+     instead of queueing unboundedly.
+   - admitted connections go to a mutex+condvar FIFO drained by the
+     worker domains; each worker parses, runs the handler and writes
+     the response for one connection at a time. With [workers = 0] the
+     acceptor handles the connection itself — exactly the historical
+     sequential server.
+   - a client that disappears mid-response (EPIPE / ECONNRESET) costs
+     the server nothing: SIGPIPE is ignored process-wide on [start],
+     and the per-connection write path swallows broken-pipe errors.
 
    Built-in routes: GET /metrics (Prometheus text exposition of the
    whole Metrics registry, after running the [collect] callback so
@@ -19,15 +37,30 @@ type request = {
   body : string;
 }
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;  (* extra headers, e.g. Retry-After *)
+  body : string;
+}
 
 type handler = request -> response option
 
-type t = {
+(* State shared between the acceptor and the workers; built before any
+   domain is spawned so the loops can simply close over it. *)
+type core = {
   sock : Unix.file_descr;
   port : int;
   stopping : bool Atomic.t;
-  domain : unit Domain.t;
+  wq : Unix.file_descr Queue.t;  (* admitted connections awaiting a worker *)
+  wq_mutex : Mutex.t;
+  wq_cond : Condition.t;
+}
+
+type t = {
+  core : core;
+  acceptor : unit Domain.t;
+  workers : unit Domain.t list;
 }
 
 let status_text = function
@@ -36,11 +69,64 @@ let status_text = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
-let respond (status : int) (content_type : string) (body : string) : response =
-  { status; content_type; body }
+let respond ?(headers = []) (status : int) (content_type : string) (body : string) :
+    response =
+  { status; content_type; headers; body }
+
+(* --- serving statistics ---------------------------------------------- *)
+
+(* Process-wide (like the Domain_pool counters): any domain may bump
+   them and a /metrics collect callback reads them without holding a
+   reference to the server value. Several servers in one process (the
+   test suite) share the counters, which is fine for cumulative
+   accounting. *)
+
+let stat_accepted = Atomic.make 0 (* connections admitted past the gate *)
+
+let stat_handled = Atomic.make 0 (* connections fully served *)
+
+let stat_rejected = Atomic.make 0 (* connections shed with the canned 503 *)
+
+let stat_inflight = Atomic.make 0 (* admitted but not yet finished *)
+
+let stat_inflight_hw = Atomic.make 0 (* high-water mark of the above *)
+
+let stat_workers = Atomic.make 0 (* worker pool size of the last [start] *)
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+type stats = {
+  e_workers : int;
+  e_accepted : int;
+  e_handled : int;
+  e_rejected : int;
+  e_inflight : int;
+  e_inflight_high_water : int;
+}
+
+let stats () : stats =
+  {
+    e_workers = Atomic.get stat_workers;
+    e_accepted = Atomic.get stat_accepted;
+    e_handled = Atomic.get stat_handled;
+    e_rejected = Atomic.get stat_rejected;
+    e_inflight = Atomic.get stat_inflight;
+    e_inflight_high_water = Atomic.get stat_inflight_hw;
+  }
+
+let reset_stats () =
+  Atomic.set stat_accepted 0;
+  Atomic.set stat_handled 0;
+  Atomic.set stat_rejected 0;
+  Atomic.set stat_inflight_hw 0
 
 (* --- request parsing ------------------------------------------------- *)
 
@@ -158,6 +244,7 @@ let parse_request (ic : in_channel) : request =
 let write_response (oc : out_channel) (r : response) : unit =
   Printf.fprintf oc "HTTP/1.1 %d %s\r\n" r.status (status_text r.status);
   Printf.fprintf oc "Content-Type: %s\r\n" r.content_type;
+  List.iter (fun (k, v) -> Printf.fprintf oc "%s: %s\r\n" k v) r.headers;
   Printf.fprintf oc "Content-Length: %d\r\n" (String.length r.body);
   output_string oc "Connection: close\r\n\r\n";
   output_string oc r.body;
@@ -174,6 +261,11 @@ let builtin_routes ~(collect : unit -> unit) (req : request) : response =
   | _, ("/metrics" | "/healthz") -> respond 405 "text/plain; charset=utf-8" "method not allowed\n"
   | _ -> respond 404 "text/plain; charset=utf-8" "not found\n"
 
+(* A client gone mid-connection must never take the server down: with
+   SIGPIPE ignored, a write to a reset connection surfaces as EPIPE /
+   ECONNRESET (as a Unix_error from the syscall or a Sys_error through
+   the channel layer) and is simply dropped — the response has no one
+   left to read it. *)
 let handle_connection ~(extra : handler) ~(collect : unit -> unit) (fd : Unix.file_descr) :
     unit =
   let ic = Unix.in_channel_of_descr fd in
@@ -193,21 +285,85 @@ let handle_connection ~(extra : handler) ~(collect : unit -> unit) (fd : Unix.fi
   | Bad_request msg ->
     (try write_response oc (respond 400 "text/plain; charset=utf-8" (msg ^ "\n"))
      with _ -> ())
-  | End_of_file | Sys_error _ -> ());
+  | End_of_file | Sys_error _ -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN), _, _) -> ());
   (* closing the channel closes the underlying fd *)
   try close_out_noerr oc with _ -> ()
 
+(* --- admission ------------------------------------------------------- *)
+
+(* The canned saturation reply, written by the acceptor without parsing
+   the request. Best effort: the client's request bytes are drained
+   once (short timeout) so the kernel does not RST the connection with
+   unread data and destroy the 503 in flight; any error just drops the
+   connection, which to the client is indistinguishable from overload. *)
+let shed_response =
+  let body = "{\"error\":\"saturated\",\"detail\":\"too many in-flight requests\"}\n" in
+  Printf.sprintf
+    "HTTP/1.1 503 Service Unavailable\r\n\
+     Content-Type: application/json; charset=utf-8\r\n\
+     Retry-After: 1\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\r\n%s"
+    (String.length body) body
+
+let shed (fd : Unix.file_descr) : unit =
+  Atomic.incr stat_rejected;
+  (try
+     (try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.05;
+        ignore (Unix.read fd (Bytes.create max_line_bytes) 0 max_line_bytes)
+      with _ -> ());
+     ignore (Unix.write_substring fd shed_response 0 (String.length shed_response))
+   with _ -> ());
+  try Unix.close fd with _ -> ()
+
 (* --- lifecycle ------------------------------------------------------- *)
 
-let accept_loop (t_sock : Unix.file_descr) (stopping : bool Atomic.t) (extra : handler)
-    (collect : unit -> unit) : unit =
+let finish_connection ~extra ~collect (fd : Unix.file_descr) : unit =
+  handle_connection ~extra ~collect fd;
+  Atomic.decr stat_inflight;
+  Atomic.incr stat_handled
+
+let worker_loop (c : core) ~extra ~collect () : unit =
   let rec loop () =
-    if not (Atomic.get stopping) then begin
-      (match Unix.accept t_sock with
-      | fd, _addr -> handle_connection ~extra ~collect fd
+    Mutex.lock c.wq_mutex;
+    while Queue.is_empty c.wq && not (Atomic.get c.stopping) do
+      Condition.wait c.wq_cond c.wq_mutex
+    done;
+    if Queue.is_empty c.wq then Mutex.unlock c.wq_mutex (* stopping and drained *)
+    else begin
+      let fd = Queue.pop c.wq in
+      Mutex.unlock c.wq_mutex;
+      finish_connection ~extra ~collect fd;
+      loop ()
+    end
+  in
+  loop ()
+
+let accept_loop (c : core) ~(max_inflight : int) ~(dispatch : bool) ~extra ~collect () :
+    unit =
+  let rec loop () =
+    if not (Atomic.get c.stopping) then begin
+      (match Unix.accept c.sock with
+      | fd, _addr ->
+        if Atomic.get c.stopping then (try Unix.close fd with _ -> ())
+        else if max_inflight > 0 && Atomic.get stat_inflight >= max_inflight then shed fd
+        else begin
+          Atomic.incr stat_accepted;
+          let inflight = 1 + Atomic.fetch_and_add stat_inflight 1 in
+          atomic_max stat_inflight_hw inflight;
+          if dispatch then begin
+            Mutex.lock c.wq_mutex;
+            Queue.add fd c.wq;
+            Condition.signal c.wq_cond;
+            Mutex.unlock c.wq_mutex
+          end
+          else finish_connection ~extra ~collect fd
+        end
       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
         (* listen socket closed by [stop] *)
-        Atomic.set stopping true
+        Atomic.set c.stopping true
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | exception _ -> ());
       loop ()
@@ -215,47 +371,76 @@ let accept_loop (t_sock : Unix.file_descr) (stopping : bool Atomic.t) (extra : h
   in
   loop ()
 
-let start ?(host = "127.0.0.1") ~(port : int) ?(extra : handler = fun _ -> None)
-    ?(collect : unit -> unit = fun () -> ()) () : t =
+let start ?(host = "127.0.0.1") ~(port : int) ?(workers = 0) ?(max_inflight = 0)
+    ?(extra : handler = fun _ -> None) ?(collect : unit -> unit = fun () -> ()) () : t =
+  (* A client may close its half of the connection while a worker is
+     still writing; without this, the resulting SIGPIPE would kill the
+     whole process instead of surfacing as a catchable EPIPE. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  let workers = max 0 workers in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-     Unix.listen sock 16
+     Unix.listen sock (max 16 (2 * max_inflight))
    with e ->
      (try Unix.close sock with _ -> ());
      raise e);
   let actual_port =
     match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  let stopping = Atomic.make false in
-  let domain = Domain.spawn (fun () -> accept_loop sock stopping extra collect) in
-  { sock; port = actual_port; stopping; domain }
+  Atomic.set stat_workers workers;
+  let c =
+    {
+      sock;
+      port = actual_port;
+      stopping = Atomic.make false;
+      wq = Queue.create ();
+      wq_mutex = Mutex.create ();
+      wq_cond = Condition.create ();
+    }
+  in
+  let worker_domains =
+    List.init workers (fun _ -> Domain.spawn (worker_loop c ~extra ~collect))
+  in
+  let acceptor =
+    Domain.spawn (accept_loop c ~max_inflight ~dispatch:(workers > 0) ~extra ~collect)
+  in
+  { core = c; acceptor; workers = worker_domains }
 
-let port (t : t) : int = t.port
+let port (t : t) : int = t.core.port
 
 let stop (t : t) : unit =
-  if not (Atomic.get t.stopping) then begin
-    Atomic.set t.stopping true;
+  let c = t.core in
+  if not (Atomic.get c.stopping) then begin
+    Atomic.set c.stopping true;
     (* Closing the fd does NOT wake a thread already parked in accept()
        on Linux, so the acceptor must be woken explicitly: shutdown on
        the listening socket makes the blocked accept fail (EINVAL), and
        a loopback self-connection is the portable fallback — the loop
        re-checks [stopping] after handling it. Only close after the
        join, so the acceptor never races a recycled fd number. *)
-    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.shutdown c.sock Unix.SHUTDOWN_ALL with _ -> ());
     (try
        let addr =
-         match Unix.getsockname t.sock with
+         match Unix.getsockname c.sock with
          | Unix.ADDR_INET (a, p) when a <> Unix.inet_addr_any -> Unix.ADDR_INET (a, p)
-         | _ -> Unix.ADDR_INET (Unix.inet_addr_loopback, t.port)
+         | _ -> Unix.ADDR_INET (Unix.inet_addr_loopback, c.port)
        in
-       let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-       (try Unix.connect c addr with _ -> ());
-       (try Unix.close c with _ -> ())
+       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect s addr with _ -> ());
+       (try Unix.close s with _ -> ())
      with _ -> ());
-    Domain.join t.domain;
-    (try Unix.close t.sock with _ -> ())
+    Domain.join t.acceptor;
+    (* Workers drain the queue (in-flight requests finish), then exit on
+       the stopping flag. *)
+    Mutex.lock c.wq_mutex;
+    Condition.broadcast c.wq_cond;
+    Mutex.unlock c.wq_mutex;
+    List.iter Domain.join t.workers;
+    (try Unix.close c.sock with _ -> ())
   end
 
-let wait (t : t) : unit = Domain.join t.domain
+let wait (t : t) : unit =
+  Domain.join t.acceptor;
+  List.iter Domain.join t.workers

@@ -1,0 +1,201 @@
+(* Minimal HTTP/1.1 load-generation client for the Expo server — the
+   test/bench counterpart of expo.ml, with the same no-dependency
+   constraint.
+
+   Two modes:
+
+   - [request]: one blocking request over a fresh connection, for
+     tests and smoke checks.
+   - [drive]: N concurrent clients issuing M requests each from a
+     SINGLE domain via select(2)-multiplexed non-blocking sockets.
+     Spawning a domain per client would hit OCaml's ~128-domain
+     process limit long before the "hundreds of concurrent clients"
+     the serving bench needs; one select loop holds thousands of
+     sockets open simultaneously, which is also a truer model of a
+     front-end fanning user requests at the server.
+
+   Responses are parsed just enough for assertions: status code and
+   body (via Content-Length; the server always sends it and closes the
+   connection). *)
+
+type reply = { r_status : int; r_body : string }
+
+let parse_status (buf : string) : int =
+  match String.index_opt buf ' ' with
+  | Some sp when String.length buf >= sp + 4 ->
+    (try int_of_string (String.sub buf (sp + 1) 3) with _ -> 0)
+  | _ -> 0
+
+(* Split a raw response into (status, body) once fully received. The
+   server closes after each response, so "fully received" = EOF; the
+   Content-Length header is still honored to trim any trailing bytes
+   that a duplicated shutdown could append. *)
+let parse_response (raw : string) : reply =
+  let status = parse_status raw in
+  let body =
+    match
+      (* header/body split: first CRLFCRLF (tolerate bare LFLF) *)
+      let rec find i =
+        if i + 3 < String.length raw then
+          if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r' && raw.[i + 3] = '\n'
+          then Some (i + 4)
+          else if raw.[i] = '\n' && raw.[i + 1] = '\n' then Some (i + 2)
+          else find (i + 1)
+        else None
+      in
+      find 0
+    with
+    | None -> ""
+    | Some b -> String.sub raw b (String.length raw - b)
+  in
+  { r_status = status; r_body = body }
+
+let build_request ?(meth = "GET") ?(body = "") ~(host : string) (target : string) : string
+    =
+  if body = "" && meth = "GET" then
+    Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" target host
+  else
+    Printf.sprintf
+      "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Type: text/plain\r\nContent-Length: \
+       %d\r\nConnection: close\r\n\r\n%s"
+      meth target host (String.length body) body
+
+(* --- blocking single request ----------------------------------------- *)
+
+let request ?(host = "127.0.0.1") ~(port : int) ?meth ?body (target : string) : reply =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let req = build_request ?meth ?body ~host target in
+      let n = String.length req in
+      let rec send off =
+        if off < n then send (off + Unix.write_substring sock req off (n - off))
+      in
+      send 0;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 8192 in
+      let rec recv () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          recv ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+      in
+      recv ();
+      parse_response (Buffer.contents buf))
+
+(* --- concurrent driver ------------------------------------------------ *)
+
+(* Per-connection state machine: connect → write request → read to EOF.
+   All sockets non-blocking; one select loop advances whichever
+   connections are ready. *)
+type conn_phase = Connecting | Writing of int | Reading
+
+type conn = {
+  mutable fd : Unix.file_descr;
+  client : int;  (* which simulated client this connection belongs to *)
+  mutable seq : int;  (* request index within the client, 0-based *)
+  mutable phase : conn_phase;
+  mutable req : string;
+  recv : Buffer.t;
+}
+
+type outcome = {
+  o_client : int;
+  o_seq : int;
+  o_reply : reply;
+}
+
+(* [drive ~clients ~requests_per_client ~target] runs [clients]
+   simulated clients against 127.0.0.1:[port], each issuing
+   [requests_per_client] sequential requests (a client opens its next
+   connection only after the previous reply completes, like a real
+   caller would), all multiplexed on the calling domain. [target] maps
+   (client, seq) to the request target+method+body, so workloads can
+   mix queries. Returns one outcome per completed request, in
+   (client, seq) order — a deterministic ordering regardless of
+   arrival interleaving, which lets callers digest the bodies and
+   compare against a sequential run. *)
+let drive ?(host = "127.0.0.1") ~(port : int) ~(clients : int) ~(requests_per_client : int)
+    ~(target : int -> int -> string * string * string) () : outcome list =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let results = Hashtbl.create (clients * requests_per_client) in
+  let live = Hashtbl.create clients in (* fd -> conn *)
+  let fresh_conn client seq =
+    let meth, tgt, body = target client seq in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    let phase =
+      match Unix.connect fd addr with
+      | () -> Writing 0
+      | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+        Connecting
+    in
+    let c =
+      { fd; client; seq; phase; req = build_request ~meth ~body ~host tgt;
+        recv = Buffer.create 512 }
+    in
+    Hashtbl.replace live fd c
+  in
+  let finish (c : conn) =
+    Hashtbl.remove live c.fd;
+    (try Unix.close c.fd with _ -> ());
+    Hashtbl.replace results (c.client, c.seq)
+      { o_client = c.client; o_seq = c.seq; o_reply = parse_response (Buffer.contents c.recv) };
+    if c.seq + 1 < requests_per_client then fresh_conn c.client (c.seq + 1)
+  in
+  let chunk = Bytes.create 8192 in
+  let step (c : conn) =
+    match c.phase with
+    | Connecting -> (
+      (* writability after EINPROGRESS: check SO_ERROR *)
+      match Unix.getsockopt_error c.fd with
+      | None -> c.phase <- Writing 0
+      | Some _ -> finish c (* connection refused/reset: record what we have (empty) *))
+    | Writing off -> (
+      let n = String.length c.req in
+      match Unix.write_substring c.fd c.req off (n - off) with
+      | k -> if off + k >= n then c.phase <- Reading else c.phase <- Writing (off + k)
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        (* server shed us before reading: switch to reading the 503 *)
+        c.phase <- Reading)
+    | Reading -> (
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> finish c
+      | k -> Buffer.add_subbytes c.recv chunk 0 k
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> finish c)
+  in
+  for client = 0 to clients - 1 do
+    fresh_conn client 0
+  done;
+  while Hashtbl.length live > 0 do
+    let rd = ref [] and wr = ref [] in
+    Hashtbl.iter
+      (fun fd c ->
+        match c.phase with
+        | Connecting | Writing _ -> wr := fd :: !wr
+        | Reading -> rd := fd :: !rd)
+      live;
+    match Unix.select !rd !wr [] 5.0 with
+    | [], [], [] ->
+      (* 5 s of total silence: the server is gone; drop everything *)
+      Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) live;
+      Hashtbl.reset live
+    | rds, wrs, _ ->
+      List.iter (fun fd -> match Hashtbl.find_opt live fd with Some c -> step c | None -> ()) wrs;
+      List.iter (fun fd -> match Hashtbl.find_opt live fd with Some c -> step c | None -> ()) rds
+  done;
+  let out = ref [] in
+  for client = clients - 1 downto 0 do
+    for seq = requests_per_client - 1 downto 0 do
+      match Hashtbl.find_opt results (client, seq) with
+      | Some o -> out := o :: !out
+      | None -> ()
+    done
+  done;
+  !out

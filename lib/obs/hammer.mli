@@ -1,0 +1,49 @@
+(** Load-generation HTTP client for the {!Expo} server — the
+    test/bench counterpart of the server, under the same no-dependency
+    constraint. One blocking request for tests ({!request}), and a
+    select(2)-multiplexed concurrent driver ({!drive}) that simulates
+    hundreds of clients from a single domain (a domain per client
+    would hit OCaml's ~128-domain process limit long before the
+    serving bench's client counts). *)
+
+(** A parsed reply: status code and body. A connection that died
+    before any bytes arrived parses as [{ r_status = 0; r_body = "" }]. *)
+type reply = { r_status : int; r_body : string }
+
+(** One completed request from {!drive}: which simulated client issued
+    it, its 0-based sequence number within that client, and the
+    reply. *)
+type outcome = {
+  o_client : int;
+  o_seq : int;
+  o_reply : reply;
+}
+
+(** [request ~port target] issues one blocking HTTP request over a
+    fresh connection to [host] (default 127.0.0.1) and reads to EOF.
+    [meth] defaults to [GET] ([POST] etc. with a [body] send
+    [Content-Length]). Raises [Unix.Unix_error] if the connect
+    fails. *)
+val request :
+  ?host:string -> port:int -> ?meth:string -> ?body:string -> string -> reply
+
+(** [drive ~port ~clients ~requests_per_client ~target ()] runs
+    [clients] simulated clients concurrently, each issuing
+    [requests_per_client] sequential requests (a client opens its next
+    connection only after its previous reply completes); [target
+    client seq] supplies [(meth, target, body)] for each request. All
+    connections are multiplexed on the calling domain. Returns one
+    {!outcome} per completed request in (client, seq) order — a
+    deterministic ordering regardless of arrival interleaving, so
+    callers can digest the bodies and compare against a sequential
+    run. Connections refused or reset before a reply yield
+    [r_status = 0]; if the server vanishes entirely, remaining
+    requests are dropped after a 5 s select timeout. *)
+val drive :
+  ?host:string ->
+  port:int ->
+  clients:int ->
+  requests_per_client:int ->
+  target:(int -> int -> string * string * string) ->
+  unit ->
+  outcome list

@@ -23,8 +23,18 @@ module Explain = Explain
 (** Structured JSONL query log sink. *)
 module Query_log = Query_log
 
-(** Minimal HTTP server exposing [/metrics] and [/healthz]. *)
+(** Minimal HTTP server exposing [/metrics] and [/healthz], with a
+    worker-pool fan-out and accept-time admission control. *)
 module Expo = Expo
+
+(** Load-generation HTTP client (blocking single requests plus a
+    select-multiplexed concurrent driver) for tests and the serving
+    bench. *)
+module Hammer = Hammer
+
+(** Per-query wall-clock / decoded-bytes budgets, armed per domain and
+    polled by the storage layer. *)
+module Budget = Budget
 
 (** Benchmark regression gate: tolerance-aware BENCH_results.json
     comparison. *)

@@ -188,8 +188,21 @@ let headers (t : t) : header array = Array.init (Array.length t.blocks) (header 
 (* Decode block [i] through the buffer pool. The decode thunk runs on
    whichever domain executes it (caller or a Domain_pool worker), so its
    trace span lands in that domain's ring buffer — which is what makes
-   decode parallelism visible in the chrome-trace export. *)
-let fetch_block ?admission (t : t) (i : int) : Buffer_pool.decoded =
+   decode parallelism visible in the chrome-trace export.
+
+   [budget] is the evaluating query's budget handle: when this call is
+   made directly it defaults to the calling domain's own armed budget,
+   but batch submission ([fetch_blocks]) must capture the handle up
+   front and pass it in, because the thunk then executes on a
+   Domain_pool worker whose DLS belongs to no query. Decoded bytes are
+   charged to that handle inside the thunk; the poll at entry is what
+   actually trips an exhausted budget (on the evaluating domain, where
+   the exception unwinds the query and not a pool worker's batch). *)
+let fetch_block ?admission ?budget (t : t) (i : int) : Buffer_pool.decoded =
+  let budget =
+    match budget with Some h -> h | None -> Xquec_obs.Budget.current ()
+  in
+  Xquec_obs.Budget.check budget;
   let b = t.blocks.(i) in
   Xquec_obs.Heat.note_touch ~uid:t.uid ~blk:i;
   Buffer_pool.fetch ?admission ~uid:t.uid ~gen:t.generation ~blk:i
@@ -203,6 +216,7 @@ let fetch_block ?admission (t : t) (i : int) : Buffer_pool.decoded =
       let d_bytes =
         Array.fold_left (fun acc c -> acc + String.length c + 16) 64 codes
       in
+      Xquec_obs.Budget.charge budget d_bytes;
       Buffer_pool.note_payload_decoded (String.length b.b_payload);
       Xquec_obs.Heat.note_decode ~uid:t.uid ~blk:i ~bytes:(String.length b.b_payload);
       if Xquec_obs.is_enabled () then begin
@@ -226,6 +240,11 @@ let fetch_blocks ?admission (t : t) ~(b0 : int) ~(b1 : int) :
   let n = b1 - b0 + 1 in
   if n <= 0 then [||]
   else begin
+    (* Captured here, on the evaluating domain: the per-block tasks run
+       on pool workers whose own DLS is unarmed. One poll up front trips
+       an already exhausted budget before any new decode is submitted. *)
+    let budget = Xquec_obs.Budget.current () in
+    Xquec_obs.Budget.check budget;
     let results : Buffer_pool.decoded option array = Array.make n None in
     if Domain_pool.size () > 0 && n > 1 then begin
       let absent = ref [] in
@@ -241,13 +260,15 @@ let fetch_blocks ?admission (t : t) ~(b0 : int) ~(b1 : int) :
         let tasks =
           Array.of_list
             (List.map
-               (fun k () -> results.(k) <- Some (fetch_block ?admission t (b0 + k)))
+               (fun k () -> results.(k) <- Some (fetch_block ?admission ~budget t (b0 + k)))
                ks)
         in
         Domain_pool.run tasks
     end;
     Array.init n (fun k ->
-        match results.(k) with Some d -> d | None -> fetch_block ?admission t (b0 + k))
+        match results.(k) with
+        | Some d -> d
+        | None -> fetch_block ?admission ~budget t (b0 + k))
   end
 
 (** Decode blocks [b0, b1] into the buffer pool (in parallel when a

@@ -180,7 +180,14 @@ val scan : t -> record array
     calling domain, with counters identical to the historical
     single-threaded path. Empty ranges ([b1 < b0]) yield [[||]].
     [?admission] (default {!Buffer_pool.Mru}) is the pool admission
-    policy for miss-decoded blocks. *)
+    policy for miss-decoded blocks.
+
+    Budget enforcement: the calling domain's armed
+    {!Xquec_obs.Budget} (if any) is polled at entry and at each block
+    fetch, and decoded bytes are charged to it — the handle is captured
+    here on the evaluating domain so charges attribute correctly even
+    when the decode itself runs on a pool worker. An exhausted budget
+    raises {!Xquec_obs.Budget.Exceeded} out of this call. *)
 val fetch_blocks :
   ?admission:Buffer_pool.admission -> t -> b0:int -> b1:int -> Buffer_pool.decoded array
 

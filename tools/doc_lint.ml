@@ -8,7 +8,23 @@
      ocaml tools/doc_lint.ml lib/storage lib/compress
 
    Exits 1 and lists the offenders if any exported item is undocumented;
-   `make docs` treats that as a build failure. *)
+   `make docs` treats that as a build failure.
+
+   Cross-reference mode (`--xref FILE.md`, repeatable): additionally
+   checks an operator document against the sources, so guides like
+   docs/SERVING.md cannot drift silently —
+
+   - every `--flag` token the document mentions must exist as a quoted
+     flag name somewhere under bin/, bench/ or tools/ (cmdliner
+     declares flags as [info [ "serve-workers" ]], the bench parses
+     "--scale" literals; both spellings are accepted);
+   - every `xquec_*` metric token must correspond to a metric-name
+     string literal in the sources: the exposition maps registry name
+     "a.b.c" to "xquec_a_b_c", so the token (minus the histogram
+     `_bucket`/`_sum`/`_count` suffixes and any label braces) must
+     match a literal with dots normalized to underscores, or extend
+     one (dynamically-suffixed families like "serve.budget." ^ kind
+     and per-container series match by prefix). *)
 
 let item_prefixes = [ "val "; "type "; "exception "; "external "; "module " ]
 
@@ -87,8 +103,168 @@ let check_file path =
   done;
   List.rev !missing
 
+(* --- markdown cross-reference ----------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* every .ml/.mli file under [roots], recursively *)
+let source_files roots =
+  let out = ref [] in
+  let rec walk dir =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Array.iter
+        (fun entry ->
+          let p = Filename.concat dir entry in
+          if Sys.is_directory p then (if entry <> "_build" then walk p)
+          else if Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli" then
+            out := p :: !out)
+        (Sys.readdir dir)
+  in
+  List.iter walk roots;
+  !out
+
+(* all double-quoted string literals in an OCaml source (good enough:
+   skips backslash escapes, does not exclude comments — a literal
+   inside a comment only widens what the doc may reference) *)
+let string_literals (src : string) : string list =
+  let out = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    if src.[!i] = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if src.[!i] = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf src.[!i + 1];
+          i := !i + 2
+        end
+        else if src.[!i] = '"' then fin := true
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      incr i;
+      out := Buffer.contents buf :: !out
+    end
+    else incr i
+  done;
+  !out
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_flag_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* `--flag-name` tokens in a markdown text *)
+let doc_flags (text : string) : string list =
+  let out = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i + 1 < n do
+    if text.[!i] = '-' && text.[!i + 1] = '-'
+       && (!i = 0 || not (is_flag_char text.[!i - 1] || text.[!i - 1] = '-'))
+    then begin
+      let j = ref (!i + 2) in
+      while !j < n && is_flag_char text.[!j] do incr j done;
+      let name = String.sub text (!i + 2) (!j - !i - 2) in
+      if String.length name >= 2 && name.[0] >= 'a' && name.[0] <= 'z' then
+        out := name :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !out
+
+(* `xquec_*` metric tokens in a markdown text *)
+let doc_metrics (text : string) : string list =
+  let out = ref [] in
+  let needle = "xquec_" in
+  let nl = String.length needle in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i + nl <= n do
+    if String.sub text !i nl = needle && (!i = 0 || not (is_word_char text.[!i - 1]))
+    then begin
+      let j = ref (!i + nl) in
+      while !j < n && is_word_char text.[!j] do incr j done;
+      out := String.sub text !i (!j - !i) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !out
+
+let strip_suffix s suf =
+  if Filename.check_suffix s suf then String.sub s 0 (String.length s - String.length suf)
+  else s
+
+let dots_to_underscores s = String.map (fun c -> if c = '.' then '_' else c) s
+
+let check_xref (md_path : string) : int =
+  let text = read_file md_path in
+  let sources = source_files [ "bin"; "lib"; "bench"; "tools" ] in
+  let literals = List.concat_map (fun f -> string_literals (read_file f)) sources in
+  (* flags: accept a literal "name" (cmdliner info) or "--name" (hand
+     parsers) *)
+  let lit_set = Hashtbl.create 1024 in
+  List.iter (fun l -> Hashtbl.replace lit_set l ()) literals;
+  let failures = ref 0 in
+  List.iter
+    (fun flag ->
+      if not (Hashtbl.mem lit_set flag || Hashtbl.mem lit_set ("--" ^ flag)) then begin
+        incr failures;
+        Printf.eprintf "%s: flag --%s not found in any source\n" md_path flag
+      end)
+    (doc_flags text);
+  (* metrics: normalized registry-name literals, matched exactly or by
+     prefix (dynamic suffixes, per-container families) *)
+  let norm_literals =
+    List.filter_map
+      (fun l ->
+        if String.length l >= 4 && (String.contains l '.' || String.contains l '_') then
+          Some (dots_to_underscores l)
+        else None)
+      literals
+  in
+  List.iter
+    (fun token ->
+      let core = String.sub token 6 (String.length token - 6) in
+      let core = strip_suffix (strip_suffix (strip_suffix core "_bucket") "_sum") "_count" in
+      let matched =
+        List.exists
+          (fun l ->
+            l = core
+            || String.length l >= 6
+               && String.length l < String.length core
+               && String.sub core 0 (String.length l) = l)
+          norm_literals
+      in
+      if not matched then begin
+        incr failures;
+        Printf.eprintf "%s: metric %s has no matching metric-name literal in the sources\n"
+          md_path token
+      end)
+    (doc_metrics text);
+  !failures
+
 let () =
-  let dirs = match Array.to_list Sys.argv with _ :: rest when rest <> [] -> rest | _ -> [ "lib" ] in
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let rec split dirs xrefs = function
+    | [] -> (List.rev dirs, List.rev xrefs)
+    | "--xref" :: f :: rest -> split dirs (f :: xrefs) rest
+    | "--xref" :: [] -> (List.rev dirs, List.rev xrefs)
+    | d :: rest -> split (d :: dirs) xrefs rest
+  in
+  let dirs, xrefs = split [] [] args in
+  let dirs = if dirs = [] then [ "lib" ] else dirs in
   let files =
     List.concat_map
       (fun dir ->
@@ -110,9 +286,17 @@ let () =
             Printf.eprintf "%s:%d: undocumented export: %s\n" f lnum decl)
           missing)
     files;
-  if !failures > 0 then begin
-    Printf.eprintf "doc lint: %d undocumented exports in %d files checked\n" !failures
-      (List.length files);
+  let xref_failures = List.fold_left (fun acc f -> acc + check_xref f) 0 xrefs in
+  if !failures > 0 || xref_failures > 0 then begin
+    if !failures > 0 then
+      Printf.eprintf "doc lint: %d undocumented exports in %d files checked\n" !failures
+        (List.length files);
+    if xref_failures > 0 then
+      Printf.eprintf "doc lint: %d stale references in %d markdown files\n" xref_failures
+        (List.length xrefs);
     exit 1
   end
-  else Printf.printf "doc lint: %d interface files clean\n" (List.length files)
+  else
+    Printf.printf "doc lint: %d interface files clean%s\n" (List.length files)
+      (if xrefs = [] then ""
+       else Printf.sprintf ", %d markdown files cross-checked" (List.length xrefs))

@@ -1,0 +1,120 @@
+(* Serving smoke check (`make serve-smoke`): start the real `xquec
+   serve` binary against a small repository, fire a burst of concurrent
+   requests at it through Xquec_obs.Hammer (the curl-equivalent), and
+   assert a clean shutdown on SIGTERM. This is the one place the whole
+   serving stack — CLI flag parsing, worker fan-out, admission, plan
+   cache, metrics endpoints, signal-driven teardown — runs as an
+   operator would run it, process boundary included.
+
+     serve_smoke XQUEC_EXE INPUT.xqc
+
+   Exit 0 on success; nonzero with a message on the first failed
+   assertion. *)
+
+let die fmt = Fmt.kstr (fun s -> prerr_endline ("serve_smoke: " ^ s); exit 1) fmt
+
+let () =
+  let exe, input =
+    match Sys.argv with
+    | [| _; exe; input |] -> (exe, input)
+    | _ -> die "usage: serve_smoke XQUEC_EXE INPUT.xqc"
+  in
+  (* port 0: the server picks a free port and prints it; modest worker
+     and admission settings so the flags themselves are exercised *)
+  let argv =
+    [|
+      exe; "serve"; input; "-p"; "0"; "--serve-workers"; "2"; "--max-inflight"; "32";
+      "--plan-cache"; "16";
+    |]
+  in
+  let out_read, out_write = Unix.pipe () in
+  let pid = Unix.create_process exe argv Unix.stdin out_write Unix.stderr in
+  Unix.close out_write;
+  let ic = Unix.in_channel_of_descr out_read in
+  (* first line announces the bound port:
+     "xquec serve: listening on http://127.0.0.1:NNNN (endpoints: ...)" *)
+  let port =
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    let rec find () =
+      if Unix.gettimeofday () > deadline then die "server did not announce a port in 30s";
+      match input_line ic with
+      | line -> (
+        match
+          let n = String.length line in
+          let rec last_colon i = if i < 0 then None else if line.[i] = ':' then Some i else last_colon (i - 1) in
+          if n > 0 && String.length line > 20
+             && (try String.sub line 0 26 = "xquec serve: listening on " with _ -> false)
+          then
+            (* strip everything after the port number *)
+            let upto = match String.index_opt line '(' with Some i -> i | None -> n in
+            let head = String.trim (String.sub line 0 upto) in
+            match last_colon (String.length head - 1) with
+            | Some c ->
+              int_of_string_opt (String.trim (String.sub head (c + 1) (String.length head - c - 1)))
+            | None -> None
+          else None
+        with
+        | Some p -> p
+        | None -> find ())
+      | exception End_of_file -> die "server exited before announcing a port"
+    in
+    find ()
+  in
+  Printf.printf "serve_smoke: server up on port %d\n%!" port;
+  (* health + one sequential query first, then the concurrent burst *)
+  let h = Xquec_obs.Hammer.request ~port "/healthz" in
+  if h.Xquec_obs.Hammer.r_status <> 200 then die "healthz returned %d" h.Xquec_obs.Hammer.r_status;
+  let q = "document(\"auction.xml\")/site/people/person[@id = \"person0\"]/name" in
+  let r = Xquec_obs.Hammer.request ~port ~meth:"POST" ~body:q "/query" in
+  if r.Xquec_obs.Hammer.r_status <> 200 then
+    die "query returned %d: %s" r.Xquec_obs.Hammer.r_status r.Xquec_obs.Hammer.r_body;
+  let reference = r.Xquec_obs.Hammer.r_body in
+  let clients = 20 and per_client = 3 in
+  let outcomes =
+    Xquec_obs.Hammer.drive ~port ~clients ~requests_per_client:per_client
+      ~target:(fun _ seq ->
+        if seq = 1 then ("GET", "/metrics", "") else ("POST", "/query", q))
+      ()
+  in
+  if List.length outcomes <> clients * per_client then
+    die "expected %d outcomes, got %d" (clients * per_client) (List.length outcomes);
+  List.iter
+    (fun (o : Xquec_obs.Hammer.outcome) ->
+      let rep = o.Xquec_obs.Hammer.o_reply in
+      if rep.Xquec_obs.Hammer.r_status <> 200 then
+        die "client %d seq %d: HTTP %d" o.Xquec_obs.Hammer.o_client
+          o.Xquec_obs.Hammer.o_seq rep.Xquec_obs.Hammer.r_status;
+      if o.Xquec_obs.Hammer.o_seq <> 1 && rep.Xquec_obs.Hammer.r_body <> reference then
+        die "client %d seq %d: result differs from the sequential reference"
+          o.Xquec_obs.Hammer.o_client o.Xquec_obs.Hammer.o_seq)
+    outcomes;
+  (* the /metrics replies must carry the serving series *)
+  let metrics_seen =
+    List.exists
+      (fun (o : Xquec_obs.Hammer.outcome) ->
+        o.Xquec_obs.Hammer.o_seq = 1
+        &&
+        let b = o.Xquec_obs.Hammer.o_reply.Xquec_obs.Hammer.r_body in
+        let needle = "xquec_serve_plan_cache_hits" in
+        let nl = String.length needle and bl = String.length b in
+        let rec scan i = i + nl <= bl && (String.sub b i nl = needle || scan (i + 1)) in
+        scan 0)
+      outcomes
+  in
+  if not metrics_seen then die "/metrics never exposed xquec_serve_plan_cache_hits";
+  Printf.printf "serve_smoke: %d concurrent requests ok (results consistent, metrics live)\n%!"
+    (clients * per_client);
+  (* clean shutdown: SIGTERM, then the process must go away *)
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WSIGNALED s when s = Sys.sigterm -> ()
+  | _, Unix.WEXITED 0 -> ()
+  | _, status ->
+    let describe = function
+      | Unix.WEXITED c -> Fmt.str "exited %d" c
+      | Unix.WSIGNALED s -> Fmt.str "killed by signal %d" s
+      | Unix.WSTOPPED s -> Fmt.str "stopped by signal %d" s
+    in
+    die "unclean shutdown: %s" (describe status));
+  close_in_noerr ic;
+  Printf.printf "serve_smoke: clean shutdown\n%!"
