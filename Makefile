@@ -17,11 +17,14 @@ build:
 	dune build
 
 # tier-1 gate: everything compiles and the full test suite passes,
-# including (called out explicitly because the fixture lives on disk)
-# the v1-format backward-compatibility read of test/fixtures/v1_small.xqc.
-# The storage suite runs twice more: with a 4-domain decode pool
-# (parallel block decode exercised everywhere) and with 0 domains (the
-# sequential fallback), which must both agree with the default run.
+# including (called out explicitly because the fixtures live on disk)
+# the v1- and v3-format backward-compatibility reads of
+# test/fixtures/v1_small.xqc and test/fixtures/v3_small.xqc.
+# The storage suite runs three times more: with a 4-domain decode pool
+# (parallel block decode exercised everywhere), with 0 domains (the
+# sequential fallback), and with XQUEC_FORMAT=v3 (the v4 kill switch:
+# freshly written images fall back to the packed record tree), all of
+# which must agree with the default run.
 # Finally the quick bench gate reruns the fast experiments and diffs
 # their counts and digests against the committed baseline, and a tiny
 # generate -> compress -> query -> profile round-trip asserts the
@@ -32,6 +35,8 @@ check:
 	cd test && dune exec ./test_main.exe -- test storage
 	cd test && XQUEC_DECODE_DOMAINS=4 dune exec ./test_main.exe -- test storage
 	cd test && XQUEC_DECODE_DOMAINS=0 dune exec ./test_main.exe -- test storage
+	cd test && XQUEC_FORMAT=v3 dune exec ./test_main.exe -- test storage
+	cd test && XQUEC_FORMAT=v3 dune exec ./test_main.exe -- test succinct
 	mkdir -p $(GATE_DIR)
 	dune exec bench/main.exe -- --json $(GATE_DIR)/quick.json $(GATE_QUICK_EXPERIMENTS) \
 	  > $(GATE_DIR)/quick.log
@@ -67,12 +72,14 @@ serve-smoke: build
 	dune exec tools/serve_smoke.exe -- _build/default/bin/xquec.exe $(GATE_DIR)/auction.xqc
 
 # documentation gate: every exported item in the storage, compress,
-# core and obs interfaces must carry an odoc comment (no odoc install
-# needed), and the operator guide's flags and metric names must all
-# resolve against the sources (--xref; see tools/doc_lint.ml)
+# core, obs, xquery and xmark interfaces must carry an odoc comment (no
+# odoc install needed), and the operator guide's flags/metric names and
+# the format reference's magics/flag constants must all resolve against
+# the sources (--xref; see tools/doc_lint.ml)
 docs: build
 	ocaml tools/doc_lint.ml lib/storage lib/compress lib/core lib/obs \
-	  --xref docs/SERVING.md
+	  lib/xquery lib/xmark \
+	  --xref docs/SERVING.md --xref docs/FORMATS.md
 
 bench:
 	dune exec bench/main.exe

@@ -194,8 +194,21 @@ let compress_cmd =
           ~doc:"File of XQuery queries (separated by lines containing ';;') used to choose \
                 the compression configuration (paper §3).")
   in
-  let run input output workload stats trace_out =
+  let format =
+    let format_conv =
+      Arg.enum [ ("v4", (`V4 : Storage.Repository.format)); ("v3", `V3) ]
+    in
+    Arg.(
+      value
+      & opt (some format_conv) None
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Repository format to write: $(b,v4) (succinct structure tree, the default) \
+                or $(b,v3) (packed record tree — the kill switch, also reachable via \
+                XQUEC_FORMAT=v3).")
+  in
+  let run input output workload format stats trace_out =
     with_telemetry ~stats ~trace_out @@ fun () ->
+    Option.iter Storage.Repository.set_default_format format;
     let xml = read_file input in
     let name = Filename.basename input in
     let engine = Xquec_core.Engine.load ~name ?workload:(read_workload workload) xml in
@@ -214,7 +227,7 @@ let compress_cmd =
     Fmt.pr "wrote %s@." out
   in
   Cmd.v (Cmd.info "compress" ~doc:"Compress an XML document into a queryable repository")
-    Term.(const run $ input $ output $ workload $ stats_flag $ trace_out)
+    Term.(const run $ input $ output $ workload $ format $ stats_flag $ trace_out)
 
 (* --- decompress ----------------------------------------------------- *)
 
@@ -456,11 +469,18 @@ let profile_cmd =
 let stats_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
   let run input =
-    let engine = Xquec_core.Engine.restore (read_file input) in
+    let data = read_file input in
+    let engine = Xquec_core.Engine.restore data in
     let repo = Xquec_core.Engine.repo engine in
     let sz = Xquec_core.Engine.size_breakdown engine in
+    let format =
+      if String.length data >= 4 && String.sub data 0 3 = "XQC" then
+        Printf.sprintf "v%d (magic XQC\\x%02x)" (Char.code data.[3]) (Char.code data.[3])
+      else "v1 (no magic)"
+    in
     Fmt.pr "source:              %s (%d bytes)@." repo.Storage.Repository.source_name
       repo.Storage.Repository.original_size;
+    Fmt.pr "format:              %s@." format;
     Fmt.pr "compression factor:  %.2f%%@." (100.0 *. Xquec_core.Engine.compression_factor engine);
     Fmt.pr "structure tree:      %d bytes (%d nodes)@." sz.Storage.Repository.tree_bytes
       (Storage.Structure_tree.node_count repo.Storage.Repository.tree);
@@ -470,7 +490,7 @@ let stats_cmd =
     Fmt.pr "source models:       %d bytes@." sz.Storage.Repository.models_bytes;
     Fmt.pr "structure summary:   %d bytes (%d paths)@." sz.Storage.Repository.summary_bytes
       (Storage.Summary.node_count repo.Storage.Repository.summary);
-    Fmt.pr "B+ index:            %d bytes@." sz.Storage.Repository.btree_bytes;
+    Fmt.pr "nav directories:     %d bytes@." sz.Storage.Repository.index_bytes;
     Fmt.pr "name dictionary:     %d bytes (%d names, %d bits/code)@."
       sz.Storage.Repository.name_dict_bytes
       (Storage.Name_dict.size repo.Storage.Repository.dict)

@@ -1141,9 +1141,18 @@ and eval_step_inner ctx env (b : binding) (st : Ast.step) : binding =
               in
               take lo []
             end
+            else if id = doc_node_id then
+              (* whole-document tag lookup straight off the wavelet tree *)
+              (match Structure_tree.node_count tree with
+              | 0 -> []
+              | _ ->
+                let rest = Structure_tree.descendants_with_tag tree 0 code in
+                if Structure_tree.tag tree 0 = code then 0 :: rest else rest)
             else
-              List.init (stop - first + 1) (fun i -> first + i)
-              |> List.filter (fun d -> Structure_tree.tag tree d = code))
+              (* no summary pruning available: wavelet rank/select over
+                 the subtree's pre-order interval instead of scanning
+                 every descendant *)
+              Structure_tree.descendants_with_tag tree id code)
         | Ast.Descendant, Ast.Any ->
           let (first, stop) = desc_range id in
           List.init (stop - first + 1) (fun i -> first + i)

@@ -36,16 +36,20 @@ let models (t : t) : (int * Compress.Codec.model) list =
 
 type size_breakdown = {
   name_dict_bytes : int;
-  tree_bytes : int;  (** packed (delta+varint) encoding — what v3 images store *)
+  tree_bytes : int;  (** succinct (BP + wavelet) encoding — what v4 images store *)
+  tree_packed_bytes : int;  (** packed (delta+varint) v3 encoding, for the fig6 delta *)
   tree_legacy_bytes : int;  (** plain-varint v2 encoding, kept for the fig6 delta *)
   containers_bytes : int;
   models_bytes : int;
   summary_bytes : int;
-  btree_bytes : int;
+  index_bytes : int;
+      (** navigation directories (rank/select + min-excess blocks), the v4
+          counterpart of the old B+ page index *)
   total_bytes : int;  (** everything: the full repository on storage *)
   essential_bytes : int;
       (** without access-support structures: containers + models + dict +
-          forward-only structure tree (no parent edges, no B+, no summary) *)
+          forward-only structure tree (no parent support, no directories,
+          no summary) *)
 }
 
 let buffer_size f =
@@ -55,7 +59,8 @@ let buffer_size f =
 
 let size_breakdown (t : t) : size_breakdown =
   let name_dict_bytes = Name_dict.serialized_size t.dict in
-  let tree_bytes = buffer_size (fun b -> Structure_tree.serialize_packed b t.tree) in
+  let tree_bytes = buffer_size (fun b -> Structure_tree.serialize_succinct b t.tree) in
+  let tree_packed_bytes = buffer_size (fun b -> Structure_tree.serialize_packed b t.tree) in
   let tree_legacy_bytes = buffer_size (fun b -> Structure_tree.serialize b t.tree) in
   let containers_bytes =
     Array.fold_left (fun acc c -> acc + buffer_size (fun b -> Container.serialize b c)) 0
@@ -65,27 +70,15 @@ let size_breakdown (t : t) : size_breakdown =
     List.fold_left (fun acc (_, m) -> acc + Compress.Codec.model_size m) 0 (models t)
   in
   let summary_bytes = buffer_size (fun b -> Summary.serialize b t.summary) in
-  let btree_bytes = Structure_tree.index_bytes t.tree in
+  let index_bytes = Structure_tree.index_bytes t.tree in
   let total_bytes =
     name_dict_bytes + tree_bytes + containers_bytes + models_bytes + summary_bytes
-    + btree_bytes
+    + index_bytes
   in
-  (* Essential = compressed values + models + dict + a forward-only tree.
-     The forward-only tree drops parent pointers, posts and value
-     back-pointers: roughly tag + child list per node. *)
-  let forward_tree_bytes =
-    let n = Structure_tree.node_count t.tree in
-    let buf = Buffer.create 4096 in
-    for id = 0 to n - 1 do
-      Compress.Rle.add_varint buf (Structure_tree.tag t.tree id);
-      let kids = Structure_tree.child_entries t.tree id in
-      Compress.Rle.add_varint buf (Array.length kids);
-      Array.iter
-        (fun c -> Compress.Rle.add_varint buf (if c >= 0 then 2 * (c - id) else (2 * -c) - 1))
-        kids
-    done;
-    Buffer.length buf
-  in
+  (* Essential = compressed values + models + dict + a forward-only tree
+     (shape bits + tags + marker info, no parent support, no value
+     back-pointers, no rank directories). *)
+  let forward_tree_bytes = Structure_tree.forward_only_bytes t.tree in
   let container_codes_bytes =
     Array.fold_left (fun acc c -> acc + Container.compressed_bytes c) 0 t.containers
   in
@@ -96,11 +89,12 @@ let size_breakdown (t : t) : size_breakdown =
     {
       name_dict_bytes;
       tree_bytes;
+      tree_packed_bytes;
       tree_legacy_bytes;
       containers_bytes;
       models_bytes;
       summary_bytes;
-      btree_bytes;
+      index_bytes;
       total_bytes;
       essential_bytes;
     }
@@ -125,21 +119,45 @@ let compression_factor (t : t) =
 (* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Format v2/v3 images start with a magic; v1 images start directly with
+(* Format v2+ images start with a magic; v1 images start directly with
    the varint-prefixed source name, whose length byte can never collide
-   with 'X'. v2 and v3 share the section layout; v3 adds one
+   with 'X'. v2, v3 and v4 share the section layout; v3 adds one
    format-flags byte right after the magic (bit 0 = structure tree
    stored in the packed delta+varint encoding) and always uses the
-   block container encoding. New images are written as v3 with the
-   packed tree; v1 (records inline) and v2 (block containers, legacy
-   tree) still load. *)
+   block container encoding; v4 keeps the flags byte and sets bit 1
+   instead (structure tree stored succinctly: BP bitvector + wavelet
+   tags). New images are written as v4 by default — the kill switch is
+   [set_default_format `V3] (the CLI's [--format v3]) or the
+   XQUEC_FORMAT=v3 environment variable. v1 (records inline), v2
+   (block containers, legacy tree) and v3 (packed tree) still load
+   byte-for-byte. *)
 let v2_magic = "XQC\x02"
 
 let v3_magic = "XQC\x03"
 
+let v4_magic = "XQC\x04"
+
 let flag_packed_tree = 1
 
-let serialize (t : t) : string =
+let flag_succinct_tree = 2
+
+type format = [ `V3 | `V4 ]
+
+let forced_format : format option ref = ref None
+
+let set_default_format f = forced_format := Some f
+
+let default_format () : format =
+  match !forced_format with
+  | Some f -> f
+  | None -> (
+    match Sys.getenv_opt "XQUEC_FORMAT" with
+    | Some "v3" -> `V3
+    | Some "v4" | None -> `V4
+    | Some other -> failwith (Printf.sprintf "XQUEC_FORMAT=%s: expected v3 or v4" other))
+
+let serialize ?format (t : t) : string =
+  let format = match format with Some f -> f | None -> default_format () in
   Xquec_obs.Trace.with_span ~name:"repository.serialize"
     ~attrs:[ ("source", t.source_name) ]
   @@ fun () ->
@@ -149,8 +167,13 @@ let serialize (t : t) : string =
     add_varint buf (String.length s);
     Buffer.add_string buf s
   in
-  Buffer.add_string buf v3_magic;
-  Buffer.add_char buf (Char.chr flag_packed_tree);
+  (match format with
+  | `V3 ->
+    Buffer.add_string buf v3_magic;
+    Buffer.add_char buf (Char.chr flag_packed_tree)
+  | `V4 ->
+    Buffer.add_string buf v4_magic;
+    Buffer.add_char buf (Char.chr flag_succinct_tree));
   add_str t.source_name;
   add_varint buf t.original_size;
   (* name dictionary *)
@@ -177,7 +200,9 @@ let serialize (t : t) : string =
     ms;
   (* summary first: tree value pointers are resolved against it on load *)
   Summary.serialize buf t.summary;
-  Structure_tree.serialize_packed buf t.tree;
+  (match format with
+  | `V3 -> Structure_tree.serialize_packed buf t.tree
+  | `V4 -> Structure_tree.serialize_succinct buf t.tree);
   add_varint buf (Array.length t.containers);
   Array.iter (fun c -> Container.serialize buf c) t.containers;
   Buffer.contents buf
@@ -189,14 +214,17 @@ let deserialize (s : string) : t =
   let has_magic m =
     String.length s >= String.length m && String.equal (String.sub s 0 (String.length m)) m
   in
-  let is_v2 = has_magic v2_magic and is_v3 = has_magic v3_magic in
+  let is_v2 = has_magic v2_magic
+  and is_v3 = has_magic v3_magic
+  and is_v4 = has_magic v4_magic in
+  let has_any_magic = is_v2 || is_v3 || is_v4 in
   let container_deserialize =
-    if is_v2 || is_v3 then Container.deserialize else Container.deserialize_v1
+    if has_any_magic then Container.deserialize else Container.deserialize_v1
   in
   let read_varint = Compress.Rle.read_varint in
-  let pos = ref (if is_v2 || is_v3 then String.length v2_magic else 0) in
+  let pos = ref (if has_any_magic then String.length v2_magic else 0) in
   let format_flags =
-    if is_v3 then begin
+    if is_v3 || is_v4 then begin
       let f = Char.code s.[!pos] in
       incr pos;
       f
@@ -204,7 +232,8 @@ let deserialize (s : string) : t =
     else 0
   in
   let tree_deserialize =
-    if format_flags land flag_packed_tree <> 0 then Structure_tree.deserialize_packed
+    if format_flags land flag_succinct_tree <> 0 then Structure_tree.deserialize_succinct
+    else if format_flags land flag_packed_tree <> 0 then Structure_tree.deserialize_packed
     else Structure_tree.deserialize
   in
   let str () =

@@ -1,66 +1,113 @@
-(* Structure tree (§2.2): one record per non-value node (element or
-   attribute), holding its ID, tag code, children IDs and (redundantly)
-   its parent ID, plus pointers to its text/attribute values in their
-   containers. IDs are pre-order ranks, so they coincide with document
-   order; the (pre, post, level) triple also realizes the paper's
-   future-work 3-valued structural ids. *)
+(* Structure tree (§2.2), succinct edition (repository format v4): the
+   document shape lives in a balanced-parentheses bitvector
+   ({!Bp_tree}), tag codes in a wavelet tree keyed off the name
+   dictionary, and only the value pointers and text-marker positions
+   remain as per-node data. IDs are pre-order ranks, so they coincide
+   with document order and with the open-paren ranks of the BP
+   sequence; the (pre, post, level) triple of the paper's future-work
+   3-valued structural ids is answered by rank/select instead of being
+   stored.
+
+   Child entries interleave element/attribute node ids (>= 0) with text
+   markers (< 0): marker -(slot+1) points at the node's value pointer
+   [slot]. Markers always reference slots 0, 1, ... in document order
+   (the SAX loader emits them that way), so the succinct form only
+   records how many element children precede each marker. *)
 
 type t = {
-  tags : int array;                 (* name-dictionary code per node *)
-  parents : int array;              (* -1 for the root *)
-  posts : int array;                (* post-order rank *)
-  levels : int array;               (* root = 0 *)
-  children : int array array;
-      (* child entries in document order: an entry >= 0 is a child
-         element/attribute node id; an entry < 0 is a text marker
-         -(slot+1) indexing into this node's [values] *)
+  bp : Bp_tree.t;  (* shape: one '(' ')' pair per element/attribute *)
+  tags : Bitvec.Wavelet.t;  (* name-dictionary code per node, pre-order *)
+  marks : int array array;
+      (* per node: for text marker slot s, the number of child element
+         entries before it in document order (non-decreasing) *)
   values : (int * int) array array; (* (container id, record index) per node *)
-  lasts : int array;                (* last descendant (pre id) per node *)
-  index : int Btree.t;
-      (* B+ access structure over the record sequence: sparse, one entry
-         per page of [page_records] records, mapping the page's first
-         node id to its slot *)
 }
 
-let page_records = 64
+let node_count t = Bp_tree.node_count t.bp
 
-let build_index n =
-  let pages = (n + page_records - 1) / page_records in
-  Btree.of_sorted_array (Array.init pages (fun p -> (p * page_records, p * page_records)))
-
-let node_count t = Array.length t.tags
-
-let tag t id = t.tags.(id)
-let parent t id = t.parents.(id)
-let level t id = t.levels.(id)
+let tag t id = Bitvec.Wavelet.access t.tags id
+let parent t id = Bp_tree.parent t.bp id
+let level t id = Bp_tree.depth t.bp id
 let value_pointers t id = t.values.(id)
 
-(** Raw child entries (node ids and text markers), document order. *)
-let child_entries t id = t.children.(id)
-
 (** Child element/attribute node ids only, document order. *)
-let child_nodes t id =
-  Array.to_list t.children.(id) |> List.filter (fun c -> c >= 0)
+let child_nodes t id = Bp_tree.children t.bp id
+
+(** First child element/attribute node, if any (always [id + 1]). *)
+let first_child t id = Bp_tree.first_child t.bp id
+
+(** Next sibling element/attribute node, if any. *)
+let next_sibling t id = Bp_tree.next_sibling t.bp id
+
+(** Nodes in the subtree of [id], including [id]. *)
+let subtree_size t id = Bp_tree.subtree_size t.bp id
+
+(** Raw child entries (node ids and text markers), document order —
+    reconstructed by merging the BP children with the marker
+    positions. *)
+let child_entries t id =
+  let kids = Array.of_list (Bp_tree.children t.bp id) in
+  let mk = t.marks.(id) in
+  let m = Array.length mk in
+  if m = 0 then kids
+  else begin
+    let c = Array.length kids in
+    let out = Array.make (c + m) 0 in
+    let ci = ref 0 and oi = ref 0 in
+    for s = 0 to m - 1 do
+      while !ci < mk.(s) do
+        out.(!oi) <- kids.(!ci);
+        incr ci;
+        incr oi
+      done;
+      out.(!oi) <- -(s + 1);
+      incr oi
+    done;
+    while !ci < c do
+      out.(!oi) <- kids.(!ci);
+      incr ci;
+      incr oi
+    done;
+    out
+  end
 
 let structural_id t id =
-  Ids.Structural.make ~pre:id ~post:t.posts.(id) ~level:t.levels.(id)
+  Ids.Structural.make ~pre:id ~post:(Bp_tree.post_rank t.bp id)
+    ~level:(Bp_tree.depth t.bp id)
 
-(** Constant-time ancestor test via the structural id extension. *)
+(** Strict-ancestor test by pre-order interval containment (one
+    findclose on the candidate ancestor). *)
 let is_ancestor t ~ancestor ~descendant =
-  ancestor < descendant && t.posts.(ancestor) > t.posts.(descendant)
+  Bp_tree.is_ancestor t.bp ~ancestor ~descendant
 
 (** children with a given tag code, preserving document order. *)
 let children_with_tag t id tag_code =
-  child_nodes t id |> List.filter (fun c -> t.tags.(c) = tag_code)
+  child_nodes t id |> List.filter (fun c -> Bitvec.Wavelet.access t.tags c = tag_code)
 
 (** Last descendant (pre id) of [id]: descendants are exactly the pre ids
     in (id, last_descendant id]. *)
-let last_descendant t id = t.lasts.(id)
+let last_descendant t id = Bp_tree.last_descendant t.bp id
 
 (** All descendants of [id] (excluding [id]), document order. *)
 let descendants t id =
-  let stop = t.lasts.(id) in
+  let stop = last_descendant t id in
   List.init (stop - id) (fun i -> id + 1 + i)
+
+(** Descendants of [id] carrying [tag_code], document order, by
+    wavelet-tree rank/select over the subtree's pre-order interval —
+    O(occurrences * width) instead of a scan of the whole subtree. *)
+let descendants_with_tag t id tag_code =
+  let stop = last_descendant t id in
+  let acc = ref [] in
+  let k = ref (Bitvec.Wavelet.rank t.tags ~code:tag_code (id + 1)) in
+  let continue = ref true in
+  while !continue do
+    incr k;
+    match Bitvec.Wavelet.select t.tags ~code:tag_code !k with
+    | Some p when p <= stop -> acc := p :: !acc
+    | _ -> continue := false
+  done;
+  List.rev !acc
 
 (** Rewrite value pointers after containers were recompressed (their
     records re-sorted): [remap cont_id] returns the old-to-new index
@@ -80,73 +127,119 @@ let remap_values (t : t) (remap : int -> int array option) : unit =
         ptrs)
     t.values
 
-(** Look a node up through the B+ index (the honest access path used when
-    the tree is on storage): sparse index to the page, then an in-page
-    scan. Array indexing is its in-memory shortcut. *)
+(** Look a node up through the succinct directory (the honest on-storage
+    access path): select1 to the node's open parenthesis, rank1 back to
+    its pre rank. Array indexing is its in-memory shortcut. *)
 let find t id =
   if id < 0 || id >= node_count t then None
-  else
-    match Btree.find_le t.index id with
-    | Some (_, page_start) ->
-      let rec scan slot = if slot = id then Some slot else scan (slot + 1) in
-      scan page_start
-    | None -> None
+  else Some (Bp_tree.node_of_open t.bp (Bp_tree.pos_of_node t.bp id))
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared assembly: turn explicit per-node arrays (from the builder or
+   from a v1/v2/v3 image) into the succinct form, validating the
+   pre-order and marker invariants the bitvector encoding relies on. *)
+let of_arrays ~(tags : int array) ~(parents : int array)
+    ~(children : int array array) ~(values : (int * int) array array) : t =
+  let n = Array.length tags in
+  (* text-marker positions, checking markers are sequential per node *)
+  let marks =
+    Array.mapi
+      (fun id entries ->
+        let m = Array.fold_left (fun acc e -> if e < 0 then acc + 1 else acc) 0 entries in
+        if m > Array.length values.(id) then
+          failwith "structure_tree: text marker without value";
+        let mk = Array.make m 0 in
+        let mi = ref 0 and ci = ref 0 in
+        Array.iter
+          (fun e ->
+            if e >= 0 then incr ci
+            else begin
+              if -e - 1 <> !mi then failwith "structure_tree: non-sequential text markers";
+              mk.(!mi) <- !ci;
+              incr mi
+            end)
+          entries;
+        mk)
+      children
+  in
+  (* balanced-parentheses bits by an explicit-stack DFS over the child
+     lists, checking ids really are pre-order ranks *)
+  let data = Bytes.make (((2 * n) + 7) / 8) '\000' in
+  let pos = ref 0 in
+  let emit_open () =
+    Bytes.set data (!pos lsr 3)
+      (Char.chr (Char.code (Bytes.get data (!pos lsr 3)) lor (1 lsl (!pos land 7))));
+    incr pos
+  in
+  let next = ref 0 in
+  let visit stack id par =
+    if id >= n || id <> !next then failwith "structure_tree: children not in pre-order";
+    if parents.(id) <> par then failwith "structure_tree: parent pointer mismatch";
+    incr next;
+    emit_open ();
+    stack := (id, ref 0) :: !stack
+  in
+  if n > 0 then begin
+    let stack = ref [] in
+    visit stack 0 (-1);
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (id, k) :: rest ->
+        let entries = children.(id) in
+        while !k < Array.length entries && entries.(!k) < 0 do
+          incr k
+        done;
+        if !k < Array.length entries then begin
+          let c = entries.(!k) in
+          incr k;
+          visit stack c id
+        end
+        else begin
+          incr pos (* close: bit stays 0 *);
+          stack := rest
+        end
+    done;
+    if !next <> n then failwith "structure_tree: disconnected nodes"
+  end;
+  let bp = Bp_tree.of_bits (Bitvec.of_bytes ~len:(2 * n) data) in
+  let width = Bitvec.Wavelet.width_for (Array.fold_left max 0 tags) in
+  { bp; tags = Bitvec.Wavelet.build ~width tags; marks; values }
 
 type builder = {
-  mutable b_tags : int list;    (* reversed: id order *)
+  mutable b_tags : int list; (* reversed: id order *)
   mutable b_parents : int list;
-  mutable b_posts : (int * int) list; (* (id, post) in completion order *)
-  mutable b_levels : int list;
   mutable next_id : int;
-  mutable next_post : int;
 }
 
-let builder () =
-  { b_tags = []; b_parents = []; b_posts = []; b_levels = []; next_id = 0; next_post = 0 }
+let builder () = { b_tags = []; b_parents = []; next_id = 0 }
 
-(* The builder is driven in document order: open_node returns the fresh id;
-   close_node assigns the post rank. The loader accumulates child lists and
-   value pointers itself (it knows them only as parsing proceeds) and hands
-   them to [finish] as reversed per-node lists. *)
+(* The builder is driven in document order: open_node returns the fresh id.
+   The loader accumulates child lists and value pointers itself (it knows
+   them only as parsing proceeds) and hands them to [finish] as reversed
+   per-node lists; post ranks and levels are implicit in the BP shape. *)
 let open_node (b : builder) ~tag ~parent ~level : int =
+  ignore level;
   let id = b.next_id in
   b.next_id <- id + 1;
   b.b_tags <- tag :: b.b_tags;
   b.b_parents <- parent :: b.b_parents;
-  b.b_levels <- level :: b.b_levels;
   id
 
-let close_node (b : builder) ~id =
-  b.b_posts <- (id, b.next_post) :: b.b_posts;
-  b.next_post <- b.next_post + 1
+let close_node (b : builder) ~id = ignore (b, id)
 
 let next_id (b : builder) = b.next_id
 
-(* last descendant per node, computed bottom-up (ids are pre-order, so a
-   node's children have larger ids and are already resolved when we walk
-   ids in decreasing order). *)
-let compute_lasts (children : int array array) : int array =
-  let n = Array.length children in
-  let lasts = Array.make n 0 in
-  for id = n - 1 downto 0 do
-    let last = ref id in
-    Array.iter (fun c -> if c >= 0 && lasts.(c) > !last then last := lasts.(c)) children.(id);
-    lasts.(id) <- !last
-  done;
-  lasts
-
 let finish (b : builder) ~(rev_children : int list array)
     ~(rev_values : (int * int) list array) : t =
-  let n = b.next_id in
   let tags = Array.of_list (List.rev b.b_tags) in
   let parents = Array.of_list (List.rev b.b_parents) in
-  let levels = Array.of_list (List.rev b.b_levels) in
-  let posts = Array.make n 0 in
-  List.iter (fun (id, post) -> posts.(id) <- post) b.b_posts;
   let children = Array.map (fun l -> Array.of_list (List.rev l)) rev_children in
   let values = Array.map (fun l -> Array.of_list (List.rev l)) rev_values in
-  let lasts = compute_lasts children in
-  { tags; parents; posts; levels; children; values; lasts; index = build_index n }
+  of_arrays ~tags ~parents ~children ~values
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
@@ -156,18 +249,18 @@ let serialize buf (t : t) =
   let add_varint = Compress.Rle.add_varint in
   let n = node_count t in
   add_varint buf n;
-  (* posts, levels and lasts are recomputed at load time; the record
-     stores tag, (redundant) parent pointer, child entries and value
-     pointers, as in the paper. *)
+  (* the legacy record stores tag, (redundant) parent pointer, child
+     entries and value pointers, as in the paper *)
   for id = 0 to n - 1 do
-    add_varint buf t.tags.(id);
-    add_varint buf (id - t.parents.(id));
-    add_varint buf (Array.length t.children.(id));
+    add_varint buf (tag t id);
+    add_varint buf (id - parent t id);
+    let kids = child_entries t id in
+    add_varint buf (Array.length kids);
     (* child node ids are > id: delta-encode against id (even codes);
        text markers are encoded as odd codes *)
     Array.iter
       (fun c -> add_varint buf (if c >= 0 then 2 * (c - id) else (2 * -c) - 1))
-      t.children.(id);
+      kids;
     add_varint buf (Array.length t.values.(id));
     (* the container id is derivable from the node's summary path, so
        only the record index is stored *)
@@ -179,41 +272,77 @@ let serialize buf (t : t) =
    varint deltas via {!Compress.Ipack.add_deltas}. Successive child
    entries of one node have codes [2 * (c - id)] that grow by twice the
    subtree size of each sibling, so the deltas stay small no matter how
-   wide the fan-out — the dominant cost of the legacy format on nodes
-   like /site/people. Value record indices are ascending per node, so
-   they delta-pack too. *)
+   wide the fan-out. *)
 let serialize_packed buf (t : t) =
   let add_varint = Compress.Rle.add_varint in
   let n = node_count t in
   add_varint buf n;
   for id = 0 to n - 1 do
-    add_varint buf t.tags.(id);
-    add_varint buf (id - t.parents.(id));
+    add_varint buf (tag t id);
+    add_varint buf (id - parent t id);
     Compress.Ipack.add_deltas buf
       (Array.map
          (fun c -> if c >= 0 then 2 * (c - id) else (2 * -c) - 1)
-         t.children.(id));
+         (child_entries t id));
     Compress.Ipack.add_deltas buf (Array.map snd t.values.(id))
   done
 
-(* Both readers share the post/level/lasts reconstruction; they differ
-   only in how one node record is decoded. *)
-let finish_arrays ~tags ~parents ~children ~values : t =
-  let n = Array.length tags in
-  let lasts = compute_lasts children in
-  (* recompute posts and levels by a DFS over the children structure *)
-  let posts = Array.make n 0 in
-  let levels = Array.make n 0 in
-  let next_post = ref 0 in
-  let rec dfs id level =
-    levels.(id) <- level;
-    Array.iter (fun c -> if c >= 0 then dfs c (level + 1)) children.(id);
-    posts.(id) <- !next_post;
-    incr next_post
-  in
-  if n > 0 then dfs 0 0;
-  { tags; parents; posts; levels; children; values; lasts; index = build_index n }
+(* Succinct variant (repository format v4): the shape as the raw BP
+   bitvector, tags as the wavelet tree's level bitvectors, then per
+   node its value record indices (delta-packed), its marker count when
+   it has values at all, and explicit marker positions only for mixed
+   content (both markers and element children). Parent pointers, child
+   lists, post ranks and the B+ page index are not stored — navigation
+   rebuilds them from rank/select directories at load time. *)
+let serialize_succinct buf (t : t) =
+  let add_varint = Compress.Rle.add_varint in
+  let n = node_count t in
+  add_varint buf n;
+  Bitvec.serialize buf (Bp_tree.bits t.bp);
+  Bitvec.Wavelet.serialize buf t.tags;
+  for id = 0 to n - 1 do
+    Compress.Ipack.add_deltas buf (Array.map snd t.values.(id));
+    if Array.length t.values.(id) > 0 then begin
+      let m = Array.length t.marks.(id) in
+      add_varint buf m;
+      if m > 0 && Bp_tree.degree t.bp id > 0 then
+        Compress.Ipack.add_deltas buf t.marks.(id)
+    end
+  done
 
+let deserialize_succinct (s : string) (pos : int) : t * int =
+  let read_varint = Compress.Rle.read_varint in
+  let (n, pos) = read_varint s pos in
+  let (bits, pos) = Bitvec.deserialize s pos in
+  if Bitvec.length bits <> 2 * n then failwith "structure_tree: BP length mismatch";
+  let bp = Bp_tree.of_bits bits in
+  let (tags, pos) = Bitvec.Wavelet.deserialize s pos in
+  if Bitvec.Wavelet.length tags <> n then failwith "structure_tree: tag count mismatch";
+  let values = Array.make n [||] in
+  let marks = Array.make n [||] in
+  let pos = ref pos in
+  for id = 0 to n - 1 do
+    let (idxs, p) = Compress.Ipack.read_deltas s !pos in
+    pos := p;
+    (* container ids are re-resolved against the structure summary by the
+       repository loader; -1 is the placeholder *)
+    values.(id) <- Array.map (fun idx -> (-1, idx)) idxs;
+    if Array.length idxs > 0 then begin
+      let (m, p) = read_varint s !pos in
+      pos := p;
+      if m > 0 && Bp_tree.degree bp id > 0 then begin
+        let (mk, p) = Compress.Ipack.read_deltas s !pos in
+        pos := p;
+        if Array.length mk <> m then failwith "structure_tree: marker count mismatch";
+        marks.(id) <- mk
+      end
+      else marks.(id) <- Array.make m 0
+    end
+  done;
+  ({ bp; tags; marks; values }, !pos)
+
+(* Both explicit-record readers share the array assembly; they differ
+   only in how one node record is decoded. *)
 let deserialize (s : string) (pos : int) : t * int =
   let read_varint = Compress.Rle.read_varint in
   let (n, pos) = read_varint s pos in
@@ -235,8 +364,6 @@ let deserialize (s : string) (pos : int) : t * int =
     in
     let (nv, np) = read_varint s !p in
     p := np;
-    (* container ids are re-resolved against the structure summary by the
-       repository loader; -1 is the placeholder *)
     let vals =
       Array.init nv (fun _ ->
           let (idx, np) = read_varint s !p in
@@ -249,7 +376,7 @@ let deserialize (s : string) (pos : int) : t * int =
     values.(id) <- vals;
     pos := !p
   done;
-  (finish_arrays ~tags ~parents ~children ~values, !pos)
+  (of_arrays ~tags ~parents ~children ~values, !pos)
 
 let deserialize_packed (s : string) (pos : int) : t * int =
   let read_varint = Compress.Rle.read_varint in
@@ -271,8 +398,26 @@ let deserialize_packed (s : string) (pos : int) : t * int =
     values.(id) <- Array.map (fun idx -> (-1, idx)) idxs;
     pos := p
   done;
-  (finish_arrays ~tags ~parents ~children ~values, !pos)
+  (of_arrays ~tags ~parents ~children ~values, !pos)
 
-(** Size of the B+ access structure alone (for the §2.2 occupancy
-    breakdown). *)
-let index_bytes (t : t) = Btree.byte_size t.index ~value_bytes:(fun _ -> 4)
+(** Forward-only tree bytes for the essential-size experiment: shape
+    bits, tag levels and text-marker info, without parent support or
+    value back-pointers (and without any rank directory). *)
+let forward_only_bytes (t : t) =
+  let buf = Buffer.create 4096 in
+  Compress.Rle.add_varint buf (node_count t);
+  Bitvec.serialize buf (Bp_tree.bits t.bp);
+  Bitvec.Wavelet.serialize buf t.tags;
+  for id = 0 to node_count t - 1 do
+    let m = Array.length t.marks.(id) in
+    Compress.Rle.add_varint buf m;
+    if m > 0 && Bp_tree.degree t.bp id > 0 then Compress.Ipack.add_deltas buf t.marks.(id)
+  done;
+  Buffer.length buf
+
+(** Size of the navigation directories alone (rank/select and
+    minimum-excess blocks over the BP bits and tag levels) — the v4
+    counterpart of the old B+ page index for the §2.2 occupancy
+    breakdown. *)
+let index_bytes (t : t) =
+  Bp_tree.overhead_bytes t.bp + Bitvec.Wavelet.overhead_bytes t.tags

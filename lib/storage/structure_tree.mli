@@ -1,11 +1,14 @@
-(** Structure tree (§2.2): one record per non-value node, holding tag
-    code, (redundant) parent pointer, child entries and value pointers.
-    Ids are pre-order ranks; (pre, post, level) realizes the paper's
-    3-valued structural ids. Child entries interleave element/attribute
-    node ids (>= 0) with text markers (< 0, indexing the node's value
-    pointers) so documents reconstruct in exact order. *)
+(** Structure tree (§2.2), succinct edition: the document shape as a
+    balanced-parentheses bitvector, tag codes in a wavelet tree, value
+    pointers and text-marker positions as the only per-node data. Ids
+    are pre-order ranks; (pre, post, level) realizes the paper's
+    3-valued structural ids via rank/select. Child entries interleave
+    element/attribute node ids (>= 0) with text markers (< 0, indexing
+    the node's value pointers) so documents reconstruct in exact
+    order. *)
 
-(** The immutable structure tree; node ids are pre-order ranks. *)
+(** The structure tree; node ids are pre-order ranks. Value pointers
+    are mutable (for container recompression); the shape is not. *)
 type t
 
 (** Number of element/attribute nodes. *)
@@ -29,10 +32,20 @@ val child_entries : t -> int -> int array
 (** Child element/attribute node ids only. *)
 val child_nodes : t -> int -> int list
 
+(** First child element/attribute node, if any; always [id + 1] when
+    present (pre-order numbering). *)
+val first_child : t -> int -> int option
+
+(** Next sibling element/attribute node in document order, if any. *)
+val next_sibling : t -> int -> int option
+
+(** Nodes in a node's subtree, itself included. *)
+val subtree_size : t -> int -> int
+
 (** The (pre, post, level) identifier of a node. *)
 val structural_id : t -> int -> Ids.Structural.t
 
-(** Constant-time strict-ancestor test via pre/post ranks. *)
+(** Strict-ancestor test by pre-order interval containment. *)
 val is_ancestor : t -> ancestor:int -> descendant:int -> bool
 
 (** [children_with_tag t node tag]: child node ids carrying [tag],
@@ -45,6 +58,11 @@ val last_descendant : t -> int -> int
 (** All proper descendants of a node, document order. *)
 val descendants : t -> int -> int list
 
+(** [descendants_with_tag t node tag]: proper descendants carrying
+    [tag], document order, answered by wavelet-tree rank/select over
+    the subtree's pre-order interval rather than a subtree scan. *)
+val descendants_with_tag : t -> int -> int -> int list
+
 (** Rewrite value pointers after containers were recompressed. *)
 val remap_values : t -> (int -> int array option) -> unit
 
@@ -52,8 +70,8 @@ val remap_values : t -> (int -> int array option) -> unit
     splitting containers during recompression). *)
 val set_value_container : t -> node:int -> slot:int -> container:int -> unit
 
-(** Lookup through the sparse B+ page index (the honest on-storage
-    access path). *)
+(** Lookup through the succinct directory (select1 to the open paren,
+    rank1 back) — the honest on-storage access path. *)
 val find : t -> int -> int option
 
 (** {2 Document-order construction} *)
@@ -67,21 +85,23 @@ val builder : unit -> builder
 (** Register a node at element open; returns its (pre-order) id. *)
 val open_node : builder -> tag:int -> parent:int -> level:int -> int
 
-(** Register the element close, fixing the node's post rank. *)
+(** Register the element close. Post ranks are implicit in the
+    balanced-parentheses shape; this is kept for interface symmetry. *)
 val close_node : builder -> id:int -> unit
 
 (** The id the next {!open_node} will return. *)
 val next_id : builder -> int
 
-(** Freeze into an immutable tree. [rev_children] and [rev_values] hold
+(** Freeze into the succinct tree. [rev_children] and [rev_values] hold
     each node's child entries and value pointers in reverse document
-    order (as accumulated by the loader). *)
+    order (as accumulated by the loader). Raises [Failure] if child
+    ids are not pre-order ranks or text markers are not sequential. *)
 val finish :
   builder -> rev_children:int list array -> rev_values:(int * int) list array -> t
 
 (** Append the tree's legacy (plain-varint, repository v2) serialized
     form to the buffer. Kept for v2 read-compat and for measuring the
-    packing gain; new images use {!serialize_packed}. *)
+    packing gain. *)
 val serialize : Buffer.t -> t -> unit
 
 (** [deserialize s pos] parses a legacy (v2) tree at offset [pos],
@@ -92,14 +112,29 @@ val deserialize : string -> int -> t * int
 (** Append the packed (repository v3) form: per node, tag and parent
     delta as plain varints, then child-entry codes and value record
     indices as zigzag delta+varint sequences
-    ({!Compress.Ipack.add_deltas}) — successive sibling codes differ by
-    twice the sibling's subtree size, so wide fan-out nodes shrink to
-    ~1 byte per child. Decodes to exactly the same tree as
-    {!serialize}. *)
+    ({!Compress.Ipack.add_deltas}). Decodes to exactly the same tree
+    as {!serialize}. *)
 val serialize_packed : Buffer.t -> t -> unit
 
 (** Invert {!serialize_packed}. Raises [Failure] on corrupt input. *)
 val deserialize_packed : string -> int -> t * int
 
-(** Size of the B+ access structure (for the §2.2 breakdown). *)
+(** Append the succinct (repository v4) form: node count, the raw BP
+    bitvector, the wavelet tag levels, then per node its delta-packed
+    value record indices, marker count (only when it has values) and
+    explicit marker positions (only for mixed content). No parent
+    pointers, child lists, post ranks or page index are stored. *)
+val serialize_succinct : Buffer.t -> t -> unit
+
+(** Invert {!serialize_succinct}. Raises [Failure] on corrupt input. *)
+val deserialize_succinct : string -> int -> t * int
+
+(** Forward-only tree bytes for the essential-size experiment: shape
+    bits + tag levels + marker info, no parent support, no value
+    back-pointers, no rank directories. *)
+val forward_only_bytes : t -> int
+
+(** Size of the navigation directories (rank/select + min-excess blocks)
+    — the v4 counterpart of the old B+ page index in the §2.2
+    breakdown. *)
 val index_bytes : t -> int

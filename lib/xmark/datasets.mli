@@ -1,12 +1,24 @@
 (** Synthetic stand-ins for the real-life corpora of Table 1 /
     Fig. 6-left, matching each original's structural profile. *)
 
+(** [shakespeare ~scale ()] generates a play collection (deep mixed
+    content: LINE text under SPEECH/ACT/PLAY); [scale] is roughly
+    megabytes of output and [seed] fixes the PRNG (default 42). *)
 val shakespeare : ?seed:int -> scale:float -> unit -> string
 
+(** [course ~scale ()] generates a university course catalog (shallow,
+    attribute-heavy records), same [scale]/[seed] conventions as
+    {!shakespeare}. *)
 val course : ?seed:int -> scale:float -> unit -> string
 
+(** [baseball ~scale ()] generates season statistics (wide flat
+    records of numeric fields), same [scale]/[seed] conventions as
+    {!shakespeare}. *)
 val baseball : ?seed:int -> scale:float -> unit -> string
 
+(** A named generated document of the corpus. *)
 type dataset = { name : string; xml : string }
 
+(** The full Fig. 6-left corpus at the default benchmark scales, in
+    table order — one {!dataset} per generator above. *)
 val real_life_corpus : unit -> dataset list

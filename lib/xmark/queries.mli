@@ -1,6 +1,9 @@
 (** The XMark query set (Q1-Q20) in the XQuery subset; adaptations from
     the originals are recorded per query. *)
 
+(** One benchmark query: [id] is the XMark name ("Q1".."Q20"), [text]
+    the runnable query, and [adapted] records how it deviates from the
+    published original (None if verbatim). *)
 type query = {
   id : string;
   description : string;
@@ -8,6 +11,7 @@ type query = {
   adapted : string option;
 }
 
+(** All twenty queries, in XMark order. *)
 val all : query list
 
 (** Raises [Not_found] on an unknown id. *)

@@ -4,6 +4,8 @@
     descriptions including the nested parlist paths of Q15/Q16.
     [scale] is roughly megabytes of output. *)
 
+(** Entity counts derived from a scale factor; every other population
+    (bidders, watches, interests) is drawn relative to these. *)
 type counts = {
   items_per_region : int;
   people : int;
@@ -12,8 +14,14 @@ type counts = {
   categories : int;
 }
 
+(** The six region names of the Fig. 1 schema, in document order. *)
 val regions : string array
 
+(** [counts_of_scale s] is the entity population at scale [s]
+    (roughly [s] megabytes of generated XML), floored at one each. *)
 val counts_of_scale : float -> counts
 
+(** [generate ~scale ()] produces the complete auction document as a
+    string; [seed] (default 42) fixes the PRNG so equal arguments are
+    byte-reproducible. *)
 val generate : ?seed:int -> scale:float -> unit -> string

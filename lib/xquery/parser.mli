@@ -4,4 +4,7 @@
 
 exception Syntax_error of string * int  (** message, byte offset *)
 
+(** [parse src] parses one complete query expression; trailing
+    non-whitespace input or any syntax error raises {!Syntax_error}
+    with the byte offset of the offending character. *)
 val parse : string -> Ast.expr

@@ -618,14 +618,28 @@ let test_repository_roundtrip () =
       Alcotest.(check string) (q.Xmark.Queries.id ^ " identical after reload") a b)
     Xmark.Queries.all
 
-let test_repository_v3_byte_exact () =
+(* The magic a default [Repository.serialize] writes: follows the kill
+   switch, so the storage suite can be re-run under XQUEC_FORMAT=v3. *)
+let expected_magic () =
+  match Repository.default_format () with `V3 -> "XQC\x03" | `V4 -> "XQC\x04"
+
+let test_repository_byte_exact () =
   let xml = Xmark.Xmlgen.generate ~scale:0.03 () in
   let repo = Xquec_core.Loader.load ~name:"auction.xml" xml in
   let data = Repository.serialize repo in
-  Alcotest.(check string) "v3 magic" "XQC\x03" (String.sub data 0 4);
+  Alcotest.(check string) "default-format magic" (expected_magic ()) (String.sub data 0 4);
   let repo' = Repository.deserialize data in
   let data' = Repository.serialize repo' in
-  Alcotest.(check bool) "save/load/save is byte-exact" true (String.equal data data')
+  Alcotest.(check bool) "save/load/save is byte-exact" true (String.equal data data');
+  (* both explicit formats round-trip byte-exactly regardless of the
+     process default *)
+  List.iter
+    (fun (format, magic) ->
+      let data = Repository.serialize ~format repo in
+      Alcotest.(check string) "explicit-format magic" magic (String.sub data 0 4);
+      Alcotest.(check bool) "explicit format is byte-exact" true
+        (String.equal data (Repository.serialize ~format (Repository.deserialize data))))
+    [ (`V3, "XQC\x03"); (`V4, "XQC\x04") ]
 
 let test_repository_v1_fixture () =
   (* a repository written by the pre-block (v1) format must still load *)
@@ -647,10 +661,11 @@ let test_repository_v1_fixture () =
     ];
   (* and re-saving upgrades it to the current format, which then
      round-trips byte-exactly *)
-  let v3 = Repository.serialize repo in
-  Alcotest.(check string) "re-save upgrades to v3" "XQC\x03" (String.sub v3 0 4);
+  let cur = Repository.serialize repo in
+  Alcotest.(check string) "re-save upgrades to current format" (expected_magic ())
+    (String.sub cur 0 4);
   Alcotest.(check bool) "upgraded image round-trips" true
-    (String.equal v3 (Repository.serialize (Repository.deserialize v3)))
+    (String.equal cur (Repository.serialize (Repository.deserialize cur)))
 
 let test_size_breakdown_consistent () =
   let xml = Xmark.Xmlgen.generate ~scale:0.05 () in
@@ -660,7 +675,7 @@ let test_size_breakdown_consistent () =
     (sz.Repository.total_bytes
     = sz.Repository.name_dict_bytes + sz.Repository.tree_bytes
       + sz.Repository.containers_bytes + sz.Repository.models_bytes
-      + sz.Repository.summary_bytes + sz.Repository.btree_bytes);
+      + sz.Repository.summary_bytes + sz.Repository.index_bytes);
   Alcotest.(check bool) "essential < total" true
     (sz.Repository.essential_bytes < sz.Repository.total_bytes)
 
@@ -741,11 +756,61 @@ let test_repository_v2_read_compat () =
       "document(\"auction.xml\")/site/people/person/name";
       "document(\"auction.xml\")/site/people/person[@id = \"person0\"]";
     ];
-  (* re-saving the v2 load upgrades it to a v3 image with the packed tree *)
-  let v3 = Repository.serialize v2 in
-  Alcotest.(check string) "re-save upgrades to v3" "XQC\x03" (String.sub v3 0 4);
+  (* re-saving the v2 load upgrades it to the current format *)
+  let cur = Repository.serialize v2 in
+  Alcotest.(check string) "re-save upgrades to current format" (expected_magic ())
+    (String.sub cur 0 4);
   Alcotest.(check bool) "upgraded image round-trips" true
-    (String.equal v3 (Repository.serialize (Repository.deserialize v3)))
+    (String.equal cur (Repository.serialize (Repository.deserialize cur)))
+
+let test_repository_v3_fixture () =
+  (* a committed v3 image (packed record tree) must keep loading
+     byte-for-byte now that new images are v4 *)
+  let data = read_fixture "v3_small.xqc" in
+  Alcotest.(check string) "fixture is v3" "XQC\x03" (String.sub data 0 4);
+  let repo = Repository.deserialize data in
+  Alcotest.(check string) "source name" "v3_small.xml" repo.Repository.source_name;
+  (* the v3 writer still reproduces the fixture exactly *)
+  Alcotest.(check bool) "v3 re-save is byte-identical to the fixture" true
+    (String.equal data (Repository.serialize ~format:`V3 repo));
+  (* it answers queries like the freshly-loaded equivalent — including
+     mixed content, where the succinct tree must re-interleave text
+     markers between element children *)
+  let fresh = Xquec_core.Loader.load ~name:"v3_small.xml" (read_fixture "v3_small.xml") in
+  List.iter
+    (fun q ->
+      let a = Xquec_core.Executor.serialize repo (Xquec_core.Executor.run_string repo q) in
+      let b = Xquec_core.Executor.serialize fresh (Xquec_core.Executor.run_string fresh q) in
+      Alcotest.(check string) (q ^ " matches fresh load") a b)
+    [
+      "document(\"v3_small.xml\")/site/people/person/name";
+      "document(\"v3_small.xml\")/site/people/person[age > 30]/bio";
+      "document(\"v3_small.xml\")/site/people/person[@id = \"p2\"]";
+      "document(\"v3_small.xml\")//item/price";
+    ]
+
+let test_v3_v4_query_identity () =
+  (* the same document serialized as v3 and as v4 must answer the whole
+     XMark workload identically, and the v4 image must round-trip
+     byte-exactly through its own save/load *)
+  let xml = Xmark.Xmlgen.generate ~scale:0.03 () in
+  let repo = Xquec_core.Loader.load ~name:"auction.xml" xml in
+  let v3 = Repository.deserialize (Repository.serialize ~format:`V3 repo) in
+  let v4_image = Repository.serialize ~format:`V4 repo in
+  let v4 = Repository.deserialize v4_image in
+  List.iter
+    (fun (q : Xmark.Queries.query) ->
+      let ast = Xquery.Parser.parse q.Xmark.Queries.text in
+      let a = Xquec_core.Executor.serialize v3 (Xquec_core.Executor.run v3 ast) in
+      let b = Xquec_core.Executor.serialize v4 (Xquec_core.Executor.run v4 ast) in
+      Alcotest.(check string) (q.Xmark.Queries.id ^ " identical on v3 and v4") a b)
+    Xmark.Queries.all;
+  Alcotest.(check bool) "v4 save/load/save byte-exact" true
+    (String.equal v4_image (Repository.serialize ~format:`V4 v4));
+  (* and the succinct tree is the smaller encoding even at this scale *)
+  let sz = Repository.size_breakdown repo in
+  Alcotest.(check bool) "succinct tree below packed tree" true
+    (sz.Repository.tree_bytes < sz.Repository.tree_packed_bytes)
 
 let test_capped_bounds_conservative () =
   (* codes longer than the 8-byte header cap: the exact bit must clear
@@ -828,9 +893,11 @@ let suites =
         Alcotest.test_case "summary matching" `Quick test_summary_matching;
         Alcotest.test_case "summary is small" `Quick test_summary_node_count;
         Alcotest.test_case "repository roundtrip" `Slow test_repository_roundtrip;
-        Alcotest.test_case "repository v3 byte-exact" `Quick test_repository_v3_byte_exact;
+        Alcotest.test_case "repository image byte-exact" `Quick test_repository_byte_exact;
         Alcotest.test_case "repository v1 fixture read" `Quick test_repository_v1_fixture;
         Alcotest.test_case "repository v2 read compat" `Quick test_repository_v2_read_compat;
+        Alcotest.test_case "repository v3 fixture read" `Quick test_repository_v3_fixture;
+        Alcotest.test_case "v3 vs v4 query identity" `Quick test_v3_v4_query_identity;
         Alcotest.test_case "size breakdown consistent" `Quick test_size_breakdown_consistent;
         Alcotest.test_case "packed tree round-trip" `Quick test_packed_tree_roundtrip;
         Alcotest.test_case "capped bounds stay conservative" `Quick test_capped_bounds_conservative;

@@ -1,0 +1,294 @@
+(* Succinct substrate of the v4 structure tree: bitvector rank/select,
+   wavelet tag array, balanced-parentheses navigation. Mostly
+   differential tests against naive reference implementations, plus the
+   edge shapes (empty, single node, deep right spine, wide flat fan-out)
+   that stress block and superblock boundaries. *)
+
+open Storage
+
+let rng = Random.State.make [| 0x5ecc; 0x7ee |]
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_bitvec len =
+  let bits = Array.init len (fun _ -> Random.State.bool rng) in
+  let bv = Bitvec.init len (fun i -> bits.(i)) in
+  Alcotest.(check int) (Printf.sprintf "len %d" len) len (Bitvec.length bv);
+  let r1 = ref 0 in
+  for i = 0 to len do
+    Alcotest.(check int) (Printf.sprintf "rank1 %d/%d" i len) !r1 (Bitvec.rank1 bv i);
+    Alcotest.(check int) (Printf.sprintf "rank0 %d/%d" i len) (i - !r1) (Bitvec.rank0 bv i);
+    if i < len then begin
+      Alcotest.(check bool) "get" bits.(i) (Bitvec.get bv i);
+      if bits.(i) then incr r1
+    end
+  done;
+  let pos = ref 0 in
+  for k = 1 to Bitvec.ones bv do
+    while not bits.(!pos) do incr pos done;
+    Alcotest.(check int) (Printf.sprintf "select1 %d" k) !pos (Bitvec.select1 bv k);
+    incr pos
+  done;
+  let pos = ref 0 in
+  for k = 1 to Bitvec.zeros bv do
+    while bits.(!pos) do incr pos done;
+    Alcotest.(check int) (Printf.sprintf "select0 %d" k) !pos (Bitvec.select0 bv k);
+    incr pos
+  done;
+  let buf = Buffer.create 16 in
+  Bitvec.serialize buf bv;
+  let (bv2, consumed) = Bitvec.deserialize (Buffer.contents buf) 0 in
+  Alcotest.(check int) "consumed all" (Buffer.length buf) consumed;
+  Alcotest.(check int) "roundtrip len" len (Bitvec.length bv2);
+  for i = 0 to len - 1 do
+    Alcotest.(check bool) "roundtrip bit" bits.(i) (Bitvec.get bv2 i)
+  done
+
+let test_bitvec_differential () =
+  (* edge lengths straddle byte, block (64) and superblock (512)
+     boundaries *)
+  List.iter check_bitvec [ 0; 1; 7; 8; 63; 64; 65; 511; 512; 513; 1000; 5000; 20000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Wavelet                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_wavelet n sigma =
+  let codes = Array.init n (fun _ -> Random.State.int rng sigma) in
+  let width = Bitvec.Wavelet.width_for (sigma - 1) in
+  let wt = Bitvec.Wavelet.build ~width codes in
+  for i = 0 to n - 1 do
+    Alcotest.(check int) (Printf.sprintf "access %d" i) codes.(i) (Bitvec.Wavelet.access wt i)
+  done;
+  for c = 0 to sigma - 1 do
+    let cnt = ref 0 in
+    for i = 0 to n do
+      Alcotest.(check int)
+        (Printf.sprintf "rank c=%d i=%d" c i)
+        !cnt
+        (Bitvec.Wavelet.rank wt ~code:c i);
+      if i < n && codes.(i) = c then incr cnt
+    done;
+    let k = ref 0 in
+    Array.iteri
+      (fun i ci ->
+        if ci = c then begin
+          incr k;
+          Alcotest.(check (option int))
+            (Printf.sprintf "select c=%d k=%d" c !k)
+            (Some i)
+            (Bitvec.Wavelet.select wt ~code:c !k)
+        end)
+      codes;
+    Alcotest.(check (option int)) "select past end" None (Bitvec.Wavelet.select wt ~code:c (!k + 1))
+  done;
+  let buf = Buffer.create 16 in
+  Bitvec.Wavelet.serialize buf wt;
+  let (wt2, consumed) = Bitvec.Wavelet.deserialize (Buffer.contents buf) 0 in
+  Alcotest.(check int) "wavelet consumed all" (Buffer.length buf) consumed;
+  for i = 0 to n - 1 do
+    Alcotest.(check int) "wavelet roundtrip" codes.(i) (Bitvec.Wavelet.access wt2 i)
+  done
+
+let test_wavelet_differential () =
+  List.iter
+    (fun (n, sigma) -> check_wavelet n sigma)
+    [ (0, 4); (1, 1); (1, 3); (100, 2); (500, 90); (3000, 7); (2000, 128) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bp_tree                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Differential check of every navigation op against a naive pointer
+   tree described by a pre-order parent array. *)
+let check_bp (parents : int array) =
+  let n = Array.length parents in
+  let children = Array.make (max n 1) [] in
+  for i = n - 1 downto 1 do
+    children.(parents.(i)) <- i :: children.(parents.(i))
+  done;
+  let bits = Array.make (2 * n) false in
+  let pos = ref 0 in
+  let rec emit i =
+    bits.(!pos) <- true;
+    incr pos;
+    List.iter emit children.(i);
+    incr pos
+  in
+  if n > 0 then emit 0;
+  let bp = Bp_tree.of_bits (Bitvec.init (2 * n) (fun i -> bits.(i))) in
+  Alcotest.(check int) "node count" n (Bp_tree.node_count bp);
+  let depth = Array.make (max n 1) 0 in
+  for i = 1 to n - 1 do
+    depth.(i) <- depth.(parents.(i)) + 1
+  done;
+  let last = Array.init (max n 1) (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let p = parents.(i) in
+    if last.(i) > last.(p) then last.(p) <- last.(i)
+  done;
+  let post = Array.make (max n 1) 0 in
+  let cnt = ref 0 in
+  let rec po i =
+    List.iter po children.(i);
+    post.(i) <- !cnt;
+    incr cnt
+  in
+  if n > 0 then po 0;
+  for i = 0 to n - 1 do
+    Alcotest.(check int) "parent" (if i = 0 then -1 else parents.(i)) (Bp_tree.parent bp i);
+    Alcotest.(check int) "depth" depth.(i) (Bp_tree.depth bp i);
+    Alcotest.(check (list int)) "children" children.(i) (Bp_tree.children bp i);
+    Alcotest.(check int) "degree" (List.length children.(i)) (Bp_tree.degree bp i);
+    Alcotest.(check (option int)) "first_child"
+      (match children.(i) with [] -> None | c :: _ -> Some c)
+      (Bp_tree.first_child bp i);
+    Alcotest.(check int) "last_descendant" last.(i) (Bp_tree.last_descendant bp i);
+    Alcotest.(check int) "subtree_size" (last.(i) - i + 1) (Bp_tree.subtree_size bp i);
+    Alcotest.(check int) "post_rank" post.(i) (Bp_tree.post_rank bp i);
+    let ns =
+      if i = 0 then None
+      else
+        let rec after = function
+          | x :: y :: _ when x = i -> Some y
+          | _ :: tl -> after tl
+          | [] -> None
+        in
+        after children.(parents.(i))
+    in
+    Alcotest.(check (option int)) "next_sibling" ns (Bp_tree.next_sibling bp i);
+    (* findopen inverts findclose, and positions map back to ids *)
+    let p = Bp_tree.pos_of_node bp i in
+    let c = Bp_tree.findclose bp p in
+    Alcotest.(check int) "findopen . findclose = id" p (Bp_tree.findopen bp c);
+    Alcotest.(check int) "node_of_open" i (Bp_tree.node_of_open bp p)
+  done;
+  for _ = 1 to min 2000 (n * n) do
+    let a = Random.State.int rng (max n 1) and d = Random.State.int rng (max n 1) in
+    Alcotest.(check bool) "is_ancestor"
+      (a < d && last.(a) >= d)
+      (Bp_tree.is_ancestor bp ~ancestor:a ~descendant:d)
+  done
+
+(* Random pre-order parent arrays: each node's parent is drawn from the
+   rightmost path so ids stay pre-order ranks. *)
+let random_preorder_parents n =
+  let parents = Array.make n (-1) in
+  let stack = ref [ 0 ] in
+  for i = 1 to n - 1 do
+    let len = List.length !stack in
+    let pops = if Random.State.bool rng then 0 else Random.State.int rng len in
+    for _ = 1 to pops do
+      stack := List.tl !stack
+    done;
+    parents.(i) <- List.hd !stack;
+    stack := i :: !stack
+  done;
+  parents
+
+let test_bp_edge_shapes () =
+  check_bp [||];
+  (* empty tree *)
+  check_bp [| -1 |];
+  (* single node *)
+  check_bp [| -1; 0 |];
+  check_bp [| -1; 0; 0 |];
+  check_bp [| -1; 0; 1 |]
+
+let test_bp_deep_spine () =
+  (* right spine >= 10^4 nodes: excess grows monotonically across many
+     256-bit blocks, the worst case for bwd_search (parent/enclose) *)
+  check_bp (Array.init 12000 (fun i -> i - 1))
+
+let test_bp_wide_flat () =
+  (* one root with thousands of leaf children: findclose of the root
+     spans the whole sequence, siblings chain across blocks *)
+  check_bp (Array.init 5000 (fun i -> if i = 0 then -1 else 0))
+
+let test_bp_random_trees () =
+  List.iter (fun n -> check_bp (random_preorder_parents n)) [ 50; 200; 1000; 4000; 20000 ]
+
+let test_bp_rejects_malformed () =
+  let of_bools l =
+    let a = Array.of_list l in
+    Bitvec.init (Array.length a) (fun i -> a.(i))
+  in
+  List.iter
+    (fun bits ->
+      Alcotest.check_raises "malformed BP" (Failure "Bp_tree.of_bits: close before open")
+        (fun () -> ignore (Bp_tree.of_bits (of_bools bits))))
+    [ [ false; true ]; [ true; false; false; true ] ];
+  Alcotest.check_raises "odd length" (Failure "Bp_tree.of_bits: odd length") (fun () ->
+      ignore (Bp_tree.of_bits (of_bools [ true ])));
+  Alcotest.check_raises "unbalanced" (Failure "Bp_tree.of_bits: unbalanced") (fun () ->
+      ignore (Bp_tree.of_bits (of_bools [ true; true ])))
+
+(* ------------------------------------------------------------------ *)
+(* Succinct structure tree vs the explicit builder arrays              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_differential_vs_pointer_semantics () =
+  (* build a structure tree from an XMark document and check the
+     succinct navigation against references computed from child_entries
+     alone (the explicit pointer semantics of the v3 tree) *)
+  let xml = Xmark.Xmlgen.generate ~scale:0.05 () in
+  let repo = Xquec_core.Loader.load ~name:"a" xml in
+  let tree = repo.Repository.tree in
+  let n = Structure_tree.node_count tree in
+  Alcotest.(check bool) "non-trivial" true (n > 1000);
+  (* reference arrays from the raw child entries *)
+  let kids = Array.init n (fun id -> Structure_tree.child_nodes tree id) in
+  let parents = Array.make n (-1) in
+  Array.iteri (fun id cs -> List.iter (fun c -> parents.(c) <- id) cs) kids;
+  let last = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    if last.(i) > last.(parents.(i)) then last.(parents.(i)) <- last.(i)
+  done;
+  let level = Array.make n 0 in
+  for i = 1 to n - 1 do
+    level.(i) <- level.(parents.(i)) + 1
+  done;
+  for id = 0 to n - 1 do
+    Alcotest.(check int) "parent" parents.(id) (Structure_tree.parent tree id);
+    Alcotest.(check int) "level" level.(id) (Structure_tree.level tree id);
+    Alcotest.(check int) "last_descendant" last.(id) (Structure_tree.last_descendant tree id);
+    Alcotest.(check int) "subtree_size" (last.(id) - id + 1) (Structure_tree.subtree_size tree id);
+    Alcotest.(check (option int)) "first_child"
+      (match kids.(id) with [] -> None | c :: _ -> Some c)
+      (Structure_tree.first_child tree id)
+  done;
+  (* descendants_with_tag agrees with the filter-based definition for
+     every tag that occurs *)
+  let dict = repo.Repository.dict in
+  List.iter
+    (fun name ->
+      match Storage.Name_dict.code dict name with
+      | None -> ()
+      | Some code ->
+        let naive =
+          Structure_tree.descendants tree 0
+          |> List.filter (fun d -> Structure_tree.tag tree d = code)
+        in
+        Alcotest.(check (list int))
+          ("descendants_with_tag " ^ name)
+          naive
+          (Structure_tree.descendants_with_tag tree 0 code))
+    [ "site"; "people"; "person"; "name"; "@id"; "item"; "description" ]
+
+let suites =
+  [
+    ( "succinct",
+      [
+        Alcotest.test_case "bitvec rank/select differential" `Quick test_bitvec_differential;
+        Alcotest.test_case "wavelet differential" `Quick test_wavelet_differential;
+        Alcotest.test_case "bp edge shapes" `Quick test_bp_edge_shapes;
+        Alcotest.test_case "bp deep right spine" `Quick test_bp_deep_spine;
+        Alcotest.test_case "bp wide flat tree" `Quick test_bp_wide_flat;
+        Alcotest.test_case "bp random trees" `Quick test_bp_random_trees;
+        Alcotest.test_case "bp rejects malformed input" `Quick test_bp_rejects_malformed;
+        Alcotest.test_case "tree navigation differential" `Quick
+          test_tree_differential_vs_pointer_semantics;
+      ] );
+  ]

@@ -24,7 +24,14 @@
      `_bucket`/`_sum`/`_count` suffixes and any label braces) must
      match a literal with dots normalized to underscores, or extend
      one (dynamically-suffixed families like "serve.budget." ^ kind
-     and per-container series match by prefix). *)
+     and per-container series match by prefix);
+   - format constants cited in backtick code spans must resolve: a
+     magic like `XQC\x04` must appear as a string literal in the
+     sources (the literal extractor strips the backslash, so source
+     "XQC\x04" and doc `XQC\x04` both normalize to "XQCx04"), and
+     flag / header-field identifiers (`flag_*`, `h_*`, `b_*`) must
+     exist as words in the OCaml sources — docs/FORMATS.md cannot
+     name a constant the code does not define. *)
 
 let item_prefixes = [ "val "; "type "; "exception "; "external "; "module " ]
 
@@ -202,6 +209,55 @@ let doc_metrics (text : string) : string list =
   done;
   List.sort_uniq compare !out
 
+(* single-backtick `...` code spans in a markdown text (fenced blocks
+   contribute nothing: ``` opens an empty span, which is skipped) *)
+let doc_code_spans (text : string) : string list =
+  let out = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = '`' then begin
+      let j = ref (!i + 1) in
+      while !j < n && text.[!j] <> '`' && text.[!j] <> '\n' do incr j done;
+      if !j < n && text.[!j] = '`' && !j > !i + 1 then begin
+        out := String.sub text (!i + 1) (!j - !i - 1) :: !out;
+        i := !j + 1
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !out
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* a repository magic cited as `XQC\xNN` *)
+let is_magic_token s =
+  String.length s = 7
+  && String.sub s 0 3 = "XQC"
+  && s.[3] = '\\' && s.[4] = 'x' && is_hex s.[5] && is_hex s.[6]
+
+(* a format-flag or block/header-field identifier: `flag_*`, `h_*`, `b_*` *)
+let is_const_ident s =
+  let has_prefix p = starts_with p s && String.length s > String.length p in
+  (has_prefix "flag_" || has_prefix "h_" || has_prefix "b_")
+  && String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_') s
+
+(* whole-word occurrence of [w] in [hay] *)
+let contains_word (hay : string) (w : string) : bool =
+  let lw = String.length w and lh = String.length hay in
+  let rec go k =
+    if k + lw > lh then false
+    else if
+      hay.[k] = w.[0]
+      && String.sub hay k lw = w
+      && (k = 0 || not (is_word_char hay.[k - 1]))
+      && (k + lw = lh || not (is_word_char hay.[k + lw]))
+    then true
+    else go (k + 1)
+  in
+  lw > 0 && go 0
+
 let strip_suffix s suf =
   if Filename.check_suffix s suf then String.sub s 0 (String.length s - String.length suf)
   else s
@@ -211,7 +267,8 @@ let dots_to_underscores s = String.map (fun c -> if c = '.' then '_' else c) s
 let check_xref (md_path : string) : int =
   let text = read_file md_path in
   let sources = source_files [ "bin"; "lib"; "bench"; "tools" ] in
-  let literals = List.concat_map (fun f -> string_literals (read_file f)) sources in
+  let srcs = List.map read_file sources in
+  let literals = List.concat_map string_literals srcs in
   (* flags: accept a literal "name" (cmdliner info) or "--name" (hand
      parsers) *)
   let lit_set = Hashtbl.create 1024 in
@@ -253,6 +310,26 @@ let check_xref (md_path : string) : int =
           md_path token
       end)
     (doc_metrics text);
+  (* format constants: `XQC\xNN` magics must match a source string
+     literal (both sides normalize by dropping the backslash), and
+     `flag_*` / `h_*` / `b_*` identifiers must exist as words in the
+     OCaml sources *)
+  List.iter
+    (fun span ->
+      if is_magic_token span then begin
+        let norm = String.concat "" (String.split_on_char '\\' span) in
+        if not (Hashtbl.mem lit_set norm) then begin
+          incr failures;
+          Printf.eprintf "%s: magic `%s` not found as a string literal in the sources\n"
+            md_path span
+        end
+      end
+      else if is_const_ident span then
+        if not (List.exists (fun s -> contains_word s span) srcs) then begin
+          incr failures;
+          Printf.eprintf "%s: format constant `%s` not defined in the sources\n" md_path span
+        end)
+    (doc_code_spans text);
   !failures
 
 let () =
