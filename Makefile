@@ -7,7 +7,7 @@ GATE_DIR := _gate
 # The fast, deterministic experiments the quick bench gate reruns on
 # every `make check` (counts, sizes and digests only — quick mode skips
 # timing metrics, and experiments not on this list are skipped).
-GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel join heat serve
+GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel join heat serve watch
 
 .PHONY: all build check test bench bench-gate smoke serve-smoke docs clean
 
@@ -64,7 +64,9 @@ test: check
 # serving smoke: boot the real `xquec serve` process on a small
 # repository, fire concurrent requests at it (queries interleaved with
 # /metrics scrapes, results checked against a sequential reference),
-# and assert it shuts down cleanly on SIGTERM. See docs/SERVING.md.
+# replay a shifted query mix until the drift watchdog raises
+# drift_sustained on /alerts and in the alert log, and assert it shuts
+# down cleanly on SIGTERM. See docs/SERVING.md.
 serve-smoke: build
 	mkdir -p $(GATE_DIR)
 	test -f $(GATE_DIR)/auction.xml || $(XQUEC) generate -d xmark -s 0.05 -o $(GATE_DIR)/auction.xml
@@ -79,7 +81,7 @@ serve-smoke: build
 docs: build
 	ocaml tools/doc_lint.ml lib/storage lib/compress lib/core lib/obs \
 	  lib/xquery lib/xmark \
-	  --xref docs/SERVING.md --xref docs/FORMATS.md
+	  --xref docs/SERVING.md --xref docs/FORMATS.md --xref docs/OBSERVABILITY.md
 
 bench:
 	dune exec bench/main.exe

@@ -165,8 +165,10 @@ let with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains ?query_log f =
 
 (* A repository argument that also accepts raw XML: sniff the first
    non-whitespace byte — documents start with '<', serialized
-   repositories never do. *)
-let load_engine_any path =
+   repositories never do. Returns the engine plus the input's format
+   string ("v4" from the XQC magic, "v1" for magicless repositories,
+   "xml" for a document compressed on the fly) for /healthz. *)
+let load_engine_any_with_format path =
   let data = strip_bom (read_file path) in
   let rec first_nonspace i =
     if i >= String.length data then None
@@ -176,8 +178,12 @@ let load_engine_any path =
       | c -> Some c
   in
   if first_nonspace 0 = Some '<' then
-    Xquec_core.Engine.load ~name:(Filename.basename path) data
-  else Xquec_core.Engine.restore data
+    (Xquec_core.Engine.load ~name:(Filename.basename path) data, "xml")
+  else if String.length data >= 4 && String.sub data 0 3 = "XQC" then
+    (Xquec_core.Engine.restore data, Printf.sprintf "v%d" (Char.code data.[3]))
+  else (Xquec_core.Engine.restore data, "v1")
+
+let load_engine_any path = fst (load_engine_any_with_format path)
 
 (* --- compress ------------------------------------------------------- *)
 
@@ -364,8 +370,43 @@ let serve_cmd =
           ~doc:"LRU plan-cache capacity in entries, keyed by the MD5 hash of the query \
                 text; repeated queries skip the parse. 0 disables the cache.")
   in
+  let watch_window =
+    Arg.(
+      value & opt float 10.0
+      & info [ "watch-window" ] ~docv:"SECONDS"
+          ~doc:"Drift-watchdog window length in seconds: the streaming workload \
+                fingerprint rolls over a ring of recent windows, and the alert rules \
+                are evaluated once per window. 0 disables the watchdog.")
+  in
+  let drift_alert =
+    Arg.(
+      value & opt float 0.3
+      & info [ "drift-alert" ] ~docv:"SCORE"
+          ~doc:"Total-variation drift threshold (0..1) for the $(b,drift_sustained) \
+                alert: fires after the observed mix stays further than this from the \
+                declared workload for 3 consecutive windows.")
+  in
+  let alerts_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alerts-log" ] ~docv:"FILE"
+          ~doc:"Append one JSON line per alert firing/resolving transition to FILE \
+                (created if missing).")
+  in
+  let serve_workload =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "w"; "workload" ] ~docv:"QUERIES"
+          ~doc:"File of XQuery queries (separated by lines containing ';;') declaring \
+                the workload the repository was tuned for; the watchdog scores live \
+                drift against its fingerprint. Without it the watchdog still tracks \
+                the rolling fingerprint but computes no drift.")
+  in
   let run input port host serve_workers max_inflight query_wall_ms query_decode_mb
-      plan_cache cache_mb decode_domains query_log =
+      plan_cache watch_window drift_alert alerts_log serve_workload cache_mb
+      decode_domains query_log =
     with_telemetry ~stats:false ~trace_out:None ?cache_mb ?decode_domains ?query_log
     @@ fun () ->
     (* metrics + spans always on under serve: the endpoint exists to be scraped *)
@@ -379,14 +420,38 @@ let serve_cmd =
     Xquec_core.Serve.set_budgets ~wall_ms:query_wall_ms
       ~decode_bytes:(int_of_float (query_decode_mb *. 1024.0 *. 1024.0))
       ();
-    let engine = load_engine_any input in
+    let engine, format = load_engine_any_with_format input in
+    Xquec_core.Serve.set_server_info ~format ();
+    (* declared build-time mix: re-analyze the workload queries against
+       the served repository (the on-disk format does not retain the
+       workload the repository was compressed under) *)
+    let baseline =
+      match read_workload serve_workload with
+      | Some queries ->
+        let repo = Xquec_core.Engine.repo engine in
+        Some
+          (Xquec_core.Workload.fingerprint repo
+             (Xquec_core.Workload.of_query_strings repo queries))
+      | None -> None
+    in
+    let watch_on = watch_window > 0.0 in
+    if watch_on then begin
+      Xquec_obs.Watch.configure ~window_seconds:watch_window ();
+      Xquec_obs.Watch.set_baseline baseline;
+      Xquec_obs.Watch.set_enabled true;
+      Xquec_obs.Alert.set_rules
+        (Xquec_core.Serve.default_rules ~drift_threshold:drift_alert ());
+      Xquec_obs.Alert.set_log alerts_log;
+      Xquec_core.Serve.start_watchdog ~period:watch_window ()
+    end;
     let server =
       Xquec_obs.Expo.start ~host ~port ~workers ~max_inflight
         ~extra:(Xquec_core.Serve.handler engine)
         ~collect:Xquec_core.Serve.publish_pool_metrics ()
     in
     Fmt.pr
-      "xquec serve: listening on http://%s:%d (endpoints: /metrics /healthz /query /stats /heat)@."
+      "xquec serve: listening on http://%s:%d (endpoints: /metrics /healthz /query /stats \
+       /heat /watch /alerts)@."
       host (Xquec_obs.Expo.port server);
     Fmt.pr
       "xquec serve: %d worker(s), max-inflight %s, plan cache %s, budgets wall %s decode %s@."
@@ -395,20 +460,29 @@ let serve_cmd =
       (if plan_cache > 0 then Fmt.str "%d entries" plan_cache else "off")
       (if query_wall_ms > 0.0 then Fmt.str "%.0fms" query_wall_ms else "off")
       (if query_decode_mb > 0.0 then Fmt.str "%.1fMiB" query_decode_mb else "off");
-    Xquec_obs.Expo.wait server
+    if watch_on then
+      Fmt.pr "xquec serve: watchdog window %.1fs, drift alert > %.2f%s, baseline %s@."
+        watch_window drift_alert
+        (match alerts_log with Some f -> Fmt.str ", alert log %s" f | None -> "")
+        (if baseline <> None then "declared" else "none");
+    Xquec_obs.Expo.wait server;
+    if watch_on then Xquec_core.Serve.stop_watchdog ()
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a repository over HTTP: POST /query (or GET /query?q=...) evaluates \
              XQuery; GET /metrics exposes the counters, gauges, and histograms in \
              Prometheus text format (buffer-pool, decode-pool, per-container, \
-             admission, plan-cache, and per-query series); GET /healthz and GET /stats \
-             (JSON) for probes and debugging. Connections fan out onto a worker-domain \
-             pool with accept-time admission control, per-query wall/decode budgets, \
-             and an LRU plan cache — see docs/SERVING.md for the operator guide.")
+             admission, plan-cache, watchdog, and per-query series); GET /healthz \
+             (readiness JSON) and GET /stats (JSON) for probes and debugging; GET /watch \
+             and GET /alerts surface the streaming drift watchdog. Connections fan out \
+             onto a worker-domain pool with accept-time admission control, per-query \
+             wall/decode budgets, and an LRU plan cache — see docs/SERVING.md for the \
+             operator guide.")
     Term.(
       const run $ input $ port $ host $ serve_workers $ max_inflight $ query_wall_ms
-      $ query_decode_mb $ plan_cache $ cache_mb $ decode_domains $ query_log)
+      $ query_decode_mb $ plan_cache $ watch_window $ drift_alert $ alerts_log
+      $ serve_workload $ cache_mb $ decode_domains $ query_log)
 
 (* --- profile --------------------------------------------------------- *)
 

@@ -84,6 +84,59 @@ let cpu_ms () =
     attaches describing how the request was admitted (in-flight depth,
     plan-cache outcome, armed budgets); it is logged verbatim as the
     record's ["admission"] field. *)
+(* Per-container heat deltas between two snapshots, keyed by pool uid
+   (hashtable lookup, so the diff is linear in the container count).
+   Containers the query did not touch (no touches, header skips or
+   decoded bytes) are dropped; heat disabled yields an empty list. *)
+let heat_delta (heat0 : Xquec_obs.Heat.stat list) (heat1 : Xquec_obs.Heat.stat list) :
+    Xquec_obs.Heat.stat list =
+  let before : (int, Xquec_obs.Heat.stat) Hashtbl.t = Hashtbl.create (List.length heat0) in
+  List.iter (fun (s : Xquec_obs.Heat.stat) -> Hashtbl.replace before s.uid s) heat0;
+  List.filter_map
+    (fun (s1 : Xquec_obs.Heat.stat) ->
+      let z =
+        match Hashtbl.find_opt before s1.uid with
+        | Some s0 ->
+          {
+            s1 with
+            touches = s1.touches - s0.Xquec_obs.Heat.touches;
+            decodes = s1.decodes - s0.Xquec_obs.Heat.decodes;
+            hits = s1.hits - s0.Xquec_obs.Heat.hits;
+            header_skips = s1.header_skips - s0.Xquec_obs.Heat.header_skips;
+            bytes_decoded = s1.bytes_decoded - s0.Xquec_obs.Heat.bytes_decoded;
+            bytes_skipped = s1.bytes_skipped - s0.Xquec_obs.Heat.bytes_skipped;
+          }
+        | None -> s1
+      in
+      if
+        z.Xquec_obs.Heat.touches = 0
+        && z.Xquec_obs.Heat.header_skips = 0
+        && z.Xquec_obs.Heat.bytes_decoded = 0
+      then None
+      else Some z)
+    heat1
+
+(* Feed one query's observations — the same values the log record
+   carries — into the streaming watchdog. *)
+let watch_observe (predicates : Executor.pred_obs list) (deltas : Xquec_obs.Heat.stat list) :
+    unit =
+  Xquec_obs.Watch.observe
+    ~predicates:
+      (List.map
+         (fun (o : Executor.pred_obs) ->
+           {
+             Xquec_obs.Profile.ob_container = o.Executor.o_container;
+             ob_kind = o.Executor.o_kind;
+             ob_candidates = o.Executor.o_candidates;
+             ob_matches = o.Executor.o_matches;
+           })
+         predicates)
+    ~containers:
+      (List.map
+         (fun (z : Xquec_obs.Heat.stat) -> (z.Xquec_obs.Heat.label, z.Xquec_obs.Heat.bytes_decoded))
+         deltas)
+    ()
+
 let query_serialized_logged ?(admission : Xquec_obs.Json.t option)
     ?(plan : Xquery.Ast.expr option) (t : t) (text : string) :
     string * Xquec_obs.Explain.node =
@@ -92,9 +145,22 @@ let query_serialized_logged ?(admission : Xquec_obs.Json.t option)
     | Some ast -> Executor.run_profiled t.repo ast
     | None -> query_profiled t text
   in
-  if not (Xquec_obs.Query_log.enabled ()) then begin
+  let log_on = Xquec_obs.Query_log.enabled () in
+  let watch_on = Xquec_obs.Watch.enabled () in
+  if not (log_on || watch_on) then begin
     let items, prof = run_profiled () in
     (Executor.serialize t.repo items, prof)
+  end
+  else if not log_on then begin
+    (* watchdog only: skip the pool / GC / join bookkeeping the log
+       record needs — one heat diff and the executor's predicate
+       observations are the whole cost *)
+    let heat0 = Xquec_obs.Heat.snapshot () in
+    let items, prof = run_profiled () in
+    let out = Executor.serialize t.repo items in
+    let heat1 = Xquec_obs.Heat.snapshot () in
+    watch_observe (Executor.predicate_observations ()) (heat_delta heat0 heat1);
+    (out, prof)
   end
   else begin
     let module Json = Xquec_obs.Json in
@@ -120,45 +186,27 @@ let query_serialized_logged ?(admission : Xquec_obs.Json.t option)
     let gc_alloc1 = Gc.allocated_bytes () in
     let gc1 = Gc.quick_stat () in
     let n name v = (name, Json.Num (float_of_int v)) in
-    (* per-container heat deltas: which containers this query touched
-       and what it cost there. Keyed by pool uid; heat disabled (or a
-       query touching no container) yields an empty list. *)
+    (* per-container heat deltas and the executor's predicate
+       observations: computed once, feeding both the log record and
+       the streaming watchdog (the watchdog sees exactly the values
+       the log records, so the two fingerprints agree). *)
+    let deltas = heat_delta heat0 heat1 in
+    let pred_obs = Executor.predicate_observations () in
+    if watch_on then watch_observe pred_obs deltas;
     let containers =
-      let before = List.map (fun (s : Xquec_obs.Heat.stat) -> (s.uid, s)) heat0 in
-      List.filter_map
-        (fun (s1 : Xquec_obs.Heat.stat) ->
-          let z =
-            match List.assoc_opt s1.uid before with
-            | Some s0 ->
-              {
-                s1 with
-                touches = s1.touches - s0.Xquec_obs.Heat.touches;
-                decodes = s1.decodes - s0.Xquec_obs.Heat.decodes;
-                hits = s1.hits - s0.Xquec_obs.Heat.hits;
-                header_skips = s1.header_skips - s0.Xquec_obs.Heat.header_skips;
-                bytes_decoded = s1.bytes_decoded - s0.Xquec_obs.Heat.bytes_decoded;
-                bytes_skipped = s1.bytes_skipped - s0.Xquec_obs.Heat.bytes_skipped;
-              }
-            | None -> s1
-          in
-          if
-            z.Xquec_obs.Heat.touches = 0
-            && z.Xquec_obs.Heat.header_skips = 0
-            && z.Xquec_obs.Heat.bytes_decoded = 0
-          then None
-          else
-            Some
-              (Json.Obj
-                 [
-                   ("container", Json.Str z.Xquec_obs.Heat.label);
-                   n "touches" z.Xquec_obs.Heat.touches;
-                   n "decodes" z.Xquec_obs.Heat.decodes;
-                   n "hits" z.Xquec_obs.Heat.hits;
-                   n "header_skips" z.Xquec_obs.Heat.header_skips;
-                   n "decoded_bytes" z.Xquec_obs.Heat.bytes_decoded;
-                   n "skipped_bytes" z.Xquec_obs.Heat.bytes_skipped;
-                 ]))
-        heat1
+      List.map
+        (fun (z : Xquec_obs.Heat.stat) ->
+          Json.Obj
+            [
+              ("container", Json.Str z.Xquec_obs.Heat.label);
+              n "touches" z.Xquec_obs.Heat.touches;
+              n "decodes" z.Xquec_obs.Heat.decodes;
+              n "hits" z.Xquec_obs.Heat.hits;
+              n "header_skips" z.Xquec_obs.Heat.header_skips;
+              n "decoded_bytes" z.Xquec_obs.Heat.bytes_decoded;
+              n "skipped_bytes" z.Xquec_obs.Heat.bytes_skipped;
+            ])
+        deltas
     in
     (* container-resolved predicate observations of this evaluation *)
     let predicates =
@@ -171,7 +219,7 @@ let query_serialized_logged ?(admission : Xquec_obs.Json.t option)
               n "candidates" o.Executor.o_candidates;
               n "matches" o.Executor.o_matches;
             ])
-        (Executor.predicate_observations ())
+        pred_obs
     in
     let record =
       Json.Obj

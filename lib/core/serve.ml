@@ -7,6 +7,9 @@
      GET  /query?q=...    percent-encoded XQuery text
      GET  /stats          full metrics registry as JSON
      GET  /heat           container heat snapshot as JSON
+     GET  /watch          watchdog snapshot: fingerprint, drift, advice
+     GET  /alerts         alert rules, active set, recent transitions
+     GET  /healthz        readiness JSON (intercepts the Expo builtin)
 
    Queries run on whichever Expo domain handles the connection — the
    accept domain in the sequential configuration, a worker-pool domain
@@ -233,6 +236,174 @@ let budget_json () : (string * Json.t) list =
     [ ("decode_bytes_budget", Json.Num (float_of_int !budget_decode_bytes)) ]
   else []
 
+(* --- watchdog tick: signals + alert evaluation ----------------------- *)
+
+(* Per-tick rate signals are deltas of cumulative counters between
+   consecutive ticks; this record remembers the previous readings.
+   Only the (single) ticker thread and tests touch it, but a mutex
+   keeps a test-driven tick racing a live ticker harmless. *)
+type tick_prev = {
+  mutable p_queries : int;
+  mutable p_errors : int;
+  mutable p_trips : int;
+  mutable p_pc_hits : int;
+  mutable p_pc_misses : int;
+  mutable p_bp_hits : int;
+  mutable p_bp_misses : int;
+}
+
+let tick_prev = { p_queries = 0; p_errors = 0; p_trips = 0; p_pc_hits = 0; p_pc_misses = 0;
+                  p_bp_hits = 0; p_bp_misses = 0 }
+
+let tick_mutex = Mutex.create ()
+
+let tick_readings () =
+  let pc = Plan_cache.snapshot () in
+  let bp = Storage.Buffer_pool.snapshot () in
+  ( Metrics.counter_value "serve.queries",
+    Metrics.counter_value "serve.query_errors",
+    Metrics.counter_value "serve.budget.wall_ms_trips"
+    + Metrics.counter_value "serve.budget.decode_bytes_trips",
+    pc.Plan_cache.s_hits,
+    pc.Plan_cache.s_misses,
+    bp.Storage.Buffer_pool.s_hits,
+    bp.Storage.Buffer_pool.s_misses )
+
+(* Re-anchor the per-tick deltas at the current counter values, so the
+   first real tick doesn't see the whole pre-watchdog history as one
+   window. Called by [start_watchdog] and test setup. *)
+let watch_tick_reset () =
+  Mutex.lock tick_mutex;
+  let q, e, tr, pch, pcm, bph, bpm = tick_readings () in
+  tick_prev.p_queries <- q;
+  tick_prev.p_errors <- e;
+  tick_prev.p_trips <- tr;
+  tick_prev.p_pc_hits <- pch;
+  tick_prev.p_pc_misses <- pcm;
+  tick_prev.p_bp_hits <- bph;
+  tick_prev.p_bp_misses <- bpm;
+  Mutex.unlock tick_mutex
+
+(* This tick's named signal readings for the alert engine. A signal
+   with no evidence this tick (no requests, no cache lookups, no
+   computable drift) is omitted rather than reported as a fake zero —
+   the engine leaves the rule's streaks untouched for missing
+   signals. *)
+let watch_signals (st : Watch.status) : (string * float) list =
+  Mutex.lock tick_mutex;
+  let q, e, tr, pch, pcm, bph, bpm = tick_readings () in
+  let d_requests = q - tick_prev.p_queries + (e - tick_prev.p_errors) in
+  let d_trips = tr - tick_prev.p_trips in
+  let d_pc_hits = pch - tick_prev.p_pc_hits in
+  let d_pc_look = d_pc_hits + (pcm - tick_prev.p_pc_misses) in
+  let d_bp_hits = bph - tick_prev.p_bp_hits in
+  let d_bp_look = d_bp_hits + (bpm - tick_prev.p_bp_misses) in
+  tick_prev.p_queries <- q;
+  tick_prev.p_errors <- e;
+  tick_prev.p_trips <- tr;
+  tick_prev.p_pc_hits <- pch;
+  tick_prev.p_pc_misses <- pcm;
+  tick_prev.p_bp_hits <- bph;
+  tick_prev.p_bp_misses <- bpm;
+  Mutex.unlock tick_mutex;
+  let ratio num den = float_of_int num /. float_of_int den in
+  (match st.Watch.w_drift with Some d -> [ ("drift", d) ] | None -> [])
+  @ (match st.Watch.w_drift_ewma with Some d -> [ ("drift_ewma", d) ] | None -> [])
+  @ (if d_requests > 0 then
+       [
+         ("error_rate", (window_stats ()).ws_error_rate);
+         ("budget_408_rate", ratio d_trips d_requests);
+       ]
+     else [])
+  @ (if d_pc_look > 0 then [ ("plan_cache_hit_rate", ratio d_pc_hits d_pc_look) ] else [])
+  @ if d_bp_look > 0 then [ ("buffer_pool_hit_rate", ratio d_bp_hits d_bp_look) ] else []
+
+let watch_tick ?now () : Watch.status * Alert.transition list =
+  let st = Watch.tick ?now () in
+  let transitions = Alert.evaluate ?now (watch_signals st) in
+  publish_window_metrics ();
+  (st, transitions)
+
+(* The default rule set: drift vs the declared mix (threshold from
+   --drift-alert), SLO-window error rate, budget-408 rate, and the two
+   hit rates. Sustain/resolve counts are in watchdog windows. *)
+let default_rules ?(drift_threshold = 0.3) () : Alert.rule list =
+  [
+    { Alert.a_name = "drift_sustained"; a_signal = "drift"; a_op = Alert.Gt;
+      a_threshold = drift_threshold; a_sustain = 3; a_resolve = 3 };
+    { Alert.a_name = "error_rate_high"; a_signal = "error_rate"; a_op = Alert.Gt;
+      a_threshold = 0.05; a_sustain = 3; a_resolve = 3 };
+    { Alert.a_name = "budget_408_high"; a_signal = "budget_408_rate"; a_op = Alert.Gt;
+      a_threshold = 0.05; a_sustain = 3; a_resolve = 3 };
+    { Alert.a_name = "plan_cache_hit_low"; a_signal = "plan_cache_hit_rate"; a_op = Alert.Lt;
+      a_threshold = 0.5; a_sustain = 5; a_resolve = 3 };
+    { Alert.a_name = "buffer_pool_hit_low"; a_signal = "buffer_pool_hit_rate"; a_op = Alert.Lt;
+      a_threshold = 0.5; a_sustain = 5; a_resolve = 3 };
+  ]
+
+(* --- watchdog ticker domain ------------------------------------------ *)
+
+let watchdog_stop = Atomic.make false
+let watchdog_domain : unit Domain.t option ref = ref None
+
+(* One background domain calling [watch_tick] every [period] seconds.
+   Sleeps in short slices so [stop_watchdog] (the SIGTERM path) joins
+   promptly rather than waiting out a whole window. *)
+let start_watchdog ~(period : float) () : unit =
+  if !watchdog_domain = None then begin
+    let period = Float.max 0.05 period in
+    Atomic.set watchdog_stop false;
+    watch_tick_reset ();
+    watchdog_domain :=
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get watchdog_stop) do
+               let slept = ref 0.0 in
+               while (not (Atomic.get watchdog_stop)) && !slept < period do
+                 let s = Float.min 0.05 (period -. !slept) in
+                 Unix.sleepf s;
+                 slept := !slept +. s
+               done;
+               if not (Atomic.get watchdog_stop) then ignore (watch_tick ())
+             done))
+  end
+
+let stop_watchdog () : unit =
+  Atomic.set watchdog_stop true;
+  (match !watchdog_domain with Some d -> Domain.join d | None -> ());
+  watchdog_domain := None
+
+(* --- readiness ------------------------------------------------------- *)
+
+(* Static facts for /healthz, set once at server startup. *)
+let server_format = ref "unknown"
+let server_started = ref 0.0
+
+let set_server_info ?(format : string option) () : unit =
+  (match format with Some f -> server_format := f | None -> ());
+  server_started := Unix.gettimeofday ()
+
+let healthz_json () : Json.t =
+  let e = Expo.stats () in
+  let ws = Watch.status () in
+  let uptime = if !server_started > 0.0 then Unix.gettimeofday () -. !server_started else 0.0 in
+  let opt_num = function Some v -> Json.Num v | None -> Json.Null in
+  Json.Obj
+    [
+      ("status", Json.Str "ok");
+      ("uptime_s", Json.Num uptime);
+      ("format", Json.Str !server_format);
+      ("workers", Json.Num (float_of_int e.Expo.e_workers));
+      ("inflight", Json.Num (float_of_int e.Expo.e_inflight));
+      ( "watchdog",
+        Json.Obj
+          [
+            ("enabled", Json.Bool ws.Watch.w_enabled);
+            ("ticks", Json.Num (float_of_int ws.Watch.w_ticks));
+            ("last_tick_unix", opt_num ws.Watch.w_last_tick);
+          ] );
+    ]
+
 let lookup_label = function
   | Plan_cache.Hit -> "hit"
   | Plan_cache.Miss -> "miss"
@@ -314,4 +485,18 @@ let handler (engine : Engine.t) : Expo.handler =
     Some
       (Expo.respond 200 "application/json; charset=utf-8"
          (Json.to_string (Heat.snapshot_json ())))
+  | "GET", "/watch" ->
+    Some
+      (Expo.respond 200 "application/json; charset=utf-8"
+         (Json.to_string (Watch.snapshot_json ()) ^ "\n"))
+  | "GET", "/alerts" ->
+    Some
+      (Expo.respond 200 "application/json; charset=utf-8"
+         (Json.to_string (Alert.snapshot_json ()) ^ "\n"))
+  | "GET", "/healthz" ->
+    (* readiness JSON; runs before the Expo builtin, keeping the
+       plain-200 contract for existing probes *)
+    Some
+      (Expo.respond 200 "application/json; charset=utf-8"
+         (Json.to_string (healthz_json ()) ^ "\n"))
   | _ -> None

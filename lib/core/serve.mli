@@ -6,7 +6,12 @@
     Routes: [POST /query] (body = XQuery text), [GET /query?q=...]
     (percent-encoded query), [GET /stats] (metrics registry as JSON),
     [GET /heat] (container heat snapshot as JSON, see
-    {!Xquec_obs.Heat.snapshot_json}). Successful queries return the
+    {!Xquec_obs.Heat.snapshot_json}), [GET /watch] (live watchdog
+    snapshot, {!Xquec_obs.Watch.snapshot_json}), [GET /alerts] (alert
+    rules + active set + recent transitions,
+    {!Xquec_obs.Alert.snapshot_json}) and [GET /healthz] (readiness
+    JSON from {!healthz_json}, intercepting the Expo builtin while
+    keeping its plain-200 contract). Successful queries return the
     serialized result as [text/plain]; parse or evaluation errors
     return 400 with the exception text; a query tripping an armed
     budget (see {!set_budgets}) returns 408 with a structured JSON
@@ -67,6 +72,52 @@ val publish_pool_metrics : unit -> unit
     bytes; 0 (the default for both) = unlimited. Called once at server
     startup from [--query-wall-ms] / [--query-decode-mb]. *)
 val set_budgets : ?wall_ms:float -> ?decode_bytes:int -> unit -> unit
+
+(** {2 Watchdog ticks and alerting}
+
+    The streaming watchdog ({!Xquec_obs.Watch}) is fed per query by
+    the engine; once per window the serve layer closes the window,
+    assembles this tick's signal readings and runs the alert rules
+    ({!Xquec_obs.Alert}). *)
+
+(** Close one watchdog window: {!Xquec_obs.Watch.tick}, evaluate the
+    alert rules against this tick's signals — [drift] / [drift_ewma]
+    (when computable), [error_rate] and [budget_408_rate] (when the
+    tick saw requests), [plan_cache_hit_rate] / [buffer_pool_hit_rate]
+    (when the tick saw lookups; rates are per-tick counter deltas) —
+    and refresh the SLO-window gauges. Returns the watchdog reading
+    and any alert transitions. [?now] for deterministic tests. *)
+val watch_tick : ?now:float -> unit -> Xquec_obs.Watch.status * Xquec_obs.Alert.transition list
+
+(** Re-anchor the per-tick counter deltas at the current values so the
+    next {!watch_tick} doesn't see pre-watchdog history as one window.
+    {!start_watchdog} calls it; exposed for tests. *)
+val watch_tick_reset : unit -> unit
+
+(** The default alert rule set: [drift_sustained] (drift >
+    [drift_threshold], default 0.3, from [--drift-alert]),
+    [error_rate_high] (> 5 %), [budget_408_high] (> 5 %),
+    [plan_cache_hit_low] and [buffer_pool_hit_low] (< 50 %).
+    Sustain/resolve counts are in watchdog windows. *)
+val default_rules : ?drift_threshold:float -> unit -> Xquec_obs.Alert.rule list
+
+(** Spawn the background ticker domain calling {!watch_tick} every
+    [period] seconds (clamped to ≥ 0.05; sleeps in short slices so
+    {!stop_watchdog} returns promptly). No-op when already running. *)
+val start_watchdog : period:float -> unit -> unit
+
+(** Stop and join the ticker domain (the SIGTERM path); no-op when not
+    running. *)
+val stop_watchdog : unit -> unit
+
+(** Record the repository format string shown by [/healthz] and stamp
+    the server start time (uptime baseline). *)
+val set_server_info : ?format:string -> unit -> unit
+
+(** The [GET /healthz] readiness payload: [{status:"ok", uptime_s,
+    format, workers, inflight, watchdog:{enabled,ticks,
+    last_tick_unix}}]. *)
+val healthz_json : unit -> Xquec_obs.Json.t
 
 (** Evaluate one query exactly as the [/query] route does (trim,
     compile through the plan cache, arm budgets, log, observe the SLO

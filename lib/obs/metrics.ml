@@ -306,10 +306,14 @@ let prom_escape_label (s : string) : string =
    where <path> is a root-to-leaf XML path ("/site/people/.../#text").
    Exposing the path inside the metric name would create one series
    name per container; fold it into a label instead:
-   xquec_container_<leaf>{path="<path>"}. Everything else maps
+   xquec_container_<leaf>{path="<path>"}. Alert gauges get the same
+   treatment: "alert.<rule>.active" -> xquec_alert_active{rule="<rule>"},
+   one series name across every rule. Everything else maps
    "a.b.c" -> "xquec_a_b_c". Returns (metric name, label pairs). *)
 let prom_name (name : string) : string * (string * string) list =
   let container_prefix = "container./" in
+  let alert_prefix = "alert." in
+  let alert_suffix = ".active" in
   if String.length name > String.length container_prefix
      && String.sub name 0 (String.length container_prefix) = container_prefix
   then begin
@@ -319,6 +323,20 @@ let prom_name (name : string) : string * (string * string) list =
       let leaf = String.sub name (dot + 1) (String.length name - dot - 1) in
       ("xquec_container_" ^ prom_sanitize leaf, [ ("path", path) ])
     | _ -> ("xquec_" ^ prom_sanitize name, [])
+  end
+  else if
+    String.length name > String.length alert_prefix + String.length alert_suffix
+    && String.sub name 0 (String.length alert_prefix) = alert_prefix
+    && String.sub name
+         (String.length name - String.length alert_suffix)
+         (String.length alert_suffix)
+       = alert_suffix
+  then begin
+    let rule =
+      String.sub name (String.length alert_prefix)
+        (String.length name - String.length alert_prefix - String.length alert_suffix)
+    in
+    ("xquec_alert_active", [ ("rule", rule) ])
   end
   else ("xquec_" ^ prom_sanitize name, [])
 

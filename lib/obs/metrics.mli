@@ -84,6 +84,8 @@ val dump_text : unit -> string
     every name is prefixed ["xquec_"] and sanitized to
     [[a-zA-Z0-9_:]]; per-container metrics
     (["container.<path>.<leaf>"]) become
-    [xquec_container_<leaf>{path="<path>"}]; histograms are exposed as
+    [xquec_container_<leaf>{path="<path>"}] and alert gauges
+    (["alert.<rule>.active"]) become
+    [xquec_alert_active{rule="<rule>"}]; histograms are exposed as
     cumulative [_bucket{le=...}] series plus [_sum] and [_count]. *)
 val to_prometheus : unit -> string

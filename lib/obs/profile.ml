@@ -71,65 +71,143 @@ let empty_cstat container =
     c_decoded_bytes = 0;
   }
 
-let of_records records =
-  let stats = ref Smap.empty in
-  let events = ref Kmap.empty in
-  let upd container f =
-    let cur = match Smap.find_opt container !stats with Some c -> c | None -> empty_cstat container in
-    stats := Smap.add container (f cur) !stats
+(* ---- incremental aggregation ---- *)
+
+(* The one place fingerprint semantics live: the offline [of_records]
+   path and the streaming watchdog ([Watch]) both feed queries through
+   an [agg], so the two can never drift apart — the parity test in
+   test_watch.ml holds by construction. *)
+
+type obs = { ob_container : string; ob_kind : string; ob_candidates : int; ob_matches : int }
+
+type agg = {
+  mutable g_records : int;
+  mutable g_pred_events : int;
+  g_events : (string * string, int) Hashtbl.t;
+  g_stats : (string, cstat) Hashtbl.t;
+}
+
+let agg_create () : agg =
+  { g_records = 0; g_pred_events = 0; g_events = Hashtbl.create 16; g_stats = Hashtbl.create 16 }
+
+let agg_records (g : agg) : int = g.g_records
+
+let bump_event (g : agg) key by =
+  Hashtbl.replace g.g_events key (by + Option.value ~default:0 (Hashtbl.find_opt g.g_events key))
+
+let upd_stat (g : agg) container f =
+  let cur =
+    match Hashtbl.find_opt g.g_stats container with
+    | Some c -> c
+    | None -> empty_cstat container
   in
-  let bump_event key by = events := Kmap.update key (fun v -> Some (Option.value ~default:0 v + by)) !events in
-  let pred_events = ref 0 in
+  Hashtbl.replace g.g_stats container (f cur)
+
+let agg_add (g : agg) ~(predicates : obs list) ~(containers : (string * int) list) : unit =
+  g.g_records <- g.g_records + 1;
   List.iter
-    (fun record ->
-      List.iter
-        (fun p ->
-          match str_field "container" p with
-          | None -> ()
-          | Some container ->
-            let kind = Option.value ~default:"eq" (str_field "kind" p) in
-            let cand = Option.value ~default:0 (int_field "candidates" p) in
-            let matches = Option.value ~default:0 (int_field "matches" p) in
-            incr pred_events;
-            bump_event (container, kind) 1;
-            upd container (fun c ->
-                {
-                  c with
-                  c_eq = (c.c_eq + if kind = "eq" then 1 else 0);
-                  c_range = (c.c_range + if kind = "range" then 1 else 0);
-                  c_wild = (c.c_wild + if kind = "wild" then 1 else 0);
-                  c_exists = (c.c_exists + if kind = "exists" then 1 else 0);
-                  c_join = (c.c_join + if kind = "join" then 1 else 0);
-                  c_candidates = c.c_candidates + cand;
-                  c_matches = c.c_matches + matches;
-                }))
-        (list_field "predicates" record);
-      List.iter
-        (fun t ->
-          match str_field "container" t with
-          | None -> ()
-          | Some container ->
-            let bytes = Option.value ~default:0 (int_field "decoded_bytes" t) in
-            upd container (fun c ->
-                { c with c_queries = c.c_queries + 1; c_decoded_bytes = c.c_decoded_bytes + bytes }))
-        (list_field "containers" record))
-    records;
-  (* no pushed predicates anywhere: fall back to container-touch events
-     so a navigation-only workload still fingerprints *)
-  if !pred_events = 0 then
-    Smap.iter (fun container c -> if c.c_queries > 0 then bump_event (container, "touch") c.c_queries) !stats;
-  let total = Kmap.fold (fun _ n acc -> acc + n) !events 0 in
+    (fun o ->
+      g.g_pred_events <- g.g_pred_events + 1;
+      bump_event g (o.ob_container, o.ob_kind) 1;
+      upd_stat g o.ob_container (fun c ->
+          {
+            c with
+            c_eq = (c.c_eq + if o.ob_kind = "eq" then 1 else 0);
+            c_range = (c.c_range + if o.ob_kind = "range" then 1 else 0);
+            c_wild = (c.c_wild + if o.ob_kind = "wild" then 1 else 0);
+            c_exists = (c.c_exists + if o.ob_kind = "exists" then 1 else 0);
+            c_join = (c.c_join + if o.ob_kind = "join" then 1 else 0);
+            c_candidates = c.c_candidates + o.ob_candidates;
+            c_matches = c.c_matches + o.ob_matches;
+          }))
+    predicates;
+  List.iter
+    (fun (container, bytes) ->
+      upd_stat g container (fun c ->
+          { c with c_queries = c.c_queries + 1; c_decoded_bytes = c.c_decoded_bytes + bytes }))
+    containers
+
+let agg_merge ~(into : agg) (src : agg) : unit =
+  into.g_records <- into.g_records + src.g_records;
+  into.g_pred_events <- into.g_pred_events + src.g_pred_events;
+  Hashtbl.iter (fun k n -> bump_event into k n) src.g_events;
+  Hashtbl.iter
+    (fun container (s : cstat) ->
+      upd_stat into container (fun c ->
+          {
+            c with
+            c_eq = c.c_eq + s.c_eq;
+            c_range = c.c_range + s.c_range;
+            c_wild = c.c_wild + s.c_wild;
+            c_exists = c.c_exists + s.c_exists;
+            c_join = c.c_join + s.c_join;
+            c_candidates = c.c_candidates + s.c_candidates;
+            c_matches = c.c_matches + s.c_matches;
+            c_queries = c.c_queries + s.c_queries;
+            c_decoded_bytes = c.c_decoded_bytes + s.c_decoded_bytes;
+          }))
+    src.g_stats
+
+let agg_fingerprint (g : agg) : fingerprint =
+  let stats =
+    Hashtbl.fold (fun container c m -> Smap.add container c m) g.g_stats Smap.empty
+  in
+  let events =
+    if g.g_pred_events > 0 then
+      Hashtbl.fold (fun k n m -> Kmap.add k n m) g.g_events Kmap.empty
+    else
+      (* no pushed predicates anywhere: fall back to container-touch
+         events so a navigation-only workload still fingerprints *)
+      Smap.fold
+        (fun container c m ->
+          if c.c_queries > 0 then Kmap.add (container, "touch") c.c_queries m else m)
+        stats Kmap.empty
+  in
+  let total = Kmap.fold (fun _ n acc -> acc + n) events 0 in
   let weights =
     if total = 0 then []
-    else
-      Kmap.bindings !events
-      |> List.map (fun (k, n) -> (k, float_of_int n /. float_of_int total))
+    else Kmap.bindings events |> List.map (fun (k, n) -> (k, float_of_int n /. float_of_int total))
   in
-  {
-    records = List.length records;
-    weights;
-    containers = List.map snd (Smap.bindings !stats);
-  }
+  { records = g.g_records; weights; containers = List.map snd (Smap.bindings stats) }
+
+(* Decompose one parsed query-log record into the aggregator's
+   vocabulary: entries without a container field are dropped, exactly
+   as the previous monolithic aggregation did. *)
+let record_observations (record : Json.t) : obs list * (string * int) list =
+  let predicates =
+    List.filter_map
+      (fun p ->
+        match str_field "container" p with
+        | None -> None
+        | Some container ->
+          Some
+            {
+              ob_container = container;
+              ob_kind = Option.value ~default:"eq" (str_field "kind" p);
+              ob_candidates = Option.value ~default:0 (int_field "candidates" p);
+              ob_matches = Option.value ~default:0 (int_field "matches" p);
+            })
+      (list_field "predicates" record)
+  in
+  let containers =
+    List.filter_map
+      (fun t ->
+        match str_field "container" t with
+        | None -> None
+        | Some container ->
+          Some (container, Option.value ~default:0 (int_field "decoded_bytes" t)))
+      (list_field "containers" record)
+  in
+  (predicates, containers)
+
+let of_records records =
+  let g = agg_create () in
+  List.iter
+    (fun record ->
+      let predicates, containers = record_observations record in
+      agg_add g ~predicates ~containers)
+    records;
+  agg_fingerprint g
 
 let of_weighted_events events =
   let merged =

@@ -52,6 +52,51 @@ val selectivity : cstat -> float option
     Raises [Sys_error] when the file cannot be read. *)
 val load_jsonl : string -> Json.t list
 
+(** {2 Incremental aggregation}
+
+    The one implementation of fingerprint semantics: {!of_records}
+    (the offline [xquec profile] path) and the streaming {!Watch}
+    watchdog both feed queries through an {!agg}, so the two ways of
+    observing a workload cannot drift apart. *)
+
+(** One container-resolved predicate observation of a single query —
+    the same vocabulary the executor emits and the query log records
+    under ["predicates"]. *)
+type obs = {
+  ob_container : string;  (** container path *)
+  ob_kind : string;  (** ["eq"], ["range"], ["wild"], ["exists"] or ["join"] *)
+  ob_candidates : int;  (** records the predicate considered *)
+  ob_matches : int;  (** records that matched *)
+}
+
+(** A mutable fingerprint accumulator. Not thread-safe: callers that
+    share one (the watchdog) serialize access themselves. *)
+type agg
+
+(** A fresh, empty accumulator. *)
+val agg_create : unit -> agg
+
+(** Queries aggregated so far. *)
+val agg_records : agg -> int
+
+(** Fold one query into the accumulator: its predicate observations
+    plus the [(container path, decoded bytes)] pairs of the containers
+    it touched (the query log's ["containers"] tags). *)
+val agg_add : agg -> predicates:obs list -> containers:(string * int) list -> unit
+
+(** Fold [src] into [into] ([src] is left untouched) — how the
+    watchdog combines its ring of window buckets into one rolling
+    fingerprint. *)
+val agg_merge : into:agg -> agg -> unit
+
+(** Freeze the accumulator into a {!fingerprint} (normalized weights,
+    containers sorted by path). The accumulator stays usable. *)
+val agg_fingerprint : agg -> fingerprint
+
+(** Decompose one parsed query-log record into {!agg_add} inputs
+    (entries without a ["container"] field are dropped). *)
+val record_observations : Json.t -> obs list * (string * int) list
+
 (** Aggregate parsed query-log records into a fingerprint. *)
 val of_records : Json.t list -> fingerprint
 
@@ -82,6 +127,12 @@ type recommendation = {
     else keeps its size. [heat] is a [Heat.snapshot_json] value; without
     it only the selectivity rule can fire. *)
 val recommend : ?heat:Json.t -> fingerprint -> recommendation list
+
+(** One {!cstat} as the JSON object the reports embed
+    ([{container,eq,range,wild,exists,join,candidates,matches,
+    selectivity,queries,decoded_bytes}]) — shared with the watchdog's
+    [/watch] payload. *)
+val cstat_json : cstat -> Json.t
 
 (** The full report as JSON — what [xquec profile --json] prints:
     [{records, weights:[{container,kind,weight}], containers:[...],

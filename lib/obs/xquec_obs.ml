@@ -17,6 +17,8 @@ module Budget = Budget
 module Gate = Gate
 module Heat = Heat
 module Profile = Profile
+module Watch = Watch
+module Alert = Alert
 
 let set_enabled (b : bool) : unit = Control.enabled := b
 

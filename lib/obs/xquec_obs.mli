@@ -48,6 +48,15 @@ module Heat = Heat
     recommendations over the JSONL query log. *)
 module Profile = Profile
 
+(** Streaming workload watchdog: rolling windowed fingerprints fed by
+    the executor's per-query observations, drift vs the declared
+    build-time mix, live block-size recommendations. *)
+module Watch = Watch
+
+(** Threshold + sustain-for-K-windows alert rules over named signals,
+    evaluated once per watchdog tick. *)
+module Alert = Alert
+
 (** Turn the global trace/metrics sinks on or off. *)
 val set_enabled : bool -> unit
 

@@ -560,7 +560,8 @@ let test_expo_http_roundtrip () =
   Alcotest.(check bool) "bound an ephemeral port" true (port > 0);
   let status, body = http_request ~port "/healthz" in
   Alcotest.(check int) "healthz status" 200 status;
-  Alcotest.(check string) "healthz body" "ok\n" body;
+  Alcotest.(check bool) "healthz readiness json" true (contains ~needle:"\"status\":\"ok\"" body);
+  Alcotest.(check bool) "healthz reports watchdog" true (contains ~needle:"\"watchdog\"" body);
   let status, body = http_request ~port "/metrics" in
   Alcotest.(check int) "metrics status" 200 status;
   List.iter

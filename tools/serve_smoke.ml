@@ -1,10 +1,12 @@
 (* Serving smoke check (`make serve-smoke`): start the real `xquec
    serve` binary against a small repository, fire a burst of concurrent
-   requests at it through Xquec_obs.Hammer (the curl-equivalent), and
-   assert a clean shutdown on SIGTERM. This is the one place the whole
-   serving stack — CLI flag parsing, worker fan-out, admission, plan
-   cache, metrics endpoints, signal-driven teardown — runs as an
-   operator would run it, process boundary included.
+   requests at it through Xquec_obs.Hammer (the curl-equivalent),
+   replay a shifted query mix until the drift watchdog raises
+   [drift_sustained] on /alerts and in the alert log, and assert a
+   clean shutdown on SIGTERM. This is the one place the whole serving
+   stack — CLI flag parsing, worker fan-out, admission, plan cache,
+   metrics endpoints, watchdog ticker, signal-driven teardown — runs as
+   an operator would run it, process boundary included.
 
      serve_smoke XQUEC_EXE INPUT.xqc
 
@@ -13,18 +15,34 @@
 
 let die fmt = Fmt.kstr (fun s -> prerr_endline ("serve_smoke: " ^ s); exit 1) fmt
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
 let () =
   let exe, input =
     match Sys.argv with
     | [| _; exe; input |] -> (exe, input)
     | _ -> die "usage: serve_smoke XQUEC_EXE INPUT.xqc"
   in
+  (* declared workload: the same point query the burst replays, so the
+     watchdog sees drift ~0 until the shifted phase starts *)
+  let q = "document(\"auction.xml\")/site/people/person[@id = \"person0\"]/name" in
+  let workload_file = Filename.temp_file "serve_smoke_workload" ".xq" in
+  let alerts_log = Filename.temp_file "serve_smoke_alerts" ".jsonl" in
+  let oc = open_out workload_file in
+  output_string oc (q ^ "\n");
+  close_out oc;
   (* port 0: the server picks a free port and prints it; modest worker
-     and admission settings so the flags themselves are exercised *)
+     and admission settings so the flags themselves are exercised; a
+     sub-second watch window so the drift alert can fire within the
+     smoke budget *)
   let argv =
     [|
       exe; "serve"; input; "-p"; "0"; "--serve-workers"; "2"; "--max-inflight"; "32";
-      "--plan-cache"; "16";
+      "--plan-cache"; "16"; "--watch-window"; "0.2"; "--drift-alert"; "0.5";
+      "--alerts-log"; alerts_log; "-w"; workload_file;
     |]
   in
   let out_read, out_write = Unix.pipe () in
@@ -64,7 +82,10 @@ let () =
   (* health + one sequential query first, then the concurrent burst *)
   let h = Xquec_obs.Hammer.request ~port "/healthz" in
   if h.Xquec_obs.Hammer.r_status <> 200 then die "healthz returned %d" h.Xquec_obs.Hammer.r_status;
-  let q = "document(\"auction.xml\")/site/people/person[@id = \"person0\"]/name" in
+  if not (contains h.Xquec_obs.Hammer.r_body "\"status\":\"ok\"") then
+    die "healthz is not the readiness JSON: %s" h.Xquec_obs.Hammer.r_body;
+  if not (contains h.Xquec_obs.Hammer.r_body "\"watchdog\"") then
+    die "healthz readiness JSON lacks the watchdog section: %s" h.Xquec_obs.Hammer.r_body;
   let r = Xquec_obs.Hammer.request ~port ~meth:"POST" ~body:q "/query" in
   if r.Xquec_obs.Hammer.r_status <> 200 then
     die "query returned %d: %s" r.Xquec_obs.Hammer.r_status r.Xquec_obs.Hammer.r_body;
@@ -93,17 +114,55 @@ let () =
     List.exists
       (fun (o : Xquec_obs.Hammer.outcome) ->
         o.Xquec_obs.Hammer.o_seq = 1
-        &&
-        let b = o.Xquec_obs.Hammer.o_reply.Xquec_obs.Hammer.r_body in
-        let needle = "xquec_serve_plan_cache_hits" in
-        let nl = String.length needle and bl = String.length b in
-        let rec scan i = i + nl <= bl && (String.sub b i nl = needle || scan (i + 1)) in
-        scan 0)
+        && contains o.Xquec_obs.Hammer.o_reply.Xquec_obs.Hammer.r_body
+             "xquec_serve_plan_cache_hits")
       outcomes
   in
   if not metrics_seen then die "/metrics never exposed xquec_serve_plan_cache_hits";
   Printf.printf "serve_smoke: %d concurrent requests ok (results consistent, metrics live)\n%!"
     (clients * per_client);
+  (* --- drift watchdog: replay a shifted mix until the alert fires --- *)
+  let w = Xquec_obs.Hammer.request ~port "/watch" in
+  if w.Xquec_obs.Hammer.r_status <> 200 || not (contains w.Xquec_obs.Hammer.r_body "\"enabled\":true")
+  then die "/watch did not report an enabled watchdog: %s" w.Xquec_obs.Hammer.r_body;
+  let shifted =
+    [
+      "for $o in document(\"auction.xml\")/site/open_auctions/open_auction where $o/reserve > \
+       \"100\" return $o/reserve";
+      "for $a in document(\"auction.xml\")/site/closed_auctions/closed_auction for $p in \
+       document(\"auction.xml\")/site/people/person where $p/@id = $a/buyer/@person return \
+       $p/name";
+    ]
+  in
+  let fired = ref false in
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  while (not !fired) && Unix.gettimeofday () < deadline do
+    List.iter
+      (fun sq ->
+        let rep = Xquec_obs.Hammer.request ~port ~meth:"POST" ~body:sq "/query" in
+        if rep.Xquec_obs.Hammer.r_status <> 200 then
+          die "shifted query returned %d: %s" rep.Xquec_obs.Hammer.r_status
+            rep.Xquec_obs.Hammer.r_body)
+      shifted;
+    let a = Xquec_obs.Hammer.request ~port "/alerts" in
+    if
+      a.Xquec_obs.Hammer.r_status = 200
+      && contains a.Xquec_obs.Hammer.r_body "\"rule\":\"drift_sustained\",\"event\":\"fired\""
+    then fired := true
+    else Unix.sleepf 0.1
+  done;
+  if not !fired then die "drift_sustained never fired on /alerts within 15s of the shifted mix";
+  (* the fired transition must also be in the alert log on disk *)
+  let log_data =
+    let ic = open_in_bin alerts_log in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  if not (contains log_data "\"rule\":\"drift_sustained\",\"event\":\"fired\"") then
+    die "alert log %s lacks the drift_sustained fired transition" alerts_log;
+  Printf.printf "serve_smoke: drift_sustained fired on /alerts and in the alert log\n%!";
   (* clean shutdown: SIGTERM, then the process must go away *)
   Unix.kill pid Sys.sigterm;
   (match Unix.waitpid [] pid with
@@ -117,4 +176,6 @@ let () =
     in
     die "unclean shutdown: %s" (describe status));
   close_in_noerr ic;
+  (try Sys.remove workload_file with Sys_error _ -> ());
+  (try Sys.remove alerts_log with Sys_error _ -> ());
   Printf.printf "serve_smoke: clean shutdown\n%!"
