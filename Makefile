@@ -7,7 +7,7 @@ GATE_DIR := _gate
 # The fast, deterministic experiments the quick bench gate reruns on
 # every `make check` (counts, sizes and digests only — quick mode skips
 # timing metrics, and experiments not on this list are skipped).
-GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel join heat serve watch
+GATE_QUICK_EXPERIMENTS := table1 storage_occupancy ablations homomorphic_scan parallel join heat serve watch compact
 
 .PHONY: all build check test bench bench-gate smoke serve-smoke docs clean
 
@@ -101,6 +101,15 @@ smoke: build
 	  --stats --trace-out $(SMOKE_DIR)/query-trace.json \
 	  --query-log $(SMOKE_DIR)/query-log.jsonl
 	$(XQUEC) profile $(SMOKE_DIR)/query-log.jsonl
+	$(XQUEC) query $(SMOKE_DIR)/auction.xqc \
+	  'document("auction.xml")/site/people/person[@id = "person0"]/name' \
+	  > $(SMOKE_DIR)/answer-before.txt
+	$(XQUEC) compact $(SMOKE_DIR)/auction.xqc --block-size 4096 \
+	  -o $(SMOKE_DIR)/auction-compact.xqc
+	$(XQUEC) query $(SMOKE_DIR)/auction-compact.xqc \
+	  'document("auction.xml")/site/people/person[@id = "person0"]/name' \
+	  > $(SMOKE_DIR)/answer-after.txt
+	cmp $(SMOKE_DIR)/answer-before.txt $(SMOKE_DIR)/answer-after.txt
 	dune exec bench/main.exe -- --scale 0.1 --domains 1 \
 	  --json $(SMOKE_DIR)/parallel.json parallel
 	dune exec bench/main.exe -- --scale 0.1 \

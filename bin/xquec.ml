@@ -86,6 +86,16 @@ let decode_domains =
               default is one worker per spare core, or \\$XQUEC_DECODE_DOMAINS when \
               set.")
 
+let prefetch =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "prefetch" ] ~docv:"N"
+        ~doc:"Sequential read-ahead depth: when consecutive blocks of one container are \
+              touched in order, decode the next $(docv) blocks in the background (on the \
+              decode pool) before the cursor reaches them. 0 disables read-ahead. \
+              Default 0 for one-shot commands, 4 under $(b,serve).")
+
 let query_log =
   Arg.(
     value
@@ -212,12 +222,55 @@ let compress_cmd =
                 or $(b,v3) (packed record tree — the kill switch, also reachable via \
                 XQUEC_FORMAT=v3).")
   in
-  let run input output workload format stats trace_out =
+  let adaptive_blocks =
+    Arg.(
+      value & flag
+      & info [ "adaptive-blocks" ]
+          ~doc:"Per-container block sizing from the declared workload (requires \
+                $(b,--workload)): containers dominated by wildcard scans get larger \
+                blocks, containers dominated by equality point lookups get smaller \
+                ones. Without this flag every container keeps the global block size.")
+  in
+  let blocks_from =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "blocks-from" ] ~docv:"PROFILE.json"
+          ~doc:"Seed per-container block sizes from a committed $(b,xquec profile \
+                --json) report: its block-size recommendations are applied to the \
+                freshly built repository before it is written.")
+  in
+  let run input output workload format adaptive_blocks blocks_from stats trace_out =
     with_telemetry ~stats ~trace_out @@ fun () ->
     Option.iter Storage.Repository.set_default_format format;
     let xml = read_file input in
     let name = Filename.basename input in
-    let engine = Xquec_core.Engine.load ~name ?workload:(read_workload workload) xml in
+    let workload_queries = read_workload workload in
+    let engine = Xquec_core.Engine.load ~name ?workload:workload_queries xml in
+    let repo = Xquec_core.Engine.repo engine in
+    (if adaptive_blocks then
+       match workload_queries with
+       | None ->
+         Fmt.epr "xquec compress: --adaptive-blocks needs --workload; ignoring@."
+       | Some queries ->
+         let wl = Xquec_core.Workload.of_query_strings repo queries in
+         List.iter
+           (fun (path, before, after) ->
+             Fmt.pr "adaptive blocks: %s %d -> %d@." path before after)
+           (Xquec_core.Partitioner.size_blocks repo wl));
+    (match blocks_from with
+    | None -> ()
+    | Some file ->
+      let report = Xquec_obs.Json.parse (strip_bom (read_file file)) in
+      let recs = Xquec_obs.Profile.recommendations_of_report report in
+      let targets = Storage.Compactor.plan repo recs in
+      List.iter
+        (fun (r : Storage.Compactor.result) ->
+          Fmt.pr "profile blocks: %s %d -> %d (%d -> %d blocks)@."
+            r.Storage.Compactor.c_path r.Storage.Compactor.c_block_size_before
+            r.Storage.Compactor.c_block_size_after r.Storage.Compactor.c_blocks_before
+            r.Storage.Compactor.c_blocks_after)
+        (Storage.Compactor.compact repo ~targets));
     let out = Option.value ~default:(input ^ ".xqc") output in
     write_file out (Xquec_core.Engine.save engine);
     let sz = Xquec_core.Engine.size_breakdown engine in
@@ -233,7 +286,9 @@ let compress_cmd =
     Fmt.pr "wrote %s@." out
   in
   Cmd.v (Cmd.info "compress" ~doc:"Compress an XML document into a queryable repository")
-    Term.(const run $ input $ output $ workload $ format $ stats_flag $ trace_out)
+    Term.(
+      const run $ input $ output $ workload $ format $ adaptive_blocks $ blocks_from
+      $ stats_flag $ trace_out)
 
 (* --- decompress ----------------------------------------------------- *)
 
@@ -258,8 +313,9 @@ let query_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
   let timing = Arg.(value & flag & info [ "t"; "time" ] ~doc:"Print the evaluation time.") in
-  let run input query timing stats trace_out cache_mb decode_domains query_log =
+  let run input query timing stats trace_out cache_mb decode_domains query_log prefetch =
     with_telemetry ~stats ~trace_out ?cache_mb ?decode_domains ?query_log @@ fun () ->
+    Option.iter Storage.Container.set_prefetch_depth prefetch;
     let engine = load_engine_any input in
     let t0 = Unix.gettimeofday () in
     let result, _prof = Xquec_core.Engine.query_serialized_logged engine query in
@@ -273,7 +329,7 @@ let query_cmd =
              decompressed only for output)")
     Term.(
       const run $ input $ query $ timing $ stats_flag $ trace_out $ cache_mb
-      $ decode_domains $ query_log)
+      $ decode_domains $ query_log $ prefetch)
 
 (* --- explain -------------------------------------------------------- *)
 
@@ -404,13 +460,25 @@ let serve_cmd =
                 drift against its fingerprint. Without it the watchdog still tracks \
                 the rolling fingerprint but computes no drift.")
   in
+  let no_auto_compact =
+    Arg.(
+      value & flag
+      & info [ "no-auto-compact" ]
+          ~doc:"Do not start a background re-compaction when the \
+                $(b,drift_sustained) alert fires. By default a sustained drift \
+                turns the live fingerprint into block-size advice and re-blocks \
+                the affected containers online (copy-on-write swap; queries keep \
+                flowing). GET /compact reports either way.")
+  in
   let run input port host serve_workers max_inflight query_wall_ms query_decode_mb
-      plan_cache watch_window drift_alert alerts_log serve_workload cache_mb
-      decode_domains query_log =
+      plan_cache watch_window drift_alert alerts_log serve_workload no_auto_compact
+      cache_mb decode_domains query_log prefetch =
     with_telemetry ~stats:false ~trace_out:None ?cache_mb ?decode_domains ?query_log
     @@ fun () ->
     (* metrics + spans always on under serve: the endpoint exists to be scraped *)
     Xquec_obs.set_enabled true;
+    (* read-ahead on by default for a long-lived server; --prefetch 0 disables *)
+    Storage.Container.set_prefetch_depth (Option.value ~default:4 prefetch);
     let workers =
       match serve_workers with
       | Some n -> max 0 n
@@ -422,6 +490,8 @@ let serve_cmd =
       ();
     let engine, format = load_engine_any_with_format input in
     Xquec_core.Serve.set_server_info ~format ();
+    Xquec_core.Serve.set_auto_compact
+      (if no_auto_compact then None else Some (Xquec_core.Engine.repo engine));
     (* declared build-time mix: re-analyze the workload queries against
        the served repository (the on-disk format does not retain the
        workload the repository was compressed under) *)
@@ -451,7 +521,7 @@ let serve_cmd =
     in
     Fmt.pr
       "xquec serve: listening on http://%s:%d (endpoints: /metrics /healthz /query /stats \
-       /heat /watch /alerts)@."
+       /heat /watch /alerts /compact)@."
       host (Xquec_obs.Expo.port server);
     Fmt.pr
       "xquec serve: %d worker(s), max-inflight %s, plan cache %s, budgets wall %s decode %s@."
@@ -477,12 +547,112 @@ let serve_cmd =
              (readiness JSON) and GET /stats (JSON) for probes and debugging; GET /watch \
              and GET /alerts surface the streaming drift watchdog. Connections fan out \
              onto a worker-domain pool with accept-time admission control, per-query \
-             wall/decode budgets, and an LRU plan cache — see docs/SERVING.md for the \
-             operator guide.")
+             wall/decode budgets, and an LRU plan cache; GET /compact reports the \
+             background compactor that re-blocks drifted containers online — see \
+             docs/SERVING.md for the operator guide.")
     Term.(
       const run $ input $ port $ host $ serve_workers $ max_inflight $ query_wall_ms
       $ query_decode_mb $ plan_cache $ watch_window $ drift_alert $ alerts_log
-      $ serve_workload $ cache_mb $ decode_domains $ query_log)
+      $ serve_workload $ no_auto_compact $ cache_mb $ decode_domains $ query_log
+      $ prefetch)
+
+(* --- compact ---------------------------------------------------------- *)
+
+let compact_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.xqc") in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT.xqc"
+          ~doc:"Where to write the re-blocked repository (default: rewrite INPUT in \
+                place).")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "profile" ] ~docv:"PROFILE.json"
+          ~doc:"An $(b,xquec profile --json) report: its block-size recommendations \
+                pick the containers and target sizes.")
+  in
+  let container =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "container" ] ~docv:"PATH"
+          ~doc:"Re-block only the container with this assignment path (requires \
+                $(b,--block-size)).")
+  in
+  let block_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block-size" ] ~docv:"BYTES"
+          ~doc:"Target block size in plain-text bytes (clamped to the supported \
+                range). Alone it re-blocks every non-empty container; with \
+                $(b,--container) only that one.")
+  in
+  let run input output profile container block_size stats trace_out =
+    with_telemetry ~stats ~trace_out @@ fun () ->
+    let engine, format = load_engine_any_with_format input in
+    let repo = Xquec_core.Engine.repo engine in
+    let targets =
+      match (profile, (container, block_size)) with
+      | Some _, (Some _, _ | _, Some _) ->
+        Fmt.epr "xquec compact: --profile cannot be combined with --container / \
+                 --block-size@.";
+        exit 2
+      | Some file, (None, None) ->
+        let report = Xquec_obs.Json.parse (strip_bom (read_file file)) in
+        Storage.Compactor.plan repo (Xquec_obs.Profile.recommendations_of_report report)
+      | None, (Some path, Some size) -> (
+        match Storage.Repository.find_container_by_path repo path with
+        | Some c -> [ (c.Storage.Container.id, size) ]
+        | None ->
+          Fmt.epr "xquec compact: no container with path %s@." path;
+          exit 1)
+      | None, (Some _, None) ->
+        Fmt.epr "xquec compact: --container requires --block-size@.";
+        exit 2
+      | None, (None, Some size) ->
+        Array.to_list repo.Storage.Repository.containers
+        |> List.filter_map (fun (c : Storage.Container.t) ->
+               if c.Storage.Container.n_records = 0 then None
+               else Some (c.Storage.Container.id, size))
+      | None, (None, None) ->
+        Fmt.epr "xquec compact: nothing to do — pass --profile, or --block-size \
+                 (optionally with --container)@.";
+        exit 2
+    in
+    let results = Storage.Compactor.compact repo ~targets in
+    if results = [] then Fmt.pr "nothing to re-block (all targets were no-ops)@."
+    else
+      List.iter
+        (fun (r : Storage.Compactor.result) ->
+          Fmt.pr "%-48s %7d B -> %7d B  (%d -> %d blocks, %d records, epoch %d, %.1f ms)@."
+            r.Storage.Compactor.c_path r.Storage.Compactor.c_block_size_before
+            r.Storage.Compactor.c_block_size_after r.Storage.Compactor.c_blocks_before
+            r.Storage.Compactor.c_blocks_after r.Storage.Compactor.c_records
+            r.Storage.Compactor.c_epoch r.Storage.Compactor.c_wall_ms)
+        results;
+    (* keep the input's on-disk format: a v3 repository stays v3 *)
+    if format = "v3" then Storage.Repository.set_default_format `V3;
+    let out = Option.value ~default:input output in
+    write_file out (Xquec_core.Engine.save engine);
+    Fmt.pr "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Re-block a repository's value containers toward profiled block sizes: \
+             either apply the recommendations of an $(b,xquec profile --json) report \
+             (--profile) or force an explicit size (--block-size, optionally scoped by \
+             --container). Record order, compression algorithms and query results are \
+             unchanged — only the block boundaries (and so header pruning granularity \
+             and decode batch size) move.")
+    Term.(
+      const run $ input $ output $ profile $ container $ block_size $ stats_flag
+      $ trace_out)
 
 (* --- profile --------------------------------------------------------- *)
 
@@ -616,5 +786,5 @@ let () =
              ~doc:"XQueC: an XQuery processor and compressor (EDBT 2004 reproduction)")
           [
             compress_cmd; decompress_cmd; query_cmd; explain_cmd; stats_cmd; serve_cmd;
-            profile_cmd; generate_cmd;
+            compact_cmd; profile_cmd; generate_cmd;
           ]))

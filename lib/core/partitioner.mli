@@ -29,6 +29,18 @@ val search : ?seed:int -> ?weights:Cost_model.weights -> Repository.t -> Workloa
     union of values, recompress, and fix up tree value pointers. *)
 val apply : Repository.t -> Cost_model.configuration -> unit
 
+(** Build-time per-container block sizing: for every container the
+    declared workload touches, derive its dominant access pattern from
+    the predicate classes (wildcard-dominated → {!Container.Seq_heavy},
+    eq-dominated → {!Container.Random_selective}, else
+    {!Container.Mixed}), pick a size via {!Container.pick_block_size}
+    and {!Container.reblock} in place when it differs from the current
+    size. Record order is untouched — no pointer remapping. Returns
+    [(path, old size, new size)] per re-blocked container. Opt-in from
+    the CLI ([xquec compress --adaptive-blocks]); not part of
+    {!optimize}, so default builds keep the global block size. *)
+val size_blocks : Storage.Repository.t -> Workload.t -> (string * int * int) list
+
 (** Analyze, search and apply in one call. *)
 val optimize :
   ?seed:int -> ?weights:Cost_model.weights -> Repository.t -> Xquery.Ast.expr list -> result

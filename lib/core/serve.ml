@@ -9,6 +9,7 @@
      GET  /heat           container heat snapshot as JSON
      GET  /watch          watchdog snapshot: fingerprint, drift, advice
      GET  /alerts         alert rules, active set, recent transitions
+     GET  /compact        background compactor status + recent results
      GET  /healthz        readiness JSON (intercepts the Expo builtin)
 
    Queries run on whichever Expo domain handles the connection — the
@@ -183,6 +184,9 @@ let publish_pool_metrics () : unit =
   Metrics.set_counter "bufferpool.scan_inserts" s.Storage.Buffer_pool.s_scan_inserts;
   Metrics.set_counter "bufferpool.payload_bytes" s.Storage.Buffer_pool.s_payload_bytes;
   Metrics.set_counter "bufferpool.skipped_bytes" s.Storage.Buffer_pool.s_skipped_bytes;
+  Metrics.set_counter "bufferpool.invalidations" s.Storage.Buffer_pool.s_invalidations;
+  Metrics.set_counter "bufferpool.prefetch_fills" s.Storage.Buffer_pool.s_prefetch_fills;
+  Metrics.set_counter "bufferpool.prefetch_hits" s.Storage.Buffer_pool.s_prefetch_hits;
   Metrics.set_gauge "bufferpool.resident_bytes"
     (float_of_int s.Storage.Buffer_pool.s_resident_bytes);
   Metrics.set_gauge "bufferpool.resident_blocks"
@@ -192,8 +196,14 @@ let publish_pool_metrics () : unit =
   Metrics.set_counter "decodepool.batches" d.Storage.Domain_pool.p_batches;
   Metrics.set_counter "decodepool.tasks" d.Storage.Domain_pool.p_tasks;
   Metrics.set_counter "decodepool.inline_tasks" d.Storage.Domain_pool.p_inline;
+  Metrics.set_counter "decodepool.async_tasks" d.Storage.Domain_pool.p_async;
   Metrics.set_gauge "decodepool.max_queue_depth"
     (float_of_int d.Storage.Domain_pool.p_max_queue_depth);
+  let k = Storage.Compactor.snapshot () in
+  Metrics.set_counter "compactor.compactions" k.Storage.Compactor.k_compactions;
+  Metrics.set_counter "compactor.blocks_rewritten" k.Storage.Compactor.k_blocks_rewritten;
+  Metrics.set_counter "compactor.bytes_rewritten" k.Storage.Compactor.k_bytes_rewritten;
+  Metrics.set_gauge "compactor.busy" (if Storage.Compactor.busy () then 1.0 else 0.0);
   let j = Executor.join_stats () in
   Metrics.set_counter "executor.join.block_joins" j.Executor.j_block_joins;
   Metrics.set_counter "executor.join.blocks_probed" j.Executor.j_blocks_probed;
@@ -318,9 +328,48 @@ let watch_signals (st : Watch.status) : (string * float) list =
   @ (if d_pc_look > 0 then [ ("plan_cache_hit_rate", ratio d_pc_hits d_pc_look) ] else [])
   @ if d_bp_look > 0 then [ ("buffer_pool_hit_rate", ratio d_bp_hits d_bp_look) ] else []
 
+(* --- drift-triggered auto-compaction --------------------------------- *)
+
+(* When serve registers its repository here, a [drift_sustained] firing
+   closes the loop: the live rolling fingerprint (joined with container
+   heat) is turned into block-size advice by [Profile.recommend], the
+   advice into concrete (id, size) targets by [Compactor.plan], and the
+   targets handed to the background [Compactor.request] — queries keep
+   flowing through the copy-on-write swap. [--no-auto-compact] simply
+   never registers the repository. *)
+let auto_compact_repo : Storage.Repository.t option ref = ref None
+
+let set_auto_compact (repo : Storage.Repository.t option) : unit =
+  auto_compact_repo := repo
+
+let maybe_auto_compact (transitions : Alert.transition list) : unit =
+  match !auto_compact_repo with
+  | None -> ()
+  | Some repo ->
+    let fired =
+      List.exists
+        (fun (t : Alert.transition) ->
+          t.Alert.t_rule = "drift_sustained" && t.Alert.t_event = "fired")
+        transitions
+    in
+    if fired then begin
+      let advice =
+        Profile.recommend ~heat:(Heat.snapshot_json ()) (Watch.fingerprint ())
+        |> List.filter_map (fun (r : Profile.recommendation) ->
+               if r.Profile.r_action = "keep" then None
+               else Some (r.Profile.r_container, r.Profile.r_factor))
+      in
+      match Storage.Compactor.plan repo advice with
+      | [] -> ()
+      | targets ->
+        if Storage.Compactor.request repo ~targets then
+          Metrics.incr "serve.compactions_triggered"
+    end
+
 let watch_tick ?now () : Watch.status * Alert.transition list =
   let st = Watch.tick ?now () in
   let transitions = Alert.evaluate ?now (watch_signals st) in
+  maybe_auto_compact transitions;
   publish_window_metrics ();
   (st, transitions)
 
@@ -489,6 +538,10 @@ let handler (engine : Engine.t) : Expo.handler =
     Some
       (Expo.respond 200 "application/json; charset=utf-8"
          (Json.to_string (Watch.snapshot_json ()) ^ "\n"))
+  | "GET", "/compact" ->
+    Some
+      (Expo.respond 200 "application/json; charset=utf-8"
+         (Json.to_string (Storage.Compactor.status_json ()) ^ "\n"))
   | "GET", "/alerts" ->
     Some
       (Expo.respond 200 "application/json; charset=utf-8"

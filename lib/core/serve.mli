@@ -9,7 +9,9 @@
     {!Xquec_obs.Heat.snapshot_json}), [GET /watch] (live watchdog
     snapshot, {!Xquec_obs.Watch.snapshot_json}), [GET /alerts] (alert
     rules + active set + recent transitions,
-    {!Xquec_obs.Alert.snapshot_json}) and [GET /healthz] (readiness
+    {!Xquec_obs.Alert.snapshot_json}), [GET /compact] (background
+    compactor status, {!Storage.Compactor.status_json}) and [GET
+    /healthz] (readiness
     JSON from {!healthz_json}, intercepting the Expo builtin while
     keeping its plain-200 contract). Successful queries return the
     serialized result as [text/plain]; parse or evaluation errors
@@ -80,13 +82,25 @@ val set_budgets : ?wall_ms:float -> ?decode_bytes:int -> unit -> unit
     assembles this tick's signal readings and runs the alert rules
     ({!Xquec_obs.Alert}). *)
 
+(** Register the repository that a sustained drift alert may
+    auto-compact ([None] disables the loop — the [--no-auto-compact]
+    path). When set, a [drift_sustained] "fired" transition inside
+    {!watch_tick} turns the live fingerprint + heat into
+    {!Xquec_obs.Profile.recommend} advice, plans concrete targets via
+    {!Storage.Compactor.plan} and starts a background
+    {!Storage.Compactor.request}, bumping
+    ["serve.compactions_triggered"] when a pass actually starts. *)
+val set_auto_compact : Storage.Repository.t option -> unit
+
 (** Close one watchdog window: {!Xquec_obs.Watch.tick}, evaluate the
     alert rules against this tick's signals — [drift] / [drift_ewma]
     (when computable), [error_rate] and [budget_408_rate] (when the
     tick saw requests), [plan_cache_hit_rate] / [buffer_pool_hit_rate]
     (when the tick saw lookups; rates are per-tick counter deltas) —
-    and refresh the SLO-window gauges. Returns the watchdog reading
-    and any alert transitions. [?now] for deterministic tests. *)
+    run the drift-triggered auto-compaction hook (see
+    {!set_auto_compact}) and refresh the SLO-window gauges. Returns
+    the watchdog reading and any alert transitions. [?now] for
+    deterministic tests. *)
 val watch_tick : ?now:float -> unit -> Xquec_obs.Watch.status * Xquec_obs.Alert.transition list
 
 (** Re-anchor the per-tick counter deltas at the current values so the

@@ -286,6 +286,23 @@ let recommend ?heat fp =
       | None, _ -> keep "no pushed predicates observed; nothing to optimize against")
     fp.containers
 
+(* Parse the "recommendations" array of a report back into actionable
+   (path, factor) pairs — the consumer side of report_json, used by
+   `xquec compress --blocks-from` and `xquec compact --profile`. *)
+let recommendations_of_report (report : Json.t) : (string * float) list =
+  match Option.bind (Json.member "recommendations" report) Json.to_list with
+  | None -> []
+  | Some recs ->
+    List.filter_map
+      (fun r ->
+        match (str_field "container" r, str_field "action" r) with
+        | Some path, Some action when action <> "keep" ->
+          (match Option.bind (Json.member "factor" r) Json.to_float with
+          | Some f when f > 0.0 -> Some (path, f)
+          | _ -> None)
+        | _ -> None)
+      recs
+
 (* ---- reports ---- *)
 
 let num n = Json.Num (float_of_int n)

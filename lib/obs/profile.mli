@@ -128,6 +128,14 @@ type recommendation = {
     it only the selectivity rule can fire. *)
 val recommend : ?heat:Json.t -> fingerprint -> recommendation list
 
+(** Parse the ["recommendations"] array of a {!report_json} value back
+    into actionable [(container path, factor)] pairs, dropping ["keep"]
+    actions, non-positive factors and malformed entries — the consumer
+    side of the report, used by [xquec compress --blocks-from] and
+    [xquec compact --profile] to turn a committed profile into
+    block-size targets. *)
+val recommendations_of_report : Json.t -> (string * float) list
+
 (** One {!cstat} as the JSON object the reports embed
     ([{container,eq,range,wild,exists,join,candidates,matches,
     selectivity,queries,decoded_bytes}]) — shared with the watchdog's

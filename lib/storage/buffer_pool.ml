@@ -46,6 +46,7 @@ type node = {
   value : decoded;
   mutable prev : node option;  (* towards the front (more recent) *)
   mutable next : node option;  (* towards the back (less recent) *)
+  mutable n_prefetched : bool;  (* installed by prefetch, not yet demanded *)
 }
 
 (* A latch for an in-flight decode. Lifecycle: created under the pool
@@ -98,6 +99,16 @@ let blocks_skipped = Atomic.make 0
 
 let scan_inserts = Atomic.make 0 (* blocks admitted at the LRU tail *)
 
+(* Invalidation drops are accounted separately from [evictions]:
+   evictions measure capacity pressure, invalidations measure container
+   churn (recompression / compaction swaps). Mixing them made hit-rate
+   alerts misread a swap as thrash. *)
+let invalidations = Atomic.make 0
+
+let prefetch_fills = Atomic.make 0 (* blocks decoded ahead of the cursor *)
+
+let prefetch_hits = Atomic.make 0 (* demand fetches served by a prefetched block *)
+
 (* compressed-payload bytes actually decoded vs. pruned via headers —
    the same unit on both sides, so a query log can report a meaningful
    decoded-vs-skipped ratio (d_bytes above is the in-memory charge,
@@ -119,6 +130,9 @@ type stats = {
   s_decoded_bytes : int;
   s_blocks_skipped : int;
   s_scan_inserts : int;
+  s_invalidations : int;
+  s_prefetch_fills : int;
+  s_prefetch_hits : int;
   s_payload_bytes : int;
   s_skipped_bytes : int;
   s_resident_bytes : int;
@@ -137,6 +151,9 @@ let snapshot () : stats =
     s_decoded_bytes = Atomic.get decoded_bytes;
     s_blocks_skipped = Atomic.get blocks_skipped;
     s_scan_inserts = Atomic.get scan_inserts;
+    s_invalidations = Atomic.get invalidations;
+    s_prefetch_fills = Atomic.get prefetch_fills;
+    s_prefetch_hits = Atomic.get prefetch_hits;
     s_payload_bytes = Atomic.get payload_bytes;
     s_skipped_bytes = Atomic.get skipped_bytes;
     s_resident_bytes = rb;
@@ -256,9 +273,15 @@ let fetch ?(admission = Mru) ~(uid : int) ~(gen : int) ~(blk : int)
   match Hashtbl.find_opt table key with
   | Some (Resident n) ->
     touch n;
+    let was_prefetched = n.n_prefetched in
+    n.n_prefetched <- false;
     Mutex.unlock lock;
     Atomic.incr hits;
-    if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr "bufferpool.hits";
+    if was_prefetched then Atomic.incr prefetch_hits;
+    if Xquec_obs.is_enabled () then begin
+      Xquec_obs.Metrics.incr "bufferpool.hits";
+      if was_prefetched then Xquec_obs.Metrics.incr "bufferpool.prefetch_hits"
+    end;
     n.value
   | Some (Pending l) ->
     Mutex.unlock lock;
@@ -276,7 +299,7 @@ let fetch ?(admission = Mru) ~(uid : int) ~(gen : int) ~(blk : int)
          handed to the waiters but not cached. *)
       (match Hashtbl.find_opt table key with
       | Some (Pending l') when l' == l ->
-        let n = { nkey = key; value = v; prev = None; next = None } in
+        let n = { nkey = key; value = v; prev = None; next = None; n_prefetched = false } in
         Hashtbl.replace table key (Resident n);
         resident_bytes := !resident_bytes + v.d_bytes;
         resident_blocks := !resident_blocks + 1;
@@ -314,6 +337,60 @@ let fetch ?(admission = Mru) ~(uid : int) ~(gen : int) ~(blk : int)
       settle_latch l (L_failed e);
       raise e)
 
+(* Speculative fill ahead of a sequential cursor. Differs from [fetch]
+   in accounting only: a prefetch decode is NOT a miss (the query never
+   asked for the block yet), it is a [prefetch_fills]; the later demand
+   [fetch] then lands on the hit path (tagged, so it also counts as a
+   [prefetch_hits]). If the block is already resident or another decode
+   of it is in flight, the call is a cheap no-op — in particular a
+   prefetch never blocks on a latch. Admission is [Tail]: read-ahead
+   belongs to the scan's cold end of the list and must not displace the
+   hot working set; an over-budget prefetch simply evicts itself.
+   Returns [true] iff this call decoded and installed the block. *)
+let prefetch ~(uid : int) ~(gen : int) ~(blk : int) (decode : unit -> decoded) : bool =
+  let key = { k_uid = uid; k_gen = gen; k_blk = blk } in
+  Mutex.lock lock;
+  match Hashtbl.find_opt table key with
+  | Some _ ->
+    Mutex.unlock lock;
+    false
+  | None ->
+    let l = { l_mutex = Mutex.create (); l_cond = Condition.create (); l_state = L_decoding } in
+    Hashtbl.replace table key (Pending l);
+    Mutex.unlock lock;
+    (match decode () with
+    | v ->
+      Mutex.lock lock;
+      (match Hashtbl.find_opt table key with
+      | Some (Pending l') when l' == l ->
+        let n = { nkey = key; value = v; prev = None; next = None; n_prefetched = true } in
+        Hashtbl.replace table key (Resident n);
+        resident_bytes := !resident_bytes + v.d_bytes;
+        resident_blocks := !resident_blocks + 1;
+        push_back n;
+        evict_to_budget ~keep:None
+      | _ -> ());
+      Mutex.unlock lock;
+      ignore (Atomic.fetch_and_add decoded_bytes v.d_bytes);
+      Atomic.incr prefetch_fills;
+      if Xquec_obs.is_enabled () then begin
+        Xquec_obs.Metrics.incr "bufferpool.prefetch_fills";
+        Xquec_obs.Metrics.incr ~by:v.d_bytes "bufferpool.decoded_bytes";
+        Mutex.lock lock;
+        publish_residency ();
+        Mutex.unlock lock
+      end;
+      settle_latch l (L_done v);
+      true
+    | exception e ->
+      Mutex.lock lock;
+      (match Hashtbl.find_opt table key with
+      | Some (Pending l') when l' == l -> Hashtbl.remove table key
+      | _ -> ());
+      Mutex.unlock lock;
+      settle_latch l (L_failed e);
+      false)
+
 let note_skipped ?(bytes = 0) (n : int) : unit =
   if n > 0 then begin
     ignore (Atomic.fetch_and_add blocks_skipped n);
@@ -328,7 +405,7 @@ let note_skipped ?(bytes = 0) (n : int) : unit =
 let note_payload_decoded (bytes : int) : unit =
   if bytes > 0 then ignore (Atomic.fetch_and_add payload_bytes bytes)
 
-let invalidate ~(uid : int) : unit =
+let invalidate_container ~(uid : int) : int =
   Mutex.lock lock;
   let victims =
     Hashtbl.fold (fun k e acc -> if k.k_uid = uid then (k, e) :: acc else acc) table []
@@ -343,7 +420,16 @@ let invalidate ~(uid : int) : unit =
         Hashtbl.remove table k)
     victims;
   publish_residency ();
-  Mutex.unlock lock
+  Mutex.unlock lock;
+  let n = List.length victims in
+  if n > 0 then begin
+    ignore (Atomic.fetch_and_add invalidations n);
+    if Xquec_obs.is_enabled () then
+      Xquec_obs.Metrics.incr ~by:n "bufferpool.invalidations"
+  end;
+  n
+
+let invalidate ~(uid : int) : unit = ignore (invalidate_container ~uid)
 
 let clear () : unit =
   Mutex.lock lock;
@@ -363,6 +449,9 @@ let reset_stats () : unit =
   Atomic.set decoded_bytes 0;
   Atomic.set blocks_skipped 0;
   Atomic.set scan_inserts 0;
+  Atomic.set invalidations 0;
+  Atomic.set prefetch_fills 0;
+  Atomic.set prefetch_hits 0;
   Atomic.set payload_bytes 0;
   Atomic.set skipped_bytes 0
 

@@ -55,6 +55,14 @@ type stats = {
   s_decoded_bytes : int;  (** total bytes ever charged by decodes *)
   s_blocks_skipped : int;  (** blocks pruned via headers, never decoded *)
   s_scan_inserts : int;  (** blocks admitted at the LRU tail ({!Tail}) *)
+  s_invalidations : int;
+      (** entries dropped by {!invalidate_container} / {!invalidate} —
+          deliberately NOT counted as [s_evictions]: evictions measure
+          capacity pressure, invalidations measure container churn *)
+  s_prefetch_fills : int;
+      (** blocks decoded speculatively by {!prefetch} (not misses) *)
+  s_prefetch_hits : int;
+      (** demand fetches served by a still-untouched prefetched block *)
   s_payload_bytes : int;
       (** compressed payload bytes actually decoded (same unit as
           [s_skipped_bytes], so decoded-vs-pruned ratios are meaningful;
@@ -111,9 +119,26 @@ val note_skipped : ?bytes:int -> int -> unit
     thunk). *)
 val note_payload_decoded : int -> unit
 
-(** Drop every resident block of container [uid] (used after
-    recompression, together with the generation bump). In-flight decodes
-    for [uid] complete but are not cached. *)
+(** [prefetch ~uid ~gen ~blk decode] speculatively decodes and caches a
+    block ahead of a sequential cursor. If the block is already resident
+    or in flight the call is a cheap no-op (it never blocks on a latch);
+    otherwise it installs a latch, runs [decode] and admits the block at
+    the LRU {!Tail} (read-ahead must not displace the hot working set).
+    The decode counts as [s_prefetch_fills], {e not} a miss; the later
+    demand {!fetch} of the block is a hit that also bumps
+    [s_prefetch_hits]. A failing [decode] is swallowed (the demand fetch
+    will retry and surface the error). Returns [true] iff this call
+    decoded and installed the block. Safe from any domain. *)
+val prefetch : uid:int -> gen:int -> blk:int -> (unit -> decoded) -> bool
+
+(** [invalidate_container ~uid] drops every resident block and pending
+    decode of container [uid] (used when recompression or compaction
+    swaps the container out), returning the number of entries removed.
+    The drops are counted as [s_invalidations], never [s_evictions].
+    In-flight decodes for [uid] complete but are not cached. *)
+val invalidate_container : uid:int -> int
+
+(** {!invalidate_container} ignoring the count. *)
 val invalidate : uid:int -> unit
 
 (** Drop all resident blocks (a "cold cache" for benchmarks). Does not

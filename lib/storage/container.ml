@@ -61,6 +61,13 @@ type t = {
           {!of_sorted_records}, persisted in the v2 flags byte; images
           written before the flag existed load as [false]
           (conservatively disabling the block join on them). *)
+  mutable block_size : int;
+      (** target plaintext bytes per block this container was chunked
+          with — per container since the adaptive-sizing pass, persisted
+          behind flags bit 3 when it differs from the built-in default *)
+  mutable compaction_epoch : int;
+      (** how many times the compactor has re-blocked this container
+          (0 at build; persisted with [block_size]) *)
 }
 
 let length t = t.n_records
@@ -76,11 +83,51 @@ let block_count t = Array.length t.blocks
    varint framing and the pool bookkeeping stay negligible. *)
 let default_block_size_ref = ref 16384
 
+(* The wire format's notion of "the default": a container whose
+   block_size equals this constant (and whose compaction epoch is 0)
+   serializes without the flags-bit-3 extension, which is what keeps
+   re-saves of pre-extension images byte-exact. Deliberately a constant,
+   not [!default_block_size_ref] — serialization must not depend on
+   ambient CLI configuration. *)
+let builtin_block_size = 16384
+
 let set_default_block_size n =
   if n < 1 then invalid_arg "Container.set_default_block_size";
   default_block_size_ref := n
 
 let default_block_size () = !default_block_size_ref
+
+(* Clamp bounds for any adaptive choice: below ~1 KiB blocks are all
+   header and the binary searches stop amortizing; above 256 KiB a
+   single stray predicate decodes more than the old whole-container
+   worst case used to. *)
+let min_block_size = 1024
+
+let max_block_size = 262144
+
+let clamp_block_size n = min max_block_size (max min_block_size n)
+
+(** Declared access pattern of a container, as seen by the build-time
+    sizing pass: mostly scanned/wildcarded, mostly selective point
+    lookups, or anything in between. *)
+type access_pattern = Seq_heavy | Random_selective | Mixed
+
+(* Sequential-heavy containers amortize per-block costs over big blocks;
+   selective-random ones want small blocks so an eq predicate decodes
+   little. Both are floored at 8 average values per block — with wide
+   values a "small" block degenerating to one record per block would be
+   pure framing overhead. *)
+let pick_block_size ~(plain_bytes : int) ~(n_records : int) ~(access : access_pattern) :
+    int =
+  let base = !default_block_size_ref in
+  let scaled =
+    match access with
+    | Seq_heavy -> base * 4
+    | Random_selective -> base / 4
+    | Mixed -> base
+  in
+  let avg = if n_records = 0 then 1 else max 1 (plain_bytes / n_records) in
+  clamp_block_size (max scaled (8 * avg))
 
 (* ------------------------------------------------------------------ *)
 (* Block construction / decoding                                       *)
@@ -185,6 +232,55 @@ let header (t : t) (i : int) : header =
 
 let headers (t : t) : header array = Array.init (Array.length t.blocks) (header t)
 
+(* ------------------------------------------------------------------ *)
+(* Sequential read-ahead                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Read-ahead depth in blocks (process-wide; 0 = off, the default, so
+   historical pool-counter semantics hold exactly unless an operator
+   opts in). Plain ref: reads race benignly, writes happen at CLI
+   startup / bench phase boundaries. *)
+let prefetch_depth_ref = ref 0
+
+let set_prefetch_depth n =
+  if n < 0 then invalid_arg "Container.set_prefetch_depth";
+  prefetch_depth_ref := n
+
+let prefetch_depth () = !prefetch_depth_ref
+
+(* Speculatively decode up to [depth] absent blocks starting at [from_]
+   into the buffer pool, through {!Domain_pool.submit} when workers
+   exist and inline otherwise. Differs from the demand thunk in
+   [fetch_block] in accounting only: no heat touch (the query has not
+   asked for these blocks), no budget charge (read-ahead is a pool
+   concern, not query work — an exhausted budget must not be tripped by
+   speculation), and the pool books the decode as a prefetch fill, not
+   a miss. *)
+let read_ahead (t : t) ~(from_ : int) ~(depth : int) : unit =
+  let last = min (Array.length t.blocks - 1) (from_ + depth - 1) in
+  for k = from_ to last do
+    if not (Buffer_pool.resident ~uid:t.uid ~gen:t.generation ~blk:k) then begin
+      let b = t.blocks.(k) in
+      let uid = t.uid and gen = t.generation in
+      let task () =
+        ignore
+          (Buffer_pool.prefetch ~uid ~gen ~blk:k (fun () ->
+               let recs = Compress.Codec.decode_block ~count:b.b_count b.b_payload in
+               let codes = Array.map fst recs in
+               let parents = Array.map snd recs in
+               let d_bytes =
+                 Array.fold_left (fun acc c -> acc + String.length c + 16) 64 codes
+               in
+               Buffer_pool.note_payload_decoded (String.length b.b_payload);
+               Xquec_obs.Heat.note_decode ~uid ~blk:k ~bytes:(String.length b.b_payload);
+               if Xquec_obs.is_enabled () then
+                 Xquec_obs.Metrics.incr "container.blocks_prefetched";
+               { Buffer_pool.codes; parents; d_bytes }))
+      in
+      if not (Domain_pool.submit task) then task ()
+    end
+  done
+
 (* Decode block [i] through the buffer pool. The decode thunk runs on
    whichever domain executes it (caller or a Domain_pool worker), so its
    trace span lands in that domain's ring buffer — which is what makes
@@ -204,8 +300,20 @@ let fetch_block ?admission ?budget (t : t) (i : int) : Buffer_pool.decoded =
   in
   Xquec_obs.Budget.check budget;
   let b = t.blocks.(i) in
+  (* Sequential-run detection rides on Heat's per-domain run slot, read
+     BEFORE our own touch updates it: this fetch continues a run iff
+     this domain's previous touch was the preceding block of this
+     container. Costs nothing while the depth knob is 0. *)
+  let depth = !prefetch_depth_ref in
+  let sequential =
+    depth > 0 && i > 0
+    &&
+    let u, blk = Xquec_obs.Heat.domain_last () in
+    u = t.uid && blk = i - 1
+  in
   Xquec_obs.Heat.note_touch ~uid:t.uid ~blk:i;
-  Buffer_pool.fetch ?admission ~uid:t.uid ~gen:t.generation ~blk:i
+  let d =
+    Buffer_pool.fetch ?admission ~uid:t.uid ~gen:t.generation ~blk:i
     (fun () ->
       Xquec_obs.Trace.with_span ~name:"container.decode"
         ~attrs:[ ("path", t.path); ("block", string_of_int i) ]
@@ -225,6 +333,9 @@ let fetch_block ?admission ?budget (t : t) (i : int) : Buffer_pool.decoded =
           "container.block_bytes_decoded"
       end;
       { Buffer_pool.codes; parents; d_bytes })
+  in
+  if sequential then read_ahead t ~from_:(i + 1) ~depth;
+  d
 
 (* Batch decode path: decode blocks [b0, b1] (inclusive) and return
    their decoded images in order. Blocks already resident stay on the
@@ -353,6 +464,8 @@ let of_sorted_records ?block_size ?plain_sizes ~id ~path ~kind ~algorithm ~model
       generation = 0;
       distinct_parents = all_parents_distinct records;
       sorted_run = is_sorted_run records;
+      block_size;
+      compaction_epoch = 0;
     }
   in
   publish_metrics t;
@@ -413,7 +526,7 @@ let recompress (t : t) ~algorithm ~model ~model_id : int array =
   t.generation <- t.generation + 1;
   Buffer_pool.invalidate ~uid:t.uid;
   t.blocks <-
-    blocks_of_records ~block_size:!default_block_size_ref
+    blocks_of_records ~block_size:t.block_size
       ~plain_size:(fun i -> max 1 plain_sizes.(i))
       records;
   t.n_records <- Array.length records;
@@ -425,6 +538,71 @@ let recompress (t : t) ~algorithm ~model ~model_id : int array =
   end;
   Xquec_obs.Heat.register ~uid:t.uid ~label:t.path ~blocks:(Array.length t.blocks);
   remap
+
+(* Decode every block (tail admission: a rewrite pass must not flush the
+   hot working set) and return the raw compressed records plus
+   per-record plaintext-size estimates. Exact per-record sizes are gone
+   after build; the per-block average is what the original chunking
+   preserved, and it is what keeps re-chunking deterministic. *)
+let records_with_sizes (t : t) : record array * int array =
+  let records = Array.make t.n_records { code = ""; parent = 0 } in
+  let sizes = Array.make t.n_records 1 in
+  (* strictly sequential block fetches (no [fetch_blocks] batch): the
+     compactor may be running ON a domain-pool worker, and tasks must
+     not submit nested batches *)
+  Array.iteri
+    (fun bi b ->
+      let d = fetch_block ~admission:Buffer_pool.Tail t bi in
+      let avg = max 1 (b.b_plain / max 1 b.b_count) in
+      for off = 0 to b.b_count - 1 do
+        records.(b.b_start + off) <-
+          { code = d.Buffer_pool.codes.(off); parent = d.Buffer_pool.parents.(off) };
+        sizes.(b.b_start + off) <- avg
+      done)
+    t.blocks;
+  (records, sizes)
+
+(** Re-chunk this container in place at a new target block size. Unlike
+    {!recompress} the record sequence (codes, parents, order) is
+    untouched — no model retraining, no pointer remap — so every
+    invariant bit ([distinct_parents], [sorted_run]) carries over. Bumps
+    the generation and invalidates the pool so stale blocks cannot be
+    returned. Used by the build-time sizing pass; the online compactor
+    uses {!reblocked} instead. *)
+let reblock (t : t) ~(block_size : int) : unit =
+  if block_size < 1 then invalid_arg "Container.reblock";
+  let records, sizes = records_with_sizes t in
+  t.generation <- t.generation + 1;
+  ignore (Buffer_pool.invalidate_container ~uid:t.uid);
+  t.blocks <- blocks_of_records ~block_size ~plain_size:(fun i -> sizes.(i)) records;
+  t.block_size <- block_size;
+  publish_metrics t;
+  Xquec_obs.Heat.register ~uid:t.uid ~label:t.path ~blocks:(Array.length t.blocks)
+
+(** Copy-on-write variant of {!reblock}: build and return a {e fresh}
+    container (new pool uid, generation 0, compaction epoch bumped) with
+    the same records re-chunked at [block_size], leaving [t] fully
+    usable. In-flight queries holding [t] keep reading its blocks;
+    the caller swaps the fresh container into the repository and then
+    invalidates [t]'s uid. This is the compactor's primitive. *)
+let reblocked (t : t) ~(block_size : int) : t =
+  if block_size < 1 then invalid_arg "Container.reblocked";
+  let records, sizes = records_with_sizes t in
+  let blocks = blocks_of_records ~block_size ~plain_size:(fun i -> sizes.(i)) records in
+  let fresh =
+    {
+      t with
+      uid = Buffer_pool.fresh_uid ();
+      blocks;
+      generation = 0;
+      block_size;
+      compaction_epoch = t.compaction_epoch + 1;
+    }
+  in
+  publish_metrics fresh;
+  Xquec_obs.Heat.register ~uid:fresh.uid ~label:fresh.path
+    ~blocks:(Array.length fresh.blocks);
+  fresh
 
 (* ------------------------------------------------------------------ *)
 (* Access paths                                                        *)
@@ -682,7 +860,14 @@ let compress_constant (t : t) (v : string) : string =
      varint n_records | varint n_blocks
    Flags: bit 0 = parents all distinct (precomputed at build time);
           bit 1 = record sequence verified sorted by (code, parent);
-          bit 2 = per-block flags byte present (below).
+          bit 2 = per-block flags byte present (below);
+          bit 3 = adaptive-sizing extension present: two varints
+                  <block_size, compaction_epoch> follow the flags byte.
+   The extension is emitted ONLY when block_size differs from the
+   built-in default (16384) or the compaction epoch is non-zero, so
+   every image written before the extension existed — and every re-save
+   of one — stays byte-identical.
+     [varint block_size | varint compaction_epoch   if bit 3]
      then per block:
        varint b_count | [flags byte if container bit 2]
        varint |b_min| b_min | varint |b_max| b_max
@@ -702,12 +887,18 @@ let serialize buf (t : t) =
   add_varint buf t.id;
   add_str t.path;
   Buffer.add_char buf (match t.kind with Text -> 'T' | Attribute -> 'A');
+  let adaptive = t.block_size <> builtin_block_size || t.compaction_epoch <> 0 in
   let flags =
     (if t.distinct_parents then 1 else 0)
     lor (if t.sorted_run then 2 else 0)
     lor 4 (* per-block flags byte present *)
+    lor if adaptive then 8 else 0
   in
   Buffer.add_char buf (Char.chr flags);
+  if adaptive then begin
+    add_varint buf t.block_size;
+    add_varint buf t.compaction_epoch
+  end;
   add_str (Compress.Codec.algorithm_name t.algorithm);
   add_varint buf t.model_id;
   add_varint buf t.plain_bytes;
@@ -747,6 +938,14 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
   let sorted_run = flags land 2 <> 0 in
   let block_flags = flags land 4 <> 0 in
   incr pos;
+  let block_size, compaction_epoch =
+    if flags land 8 <> 0 then begin
+      let bs = varint () in
+      let ep = varint () in
+      (bs, ep)
+    end
+    else (builtin_block_size, 0)
+  in
   let algorithm = Compress.Codec.algorithm_of_name (str ()) in
   let model_id = varint () in
   let plain_bytes = varint () in
@@ -791,6 +990,8 @@ let deserialize ~(models : (int, Compress.Codec.model) Hashtbl.t) (s : string) (
       generation = 0;
       distinct_parents;
       sorted_run;
+      block_size;
+      compaction_epoch;
     }
   in
   Xquec_obs.Heat.register ~uid:t.uid ~label:t.path ~blocks:(Array.length t.blocks);

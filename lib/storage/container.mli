@@ -71,6 +71,16 @@ type t = {
           and persisted in the v2 flags byte; v2 images written before
           the flag existed load as [false], conservatively keeping the
           block join off for them. *)
+  mutable block_size : int;
+      (** target plaintext bytes per block this container was chunked
+          with. Per container since the adaptive-sizing pass; persisted
+          behind flags bit 3 of the wire image whenever it differs from
+          the built-in 16384 default (or the epoch is non-zero), so
+          pre-extension images re-save byte-identically. *)
+  mutable compaction_epoch : int;
+      (** number of times this container has been re-blocked by the
+          compactor ({!reblocked}); 0 at build, persisted alongside
+          [block_size]. *)
 }
 
 (** Header-only projection of one block: bounds, cardinality and stored
@@ -113,6 +123,42 @@ val set_default_block_size : int -> unit
 
 (** Current block-size target in bytes (initially 16384). *)
 val default_block_size : unit -> int
+
+(** Declared access pattern of a container, the input of
+    {!pick_block_size}: dominated by scans/wildcards ([Seq_heavy]),
+    dominated by selective point predicates ([Random_selective]), or
+    anything in between ([Mixed]). *)
+type access_pattern = Seq_heavy | Random_selective | Mixed
+
+(** [pick_block_size ~plain_bytes ~n_records ~access] is the build-time
+    per-container sizing heuristic: sequential-heavy containers get 4×
+    the {!default_block_size} (per-block costs amortize over big
+    blocks), selective-random ones get ¼ (an eq predicate decodes
+    little), mixed keeps the default — floored at 8 average values per
+    block and clamped to {!clamp_block_size}'s [1 KiB, 256 KiB] range.
+    Deterministic: depends only on its arguments and the configured
+    default. *)
+val pick_block_size : plain_bytes:int -> n_records:int -> access:access_pattern -> int
+
+(** Clamp a proposed block size into the supported [1024, 262144] byte
+    range (used by every adaptive path: build-time sizing, profile-seeded
+    sizes, compaction plans). *)
+val clamp_block_size : int -> int
+
+(** Sequential read-ahead depth in {e blocks} (process-wide; default
+    [0] = off). When positive, a block fetch that continues a sequential
+    run — this domain's previous fetch was the preceding block of the
+    same container, per {!Xquec_obs.Heat}'s run slots — speculatively
+    decodes up to this many following blocks into the {!Buffer_pool}
+    through {!Domain_pool.submit} (inline when the pool is sequential).
+    Prefetch decodes are pool [prefetch_fills], not misses, and charge
+    no query budget. Requires heat accounting to be on (the default);
+    with it off, runs are never detected and read-ahead never fires.
+    Raises [Invalid_argument] on a negative depth. *)
+val set_prefetch_depth : int -> unit
+
+(** Current read-ahead depth (blocks). *)
+val prefetch_depth : unit -> int
 
 (** [build ~id ~path ~kind ~algorithm values] trains a fresh source
     model on the [(value, parent)] pairs, compresses them, sorts by
@@ -161,6 +207,26 @@ val recompress :
   model:Compress.Codec.model ->
   model_id:int ->
   int array
+
+(** [reblock t ~block_size] re-chunks the container in place at a new
+    target block size. Unlike {!recompress} the record sequence (codes,
+    parents, order) is untouched — no model retraining, no pointer
+    remap, [distinct_parents]/[sorted_run] carry over — so callers need
+    no fix-ups. Bumps the generation and invalidates the pool entries.
+    Used by the build-time sizing pass ([xquec compress]); the online
+    compactor uses {!reblocked}. Raises [Invalid_argument] on a
+    non-positive size. *)
+val reblock : t -> block_size:int -> unit
+
+(** [reblocked t ~block_size] is the copy-on-write variant of
+    {!reblock}: returns a {e fresh} container (new pool uid, generation
+    0, [compaction_epoch] bumped by one) holding the same record
+    sequence re-chunked at [block_size], leaving [t] fully usable for
+    in-flight readers. The caller is expected to swap the result into
+    the repository's container slot and then invalidate [t]'s pool
+    entries ({!Buffer_pool.invalidate_container}) — which is exactly
+    what {!Compactor.compact_container} does. *)
+val reblocked : t -> block_size:int -> t
 
 (** ContScan: every record in compressed-value order. Decodes all
     blocks (the pruning access paths below exist to avoid this) — in
@@ -247,8 +313,13 @@ val publish_metrics : t -> unit
 (** Append the v2 wire image (block headers + verbatim payloads — a
     save/load/save cycle is byte-exact). The container flags byte
     carries bit 0 = [distinct_parents], bit 1 = [sorted_run], bit 2 =
-    "per-block flags byte present" (bit 0 of which is [b_exact]);
-    images written before bits 1–2 existed load with [sorted_run] and
+    "per-block flags byte present" (bit 0 of which is [b_exact]), and
+    bit 3 = "adaptive-sizing extension present": two varints
+    [<block_size, compaction_epoch>] directly after the flags byte,
+    emitted only when the block size differs from the built-in 16384 or
+    the epoch is non-zero (pre-extension images and their re-saves stay
+    byte-identical; old readers reject bit 3 rather than misparse).
+    Images written before bits 1–2 existed load with [sorted_run] and
     every [b_exact] false. The model itself is serialized once per
     [model_id] by {!Repository}. *)
 val serialize : Buffer.t -> t -> unit

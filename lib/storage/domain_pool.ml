@@ -65,6 +65,8 @@ let stat_wall_us = Atomic.make 0 (* cumulative parallel-batch wall, µs *)
 
 let stat_max_depth = Atomic.make 0 (* high-water queue depth, post-enqueue *)
 
+let stat_async = Atomic.make 0 (* fire-and-forget tasks accepted by [submit] *)
+
 (* CAS-max: lift [a] to at least [v]. *)
 let rec atomic_max a v =
   let cur = Atomic.get a in
@@ -77,6 +79,7 @@ type stats = {
   p_inline : int;
   p_wall_ms : float;
   p_max_queue_depth : int;
+  p_async : int;
 }
 
 let snapshot () : stats =
@@ -87,6 +90,7 @@ let snapshot () : stats =
     p_inline = Atomic.get stat_inline;
     p_wall_ms = float_of_int (Atomic.get stat_wall_us) /. 1000.0;
     p_max_queue_depth = Atomic.get stat_max_depth;
+    p_async = Atomic.get stat_async;
   }
 
 let reset_stats () =
@@ -94,7 +98,8 @@ let reset_stats () =
   Atomic.set stat_tasks 0;
   Atomic.set stat_inline 0;
   Atomic.set stat_wall_us 0;
-  Atomic.set stat_max_depth 0
+  Atomic.set stat_max_depth 0;
+  Atomic.set stat_async 0
 
 (* --- workers --------------------------------------------------------- *)
 
@@ -236,6 +241,29 @@ let run_parallel (tasks : task array) =
   let e = b.b_exn in
   Mutex.unlock b.b_mutex;
   match e with Some e -> raise e | None -> ()
+
+(* Fire-and-forget: enqueue one task with no batch latch — nothing ever
+   waits for it, so an exception has nowhere to propagate and is
+   swallowed (callers doing fallible work catch their own). Returns
+   [false] without running anything when the pool is sequential
+   ([size () = 0]): the caller decides whether to run inline. Used by
+   the prefetcher and the background compactor, which both tolerate
+   silent drops. *)
+let submit (t : task) : bool =
+  Mutex.lock pool_mutex;
+  if !target_size = 0 then begin
+    Mutex.unlock pool_mutex;
+    false
+  end
+  else begin
+    ensure_workers_locked ();
+    Queue.add (fun () -> try t () with _ -> ()) queue;
+    Condition.signal pool_cond;
+    Mutex.unlock pool_mutex;
+    Atomic.incr stat_async;
+    if Xquec_obs.is_enabled () then Xquec_obs.Metrics.incr "decodepool.async_tasks";
+    true
+  end
 
 let run (tasks : task array) : unit =
   let n = Array.length tasks in

@@ -47,6 +47,15 @@ val set_size : int -> unit
     dropped). *)
 val run : task array -> unit
 
+(** [submit task] enqueues one fire-and-forget task for the workers and
+    returns immediately — nothing ever waits for it, so an exception it
+    raises is swallowed (fallible tasks should catch their own). Returns
+    [false] without running anything when the pool is sequential
+    ([size () = 0]); the caller then chooses whether to run the task
+    inline. Used by the sequential-scan prefetcher and the background
+    compactor. *)
+val submit : task -> bool
+
 (** Cumulative pool counters (see {!snapshot}): configured size, batches
     and tasks submitted, tasks that ran on the submitting domain (the
     sequential fallback plus queue "help"), total wall-clock time spent
@@ -59,6 +68,7 @@ type stats = {
   p_inline : int;
   p_wall_ms : float;
   p_max_queue_depth : int;
+  p_async : int;  (** fire-and-forget tasks accepted by {!submit} *)
 }
 
 (** Current counter values (atomic reads; callable from any domain). *)
